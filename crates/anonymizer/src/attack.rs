@@ -1,0 +1,509 @@
+//! Reverse-engineering attack models (requirement 2 of Sec. 5).
+//!
+//! The paper requires that "an adversary should not be able to do reverse
+//! engineering to know the exact user location from the spatial cloaked
+//! area", and argues informally that both data-dependent cloaks leak:
+//! the naive cloak puts the user at the region's center (Fig. 3a) and
+//! the MBR cloak puts some user on every edge (Fig. 3b). This module
+//! turns those arguments into measurable adversaries so the E3/E4
+//! experiments can report leakage numbers.
+//!
+//! All attacks see exactly what the database server sees — the cloaked
+//! rectangle — plus knowledge of which algorithm produced it (Kerckhoffs'
+//! principle). Success is judged against the subject's true location.
+
+use crate::cloak::CloakedRegion;
+use lbsp_geom::Point;
+
+/// Outcome of running an attack over many cloaks.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AttackReport {
+    /// Number of cloaked regions attacked.
+    pub trials: usize,
+    /// Number of trials where the attack pinpointed the user (see each
+    /// attack's success criterion).
+    pub successes: usize,
+    /// Mean of `guess_error / region_half_diagonal` over all trials —
+    /// 0 means the guess is always exact, ~0.5 is what blind guessing of
+    /// the center achieves against a uniformly placed user.
+    pub mean_normalized_error: f64,
+}
+
+impl AttackReport {
+    /// Success rate in `[0, 1]`.
+    pub fn success_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    fn accumulate(&mut self, success: bool, normalized_error: f64) {
+        self.trials += 1;
+        if success {
+            self.successes += 1;
+        }
+        // Streaming mean.
+        let n = self.trials as f64;
+        self.mean_normalized_error += (normalized_error - self.mean_normalized_error) / n;
+    }
+}
+
+/// The center-of-region attack: guess that the user sits at the center
+/// of the cloaked rectangle.
+///
+/// Defeats the naive cloak completely (success rate ≈ 1); against
+/// space-dependent cloaks it degenerates to blind guessing.
+#[derive(Debug, Clone, Copy)]
+pub struct CenterAttack {
+    /// A guess within this distance of the true location counts as a
+    /// pinpoint (absolute world units).
+    pub epsilon: f64,
+}
+
+impl Default for CenterAttack {
+    fn default() -> Self {
+        // One part in 10^6 of a unit world: far below any cell size.
+        CenterAttack { epsilon: 1e-6 }
+    }
+}
+
+impl CenterAttack {
+    /// The adversary's location guess for one cloak.
+    pub fn guess(&self, cloak: &CloakedRegion) -> Point {
+        cloak.region.center()
+    }
+
+    /// Attacks one cloak given the ground-truth subject location.
+    pub fn attack_one(&self, cloak: &CloakedRegion, truth: Point) -> (bool, f64) {
+        let guess = self.guess(cloak);
+        let err = guess.dist(truth);
+        let half_diag = cloak.region.half_diagonal();
+        let norm = if half_diag > 0.0 { err / half_diag } else { 0.0 };
+        (err <= self.epsilon, norm)
+    }
+
+    /// Attacks a batch of `(cloak, truth)` pairs.
+    pub fn attack_all<'a, I>(&self, cases: I) -> AttackReport
+    where
+        I: IntoIterator<Item = (&'a CloakedRegion, Point)>,
+    {
+        let mut report = AttackReport::default();
+        for (cloak, truth) in cases {
+            let (ok, norm) = self.attack_one(cloak, truth);
+            report.accumulate(ok, norm);
+        }
+        report
+    }
+}
+
+/// The boundary attack against MBR-style cloaks: guess that the user
+/// lies on the boundary of the rectangle, and measure how often that is
+/// true.
+///
+/// Success means the subject's true location is within `tolerance` of
+/// the region's boundary. The paper predicts success probability ≈
+/// `min(1, 4/k)` for the MBR cloak (at least one point per edge among k)
+/// and ≈ 0 for space-dependent cloaks.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundaryAttack {
+    /// Distance from the boundary that still counts as "on" it.
+    pub tolerance: f64,
+}
+
+impl Default for BoundaryAttack {
+    fn default() -> Self {
+        BoundaryAttack { tolerance: 1e-9 }
+    }
+}
+
+impl BoundaryAttack {
+    /// Attacks one cloak; the error term is the normalized distance from
+    /// the subject to the nearest boundary point (0 when on it).
+    pub fn attack_one(&self, cloak: &CloakedRegion, truth: Point) -> (bool, f64) {
+        let r = &cloak.region;
+        let on = r.on_boundary(truth, self.tolerance);
+        // Distance from the subject to the nearest edge, for the error
+        // metric (only meaningful when the subject is inside).
+        let dx = (truth.x - r.min_x()).abs().min((truth.x - r.max_x()).abs());
+        let dy = (truth.y - r.min_y()).abs().min((truth.y - r.max_y()).abs());
+        let d = dx.min(dy);
+        let half = 0.5 * r.width().min(r.height());
+        let norm = if half > 0.0 { (d / half).min(1.0) } else { 0.0 };
+        (on, norm)
+    }
+
+    /// Attacks a batch of `(cloak, truth)` pairs.
+    pub fn attack_all<'a, I>(&self, cases: I) -> AttackReport
+    where
+        I: IntoIterator<Item = (&'a CloakedRegion, Point)>,
+    {
+        let mut report = AttackReport::default();
+        for (cloak, truth) in cases {
+            let (ok, norm) = self.attack_one(cloak, truth);
+            report.accumulate(ok, norm);
+        }
+        report
+    }
+}
+
+/// The occupancy (background-knowledge) attack: the strongest
+/// single-snapshot adversary k-anonymity is defined against.
+///
+/// This adversary knows *every* user's exact location (say, from an
+/// auxiliary dataset) but not which of them issued the cloaked message.
+/// Its best strategy is to guess uniformly among the region's occupants,
+/// succeeding with probability `1 / occupants`. Measuring this ties the
+/// system's privacy directly to `achieved_k`: a cloak is worth exactly
+/// as much as the number of users actually inside it, which is why the
+/// anonymizer reports honest `achieved_k` values rather than the
+/// requested `k`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OccupancyAttack;
+
+impl OccupancyAttack {
+    /// Evaluates the attack against one cloak, given all user positions
+    /// (the background knowledge). Returns `(success_probability,
+    /// occupants)` — the probability the uniform guess names the subject.
+    ///
+    /// A region with no occupants (stale snapshot) yields probability 0.
+    pub fn attack_one(
+        &self,
+        cloak: &crate::cloak::CloakedRegion,
+        all_positions: &[lbsp_geom::Point],
+    ) -> (f64, usize) {
+        let occupants = all_positions
+            .iter()
+            .filter(|p| cloak.region.contains_point(**p))
+            .count();
+        if occupants == 0 {
+            (0.0, 0)
+        } else {
+            (1.0 / occupants as f64, occupants)
+        }
+    }
+
+    /// Mean success probability over a batch of cloaks.
+    pub fn attack_all(
+        &self,
+        cloaks: &[crate::cloak::CloakedRegion],
+        all_positions: &[lbsp_geom::Point],
+    ) -> f64 {
+        if cloaks.is_empty() {
+            return 0.0;
+        }
+        cloaks
+            .iter()
+            .map(|c| self.attack_one(c, all_positions).0)
+            .sum::<f64>()
+            / cloaks.len() as f64
+    }
+}
+
+/// The region-intersection (correlation) attack — an extension beyond
+/// the paper's single-snapshot adversaries.
+///
+/// A pseudonym's successive cloaked regions all contain the user, so an
+/// adversary who watches the stream can intersect them: if the user
+/// moves little while the regions vary, the intersection shrinks toward
+/// the true location. This quantifies a real tension in Sec. 5.3: a
+/// *cached* (incremental) cloak re-sends the identical region — the
+/// intersection never shrinks — while eager per-update recomputation
+/// can leak more over time. (The full treatment belongs to the
+/// trajectory-privacy literature the paper cites as [9, 19].)
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IntersectionAttack;
+
+/// Outcome of intersecting a pseudonym's cloak trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntersectionReport {
+    /// Area of the first region in the trace.
+    pub initial_area: f64,
+    /// Area of the intersection of all regions (0 when it collapses).
+    pub final_area: f64,
+    /// Whether the user's final true position is inside the
+    /// intersection (it must be, whenever the user stayed put; motion
+    /// can move them out, which *helps* privacy).
+    pub contains_truth: bool,
+}
+
+impl IntersectionReport {
+    /// How much of the initial uncertainty survived, in `[0, 1]`.
+    pub fn area_ratio(&self) -> f64 {
+        if self.initial_area <= 0.0 {
+            0.0
+        } else {
+            (self.final_area / self.initial_area).clamp(0.0, 1.0)
+        }
+    }
+}
+
+impl IntersectionAttack {
+    /// Intersects a cloak trace for one pseudonym and evaluates against
+    /// the user's final true position.
+    pub fn attack_trace(
+        &self,
+        trace: &[crate::cloak::CloakedRegion],
+        final_truth: lbsp_geom::Point,
+    ) -> Option<IntersectionReport> {
+        let first = trace.first()?;
+        let mut inter = Some(first.region);
+        for c in &trace[1..] {
+            inter = inter.and_then(|r| r.intersection(&c.region));
+        }
+        Some(IntersectionReport {
+            initial_area: first.region.area(),
+            final_area: inter.map_or(0.0, |r| r.area()),
+            contains_truth: inter.is_some_and(|r| r.contains_point(final_truth)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cloak::CloakRequirement;
+    use crate::{CloakingAlgorithm, IncrementalCloaker, MbrCloak, NaiveCloak, QuadCloak};
+    use lbsp_geom::Rect;
+    use rand::rngs::StdRng;
+    use rand::{RngExt as _, SeedableRng};
+
+    fn world() -> Rect {
+        Rect::new_unchecked(0.0, 0.0, 1.0, 1.0)
+    }
+
+    fn random_positions(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.random_range(0.05..0.95), rng.random_range(0.05..0.95)))
+            .collect()
+    }
+
+    #[test]
+    fn center_attack_breaks_naive_cloak() {
+        // Dense population so cloaks are small and rarely clipped by the
+        // world border (clipping is the only thing that moves the user
+        // off-center).
+        let positions = random_positions(1000, 1);
+        let mut algo = NaiveCloak::new(world(), 32);
+        for (i, p) in positions.iter().enumerate() {
+            algo.upsert(i as u64, *p);
+        }
+        let req = CloakRequirement::k_only(5);
+        let cloaks: Vec<_> = (0..1000u64)
+            .map(|id| algo.cloak(id, &req).unwrap())
+            .collect();
+        let report = CenterAttack::default().attack_all(
+            cloaks.iter().zip(positions.iter().copied()),
+        );
+        assert!(
+            report.success_rate() > 0.9,
+            "success {}",
+            report.success_rate()
+        );
+        assert!(report.mean_normalized_error < 0.05);
+    }
+
+    #[test]
+    fn center_attack_fails_against_quadtree_cloak() {
+        let positions = random_positions(200, 2);
+        let mut algo = QuadCloak::new(world(), 6);
+        for (i, p) in positions.iter().enumerate() {
+            algo.upsert(i as u64, *p);
+        }
+        let req = CloakRequirement::k_only(10);
+        let cloaks: Vec<_> = (0..200u64)
+            .map(|id| algo.cloak(id, &req).unwrap())
+            .collect();
+        let report = CenterAttack::default().attack_all(
+            cloaks.iter().zip(positions.iter().copied()),
+        );
+        assert_eq!(report.successes, 0, "no pinpoint against cell-aligned cloaks");
+        // Error comparable to blind guessing.
+        assert!(report.mean_normalized_error > 0.2);
+    }
+
+    #[test]
+    fn boundary_attack_hits_mbr_more_than_quad() {
+        let positions = random_positions(300, 3);
+        let mut mbr = MbrCloak::new(world(), 32);
+        let mut quad = QuadCloak::new(world(), 6);
+        for (i, p) in positions.iter().enumerate() {
+            mbr.upsert(i as u64, *p);
+            quad.upsert(i as u64, *p);
+        }
+        let req = CloakRequirement::k_only(5);
+        let attack = BoundaryAttack::default();
+        let mbr_cloaks: Vec<_> = (0..300u64).map(|id| mbr.cloak(id, &req).unwrap()).collect();
+        let quad_cloaks: Vec<_> = (0..300u64).map(|id| quad.cloak(id, &req).unwrap()).collect();
+        let mbr_report =
+            attack.attack_all(mbr_cloaks.iter().zip(positions.iter().copied()));
+        let quad_report =
+            attack.attack_all(quad_cloaks.iter().zip(positions.iter().copied()));
+        // The paper predicts boundary leakage for small k. Note the
+        // subject is the *center* of its own k-NN ball, so it lands on
+        // the boundary less often than an exchangeable member would
+        // (4/k); what matters is the gap to the space-dependent cloak.
+        assert!(
+            mbr_report.success_rate() > 0.15,
+            "mbr boundary rate {}",
+            mbr_report.success_rate()
+        );
+        assert!(
+            quad_report.success_rate() < 0.02,
+            "quad boundary rate {}",
+            quad_report.success_rate()
+        );
+        assert!(mbr_report.success_rate() > 10.0 * quad_report.success_rate().max(1e-3));
+    }
+
+    #[test]
+    fn boundary_attack_is_certain_for_k2_mbr() {
+        // k = 2: the MBR spans subject + one neighbor, both at corners —
+        // the subject is ALWAYS on the boundary (the paper's sharpest
+        // small-k case).
+        let positions = random_positions(100, 4);
+        let mut mbr = MbrCloak::new(world(), 16);
+        for (i, p) in positions.iter().enumerate() {
+            mbr.upsert(i as u64, *p);
+        }
+        let req = CloakRequirement::k_only(2);
+        let cloaks: Vec<_> = (0..100u64).map(|id| mbr.cloak(id, &req).unwrap()).collect();
+        let report = BoundaryAttack::default()
+            .attack_all(cloaks.iter().zip(positions.iter().copied()));
+        assert_eq!(report.successes, report.trials);
+    }
+
+    #[test]
+    fn report_math() {
+        let mut r = AttackReport::default();
+        r.accumulate(true, 0.0);
+        r.accumulate(false, 1.0);
+        assert_eq!(r.trials, 2);
+        assert_eq!(r.successes, 1);
+        assert!((r.success_rate() - 0.5).abs() < 1e-12);
+        assert!((r.mean_normalized_error - 0.5).abs() < 1e-12);
+        assert_eq!(AttackReport::default().success_rate(), 0.0);
+    }
+
+    #[test]
+    fn intersection_attack_on_static_user_with_mbr_cloak() {
+        // A stationary user whose neighbors move: every MBR recompute
+        // yields a different region, and their intersection closes in.
+        let mut mbr = MbrCloak::new(world(), 16);
+        let subject = Point::new(0.5, 0.5);
+        mbr.upsert(0, subject);
+        for i in 1..40u64 {
+            mbr.upsert(i, Point::new(0.3 + 0.01 * i as f64, 0.55));
+        }
+        let req = CloakRequirement::k_only(8);
+        let mut trace = Vec::new();
+        for round in 0..10 {
+            // Neighbors drift; subject stays.
+            for i in 1..40u64 {
+                let x = 0.3 + 0.01 * ((i + round) % 40) as f64;
+                mbr.upsert(i, Point::new(x, 0.55 - 0.002 * round as f64));
+            }
+            trace.push(mbr.cloak(0, &req).unwrap());
+        }
+        let report = IntersectionAttack
+            .attack_trace(&trace, subject)
+            .expect("non-empty trace");
+        assert!(report.contains_truth, "static user stays in every region");
+        assert!(
+            report.area_ratio() < 0.9,
+            "varying regions leak: ratio {}",
+            report.area_ratio()
+        );
+    }
+
+    #[test]
+    fn incremental_caching_blocks_intersection_refinement() {
+        // The same scenario through an IncrementalCloaker: cache hits
+        // re-send the identical region, so the intersection cannot
+        // shrink below the cached region itself.
+        let mut quad = QuadCloak::new(world(), 6);
+        let subject = Point::new(0.51, 0.51);
+        quad.upsert(0, subject);
+        for i in 1..30u64 {
+            quad.upsert(i, Point::new(0.52, 0.52));
+        }
+        let mut inc = IncrementalCloaker::new(quad, 1000);
+        let req = CloakRequirement::k_only(10);
+        let mut trace = Vec::new();
+        for _ in 0..10 {
+            trace.push(inc.update_and_cloak(0, subject, &req).unwrap());
+        }
+        assert!(inc.stats().hits >= 9, "stationary user hits the cache");
+        let report = IntersectionAttack.attack_trace(&trace, subject).unwrap();
+        assert_eq!(
+            report.area_ratio(),
+            1.0,
+            "identical regions give the adversary nothing new"
+        );
+        assert!(report.contains_truth);
+    }
+
+    #[test]
+    fn occupancy_attack_success_is_inverse_achieved_k() {
+        let positions = random_positions(500, 8);
+        let mut quad = QuadCloak::new(world(), 6);
+        for (i, p) in positions.iter().enumerate() {
+            quad.upsert(i as u64, *p);
+        }
+        let req = CloakRequirement::k_only(20);
+        let attack = OccupancyAttack;
+        for id in (0..500u64).step_by(17) {
+            let cloak = quad.cloak(id, &req).unwrap();
+            let (p, occupants) = attack.attack_one(&cloak, &positions);
+            assert_eq!(occupants as u32, cloak.achieved_k);
+            assert!((p - 1.0 / cloak.achieved_k as f64).abs() < 1e-12);
+            assert!(p <= 1.0 / 20.0 + 1e-12, "k=20 bounds the adversary at 5%");
+        }
+        // Batch mean respects the k bound too.
+        let cloaks: Vec<_> = (0..500u64)
+            .step_by(10)
+            .map(|id| quad.cloak(id, &req).unwrap())
+            .collect();
+        let mean = attack.attack_all(&cloaks, &positions);
+        assert!(mean <= 0.05 + 1e-9);
+        assert!(mean > 0.0);
+    }
+
+    #[test]
+    fn occupancy_attack_edge_cases() {
+        let attack = OccupancyAttack;
+        let cloak = CloakedRegion {
+            region: Rect::new_unchecked(0.0, 0.0, 0.1, 0.1),
+            achieved_k: 0,
+            k_satisfied: false,
+            area_satisfied: true,
+        };
+        // No occupants (stale region): probability 0.
+        assert_eq!(attack.attack_one(&cloak, &[Point::new(0.9, 0.9)]), (0.0, 0));
+        // Single occupant: certainty.
+        let (p, n) = attack.attack_one(&cloak, &[Point::new(0.05, 0.05)]);
+        assert_eq!((p, n), (1.0, 1));
+        assert_eq!(attack.attack_all(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn intersection_attack_empty_trace() {
+        assert!(IntersectionAttack.attack_trace(&[], Point::ORIGIN).is_none());
+    }
+
+    #[test]
+    fn degenerate_region_attacks() {
+        let cloak = CloakedRegion {
+            region: Rect::from_point(Point::new(0.3, 0.3)),
+            achieved_k: 1,
+            k_satisfied: true,
+            area_satisfied: true,
+        };
+        // A degenerate region IS the user: center attack trivially wins.
+        let (ok, norm) = CenterAttack::default().attack_one(&cloak, Point::new(0.3, 0.3));
+        assert!(ok);
+        assert_eq!(norm, 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Protection-level billing.
+//!
+//! Sec. 5 of the paper: "similar to the proposed model in [14] [Duri et
+//! al., *Data Protection and Data Sharing in Telematics*], the location
+//! anonymizer may charge the mobile users based on their required
+//! protection level." This module implements that accounting: a tariff
+//! maps each cloak's requirement to a price, and the ledger accumulates
+//! charges per user.
+
+use crate::{CloakRequirement, UserId};
+use std::collections::HashMap;
+
+/// A pricing scheme over privacy requirements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tariff {
+    /// Flat price per cloaked update.
+    pub base: f64,
+    /// Additional price per unit of `log2(k)` — anonymity is priced by
+    /// the bits of identity hidden.
+    pub per_k_bit: f64,
+    /// Additional price per unit of requested minimum area.
+    pub per_area: f64,
+}
+
+impl Default for Tariff {
+    fn default() -> Self {
+        Tariff {
+            base: 0.001,
+            per_k_bit: 0.002,
+            per_area: 0.01,
+        }
+    }
+}
+
+impl Tariff {
+    /// Price of one cloaked update under `req`.
+    pub fn price(&self, req: &CloakRequirement) -> f64 {
+        let k_bits = f64::from(req.k.max(1)).log2();
+        let area = if req.a_min.is_finite() { req.a_min } else { 0.0 };
+        self.base + self.per_k_bit * k_bits + self.per_area * area
+    }
+}
+
+/// Per-user usage ledger.
+#[derive(Debug, Clone, Default)]
+pub struct Billing {
+    tariff: Tariff,
+    charges: HashMap<UserId, (u64, f64)>,
+}
+
+impl Billing {
+    /// Creates a ledger with the given tariff.
+    pub fn new(tariff: Tariff) -> Billing {
+        Billing {
+            tariff,
+            charges: HashMap::new(),
+        }
+    }
+
+    /// The tariff in force.
+    pub fn tariff(&self) -> Tariff {
+        self.tariff
+    }
+
+    /// Records one cloaked update for `user` under `req`; returns the
+    /// price charged.
+    pub fn record(&mut self, user: UserId, req: &CloakRequirement) -> f64 {
+        let price = self.tariff.price(req);
+        let entry = self.charges.entry(user).or_insert((0, 0.0));
+        entry.0 += 1;
+        entry.1 += price;
+        price
+    }
+
+    /// `(cloaks, total)` statement for a user.
+    pub fn statement(&self, user: UserId) -> (u64, f64) {
+        self.charges.get(&user).copied().unwrap_or((0, 0.0))
+    }
+
+    /// Total revenue across users.
+    pub fn revenue(&self) -> f64 {
+        self.charges.values().map(|(_, total)| total).sum()
+    }
+
+    /// Number of users with any charge.
+    pub fn billed_users(&self) -> usize {
+        self.charges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn price_grows_with_protection_level() {
+        let t = Tariff::default();
+        let none = t.price(&CloakRequirement::none());
+        let k10 = t.price(&CloakRequirement::k_only(10));
+        let k1000 = t.price(&CloakRequirement::k_only(1000));
+        let with_area = t.price(&CloakRequirement { k: 10, a_min: 2.0, a_max: f64::INFINITY });
+        assert!(none < k10 && k10 < k1000, "{none} {k10} {k1000}");
+        assert!(with_area > k10);
+        // k=1 has zero anonymity surcharge.
+        assert!((none - t.base).abs() < 1e-12);
+        // Infinite a_max never bills (only a_min is a demand).
+        assert!(t
+            .price(&CloakRequirement { k: 1, a_min: 0.0, a_max: f64::INFINITY })
+            .is_finite());
+    }
+
+    #[test]
+    fn ledger_accumulates_per_user() {
+        let mut b = Billing::new(Tariff::default());
+        let cheap = CloakRequirement::k_only(2);
+        let pricey = CloakRequirement::k_only(1024);
+        let p1 = b.record(1, &cheap);
+        let p2 = b.record(1, &cheap);
+        let p3 = b.record(2, &pricey);
+        assert!((p1 - p2).abs() < 1e-12);
+        assert!(p3 > p1);
+        let (n1, t1) = b.statement(1);
+        assert_eq!(n1, 2);
+        assert!((t1 - 2.0 * p1).abs() < 1e-12);
+        assert_eq!(b.statement(3), (0, 0.0));
+        assert_eq!(b.billed_users(), 2);
+        assert!((b.revenue() - (t1 + p3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_profile_prices_rank_correctly() {
+        // The three entries of Fig. 2 must be priced in increasing
+        // order of restrictiveness.
+        let t = Tariff::default();
+        let p = crate::PrivacyProfile::paper_example();
+        let day = t.price(&p.requirement_at(lbsp_geom::TimeOfDay::new(12, 0).unwrap()));
+        let evening = t.price(&p.requirement_at(lbsp_geom::TimeOfDay::new(19, 0).unwrap()));
+        let night = t.price(&p.requirement_at(lbsp_geom::TimeOfDay::new(3, 0).unwrap()));
+        assert!(day < evening && evening < night, "{day} {evening} {night}");
+    }
+}

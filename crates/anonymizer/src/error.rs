@@ -1,0 +1,47 @@
+//! Error type for the anonymizer.
+
+use crate::UserId;
+use std::fmt;
+
+/// Errors produced by cloaking and the anonymizer service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CloakError {
+    /// The user id is not registered / tracked.
+    UnknownUser(UserId),
+    /// The requirement is internally inconsistent.
+    InvalidRequirement(&'static str),
+    /// A profile failed validation.
+    InvalidProfile(&'static str),
+}
+
+impl fmt::Display for CloakError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloakError::UnknownUser(id) => write!(f, "unknown user {id}"),
+            CloakError::InvalidRequirement(msg) => {
+                write!(f, "invalid cloak requirement: {msg}")
+            }
+            CloakError::InvalidProfile(msg) => write!(f, "invalid privacy profile: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CloakError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(CloakError::UnknownUser(3).to_string(), "unknown user 3");
+        assert_eq!(
+            CloakError::InvalidRequirement("k must be >= 1").to_string(),
+            "invalid cloak requirement: k must be >= 1"
+        );
+        assert_eq!(
+            CloakError::InvalidProfile("empty").to_string(),
+            "invalid privacy profile: empty"
+        );
+    }
+}

@@ -1,0 +1,344 @@
+//! Incremental cloak evaluation (Sec. 5.3, approach 1).
+//!
+//! "The main idea is to avoid continuous computation of the cloaked
+//! region as users continuously update their locations. Instead,
+//! computing a cloaked region at time t should benefit from the
+//! computation of the cloaked region of the same user at time t − 1."
+//!
+//! [`IncrementalCloaker`] wraps any [`CloakingAlgorithm`] with a
+//! per-user cache. On each update the cached region is *revalidated*:
+//! it must (a) still contain the user, (b) still hold `k` users under
+//! the current population, (c) have been produced for the same
+//! requirement, and (d) not be stale by more than a configurable number
+//! of updates (unbounded reuse would let an observer intersect regions
+//! over time). Only on revalidation failure is the full cloak recomputed.
+
+use crate::cloak::{CloakRequirement, CloakedRegion, CloakingAlgorithm};
+use crate::{CloakError, UserId};
+use lbsp_geom::Point;
+use std::collections::HashMap;
+
+/// Cache hit/miss statistics (reported by experiment E9).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Updates answered from the cached region.
+    pub hits: usize,
+    /// Updates that required a full recomputation.
+    pub misses: usize,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    region: CloakedRegion,
+    req: CloakRequirement,
+    /// Updates served since the region was computed.
+    age: u32,
+}
+
+/// A caching wrapper that makes any cloaking algorithm incremental.
+#[derive(Debug)]
+pub struct IncrementalCloaker<A> {
+    inner: A,
+    cache: HashMap<UserId, CacheEntry>,
+    stats: CacheStats,
+    max_age: u32,
+}
+
+impl<A: CloakingAlgorithm> IncrementalCloaker<A> {
+    /// Wraps `inner`; cached regions are reused for at most `max_age`
+    /// consecutive updates before a forced refresh.
+    pub fn new(inner: A, max_age: u32) -> IncrementalCloaker<A> {
+        IncrementalCloaker {
+            inner,
+            cache: HashMap::new(),
+            stats: CacheStats::default(),
+            max_age,
+        }
+    }
+
+    /// The wrapped algorithm.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped algorithm (e.g. for seeding the
+    /// population). Mutating the population does NOT invalidate caches;
+    /// revalidation handles that lazily per user.
+    pub fn inner_mut(&mut self) -> &mut A {
+        &mut self.inner
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets cache statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Processes one location update and returns the cloaked region,
+    /// reusing the cached region when it revalidates.
+    pub fn update_and_cloak(
+        &mut self,
+        id: UserId,
+        p: Point,
+        req: &CloakRequirement,
+    ) -> Result<CloakedRegion, CloakError> {
+        req.validate()?;
+        self.inner.upsert(id, p);
+        if let Some(entry) = self.cache.get_mut(&id) {
+            let same_req = entry.req == *req;
+            let fresh = entry.age < self.max_age;
+            let contains = entry.region.region.contains_point(p);
+            if same_req && fresh && contains {
+                // Population may have shifted; recount before reusing.
+                let count = self.inner.count_in_region(&entry.region.region) as u32;
+                if count >= req.k {
+                    entry.age += 1;
+                    entry.region.achieved_k = count;
+                    self.stats.hits += 1;
+                    return Ok(entry.region);
+                }
+            }
+        }
+        // Revalidation failed: full recompute.
+        let region = self.inner.cloak(id, req)?;
+        self.cache.insert(
+            id,
+            CacheEntry {
+                region,
+                req: *req,
+                age: 0,
+            },
+        );
+        self.stats.misses += 1;
+        Ok(region)
+    }
+
+    /// Removes a user and drops its cache entry.
+    pub fn remove(&mut self, id: UserId) -> bool {
+        self.cache.remove(&id);
+        self.inner.remove(id)
+    }
+
+    /// Sweeps every cached cloak and re-cloaks the ones whose occupancy
+    /// decayed below their requirement — the "k-anonymity for highly
+    /// updated data" repair the paper calls for in Sec. 2.2: a region
+    /// that was k-anonymous when issued stops being so once enough of
+    /// its occupants move away, and the server's stored copy must then
+    /// be replaced.
+    ///
+    /// Returns the corrective `(user, fresh_region)` pairs to forward to
+    /// the database server. Entries that still satisfy their requirement
+    /// are untouched (and their cached copies stay valid).
+    pub fn refresh_stale(&mut self) -> Vec<(UserId, CloakedRegion)> {
+        let mut corrections = Vec::new();
+        let ids: Vec<UserId> = self.cache.keys().copied().collect();
+        for id in ids {
+            let entry = &self.cache[&id];
+            let req = entry.req;
+            let still_present = self.inner.location(id).is_some();
+            if !still_present {
+                self.cache.remove(&id);
+                continue;
+            }
+            let count = self.inner.count_in_region(&entry.region.region) as u32;
+            let contains = self
+                .inner
+                .location(id)
+                .is_some_and(|p| entry.region.region.contains_point(p));
+            if count >= req.k && contains {
+                continue;
+            }
+            if let Ok(fresh) = self.inner.cloak(id, &req) {
+                self.cache.insert(
+                    id,
+                    CacheEntry {
+                        region: fresh,
+                        req,
+                        age: 0,
+                    },
+                );
+                corrections.push((id, fresh));
+            }
+        }
+        corrections
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GridCloak, QuadCloak};
+    use lbsp_geom::Rect;
+
+    fn world() -> Rect {
+        Rect::new_unchecked(0.0, 0.0, 1.0, 1.0)
+    }
+
+    fn seeded_quad() -> QuadCloak {
+        let mut q = QuadCloak::new(world(), 5);
+        for i in 0..100u64 {
+            let x = 0.05 + 0.1 * (i % 10) as f64;
+            let y = 0.05 + 0.1 * (i / 10) as f64;
+            q.upsert(i, Point::new(x, y));
+        }
+        q
+    }
+
+    #[test]
+    fn local_movement_hits_cache() {
+        let mut inc = IncrementalCloaker::new(seeded_quad(), 100);
+        let req = CloakRequirement::k_only(10);
+        // First update computes.
+        let r1 = inc.update_and_cloak(55, Point::new(0.55, 0.55), &req).unwrap();
+        assert_eq!(inc.stats(), CacheStats { hits: 0, misses: 1 });
+        // Tiny movements inside the region are served from cache.
+        for i in 0..5 {
+            let p = Point::new(0.55 + 0.001 * i as f64, 0.55);
+            let r = inc.update_and_cloak(55, p, &req).unwrap();
+            assert_eq!(r.region, r1.region);
+        }
+        assert_eq!(inc.stats().hits, 5);
+        assert!(inc.stats().hit_rate() > 0.8);
+    }
+
+    #[test]
+    fn leaving_region_forces_recompute() {
+        let mut inc = IncrementalCloaker::new(seeded_quad(), 100);
+        let req = CloakRequirement::k_only(5);
+        let r1 = inc.update_and_cloak(55, Point::new(0.55, 0.55), &req).unwrap();
+        // Jump far outside the cached region.
+        let r2 = inc.update_and_cloak(55, Point::new(0.05, 0.05), &req).unwrap();
+        assert_ne!(r1.region, r2.region);
+        assert_eq!(inc.stats().misses, 2);
+        assert!(r2.region.contains_point(Point::new(0.05, 0.05)));
+    }
+
+    #[test]
+    fn requirement_change_forces_recompute() {
+        let mut inc = IncrementalCloaker::new(seeded_quad(), 100);
+        let p = Point::new(0.55, 0.55);
+        inc.update_and_cloak(55, p, &CloakRequirement::k_only(5)).unwrap();
+        inc.update_and_cloak(55, p, &CloakRequirement::k_only(50)).unwrap();
+        assert_eq!(inc.stats().misses, 2, "k change invalidates the cache");
+    }
+
+    #[test]
+    fn max_age_bounds_reuse() {
+        let mut inc = IncrementalCloaker::new(seeded_quad(), 3);
+        let req = CloakRequirement::k_only(10);
+        let p = Point::new(0.55, 0.55);
+        for _ in 0..8 {
+            inc.update_and_cloak(55, p, &req).unwrap();
+        }
+        // Pattern: miss, hit, hit, hit, miss, hit, hit, hit.
+        assert_eq!(inc.stats().misses, 2);
+        assert_eq!(inc.stats().hits, 6);
+    }
+
+    #[test]
+    fn population_shift_invalidates_when_k_drops() {
+        let mut grid = GridCloak::new(world(), 8);
+        // Subject plus 9 users in one cell.
+        grid.upsert(0, Point::new(0.55, 0.55));
+        for i in 1..10u64 {
+            grid.upsert(i, Point::new(0.56, 0.56));
+        }
+        let mut inc = IncrementalCloaker::new(grid, 100);
+        let req = CloakRequirement::k_only(8);
+        inc.update_and_cloak(0, Point::new(0.55, 0.55), &req).unwrap();
+        // Most of the crowd leaves.
+        for i in 1..8u64 {
+            inc.inner_mut().upsert(i, Point::new(0.05, 0.05));
+        }
+        let r = inc.update_and_cloak(0, Point::new(0.55, 0.55), &req).unwrap();
+        assert!(r.k_satisfied, "recomputed region recovers k-anonymity");
+        assert!(inc.inner().count_in_region(&r.region) >= 8);
+        assert_eq!(inc.stats().misses, 2, "cache entry failed revalidation");
+    }
+
+    #[test]
+    fn cached_result_keeps_k_fresh() {
+        let mut inc = IncrementalCloaker::new(seeded_quad(), 100);
+        let req = CloakRequirement::k_only(5);
+        let r1 = inc.update_and_cloak(55, Point::new(0.55, 0.55), &req).unwrap();
+        // New arrivals inside the region bump achieved_k on a cache hit.
+        for i in 200..210u64 {
+            inc.inner_mut().upsert(i, Point::new(0.55, 0.55));
+        }
+        let r2 = inc.update_and_cloak(55, Point::new(0.551, 0.55), &req).unwrap();
+        assert_eq!(r1.region, r2.region);
+        assert!(r2.achieved_k >= r1.achieved_k + 10);
+    }
+
+    #[test]
+    fn refresh_stale_repairs_decayed_regions() {
+        // Subject cloaked among a crowd; the crowd then leaves, eroding
+        // the stored region's occupancy below k. refresh_stale must
+        // issue a corrective cloak that is k-anonymous again.
+        let mut grid = GridCloak::new(world(), 8);
+        grid.upsert(0, Point::new(0.55, 0.55));
+        for i in 1..12u64 {
+            grid.upsert(i, Point::new(0.56, 0.56));
+        }
+        let mut inc = IncrementalCloaker::new(grid, 1000);
+        let req = CloakRequirement::k_only(10);
+        inc.update_and_cloak(0, Point::new(0.55, 0.55), &req).unwrap();
+        // Nothing stale yet.
+        assert!(inc.refresh_stale().is_empty());
+        // The crowd emigrates.
+        for i in 1..10u64 {
+            inc.inner_mut().upsert(i, Point::new(0.05, 0.05));
+        }
+        let corrections = inc.refresh_stale();
+        assert_eq!(corrections.len(), 1);
+        let (user, fresh) = corrections[0];
+        assert_eq!(user, 0);
+        assert!(fresh.k_satisfied, "corrective region restores k-anonymity");
+        assert!(inc.inner().count_in_region(&fresh.region) >= 10);
+        // A second sweep is clean.
+        assert!(inc.refresh_stale().is_empty());
+    }
+
+    #[test]
+    fn refresh_stale_drops_vanished_users() {
+        let mut inc = IncrementalCloaker::new(seeded_quad(), 1000);
+        let req = CloakRequirement::k_only(5);
+        inc.update_and_cloak(55, Point::new(0.55, 0.55), &req).unwrap();
+        // The user unregisters behind the cache's back.
+        inc.inner_mut().remove(55);
+        assert!(inc.refresh_stale().is_empty(), "no correction for ghosts");
+        // Cache entry is gone: the next update is a miss.
+        let before = inc.stats().misses;
+        inc.inner_mut().upsert(55, Point::new(0.55, 0.55));
+        inc.update_and_cloak(55, Point::new(0.55, 0.55), &req).unwrap();
+        assert_eq!(inc.stats().misses, before + 1);
+    }
+
+    #[test]
+    fn remove_clears_cache() {
+        let mut inc = IncrementalCloaker::new(seeded_quad(), 100);
+        let req = CloakRequirement::k_only(5);
+        inc.update_and_cloak(55, Point::new(0.55, 0.55), &req).unwrap();
+        assert!(inc.remove(55));
+        assert!(!inc.remove(55));
+        // Re-adding starts with a miss.
+        inc.update_and_cloak(55, Point::new(0.55, 0.55), &req).unwrap();
+        assert_eq!(inc.stats().misses, 2);
+    }
+}

@@ -1,0 +1,238 @@
+//! Naive data-dependent cloaking (Fig. 3a).
+//!
+//! "The location anonymizer expands the point location equally in all
+//! [directions] till the user privacy profile is satisfied. Although such
+//! data-dependent location anonymizer may satisfy the user requirements
+//! in terms of k, Amin, and Amax, an adversary can easily deduce the
+//! exact location as being the middle point of the cloaked spatial
+//! region." — Sec. 5.1
+//!
+//! We implement it faithfully — the user sits at the exact center of the
+//! returned square (unless the world boundary clips it) — so the
+//! center-of-region attack in [`crate::attack`] can demonstrate the leak
+//! the paper warns about.
+
+use crate::cloak::{finalize_region, CloakRequirement, CloakedRegion, CloakingAlgorithm};
+use crate::{CloakError, UserId};
+use lbsp_geom::{Point, Rect};
+use lbsp_index::UniformGrid;
+
+/// Center-expansion cloak backed by a uniform grid for counting.
+#[derive(Debug, Clone)]
+pub struct NaiveCloak {
+    grid: UniformGrid,
+}
+
+impl NaiveCloak {
+    /// Creates the cloak over `world`, with a counting grid of
+    /// `grid_side × grid_side` cells.
+    pub fn new(world: Rect, grid_side: u32) -> NaiveCloak {
+        NaiveCloak {
+            grid: UniformGrid::new(world, grid_side, grid_side),
+        }
+    }
+
+    /// The smallest centered square (clipped to the world) around `pos`
+    /// that contains at least `k` users and has area at least `a_min`.
+    fn smallest_satisfying_square(&self, pos: Point, k: u32, a_min: f64) -> Rect {
+        let world = self.grid.world();
+        let h_max = world.width().max(world.height());
+        let satisfied = |h: f64| -> bool {
+            let r = Rect::centered_square(pos, h)
+                .expect("non-negative half side")
+                .clamped_to(&world);
+            r.area() >= a_min && self.grid.count_in_rect(&r) >= k as usize
+        };
+        if satisfied(0.0) {
+            return Rect::from_point(pos);
+        }
+        // Exponential search for an upper bound, then bisection. Both the
+        // population count and the clipped area are monotone in h, so the
+        // predicate is monotone and bisection converges to the tight h.
+        let mut hi = (world.width().min(world.height())) / 64.0;
+        while !satisfied(hi) && hi < h_max {
+            hi *= 2.0;
+        }
+        let mut lo = 0.0f64;
+        let mut hi = hi.min(h_max);
+        if !satisfied(hi) {
+            // Even the whole world fails (k > population or a_min too
+            // big): return the world as best effort.
+            return world;
+        }
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if satisfied(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Rect::centered_square(pos, hi)
+            .expect("non-negative half side")
+            .clamped_to(&world)
+    }
+}
+
+impl CloakingAlgorithm for NaiveCloak {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn world(&self) -> Rect {
+        self.grid.world()
+    }
+
+    fn upsert(&mut self, id: UserId, p: Point) {
+        self.grid.insert(id, p);
+    }
+
+    fn remove(&mut self, id: UserId) -> bool {
+        self.grid.remove(id).is_some()
+    }
+
+    fn location(&self, id: UserId) -> Option<Point> {
+        self.grid.location(id)
+    }
+
+    fn population(&self) -> usize {
+        self.grid.len()
+    }
+
+    fn count_in_region(&self, region: &Rect) -> usize {
+        self.grid.count_in_rect(region)
+    }
+
+    fn cloak(&self, id: UserId, req: &CloakRequirement) -> Result<CloakedRegion, CloakError> {
+        req.validate()?;
+        let pos = self.grid.location(id).ok_or(CloakError::UnknownUser(id))?;
+        if !req.wants_privacy() {
+            let region = Rect::from_point(pos);
+            let k = self.grid.count_in_rect(&region) as u32;
+            return Ok(finalize_region(region, k.max(1), req));
+        }
+        let region = self.smallest_satisfying_square(pos, req.k, req.a_min);
+        let achieved = self.grid.count_in_rect(&region) as u32;
+        Ok(finalize_region(region, achieved, req))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> Rect {
+        Rect::new_unchecked(0.0, 0.0, 1.0, 1.0)
+    }
+
+    fn populated() -> NaiveCloak {
+        let mut c = NaiveCloak::new(world(), 16);
+        // 10x10 regular lattice.
+        for i in 0..100u64 {
+            let x = 0.05 + 0.1 * (i % 10) as f64;
+            let y = 0.05 + 0.1 * (i / 10) as f64;
+            c.upsert(i, Point::new(x, y));
+        }
+        c
+    }
+
+    #[test]
+    fn unknown_user_errors() {
+        let c = NaiveCloak::new(world(), 4);
+        assert_eq!(
+            c.cloak(9, &CloakRequirement::k_only(2)),
+            Err(CloakError::UnknownUser(9))
+        );
+    }
+
+    #[test]
+    fn no_privacy_returns_exact_point() {
+        let c = populated();
+        let r = c.cloak(0, &CloakRequirement::none()).unwrap();
+        assert_eq!(r.region, Rect::from_point(Point::new(0.05, 0.05)));
+        assert!(r.fully_satisfied());
+    }
+
+    #[test]
+    fn k_anonymity_is_achieved_and_user_is_centered() {
+        let c = populated();
+        for k in [2u32, 5, 10, 25] {
+            let r = c.cloak(55, &CloakRequirement::k_only(k)).unwrap();
+            assert!(r.k_satisfied, "k={k}");
+            assert!(r.achieved_k >= k);
+            assert_eq!(
+                c.count_in_region(&r.region) as u32,
+                r.achieved_k,
+                "reported k matches an exact recount"
+            );
+            // The leak: user 55 at (0.55, 0.55) is the region center.
+            let center = r.region.center();
+            assert!(center.dist(Point::new(0.55, 0.55)) < 1e-6, "k={k}");
+        }
+    }
+
+    #[test]
+    fn a_min_is_respected() {
+        let c = populated();
+        let req = CloakRequirement { k: 2, a_min: 0.09, a_max: f64::INFINITY };
+        let r = c.cloak(55, &req).unwrap();
+        assert!(r.area() >= 0.09 - 1e-9);
+        assert!(r.fully_satisfied());
+    }
+
+    #[test]
+    fn contradictory_a_max_yields_best_effort() {
+        let c = populated();
+        // k=50 needs a big square; a_max of 0.01 cannot hold 50 users.
+        let req = CloakRequirement { k: 50, a_min: 0.0, a_max: 0.01 };
+        let r = c.cloak(55, &req).unwrap();
+        assert!(r.k_satisfied, "k has priority (paper requirement 1)");
+        assert!(!r.area_satisfied);
+        assert!(!r.fully_satisfied());
+    }
+
+    #[test]
+    fn k_larger_than_population_returns_world() {
+        let c = populated();
+        let r = c.cloak(0, &CloakRequirement::k_only(1000)).unwrap();
+        assert_eq!(r.region, world());
+        assert!(!r.k_satisfied);
+        assert_eq!(r.achieved_k, 100);
+    }
+
+    #[test]
+    fn region_is_tight() {
+        // The returned square should be close to minimal: shrinking it
+        // slightly should violate the requirement.
+        let c = populated();
+        let req = CloakRequirement::k_only(10);
+        let r = c.cloak(55, &req).unwrap();
+        let shrunk = r.region.shrunk(r.region.width() * 0.02);
+        assert!(
+            c.count_in_region(&shrunk) < 10,
+            "2% smaller square no longer holds k users"
+        );
+    }
+
+    #[test]
+    fn near_border_region_is_clipped_into_world() {
+        let c = populated();
+        // User 0 sits at (0.05, 0.05), close to the corner.
+        let r = c.cloak(0, &CloakRequirement::k_only(20)).unwrap();
+        assert!(world().contains_rect(&r.region));
+        assert!(r.k_satisfied);
+    }
+
+    #[test]
+    fn upsert_and_remove_affect_population() {
+        let mut c = NaiveCloak::new(world(), 4);
+        c.upsert(1, Point::new(0.5, 0.5));
+        assert_eq!(c.population(), 1);
+        assert_eq!(c.location(1), Some(Point::new(0.5, 0.5)));
+        c.upsert(1, Point::new(0.6, 0.6));
+        assert_eq!(c.population(), 1);
+        assert!(c.remove(1));
+        assert!(!c.remove(1));
+        assert_eq!(c.population(), 0);
+    }
+}

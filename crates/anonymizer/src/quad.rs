@@ -1,0 +1,283 @@
+//! Space-dependent quadtree cloaking (Fig. 4a).
+//!
+//! "The location anonymizer starts from the whole space and checks if it
+//! satisfies the mobile user requirements ... [and] will keep
+//! partitioning the space into four quadrants till it encounters a
+//! quadrant that does not satisfy the user requirements. In this case,
+//! the latest quadrant that has satisfied the user requirements is
+//! returned as the spatial cloaked area." — Sec. 5.2
+//!
+//! We run the equivalent bottom-up search over a [`PyramidGrid`] (the
+//! Casper formulation): start at the leaf cell containing the user and
+//! climb until the cell satisfies `(k, A_min)`. Because cell boundaries
+//! are fixed in space, the returned region is a function of *which cell*
+//! the user occupies, never of the exact position inside it — this is
+//! what defeats reverse engineering ("it is almost impossible to reveal
+//! any information about the exact location information").
+//!
+//! An optional *neighbor merge* first tries the union of the cell with
+//! its horizontal or vertical sibling before climbing a full level — the
+//! optimization the follow-up Casper system adopted — which shrinks
+//! cloaks by up to 2× at the same privacy level (measured in E4).
+
+use crate::cloak::{finalize_region, CloakRequirement, CloakedRegion, CloakingAlgorithm};
+use crate::{CloakError, UserId};
+use lbsp_geom::{Point, Rect};
+use lbsp_index::{PyramidCell, PyramidGrid};
+
+/// Bottom-up pyramid (quadtree) cloak.
+#[derive(Debug, Clone)]
+pub struct QuadCloak {
+    pyramid: PyramidGrid,
+    neighbor_merge: bool,
+}
+
+impl QuadCloak {
+    /// Creates the cloak over `world` with a pyramid of `levels + 1`
+    /// levels (bottom grid `2^levels × 2^levels`).
+    pub fn new(world: Rect, levels: u8) -> QuadCloak {
+        QuadCloak {
+            pyramid: PyramidGrid::new(world, levels),
+            neighbor_merge: false,
+        }
+    }
+
+    /// Enables the two-cell neighbor-merge optimization.
+    pub fn with_neighbor_merge(mut self, enabled: bool) -> QuadCloak {
+        self.neighbor_merge = enabled;
+        self
+    }
+
+    /// `true` when neighbor merging is enabled.
+    pub fn neighbor_merge_enabled(&self) -> bool {
+        self.neighbor_merge
+    }
+
+    /// Tries merging `cell` with its sibling along one axis; returns the
+    /// satisfying merged rect with its count when one exists. Only
+    /// siblings within the same parent are considered, so the merged
+    /// region is still a deterministic function of the cell.
+    fn try_neighbor_merge(
+        &self,
+        cell: PyramidCell,
+        req: &CloakRequirement,
+    ) -> Option<(Rect, u32)> {
+        if cell.level == 0 {
+            return None;
+        }
+        // Sibling along x: flip the low bit of ix; same for y.
+        let sib_x = PyramidCell { ix: cell.ix ^ 1, ..cell };
+        let sib_y = PyramidCell { iy: cell.iy ^ 1, ..cell };
+        let mut best: Option<(Rect, u32)> = None;
+        for sib in [sib_x, sib_y] {
+            let count = self.pyramid.count(cell) + self.pyramid.count(sib);
+            let rect = self.pyramid.cell_rect(cell).union(&self.pyramid.cell_rect(sib));
+            if count >= req.k && rect.area() >= req.a_min {
+                match &best {
+                    Some((r, _)) if r.area() <= rect.area() => {}
+                    _ => best = Some((rect, count)),
+                }
+            }
+        }
+        best
+    }
+}
+
+impl CloakingAlgorithm for QuadCloak {
+    fn name(&self) -> &'static str {
+        if self.neighbor_merge {
+            "quad+merge"
+        } else {
+            "quad"
+        }
+    }
+
+    fn world(&self) -> Rect {
+        self.pyramid.world()
+    }
+
+    fn upsert(&mut self, id: UserId, p: Point) {
+        self.pyramid.insert(id, p);
+    }
+
+    fn remove(&mut self, id: UserId) -> bool {
+        self.pyramid.remove(id).is_some()
+    }
+
+    fn location(&self, id: UserId) -> Option<Point> {
+        self.pyramid.location(id)
+    }
+
+    fn population(&self) -> usize {
+        self.pyramid.len()
+    }
+
+    fn count_in_region(&self, region: &Rect) -> usize {
+        self.pyramid.count_in_rect(region)
+    }
+
+    /// The bottom-up climb is a pure function of the leaf cell (and the
+    /// requirement), for both the plain and neighbor-merge variants.
+    fn sharing_key(&self, id: UserId) -> Option<u64> {
+        let p = self.pyramid.location(id)?;
+        let leaf = self.pyramid.leaf_cell_of(p);
+        let side = u64::from(self.pyramid.side(leaf.level));
+        Some(u64::from(leaf.iy) * side + u64::from(leaf.ix))
+    }
+
+    fn cloak(&self, id: UserId, req: &CloakRequirement) -> Result<CloakedRegion, CloakError> {
+        req.validate()?;
+        let pos = self
+            .pyramid
+            .location(id)
+            .ok_or(CloakError::UnknownUser(id))?;
+        if !req.wants_privacy() {
+            let region = Rect::from_point(pos);
+            let k = self.pyramid.count_in_rect(&region) as u32;
+            return Ok(finalize_region(region, k.max(1), req));
+        }
+        // Climb from the leaf cell toward the root.
+        let mut cell = self.pyramid.leaf_cell_of(pos);
+        loop {
+            let count = self.pyramid.count(cell);
+            let rect = self.pyramid.cell_rect(cell);
+            if count >= req.k && rect.area() >= req.a_min {
+                return Ok(finalize_region(rect, count, req));
+            }
+            if self.neighbor_merge {
+                if let Some((rect, count)) = self.try_neighbor_merge(cell, req) {
+                    return Ok(finalize_region(rect, count, req));
+                }
+            }
+            if cell.level == 0 {
+                // Even the whole world fails: best effort.
+                return Ok(finalize_region(rect, count, req));
+            }
+            cell = cell.parent();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> Rect {
+        Rect::new_unchecked(0.0, 0.0, 1.0, 1.0)
+    }
+
+    fn populated(levels: u8) -> QuadCloak {
+        let mut c = QuadCloak::new(world(), levels);
+        for i in 0..100u64 {
+            let x = 0.05 + 0.1 * (i % 10) as f64;
+            let y = 0.05 + 0.1 * (i / 10) as f64;
+            c.upsert(i, Point::new(x, y));
+        }
+        c
+    }
+
+    #[test]
+    fn satisfies_k_with_cell_aligned_region() {
+        let c = populated(5);
+        for k in [2u32, 10, 50] {
+            let r = c.cloak(55, &CloakRequirement::k_only(k)).unwrap();
+            assert!(r.k_satisfied, "k={k}");
+            assert!(r.achieved_k >= k);
+            // Cell-aligned: width is world/2^l for some level l.
+            let w = r.region.width();
+            let level = (1.0 / w).log2();
+            assert!(
+                (level - level.round()).abs() < 1e-9,
+                "width {w} is a power-of-two fraction"
+            );
+            assert!(r.region.contains_point(Point::new(0.55, 0.55)));
+        }
+    }
+
+    #[test]
+    fn region_is_position_independent_within_cell() {
+        // Two users in the same leaf cell with the same requirement must
+        // receive the identical region — the no-reverse-engineering
+        // property.
+        let mut c = QuadCloak::new(world(), 3); // leaf cells are 1/8 wide
+        c.upsert(1, Point::new(0.51, 0.51));
+        c.upsert(2, Point::new(0.56, 0.56)); // same 1/8-cell as user 1
+        for i in 3..30u64 {
+            c.upsert(i, Point::new(0.9, 0.9));
+        }
+        let req = CloakRequirement::k_only(2);
+        let r1 = c.cloak(1, &req).unwrap();
+        let r2 = c.cloak(2, &req).unwrap();
+        assert_eq!(r1.region, r2.region);
+    }
+
+    #[test]
+    fn a_min_forces_larger_cells() {
+        let c = populated(5);
+        let req = CloakRequirement { k: 2, a_min: 0.2, a_max: f64::INFINITY };
+        let r = c.cloak(55, &req).unwrap();
+        assert!(r.area() >= 0.2);
+        assert!(r.fully_satisfied());
+    }
+
+    #[test]
+    fn impossible_k_returns_best_effort_root() {
+        let c = populated(4);
+        let r = c.cloak(0, &CloakRequirement::k_only(1000)).unwrap();
+        assert!(!r.k_satisfied);
+        assert_eq!(r.region, world());
+        assert_eq!(r.achieved_k, 100);
+    }
+
+    #[test]
+    fn neighbor_merge_never_larger_than_plain() {
+        let plain = populated(5);
+        let merged = populated(5).with_neighbor_merge(true);
+        for id in [0u64, 33, 55, 99] {
+            for k in [2u32, 5, 20, 60] {
+                let req = CloakRequirement::k_only(k);
+                let a = plain.cloak(id, &req).unwrap();
+                let b = merged.cloak(id, &req).unwrap();
+                assert!(b.k_satisfied == a.k_satisfied);
+                assert!(
+                    b.area() <= a.area() + 1e-12,
+                    "id={id} k={k}: merge {} vs plain {}",
+                    b.area(),
+                    a.area()
+                );
+                assert!(b.achieved_k >= k.min(a.achieved_k));
+            }
+        }
+    }
+
+    #[test]
+    fn merge_regions_still_contain_subject() {
+        let c = populated(5).with_neighbor_merge(true);
+        for id in 0..100u64 {
+            let pos = c.location(id).unwrap();
+            let r = c.cloak(id, &CloakRequirement::k_only(7)).unwrap();
+            assert!(r.region.contains_point(pos), "id {id}");
+            assert!(r.k_satisfied);
+        }
+    }
+
+    #[test]
+    fn no_privacy_short_circuit_and_unknown_user() {
+        let c = populated(4);
+        let r = c.cloak(1, &CloakRequirement::none()).unwrap();
+        assert_eq!(r.area(), 0.0);
+        assert!(matches!(
+            c.cloak(555, &CloakRequirement::k_only(5)),
+            Err(CloakError::UnknownUser(555))
+        ));
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        assert_eq!(QuadCloak::new(world(), 3).name(), "quad");
+        assert_eq!(
+            QuadCloak::new(world(), 3).with_neighbor_merge(true).name(),
+            "quad+merge"
+        );
+    }
+}

@@ -1,0 +1,275 @@
+//! Temporal cloaking — the baseline from the paper's related work.
+//!
+//! The paper classifies prior location perturbation as "spatio-temporal
+//! cloaking [17, 18]" (Sec. 2.1); Gruteser & Grunwald's MobiSys 2003
+//! system trades *time* for space: when the spatial region that would
+//! satisfy k is too large (bad QoS), the anonymizer may instead *delay*
+//! the update until enough users have passed through a smaller region.
+//!
+//! [`TemporalCloak`] wraps any spatial [`CloakingAlgorithm`] with that
+//! policy: an update whose spatial cloak would exceed `max_area` is
+//! buffered; on each later tick the buffered request is retried, and it
+//! is released either when the spatial cloak fits (the crowd arrived) or
+//! when `max_delay` expires (best effort, large region). The release
+//! delay is the temporal dimension of the cloak — a QoS cost the E-series
+//! experiments can measure alongside area.
+
+use crate::cloak::{CloakRequirement, CloakedRegion, CloakingAlgorithm};
+use crate::{CloakError, UserId};
+use lbsp_geom::{Point, SimTime};
+use std::collections::HashMap;
+
+/// A cloaked update released by the temporal cloak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayedRelease {
+    /// The user the release belongs to.
+    pub user: UserId,
+    /// The spatial region finally reported.
+    pub region: CloakedRegion,
+    /// When the original update was submitted.
+    pub submitted: SimTime,
+    /// When it was released to the server.
+    pub released: SimTime,
+}
+
+impl DelayedRelease {
+    /// The temporal extent of the cloak, in seconds.
+    pub fn delay(&self) -> f64 {
+        self.released - self.submitted
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    position: Point,
+    requirement: CloakRequirement,
+    submitted: SimTime,
+}
+
+/// Temporal cloaking policy over a spatial cloaking algorithm.
+#[derive(Debug)]
+pub struct TemporalCloak<A> {
+    inner: A,
+    /// Updates whose spatial cloak is still too large.
+    pending: HashMap<UserId, Pending>,
+    /// Release threshold: regions at most this large go out immediately.
+    max_area: f64,
+    /// Give-up horizon: after this many seconds the update is released
+    /// with whatever region is achievable.
+    max_delay: f64,
+}
+
+impl<A: CloakingAlgorithm> TemporalCloak<A> {
+    /// Wraps `inner`; updates are buffered while their cloak area
+    /// exceeds `max_area`, for at most `max_delay` seconds.
+    ///
+    /// # Panics
+    /// Panics when `max_area` is negative or `max_delay` is negative —
+    /// both would make the policy vacuous in a confusing way.
+    pub fn new(inner: A, max_area: f64, max_delay: f64) -> TemporalCloak<A> {
+        assert!(max_area >= 0.0, "max_area must be non-negative");
+        assert!(max_delay >= 0.0, "max_delay must be non-negative");
+        TemporalCloak {
+            inner,
+            pending: HashMap::new(),
+            max_area,
+            max_delay,
+        }
+    }
+
+    /// The wrapped spatial algorithm.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped algorithm (population maintenance).
+    pub fn inner_mut(&mut self) -> &mut A {
+        &mut self.inner
+    }
+
+    /// Number of updates currently buffered.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Submits an update. Returns `Some(release)` when the spatial
+    /// cloak already fits `max_area` (no delay); otherwise the update is
+    /// buffered and `None` is returned.
+    pub fn submit(
+        &mut self,
+        user: UserId,
+        position: Point,
+        requirement: CloakRequirement,
+        now: SimTime,
+    ) -> Result<Option<DelayedRelease>, CloakError> {
+        requirement.validate()?;
+        self.inner.upsert(user, position);
+        let region = self.inner.cloak(user, &requirement)?;
+        if region.k_satisfied && region.area() <= self.max_area {
+            self.pending.remove(&user);
+            return Ok(Some(DelayedRelease {
+                user,
+                region,
+                submitted: now,
+                released: now,
+            }));
+        }
+        self.pending.insert(
+            user,
+            Pending {
+                position,
+                requirement,
+                submitted: now,
+            },
+        );
+        Ok(None)
+    }
+
+    /// Retries every buffered update at time `now`, returning the ones
+    /// that release (either because the crowd arrived and the cloak now
+    /// fits, or because `max_delay` expired).
+    pub fn tick(&mut self, now: SimTime) -> Vec<DelayedRelease> {
+        let mut released = Vec::new();
+        let mut done: Vec<UserId> = Vec::new();
+        for (&user, p) in &self.pending {
+            let region = match self.inner.cloak(user, &p.requirement) {
+                Ok(r) => r,
+                Err(_) => continue, // user vanished; drop below
+            };
+            let expired = (now - p.submitted) >= self.max_delay;
+            let fits = region.k_satisfied && region.area() <= self.max_area;
+            if fits || expired {
+                released.push(DelayedRelease {
+                    user,
+                    region,
+                    submitted: p.submitted,
+                    released: now,
+                });
+                done.push(user);
+            }
+            // Keep the buffered position fresh in the index (the user is
+            // not moving while waiting in this model).
+            let _ = p.position;
+        }
+        for user in done {
+            self.pending.remove(&user);
+        }
+        released.sort_by_key(|r| r.user);
+        released
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QuadCloak;
+    use lbsp_geom::Rect;
+
+    fn world() -> Rect {
+        Rect::new_unchecked(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn small_cloaks_release_immediately() {
+        let mut quad = QuadCloak::new(world(), 5);
+        for i in 0..20u64 {
+            quad.upsert(i, Point::new(0.51 + 0.001 * i as f64, 0.51));
+        }
+        let mut tc = TemporalCloak::new(quad, 0.1, 60.0);
+        let out = tc
+            .submit(0, Point::new(0.51, 0.51), CloakRequirement::k_only(10), SimTime::ZERO)
+            .unwrap();
+        let rel = out.expect("dense area: immediate release");
+        assert_eq!(rel.delay(), 0.0);
+        assert!(rel.region.k_satisfied);
+        assert!(rel.region.area() <= 0.1);
+        assert_eq!(tc.pending(), 0);
+    }
+
+    #[test]
+    fn sparse_area_buffers_until_crowd_arrives() {
+        let quad = QuadCloak::new(world(), 5);
+        let mut tc = TemporalCloak::new(quad, 0.1, 600.0);
+        // A lone user: the k=5 cloak would be the whole world.
+        let out = tc
+            .submit(0, Point::new(0.2, 0.2), CloakRequirement::k_only(5), SimTime::ZERO)
+            .unwrap();
+        assert!(out.is_none());
+        assert_eq!(tc.pending(), 1);
+        // Nothing yet at t = 10.
+        assert!(tc.tick(SimTime::from_secs(10.0)).is_empty());
+        // Four more users arrive nearby.
+        for i in 1..5u64 {
+            tc.inner_mut().upsert(i, Point::new(0.21, 0.21));
+        }
+        let released = tc.tick(SimTime::from_secs(20.0));
+        assert_eq!(released.len(), 1);
+        let rel = released[0];
+        assert_eq!(rel.user, 0);
+        assert!(rel.region.k_satisfied);
+        assert!(rel.region.area() <= 0.1);
+        assert_eq!(rel.delay(), 20.0);
+        assert_eq!(tc.pending(), 0);
+    }
+
+    #[test]
+    fn deadline_forces_best_effort_release() {
+        let quad = QuadCloak::new(world(), 5);
+        let mut tc = TemporalCloak::new(quad, 0.01, 30.0);
+        tc.submit(0, Point::new(0.5, 0.5), CloakRequirement::k_only(50), SimTime::ZERO)
+            .unwrap();
+        // Deadline not reached: still pending.
+        assert!(tc.tick(SimTime::from_secs(29.0)).is_empty());
+        // Deadline reached: released with a too-large / unsatisfied region.
+        let released = tc.tick(SimTime::from_secs(30.0));
+        assert_eq!(released.len(), 1);
+        assert!(released[0].delay() >= 30.0);
+        assert!(!released[0].region.k_satisfied || released[0].region.area() > 0.01);
+    }
+
+    #[test]
+    fn resubmission_replaces_pending() {
+        let quad = QuadCloak::new(world(), 5);
+        let mut tc = TemporalCloak::new(quad, 0.0001, 600.0);
+        tc.submit(0, Point::new(0.2, 0.2), CloakRequirement::k_only(5), SimTime::ZERO)
+            .unwrap();
+        tc.submit(0, Point::new(0.8, 0.8), CloakRequirement::k_only(5), SimTime::from_secs(5.0))
+            .unwrap();
+        assert_eq!(tc.pending(), 1, "one pending entry per user");
+    }
+
+    #[test]
+    fn delay_vs_area_tradeoff_shape() {
+        // Tighter max_area => longer delays, never shorter. This is the
+        // temporal/spatial resolution trade-off of the MobiSys paper.
+        let mut delays = Vec::new();
+        for max_area in [0.5f64, 0.05, 0.005] {
+            let quad = QuadCloak::new(world(), 6);
+            let mut tc = TemporalCloak::new(quad, max_area, 1e9);
+            tc.submit(0, Point::new(0.5, 0.5), CloakRequirement::k_only(8), SimTime::ZERO)
+                .unwrap();
+            // One user arrives near the subject every 10 simulated seconds.
+            let mut release_time = f64::INFINITY;
+            for step in 1..=20u64 {
+                tc.inner_mut()
+                    .upsert(step, Point::new(0.5 + 0.002 * step as f64, 0.5));
+                let now = SimTime::from_secs(10.0 * step as f64);
+                if let Some(rel) = tc.tick(now).first() {
+                    release_time = rel.delay();
+                    break;
+                }
+            }
+            delays.push(release_time);
+        }
+        assert!(
+            delays[0] <= delays[1] && delays[1] <= delays[2],
+            "tighter area bounds mean waiting longer: {delays:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "max_area must be non-negative")]
+    fn negative_area_panics() {
+        TemporalCloak::new(QuadCloak::new(world(), 3), -1.0, 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! E10 (Secs. 1 & 5): cloaking latency vs population size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbsp_anonymizer::{CloakRequirement, CloakingAlgorithm, GridCloak, QuadCloak};
+use lbsp_bench::{load, uniform_positions, world};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_scalability");
+    group.sample_size(30);
+    let req = CloakRequirement::k_only(50);
+    for n in [10_000usize, 100_000] {
+        let positions = uniform_positions(n, 41);
+        let mut quad = QuadCloak::new(world(), 8);
+        load(&mut quad, &positions);
+        let mut grid = GridCloak::new(world(), 64);
+        load(&mut grid, &positions);
+        let mut id = 0u64;
+        group.bench_function(format!("quad/{n}"), |b| {
+            b.iter(|| {
+                id = (id + 7919) % n as u64;
+                quad.cloak(id, &req).unwrap()
+            })
+        });
+        let mut id = 0u64;
+        group.bench_function(format!("grid/{n}"), |b| {
+            b.iter(|| {
+                id = (id + 7919) % n as u64;
+                grid.cloak(id, &req).unwrap()
+            })
+        });
+        // Index maintenance: the per-update insert cost.
+        let mut id = 0u64;
+        group.bench_function(format!("quad_upsert/{n}"), |b| {
+            b.iter(|| {
+                id = (id + 7919) % n as u64;
+                quad.upsert(id, positions[id as usize]);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E1 (Fig. 1): end-to-end pipeline latency — one location update
+//! through anonymizer -> server -> continuous queries.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lbsp_anonymizer::{CloakRequirement, PrivacyProfile, QuadCloak};
+use lbsp_bench::{standard_positions, world};
+use lbsp_core::{MobileUser, PrivacyAwareSystem};
+use lbsp_geom::{Rect, SimTime};
+
+fn build_system(n: usize) -> PrivacyAwareSystem<QuadCloak> {
+    let mut sys = PrivacyAwareSystem::new(QuadCloak::new(world(), 8), 1, Vec::new());
+    let profile = PrivacyProfile::uniform(CloakRequirement::k_only(25)).unwrap();
+    for (i, p) in standard_positions(n, 7).iter().enumerate() {
+        sys.register_user(MobileUser::active(i as u64, profile.clone()));
+        sys.process_update(i as u64, *p, SimTime::ZERO).unwrap();
+    }
+    sys
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_pipeline");
+    group.sample_size(20);
+    for n in [10_000usize, 50_000] {
+        let mut sys = build_system(n);
+        sys.add_standing_count(Rect::new_unchecked(0.2, 0.2, 0.4, 0.4));
+        let positions = standard_positions(n, 8);
+        let mut i = 0usize;
+        group.bench_function(format!("process_update/{n}_users"), |b| {
+            b.iter_batched(
+                || {
+                    i = (i + 1) % n;
+                    (i as u64, positions[i])
+                },
+                |(id, p)| sys.process_update(id, p, SimTime::from_secs(60.0)).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

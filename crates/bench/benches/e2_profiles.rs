@@ -1,0 +1,37 @@
+//! E2 (Fig. 2): cloaking cost under each entry of the paper's example
+//! temporal privacy profile.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbsp_anonymizer::{CloakingAlgorithm, PrivacyProfile, QuadCloak};
+use lbsp_bench::{load, standard_positions, world};
+use lbsp_geom::SimTime;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_profiles");
+    let positions = standard_positions(20_000, 7);
+    let mut quad = QuadCloak::new(world(), 8);
+    load(&mut quad, &positions);
+    let profile = PrivacyProfile::paper_example();
+    // Noon (k=1), 7 PM (k=100), 2 AM (k=1000).
+    for (label, hour) in [("day_k1", 12.0), ("evening_k100", 19.0), ("night_k1000", 2.0)] {
+        let req = profile.requirement_at(SimTime::from_hours(hour).time_of_day());
+        let mut id = 0u64;
+        group.bench_function(format!("cloak/{label}"), |b| {
+            b.iter(|| {
+                id = (id + 1) % 20_000;
+                quad.cloak(id, &req).unwrap()
+            })
+        });
+    }
+    group.bench_function("profile_resolution", |b| {
+        let mut h = 0u32;
+        b.iter(|| {
+            h = (h + 1) % 24;
+            profile.requirement_at(SimTime::from_hours(h as f64).time_of_day())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

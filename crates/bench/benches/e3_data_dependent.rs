@@ -1,0 +1,35 @@
+//! E3 (Fig. 3): cloaking cost of the data-dependent algorithms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbsp_anonymizer::{CloakRequirement, CloakingAlgorithm, MbrCloak, NaiveCloak};
+use lbsp_bench::{load, standard_positions, world};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_data_dependent");
+    let positions = standard_positions(20_000, 11);
+    let mut naive = NaiveCloak::new(world(), 64);
+    let mut mbr = MbrCloak::new(world(), 64);
+    load(&mut naive, &positions);
+    load(&mut mbr, &positions);
+    for k in [10u32, 100] {
+        let req = CloakRequirement::k_only(k);
+        let mut id = 0u64;
+        group.bench_function(format!("naive/k{k}"), |b| {
+            b.iter(|| {
+                id = (id + 1) % 20_000;
+                naive.cloak(id, &req).unwrap()
+            })
+        });
+        let mut id = 0u64;
+        group.bench_function(format!("mbr/k{k}"), |b| {
+            b.iter(|| {
+                id = (id + 1) % 20_000;
+                mbr.cloak(id, &req).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E4 (Fig. 4): cloaking cost of the space-dependent algorithms and
+//! their optimized variants (ablation: merge / multi-level refinement).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbsp_anonymizer::{CloakRequirement, CloakingAlgorithm, GridCloak, HilbertCloak, QuadCloak};
+use lbsp_bench::{load, standard_positions, world};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_space_dependent");
+    let positions = standard_positions(20_000, 11);
+    let mut algos: Vec<Box<dyn CloakingAlgorithm>> = vec![
+        Box::new(QuadCloak::new(world(), 8)),
+        Box::new(QuadCloak::new(world(), 8).with_neighbor_merge(true)),
+        Box::new(GridCloak::new(world(), 64)),
+        Box::new(GridCloak::new(world(), 64).with_refinement(true)),
+        Box::new(HilbertCloak::new(world(), 64)),
+    ];
+    for a in &mut algos {
+        load(a.as_mut(), &positions);
+    }
+    for k in [10u32, 100] {
+        let req = CloakRequirement::k_only(k);
+        for a in &algos {
+            let mut id = 0u64;
+            group.bench_function(format!("{}/k{k}", a.name()), |b| {
+                b.iter(|| {
+                    id = (id + 1) % 20_000;
+                    a.cloak(id, &req).unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

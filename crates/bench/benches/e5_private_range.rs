@@ -1,0 +1,34 @@
+//! E5 (Fig. 5a): private range query cost over cloaked regions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbsp_anonymizer::{CloakRequirement, CloakingAlgorithm, QuadCloak};
+use lbsp_bench::{load, poi_store, standard_positions, world};
+use lbsp_server::private_range_candidates;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_private_range");
+    let positions = standard_positions(20_000, 13);
+    let store = poi_store(10_000, 17);
+    let mut quad = QuadCloak::new(world(), 8);
+    load(&mut quad, &positions);
+    for k in [10u32, 100] {
+        for radius in [0.02f64, 0.1] {
+            let req = CloakRequirement::k_only(k);
+            // Pre-compute cloaks so only the query is timed.
+            let cloaks: Vec<_> = (0..1000u64)
+                .map(|id| quad.cloak(id * 20, &req).unwrap().region)
+                .collect();
+            let mut i = 0usize;
+            group.bench_function(format!("range/k{k}_r{radius}"), |b| {
+                b.iter(|| {
+                    i = (i + 1) % cloaks.len();
+                    private_range_candidates(&store, &cloaks[i], radius)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E6 (Fig. 5b): private NN candidate computation over cloaked regions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbsp_anonymizer::{CloakRequirement, CloakingAlgorithm, QuadCloak};
+use lbsp_bench::{load, poi_store, standard_positions, world};
+use lbsp_server::private_nn_candidates;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_private_nn");
+    let positions = standard_positions(20_000, 13);
+    let store = poi_store(10_000, 17);
+    let mut quad = QuadCloak::new(world(), 8);
+    load(&mut quad, &positions);
+    for k in [1u32, 10, 100] {
+        let req = CloakRequirement::k_only(k);
+        let cloaks: Vec<_> = (0..1000u64)
+            .map(|id| quad.cloak(id * 20, &req).unwrap().region)
+            .collect();
+        let mut i = 0usize;
+        group.bench_function(format!("nn_candidates/k{k}"), |b| {
+            b.iter(|| {
+                i = (i + 1) % cloaks.len();
+                private_nn_candidates(&store, &cloaks[i])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E7 (Fig. 6a): probabilistic count evaluation and the exact
+//! Poisson-binomial PDF computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbsp_anonymizer::{CloakRequirement, CloakingAlgorithm, QuadCloak};
+use lbsp_bench::{load, standard_positions, world};
+use lbsp_geom::Rect;
+use lbsp_server::{PoissonBinomial, PrivateRecord, PrivateStore, PublicCountQuery};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_public_count");
+    let positions = standard_positions(10_000, 23);
+    let mut quad = QuadCloak::new(world(), 8);
+    load(&mut quad, &positions);
+    for k in [10u32, 100] {
+        let req = CloakRequirement::k_only(k);
+        let mut store = PrivateStore::new();
+        for i in 0..positions.len() {
+            let cl = quad.cloak(i as u64, &req).unwrap();
+            store.upsert(PrivateRecord::new(i as u64, cl.region));
+        }
+        let mut t = 0usize;
+        group.bench_function(format!("count_query/k{k}"), |b| {
+            b.iter(|| {
+                t = (t + 1) % 100;
+                let fx = (t % 10) as f64 / 12.5;
+                let fy = (t / 10) as f64 / 12.5;
+                PublicCountQuery::new(Rect::new_unchecked(fx, fy, fx + 0.2, fy + 0.2))
+                    .evaluate(&store)
+            })
+        });
+    }
+    for n in [100usize, 1000] {
+        let probs: Vec<f64> = (0..n).map(|i| (i % 100) as f64 / 100.0).collect();
+        group.bench_function(format!("poisson_binomial/n{n}"), |b| {
+            b.iter(|| PoissonBinomial::new(&probs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E8 (Fig. 6b): probabilistic public NN — pruning and Monte-Carlo
+//! probability estimation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbsp_anonymizer::{CloakRequirement, CloakingAlgorithm, QuadCloak};
+use lbsp_bench::{load, standard_positions, world};
+use lbsp_geom::Point;
+use lbsp_server::{PrivateRecord, PrivateStore, PublicNnQuery};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_public_nn");
+    group.sample_size(30);
+    let positions = standard_positions(5_000, 29);
+    let mut quad = QuadCloak::new(world(), 8);
+    load(&mut quad, &positions);
+    let req = CloakRequirement::k_only(25);
+    let mut store = PrivateStore::new();
+    for i in 0..positions.len() {
+        let cl = quad.cloak(i as u64, &req).unwrap();
+        store.upsert(PrivateRecord::new(i as u64, cl.region));
+    }
+    let mut t = 0usize;
+    group.bench_function("prune_only", |b| {
+        b.iter(|| {
+            t = (t + 1) % 360;
+            let a = (t as f64).to_radians();
+            let from = Point::new(0.5 + 0.3 * a.cos(), 0.5 + 0.3 * a.sin());
+            PublicNnQuery::new(from).candidate_records(&store)
+        })
+    });
+    for samples in [256u32, 4096] {
+        let mut t = 0usize;
+        group.bench_function(format!("evaluate/{samples}_samples"), |b| {
+            b.iter(|| {
+                t = (t + 1) % 360;
+                let a = (t as f64).to_radians();
+                let from = Point::new(0.5 + 0.3 * a.cos(), 0.5 + 0.3 * a.sin());
+                PublicNnQuery::new(from)
+                    .with_samples(samples)
+                    .evaluate(&store)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

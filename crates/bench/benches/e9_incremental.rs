@@ -1,0 +1,65 @@
+//! E9 (Sec. 5.3): incremental cloaking cache paths and shared batch
+//! execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbsp_anonymizer::{
+    CloakRequest, CloakRequirement, CloakingAlgorithm, GridCloak, IncrementalCloaker, NaiveCloak,
+    SharedExecutor,
+};
+use lbsp_bench::{load, standard_positions, world};
+use lbsp_geom::Point;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_incremental");
+    group.sample_size(30);
+    let positions = standard_positions(10_000, 31);
+    let req = CloakRequirement::k_only(25);
+
+    // Cache-hit path: user oscillates inside its cloak.
+    let mut naive = NaiveCloak::new(world(), 64);
+    load(&mut naive, &positions);
+    let mut inc = IncrementalCloaker::new(naive, u32::MAX);
+    inc.update_and_cloak(0, positions[0], &req).unwrap();
+    let p = positions[0];
+    let mut flip = false;
+    group.bench_function("naive/cache_hit", |b| {
+        b.iter(|| {
+            flip = !flip;
+            let q = Point::new(p.x + if flip { 1e-6 } else { -1e-6 }, p.y);
+            inc.update_and_cloak(0, q, &req).unwrap()
+        })
+    });
+
+    // Miss path (max_age 0 forces recompute every time).
+    let mut naive2 = NaiveCloak::new(world(), 64);
+    load(&mut naive2, &positions);
+    let mut inc2 = IncrementalCloaker::new(naive2, 0);
+    group.bench_function("naive/cache_miss", |b| {
+        b.iter(|| inc2.update_and_cloak(0, p, &req).unwrap())
+    });
+
+    // Shared batch over the grid cloak.
+    let mut grid = GridCloak::new(world(), 64);
+    load(&mut grid, &positions);
+    let requests: Vec<CloakRequest> = (0..10_000u64)
+        .map(|user| CloakRequest { user, requirement: req })
+        .collect();
+    let cell = |p: Point| ((p.x * 64.0) as u32, (p.y * 64.0) as u32);
+    group.bench_function("shared_batch/10k", |b| {
+        b.iter(|| {
+            SharedExecutor::cloak_batch(&grid, &requests, |id| grid.location(id).map(cell))
+        })
+    });
+    group.bench_function("individual_batch/10k", |b| {
+        b.iter(|| {
+            requests
+                .iter()
+                .map(|r| grid.cloak(r.user, &r.requirement))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

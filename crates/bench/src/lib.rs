@@ -1,0 +1,119 @@
+//! Shared harness for the experiment suite.
+//!
+//! Every experiment (E1–E10, one per figure/section of the paper — see
+//! DESIGN.md) builds its workload through these helpers so the `repro`
+//! binary and the criterion benches measure exactly the same setups.
+
+#![warn(missing_docs)]
+
+use lbsp_anonymizer::{CloakingAlgorithm, GridCloak, HilbertCloak, MbrCloak, NaiveCloak, QuadCloak};
+use lbsp_geom::{Point, Rect};
+use lbsp_mobility::{PoiCategory, PoiSet, Population, SpatialDistribution};
+use lbsp_server::{PublicObject, PublicStore};
+
+/// The standard unit world.
+pub fn world() -> Rect {
+    Rect::new_unchecked(0.0, 0.0, 1.0, 1.0)
+}
+
+/// The standard clustered population used across experiments.
+pub fn standard_positions(n: usize, seed: u64) -> Vec<Point> {
+    let w = world();
+    let dist = SpatialDistribution::three_cities(&w);
+    Population::generate(w, n, &dist, 0.0, 0.01, seed).positions()
+}
+
+/// A uniform population (the paper's sparse/"rural" case).
+pub fn uniform_positions(n: usize, seed: u64) -> Vec<Point> {
+    let w = world();
+    Population::generate(w, n, &SpatialDistribution::Uniform, 0.0, 0.01, seed).positions()
+}
+
+/// Builds all four cloaking algorithms (plus the two optimized
+/// variants), each loaded with `positions`.
+pub fn all_cloaks(positions: &[Point]) -> Vec<Box<dyn CloakingAlgorithm>> {
+    let w = world();
+    let mut algos: Vec<Box<dyn CloakingAlgorithm>> = vec![
+        Box::new(NaiveCloak::new(w, 64)),
+        Box::new(MbrCloak::new(w, 64)),
+        Box::new(QuadCloak::new(w, 8)),
+        Box::new(QuadCloak::new(w, 8).with_neighbor_merge(true)),
+        Box::new(GridCloak::new(w, 64)),
+        Box::new(GridCloak::new(w, 64).with_refinement(true)),
+        Box::new(HilbertCloak::new(w, 64)),
+    ];
+    for a in &mut algos {
+        load(a.as_mut(), positions);
+    }
+    algos
+}
+
+/// Loads positions into one algorithm (ids are dense `0..n`).
+pub fn load(algo: &mut dyn CloakingAlgorithm, positions: &[Point]) {
+    for (i, p) in positions.iter().enumerate() {
+        algo.upsert(i as u64, *p);
+    }
+}
+
+/// A standard POI store of `n` gas stations.
+pub fn poi_store(n: usize, seed: u64) -> PublicStore {
+    let set = PoiSet::generate_category(
+        world(),
+        n,
+        PoiCategory::GasStation,
+        &SpatialDistribution::Uniform,
+        seed,
+    );
+    PublicStore::bulk_load(
+        set.pois()
+            .iter()
+            .map(|p| PublicObject::new(p.id, p.pos, 0))
+            .collect(),
+    )
+}
+
+/// Evenly spaced sample of user ids for measurement loops.
+pub fn sample_ids(n_users: usize, n_samples: usize) -> Vec<u64> {
+    let step = (n_users / n_samples.max(1)).max(1);
+    (0..n_users as u64).step_by(step).take(n_samples).collect()
+}
+
+/// Prints a table row with `|`-separated cells (repro binary output).
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a table header and its separator line.
+pub fn header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!(
+        "|{}|",
+        cells
+            .iter()
+            .map(|c| "-".repeat(c.len() + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsp_anonymizer::CloakRequirement;
+
+    #[test]
+    fn harness_builders_work() {
+        let pos = standard_positions(500, 1);
+        assert_eq!(pos.len(), 500);
+        let algos = all_cloaks(&pos);
+        assert_eq!(algos.len(), 7);
+        for a in &algos {
+            assert_eq!(a.population(), 500);
+            let c = a.cloak(0, &CloakRequirement::k_only(5)).unwrap();
+            assert!(c.k_satisfied, "{}", a.name());
+        }
+        let store = poi_store(100, 2);
+        assert_eq!(store.len(), 100);
+        assert_eq!(sample_ids(1000, 10).len(), 10);
+    }
+}

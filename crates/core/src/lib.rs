@@ -1,0 +1,42 @@
+//! The full privacy-aware LBS architecture (Fig. 1 of the paper).
+//!
+//! Three entities, wired together exactly as the paper draws them:
+//!
+//! ```text
+//!  mobile users ──(exact locations, privacy profiles)──▶ Location Anonymizer
+//!                                                            │
+//!                                             (cloaked regions, pseudonyms)
+//!                                                            ▼
+//!  untrusted third parties ──(public queries)──▶ privacy-aware DB server
+//!  mobile users ◀──(candidate answers)────────────────────────┘
+//! ```
+//!
+//! * [`MobileUser`] — a device-side identity: mode (passive / active),
+//!   privacy profile, and the *client-side refinement* step that turns a
+//!   candidate list into an exact answer locally.
+//! * [`PrivacyAwareSystem`] — the end-to-end pipeline: anonymizer +
+//!   public/private stores + query processors + continuous queries.
+//! * [`wire`] — the compact binary encoding used on the two hops
+//!   (user → anonymizer and anonymizer → server), which doubles as an
+//!   executable proof of what information crosses each trust boundary.
+//! * [`metrics`] — QoS/performance instrumentation used by every
+//!   experiment (cloak areas, candidate-set sizes, latencies).
+//! * [`SimulationEngine`] — drives a synthetic population through the
+//!   system over simulated time, applying temporal profiles.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+mod sim;
+mod standing;
+mod system;
+mod user;
+pub mod wire;
+
+pub use sim::{SimulationConfig, SimulationEngine, TickReport};
+pub use standing::{StandingPrivateRanges, StandingQueryId};
+pub use system::{NnQueryOutcome, PrivacyAwareSystem, RangeQueryOutcome};
+pub use user::{MobileUser, UserMode};
+
+/// Identifier for a mobile user (mirrors `lbsp_mobility::UserId`).
+pub type UserId = u64;

@@ -1,0 +1,183 @@
+//! QoS and performance instrumentation.
+//!
+//! The paper frames the whole design as a *trade-off*: "users would have
+//! the ability to tune a set of parameters to achieve a personal
+//! trade-off between the amount of information they would like to reveal
+//! about their locations and the quality of service". These recorders
+//! quantify both sides: privacy (cloaked area, achieved k) and QoS
+//! (candidate-set sizes — which the user pays for in transmission and
+//! local computation — plus processing latencies).
+
+use std::time::Duration;
+
+/// A streaming recorder of scalar samples with summary statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    samples: Vec<f64>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        if v.is_finite() {
+            self.samples.push(v);
+        }
+    }
+
+    /// Records a duration in microseconds.
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(d.as_secs_f64() * 1e6);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Summary of everything recorded so far.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.samples)
+    }
+
+    /// Clears all samples.
+    pub fn reset(&mut self) {
+        self.samples.clear();
+    }
+}
+
+/// Descriptive statistics of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Minimum (0 when empty).
+    pub min: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a slice.
+    pub fn of(samples: &[f64]) -> Summary {
+        if samples.is_empty() {
+            return Summary::default();
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let n = sorted.len();
+        let pct = |q: f64| -> f64 {
+            let idx = ((n as f64 - 1.0) * q).round() as usize;
+            sorted[idx.min(n - 1)]
+        };
+        Summary {
+            count: n,
+            mean: sorted.iter().sum::<f64>() / n as f64,
+            min: sorted[0],
+            p50: pct(0.50),
+            p95: pct(0.95),
+            max: sorted[n - 1],
+        }
+    }
+}
+
+/// The standard metric set every experiment reports.
+#[derive(Debug, Clone, Default)]
+pub struct SystemMetrics {
+    /// Cloaked region areas (square world units).
+    pub cloak_area: Recorder,
+    /// Achieved anonymity levels.
+    pub achieved_k: Recorder,
+    /// Cloaking latencies (µs).
+    pub cloak_latency: Recorder,
+    /// Candidate-set sizes returned by private queries.
+    pub candidate_set_size: Recorder,
+    /// Query processing latencies (µs).
+    pub query_latency: Recorder,
+}
+
+impl SystemMetrics {
+    /// Creates an empty metric set.
+    pub fn new() -> SystemMetrics {
+        SystemMetrics::default()
+    }
+
+    /// Resets every recorder.
+    pub fn reset(&mut self) {
+        self.cloak_area.reset();
+        self.achieved_k.reset();
+        self.cloak_latency.reset();
+        self.candidate_set_size.reset();
+        self.query_latency.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Recorder::new().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut r = Recorder::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            r.record(v);
+        }
+        let s = r.summary();
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn percentiles_on_larger_sets() {
+        let mut r = Recorder::new();
+        for i in 1..=100 {
+            r.record(i as f64);
+        }
+        let s = r.summary();
+        assert!((s.p50 - 50.0).abs() <= 1.0);
+        assert!((s.p95 - 95.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn non_finite_samples_dropped() {
+        let mut r = Recorder::new();
+        r.record(f64::NAN);
+        r.record(f64::INFINITY);
+        r.record(1.0);
+        assert_eq!(r.count(), 1);
+    }
+
+    #[test]
+    fn duration_recording_and_reset() {
+        let mut r = Recorder::new();
+        r.record_duration(Duration::from_micros(250));
+        assert!((r.summary().mean - 250.0).abs() < 1.0);
+        r.reset();
+        assert_eq!(r.count(), 0);
+        let mut m = SystemMetrics::new();
+        m.cloak_area.record(0.5);
+        m.reset();
+        assert_eq!(m.cloak_area.count(), 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Standing (continuous) private queries.
+//!
+//! The paper's motivation leans on *continuous* location-based services
+//! ("live traffic reports", "sending coupons to nearest customers"), and
+//! Sec. 5.3 asks for incremental evaluation of continuous queries. The
+//! server-side piece for public counts lives in
+//! `lbsp_server::ContinuousRangeCount`; this module adds the
+//! *user-side* standing query: a mobile user registers "keep me updated
+//! on gas stations within r of me", and the system refreshes the answer
+//! only when the user's cloaked region actually changes — re-using the
+//! previous candidate set otherwise, since the candidate set is a
+//! function of (cloak, radius) alone.
+
+use crate::UserId;
+use lbsp_geom::Rect;
+use lbsp_server::{private_range_candidates, PublicObject, PublicStore};
+use std::collections::HashMap;
+
+/// Identifier of a standing private range query.
+pub type StandingQueryId = u64;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    user: UserId,
+    radius: f64,
+    /// The cloak the cached candidates were computed for.
+    cloak: Option<Rect>,
+    candidates: Vec<PublicObject>,
+}
+
+/// Registry of standing private range queries with cloak-change-driven
+/// refresh.
+#[derive(Debug, Default)]
+pub struct StandingPrivateRanges {
+    entries: HashMap<StandingQueryId, Entry>,
+    next_id: StandingQueryId,
+    /// Refreshes that recomputed candidates.
+    pub recomputes: u64,
+    /// Refreshes served from the cached candidate set.
+    pub reuses: u64,
+}
+
+impl StandingPrivateRanges {
+    /// Creates an empty registry.
+    pub fn new() -> StandingPrivateRanges {
+        StandingPrivateRanges::default()
+    }
+
+    /// Registers a standing query for `user` with the given radius.
+    pub fn register(&mut self, user: UserId, radius: f64) -> StandingQueryId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.entries.insert(
+            id,
+            Entry {
+                user,
+                radius: radius.max(0.0),
+                cloak: None,
+                candidates: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// Deregisters a standing query.
+    pub fn deregister(&mut self, id: StandingQueryId) -> bool {
+        self.entries.remove(&id).is_some()
+    }
+
+    /// Number of standing queries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no queries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Called by the system when `user`'s cloak changes to `new_cloak`:
+    /// refreshes all of that user's standing queries. Queries whose
+    /// cloak is unchanged keep their candidate set (the incremental
+    /// win); changed cloaks trigger a recompute against `store`.
+    pub fn on_cloak_update(&mut self, user: UserId, new_cloak: &Rect, store: &PublicStore) {
+        for e in self.entries.values_mut() {
+            if e.user != user {
+                continue;
+            }
+            if e.cloak.as_ref() == Some(new_cloak) {
+                self.reuses += 1;
+                continue;
+            }
+            e.candidates = private_range_candidates(store, new_cloak, e.radius);
+            e.cloak = Some(*new_cloak);
+            self.recomputes += 1;
+        }
+    }
+
+    /// Current candidate set of a standing query (empty before the
+    /// first cloak update for its user).
+    pub fn candidates(&self, id: StandingQueryId) -> Option<&[PublicObject]> {
+        self.entries.get(&id).map(|e| e.candidates.as_slice())
+    }
+
+    /// The user owning a standing query.
+    pub fn user_of(&self, id: StandingQueryId) -> Option<UserId> {
+        self.entries.get(&id).map(|e| e.user)
+    }
+
+    /// Fraction of refreshes served without recomputation.
+    pub fn reuse_rate(&self) -> f64 {
+        let total = self.recomputes + self.reuses;
+        if total == 0 {
+            0.0
+        } else {
+            self.reuses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsp_geom::Point;
+
+    fn store() -> PublicStore {
+        PublicStore::bulk_load(
+            (0..100)
+                .map(|i| {
+                    PublicObject::new(
+                        i,
+                        Point::new(0.05 + 0.1 * (i % 10) as f64, 0.05 + 0.1 * (i / 10) as f64),
+                        0,
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn register_and_refresh() {
+        let store = store();
+        let mut reg = StandingPrivateRanges::new();
+        let q = reg.register(7, 0.15);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.user_of(q), Some(7));
+        assert!(reg.candidates(q).unwrap().is_empty(), "no cloak yet");
+        let cloak = Rect::new_unchecked(0.4, 0.4, 0.6, 0.6);
+        reg.on_cloak_update(7, &cloak, &store);
+        let n1 = reg.candidates(q).unwrap().len();
+        assert!(n1 > 0);
+        assert_eq!(reg.recomputes, 1);
+        // Same cloak again: reuse, not recompute.
+        reg.on_cloak_update(7, &cloak, &store);
+        assert_eq!(reg.recomputes, 1);
+        assert_eq!(reg.reuses, 1);
+        assert!((reg.reuse_rate() - 0.5).abs() < 1e-12);
+        // Different cloak: recompute.
+        let cloak2 = Rect::new_unchecked(0.0, 0.0, 0.2, 0.2);
+        reg.on_cloak_update(7, &cloak2, &store);
+        assert_eq!(reg.recomputes, 2);
+        let n2 = reg.candidates(q).unwrap().len();
+        assert_ne!(n1, n2);
+    }
+
+    #[test]
+    fn other_users_updates_are_ignored() {
+        let store = store();
+        let mut reg = StandingPrivateRanges::new();
+        let q = reg.register(1, 0.1);
+        reg.on_cloak_update(2, &Rect::new_unchecked(0.0, 0.0, 1.0, 1.0), &store);
+        assert!(reg.candidates(q).unwrap().is_empty());
+        assert_eq!(reg.recomputes, 0);
+    }
+
+    #[test]
+    fn candidates_stay_sound_for_the_cloak() {
+        let store = store();
+        let mut reg = StandingPrivateRanges::new();
+        let q = reg.register(1, 0.1);
+        let cloak = Rect::new_unchecked(0.3, 0.3, 0.5, 0.5);
+        reg.on_cloak_update(1, &cloak, &store);
+        let direct = private_range_candidates(&store, &cloak, 0.1);
+        assert_eq!(reg.candidates(q).unwrap().len(), direct.len());
+    }
+
+    #[test]
+    fn deregister() {
+        let mut reg = StandingPrivateRanges::new();
+        let q = reg.register(1, 0.1);
+        assert!(reg.deregister(q));
+        assert!(!reg.deregister(q));
+        assert!(reg.is_empty());
+        assert!(reg.candidates(q).is_none());
+    }
+
+    #[test]
+    fn negative_radius_clamps() {
+        let store = store();
+        let mut reg = StandingPrivateRanges::new();
+        let q = reg.register(1, -5.0);
+        let cloak = Rect::new_unchecked(0.4, 0.4, 0.6, 0.6);
+        reg.on_cloak_update(1, &cloak, &store);
+        // radius 0: only objects inside the cloak.
+        let inside = reg.candidates(q).unwrap();
+        for o in inside {
+            assert!(cloak.contains_point(o.pos));
+        }
+    }
+}

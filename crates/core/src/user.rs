@@ -1,0 +1,76 @@
+//! Device-side user model (Sec. 4).
+
+use lbsp_anonymizer::PrivacyProfile;
+use serde::{Deserialize, Serialize};
+
+/// The three modes of Sec. 4. Query mode is an *action* a user takes,
+/// not a persistent state, so the stored state distinguishes passive
+/// from active; issuing a query puts an active user momentarily in
+/// query mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UserMode {
+    /// "A passive user does not share her information neither with the
+    /// location anonymizer nor with the location-based database server."
+    Passive,
+    /// "Active users continuously send their locations to the location
+    /// anonymizer."
+    Active,
+}
+
+/// A mobile user as the device sees itself: identity, mode, profile.
+///
+/// The exact location lives in the mobility layer (the "device GPS");
+/// this type carries the policy state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MobileUser {
+    /// The user's true identifier (never leaves the trusted side).
+    pub id: crate::UserId,
+    /// Participation mode.
+    pub mode: UserMode,
+    /// The privacy profile registered with the anonymizer.
+    pub profile: PrivacyProfile,
+}
+
+impl MobileUser {
+    /// Creates an active user with the given profile.
+    pub fn active(id: crate::UserId, profile: PrivacyProfile) -> MobileUser {
+        MobileUser {
+            id,
+            mode: UserMode::Active,
+            profile,
+        }
+    }
+
+    /// Creates a passive user (shares nothing).
+    pub fn passive(id: crate::UserId) -> MobileUser {
+        MobileUser {
+            id,
+            mode: UserMode::Passive,
+            profile: PrivacyProfile::default(),
+        }
+    }
+
+    /// `true` when the user participates in the system.
+    pub fn is_active(&self) -> bool {
+        self.mode == UserMode::Active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsp_anonymizer::CloakRequirement;
+
+    #[test]
+    fn constructors_and_modes() {
+        let a = MobileUser::active(
+            1,
+            PrivacyProfile::uniform(CloakRequirement::k_only(10)).unwrap(),
+        );
+        assert!(a.is_active());
+        assert_eq!(a.profile.max_k(), 10);
+        let p = MobileUser::passive(2);
+        assert!(!p.is_active());
+        assert_eq!(p.profile, PrivacyProfile::default());
+    }
+}

@@ -1,0 +1,311 @@
+//! Wire formats for the two trust-boundary hops.
+//!
+//! The paper's privacy argument is about *what crosses each boundary*:
+//! the user→anonymizer hop carries `(true id, exact point)`, the
+//! anonymizer→server hop carries `(pseudonym, cloaked rectangle)` and
+//! nothing else. These encodings make the claim executable — the server
+//! hop message type simply has no field for an exact location or a true
+//! identity, and the byte layout is fixed, so tests can assert the exact
+//! information content.
+//!
+//! Encoding: fixed-width little-endian fields via the `bytes` crate.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use lbsp_anonymizer::{CloakedRegion, CloakedUpdate, Pseudonym};
+use lbsp_geom::{Point, Rect, SimTime};
+
+/// Byte length of an encoded user→anonymizer update.
+pub const EXACT_UPDATE_LEN: usize = 8 + 16 + 8;
+/// Byte length of an encoded anonymizer→server update.
+pub const CLOAKED_UPDATE_LEN: usize = 8 + 32 + 8 + 4 + 1;
+
+/// A user→anonymizer message: true id + exact location + time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExactUpdateMsg {
+    /// True user id (trusted hop only).
+    pub user: u64,
+    /// Exact device location.
+    pub position: Point,
+    /// Timestamp.
+    pub time: SimTime,
+}
+
+/// Encodes a user→anonymizer update.
+pub fn encode_exact_update(msg: &ExactUpdateMsg) -> Bytes {
+    let mut b = BytesMut::with_capacity(EXACT_UPDATE_LEN);
+    b.put_u64_le(msg.user);
+    b.put_f64_le(msg.position.x);
+    b.put_f64_le(msg.position.y);
+    b.put_f64_le(msg.time.as_secs());
+    b.freeze()
+}
+
+/// Decodes a user→anonymizer update. Returns `None` on short input.
+pub fn decode_exact_update(mut buf: &[u8]) -> Option<ExactUpdateMsg> {
+    if buf.len() < EXACT_UPDATE_LEN {
+        return None;
+    }
+    Some(ExactUpdateMsg {
+        user: buf.get_u64_le(),
+        position: Point::new(buf.get_f64_le(), buf.get_f64_le()),
+        time: SimTime::from_secs(buf.get_f64_le()),
+    })
+}
+
+/// Encodes an anonymizer→server update: pseudonym + rectangle + time +
+/// achieved k + satisfaction flags. No exact point, no true id — by
+/// construction.
+pub fn encode_cloaked_update(msg: &CloakedUpdate) -> Bytes {
+    let mut b = BytesMut::with_capacity(CLOAKED_UPDATE_LEN);
+    b.put_u64_le(msg.pseudonym.0);
+    let r = msg.region.region;
+    b.put_f64_le(r.min_x());
+    b.put_f64_le(r.min_y());
+    b.put_f64_le(r.max_x());
+    b.put_f64_le(r.max_y());
+    b.put_f64_le(msg.time.as_secs());
+    b.put_u32_le(msg.region.achieved_k);
+    let flags =
+        (msg.region.k_satisfied as u8) | ((msg.region.area_satisfied as u8) << 1);
+    b.put_u8(flags);
+    b.freeze()
+}
+
+/// Decodes an anonymizer→server update. Returns `None` on short or
+/// geometrically invalid input.
+pub fn decode_cloaked_update(mut buf: &[u8]) -> Option<CloakedUpdate> {
+    if buf.len() < CLOAKED_UPDATE_LEN {
+        return None;
+    }
+    let pseudonym = Pseudonym(buf.get_u64_le());
+    let (min_x, min_y, max_x, max_y) = (
+        buf.get_f64_le(),
+        buf.get_f64_le(),
+        buf.get_f64_le(),
+        buf.get_f64_le(),
+    );
+    let region = Rect::new(min_x, min_y, max_x, max_y).ok()?;
+    let time = SimTime::from_secs(buf.get_f64_le());
+    let achieved_k = buf.get_u32_le();
+    let flags = buf.get_u8();
+    Some(CloakedUpdate {
+        pseudonym,
+        region: CloakedRegion {
+            region,
+            achieved_k,
+            k_satisfied: flags & 1 != 0,
+            area_satisfied: flags & 2 != 0,
+        },
+        time,
+    })
+}
+
+/// Byte length of an encoded cloaked private-range-query request.
+pub const RANGE_QUERY_LEN: usize = 8 + 32 + 8 + 8;
+
+/// The anonymizer→server message for a private range query (Fig. 5a):
+/// pseudonym, cloaked region, radius, time. Like the update hop, there
+/// is no field that could carry an exact location.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeQueryMsg {
+    /// Pseudonymized querying identity.
+    pub pseudonym: Pseudonym,
+    /// The cloaked region standing in for the user's position.
+    pub region: Rect,
+    /// Query radius in world units.
+    pub radius: f64,
+    /// Query timestamp.
+    pub time: SimTime,
+}
+
+/// Encodes a private range query request.
+pub fn encode_range_query(msg: &RangeQueryMsg) -> Bytes {
+    let mut b = BytesMut::with_capacity(RANGE_QUERY_LEN);
+    b.put_u64_le(msg.pseudonym.0);
+    b.put_f64_le(msg.region.min_x());
+    b.put_f64_le(msg.region.min_y());
+    b.put_f64_le(msg.region.max_x());
+    b.put_f64_le(msg.region.max_y());
+    b.put_f64_le(msg.radius);
+    b.put_f64_le(msg.time.as_secs());
+    b.freeze()
+}
+
+/// Decodes a private range query request. Returns `None` on short input,
+/// an invalid rectangle, or a negative/non-finite radius.
+pub fn decode_range_query(mut buf: &[u8]) -> Option<RangeQueryMsg> {
+    if buf.len() < RANGE_QUERY_LEN {
+        return None;
+    }
+    let pseudonym = Pseudonym(buf.get_u64_le());
+    let region = Rect::new(
+        buf.get_f64_le(),
+        buf.get_f64_le(),
+        buf.get_f64_le(),
+        buf.get_f64_le(),
+    )
+    .ok()?;
+    let radius = buf.get_f64_le();
+    if !radius.is_finite() || radius < 0.0 {
+        return None;
+    }
+    Some(RangeQueryMsg {
+        pseudonym,
+        region,
+        radius,
+        time: SimTime::from_secs(buf.get_f64_le()),
+    })
+}
+
+/// Encodes the candidate list a private query returns to the device:
+/// a length-prefixed array of `(id, x, y)` entries. The response flows
+/// server→anonymizer→user, so object coordinates are fine to include —
+/// they are public data.
+pub fn encode_candidates(candidates: &[(u64, Point)]) -> Bytes {
+    let mut b = BytesMut::with_capacity(4 + candidates.len() * 24);
+    b.put_u32_le(candidates.len() as u32);
+    for (id, p) in candidates {
+        b.put_u64_le(*id);
+        b.put_f64_le(p.x);
+        b.put_f64_le(p.y);
+    }
+    b.freeze()
+}
+
+/// Decodes a candidate list. Returns `None` on truncation.
+pub fn decode_candidates(mut buf: &[u8]) -> Option<Vec<(u64, Point)>> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.len() < n * 24 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = buf.get_u64_le();
+        let p = Point::new(buf.get_f64_le(), buf.get_f64_le());
+        out.push((id, p));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cloaked() -> CloakedUpdate {
+        CloakedUpdate {
+            pseudonym: Pseudonym(0xABCD_EF01_2345_6789),
+            region: CloakedRegion {
+                region: Rect::new_unchecked(0.25, 0.5, 0.375, 0.625),
+                achieved_k: 42,
+                k_satisfied: true,
+                area_satisfied: false,
+            },
+            time: SimTime::from_secs(1234.5),
+        }
+    }
+
+    #[test]
+    fn exact_update_roundtrip() {
+        let msg = ExactUpdateMsg {
+            user: 7,
+            position: Point::new(0.123, 0.456),
+            time: SimTime::from_secs(99.5),
+        };
+        let bytes = encode_exact_update(&msg);
+        assert_eq!(bytes.len(), EXACT_UPDATE_LEN);
+        assert_eq!(decode_exact_update(&bytes), Some(msg));
+    }
+
+    #[test]
+    fn cloaked_update_roundtrip() {
+        let msg = sample_cloaked();
+        let bytes = encode_cloaked_update(&msg);
+        assert_eq!(bytes.len(), CLOAKED_UPDATE_LEN);
+        assert_eq!(decode_cloaked_update(&bytes), Some(msg));
+    }
+
+    #[test]
+    fn short_input_rejected() {
+        let msg = sample_cloaked();
+        let bytes = encode_cloaked_update(&msg);
+        assert_eq!(decode_cloaked_update(&bytes[..bytes.len() - 1]), None);
+        assert_eq!(decode_exact_update(&[0u8; 5]), None);
+    }
+
+    #[test]
+    fn corrupted_rect_rejected() {
+        let msg = sample_cloaked();
+        let mut bytes = encode_cloaked_update(&msg).to_vec();
+        // Overwrite max_x (offset 8 + 16) with a value below min_x.
+        bytes[24..32].copy_from_slice(&(-5.0f64).to_le_bytes());
+        assert_eq!(decode_cloaked_update(&bytes), None);
+    }
+
+    #[test]
+    fn cloaked_message_carries_no_exact_location() {
+        // Structural check: a k>1 cloak encodes only region bounds; the
+        // payload is the documented fixed length with no room for a
+        // point beyond the rectangle.
+        let msg = sample_cloaked();
+        let bytes = encode_cloaked_update(&msg);
+        assert_eq!(bytes.len(), CLOAKED_UPDATE_LEN);
+        // The true id must not appear anywhere in the payload (here id 7
+        // vs pseudonym): trivially true by construction; assert the
+        // pseudonym round-trips instead of an id.
+        let decoded = decode_cloaked_update(&bytes).unwrap();
+        assert_eq!(decoded.pseudonym, msg.pseudonym);
+    }
+
+    #[test]
+    fn range_query_roundtrip_and_validation() {
+        let msg = RangeQueryMsg {
+            pseudonym: Pseudonym(42),
+            region: Rect::new_unchecked(0.1, 0.2, 0.3, 0.4),
+            radius: 0.05,
+            time: SimTime::from_secs(77.0),
+        };
+        let bytes = encode_range_query(&msg);
+        assert_eq!(bytes.len(), RANGE_QUERY_LEN);
+        assert_eq!(decode_range_query(&bytes), Some(msg));
+        // Truncation rejected.
+        assert_eq!(decode_range_query(&bytes[..RANGE_QUERY_LEN - 1]), None);
+        // Negative radius rejected.
+        let mut bad = bytes.to_vec();
+        bad[40..48].copy_from_slice(&(-1.0f64).to_le_bytes());
+        assert_eq!(decode_range_query(&bad), None);
+    }
+
+    #[test]
+    fn candidate_list_roundtrip() {
+        let list = vec![
+            (1u64, Point::new(0.1, 0.2)),
+            (9u64, Point::new(0.9, 0.8)),
+        ];
+        let bytes = encode_candidates(&list);
+        assert_eq!(decode_candidates(&bytes), Some(list));
+        // Empty list.
+        assert_eq!(decode_candidates(&encode_candidates(&[])), Some(vec![]));
+        // Truncated payloads rejected.
+        assert_eq!(decode_candidates(&bytes[..bytes.len() - 1]), None);
+        assert_eq!(decode_candidates(&[1, 0]), None);
+        // A length prefix larger than the payload is rejected.
+        let mut lying = bytes.to_vec();
+        lying[0..4].copy_from_slice(&100u32.to_le_bytes());
+        assert_eq!(decode_candidates(&lying), None);
+    }
+
+    #[test]
+    fn flag_combinations_roundtrip() {
+        for (ks, as_) in [(false, false), (true, false), (false, true), (true, true)] {
+            let mut msg = sample_cloaked();
+            msg.region.k_satisfied = ks;
+            msg.region.area_satisfied = as_;
+            let decoded = decode_cloaked_update(&encode_cloaked_update(&msg)).unwrap();
+            assert_eq!(decoded.region.k_satisfied, ks);
+            assert_eq!(decoded.region.area_satisfied, as_);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the system layer: wire-format round trips
+//! and end-to-end pipeline invariants under arbitrary inputs.
+
+use lbsp_anonymizer::{
+    CloakRequirement, CloakedRegion, CloakedUpdate, PrivacyProfile, Pseudonym, QuadCloak,
+};
+use lbsp_core::wire::{
+    decode_cloaked_update, decode_exact_update, encode_cloaked_update, encode_exact_update,
+    ExactUpdateMsg,
+};
+use lbsp_core::{MobileUser, PrivacyAwareSystem};
+use lbsp_geom::{Point, Rect, SimTime};
+use proptest::prelude::*;
+
+prop_compose! {
+    fn upoint()(x in 0.0f64..1.0, y in 0.0f64..1.0) -> Point {
+        Point::new(x, y)
+    }
+}
+
+prop_compose! {
+    fn urect()(x0 in -10.0f64..10.0, y0 in -10.0f64..10.0, w in 0.0f64..5.0, h in 0.0f64..5.0) -> Rect {
+        Rect::new_unchecked(x0, y0, x0 + w, y0 + h)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exact_update_wire_roundtrip(
+        user in any::<u64>(),
+        p in upoint(),
+        secs in 0.0f64..1e9,
+    ) {
+        let msg = ExactUpdateMsg { user, position: p, time: SimTime::from_secs(secs) };
+        prop_assert_eq!(decode_exact_update(&encode_exact_update(&msg)), Some(msg));
+    }
+
+    #[test]
+    fn cloaked_update_wire_roundtrip(
+        pseudo in any::<u64>(),
+        region in urect(),
+        secs in 0.0f64..1e9,
+        achieved in any::<u32>(),
+        ks in any::<bool>(),
+        asat in any::<bool>(),
+    ) {
+        let msg = CloakedUpdate {
+            pseudonym: Pseudonym(pseudo),
+            region: CloakedRegion {
+                region,
+                achieved_k: achieved,
+                k_satisfied: ks,
+                area_satisfied: asat,
+            },
+            time: SimTime::from_secs(secs),
+        };
+        prop_assert_eq!(decode_cloaked_update(&encode_cloaked_update(&msg)), Some(msg));
+    }
+
+    #[test]
+    fn truncated_wire_messages_never_decode(
+        pseudo in any::<u64>(),
+        region in urect(),
+        cut in 1usize..53,
+    ) {
+        let msg = CloakedUpdate {
+            pseudonym: Pseudonym(pseudo),
+            region: CloakedRegion {
+                region,
+                achieved_k: 1,
+                k_satisfied: true,
+                area_satisfied: true,
+            },
+            time: SimTime::ZERO,
+        };
+        let bytes = encode_cloaked_update(&msg);
+        prop_assert_eq!(decode_cloaked_update(&bytes[..bytes.len() - cut]), None);
+    }
+
+    #[test]
+    fn random_bytes_never_panic_the_decoders(
+        bytes in prop::collection::vec(any::<u8>(), 0..128),
+    ) {
+        // Fuzz-style: decoders must return None or a valid message, and
+        // never panic, for arbitrary input.
+        let _ = decode_exact_update(&bytes);
+        if let Some(msg) = decode_cloaked_update(&bytes) {
+            // Anything accepted satisfies the Rect invariant.
+            prop_assert!(msg.region.region.min_x() <= msg.region.region.max_x());
+            prop_assert!(msg.region.region.min_y() <= msg.region.region.max_y());
+        }
+        let _ = lbsp_core::wire::decode_range_query(&bytes);
+        let _ = lbsp_core::wire::decode_candidates(&bytes);
+    }
+
+    #[test]
+    fn pipeline_pseudonymity_and_containment(
+        pts in prop::collection::vec(upoint(), 5..60),
+        k in 1u32..10,
+    ) {
+        let world = Rect::new_unchecked(0.0, 0.0, 1.0, 1.0);
+        let mut sys = PrivacyAwareSystem::new(QuadCloak::new(world, 5), 0xFEED, Vec::new());
+        let profile = PrivacyProfile::uniform(CloakRequirement::k_only(k)).unwrap();
+        let mut pseudonyms = std::collections::HashSet::new();
+        for (i, p) in pts.iter().enumerate() {
+            sys.register_user(MobileUser::active(i as u64, profile.clone()));
+            let u = sys.process_update(i as u64, *p, SimTime::ZERO).unwrap().unwrap();
+            // Region contains the true position; pseudonym is unique and
+            // differs from the true id.
+            prop_assert!(u.region.region.contains_point(*p));
+            prop_assert!(pseudonyms.insert(u.pseudonym));
+            prop_assert_ne!(u.pseudonym.0, i as u64);
+        }
+        prop_assert_eq!(sys.private_store().len(), pts.len());
+    }
+}

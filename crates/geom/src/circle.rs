@@ -1,0 +1,115 @@
+//! Circles — the shape of range queries ("within three miles of me").
+
+use crate::{GeomError, Point, Rect, Result};
+use serde::{Deserialize, Serialize};
+
+/// A circle defined by center and radius.
+///
+/// Private range queries (Fig. 5a) are circles around the user's exact
+/// location; the server only ever sees the circle's radius together with a
+/// cloaked rectangle, never the center.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Circle {
+    /// Center of the circle.
+    pub center: Point,
+    /// Radius, non-negative.
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Creates a circle, rejecting negative or non-finite radii.
+    pub fn new(center: Point, radius: f64) -> Result<Circle> {
+        if !radius.is_finite() || radius < 0.0 {
+            return Err(GeomError::InvalidCircle("radius must be finite and >= 0"));
+        }
+        if !center.is_finite() {
+            return Err(GeomError::InvalidCircle("non-finite center"));
+        }
+        Ok(Circle { center, radius })
+    }
+
+    /// `true` when `p` lies inside or on the circle.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.center.dist_sq(p) <= self.radius * self.radius
+    }
+
+    /// Smallest axis-aligned rectangle containing the circle.
+    #[inline]
+    pub fn bounding_rect(&self) -> Rect {
+        Rect::from_point(self.center)
+            .expanded(self.radius)
+            .expect("radius validated non-negative")
+    }
+
+    /// `true` when the circle and the closed rectangle share a point.
+    pub fn intersects_rect(&self, r: &Rect) -> bool {
+        let nearest = r.clamp_point(self.center);
+        self.contains(nearest)
+    }
+
+    /// `true` when the closed rectangle lies entirely inside the circle.
+    pub fn contains_rect(&self, r: &Rect) -> bool {
+        r.corners().into_iter().all(|c| self.contains(c))
+    }
+
+    /// Area of the circle.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn rejects_bad_radius() {
+        assert!(Circle::new(Point::ORIGIN, -1.0).is_err());
+        assert!(Circle::new(Point::ORIGIN, f64::NAN).is_err());
+        assert!(Circle::new(Point::new(f64::NAN, 0.0), 1.0).is_err());
+        assert!(Circle::new(Point::ORIGIN, 0.0).is_ok());
+    }
+
+    #[test]
+    fn containment_includes_boundary() {
+        let c = Circle::new(Point::ORIGIN, 1.0).unwrap();
+        assert!(c.contains(Point::new(1.0, 0.0)));
+        assert!(c.contains(Point::new(0.5, 0.5)));
+        assert!(!c.contains(Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn bounding_rect_is_tight() {
+        let c = Circle::new(Point::new(2.0, 3.0), 1.5).unwrap();
+        let r = c.bounding_rect();
+        assert!(approx_eq(r.min_x(), 0.5) && approx_eq(r.max_x(), 3.5));
+        assert!(approx_eq(r.min_y(), 1.5) && approx_eq(r.max_y(), 4.5));
+    }
+
+    #[test]
+    fn rect_intersection_uses_nearest_point() {
+        let c = Circle::new(Point::ORIGIN, 1.0).unwrap();
+        // Rectangle whose nearest point is on the axis: intersects.
+        assert!(c.intersects_rect(&Rect::new_unchecked(0.5, -0.5, 2.0, 0.5)));
+        // Corner-near rectangle just out of reach: sqrt(0.8^2+0.8^2) > 1.
+        assert!(!c.intersects_rect(&Rect::new_unchecked(0.8, 0.8, 2.0, 2.0)));
+        // Circle center inside the rectangle.
+        assert!(c.intersects_rect(&Rect::new_unchecked(-2.0, -2.0, 2.0, 2.0)));
+    }
+
+    #[test]
+    fn contains_rect_checks_all_corners() {
+        let c = Circle::new(Point::ORIGIN, 2.0).unwrap();
+        assert!(c.contains_rect(&Rect::new_unchecked(-1.0, -1.0, 1.0, 1.0)));
+        assert!(!c.contains_rect(&Rect::new_unchecked(-1.9, -1.9, 1.9, 1.9)));
+    }
+
+    #[test]
+    fn area_formula() {
+        let c = Circle::new(Point::ORIGIN, 2.0).unwrap();
+        assert!(approx_eq(c.area(), std::f64::consts::PI * 4.0));
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for geometry constructors.
+
+use std::fmt;
+
+/// Errors produced by fallible geometry constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeomError {
+    /// Rectangle bounds were inverted or non-finite.
+    InvalidRect(&'static str),
+    /// Circle radius or center was invalid.
+    InvalidCircle(&'static str),
+    /// A time-of-day component was out of range.
+    InvalidTime {
+        /// Offending hour value.
+        hour: u32,
+        /// Offending minute value.
+        minute: u32,
+    },
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::InvalidRect(msg) => write!(f, "invalid rectangle: {msg}"),
+            GeomError::InvalidCircle(msg) => write!(f, "invalid circle: {msg}"),
+            GeomError::InvalidTime { hour, minute } => {
+                write!(f, "invalid time of day: {hour:02}:{minute:02}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            GeomError::InvalidRect("inverted bounds").to_string(),
+            "invalid rectangle: inverted bounds"
+        );
+        assert_eq!(
+            GeomError::InvalidTime { hour: 25, minute: 0 }.to_string(),
+            "invalid time of day: 25:00"
+        );
+        assert_eq!(
+            GeomError::InvalidCircle("radius must be finite and >= 0").to_string(),
+            "invalid circle: radius must be finite and >= 0"
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Hilbert space-filling curve.
+//!
+//! Maps 2-D cell coordinates to a 1-D index that preserves locality:
+//! cells adjacent on the curve are adjacent in space. The Hilbert cloak
+//! (`lbsp-anonymizer::HilbertCloak`) sorts users by Hilbert index and
+//! cuts the order into buckets of `k`, which yields the *reciprocity*
+//! property: every user in a bucket gets the same cloaked region, so an
+//! adversary learns nothing beyond bucket membership — the formal
+//! version of the paper's requirement 2.
+//!
+//! The conversion is the classic bit-interleaving rotation algorithm
+//! (Lam & Shapiro formulation), iterative in the order `n`.
+
+/// Converts cell coordinates `(x, y)` in a `2^order × 2^order` grid to
+/// the Hilbert curve index (`0 .. 4^order`).
+///
+/// # Panics
+/// Panics when `order > 31` (the index would overflow `u64` long before,
+/// but 31 keeps `x`, `y` inside `u32`) or when a coordinate is outside
+/// the grid.
+pub fn hilbert_d(order: u8, x: u32, y: u32) -> u64 {
+    assert!(order <= 31, "hilbert order limited to 31");
+    let side = 1u32 << order;
+    assert!(x < side && y < side, "cell outside the grid");
+    let n = side as u64;
+    let (mut x, mut y) = (x as u64, y as u64);
+    let mut d: u64 = 0;
+    let mut s: u64 = n / 2;
+    while s > 0 {
+        let rx = u64::from((x & s) > 0);
+        let ry = u64::from((y & s) > 0);
+        d += s * s * ((3 * rx) ^ ry);
+        // Rotate the quadrant (reflection is over the full grid side).
+        if ry == 0 {
+            if rx == 1 {
+                x = n - 1 - x;
+                y = n - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
+}
+
+/// Converts a Hilbert index back to cell coordinates.
+pub fn hilbert_xy(order: u8, d: u64) -> (u32, u32) {
+    assert!(order <= 31, "hilbert order limited to 31");
+    let side = 1u64 << order;
+    assert!(d < side * side, "index outside the curve");
+    let (mut x, mut y) = (0u64, 0u64);
+    let mut t = d;
+    let mut s = 1u64;
+    while s < side {
+        let rx = 1 & (t / 2);
+        let ry = 1 & (t ^ rx);
+        // Rotate.
+        if ry == 0 {
+            if rx == 1 {
+                x = s - 1 - x;
+                y = s - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        x += s * rx;
+        y += s * ry;
+        t /= 4;
+        s *= 2;
+    }
+    (x as u32, y as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_one_is_the_u_shape() {
+        // The order-1 curve visits (0,0), (0,1), (1,1), (1,0).
+        assert_eq!(hilbert_xy(1, 0), (0, 0));
+        assert_eq!(hilbert_xy(1, 1), (0, 1));
+        assert_eq!(hilbert_xy(1, 2), (1, 1));
+        assert_eq!(hilbert_xy(1, 3), (1, 0));
+    }
+
+    #[test]
+    fn roundtrip_all_cells_small_orders() {
+        for order in 1..=6u8 {
+            let side = 1u32 << order;
+            for x in 0..side {
+                for y in 0..side {
+                    let d = hilbert_d(order, x, y);
+                    assert_eq!(hilbert_xy(order, d), (x, y), "order {order} ({x},{y})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn curve_is_a_bijection_and_continuous() {
+        for order in 1..=5u8 {
+            let side = 1u64 << order;
+            let mut seen = vec![false; (side * side) as usize];
+            let mut prev: Option<(u32, u32)> = None;
+            for d in 0..side * side {
+                let (x, y) = hilbert_xy(order, d);
+                assert!(!seen[(y as u64 * side + x as u64) as usize]);
+                seen[(y as u64 * side + x as u64) as usize] = true;
+                // Consecutive indices are adjacent cells (continuity).
+                if let Some((px, py)) = prev {
+                    let dist = (x as i64 - px as i64).abs() + (y as i64 - py as i64).abs();
+                    assert_eq!(dist, 1, "order {order}, d {d}");
+                }
+                prev = Some((x, y));
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the grid")]
+    fn out_of_grid_panics() {
+        hilbert_d(2, 4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the curve")]
+    fn out_of_curve_panics() {
+        hilbert_xy(1, 4);
+    }
+}

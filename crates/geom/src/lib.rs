@@ -1,0 +1,50 @@
+//! Planar geometry and simulation-time substrate for the privacy-aware
+//! location-based services (LBS) reproduction.
+//!
+//! Everything in the system — cloaking algorithms, spatial indexes, the
+//! privacy-aware query processor — works over the small vocabulary defined
+//! here: [`Point`] locations, axis-aligned [`Rect`] regions (the shape of
+//! every cloaked spatial region in the paper), [`Circle`] query ranges, the
+//! min/max distance functions used for nearest-neighbor pruning, and the
+//! simulation-time types used by temporal privacy profiles (Fig. 2 of the
+//! paper).
+//!
+//! The crate is dependency-light on purpose: coordinates are plain `f64`
+//! pairs in an arbitrary planar coordinate system (the benchmarks use a
+//! `[0,1]²` unit world scaled to miles where the paper's profile example
+//! needs them).
+
+#![warn(missing_docs)]
+
+mod circle;
+mod dist;
+mod error;
+mod hilbert;
+mod point;
+mod rect;
+mod sample;
+mod time;
+
+pub use circle::Circle;
+pub use dist::{max_dist_point_rect, max_dist_rect_rect, min_dist_point_rect, min_dist_rect_rect};
+pub use error::GeomError;
+pub use hilbert::{hilbert_d, hilbert_xy};
+pub use point::Point;
+pub use rect::Rect;
+pub use sample::{jittered_grid_points, uniform_point_in_circle, uniform_point_in_rect};
+pub use time::{SimTime, TimeInterval, TimeOfDay, MINUTES_PER_DAY, SECONDS_PER_DAY};
+
+/// Convenient result alias for fallible geometry constructors.
+pub type Result<T> = std::result::Result<T, GeomError>;
+
+/// Absolute tolerance used by approximate comparisons throughout the
+/// workspace. Coordinates live in world units (unit square or miles), so a
+/// femto-scale epsilon is far below any meaningful distance while still
+/// absorbing floating-point noise.
+pub const EPSILON: f64 = 1e-9;
+
+/// Returns `true` when two floats are equal within [`EPSILON`].
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPSILON
+}

@@ -1,0 +1,195 @@
+//! Exact point locations — what a location-detection device reports.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// A point location in the plane.
+///
+/// This is the "exact location information" the paper's mobile users
+/// transmit to the location anonymizer; it never reaches the database
+/// server directly.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate in world units.
+    pub x: f64,
+    /// Vertical coordinate in world units.
+    pub y: f64,
+}
+
+impl Point {
+    /// Origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Prefer this in comparisons — it avoids the square root and is
+    /// monotone in the true distance.
+    #[inline]
+    pub fn dist_sq(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Midpoint between `self` and `other`.
+    #[inline]
+    pub fn midpoint(&self, other: Point) -> Point {
+        Point::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+
+    /// Linear interpolation: `t = 0` gives `self`, `t = 1` gives `other`.
+    ///
+    /// Used by the random-waypoint movement model to advance a user along
+    /// its current leg.
+    #[inline]
+    pub fn lerp(&self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Euclidean norm when the point is interpreted as a vector.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Returns the point translated by `(dx, dy)`.
+    #[inline]
+    pub fn translate(&self, dx: f64, dy: f64) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+
+    /// `true` when both coordinates are finite (not NaN or infinite).
+    ///
+    /// All public constructors in higher layers validate inputs with this
+    /// so that NaN never propagates into index structures, where it would
+    /// break ordering invariants.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn div(self, rhs: f64) -> Point {
+        Point::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert!(approx_eq(a.dist(b), 5.0));
+        assert!(approx_eq(b.dist(a), 5.0));
+        assert!(approx_eq(a.dist(a), 0.0));
+    }
+
+    #[test]
+    fn dist_sq_matches_dist() {
+        let a = Point::new(-1.5, 0.25);
+        let b = Point::new(2.0, -3.0);
+        assert!(approx_eq(a.dist_sq(b), a.dist(b) * a.dist(b)));
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 4.0);
+        let m = a.midpoint(b);
+        assert!(approx_eq(m.x, 1.0) && approx_eq(m.y, 2.0));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_middle() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(3.0, 5.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        let mid = a.lerp(b, 0.5);
+        assert!(approx_eq(mid.x, 2.0) && approx_eq(mid.y, 3.0));
+    }
+
+    #[test]
+    fn vector_ops() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(a - b, Point::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(a / 2.0, Point::new(0.5, 1.0));
+        assert!(approx_eq(Point::new(3.0, 4.0).norm(), 5.0));
+    }
+
+    #[test]
+    fn finiteness_check_catches_nan() {
+        assert!(Point::new(0.0, 0.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn translate_moves_point() {
+        let p = Point::new(1.0, 1.0).translate(0.5, -0.5);
+        assert!(approx_eq(p.x, 1.5) && approx_eq(p.y, 0.5));
+    }
+}

@@ -1,0 +1,581 @@
+//! Axis-aligned rectangles — the shape of every cloaked spatial region.
+//!
+//! The paper's location anonymizer always emits rectangular cloaked
+//! regions (gray rectangles in Figs. 3–4), and the privacy-aware query
+//! processor approximates rounded query regions by their minimum bounding
+//! rectangle (Sec. 6.2.1). [`Rect`] is therefore the single most
+//! load-bearing type in the workspace.
+
+use crate::{GeomError, Point, Result, EPSILON};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A closed, axis-aligned rectangle `[min_x, max_x] × [min_y, max_y]`.
+///
+/// Invariant: `min_x <= max_x`, `min_y <= max_y`, all coordinates finite.
+/// Degenerate (zero-width or zero-height) rectangles are allowed: a point
+/// location is representable as a zero-area rectangle, which is exactly
+/// how a user with privacy level `k = 1` appears to the database server.
+///
+/// ```
+/// use lbsp_geom::{Point, Rect};
+///
+/// let cloak = Rect::new(0.0, 0.0, 2.0, 1.0)?;
+/// let query = Rect::new(1.0, 0.0, 3.0, 1.0)?;
+/// // Half of the cloak overlaps the query — the inclusion probability
+/// // the paper assigns in Fig. 6a.
+/// assert_eq!(cloak.overlap_fraction(&query), 0.5);
+/// assert!(cloak.contains_point(Point::new(1.5, 0.5)));
+/// # Ok::<(), lbsp_geom::GeomError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    min_x: f64,
+    min_y: f64,
+    max_x: f64,
+    max_y: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its corner coordinates.
+    ///
+    /// Returns [`GeomError::InvalidRect`] when the bounds are inverted or
+    /// any coordinate is non-finite.
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Result<Rect> {
+        if !(min_x.is_finite() && min_y.is_finite() && max_x.is_finite() && max_y.is_finite()) {
+            return Err(GeomError::InvalidRect("non-finite coordinate"));
+        }
+        if min_x > max_x || min_y > max_y {
+            return Err(GeomError::InvalidRect("inverted bounds"));
+        }
+        Ok(Rect {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        })
+    }
+
+    /// Creates a rectangle from corner coordinates, panicking on invalid
+    /// input. Use in tests and constant workloads where bounds are known.
+    #[track_caller]
+    pub fn new_unchecked(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Rect {
+        Rect::new(min_x, min_y, max_x, max_y).expect("valid rectangle bounds")
+    }
+
+    /// The degenerate rectangle covering exactly one point.
+    #[inline]
+    pub fn from_point(p: Point) -> Rect {
+        Rect {
+            min_x: p.x,
+            min_y: p.y,
+            max_x: p.x,
+            max_y: p.y,
+        }
+    }
+
+    /// Square of side `2 * half_side` centered on `center`.
+    ///
+    /// This is the shape the naive data-dependent cloak (Fig. 3a) grows
+    /// around the user until the privacy profile is satisfied.
+    pub fn centered_square(center: Point, half_side: f64) -> Result<Rect> {
+        if half_side < 0.0 {
+            return Err(GeomError::InvalidRect("negative half side"));
+        }
+        Rect::new(
+            center.x - half_side,
+            center.y - half_side,
+            center.x + half_side,
+            center.y + half_side,
+        )
+    }
+
+    /// Minimum bounding rectangle of a non-empty point set.
+    ///
+    /// This is the MBR cloak of Fig. 3b. Returns `None` for an empty
+    /// iterator.
+    pub fn mbr_of_points<I: IntoIterator<Item = Point>>(points: I) -> Option<Rect> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut r = Rect::from_point(first);
+        for p in it {
+            r = r.extended_to(p);
+        }
+        Some(r)
+    }
+
+    /// Minimum x bound.
+    #[inline]
+    pub fn min_x(&self) -> f64 {
+        self.min_x
+    }
+    /// Minimum y bound.
+    #[inline]
+    pub fn min_y(&self) -> f64 {
+        self.min_y
+    }
+    /// Maximum x bound.
+    #[inline]
+    pub fn max_x(&self) -> f64 {
+        self.max_x
+    }
+    /// Maximum y bound.
+    #[inline]
+    pub fn max_y(&self) -> f64 {
+        self.max_y
+    }
+
+    /// Width along x.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max_x - self.min_x
+    }
+
+    /// Height along y.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max_y - self.min_y
+    }
+
+    /// Area. Zero for degenerate rectangles.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Perimeter.
+    #[inline]
+    pub fn perimeter(&self) -> f64 {
+        2.0 * (self.width() + self.height())
+    }
+
+    /// Half of the diagonal — the maximum distance from the center to any
+    /// point of the rectangle.
+    #[inline]
+    pub fn half_diagonal(&self) -> f64 {
+        0.5 * (self.width() * self.width() + self.height() * self.height()).sqrt()
+    }
+
+    /// Center point.
+    ///
+    /// The center-of-region attack on the naive cloak guesses exactly
+    /// this point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min_x + self.max_x) * 0.5,
+            (self.min_y + self.max_y) * 0.5,
+        )
+    }
+
+    /// The four corner points, counter-clockwise from `(min_x, min_y)`.
+    #[inline]
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            Point::new(self.min_x, self.min_y),
+            Point::new(self.max_x, self.min_y),
+            Point::new(self.max_x, self.max_y),
+            Point::new(self.min_x, self.max_y),
+        ]
+    }
+
+    /// `true` when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains_point(&self, p: Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// `true` when `other` lies entirely inside `self` (boundaries may touch).
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.min_x >= self.min_x
+            && other.max_x <= self.max_x
+            && other.min_y >= self.min_y
+            && other.max_y <= self.max_y
+    }
+
+    /// `true` when the closed rectangles share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    /// Intersection rectangle, or `None` when disjoint.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect {
+            min_x: self.min_x.max(other.min_x),
+            min_y: self.min_y.max(other.min_y),
+            max_x: self.max_x.min(other.max_x),
+            max_y: self.max_y.min(other.max_y),
+        })
+    }
+
+    /// Area of the intersection (zero when disjoint).
+    #[inline]
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        let w = (self.max_x.min(other.max_x) - self.min_x.max(other.min_x)).max(0.0);
+        let h = (self.max_y.min(other.max_y) - self.min_y.max(other.min_y)).max(0.0);
+        w * h
+    }
+
+    /// Fraction of `self`'s area that overlaps `other`, in `[0, 1]`.
+    ///
+    /// This is the inclusion probability the paper assigns to a cloaked
+    /// private object intersecting a public range query (Fig. 6a): "the
+    /// ratio of the overlapped area ... to the area of the spatial cloaked
+    /// region". A degenerate (zero-area) region counts as probability 1
+    /// when its point is inside `other` and 0 otherwise.
+    pub fn overlap_fraction(&self, other: &Rect) -> f64 {
+        let a = self.area();
+        if a <= EPSILON * EPSILON {
+            // Degenerate region: treat as a point at its center.
+            return if other.contains_point(self.center()) {
+                1.0
+            } else {
+                0.0
+            };
+        }
+        (self.overlap_area(other) / a).clamp(0.0, 1.0)
+    }
+
+    /// Smallest rectangle containing both `self` and `other`.
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+
+    /// Smallest rectangle containing `self` and the point `p`.
+    #[inline]
+    pub fn extended_to(&self, p: Point) -> Rect {
+        Rect {
+            min_x: self.min_x.min(p.x),
+            min_y: self.min_y.min(p.y),
+            max_x: self.max_x.max(p.x),
+            max_y: self.max_y.max(p.y),
+        }
+    }
+
+    /// Minkowski expansion by `r ≥ 0`: every side moves outward by `r`.
+    ///
+    /// The expanded rectangle is the MBR of the rounded region of Fig. 5a —
+    /// exactly the set of points within distance `r` of the rectangle is
+    /// the rounded rectangle; the paper notes a real implementation
+    /// approximates it by its MBR, which is this expansion.
+    pub fn expanded(&self, r: f64) -> Result<Rect> {
+        if r < 0.0 {
+            return Err(GeomError::InvalidRect("negative expansion radius"));
+        }
+        Rect::new(
+            self.min_x - r,
+            self.min_y - r,
+            self.max_x + r,
+            self.max_y + r,
+        )
+    }
+
+    /// Shrinks the rectangle by `r` on every side, clamping to the center
+    /// when the rectangle is too small (the result never inverts).
+    pub fn shrunk(&self, r: f64) -> Rect {
+        let c = self.center();
+        Rect {
+            min_x: (self.min_x + r).min(c.x),
+            min_y: (self.min_y + r).min(c.y),
+            max_x: (self.max_x - r).max(c.x),
+            max_y: (self.max_y - r).max(c.y),
+        }
+    }
+
+    /// Clamps the rectangle to lie within `bounds` (intersection that
+    /// falls back to the nearest in-bounds degenerate rectangle when
+    /// disjoint — used to keep cloaks inside the world).
+    pub fn clamped_to(&self, bounds: &Rect) -> Rect {
+        if let Some(i) = self.intersection(bounds) {
+            return i;
+        }
+        let c = bounds.clamp_point(self.center());
+        Rect::from_point(c)
+    }
+
+    /// Nearest point of the rectangle to `p` (identity when `p` inside).
+    #[inline]
+    pub fn clamp_point(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min_x, self.max_x),
+            p.y.clamp(self.min_y, self.max_y),
+        )
+    }
+
+    /// `true` when `p` lies on the boundary within tolerance `tol`.
+    ///
+    /// The MBR cloak leaks boundary information: there is at least one
+    /// user location on each edge (Sec. 5.1), which the boundary attack
+    /// exploits. This predicate is what that attack measures.
+    pub fn on_boundary(&self, p: Point, tol: f64) -> bool {
+        if !self.expanded(tol).is_ok_and(|r| r.contains_point(p)) {
+            return false;
+        }
+        (p.x - self.min_x).abs() <= tol
+            || (p.x - self.max_x).abs() <= tol
+            || (p.y - self.min_y).abs() <= tol
+            || (p.y - self.max_y).abs() <= tol
+    }
+
+    /// Splits into four equal quadrants (SW, SE, NW, NE) — the recursive
+    /// step of the quadtree space partitioning in Fig. 4a.
+    pub fn quadrants(&self) -> [Rect; 4] {
+        let c = self.center();
+        [
+            Rect {
+                min_x: self.min_x,
+                min_y: self.min_y,
+                max_x: c.x,
+                max_y: c.y,
+            },
+            Rect {
+                min_x: c.x,
+                min_y: self.min_y,
+                max_x: self.max_x,
+                max_y: c.y,
+            },
+            Rect {
+                min_x: self.min_x,
+                min_y: c.y,
+                max_x: c.x,
+                max_y: self.max_y,
+            },
+            Rect {
+                min_x: c.x,
+                min_y: c.y,
+                max_x: self.max_x,
+                max_y: self.max_y,
+            },
+        ]
+    }
+
+    /// Index (0–3, same order as [`Rect::quadrants`]) of the quadrant
+    /// containing `p`. Points on the split lines go to the higher quadrant.
+    pub fn quadrant_of(&self, p: Point) -> usize {
+        let c = self.center();
+        let east = p.x >= c.x;
+        let north = p.y >= c.y;
+        match (north, east) {
+            (false, false) => 0,
+            (false, true) => 1,
+            (true, false) => 2,
+            (true, true) => 3,
+        }
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.6}, {:.6}] x [{:.6}, {:.6}]",
+            self.min_x, self.max_x, self.min_y, self.max_y
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn unit() -> Rect {
+        Rect::new_unchecked(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn rejects_inverted_and_nan_bounds() {
+        assert!(Rect::new(1.0, 0.0, 0.0, 1.0).is_err());
+        assert!(Rect::new(0.0, 1.0, 1.0, 0.0).is_err());
+        assert!(Rect::new(f64::NAN, 0.0, 1.0, 1.0).is_err());
+        assert!(Rect::new(0.0, 0.0, f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn degenerate_rect_is_allowed() {
+        let r = Rect::from_point(Point::new(0.3, 0.7));
+        assert!(approx_eq(r.area(), 0.0));
+        assert!(r.contains_point(Point::new(0.3, 0.7)));
+        assert!(!r.contains_point(Point::new(0.3, 0.8)));
+    }
+
+    #[test]
+    fn area_width_height_perimeter() {
+        let r = Rect::new_unchecked(1.0, 2.0, 4.0, 4.0);
+        assert!(approx_eq(r.width(), 3.0));
+        assert!(approx_eq(r.height(), 2.0));
+        assert!(approx_eq(r.area(), 6.0));
+        assert!(approx_eq(r.perimeter(), 10.0));
+    }
+
+    #[test]
+    fn centered_square_has_expected_bounds() {
+        let r = Rect::centered_square(Point::new(0.5, 0.5), 0.25).unwrap();
+        assert!(approx_eq(r.min_x(), 0.25) && approx_eq(r.max_x(), 0.75));
+        assert!(approx_eq(r.area(), 0.25));
+        assert!(Rect::centered_square(Point::ORIGIN, -1.0).is_err());
+    }
+
+    #[test]
+    fn mbr_of_points_covers_all() {
+        let pts = [
+            Point::new(0.2, 0.8),
+            Point::new(0.5, 0.1),
+            Point::new(0.9, 0.4),
+        ];
+        let mbr = Rect::mbr_of_points(pts).unwrap();
+        for p in pts {
+            assert!(mbr.contains_point(p));
+        }
+        assert!(approx_eq(mbr.min_x(), 0.2));
+        assert!(approx_eq(mbr.max_x(), 0.9));
+        assert!(approx_eq(mbr.min_y(), 0.1));
+        assert!(approx_eq(mbr.max_y(), 0.8));
+        assert!(Rect::mbr_of_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let a = unit();
+        let b = Rect::new_unchecked(0.25, 0.25, 0.75, 0.75);
+        let c = Rect::new_unchecked(2.0, 2.0, 3.0, 3.0);
+        assert!(a.contains_rect(&b));
+        assert!(!b.contains_rect(&a));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert_eq!(a.intersection(&c), None);
+        let i = a
+            .intersection(&Rect::new_unchecked(0.5, 0.5, 2.0, 2.0))
+            .unwrap();
+        assert!(approx_eq(i.area(), 0.25));
+    }
+
+    #[test]
+    fn touching_rectangles_intersect_with_zero_area() {
+        let a = unit();
+        let b = Rect::new_unchecked(1.0, 0.0, 2.0, 1.0);
+        assert!(a.intersects(&b));
+        assert!(approx_eq(a.overlap_area(&b), 0.0));
+    }
+
+    #[test]
+    fn overlap_fraction_matches_paper_style_ratios() {
+        // A cloaked region half-inside a query area contributes 0.5.
+        let cloak = Rect::new_unchecked(0.0, 0.0, 2.0, 1.0);
+        let query = Rect::new_unchecked(1.0, 0.0, 3.0, 1.0);
+        assert!(approx_eq(cloak.overlap_fraction(&query), 0.5));
+        // Fully inside => 1, disjoint => 0.
+        assert!(approx_eq(
+            Rect::new_unchecked(1.2, 0.2, 1.8, 0.8).overlap_fraction(&query),
+            1.0
+        ));
+        assert!(approx_eq(
+            Rect::new_unchecked(4.0, 0.0, 5.0, 1.0).overlap_fraction(&query),
+            0.0
+        ));
+    }
+
+    #[test]
+    fn overlap_fraction_degenerate_region_acts_as_point() {
+        let q = unit();
+        assert!(approx_eq(
+            Rect::from_point(Point::new(0.5, 0.5)).overlap_fraction(&q),
+            1.0
+        ));
+        assert!(approx_eq(
+            Rect::from_point(Point::new(2.0, 2.0)).overlap_fraction(&q),
+            0.0
+        ));
+    }
+
+    #[test]
+    fn union_and_extend() {
+        let a = Rect::new_unchecked(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new_unchecked(2.0, -1.0, 3.0, 0.5);
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a) && u.contains_rect(&b));
+        let e = a.extended_to(Point::new(-1.0, 2.0));
+        assert!(e.contains_point(Point::new(-1.0, 2.0)) && e.contains_rect(&a));
+    }
+
+    #[test]
+    fn minkowski_expansion() {
+        let r = unit().expanded(0.5).unwrap();
+        assert!(approx_eq(r.min_x(), -0.5) && approx_eq(r.max_y(), 1.5));
+        assert!(unit().expanded(-0.1).is_err());
+    }
+
+    #[test]
+    fn shrink_never_inverts() {
+        let r = unit().shrunk(10.0);
+        assert!(r.width() >= 0.0 && r.height() >= 0.0);
+        assert_eq!(r.center(), unit().center());
+        let s = unit().shrunk(0.25);
+        assert!(approx_eq(s.area(), 0.25));
+    }
+
+    #[test]
+    fn clamp_point_projects_onto_rect() {
+        let r = unit();
+        assert_eq!(r.clamp_point(Point::new(2.0, 0.5)), Point::new(1.0, 0.5));
+        assert_eq!(r.clamp_point(Point::new(0.5, 0.5)), Point::new(0.5, 0.5));
+        assert_eq!(r.clamp_point(Point::new(-1.0, -1.0)), Point::ORIGIN);
+    }
+
+    #[test]
+    fn clamped_to_falls_back_when_disjoint() {
+        let far = Rect::new_unchecked(5.0, 5.0, 6.0, 6.0);
+        let clamped = far.clamped_to(&unit());
+        assert!(unit().contains_rect(&clamped));
+        assert!(approx_eq(clamped.area(), 0.0));
+    }
+
+    #[test]
+    fn boundary_predicate() {
+        let r = unit();
+        assert!(r.on_boundary(Point::new(0.0, 0.5), 1e-9));
+        assert!(r.on_boundary(Point::new(0.5, 1.0), 1e-9));
+        assert!(!r.on_boundary(Point::new(0.5, 0.5), 1e-9));
+        assert!(!r.on_boundary(Point::new(5.0, 0.0), 1e-9));
+    }
+
+    #[test]
+    fn quadrants_partition_area() {
+        let r = Rect::new_unchecked(0.0, 0.0, 2.0, 4.0);
+        let qs = r.quadrants();
+        let total: f64 = qs.iter().map(|q| q.area()).sum();
+        assert!(approx_eq(total, r.area()));
+        for q in &qs {
+            assert!(r.contains_rect(q));
+        }
+    }
+
+    #[test]
+    fn quadrant_of_agrees_with_quadrants() {
+        let r = unit();
+        let qs = r.quadrants();
+        for p in [
+            Point::new(0.1, 0.1),
+            Point::new(0.9, 0.1),
+            Point::new(0.1, 0.9),
+            Point::new(0.9, 0.9),
+        ] {
+            let i = r.quadrant_of(p);
+            assert!(qs[i].contains_point(p));
+        }
+    }
+}

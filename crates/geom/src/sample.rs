@@ -1,0 +1,164 @@
+//! Deterministic random sampling helpers.
+//!
+//! The paper's probabilistic query answers rest on a single assumption
+//! (Sec. 6.2.2): "the location anonymizer generates the cloaked area so
+//! that the exact location information could be anywhere within this
+//! area" — i.e. the adversary's (and the server's) posterior over the
+//! user's location is uniform on the cloaked rectangle. The samplers here
+//! realize that uniform model for Monte-Carlo probability estimation.
+
+use crate::{Point, Rect};
+use rand::{Rng, RngExt as _};
+
+/// Draws a point uniformly at random from the closed rectangle `r`.
+#[inline]
+pub fn uniform_point_in_rect<R: Rng + ?Sized>(rng: &mut R, r: &Rect) -> Point {
+    // random_range panics on an empty range, so handle degenerate sides.
+    let x = if r.width() > 0.0 {
+        rng.random_range(r.min_x()..=r.max_x())
+    } else {
+        r.min_x()
+    };
+    let y = if r.height() > 0.0 {
+        rng.random_range(r.min_y()..=r.max_y())
+    } else {
+        r.min_y()
+    };
+    Point::new(x, y)
+}
+
+/// Draws a point uniformly at random from the disk of given center/radius
+/// (inverse-CDF in the radial coordinate, so density is uniform by area).
+#[inline]
+pub fn uniform_point_in_circle<R: Rng + ?Sized>(rng: &mut R, center: Point, radius: f64) -> Point {
+    let theta = rng.random_range(0.0..std::f64::consts::TAU);
+    let r = radius * rng.random_range(0.0f64..=1.0).sqrt();
+    Point::new(center.x + r * theta.cos(), center.y + r * theta.sin())
+}
+
+/// Produces `nx * ny` points on a jittered grid covering `r`: one uniform
+/// sample per cell of an `nx × ny` subdivision.
+///
+/// Jittered (stratified) sampling halves Monte-Carlo variance relative to
+/// pure uniform sampling at the same budget, which matters for the
+/// public-NN probability estimates of Fig. 6b.
+pub fn jittered_grid_points<R: Rng + ?Sized>(
+    rng: &mut R,
+    r: &Rect,
+    nx: usize,
+    ny: usize,
+) -> Vec<Point> {
+    let mut out = Vec::with_capacity(nx * ny);
+    if nx == 0 || ny == 0 {
+        return out;
+    }
+    let cw = r.width() / nx as f64;
+    let ch = r.height() / ny as f64;
+    for i in 0..nx {
+        for j in 0..ny {
+            let x0 = r.min_x() + cw * i as f64;
+            let y0 = r.min_y() + ch * j as f64;
+            let x = if cw > 0.0 {
+                rng.random_range(x0..=x0 + cw)
+            } else {
+                x0
+            };
+            let y = if ch > 0.0 {
+                rng.random_range(y0..=y0 + ch)
+            } else {
+                y0
+            };
+            out.push(Point::new(x, y));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rect_samples_stay_inside() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = Rect::new_unchecked(-1.0, 2.0, 3.0, 4.0);
+        for _ in 0..1000 {
+            assert!(r.contains_point(uniform_point_in_rect(&mut rng, &r)));
+        }
+    }
+
+    #[test]
+    fn degenerate_rect_sampling_returns_the_point() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = Rect::from_point(Point::new(0.5, -0.5));
+        let p = uniform_point_in_rect(&mut rng, &r);
+        assert_eq!(p, Point::new(0.5, -0.5));
+    }
+
+    #[test]
+    fn rect_sampling_is_roughly_uniform() {
+        // Chi-square-free check: each quadrant of the unit square should
+        // receive close to a quarter of the mass.
+        let mut rng = StdRng::seed_from_u64(42);
+        let r = Rect::new_unchecked(0.0, 0.0, 1.0, 1.0);
+        let n = 40_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            let p = uniform_point_in_rect(&mut rng, &r);
+            counts[r.quadrant_of(p)] += 1;
+        }
+        for c in counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.25).abs() < 0.02, "quadrant fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn circle_samples_stay_inside_and_fill_annulus() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let center = Point::new(1.0, 1.0);
+        let radius = 2.0;
+        let n = 20_000;
+        let mut outer = 0usize;
+        for _ in 0..n {
+            let p = uniform_point_in_circle(&mut rng, center, radius);
+            let d = center.dist(p);
+            assert!(d <= radius + 1e-12);
+            if d > radius / 2.0f64.sqrt() {
+                outer += 1;
+            }
+        }
+        // Outside r/sqrt(2) lies exactly half the disk's area.
+        let frac = outer as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "outer-half fraction {frac}");
+    }
+
+    #[test]
+    fn jittered_grid_has_one_point_per_cell() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = Rect::new_unchecked(0.0, 0.0, 4.0, 2.0);
+        let pts = jittered_grid_points(&mut rng, &r, 4, 2);
+        assert_eq!(pts.len(), 8);
+        for p in &pts {
+            assert!(r.contains_point(*p));
+        }
+        // Exactly one point per stratum.
+        for i in 0..4 {
+            for j in 0..2 {
+                let cell = Rect::new_unchecked(i as f64, j as f64, (i + 1) as f64, (j + 1) as f64);
+                let inside = pts.iter().filter(|p| cell.contains_point(**p)).count();
+                assert_eq!(inside, 1, "cell ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn jittered_grid_empty_dims() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = Rect::new_unchecked(0.0, 0.0, 1.0, 1.0);
+        assert!(jittered_grid_points(&mut rng, &r, 0, 5).is_empty());
+        assert!(jittered_grid_points(&mut rng, &r, 5, 0).is_empty());
+    }
+}

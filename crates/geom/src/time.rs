@@ -1,0 +1,258 @@
+//! Simulation time and time-of-day types.
+//!
+//! Privacy profiles attach different `(k, A_min, A_max)` requirements to
+//! different times of day (Fig. 2: one entry for 8AM–5PM, one for 5PM–10PM,
+//! one for 10PM–8AM). [`TimeOfDay`] and [`TimeInterval`] model those
+//! schedule entries, including intervals that wrap past midnight;
+//! [`SimTime`] is the continuous clock that drives the simulation.
+
+use crate::GeomError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Seconds in a day.
+pub const SECONDS_PER_DAY: f64 = 86_400.0;
+
+/// Continuous simulation time, in seconds since the start of the run.
+///
+/// Wraps a non-negative `f64`; conversion to [`TimeOfDay`] is modular so a
+/// multi-day simulation cycles through profile schedule entries.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero — the start of the simulation.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a simulation time from seconds; negative input clamps to 0.
+    #[inline]
+    pub fn from_secs(secs: f64) -> SimTime {
+        SimTime(secs.max(0.0))
+    }
+
+    /// Creates a simulation time from hours.
+    #[inline]
+    pub fn from_hours(hours: f64) -> SimTime {
+        SimTime::from_secs(hours * 3600.0)
+    }
+
+    /// Seconds since simulation start.
+    #[inline]
+    pub fn as_secs(&self) -> f64 {
+        self.0
+    }
+
+    /// Projects the continuous clock onto a clock-face time of day.
+    #[inline]
+    pub fn time_of_day(&self) -> TimeOfDay {
+        let day_secs = self.0.rem_euclid(SECONDS_PER_DAY);
+        TimeOfDay::from_minutes((day_secs / 60.0) as u32 % MINUTES_PER_DAY)
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: f64) -> SimTime {
+        SimTime::from_secs(self.0 + rhs)
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+/// Minutes in a day.
+pub const MINUTES_PER_DAY: u32 = 24 * 60;
+
+/// A clock-face time, stored as minutes since midnight (0..1440).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TimeOfDay(u32);
+
+impl TimeOfDay {
+    /// Midnight.
+    pub const MIDNIGHT: TimeOfDay = TimeOfDay(0);
+
+    /// Builds a time of day from hours and minutes.
+    ///
+    /// Returns an error when `hour >= 24` or `minute >= 60`.
+    pub fn new(hour: u32, minute: u32) -> Result<TimeOfDay, GeomError> {
+        if hour >= 24 || minute >= 60 {
+            return Err(GeomError::InvalidTime { hour, minute });
+        }
+        Ok(TimeOfDay(hour * 60 + minute))
+    }
+
+    /// Builds from minutes since midnight, wrapping modulo one day.
+    #[inline]
+    pub fn from_minutes(minutes: u32) -> TimeOfDay {
+        TimeOfDay(minutes % MINUTES_PER_DAY)
+    }
+
+    /// Minutes since midnight.
+    #[inline]
+    pub fn minutes(&self) -> u32 {
+        self.0
+    }
+
+    /// Hour component (0–23).
+    #[inline]
+    pub fn hour(&self) -> u32 {
+        self.0 / 60
+    }
+
+    /// Minute component (0–59).
+    #[inline]
+    pub fn minute(&self) -> u32 {
+        self.0 % 60
+    }
+}
+
+impl fmt::Display for TimeOfDay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02}:{:02}", self.hour(), self.minute())
+    }
+}
+
+/// A half-open daily interval `[start, end)` on the clock face.
+///
+/// When `end <= start` the interval wraps midnight — e.g. the paper's
+/// third profile entry covers 10:00 PM to 8:00 AM. An interval with
+/// `start == end` covers the whole day (the natural reading of a schedule
+/// entry that never switches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeInterval {
+    /// Inclusive start of the interval.
+    pub start: TimeOfDay,
+    /// Exclusive end of the interval.
+    pub end: TimeOfDay,
+}
+
+impl TimeInterval {
+    /// Creates the interval `[start, end)`.
+    #[inline]
+    pub fn new(start: TimeOfDay, end: TimeOfDay) -> TimeInterval {
+        TimeInterval { start, end }
+    }
+
+    /// The interval covering every minute of the day.
+    #[inline]
+    pub fn all_day() -> TimeInterval {
+        TimeInterval {
+            start: TimeOfDay::MIDNIGHT,
+            end: TimeOfDay::MIDNIGHT,
+        }
+    }
+
+    /// `true` when `t` falls inside the interval, honoring wrap-around.
+    pub fn contains(&self, t: TimeOfDay) -> bool {
+        if self.start == self.end {
+            return true; // whole day
+        }
+        if self.start < self.end {
+            t >= self.start && t < self.end
+        } else {
+            t >= self.start || t < self.end
+        }
+    }
+
+    /// Length of the interval in minutes (1440 for all-day).
+    pub fn duration_minutes(&self) -> u32 {
+        if self.start == self.end {
+            MINUTES_PER_DAY
+        } else if self.start < self.end {
+            self.end.minutes() - self.start.minutes()
+        } else {
+            MINUTES_PER_DAY - self.start.minutes() + self.end.minutes()
+        }
+    }
+}
+
+impl fmt::Display for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} - {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tod(h: u32, m: u32) -> TimeOfDay {
+        TimeOfDay::new(h, m).unwrap()
+    }
+
+    #[test]
+    fn time_of_day_validation() {
+        assert!(TimeOfDay::new(24, 0).is_err());
+        assert!(TimeOfDay::new(0, 60).is_err());
+        assert_eq!(tod(23, 59).minutes(), 1439);
+        assert_eq!(tod(8, 30).hour(), 8);
+        assert_eq!(tod(8, 30).minute(), 30);
+    }
+
+    #[test]
+    fn sim_time_projects_to_clock_face() {
+        let t = SimTime::from_hours(25.5); // 1:30 AM next day
+        assert_eq!(t.time_of_day(), tod(1, 30));
+        assert_eq!(SimTime::ZERO.time_of_day(), TimeOfDay::MIDNIGHT);
+        assert_eq!(SimTime::from_hours(17.0).time_of_day(), tod(17, 0));
+    }
+
+    #[test]
+    fn sim_time_arithmetic_clamps_at_zero() {
+        let t = SimTime::from_secs(10.0) + (-100.0);
+        assert_eq!(t.as_secs(), 0.0);
+        assert_eq!(SimTime::from_secs(20.0) - SimTime::from_secs(5.0), 15.0);
+    }
+
+    #[test]
+    fn paper_profile_intervals() {
+        // Fig. 2: 8AM-5PM, 5PM-10PM, 10PM-(8AM) entries.
+        let day = TimeInterval::new(tod(8, 0), tod(17, 0));
+        let evening = TimeInterval::new(tod(17, 0), tod(22, 0));
+        let night = TimeInterval::new(tod(22, 0), tod(8, 0));
+
+        assert!(day.contains(tod(12, 0)));
+        assert!(!day.contains(tod(17, 0))); // half-open
+        assert!(evening.contains(tod(17, 0)));
+        assert!(evening.contains(tod(21, 59)));
+        assert!(night.contains(tod(23, 0)));
+        assert!(night.contains(tod(3, 0)));
+        assert!(night.contains(tod(7, 59)));
+        assert!(!night.contains(tod(8, 0)));
+
+        // The three entries tile the full day.
+        for m in 0..MINUTES_PER_DAY {
+            let t = TimeOfDay::from_minutes(m);
+            let hits =
+                [day, evening, night].iter().filter(|i| i.contains(t)).count();
+            assert_eq!(hits, 1, "minute {m} covered exactly once");
+        }
+        assert_eq!(
+            day.duration_minutes() + evening.duration_minutes() + night.duration_minutes(),
+            MINUTES_PER_DAY
+        );
+    }
+
+    #[test]
+    fn all_day_interval() {
+        let all = TimeInterval::all_day();
+        assert!(all.contains(TimeOfDay::MIDNIGHT));
+        assert!(all.contains(tod(23, 59)));
+        assert_eq!(all.duration_minutes(), MINUTES_PER_DAY);
+    }
+
+    #[test]
+    fn wrapping_duration() {
+        let night = TimeInterval::new(tod(22, 0), tod(8, 0));
+        assert_eq!(night.duration_minutes(), 10 * 60);
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based tests for the geometry substrate.
+//!
+//! Every higher layer (cloaking soundness, query-candidate soundness,
+//! probabilistic counting) reduces to these rectangle/distance
+//! invariants, so they get the heaviest randomized coverage.
+
+use lbsp_geom::{
+    max_dist_point_rect, max_dist_rect_rect, min_dist_point_rect, min_dist_rect_rect, Circle,
+    Point, Rect, TimeInterval, TimeOfDay,
+};
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = f64> {
+    -100.0f64..100.0
+}
+
+prop_compose! {
+    fn point()(x in coord(), y in coord()) -> Point {
+        Point::new(x, y)
+    }
+}
+
+prop_compose! {
+    fn rect()(x0 in coord(), y0 in coord(), w in 0.0f64..50.0, h in 0.0f64..50.0) -> Rect {
+        Rect::new_unchecked(x0, y0, x0 + w, y0 + h)
+    }
+}
+
+proptest! {
+    #[test]
+    fn union_contains_both(a in rect(), b in rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+        // Union is the *smallest* such rect: its bounds touch a or b.
+        prop_assert!(u.min_x() == a.min_x().min(b.min_x()));
+        prop_assert!(u.max_y() == a.max_y().max(b.max_y()));
+    }
+
+    #[test]
+    fn intersection_is_commutative_and_contained(a in rect(), b in rect()) {
+        let ab = a.intersection(&b);
+        let ba = b.intersection(&a);
+        prop_assert_eq!(ab, ba);
+        if let Some(i) = ab {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert!((i.area() - a.overlap_area(&b)).abs() < 1e-9);
+        } else {
+            prop_assert!(!a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn overlap_fraction_in_unit_range(a in rect(), b in rect()) {
+        let f = a.overlap_fraction(&b);
+        prop_assert!((0.0..=1.0).contains(&f), "fraction {f}");
+        // Self-overlap of a non-degenerate rect is exactly 1.
+        if a.area() > 1e-12 {
+            prop_assert!((a.overlap_fraction(&a) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn contains_point_respects_clamp(r in rect(), p in point()) {
+        let c = r.clamp_point(p);
+        prop_assert!(r.contains_point(c));
+        if r.contains_point(p) {
+            prop_assert_eq!(c, p);
+        }
+        // Clamp is the nearest point of the rect.
+        prop_assert!((p.dist(c) - min_dist_point_rect(p, &r)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max_dist_point_rect_envelope(r in rect(), p in point()) {
+        let lo = min_dist_point_rect(p, &r);
+        let hi = max_dist_point_rect(p, &r);
+        prop_assert!(lo >= 0.0);
+        prop_assert!(lo <= hi + 1e-12);
+        // Every corner distance lies in [lo, hi].
+        for c in r.corners() {
+            let d = p.dist(c);
+            prop_assert!(d >= lo - 1e-9 && d <= hi + 1e-9);
+        }
+        // The center distance too.
+        let dc = p.dist(r.center());
+        prop_assert!(dc >= lo - 1e-9 && dc <= hi + 1e-9);
+    }
+
+    #[test]
+    fn min_max_dist_rect_rect_envelope(a in rect(), b in rect()) {
+        let lo = min_dist_rect_rect(&a, &b);
+        let hi = max_dist_rect_rect(&a, &b);
+        prop_assert!(lo <= hi + 1e-12);
+        prop_assert_eq!(lo, min_dist_rect_rect(&b, &a));
+        prop_assert_eq!(hi, max_dist_rect_rect(&b, &a));
+        // Corner-pair distances witness the envelope.
+        for ca in a.corners() {
+            for cb in b.corners() {
+                let d = ca.dist(cb);
+                prop_assert!(d >= lo - 1e-9);
+                prop_assert!(d <= hi + 1e-9);
+            }
+        }
+        if a.intersects(&b) {
+            prop_assert!(lo == 0.0);
+        }
+    }
+
+    #[test]
+    fn expansion_monotone(r in rect(), e in 0.0f64..10.0) {
+        let big = r.expanded(e).unwrap();
+        prop_assert!(big.contains_rect(&r));
+        prop_assert!(big.area() >= r.area());
+        // Every point within e of r is inside the expansion's bounds
+        // along the axes (Minkowski box property).
+        prop_assert!((big.width() - (r.width() + 2.0 * e)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shrink_never_inverts(r in rect(), s in 0.0f64..200.0) {
+        let small = r.shrunk(s);
+        prop_assert!(small.width() >= 0.0 && small.height() >= 0.0);
+        prop_assert!(r.contains_rect(&small));
+    }
+
+    #[test]
+    fn quadrants_tile_exactly(r in rect()) {
+        let qs = r.quadrants();
+        let sum: f64 = qs.iter().map(|q| q.area()).sum();
+        prop_assert!((sum - r.area()).abs() < 1e-6 * r.area().max(1.0));
+        for q in &qs {
+            prop_assert!(r.contains_rect(q));
+        }
+    }
+
+    #[test]
+    fn quadrant_of_matches_geometry(r in rect(), p in point()) {
+        prop_assume!(r.area() > 1e-9);
+        let c = r.clamp_point(p);
+        let i = r.quadrant_of(c);
+        prop_assert!(r.quadrants()[i].contains_point(c));
+    }
+
+    #[test]
+    fn mbr_of_points_is_tight(pts in prop::collection::vec(point(), 1..50)) {
+        let mbr = Rect::mbr_of_points(pts.iter().copied()).unwrap();
+        for p in &pts {
+            prop_assert!(mbr.contains_point(*p));
+        }
+        // Tight: each side is witnessed by some point.
+        prop_assert!(pts.iter().any(|p| (p.x - mbr.min_x()).abs() < 1e-12));
+        prop_assert!(pts.iter().any(|p| (p.x - mbr.max_x()).abs() < 1e-12));
+        prop_assert!(pts.iter().any(|p| (p.y - mbr.min_y()).abs() < 1e-12));
+        prop_assert!(pts.iter().any(|p| (p.y - mbr.max_y()).abs() < 1e-12));
+    }
+
+    #[test]
+    fn circle_rect_intersection_agrees_with_distance(r in rect(), p in point(), rad in 0.0f64..50.0) {
+        let c = Circle::new(p, rad).unwrap();
+        let hit = c.intersects_rect(&r);
+        let d = min_dist_point_rect(p, &r);
+        prop_assert_eq!(hit, d <= rad, "dist {} radius {}", d, rad);
+    }
+
+    #[test]
+    fn triangle_inequality(a in point(), b in point(), c in point()) {
+        prop_assert!(a.dist(c) <= a.dist(b) + b.dist(c) + 1e-9);
+    }
+
+    #[test]
+    fn time_interval_partition(s in 0u32..1440, e in 0u32..1440, t in 0u32..1440) {
+        let interval = TimeInterval::new(TimeOfDay::from_minutes(s), TimeOfDay::from_minutes(e));
+        let complement = TimeInterval::new(TimeOfDay::from_minutes(e), TimeOfDay::from_minutes(s));
+        let tod = TimeOfDay::from_minutes(t);
+        if s != e {
+            // An interval and its reverse partition the day.
+            prop_assert!(interval.contains(tod) ^ complement.contains(tod));
+            prop_assert_eq!(
+                interval.duration_minutes() + complement.duration_minutes(),
+                1440
+            );
+        } else {
+            prop_assert!(interval.contains(tod));
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! From-scratch spatial indexes for the privacy-aware LBS reproduction.
+//!
+//! The paper classifies cloaking algorithms the same way multidimensional
+//! indexes are classified (Sec. 5): *data-partitioning* (R-tree-like) vs
+//! *space-partitioning* (grid/quadtree-like). This crate provides both
+//! families as real index structures:
+//!
+//! * [`UniformGrid`] — fixed uniform grid over the world rectangle; the
+//!   substrate of the fixed-grid cloak (Fig. 4b) and of the private-data
+//!   store on the database server.
+//! * [`PyramidGrid`] — a multi-level grid (complete pyramid) maintaining
+//!   per-cell occupancy counts at every level; the substrate of the
+//!   quadtree cloak (Fig. 4a) and of the "fixed multi-level grids"
+//!   optimization the paper suggests for Fig. 4b.
+//! * [`PointQuadTree`] — an adaptive PR quadtree over exact points, used
+//!   where data-adaptive space partitioning is wanted.
+//! * [`RTree`] — a data-partitioning index with STR bulk loading,
+//!   quadratic-split insertion, range search and best-first (k-)nearest
+//!   neighbor search; the public-data store (gas stations, restaurants,
+//!   police cars) of the database server.
+//!
+//! All indexes are deterministic and single-threaded; concurrency is
+//! layered above them (see `lbsp-anonymizer::shared`).
+
+#![warn(missing_docs)]
+
+mod grid;
+mod pyramid;
+mod quadtree;
+mod rtree;
+
+pub use grid::{CellCoord, UniformGrid};
+pub use pyramid::{PyramidCell, PyramidGrid};
+pub use quadtree::PointQuadTree;
+pub use rtree::{Neighbor, RTree};
+
+/// Identifier for an indexed object (user id or object id).
+pub type ObjectId = u64;

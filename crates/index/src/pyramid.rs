@@ -1,0 +1,332 @@
+//! Multi-level pyramid grid with per-cell occupancy counts.
+//!
+//! This is the "fixed multi-level grids" structure the paper proposes as
+//! an optimization of Fig. 4b, and the index the quadtree cloak of
+//! Fig. 4a runs on: level `l` partitions the world into `2^l × 2^l` equal
+//! cells, level 0 being the whole world. Each cell keeps only an occupancy
+//! *count* — the anonymizer does not need to store who is where above the
+//! bottom level, which is also what lets it honor the paper's remark that
+//! "the location anonymizer does not need to store the exact location
+//! information" beyond transient metadata.
+//!
+//! An update touches exactly one cell per level, so maintenance is
+//! O(levels) per location update — this constant-time-ish maintenance is
+//! the computational-efficiency requirement (3) of Sec. 5.
+
+use crate::{ObjectId, UniformGrid};
+use lbsp_geom::{Point, Rect};
+
+/// A cell address in a [`PyramidGrid`]: level plus cell coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PyramidCell {
+    /// Pyramid level; 0 is the root (whole world).
+    pub level: u8,
+    /// Column within the level, `0 .. 2^level`.
+    pub ix: u32,
+    /// Row within the level, `0 .. 2^level`.
+    pub iy: u32,
+}
+
+impl PyramidCell {
+    /// The parent cell one level up (identity at the root).
+    pub fn parent(&self) -> PyramidCell {
+        if self.level == 0 {
+            *self
+        } else {
+            PyramidCell {
+                level: self.level - 1,
+                ix: self.ix / 2,
+                iy: self.iy / 2,
+            }
+        }
+    }
+}
+
+/// Complete pyramid of occupancy counts over a world rectangle, with the
+/// bottom level additionally holding exact per-object locations (via an
+/// embedded [`UniformGrid`]).
+#[derive(Debug, Clone)]
+pub struct PyramidGrid {
+    world: Rect,
+    levels: u8,
+    /// `counts[l]` is a `2^l × 2^l` row-major count matrix.
+    counts: Vec<Vec<u32>>,
+    bottom: UniformGrid,
+}
+
+impl PyramidGrid {
+    /// Creates an empty pyramid with `levels + 1` levels (0..=levels);
+    /// the bottom level has `2^levels × 2^levels` cells.
+    ///
+    /// # Panics
+    /// Panics when `levels > 15` (a 32768² bottom grid — beyond any
+    /// laptop-scale workload) or when the world is degenerate.
+    pub fn new(world: Rect, levels: u8) -> PyramidGrid {
+        assert!(levels <= 15, "pyramid depth limited to 15 levels");
+        assert!(
+            world.width() > 0.0 && world.height() > 0.0,
+            "pyramid world must have positive area"
+        );
+        let counts = (0..=levels)
+            .map(|l| vec![0u32; 1usize << (2 * l as usize)])
+            .collect();
+        let side = 1u32 << levels;
+        PyramidGrid {
+            world,
+            levels,
+            counts,
+            bottom: UniformGrid::new(world, side, side),
+        }
+    }
+
+    /// The world rectangle.
+    #[inline]
+    pub fn world(&self) -> Rect {
+        self.world
+    }
+
+    /// Index of the deepest level.
+    #[inline]
+    pub fn depth(&self) -> u8 {
+        self.levels
+    }
+
+    /// Total number of indexed objects.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bottom.len()
+    }
+
+    /// `true` when no objects are indexed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bottom.is_empty()
+    }
+
+    /// Side length (in cells) of level `l`.
+    #[inline]
+    pub fn side(&self, level: u8) -> u32 {
+        1u32 << level
+    }
+
+    /// Bottom-level cell containing `p`, as a pyramid address.
+    pub fn leaf_cell_of(&self, p: Point) -> PyramidCell {
+        let c = self.bottom.cell_of(p);
+        PyramidCell {
+            level: self.levels,
+            ix: c.ix,
+            iy: c.iy,
+        }
+    }
+
+    /// Cell containing `p` at an arbitrary level.
+    pub fn cell_of(&self, level: u8, p: Point) -> PyramidCell {
+        assert!(level <= self.levels, "level out of range");
+        let mut c = self.leaf_cell_of(p);
+        while c.level > level {
+            c = c.parent();
+        }
+        c
+    }
+
+    /// Geometric extent of a pyramid cell.
+    pub fn cell_rect(&self, c: PyramidCell) -> Rect {
+        assert!(c.level <= self.levels, "level out of range");
+        let side = self.side(c.level);
+        assert!(c.ix < side && c.iy < side, "cell out of range");
+        let w = self.world.width() / side as f64;
+        let h = self.world.height() / side as f64;
+        let x0 = self.world.min_x() + w * c.ix as f64;
+        let y0 = self.world.min_y() + h * c.iy as f64;
+        Rect::new_unchecked(x0, y0, x0 + w, y0 + h)
+    }
+
+    /// Occupancy count of a pyramid cell.
+    pub fn count(&self, c: PyramidCell) -> u32 {
+        let side = self.side(c.level);
+        assert!(c.ix < side && c.iy < side, "cell out of range");
+        self.counts[c.level as usize][(c.iy * side + c.ix) as usize]
+    }
+
+    fn adjust(&mut self, p: Point, delta: i32) {
+        let mut c = self.leaf_cell_of(p);
+        loop {
+            let side = self.side(c.level);
+            let slot =
+                &mut self.counts[c.level as usize][(c.iy * side + c.ix) as usize];
+            *slot = slot.checked_add_signed(delta).expect("count underflow");
+            if c.level == 0 {
+                break;
+            }
+            c = c.parent();
+        }
+    }
+
+    /// Inserts (or moves) an object, updating one count per level.
+    pub fn insert(&mut self, id: ObjectId, p: Point) -> Option<Point> {
+        let prev = self.bottom.insert(id, p);
+        if let Some(old) = prev {
+            self.adjust(old, -1);
+        }
+        self.adjust(p, 1);
+        prev
+    }
+
+    /// Removes an object, updating one count per level.
+    pub fn remove(&mut self, id: ObjectId) -> Option<Point> {
+        let p = self.bottom.remove(id)?;
+        self.adjust(p, -1);
+        Some(p)
+    }
+
+    /// Current location of an object.
+    #[inline]
+    pub fn location(&self, id: ObjectId) -> Option<Point> {
+        self.bottom.location(id)
+    }
+
+    /// Access to the exact-location bottom grid (for k-NN searches and
+    /// exact in-rectangle counting).
+    #[inline]
+    pub fn bottom(&self) -> &UniformGrid {
+        &self.bottom
+    }
+
+    /// Exact count of objects inside an arbitrary rectangle (delegates to
+    /// the bottom grid; the per-level counts only answer cell-aligned
+    /// queries).
+    pub fn count_in_rect(&self, r: &Rect) -> usize {
+        self.bottom.count_in_rect(r)
+    }
+
+    /// Sum of counts over the cell block `[ix0..=ix1] × [iy0..=iy1]` at
+    /// `level` — an O(block) cell-aligned count without touching points.
+    pub fn block_count(&self, level: u8, ix0: u32, iy0: u32, ix1: u32, iy1: u32) -> u32 {
+        let side = self.side(level);
+        let mut n = 0;
+        for iy in iy0..=iy1.min(side - 1) {
+            for ix in ix0..=ix1.min(side - 1) {
+                n += self.count(PyramidCell { level, ix, iy });
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsp_geom::approx_eq;
+
+    fn world() -> Rect {
+        Rect::new_unchecked(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn new_pyramid_shape() {
+        let p = PyramidGrid::new(world(), 3);
+        assert_eq!(p.depth(), 3);
+        assert_eq!(p.side(0), 1);
+        assert_eq!(p.side(3), 8);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "15 levels")]
+    fn too_deep_panics() {
+        PyramidGrid::new(world(), 16);
+    }
+
+    #[test]
+    fn cell_addresses_nest() {
+        let p = PyramidGrid::new(world(), 3);
+        let pt = Point::new(0.9, 0.1);
+        let leaf = p.leaf_cell_of(pt);
+        assert_eq!(leaf.level, 3);
+        assert_eq!(leaf, PyramidCell { level: 3, ix: 7, iy: 0 });
+        let l2 = p.cell_of(2, pt);
+        assert_eq!(l2, PyramidCell { level: 2, ix: 3, iy: 0 });
+        assert_eq!(leaf.parent(), l2);
+        let root = p.cell_of(0, pt);
+        assert_eq!(root, PyramidCell { level: 0, ix: 0, iy: 0 });
+        assert_eq!(root.parent(), root);
+        // Every cell's rect contains the point and nests in its parent's.
+        assert!(p.cell_rect(leaf).contains_point(pt));
+        assert!(p.cell_rect(l2).contains_rect(&p.cell_rect(leaf)));
+        assert!(approx_eq(p.cell_rect(root).area(), 1.0));
+    }
+
+    #[test]
+    fn counts_propagate_up_all_levels() {
+        let mut p = PyramidGrid::new(world(), 3);
+        let pt = Point::new(0.3, 0.6);
+        p.insert(7, pt);
+        for level in 0..=3 {
+            let c = p.cell_of(level, pt);
+            assert_eq!(p.count(c), 1, "level {level}");
+        }
+        // A far-away cell stays zero.
+        assert_eq!(p.count(PyramidCell { level: 3, ix: 7, iy: 7 }), 0);
+    }
+
+    #[test]
+    fn move_updates_old_and_new_paths() {
+        let mut p = PyramidGrid::new(world(), 2);
+        let a = Point::new(0.1, 0.1);
+        let b = Point::new(0.9, 0.9);
+        p.insert(1, a);
+        let prev = p.insert(1, b);
+        assert_eq!(prev, Some(a));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.count(p.leaf_cell_of(a)), 0);
+        assert_eq!(p.count(p.leaf_cell_of(b)), 1);
+        assert_eq!(p.count(PyramidCell { level: 0, ix: 0, iy: 0 }), 1);
+    }
+
+    #[test]
+    fn remove_decrements_counts() {
+        let mut p = PyramidGrid::new(world(), 2);
+        p.insert(1, Point::new(0.2, 0.2));
+        p.insert(2, Point::new(0.21, 0.21));
+        assert_eq!(p.remove(1), Some(Point::new(0.2, 0.2)));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.count(PyramidCell { level: 0, ix: 0, iy: 0 }), 1);
+        assert_eq!(p.remove(1), None);
+    }
+
+    #[test]
+    fn root_count_equals_population() {
+        let mut p = PyramidGrid::new(world(), 4);
+        for i in 0..100u64 {
+            let t = i as f64 / 100.0;
+            p.insert(i, Point::new(t, (t * 7.0) % 1.0));
+        }
+        assert_eq!(p.count(PyramidCell { level: 0, ix: 0, iy: 0 }), 100);
+        assert_eq!(p.len(), 100);
+        // Level sums are conserved at every level.
+        for level in 0..=4u8 {
+            let side = p.side(level);
+            let mut total = 0;
+            for iy in 0..side {
+                for ix in 0..side {
+                    total += p.count(PyramidCell { level, ix, iy });
+                }
+            }
+            assert_eq!(total, 100, "level {level}");
+        }
+    }
+
+    #[test]
+    fn block_count_matches_exact_count_on_aligned_rects() {
+        let mut p = PyramidGrid::new(world(), 3);
+        for i in 0..50u64 {
+            let x = (i as f64 * 0.137) % 1.0;
+            let y = (i as f64 * 0.311) % 1.0;
+            p.insert(i, Point::new(x, y));
+        }
+        // Left half of the world at level 3: columns 0..=3.
+        let block = p.block_count(3, 0, 0, 3, 7);
+        let exact = p.count_in_rect(&Rect::new_unchecked(0.0, 0.0, 0.4999999, 1.0));
+        assert_eq!(block as usize, exact);
+    }
+}

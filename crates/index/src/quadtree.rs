@@ -1,0 +1,418 @@
+//! Adaptive PR (point-region) quadtree with per-node counts.
+//!
+//! This realizes the data-adaptive space partitioning of Fig. 4a: the
+//! space is recursively split into four quadrants wherever the local
+//! population exceeds a node capacity, so dense downtown areas end up
+//! with small cells and rural areas with large ones. The quadtree cloak
+//! walks the path from the leaf containing the user upward until the
+//! privacy profile is satisfied.
+
+use crate::ObjectId;
+use lbsp_geom::{Point, Rect};
+
+/// Maximum tree depth: cells of side `world / 2^16` are far below any
+/// meaningful cloaking resolution, and bounding the depth keeps degenerate
+/// inputs (many coincident points) from recursing forever.
+const MAX_DEPTH: u8 = 16;
+
+#[derive(Debug, Clone)]
+struct Node {
+    bounds: Rect,
+    depth: u8,
+    /// Total objects in this subtree.
+    count: u32,
+    kind: NodeKind,
+}
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Leaf(Vec<(ObjectId, Point)>),
+    /// Children in [`Rect::quadrants`] order (SW, SE, NW, NE).
+    Internal(Box<[Node; 4]>),
+}
+
+/// An adaptive point quadtree over a world rectangle.
+#[derive(Debug, Clone)]
+pub struct PointQuadTree {
+    root: Node,
+    capacity: usize,
+    len: usize,
+}
+
+impl PointQuadTree {
+    /// Creates an empty tree over `world`; leaves split when they exceed
+    /// `capacity` points (and merge back when a subtree shrinks to
+    /// `capacity` or fewer).
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero or the world is degenerate.
+    pub fn new(world: Rect, capacity: usize) -> PointQuadTree {
+        assert!(capacity > 0, "leaf capacity must be positive");
+        assert!(
+            world.width() > 0.0 && world.height() > 0.0,
+            "quadtree world must have positive area"
+        );
+        PointQuadTree {
+            root: Node {
+                bounds: world,
+                depth: 0,
+                count: 0,
+                kind: NodeKind::Leaf(Vec::new()),
+            },
+            capacity,
+            len: 0,
+        }
+    }
+
+    /// The world rectangle.
+    #[inline]
+    pub fn world(&self) -> Rect {
+        self.root.bounds
+    }
+
+    /// Number of indexed objects.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts an object. Points outside the world clamp onto its border
+    /// (mirroring [`crate::UniformGrid::cell_of`] semantics).
+    ///
+    /// The caller must ensure `id` is not already present; use
+    /// [`PointQuadTree::update`] to move an object.
+    pub fn insert(&mut self, id: ObjectId, p: Point) {
+        let p = self.root.bounds.clamp_point(p);
+        insert_rec(&mut self.root, id, p, self.capacity);
+        self.len += 1;
+    }
+
+    /// Removes an object by id and last-known location. Returns `true`
+    /// when found. (The location narrows the search to one path; this is
+    /// the standard PR-quadtree deletion contract.)
+    pub fn remove(&mut self, id: ObjectId, last_known: Point) -> bool {
+        let p = self.root.bounds.clamp_point(last_known);
+        let removed = remove_rec(&mut self.root, id, p, self.capacity);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Moves an object from `from` to `to`.
+    pub fn update(&mut self, id: ObjectId, from: Point, to: Point) -> bool {
+        if self.remove(id, from) {
+            self.insert(id, to);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The chain of node rectangles from the root down to the leaf whose
+    /// region contains `p`, together with each node's subtree count.
+    ///
+    /// The quadtree cloak consumes this path bottom-up: the first ancestor
+    /// whose count reaches `k` and whose area reaches `A_min` becomes the
+    /// cloaked region.
+    pub fn path_to_leaf(&self, p: Point) -> Vec<(Rect, u32)> {
+        let p = self.root.bounds.clamp_point(p);
+        let mut out = Vec::new();
+        let mut node = &self.root;
+        loop {
+            out.push((node.bounds, node.count));
+            match &node.kind {
+                NodeKind::Leaf(_) => break,
+                NodeKind::Internal(children) => {
+                    let qi = node.bounds.quadrant_of(p);
+                    node = &children[qi];
+                }
+            }
+        }
+        out
+    }
+
+    /// Count of objects inside `r`.
+    pub fn count_in_rect(&self, r: &Rect) -> usize {
+        let mut n = 0usize;
+        count_rec(&self.root, r, &mut n);
+        n
+    }
+
+    /// Collects `(id, point)` of objects inside `r`.
+    pub fn query_rect(&self, r: &Rect) -> Vec<(ObjectId, Point)> {
+        let mut out = Vec::new();
+        query_rec(&self.root, r, &mut out);
+        out
+    }
+
+    /// Number of leaf nodes (a measure of how adaptively the space has
+    /// been partitioned — reported by the E4 experiment).
+    pub fn leaf_count(&self) -> usize {
+        fn rec(n: &Node) -> usize {
+            match &n.kind {
+                NodeKind::Leaf(_) => 1,
+                NodeKind::Internal(c) => c.iter().map(rec).sum(),
+            }
+        }
+        rec(&self.root)
+    }
+
+    /// Maximum depth currently realized in the tree.
+    pub fn max_depth(&self) -> u8 {
+        fn rec(n: &Node) -> u8 {
+            match &n.kind {
+                NodeKind::Leaf(_) => n.depth,
+                NodeKind::Internal(c) => c.iter().map(rec).max().unwrap_or(n.depth),
+            }
+        }
+        rec(&self.root)
+    }
+}
+
+fn insert_rec(node: &mut Node, id: ObjectId, p: Point, capacity: usize) {
+    node.count += 1;
+    match &mut node.kind {
+        NodeKind::Leaf(items) => {
+            items.push((id, p));
+            if items.len() > capacity && node.depth < MAX_DEPTH {
+                split(node, capacity);
+            }
+        }
+        NodeKind::Internal(children) => {
+            let qi = node.bounds.quadrant_of(p);
+            insert_rec(&mut children[qi], id, p, capacity);
+        }
+    }
+}
+
+fn split(node: &mut Node, capacity: usize) {
+    let items = match &mut node.kind {
+        NodeKind::Leaf(items) => std::mem::take(items),
+        NodeKind::Internal(_) => unreachable!("split called on internal node"),
+    };
+    let quads = node.bounds.quadrants();
+    let mut children = Box::new(quads.map(|q| Node {
+        bounds: q,
+        depth: node.depth + 1,
+        count: 0,
+        kind: NodeKind::Leaf(Vec::new()),
+    }));
+    for (id, p) in items {
+        let qi = node.bounds.quadrant_of(p);
+        insert_rec(&mut children[qi], id, p, capacity);
+    }
+    node.kind = NodeKind::Internal(children);
+}
+
+fn remove_rec(node: &mut Node, id: ObjectId, p: Point, capacity: usize) -> bool {
+    let removed = match &mut node.kind {
+        NodeKind::Leaf(items) => {
+            if let Some(pos) = items.iter().position(|(oid, _)| *oid == id) {
+                items.swap_remove(pos);
+                true
+            } else {
+                false
+            }
+        }
+        NodeKind::Internal(children) => {
+            let qi = node.bounds.quadrant_of(p);
+            remove_rec(&mut children[qi], id, p, capacity)
+        }
+    };
+    if removed {
+        node.count -= 1;
+        // Collapse an internal node whose subtree fits in one leaf again.
+        if let NodeKind::Internal(_) = node.kind {
+            if (node.count as usize) <= capacity {
+                let mut collected = Vec::with_capacity(node.count as usize);
+                collect_rec(node, &mut collected);
+                node.kind = NodeKind::Leaf(collected);
+            }
+        }
+    }
+    removed
+}
+
+fn collect_rec(node: &Node, out: &mut Vec<(ObjectId, Point)>) {
+    match &node.kind {
+        NodeKind::Leaf(items) => out.extend_from_slice(items),
+        NodeKind::Internal(children) => {
+            for c in children.iter() {
+                collect_rec(c, out);
+            }
+        }
+    }
+}
+
+fn count_rec(node: &Node, r: &Rect, n: &mut usize) {
+    if !node.bounds.intersects(r) {
+        return;
+    }
+    if r.contains_rect(&node.bounds) {
+        *n += node.count as usize;
+        return;
+    }
+    match &node.kind {
+        NodeKind::Leaf(items) => {
+            *n += items.iter().filter(|(_, p)| r.contains_point(*p)).count();
+        }
+        NodeKind::Internal(children) => {
+            for c in children.iter() {
+                count_rec(c, r, n);
+            }
+        }
+    }
+}
+
+fn query_rec(node: &Node, r: &Rect, out: &mut Vec<(ObjectId, Point)>) {
+    if !node.bounds.intersects(r) {
+        return;
+    }
+    match &node.kind {
+        NodeKind::Leaf(items) => {
+            out.extend(items.iter().filter(|(_, p)| r.contains_point(*p)));
+        }
+        NodeKind::Internal(children) => {
+            for c in children.iter() {
+                query_rec(c, r, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> Rect {
+        Rect::new_unchecked(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        PointQuadTree::new(world(), 0);
+    }
+
+    #[test]
+    fn insert_splits_when_capacity_exceeded() {
+        let mut t = PointQuadTree::new(world(), 2);
+        t.insert(1, Point::new(0.1, 0.1));
+        t.insert(2, Point::new(0.2, 0.1));
+        assert_eq!(t.leaf_count(), 1);
+        t.insert(3, Point::new(0.9, 0.9));
+        // Three points exceed capacity 2 -> root splits into 4 leaves.
+        assert_eq!(t.leaf_count(), 4);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.max_depth(), 1);
+    }
+
+    #[test]
+    fn deep_split_on_clustered_points() {
+        let mut t = PointQuadTree::new(world(), 1);
+        t.insert(1, Point::new(0.01, 0.01));
+        t.insert(2, Point::new(0.02, 0.02));
+        assert!(t.max_depth() >= 4, "nearby points force deep splits");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn coincident_points_respect_max_depth() {
+        let mut t = PointQuadTree::new(world(), 1);
+        for id in 0..10u64 {
+            t.insert(id, Point::new(0.5, 0.5));
+        }
+        assert_eq!(t.len(), 10);
+        assert!(t.max_depth() <= MAX_DEPTH);
+    }
+
+    #[test]
+    fn path_to_leaf_is_nested_with_monotone_counts() {
+        let mut t = PointQuadTree::new(world(), 2);
+        for i in 0..64u64 {
+            let x = (i % 8) as f64 / 8.0 + 0.05;
+            let y = (i / 8) as f64 / 8.0 + 0.05;
+            t.insert(i, Point::new(x, y));
+        }
+        let p = Point::new(0.07, 0.07);
+        let path = t.path_to_leaf(p);
+        assert!(path.len() > 1);
+        assert_eq!(path[0].1, 64, "root counts everything");
+        for w in path.windows(2) {
+            assert!(w[0].0.contains_rect(&w[1].0), "path rects nest");
+            assert!(w[0].1 >= w[1].1, "counts shrink along the path");
+            assert!(w[1].0.contains_point(p));
+        }
+    }
+
+    #[test]
+    fn remove_and_collapse() {
+        let mut t = PointQuadTree::new(world(), 2);
+        let pts = [
+            (1, Point::new(0.1, 0.1)),
+            (2, Point::new(0.9, 0.1)),
+            (3, Point::new(0.1, 0.9)),
+            (4, Point::new(0.9, 0.9)),
+        ];
+        for (id, p) in pts {
+            t.insert(id, p);
+        }
+        assert_eq!(t.leaf_count(), 4);
+        assert!(t.remove(1, pts[0].1));
+        assert!(t.remove(2, pts[1].1));
+        // Two points fit capacity again: tree collapses to one leaf.
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.len(), 2);
+        // Removing a missing id is a no-op.
+        assert!(!t.remove(1, pts[0].1));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn update_moves_point() {
+        let mut t = PointQuadTree::new(world(), 1);
+        t.insert(1, Point::new(0.1, 0.1));
+        assert!(t.update(1, Point::new(0.1, 0.1), Point::new(0.9, 0.9)));
+        assert_eq!(t.count_in_rect(&Rect::new_unchecked(0.8, 0.8, 1.0, 1.0)), 1);
+        assert_eq!(t.count_in_rect(&Rect::new_unchecked(0.0, 0.0, 0.2, 0.2)), 0);
+        assert!(!t.update(99, Point::new(0.5, 0.5), Point::new(0.6, 0.6)));
+    }
+
+    #[test]
+    fn count_and_query_agree_with_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt as _, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut t = PointQuadTree::new(world(), 4);
+        let mut pts = Vec::new();
+        for id in 0..300u64 {
+            let p = Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
+            t.insert(id, p);
+            pts.push((id, p));
+        }
+        for _ in 0..25 {
+            let x0 = rng.random_range(0.0..0.8);
+            let y0 = rng.random_range(0.0..0.8);
+            let r = Rect::new_unchecked(x0, y0, x0 + 0.2, y0 + 0.2);
+            let expect = pts.iter().filter(|(_, p)| r.contains_point(*p)).count();
+            assert_eq!(t.count_in_rect(&r), expect);
+            assert_eq!(t.query_rect(&r).len(), expect);
+        }
+    }
+
+    #[test]
+    fn out_of_world_points_clamp() {
+        let mut t = PointQuadTree::new(world(), 4);
+        t.insert(1, Point::new(5.0, 5.0));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.count_in_rect(&world()), 1);
+        assert!(t.remove(1, Point::new(5.0, 5.0)));
+    }
+}

@@ -1,0 +1,245 @@
+//! Property-based tests: every index must agree with brute force on
+//! arbitrary point sets and query shapes.
+
+use lbsp_geom::{Point, Rect};
+use lbsp_index::{PointQuadTree, PyramidCell, PyramidGrid, RTree, UniformGrid};
+use proptest::prelude::*;
+
+fn unit_world() -> Rect {
+    Rect::new_unchecked(0.0, 0.0, 1.0, 1.0)
+}
+
+prop_compose! {
+    fn upoint()(x in 0.0f64..1.0, y in 0.0f64..1.0) -> Point {
+        Point::new(x, y)
+    }
+}
+
+prop_compose! {
+    fn urect()(x0 in 0.0f64..1.0, y0 in 0.0f64..1.0, w in 0.0f64..1.0, h in 0.0f64..1.0) -> Rect {
+        Rect::new_unchecked(x0, y0, (x0 + w).min(1.0), (y0 + h).min(1.0))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn grid_count_matches_brute_force(
+        pts in prop::collection::vec(upoint(), 0..200),
+        q in urect(),
+        side in 1u32..20,
+    ) {
+        let mut g = UniformGrid::new(unit_world(), side, side);
+        for (i, p) in pts.iter().enumerate() {
+            g.insert(i as u64, *p);
+        }
+        let brute = pts.iter().filter(|p| q.contains_point(**p)).count();
+        prop_assert_eq!(g.count_in_rect(&q), brute);
+        prop_assert_eq!(g.query_rect(&q).len(), brute);
+        prop_assert_eq!(g.len(), pts.len());
+    }
+
+    #[test]
+    fn grid_knn_matches_brute_force(
+        pts in prop::collection::vec(upoint(), 1..150),
+        q in upoint(),
+        k in 1usize..20,
+    ) {
+        let mut g = UniformGrid::new(unit_world(), 8, 8);
+        for (i, p) in pts.iter().enumerate() {
+            g.insert(i as u64, *p);
+        }
+        let got = g.k_nearest(q, k, |_| false);
+        let mut brute: Vec<f64> = pts.iter().map(|p| q.dist(*p)).collect();
+        brute.sort_by(|a, b| a.total_cmp(b));
+        prop_assert_eq!(got.len(), k.min(pts.len()));
+        for (i, (_, p)) in got.iter().enumerate() {
+            prop_assert!((q.dist(*p) - brute[i]).abs() < 1e-9, "rank {}", i);
+        }
+    }
+
+    #[test]
+    fn grid_remove_then_absent(
+        pts in prop::collection::vec(upoint(), 1..100),
+        victim in 0usize..100,
+    ) {
+        let mut g = UniformGrid::new(unit_world(), 6, 6);
+        for (i, p) in pts.iter().enumerate() {
+            g.insert(i as u64, *p);
+        }
+        let victim = victim % pts.len();
+        prop_assert!(g.remove(victim as u64).is_some());
+        prop_assert!(g.location(victim as u64).is_none());
+        prop_assert_eq!(g.len(), pts.len() - 1);
+        prop_assert!(g.remove(victim as u64).is_none());
+    }
+
+    #[test]
+    fn pyramid_counts_conserved_across_levels(
+        pts in prop::collection::vec(upoint(), 0..150),
+        levels in 1u8..6,
+    ) {
+        let mut p = PyramidGrid::new(unit_world(), levels);
+        for (i, pt) in pts.iter().enumerate() {
+            p.insert(i as u64, *pt);
+        }
+        for level in 0..=levels {
+            let side = p.side(level);
+            let mut total = 0u32;
+            for iy in 0..side {
+                for ix in 0..side {
+                    total += p.count(PyramidCell { level, ix, iy });
+                }
+            }
+            prop_assert_eq!(total as usize, pts.len(), "level {}", level);
+        }
+    }
+
+    #[test]
+    fn pyramid_moves_preserve_counts(
+        pts in prop::collection::vec((upoint(), upoint()), 1..80),
+    ) {
+        let mut p = PyramidGrid::new(unit_world(), 4);
+        for (i, (a, _)) in pts.iter().enumerate() {
+            p.insert(i as u64, *a);
+        }
+        for (i, (_, b)) in pts.iter().enumerate() {
+            p.insert(i as u64, *b);
+        }
+        prop_assert_eq!(p.len(), pts.len());
+        prop_assert_eq!(
+            p.count(PyramidCell { level: 0, ix: 0, iy: 0 }) as usize,
+            pts.len()
+        );
+        // The cell of each final position contains it.
+        for (i, (_, b)) in pts.iter().enumerate() {
+            prop_assert_eq!(p.location(i as u64), Some(*b));
+            let leaf = p.leaf_cell_of(*b);
+            prop_assert!(p.count(leaf) >= 1);
+            prop_assert!(p.cell_rect(leaf).contains_point(*b));
+        }
+    }
+
+    #[test]
+    fn quadtree_matches_brute_force(
+        pts in prop::collection::vec(upoint(), 0..200),
+        q in urect(),
+        cap in 1usize..16,
+    ) {
+        let mut t = PointQuadTree::new(unit_world(), cap);
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(i as u64, *p);
+        }
+        let brute = pts.iter().filter(|p| q.contains_point(**p)).count();
+        prop_assert_eq!(t.count_in_rect(&q), brute);
+        prop_assert_eq!(t.len(), pts.len());
+        // Path to any point is nested and ends in a region containing it.
+        if let Some(p) = pts.first() {
+            let path = t.path_to_leaf(*p);
+            prop_assert!(!path.is_empty());
+            prop_assert!(path.last().unwrap().0.contains_point(*p));
+        }
+    }
+
+    #[test]
+    fn quadtree_insert_remove_roundtrip(
+        pts in prop::collection::vec(upoint(), 1..100),
+    ) {
+        let mut t = PointQuadTree::new(unit_world(), 4);
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(i as u64, *p);
+        }
+        // Remove every other point; counts must track.
+        let mut expected = pts.len();
+        for (i, p) in pts.iter().enumerate().step_by(2) {
+            prop_assert!(t.remove(i as u64, *p));
+            expected -= 1;
+            prop_assert_eq!(t.len(), expected);
+        }
+        let remaining = t.count_in_rect(&unit_world());
+        prop_assert_eq!(remaining, expected);
+    }
+
+    #[test]
+    fn rtree_search_matches_brute_force(
+        pts in prop::collection::vec(upoint(), 0..300),
+        q in urect(),
+    ) {
+        let entries: Vec<(Rect, u64)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (Rect::from_point(*p), i as u64))
+            .collect();
+        let t = RTree::bulk_load(entries);
+        let brute = pts.iter().filter(|p| q.contains_point(**p)).count();
+        prop_assert_eq!(t.search_rect(&q).len(), brute);
+    }
+
+    #[test]
+    fn rtree_knn_matches_brute_force(
+        pts in prop::collection::vec(upoint(), 1..200),
+        q in upoint(),
+        k in 1usize..10,
+    ) {
+        let mut t = RTree::new();
+        for (i, p) in pts.iter().enumerate() {
+            t.insert_point(*p, i as u64);
+        }
+        let got = t.k_nearest(q, k);
+        let mut brute: Vec<f64> = pts.iter().map(|p| q.dist(*p)).collect();
+        brute.sort_by(|a, b| a.total_cmp(b));
+        prop_assert_eq!(got.len(), k.min(pts.len()));
+        for (i, nb) in got.iter().enumerate() {
+            prop_assert!((nb.dist - brute[i]).abs() < 1e-9, "rank {}", i);
+        }
+    }
+
+    #[test]
+    fn rtree_rect_entry_knn_matches_brute_force(
+        rects in prop::collection::vec(urect(), 1..100),
+        q in upoint(),
+        k in 1usize..8,
+    ) {
+        // Cloaked private records are rect entries; k_nearest must rank
+        // them by min-dist to the query point.
+        let mut t = RTree::new();
+        for (i, r) in rects.iter().enumerate() {
+            t.insert(*r, i as u64);
+        }
+        let got = t.k_nearest(q, k);
+        let mut brute: Vec<f64> = rects
+            .iter()
+            .map(|r| lbsp_geom::min_dist_point_rect(q, r))
+            .collect();
+        brute.sort_by(|a, b| a.total_cmp(b));
+        prop_assert_eq!(got.len(), k.min(rects.len()));
+        for (i, nb) in got.iter().enumerate() {
+            prop_assert!((nb.dist - brute[i]).abs() < 1e-9, "rank {}", i);
+        }
+    }
+
+    #[test]
+    fn rtree_dynamic_inserts_and_removals_stay_consistent(
+        pts in prop::collection::vec(upoint(), 1..150),
+        q in urect(),
+    ) {
+        let mut t = RTree::new();
+        for (i, p) in pts.iter().enumerate() {
+            t.insert_point(*p, i as u64);
+        }
+        // Remove the first third.
+        let cut = pts.len() / 3;
+        for (i, p) in pts.iter().take(cut).enumerate() {
+            prop_assert!(t.remove_point(*p, i as u64));
+        }
+        prop_assert_eq!(t.len(), pts.len() - cut);
+        let brute = pts
+            .iter()
+            .enumerate()
+            .skip(cut)
+            .filter(|(_, p)| q.contains_point(**p))
+            .count();
+        prop_assert_eq!(t.search_rect(&q).len(), brute);
+    }
+}

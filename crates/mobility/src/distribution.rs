@@ -1,0 +1,179 @@
+//! Spatial distributions for generating user and object locations.
+
+use lbsp_geom::{uniform_point_in_circle, uniform_point_in_rect, Point, Rect};
+use rand::{Rng, RngExt as _};
+
+/// How locations are spread over the world.
+///
+/// The leakage and QoS properties of cloaking depend heavily on local
+/// density (a stadium vs a rural road — the paper's own examples for
+/// `A_min` and `A_max`), so experiments run over several shapes:
+#[derive(Debug, Clone)]
+pub enum SpatialDistribution {
+    /// Uniform over the world rectangle (the "rural" baseline).
+    Uniform,
+    /// A mixture of Gaussian blobs ("cities"): each sample picks a random
+    /// center and adds isotropic Gaussian noise with the given sigma,
+    /// clamped to the world. Weights are proportional to `centers`
+    /// multiplicity.
+    GaussianClusters {
+        /// Cluster centers.
+        centers: Vec<Point>,
+        /// Standard deviation of each cluster, in world units.
+        sigma: f64,
+    },
+    /// A dense disk ("stadium") over a uniform background: with
+    /// probability `hot_fraction` a sample falls uniformly in the disk,
+    /// otherwise uniformly in the world.
+    Hotspot {
+        /// Center of the dense disk.
+        center: Point,
+        /// Radius of the dense disk.
+        radius: f64,
+        /// Fraction of all samples that land in the disk.
+        hot_fraction: f64,
+    },
+}
+
+impl SpatialDistribution {
+    /// Standard three-city clustered workload used by the benchmarks.
+    pub fn three_cities(world: &Rect) -> SpatialDistribution {
+        let w = world.width();
+        let h = world.height();
+        let at = |fx: f64, fy: f64| {
+            Point::new(world.min_x() + fx * w, world.min_y() + fy * h)
+        };
+        SpatialDistribution::GaussianClusters {
+            centers: vec![at(0.25, 0.25), at(0.7, 0.6), at(0.4, 0.85)],
+            sigma: 0.05 * w.min(h),
+        }
+    }
+
+    /// Draws one location inside `world`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, world: &Rect) -> Point {
+        match self {
+            SpatialDistribution::Uniform => uniform_point_in_rect(rng, world),
+            SpatialDistribution::GaussianClusters { centers, sigma } => {
+                if centers.is_empty() {
+                    return uniform_point_in_rect(rng, world);
+                }
+                let c = centers[rng.random_range(0..centers.len())];
+                // Box-Muller keeps us off rand_distr (not in the allowed set).
+                let (g1, g2) = gaussian_pair(rng);
+                world.clamp_point(Point::new(c.x + sigma * g1, c.y + sigma * g2))
+            }
+            SpatialDistribution::Hotspot {
+                center,
+                radius,
+                hot_fraction,
+            } => {
+                if rng.random_range(0.0..1.0) < *hot_fraction {
+                    world.clamp_point(uniform_point_in_circle(rng, *center, *radius))
+                } else {
+                    uniform_point_in_rect(rng, world)
+                }
+            }
+        }
+    }
+
+    /// Draws `n` locations.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, world: &Rect, n: usize) -> Vec<Point> {
+        (0..n).map(|_| self.sample(rng, world)).collect()
+    }
+}
+
+/// One pair of independent standard Gaussians via Box–Muller.
+fn gaussian_pair<R: Rng + ?Sized>(rng: &mut R) -> (f64, f64) {
+    // Avoid u1 == 0 which would yield -inf.
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = std::f64::consts::TAU * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world() -> Rect {
+        Rect::new_unchecked(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn uniform_stays_in_world() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = SpatialDistribution::Uniform.sample_n(&mut rng, &world(), 500);
+        assert_eq!(pts.len(), 500);
+        assert!(pts.iter().all(|p| world().contains_point(*p)));
+    }
+
+    #[test]
+    fn clusters_concentrate_mass_near_centers() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = SpatialDistribution::GaussianClusters {
+            centers: vec![Point::new(0.5, 0.5)],
+            sigma: 0.05,
+        };
+        let pts = d.sample_n(&mut rng, &world(), 2000);
+        let near = pts
+            .iter()
+            .filter(|p| p.dist(Point::new(0.5, 0.5)) < 0.15)
+            .count();
+        // 3 sigma covers ~98.9% of a 2-D isotropic Gaussian.
+        assert!(near as f64 / 2000.0 > 0.95, "near fraction {}", near);
+        assert!(pts.iter().all(|p| world().contains_point(*p)));
+    }
+
+    #[test]
+    fn empty_cluster_list_falls_back_to_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = SpatialDistribution::GaussianClusters {
+            centers: vec![],
+            sigma: 0.1,
+        };
+        let p = d.sample(&mut rng, &world());
+        assert!(world().contains_point(p));
+    }
+
+    #[test]
+    fn hotspot_fraction_is_respected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = SpatialDistribution::Hotspot {
+            center: Point::new(0.5, 0.5),
+            radius: 0.05,
+            hot_fraction: 0.8,
+        };
+        let pts = d.sample_n(&mut rng, &world(), 4000);
+        let hot = pts
+            .iter()
+            .filter(|p| p.dist(Point::new(0.5, 0.5)) <= 0.05)
+            .count();
+        let frac = hot as f64 / 4000.0;
+        // 80% forced into the disk plus a tiny uniform contribution.
+        assert!((frac - 0.8).abs() < 0.05, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn three_cities_has_three_centers_inside_world() {
+        let d = SpatialDistribution::three_cities(&world());
+        match d {
+            SpatialDistribution::GaussianClusters { centers, sigma } => {
+                assert_eq!(centers.len(), 3);
+                assert!(sigma > 0.0);
+                assert!(centers.iter().all(|c| world().contains_point(*c)));
+            }
+            _ => panic!("expected clusters"),
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let d = SpatialDistribution::three_cities(&world());
+        let a = d.sample_n(&mut StdRng::seed_from_u64(9), &world(), 50);
+        let b = d.sample_n(&mut StdRng::seed_from_u64(9), &world(), 50);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,29 @@
+//! Synthetic mobile-user workloads.
+//!
+//! The paper's setting is "large numbers of mobile users" streaming
+//! location updates into the anonymizer. We have no access to real GPS
+//! traces, so this crate substitutes synthetic but behaviourally faithful
+//! workloads (see DESIGN.md): spatial distributions ranging from uniform
+//! to heavily clustered "city" populations, a random-waypoint movement
+//! model for continuous motion, POI datasets for the server's public
+//! data, and reproducible update streams — everything is seeded, so every
+//! experiment is deterministic.
+
+#![warn(missing_docs)]
+
+mod distribution;
+mod poi;
+mod population;
+mod stream;
+mod trace;
+mod waypoint;
+
+pub use distribution::SpatialDistribution;
+pub use poi::{Poi, PoiCategory, PoiSet};
+pub use population::{Population, UserState};
+pub use stream::{LocationUpdate, UpdateStream};
+pub use trace::{decode_trace, encode_trace, TraceError, TRACE_MAGIC};
+pub use waypoint::RandomWaypoint;
+
+/// Identifier for a mobile user.
+pub type UserId = u64;

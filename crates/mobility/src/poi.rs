@@ -1,0 +1,181 @@
+//! Public points of interest — the server's public data.
+//!
+//! The paper's public data are "stationary objects such as hospitals,
+//! restaurants, gas stations, and coffee shops or moving objects such as
+//! police cars" (Sec. 6.1). This module generates seeded POI datasets
+//! with categories so examples can ask domain questions ("nearest gas
+//! station") instead of abstract ones.
+
+use crate::SpatialDistribution;
+use lbsp_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+/// Category of a public object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoiCategory {
+    /// Fuel stations (the paper's running private-query example).
+    GasStation,
+    /// Restaurants ("nearest Pizza restaurant").
+    Restaurant,
+    /// Hospitals / clinics (the paper's medical-privacy motivation).
+    Hospital,
+    /// Coffee shops.
+    CoffeeShop,
+    /// Moving public objects: police cars, on-site workers.
+    PoliceCar,
+}
+
+impl PoiCategory {
+    /// All categories, for round-robin generation.
+    pub const ALL: [PoiCategory; 5] = [
+        PoiCategory::GasStation,
+        PoiCategory::Restaurant,
+        PoiCategory::Hospital,
+        PoiCategory::CoffeeShop,
+        PoiCategory::PoliceCar,
+    ];
+
+    /// `true` for categories that move (police cars).
+    pub fn is_mobile(&self) -> bool {
+        matches!(self, PoiCategory::PoliceCar)
+    }
+}
+
+/// One public object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poi {
+    /// Identifier, dense within a [`PoiSet`].
+    pub id: u64,
+    /// Location.
+    pub pos: Point,
+    /// Category.
+    pub category: PoiCategory,
+}
+
+/// A seeded set of POIs.
+#[derive(Debug, Clone, Default)]
+pub struct PoiSet {
+    pois: Vec<Poi>,
+}
+
+impl PoiSet {
+    /// Generates `n` POIs placed by `dist`, cycling through all
+    /// categories.
+    pub fn generate(world: Rect, n: usize, dist: &SpatialDistribution, seed: u64) -> PoiSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pois = (0..n)
+            .map(|i| Poi {
+                id: i as u64,
+                pos: dist.sample(&mut rng, &world),
+                category: PoiCategory::ALL[i % PoiCategory::ALL.len()],
+            })
+            .collect();
+        PoiSet { pois }
+    }
+
+    /// Generates `n` POIs of a single category.
+    pub fn generate_category(
+        world: Rect,
+        n: usize,
+        category: PoiCategory,
+        dist: &SpatialDistribution,
+        seed: u64,
+    ) -> PoiSet {
+        let mut set = PoiSet::generate(world, n, dist, seed);
+        for p in &mut set.pois {
+            p.category = category;
+        }
+        set
+    }
+
+    /// All POIs.
+    #[inline]
+    pub fn pois(&self) -> &[Poi] {
+        &self.pois
+    }
+
+    /// Number of POIs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pois.len()
+    }
+
+    /// `true` when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pois.is_empty()
+    }
+
+    /// POIs of one category.
+    pub fn of_category(&self, c: PoiCategory) -> impl Iterator<Item = &Poi> {
+        self.pois.iter().filter(move |p| p.category == c)
+    }
+
+    /// Random POI (for picking query targets in benchmarks).
+    pub fn sample_one(&self, seed: u64) -> Option<&Poi> {
+        if self.pois.is_empty() {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        Some(&self.pois[rng.random_range(0..self.pois.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> Rect {
+        Rect::new_unchecked(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn generates_all_categories_in_world() {
+        let s = PoiSet::generate(world(), 100, &SpatialDistribution::Uniform, 1);
+        assert_eq!(s.len(), 100);
+        for c in PoiCategory::ALL {
+            assert!(s.of_category(c).count() >= 100 / 5);
+        }
+        assert!(s.pois().iter().all(|p| world().contains_point(p.pos)));
+        // Dense ids.
+        for (i, p) in s.pois().iter().enumerate() {
+            assert_eq!(p.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn single_category_generation() {
+        let s = PoiSet::generate_category(
+            world(),
+            20,
+            PoiCategory::GasStation,
+            &SpatialDistribution::Uniform,
+            2,
+        );
+        assert_eq!(s.of_category(PoiCategory::GasStation).count(), 20);
+        assert_eq!(s.of_category(PoiCategory::Hospital).count(), 0);
+    }
+
+    #[test]
+    fn mobility_flag() {
+        assert!(PoiCategory::PoliceCar.is_mobile());
+        assert!(!PoiCategory::GasStation.is_mobile());
+    }
+
+    #[test]
+    fn sample_one_and_empty() {
+        let s = PoiSet::generate(world(), 10, &SpatialDistribution::Uniform, 3);
+        assert!(s.sample_one(5).is_some());
+        let empty = PoiSet::default();
+        assert!(empty.is_empty());
+        assert!(empty.sample_one(5).is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = PoiSet::generate(world(), 30, &SpatialDistribution::Uniform, 9);
+        let b = PoiSet::generate(world(), 30, &SpatialDistribution::Uniform, 9);
+        assert_eq!(a.pois(), b.pois());
+    }
+}

@@ -1,0 +1,160 @@
+//! A population of moving users.
+
+use crate::{RandomWaypoint, SpatialDistribution, UserId};
+use lbsp_geom::{Point, Rect};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Snapshot of a single user's kinematic state.
+#[derive(Debug, Clone)]
+pub struct UserState {
+    /// The user's identifier (dense, `0..n`).
+    pub id: UserId,
+    walker: RandomWaypoint,
+}
+
+impl UserState {
+    /// Current position.
+    #[inline]
+    pub fn position(&self) -> Point {
+        self.walker.position()
+    }
+}
+
+/// A seeded population of `n` users moving by random waypoint.
+///
+/// Dense ids (`0..n`) let downstream structures use vectors instead of
+/// maps where it matters.
+#[derive(Debug, Clone)]
+pub struct Population {
+    world: Rect,
+    users: Vec<UserState>,
+    rng: SmallRng,
+}
+
+impl Population {
+    /// Creates `n` users placed by `dist`, with speeds uniform in
+    /// `[v_min, v_max]` (world units per second), seeded deterministically.
+    pub fn generate(
+        world: Rect,
+        n: usize,
+        dist: &SpatialDistribution,
+        v_min: f64,
+        v_max: f64,
+        seed: u64,
+    ) -> Population {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let users = (0..n)
+            .map(|i| {
+                let start = dist.sample(&mut rng, &world);
+                UserState {
+                    id: i as UserId,
+                    walker: RandomWaypoint::new(&mut rng, world, start, v_min, v_max),
+                }
+            })
+            .collect();
+        Population { world, users, rng }
+    }
+
+    /// The world rectangle.
+    #[inline]
+    pub fn world(&self) -> Rect {
+        self.world
+    }
+
+    /// Number of users.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// `true` when the population is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Immutable view of all users.
+    #[inline]
+    pub fn users(&self) -> &[UserState] {
+        &self.users
+    }
+
+    /// Position of user `id`, when valid.
+    pub fn position_of(&self, id: UserId) -> Option<Point> {
+        self.users.get(id as usize).map(|u| u.position())
+    }
+
+    /// All current positions, indexed by user id.
+    pub fn positions(&self) -> Vec<Point> {
+        self.users.iter().map(|u| u.position()).collect()
+    }
+
+    /// Advances every user by `dt` seconds and returns `(id, new_pos)`
+    /// for all of them — one tick of the update stream.
+    pub fn step_all(&mut self, dt: f64) -> Vec<(UserId, Point)> {
+        let rng = &mut self.rng;
+        self.users
+            .iter_mut()
+            .map(|u| (u.id, u.walker.step(rng, dt)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> Rect {
+        Rect::new_unchecked(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn generate_places_everyone_in_world() {
+        let p = Population::generate(
+            world(),
+            100,
+            &SpatialDistribution::Uniform,
+            0.01,
+            0.05,
+            42,
+        );
+        assert_eq!(p.len(), 100);
+        assert!(!p.is_empty());
+        assert!(p.positions().iter().all(|pt| world().contains_point(*pt)));
+        // Ids are dense.
+        for (i, u) in p.users().iter().enumerate() {
+            assert_eq!(u.id, i as UserId);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Population::generate(world(), 50, &SpatialDistribution::Uniform, 0.01, 0.05, 7);
+        let b = Population::generate(world(), 50, &SpatialDistribution::Uniform, 0.01, 0.05, 7);
+        assert_eq!(a.positions(), b.positions());
+        let c = Population::generate(world(), 50, &SpatialDistribution::Uniform, 0.01, 0.05, 8);
+        assert_ne!(a.positions(), c.positions());
+    }
+
+    #[test]
+    fn step_all_moves_users_within_speed_bound() {
+        let mut p =
+            Population::generate(world(), 30, &SpatialDistribution::Uniform, 0.02, 0.04, 3);
+        let before = p.positions();
+        let updates = p.step_all(1.0);
+        assert_eq!(updates.len(), 30);
+        for (id, new_pos) in updates {
+            assert!(world().contains_point(new_pos));
+            let moved = before[id as usize].dist(new_pos);
+            assert!(moved <= 0.04 + 1e-9, "user {id} moved {moved}");
+        }
+    }
+
+    #[test]
+    fn position_of_bounds() {
+        let p = Population::generate(world(), 5, &SpatialDistribution::Uniform, 0.01, 0.02, 1);
+        assert!(p.position_of(4).is_some());
+        assert!(p.position_of(5).is_none());
+    }
+}

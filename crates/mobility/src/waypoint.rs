@@ -1,0 +1,177 @@
+//! Random-waypoint movement model.
+//!
+//! The classic mobility model for evaluating location-based systems: each
+//! user repeatedly picks a destination uniformly in the world, travels to
+//! it in a straight line at a speed drawn from `[v_min, v_max]`, then
+//! immediately picks the next destination. Simple, standard, and enough
+//! to exercise the incremental-cloaking path (Sec. 5.3), whose benefit
+//! depends precisely on update locality — which this model controls via
+//! speed.
+
+use lbsp_geom::{uniform_point_in_rect, Point, Rect};
+use rand::{Rng, RngExt as _};
+
+/// Per-user random-waypoint state.
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    world: Rect,
+    /// Current position.
+    pos: Point,
+    /// Current destination.
+    target: Point,
+    /// Current speed, world units per second.
+    speed: f64,
+    v_min: f64,
+    v_max: f64,
+}
+
+impl RandomWaypoint {
+    /// Creates a walker at `start` with speeds drawn from
+    /// `[v_min, v_max]`.
+    ///
+    /// # Panics
+    /// Panics when `v_min > v_max`, a speed is negative, or `v_max == 0`
+    /// (a walker that can never move is a configuration error).
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        world: Rect,
+        start: Point,
+        v_min: f64,
+        v_max: f64,
+    ) -> RandomWaypoint {
+        assert!(
+            v_min >= 0.0 && v_max > 0.0 && v_min <= v_max,
+            "need 0 <= v_min <= v_max, v_max > 0"
+        );
+        let mut w = RandomWaypoint {
+            world,
+            pos: world.clamp_point(start),
+            target: start,
+            speed: 0.0,
+            v_min,
+            v_max,
+        };
+        w.pick_leg(rng);
+        w
+    }
+
+    fn pick_leg<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.target = uniform_point_in_rect(rng, &self.world);
+        self.speed = if self.v_min < self.v_max {
+            rng.random_range(self.v_min..=self.v_max)
+        } else {
+            self.v_max
+        };
+    }
+
+    /// Current position.
+    #[inline]
+    pub fn position(&self) -> Point {
+        self.pos
+    }
+
+    /// Current destination.
+    #[inline]
+    pub fn target(&self) -> Point {
+        self.target
+    }
+
+    /// Advances the walker by `dt` seconds, possibly across several legs,
+    /// and returns the new position.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R, dt: f64) -> Point {
+        let mut remaining = dt.max(0.0);
+        // Bounded leg count per step keeps adversarial dt finite.
+        for _ in 0..64 {
+            if remaining <= 0.0 {
+                break;
+            }
+            let to_target = self.pos.dist(self.target);
+            let travel = self.speed * remaining;
+            if travel < to_target || to_target == 0.0 && travel == 0.0 {
+                let t = if to_target > 0.0 { travel / to_target } else { 1.0 };
+                self.pos = self.pos.lerp(self.target, t);
+                remaining = 0.0;
+            } else {
+                // Reach the target and start a new leg with leftover time.
+                remaining -= if self.speed > 0.0 {
+                    to_target / self.speed
+                } else {
+                    remaining
+                };
+                self.pos = self.target;
+                self.pick_leg(rng);
+            }
+        }
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world() -> Rect {
+        Rect::new_unchecked(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    #[should_panic(expected = "v_min <= v_max")]
+    fn invalid_speed_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        RandomWaypoint::new(&mut rng, world(), Point::ORIGIN, 2.0, 1.0);
+    }
+
+    #[test]
+    fn stays_inside_world() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut w = RandomWaypoint::new(&mut rng, world(), Point::new(0.5, 0.5), 0.01, 0.1);
+        for _ in 0..1000 {
+            let p = w.step(&mut rng, 1.0);
+            assert!(world().contains_point(p));
+        }
+    }
+
+    #[test]
+    fn moves_at_most_speed_times_dt() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v_max = 0.05;
+        let mut w = RandomWaypoint::new(&mut rng, world(), Point::new(0.5, 0.5), 0.01, v_max);
+        for _ in 0..200 {
+            let before = w.position();
+            let after = w.step(&mut rng, 1.0);
+            // Crossing a waypoint can bend the path, but total displacement
+            // still can't exceed v_max * dt (triangle inequality).
+            assert!(before.dist(after) <= v_max * 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn eventually_reaches_targets() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut w = RandomWaypoint::new(&mut rng, world(), Point::new(0.0, 0.0), 0.1, 0.2);
+        let first_target = w.target();
+        // Step far enough to guarantee passing the first target.
+        for _ in 0..200 {
+            w.step(&mut rng, 0.5);
+        }
+        assert_ne!(w.target(), first_target, "walker picked new legs");
+    }
+
+    #[test]
+    fn zero_dt_is_identity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut w = RandomWaypoint::new(&mut rng, world(), Point::new(0.3, 0.3), 0.01, 0.1);
+        let before = w.position();
+        assert_eq!(w.step(&mut rng, 0.0), before);
+        assert_eq!(w.step(&mut rng, -1.0), before, "negative dt clamps");
+    }
+
+    #[test]
+    fn start_outside_world_is_clamped() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let w = RandomWaypoint::new(&mut rng, world(), Point::new(5.0, -3.0), 0.01, 0.1);
+        assert!(world().contains_point(w.position()));
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the workload substrate: everything the
+//! experiments assume about the synthetic populations must actually
+//! hold for arbitrary parameters.
+
+use lbsp_geom::{Point, Rect};
+use lbsp_mobility::{PoiSet, Population, SpatialDistribution, UpdateStream};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn world() -> Rect {
+    Rect::new_unchecked(0.0, 0.0, 1.0, 1.0)
+}
+
+prop_compose! {
+    fn upoint()(x in 0.0f64..1.0, y in 0.0f64..1.0) -> Point {
+        Point::new(x, y)
+    }
+}
+
+fn distributions() -> Vec<SpatialDistribution> {
+    vec![
+        SpatialDistribution::Uniform,
+        SpatialDistribution::three_cities(&world()),
+        SpatialDistribution::Hotspot {
+            center: Point::new(0.5, 0.5),
+            radius: 0.1,
+            hot_fraction: 0.7,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn all_distributions_sample_inside_world(seed in 0u64..1000, n in 1usize..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for d in distributions() {
+            let pts = d.sample_n(&mut rng, &world(), n);
+            prop_assert_eq!(pts.len(), n);
+            prop_assert!(pts.iter().all(|p| world().contains_point(*p)));
+        }
+    }
+
+    #[test]
+    fn population_motion_respects_speed_and_world(
+        seed in 0u64..500,
+        n in 1usize..60,
+        v_max in 0.001f64..0.2,
+        dt in 0.1f64..10.0,
+    ) {
+        let mut pop = Population::generate(
+            world(),
+            n,
+            &SpatialDistribution::Uniform,
+            0.0,
+            v_max,
+            seed,
+        );
+        for _ in 0..5 {
+            let before = pop.positions();
+            let updates = pop.step_all(dt);
+            for (id, after) in updates {
+                prop_assert!(world().contains_point(after));
+                let moved = before[id as usize].dist(after);
+                prop_assert!(
+                    moved <= v_max * dt + 1e-9,
+                    "user {} moved {} > {}",
+                    id, moved, v_max * dt
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn update_streams_are_deterministic_and_complete(
+        seed in 0u64..500,
+        n in 1usize..40,
+        ticks in 1usize..6,
+    ) {
+        let make = || {
+            UpdateStream::new(
+                Population::generate(world(), n, &SpatialDistribution::Uniform, 0.01, 0.05, seed),
+                1.0,
+            )
+        };
+        let mut a = make();
+        let mut b = make();
+        let ua = a.ticks(ticks);
+        let ub = b.ticks(ticks);
+        prop_assert_eq!(&ua, &ub, "same seed, same stream");
+        prop_assert_eq!(ua.len(), n * ticks);
+        // Every tick covers every user exactly once.
+        for t in 0..ticks {
+            let slice = &ua[t * n..(t + 1) * n];
+            let mut ids: Vec<_> = slice.iter().map(|u| u.user).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), n);
+        }
+    }
+
+    #[test]
+    fn traces_roundtrip_for_arbitrary_streams(
+        records in prop::collection::vec(
+            (any::<u64>(), -1000.0f64..1000.0, -1000.0f64..1000.0, 0.0f64..1e9),
+            0..200,
+        ),
+    ) {
+        use lbsp_geom::SimTime;
+        use lbsp_mobility::{decode_trace, encode_trace, LocationUpdate};
+        let updates: Vec<LocationUpdate> = records
+            .into_iter()
+            .map(|(user, x, y, t)| LocationUpdate {
+                user,
+                position: Point::new(x, y),
+                time: SimTime::from_secs(t),
+            })
+            .collect();
+        let decoded = decode_trace(&encode_trace(&updates)).unwrap();
+        prop_assert_eq!(decoded, updates);
+    }
+
+    #[test]
+    fn trace_decoder_never_panics_on_garbage(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = lbsp_mobility::decode_trace(&bytes);
+    }
+
+    #[test]
+    fn poi_sets_are_deterministic_and_in_world(seed in 0u64..500, n in 0usize..150) {
+        let a = PoiSet::generate(world(), n, &SpatialDistribution::Uniform, seed);
+        let b = PoiSet::generate(world(), n, &SpatialDistribution::Uniform, seed);
+        prop_assert_eq!(a.pois(), b.pois());
+        prop_assert_eq!(a.len(), n);
+        prop_assert!(a.pois().iter().all(|p| world().contains_point(p.pos)));
+    }
+}

@@ -1,0 +1,413 @@
+//! Continuous public count queries with incremental evaluation.
+//!
+//! The paper's scalability story (Secs. 1 and 5.3) leans on the
+//! SINA-style insight that "processing the continuous queries at the
+//! location-based server should be done incrementally". This module
+//! implements it for the public range-count query class: standing
+//! queries register once, and each cloak update adjusts only the
+//! affected queries by the *delta* of the record's inclusion
+//! probability, instead of recomputing every query from scratch.
+//!
+//! The maintained quantity is the expected count (the paper's format 1);
+//! the interval and PDF formats are derived on demand from the
+//! maintained per-query contribution maps.
+
+use crate::{PoissonBinomial, PseudonymId};
+use lbsp_geom::Rect;
+use std::collections::HashMap;
+
+/// Identifier for a registered continuous query.
+pub type QueryId = u64;
+
+#[derive(Debug)]
+struct StandingQuery {
+    area: Rect,
+    /// pseudonym -> current inclusion probability (only non-zero ones).
+    contributions: HashMap<PseudonymId, f64>,
+    expected: f64,
+}
+
+impl StandingQuery {
+    fn set_contribution(&mut self, pseudonym: PseudonymId, p: f64) {
+        let old = if p > 0.0 {
+            self.contributions.insert(pseudonym, p).unwrap_or(0.0)
+        } else {
+            self.contributions.remove(&pseudonym).unwrap_or(0.0)
+        };
+        self.expected += p - old;
+    }
+}
+
+/// A registry of standing count queries, maintained incrementally.
+#[derive(Debug, Default)]
+pub struct ContinuousRangeCount {
+    queries: HashMap<QueryId, StandingQuery>,
+    next_id: QueryId,
+    /// Updates applied since creation (for experiment reporting).
+    updates_processed: u64,
+}
+
+impl ContinuousRangeCount {
+    /// Creates an empty registry.
+    pub fn new() -> ContinuousRangeCount {
+        ContinuousRangeCount::default()
+    }
+
+    /// Registers a standing query over `area`, seeded from the current
+    /// private records (`initial` provides `(pseudonym, region)` pairs).
+    pub fn register<I>(&mut self, area: Rect, initial: I) -> QueryId
+    where
+        I: IntoIterator<Item = (PseudonymId, Rect)>,
+    {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut q = StandingQuery {
+            area,
+            contributions: HashMap::new(),
+            expected: 0.0,
+        };
+        for (pseudonym, region) in initial {
+            q.set_contribution(pseudonym, region.overlap_fraction(&q.area));
+        }
+        self.queries.insert(id, q);
+        id
+    }
+
+    /// Deregisters a query.
+    pub fn deregister(&mut self, id: QueryId) -> bool {
+        self.queries.remove(&id).is_some()
+    }
+
+    /// Number of standing queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// `true` when no queries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Applies one cloak update: the record moved from `old` (None on
+    /// first appearance) to `new` (None on departure). Only queries
+    /// whose area intersects either region are touched.
+    pub fn on_update(&mut self, pseudonym: PseudonymId, old: Option<&Rect>, new: Option<&Rect>) {
+        self.updates_processed += 1;
+        for q in self.queries.values_mut() {
+            let affected = old.is_some_and(|r| r.intersects(&q.area))
+                || new.is_some_and(|r| r.intersects(&q.area));
+            if !affected {
+                continue;
+            }
+            let p = new.map_or(0.0, |r| r.overlap_fraction(&q.area));
+            q.set_contribution(pseudonym, p);
+        }
+    }
+
+    /// Current expected count of a query.
+    pub fn expected(&self, id: QueryId) -> Option<f64> {
+        self.queries.get(&id).map(|q| q.expected)
+    }
+
+    /// Current `[certain, possible]` interval of a query.
+    pub fn interval(&self, id: QueryId) -> Option<(usize, usize)> {
+        let q = self.queries.get(&id)?;
+        let certain = q.contributions.values().filter(|&&p| p >= 1.0).count();
+        Some((certain, q.contributions.len()))
+    }
+
+    /// Current exact count PDF of a query (computed on demand).
+    pub fn pdf(&self, id: QueryId) -> Option<PoissonBinomial> {
+        let q = self.queries.get(&id)?;
+        let probs: Vec<f64> = q.contributions.values().copied().collect();
+        Some(PoissonBinomial::new(&probs))
+    }
+
+    /// The area a query monitors.
+    pub fn area(&self, id: QueryId) -> Option<Rect> {
+        self.queries.get(&id).map(|q| q.area)
+    }
+
+    /// Updates processed so far.
+    pub fn updates_processed(&self) -> u64 {
+        self.updates_processed
+    }
+}
+
+/// A standing public NN query ("keep telling me my nearest mobile
+/// user"), maintained incrementally.
+///
+/// The maintained state is the pruning threshold: the best (smallest)
+/// max-distance over all records plus the current candidate set. An
+/// update only triggers recomputation when it can change the answer —
+/// the updated record enters the candidate band, leaves it, or tightens
+/// the threshold — so a stream of far-away updates costs O(1) each.
+#[derive(Debug)]
+pub struct ContinuousNnMonitor {
+    from: lbsp_geom::Point,
+    /// pseudonym -> (min_dist, max_dist) for every known record.
+    bands: HashMap<PseudonymId, (f64, f64)>,
+    /// Smallest max_dist over all records (the pruning threshold).
+    threshold: f64,
+    /// Updates that required recomputing the threshold/candidates.
+    pub recomputes: u64,
+    /// Updates handled with the O(1) fast path.
+    pub fast_updates: u64,
+}
+
+impl ContinuousNnMonitor {
+    /// Creates a monitor for the query point, seeded from current
+    /// records.
+    pub fn new<I>(from: lbsp_geom::Point, initial: I) -> ContinuousNnMonitor
+    where
+        I: IntoIterator<Item = (PseudonymId, Rect)>,
+    {
+        let mut m = ContinuousNnMonitor {
+            from,
+            bands: HashMap::new(),
+            threshold: f64::INFINITY,
+            recomputes: 0,
+            fast_updates: 0,
+        };
+        for (pseudonym, region) in initial {
+            let band = m.band_of(&region);
+            m.bands.insert(pseudonym, band);
+            m.threshold = m.threshold.min(band.1);
+        }
+        m
+    }
+
+    fn band_of(&self, region: &Rect) -> (f64, f64) {
+        (
+            lbsp_geom::min_dist_point_rect(self.from, region),
+            lbsp_geom::max_dist_point_rect(self.from, region),
+        )
+    }
+
+    fn recompute_threshold(&mut self) {
+        self.threshold = self
+            .bands
+            .values()
+            .map(|&(_, max)| max)
+            .fold(f64::INFINITY, f64::min);
+        self.recomputes += 1;
+    }
+
+    /// Applies one record update (`None` region = departure).
+    pub fn on_update(&mut self, pseudonym: PseudonymId, region: Option<&Rect>) {
+        let old = self.bands.get(&pseudonym).copied();
+        match region {
+            Some(r) => {
+                let band = self.band_of(r);
+                self.bands.insert(pseudonym, band);
+                if band.1 <= self.threshold {
+                    // Tightens (or equals) the threshold: cheap update.
+                    self.threshold = band.1;
+                    self.fast_updates += 1;
+                } else if old.is_some_and(|(_, omax)| omax <= self.threshold) {
+                    // The previous holder of the threshold moved away.
+                    self.recompute_threshold();
+                } else {
+                    self.fast_updates += 1;
+                }
+            }
+            None => {
+                if self.bands.remove(&pseudonym).is_some()
+                    && old.is_some_and(|(_, omax)| omax <= self.threshold)
+                {
+                    self.recompute_threshold();
+                } else {
+                    self.fast_updates += 1;
+                }
+            }
+        }
+    }
+
+    /// The current candidate set: every record whose min-distance is
+    /// within the threshold (the same rule as [`crate::PublicNnQuery`]).
+    pub fn candidates(&self) -> Vec<PseudonymId> {
+        let mut out: Vec<PseudonymId> = self
+            .bands
+            .iter()
+            .filter(|(_, &(min, _))| min <= self.threshold)
+            .map(|(&id, _)| id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of tracked records.
+    pub fn tracked(&self) -> usize {
+        self.bands.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PrivateRecord, PrivateStore, PublicCountQuery};
+
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new_unchecked(x0, y0, x1, y1)
+    }
+
+    #[test]
+    fn register_seeds_from_existing_records() {
+        let mut store = PrivateStore::new();
+        store.upsert(PrivateRecord::new(1, rect(0.0, 0.0, 0.2, 0.2)));
+        store.upsert(PrivateRecord::new(2, rect(0.4, 0.4, 0.8, 0.8)));
+        let mut cont = ContinuousRangeCount::new();
+        let q = cont.register(
+            rect(0.0, 0.0, 0.5, 0.5),
+            store.iter().map(|r| (r.pseudonym, r.region)),
+        );
+        // Record 1 fully inside (p=1); record 2 overlap fraction:
+        // intersection [0.4,0.5]^2 area 0.01 over region area 0.16.
+        let expected = cont.expected(q).unwrap();
+        assert!((expected - (1.0 + 0.01 / 0.16)).abs() < 1e-9);
+        assert_eq!(cont.interval(q), Some((1, 2)));
+    }
+
+    #[test]
+    fn incremental_matches_full_recompute() {
+        // Drive a store and the continuous monitor with the same update
+        // stream; the maintained expected count must equal a from-scratch
+        // evaluation at every step.
+        let area = rect(0.25, 0.25, 0.75, 0.75);
+        let mut store = PrivateStore::new();
+        let mut cont = ContinuousRangeCount::new();
+        let q = cont.register(area, std::iter::empty());
+        let moves: Vec<(PseudonymId, Rect)> = (0..50u64)
+            .map(|i| {
+                let t = i as f64 / 50.0;
+                let x = (t * 0.9).min(0.9);
+                (i % 10, rect(x, 0.3, x + 0.1, 0.45))
+            })
+            .collect();
+        for (pseudonym, region) in moves {
+            let old = store.upsert(PrivateRecord::new(pseudonym, region));
+            cont.on_update(pseudonym, old.as_ref(), Some(&region));
+            let full = PublicCountQuery::new(area).evaluate(&store);
+            let inc = cont.expected(q).unwrap();
+            assert!(
+                (full.expected - inc).abs() < 1e-9,
+                "incremental {inc} vs full {}",
+                full.expected
+            );
+            assert_eq!(cont.interval(q).unwrap().1, full.possible);
+        }
+        assert_eq!(cont.updates_processed(), 50);
+    }
+
+    #[test]
+    fn departures_remove_contributions() {
+        let area = rect(0.0, 0.0, 1.0, 1.0);
+        let mut cont = ContinuousRangeCount::new();
+        let q = cont.register(area, std::iter::empty());
+        let r = rect(0.4, 0.4, 0.6, 0.6);
+        cont.on_update(7, None, Some(&r));
+        assert!((cont.expected(q).unwrap() - 1.0).abs() < 1e-12);
+        cont.on_update(7, Some(&r), None);
+        assert_eq!(cont.expected(q).unwrap(), 0.0);
+        assert_eq!(cont.interval(q), Some((0, 0)));
+    }
+
+    #[test]
+    fn unaffected_queries_are_untouched() {
+        let mut cont = ContinuousRangeCount::new();
+        let q1 = cont.register(rect(0.0, 0.0, 0.1, 0.1), std::iter::empty());
+        let q2 = cont.register(rect(0.9, 0.9, 1.0, 1.0), std::iter::empty());
+        let r = rect(0.4, 0.4, 0.6, 0.6);
+        cont.on_update(1, None, Some(&r));
+        assert_eq!(cont.expected(q1), Some(0.0));
+        assert_eq!(cont.expected(q2), Some(0.0));
+    }
+
+    #[test]
+    fn pdf_on_demand_matches_snapshot_query() {
+        let area = rect(0.0, 0.0, 1.0, 1.0);
+        let mut store = PrivateStore::new();
+        let mut cont = ContinuousRangeCount::new();
+        let q = cont.register(area, std::iter::empty());
+        for i in 0..5u64 {
+            let r = rect(0.8 + 0.04 * i as f64, 0.0, 1.2, 1.0);
+            let old = store.upsert(PrivateRecord::new(i, r));
+            cont.on_update(i, old.as_ref(), Some(&r));
+        }
+        let snapshot = PublicCountQuery::new(area).evaluate(&store);
+        let live = cont.pdf(q).unwrap();
+        for k in 0..=5 {
+            assert!(
+                (snapshot.pdf.pmf(k) - live.pmf(k)).abs() < 1e-9,
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn nn_monitor_matches_one_shot_query() {
+        use crate::PublicNnQuery;
+        use lbsp_geom::Point;
+        use rand::rngs::StdRng;
+        use rand::{RngExt as _, SeedableRng};
+        let from = Point::new(0.5, 0.5);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut store = PrivateStore::new();
+        let mut monitor = ContinuousNnMonitor::new(from, std::iter::empty());
+        // Stream of random cloak updates over 30 pseudonyms.
+        for step in 0..300u64 {
+            let id = step % 30;
+            let x0 = rng.random_range(0.0..0.9);
+            let y0 = rng.random_range(0.0..0.9);
+            let r = rect(x0, y0, x0 + 0.1, y0 + 0.1);
+            store.upsert(PrivateRecord::new(id, r));
+            monitor.on_update(id, Some(&r));
+            // Invariant: the monitor's candidate set equals the one-shot
+            // pruning over the same store state.
+            let mut expect: Vec<_> = PublicNnQuery::new(from)
+                .candidate_records(&store)
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(monitor.candidates(), expect, "step {step}");
+        }
+        // The fast path carried most of the load.
+        assert!(monitor.fast_updates > monitor.recomputes);
+        assert_eq!(monitor.tracked(), 30);
+    }
+
+    #[test]
+    fn nn_monitor_handles_departures() {
+        use lbsp_geom::Point;
+        let from = Point::new(0.0, 0.0);
+        let near = rect(0.1, 0.1, 0.2, 0.2);
+        let far = rect(0.8, 0.8, 0.9, 0.9);
+        let mut monitor =
+            ContinuousNnMonitor::new(from, vec![(1, near), (2, far)]);
+        assert_eq!(monitor.candidates(), vec![1], "far record pruned");
+        // The near record leaves: the far one becomes the answer.
+        monitor.on_update(1, None);
+        assert_eq!(monitor.candidates(), vec![2]);
+        assert_eq!(monitor.tracked(), 1);
+        // Removing a ghost is a no-op fast update.
+        let fast_before = monitor.fast_updates;
+        monitor.on_update(99, None);
+        assert_eq!(monitor.fast_updates, fast_before + 1);
+    }
+
+    #[test]
+    fn deregister_and_bookkeeping() {
+        let mut cont = ContinuousRangeCount::new();
+        let q = cont.register(rect(0.0, 0.0, 1.0, 1.0), std::iter::empty());
+        assert_eq!(cont.len(), 1);
+        assert!(!cont.is_empty());
+        assert!(cont.area(q).is_some());
+        assert!(cont.deregister(q));
+        assert!(!cont.deregister(q));
+        assert!(cont.is_empty());
+        assert_eq!(cont.expected(q), None);
+        assert_eq!(cont.interval(q), None);
+        assert!(cont.pdf(q).is_none());
+    }
+}

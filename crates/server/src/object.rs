@@ -1,0 +1,60 @@
+//! The two data types the server stores (Sec. 6.1).
+
+use crate::{ObjectId, PseudonymId};
+use lbsp_geom::{Point, Rect};
+
+/// A public object: exact location, willingly shared.
+///
+/// `tag` is an application-defined category code (the system layer maps
+/// POI categories onto it) so the server can filter "gas stations only"
+/// without depending on any particular category enum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PublicObject {
+    /// Identifier, unique within a [`crate::PublicStore`].
+    pub id: ObjectId,
+    /// Exact location.
+    pub pos: Point,
+    /// Application-defined category tag.
+    pub tag: u32,
+}
+
+impl PublicObject {
+    /// Creates a public object.
+    pub fn new(id: ObjectId, pos: Point, tag: u32) -> PublicObject {
+        PublicObject { id, pos, tag }
+    }
+}
+
+/// A private record: all the server knows about a mobile user.
+///
+/// Contains only the pseudonym and the cloaked rectangle — by
+/// construction there is no field for an exact location.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivateRecord {
+    /// Pseudonymized identity from the anonymizer.
+    pub pseudonym: PseudonymId,
+    /// The cloaked spatial region.
+    pub region: Rect,
+}
+
+impl PrivateRecord {
+    /// Creates a private record.
+    pub fn new(pseudonym: PseudonymId, region: Rect) -> PrivateRecord {
+        PrivateRecord { pseudonym, region }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let o = PublicObject::new(1, Point::new(0.5, 0.5), 3);
+        assert_eq!(o.id, 1);
+        assert_eq!(o.tag, 3);
+        let r = PrivateRecord::new(9, Rect::new_unchecked(0.0, 0.0, 0.1, 0.1));
+        assert_eq!(r.pseudonym, 9);
+        assert!(r.region.area() > 0.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Poisson–binomial distribution: the exact PDF of a sum of independent,
+//! non-identical Bernoulli trials.
+//!
+//! This is the "probability density function" answer format of Fig. 6a:
+//! each cloaked object contributes to the count with its own inclusion
+//! probability `p_i` (its region's overlap ratio with the query area),
+//! and the count's distribution is exactly Poisson–binomial. The classic
+//! O(n²) dynamic program is exact and ample at these scales (a query
+//! rarely overlaps more than a few thousand cloaks).
+
+/// The distribution of `X = Σ Bernoulli(p_i)`.
+///
+/// ```
+/// use lbsp_server::PoissonBinomial;
+///
+/// // The paper's Fig. 6a inclusion probabilities.
+/// let d = PoissonBinomial::new(&[1.0, 0.75, 0.5, 0.2, 0.25]);
+/// assert!((d.mean() - 2.7).abs() < 1e-12);  // the "absolute value" answer
+/// assert_eq!(d.pmf(0), 0.0);                // one object is certain
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoissonBinomial {
+    pmf: Vec<f64>,
+}
+
+impl PoissonBinomial {
+    /// Builds the distribution from inclusion probabilities.
+    ///
+    /// # Panics
+    /// Panics when any probability is outside `[0, 1]` or non-finite —
+    /// overlap ratios are clamped upstream, so an out-of-range value
+    /// here is a logic error worth failing loudly on.
+    pub fn new(probs: &[f64]) -> PoissonBinomial {
+        assert!(
+            probs.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)),
+            "probabilities must lie in [0, 1]"
+        );
+        // dp[j] = P(j successes among the trials seen so far).
+        let mut pmf = Vec::with_capacity(probs.len() + 1);
+        pmf.push(1.0f64);
+        for &p in probs {
+            pmf.push(0.0);
+            // Traverse backwards so each trial is counted once.
+            for j in (0..pmf.len()).rev() {
+                let stay = if j < pmf.len() - 1 { pmf[j] * (1.0 - p) } else { 0.0 };
+                let step = if j > 0 { pmf[j - 1] * p } else { 0.0 };
+                pmf[j] = stay + step;
+            }
+        }
+        PoissonBinomial { pmf }
+    }
+
+    /// `P(X = k)`; zero outside the support.
+    pub fn pmf(&self, k: usize) -> f64 {
+        self.pmf.get(k).copied().unwrap_or(0.0)
+    }
+
+    /// The full PMF vector, indices `0..=n`.
+    pub fn pmf_vec(&self) -> &[f64] {
+        &self.pmf
+    }
+
+    /// Number of trials `n`.
+    pub fn trials(&self) -> usize {
+        self.pmf.len() - 1
+    }
+
+    /// `E[X] = Σ p_i` (computed from the PMF; equals the probability sum
+    /// up to float error).
+    pub fn mean(&self) -> f64 {
+        self.pmf
+            .iter()
+            .enumerate()
+            .map(|(k, p)| k as f64 * p)
+            .sum()
+    }
+
+    /// `P(X >= k)`.
+    pub fn sf(&self, k: usize) -> f64 {
+        self.pmf.iter().skip(k).sum()
+    }
+
+    /// Smallest interval `[lo, hi]` with `P(lo <= X <= hi) >= level`,
+    /// grown greedily around the mode.
+    pub fn credible_interval(&self, level: f64) -> (usize, usize) {
+        let n = self.pmf.len();
+        let mode = (0..n)
+            .max_by(|&a, &b| self.pmf[a].total_cmp(&self.pmf[b]))
+            .unwrap_or(0);
+        let (mut lo, mut hi) = (mode, mode);
+        let mut mass = self.pmf[mode];
+        while mass < level && (lo > 0 || hi + 1 < n) {
+            let left = if lo > 0 { self.pmf[lo - 1] } else { -1.0 };
+            let right = if hi + 1 < n { self.pmf[hi + 1] } else { -1.0 };
+            if left >= right {
+                lo -= 1;
+                mass += self.pmf[lo];
+            } else {
+                hi += 1;
+                mass += self.pmf[hi];
+            }
+        }
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn empty_is_point_mass_at_zero() {
+        let d = PoissonBinomial::new(&[]);
+        assert_eq!(d.trials(), 0);
+        assert_close(d.pmf(0), 1.0);
+        assert_close(d.pmf(1), 0.0);
+        assert_close(d.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_trial() {
+        let d = PoissonBinomial::new(&[0.3]);
+        assert_close(d.pmf(0), 0.7);
+        assert_close(d.pmf(1), 0.3);
+        assert_close(d.mean(), 0.3);
+    }
+
+    #[test]
+    fn matches_binomial_closed_form() {
+        let p = 0.4;
+        let n = 10;
+        let d = PoissonBinomial::new(&vec![p; n]);
+        let mut binom = 1.0f64; // C(n, 0)
+        for k in 0..=n {
+            let expect = binom * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32);
+            assert!((d.pmf(k) - expect).abs() < 1e-12, "k={k}");
+            binom = binom * (n - k) as f64 / (k + 1) as f64;
+        }
+        assert_close(d.mean(), p * n as f64);
+    }
+
+    #[test]
+    fn pmf_sums_to_one_and_mean_matches_prob_sum() {
+        let probs = [0.75, 0.5, 0.2, 0.25, 1.0, 0.0];
+        let d = PoissonBinomial::new(&probs);
+        let total: f64 = d.pmf_vec().iter().sum();
+        assert_close(total, 1.0);
+        assert_close(d.mean(), probs.iter().sum());
+    }
+
+    #[test]
+    fn deterministic_trials_shift_the_distribution() {
+        // p = 1 and p = 0 trials shift/no-op exactly.
+        let d = PoissonBinomial::new(&[1.0, 1.0, 0.0]);
+        assert_close(d.pmf(2), 1.0);
+        assert_close(d.pmf(0), 0.0);
+        assert_close(d.pmf(3), 0.0);
+    }
+
+    #[test]
+    fn survival_function() {
+        let d = PoissonBinomial::new(&[0.5, 0.5]);
+        assert_close(d.sf(0), 1.0);
+        assert_close(d.sf(1), 0.75);
+        assert_close(d.sf(2), 0.25);
+        assert_close(d.sf(3), 0.0);
+    }
+
+    #[test]
+    fn credible_interval_grows_to_cover() {
+        let d = PoissonBinomial::new(&[0.5; 20]);
+        let (lo, hi) = d.credible_interval(0.95);
+        assert!(lo <= 10 && 10 <= hi);
+        let mass: f64 = (lo..=hi).map(|k| d.pmf(k)).sum();
+        assert!(mass >= 0.95);
+        // Full coverage interval is the whole support.
+        let (lo, hi) = d.credible_interval(1.0);
+        let mass: f64 = (lo..=hi).map(|k| d.pmf(k)).sum();
+        assert!(mass > 0.999999);
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities must lie in")]
+    fn rejects_out_of_range() {
+        PoissonBinomial::new(&[1.5]);
+    }
+
+    #[test]
+    fn paper_example_distribution() {
+        // Fig. 6a: inclusion probabilities 1, 0.75, 0.5, 0.2, 0.25 (and
+        // one certain exclusion). Expected count 2.7; support [1, 5]
+        // because one object is certain.
+        let d = PoissonBinomial::new(&[1.0, 0.75, 0.5, 0.2, 0.25]);
+        assert_close(d.mean(), 2.7);
+        assert_close(d.pmf(0), 0.0);
+        assert!(d.pmf(1) > 0.0 && d.pmf(5) > 0.0);
+        let total: f64 = (1..=5).map(|k| d.pmf(k)).sum();
+        assert_close(total, 1.0);
+    }
+}

@@ -1,0 +1,335 @@
+//! Private queries over private data — the fourth cell of the paper's
+//! query matrix (Sec. 6.1).
+//!
+//! "At the other end of the spectrum, private queries over private data
+//! can be reduced to any of the above two query types." Both sides are
+//! cloaked: the querying user is a rectangle `Q` and every candidate
+//! user is a rectangle too ("find my nearest *friend*", "how many of my
+//! contacts are within a mile of me"). The reduction works exactly as
+//! the paper suggests: the pruning logic of the public-over-private
+//! queries (Fig. 6) lifts from point-to-rectangle distances to
+//! rectangle-to-rectangle distances, and the probabilistic answers keep
+//! the same uniform-position model, now applied to *both* positions.
+
+use crate::{PrivateStore, PseudonymId};
+use lbsp_geom::{
+    max_dist_rect_rect, min_dist_rect_rect, uniform_point_in_rect, Rect,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One candidate's probability of being the nearest private user to the
+/// (cloaked) querying user.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivateNnProbability {
+    /// The candidate's pseudonym.
+    pub pseudonym: PseudonymId,
+    /// Estimated `P(this user is nearest to the querying user)`.
+    pub probability: f64,
+    /// Closest possible distance between the two cloaks.
+    pub min_dist: f64,
+    /// Farthest possible distance between the two cloaks.
+    pub max_dist: f64,
+}
+
+/// Answer to a private-over-private NN query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrivatePrivateNnAnswer {
+    /// Candidates sorted by descending probability.
+    pub candidates: Vec<PrivateNnProbability>,
+}
+
+impl PrivatePrivateNnAnswer {
+    /// The most probable nearest user.
+    pub fn most_probable(&self) -> Option<PseudonymId> {
+        self.candidates.first().map(|c| c.pseudonym)
+    }
+
+    /// Total probability mass (≈ 1 when any candidate exists).
+    pub fn total_probability(&self) -> f64 {
+        self.candidates.iter().map(|c| c.probability).sum()
+    }
+}
+
+/// A private NN query over private data: the querying user is known
+/// only as the cloak `from`, every other user only as their cloak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivatePrivateNnQuery {
+    /// The querying user's cloaked region.
+    pub from: Rect,
+    /// The querying user's pseudonym, excluded from candidacy (you are
+    /// not your own nearest friend).
+    pub querier: PseudonymId,
+    /// Monte-Carlo rounds.
+    pub samples: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PrivatePrivateNnQuery {
+    /// Creates a query with default estimation parameters.
+    pub fn new(from: Rect, querier: PseudonymId) -> PrivatePrivateNnQuery {
+        PrivatePrivateNnQuery {
+            from,
+            querier,
+            samples: 4096,
+            seed: 0x9E9D,
+        }
+    }
+
+    /// Overrides the Monte-Carlo sample count.
+    pub fn with_samples(mut self, samples: u32) -> PrivatePrivateNnQuery {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> PrivatePrivateNnQuery {
+        self.seed = seed;
+        self
+    }
+
+    /// Rect-to-rect lift of the paper's Fig. 6b pruning rule: a record
+    /// survives unless some other record's *max* distance to the query
+    /// cloak is below its *min* distance — then that other user is
+    /// closer for every pair of possible positions.
+    pub fn candidate_records(&self, store: &PrivateStore) -> Vec<(PseudonymId, Rect)> {
+        let records: Vec<(PseudonymId, Rect)> = store
+            .iter()
+            .filter(|r| r.pseudonym != self.querier)
+            .map(|r| (r.pseudonym, r.region))
+            .collect();
+        if records.is_empty() {
+            return Vec::new();
+        }
+        let best_max = records
+            .iter()
+            .map(|(_, r)| max_dist_rect_rect(&self.from, r))
+            .fold(f64::INFINITY, f64::min);
+        records
+            .into_iter()
+            .filter(|(_, r)| min_dist_rect_rect(&self.from, r) <= best_max)
+            .collect()
+    }
+
+    /// Evaluates the query: prune, then jointly sample both the querier's
+    /// and every candidate's position per Monte-Carlo round.
+    pub fn evaluate(&self, store: &PrivateStore) -> PrivatePrivateNnAnswer {
+        let candidates = self.candidate_records(store);
+        if candidates.is_empty() {
+            return PrivatePrivateNnAnswer { candidates: Vec::new() };
+        }
+        let mut wins = vec![0u32; candidates.len()];
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for _ in 0..self.samples {
+            let q = uniform_point_in_rect(&mut rng, &self.from);
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (i, (_, region)) in candidates.iter().enumerate() {
+                let p = uniform_point_in_rect(&mut rng, region);
+                let d = q.dist_sq(p);
+                if d < best_d {
+                    best_d = d;
+                    best = i;
+                }
+            }
+            wins[best] += 1;
+        }
+        let mut out: Vec<PrivateNnProbability> = candidates
+            .iter()
+            .zip(&wins)
+            .map(|(&(pseudonym, region), &w)| PrivateNnProbability {
+                pseudonym,
+                probability: w as f64 / self.samples as f64,
+                min_dist: min_dist_rect_rect(&self.from, &region),
+                max_dist: max_dist_rect_rect(&self.from, &region),
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.probability
+                .total_cmp(&a.probability)
+                .then(a.pseudonym.cmp(&b.pseudonym))
+        });
+        PrivatePrivateNnAnswer { candidates: out }
+    }
+}
+
+/// Probabilistic answer to "how many private users are within `radius`
+/// of me", with the querying user herself cloaked: expected count plus
+/// the certain/possible interval, lifted from Fig. 6a by replacing
+/// point-in-region with rect-to-rect distance bands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrivatePrivateCountAnswer {
+    /// Monte-Carlo estimate of the expected count.
+    pub expected: f64,
+    /// Users certainly within range (`max_dist <= radius`).
+    pub certain: usize,
+    /// Users possibly within range (`min_dist <= radius`).
+    pub possible: usize,
+}
+
+/// Evaluates a private-over-private range count.
+pub fn private_private_range_count(
+    store: &PrivateStore,
+    from: &Rect,
+    querier: PseudonymId,
+    radius: f64,
+    samples: u32,
+    seed: u64,
+) -> PrivatePrivateCountAnswer {
+    let radius = radius.max(0.0);
+    let records: Vec<Rect> = store
+        .iter()
+        .filter(|r| r.pseudonym != querier)
+        .map(|r| r.region)
+        .collect();
+    let certain = records
+        .iter()
+        .filter(|r| max_dist_rect_rect(from, r) <= radius)
+        .count();
+    let maybe: Vec<&Rect> = records
+        .iter()
+        .filter(|r| {
+            min_dist_rect_rect(from, r) <= radius && max_dist_rect_rect(from, r) > radius
+        })
+        .collect();
+    let possible = certain + maybe.len();
+    // Monte-Carlo only over the uncertain band.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let samples = samples.max(1);
+    let mut total = 0u64;
+    for _ in 0..samples {
+        let q = uniform_point_in_rect(&mut rng, from);
+        for r in &maybe {
+            let p = uniform_point_in_rect(&mut rng, r);
+            if q.dist(p) <= radius {
+                total += 1;
+            }
+        }
+    }
+    PrivatePrivateCountAnswer {
+        expected: certain as f64 + total as f64 / samples as f64,
+        certain,
+        possible,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PrivateRecord;
+
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new_unchecked(x0, y0, x1, y1)
+    }
+
+    fn store_with(regions: &[(PseudonymId, Rect)]) -> PrivateStore {
+        let mut s = PrivateStore::new();
+        for &(id, r) in regions {
+            s.upsert(PrivateRecord::new(id, r));
+        }
+        s
+    }
+
+    #[test]
+    fn querier_is_never_a_candidate() {
+        let store = store_with(&[
+            (1, rect(0.4, 0.4, 0.6, 0.6)),
+            (2, rect(0.45, 0.45, 0.65, 0.65)),
+        ]);
+        let q = PrivatePrivateNnQuery::new(rect(0.4, 0.4, 0.6, 0.6), 1);
+        let ans = q.evaluate(&store);
+        assert_eq!(ans.candidates.len(), 1);
+        assert_eq!(ans.most_probable(), Some(2));
+        assert_eq!(ans.candidates[0].probability, 1.0);
+    }
+
+    #[test]
+    fn dominated_records_are_pruned() {
+        // A friend whose cloak overlaps mine always beats one across town.
+        let store = store_with(&[
+            (1, rect(0.45, 0.45, 0.55, 0.55)), // overlapping: min 0, max small
+            (2, rect(0.9, 0.9, 0.95, 0.95)),   // far away
+        ]);
+        let q = PrivatePrivateNnQuery::new(rect(0.4, 0.4, 0.6, 0.6), 0);
+        let cands = q.candidate_records(&store);
+        let ids: Vec<_> = cands.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![1]);
+    }
+
+    #[test]
+    fn symmetric_friends_split_probability() {
+        let store = store_with(&[
+            (1, rect(0.1, 0.4, 0.3, 0.6)),
+            (2, rect(0.7, 0.4, 0.9, 0.6)),
+        ]);
+        let q = PrivatePrivateNnQuery::new(rect(0.4, 0.4, 0.6, 0.6), 0)
+            .with_samples(40_000);
+        let ans = q.evaluate(&store);
+        assert_eq!(ans.candidates.len(), 2);
+        for c in &ans.candidates {
+            assert!((c.probability - 0.5).abs() < 0.02, "{c:?}");
+        }
+        assert!((ans.total_probability() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_self_only_stores() {
+        let empty = PrivateStore::new();
+        let q = PrivatePrivateNnQuery::new(rect(0.0, 0.0, 1.0, 1.0), 0);
+        assert!(q.evaluate(&empty).candidates.is_empty());
+        let self_only = store_with(&[(0, rect(0.0, 0.0, 1.0, 1.0))]);
+        assert!(q.evaluate(&self_only).candidates.is_empty());
+    }
+
+    #[test]
+    fn reproducible_estimates() {
+        let store = store_with(&[
+            (1, rect(0.1, 0.1, 0.4, 0.4)),
+            (2, rect(0.5, 0.5, 0.8, 0.8)),
+            (3, rect(0.2, 0.6, 0.45, 0.85)),
+        ]);
+        let q = PrivatePrivateNnQuery::new(rect(0.3, 0.3, 0.5, 0.5), 0).with_seed(4);
+        assert_eq!(q.evaluate(&store), q.evaluate(&store));
+    }
+
+    #[test]
+    fn count_certain_and_possible_bands() {
+        let from = rect(0.4, 0.4, 0.6, 0.6);
+        let store = store_with(&[
+            // Certain: entirely within 0.5 of every point of `from`.
+            (1, rect(0.45, 0.45, 0.55, 0.55)),
+            // Possible but not certain: overlaps the band boundary.
+            (2, rect(0.8, 0.4, 1.0, 0.6)),
+            // Impossible: min dist > 0.5.
+            (3, rect(1.5, 1.5, 1.6, 1.6)),
+        ]);
+        let ans = private_private_range_count(&store, &from, 0, 0.5, 4000, 1);
+        assert_eq!(ans.certain, 1);
+        assert_eq!(ans.possible, 2);
+        assert!(ans.expected >= 1.0 && ans.expected <= 2.0, "{}", ans.expected);
+    }
+
+    #[test]
+    fn count_expected_matches_analytic_in_deterministic_case() {
+        // Degenerate cloaks: both positions are points, so the count is
+        // deterministic and the MC estimate must be exact.
+        let from = Rect::from_point(lbsp_geom::Point::new(0.5, 0.5));
+        let store = store_with(&[
+            (1, Rect::from_point(lbsp_geom::Point::new(0.6, 0.5))), // dist 0.1
+            (2, Rect::from_point(lbsp_geom::Point::new(0.9, 0.5))), // dist 0.4
+        ]);
+        let ans = private_private_range_count(&store, &from, 0, 0.2, 100, 1);
+        assert_eq!(ans.expected, 1.0);
+        assert_eq!((ans.certain, ans.possible), (1, 1));
+    }
+
+    #[test]
+    fn count_excludes_querier_and_clamps_radius() {
+        let store = store_with(&[(7, rect(0.4, 0.4, 0.6, 0.6))]);
+        let ans =
+            private_private_range_count(&store, &rect(0.4, 0.4, 0.6, 0.6), 7, -1.0, 100, 1);
+        assert_eq!(ans.possible, 0);
+        assert_eq!(ans.expected, 0.0);
+    }
+}

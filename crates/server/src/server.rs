@@ -1,0 +1,233 @@
+//! The privacy-aware location-based database server, assembled.
+//!
+//! Fig. 1 draws the server as one box with two inputs — cloaked updates
+//! from the location anonymizer and public queries from untrusted
+//! parties — and this type is that box: it owns the public and private
+//! stores, the standing-query registry, and per-query-class statistics,
+//! and exposes one typed method per supported operation. The
+//! `lbsp-core` system wires it behind the anonymizer; it can equally be
+//! driven directly (see the crate tests), which is exactly what an
+//! untrusted third party does.
+
+use crate::{
+    private_knn_candidates, private_nn_candidates, private_private_range_count,
+    private_range_candidates, ContinuousRangeCount, CountAnswer, PrivatePrivateCountAnswer,
+    PrivatePrivateNnAnswer, PrivatePrivateNnQuery, PrivateRecord, PrivateStore, PseudonymId,
+    PublicCountQuery, PublicNnAnswer, PublicNnQuery, PublicObject, PublicStore,
+};
+use lbsp_geom::{Point, Rect};
+
+/// Counters per query class, for operations dashboards and experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Cloaked updates ingested.
+    pub updates: u64,
+    /// Private range queries served (Fig. 5a).
+    pub private_range: u64,
+    /// Private NN / kNN queries served (Fig. 5b).
+    pub private_nn: u64,
+    /// Public count/report queries served (Fig. 6a).
+    pub public_count: u64,
+    /// Public NN queries served (Fig. 6b).
+    pub public_nn: u64,
+    /// Private-over-private queries served (Sec. 6.1, fourth cell).
+    pub private_private: u64,
+}
+
+/// The assembled privacy-aware database server.
+#[derive(Debug, Default)]
+pub struct Server {
+    public: PublicStore,
+    private: PrivateStore,
+    continuous: ContinuousRangeCount,
+    stats: ServerStats,
+}
+
+impl Server {
+    /// Creates a server with the given public dataset.
+    pub fn new(public_objects: Vec<PublicObject>) -> Server {
+        Server {
+            public: PublicStore::bulk_load(public_objects),
+            private: PrivateStore::new(),
+            continuous: ContinuousRangeCount::new(),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Read access to the public store.
+    pub fn public(&self) -> &PublicStore {
+        &self.public
+    }
+
+    /// Mutable access to the public store (moving public objects —
+    /// police cars — update through here).
+    pub fn public_mut(&mut self) -> &mut PublicStore {
+        &mut self.public
+    }
+
+    /// Read access to the private store (everything the server knows
+    /// about mobile users).
+    pub fn private(&self) -> &PrivateStore {
+        &self.private
+    }
+
+    /// Query-class counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Ingests a cloaked update from the anonymizer: replaces the
+    /// pseudonym's stored region and feeds the standing queries.
+    pub fn ingest(&mut self, pseudonym: PseudonymId, region: Rect) {
+        self.stats.updates += 1;
+        let old = self.private.upsert(PrivateRecord::new(pseudonym, region));
+        self.continuous.on_update(pseudonym, old.as_ref(), Some(&region));
+    }
+
+    /// Removes a pseudonym (user went passive).
+    pub fn forget(&mut self, pseudonym: PseudonymId) -> bool {
+        match self.private.remove(pseudonym) {
+            Some(old) => {
+                self.continuous.on_update(pseudonym, Some(&old), None);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Private range query over public data (Fig. 5a).
+    pub fn private_range(&mut self, cloak: &Rect, radius: f64) -> Vec<PublicObject> {
+        self.stats.private_range += 1;
+        private_range_candidates(&self.public, cloak, radius)
+    }
+
+    /// Private NN query over public data (Fig. 5b).
+    pub fn private_nn(&mut self, cloak: &Rect) -> Vec<PublicObject> {
+        self.stats.private_nn += 1;
+        private_nn_candidates(&self.public, cloak)
+    }
+
+    /// Private k-NN query over public data (extension).
+    pub fn private_knn(&mut self, cloak: &Rect, k: usize) -> Vec<PublicObject> {
+        self.stats.private_nn += 1;
+        private_knn_candidates(&self.public, cloak, k)
+    }
+
+    /// Public count query over private data (Fig. 6a).
+    pub fn public_count(&mut self, area: Rect) -> CountAnswer {
+        self.stats.public_count += 1;
+        PublicCountQuery::new(area).evaluate(&self.private)
+    }
+
+    /// Public NN query over private data (Fig. 6b).
+    pub fn public_nn(&mut self, from: Point) -> PublicNnAnswer {
+        self.stats.public_nn += 1;
+        PublicNnQuery::new(from).evaluate(&self.private)
+    }
+
+    /// Private NN over private data (Sec. 6.1's fourth cell).
+    pub fn private_friend_nn(
+        &mut self,
+        cloak: &Rect,
+        querier: PseudonymId,
+    ) -> PrivatePrivateNnAnswer {
+        self.stats.private_private += 1;
+        PrivatePrivateNnQuery::new(*cloak, querier).evaluate(&self.private)
+    }
+
+    /// Private range count over private data.
+    pub fn private_friend_count(
+        &mut self,
+        cloak: &Rect,
+        querier: PseudonymId,
+        radius: f64,
+    ) -> PrivatePrivateCountAnswer {
+        self.stats.private_private += 1;
+        private_private_range_count(&self.private, cloak, querier, radius, 2048, querier ^ 0xC0DE)
+    }
+
+    /// Registers a standing count query seeded from the current records.
+    pub fn add_standing_count(&mut self, area: Rect) -> u64 {
+        self.continuous
+            .register(area, self.private.iter().map(|r| (r.pseudonym, r.region)))
+    }
+
+    /// The standing-query registry.
+    pub fn continuous(&self) -> &ContinuousRangeCount {
+        &self.continuous
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pois() -> Vec<PublicObject> {
+        (0..50)
+            .map(|i| {
+                PublicObject::new(
+                    i,
+                    Point::new(0.1 + 0.016 * i as f64, 0.5),
+                    (i % 3) as u32,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ingest_and_query_lifecycle() {
+        let mut s = Server::new(pois());
+        assert_eq!(s.public().len(), 50);
+        let qid = s.add_standing_count(Rect::new_unchecked(0.0, 0.0, 1.0, 1.0));
+        // Ingest three cloaked users.
+        for i in 0..3u64 {
+            s.ingest(100 + i, Rect::new_unchecked(0.2, 0.2, 0.4, 0.4));
+        }
+        assert_eq!(s.private().len(), 3);
+        assert_eq!(s.continuous().expected(qid), Some(3.0));
+        // Query classes all function and count.
+        let cloak = Rect::new_unchecked(0.3, 0.45, 0.5, 0.55);
+        assert!(!s.private_range(&cloak, 0.1).is_empty());
+        assert!(!s.private_nn(&cloak).is_empty());
+        assert!(s.private_knn(&cloak, 5).len() >= 5);
+        let count = s.public_count(Rect::new_unchecked(0.0, 0.0, 0.5, 0.5));
+        assert!(count.expected > 0.0);
+        let nn = s.public_nn(Point::new(0.3, 0.3));
+        assert!(!nn.candidates.is_empty());
+        let friends = s.private_friend_nn(&cloak, 100);
+        assert!(!friends.candidates.is_empty());
+        let fc = s.private_friend_count(&cloak, 100, 0.5);
+        assert!(fc.possible >= 1);
+        // Stats tracked everything.
+        let st = s.stats();
+        assert_eq!(st.updates, 3);
+        assert_eq!(st.private_range, 1);
+        assert_eq!(st.private_nn, 2, "nn + knn");
+        assert_eq!(st.public_count, 1);
+        assert_eq!(st.public_nn, 1);
+        assert_eq!(st.private_private, 2);
+    }
+
+    #[test]
+    fn forget_removes_and_updates_standing_queries() {
+        let mut s = Server::new(Vec::new());
+        let area = Rect::new_unchecked(0.0, 0.0, 1.0, 1.0);
+        let qid = s.add_standing_count(area);
+        s.ingest(7, Rect::new_unchecked(0.4, 0.4, 0.6, 0.6));
+        assert_eq!(s.continuous().expected(qid), Some(1.0));
+        assert!(s.forget(7));
+        assert!(!s.forget(7));
+        assert_eq!(s.continuous().expected(qid), Some(0.0));
+        assert_eq!(s.private().len(), 0);
+    }
+
+    #[test]
+    fn moving_public_objects_through_the_facade() {
+        let mut s = Server::new(pois());
+        // Police car 0 relocates; private NN must see the new position.
+        assert!(s.public_mut().update_position(0, Point::new(0.9, 0.9)));
+        let cloak = Rect::new_unchecked(0.88, 0.88, 0.92, 0.92);
+        let nn = s.private_nn(&cloak);
+        assert!(nn.iter().any(|o| o.id == 0));
+    }
+}

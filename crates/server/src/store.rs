@@ -1,0 +1,278 @@
+//! Public and private data stores.
+
+use crate::{ObjectId, PrivateRecord, PseudonymId, PublicObject};
+use lbsp_geom::{Point, Rect};
+use lbsp_index::RTree;
+use std::collections::HashMap;
+
+/// Store of public objects: R-tree over exact locations plus an id map.
+///
+/// Supports both stationary objects (bulk loaded) and moving public
+/// objects like police cars ([`PublicStore::update_position`]).
+#[derive(Debug, Default)]
+pub struct PublicStore {
+    tree: RTree,
+    objects: HashMap<ObjectId, PublicObject>,
+}
+
+impl PublicStore {
+    /// Creates an empty store.
+    pub fn new() -> PublicStore {
+        PublicStore::default()
+    }
+
+    /// Bulk loads a store from objects (ids must be unique).
+    ///
+    /// # Panics
+    /// Panics on duplicate ids — the caller owns id assignment and a
+    /// duplicate means corrupted input.
+    pub fn bulk_load(objects: Vec<PublicObject>) -> PublicStore {
+        let entries: Vec<(Rect, ObjectId)> = objects
+            .iter()
+            .map(|o| (Rect::from_point(o.pos), o.id))
+            .collect();
+        let mut map = HashMap::with_capacity(objects.len());
+        for o in objects {
+            let prev = map.insert(o.id, o);
+            assert!(prev.is_none(), "duplicate public object id {}", o.id);
+        }
+        PublicStore {
+            tree: RTree::bulk_load(entries),
+            objects: map,
+        }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Inserts a new object (or replaces one with the same id).
+    pub fn insert(&mut self, o: PublicObject) {
+        if let Some(old) = self.objects.insert(o.id, o) {
+            self.tree.remove_point(old.pos, old.id);
+        }
+        self.tree.insert_point(o.pos, o.id);
+    }
+
+    /// Removes an object.
+    pub fn remove(&mut self, id: ObjectId) -> Option<PublicObject> {
+        let o = self.objects.remove(&id)?;
+        self.tree.remove_point(o.pos, o.id);
+        Some(o)
+    }
+
+    /// Moves an object (e.g. a police car location update).
+    pub fn update_position(&mut self, id: ObjectId, pos: Point) -> bool {
+        let Some(o) = self.objects.get(&id).copied() else {
+            return false;
+        };
+        self.tree.remove_point(o.pos, o.id);
+        self.tree.insert_point(pos, o.id);
+        self.objects.insert(id, PublicObject { pos, ..o });
+        true
+    }
+
+    /// Looks up an object.
+    pub fn get(&self, id: ObjectId) -> Option<&PublicObject> {
+        self.objects.get(&id)
+    }
+
+    /// All objects with locations inside `r`.
+    pub fn in_rect(&self, r: &Rect) -> Vec<PublicObject> {
+        self.tree
+            .search_rect(r)
+            .into_iter()
+            .map(|(_, id)| self.objects[&id])
+            .collect()
+    }
+
+    /// The `k` objects nearest to `q`.
+    pub fn k_nearest(&self, q: Point, k: usize) -> Vec<PublicObject> {
+        self.tree
+            .k_nearest(q, k)
+            .into_iter()
+            .map(|n| self.objects[&n.id])
+            .collect()
+    }
+
+    /// Iterates over all objects (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = &PublicObject> {
+        self.objects.values()
+    }
+
+    /// Access to the underlying R-tree (used by the query processors for
+    /// incremental pruning).
+    pub(crate) fn tree(&self) -> &RTree {
+        &self.tree
+    }
+}
+
+/// Store of private (cloaked) records: R-tree over regions + id map.
+///
+/// Each pseudonym holds exactly one current region; an update replaces
+/// the previous one, which is how "the location anonymizer does not need
+/// to store the exact location information" materializes server-side —
+/// history is the *query's* problem, not the store's.
+#[derive(Debug, Default)]
+pub struct PrivateStore {
+    tree: RTree,
+    records: HashMap<PseudonymId, Rect>,
+}
+
+impl PrivateStore {
+    /// Creates an empty store.
+    pub fn new() -> PrivateStore {
+        PrivateStore::default()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Inserts or replaces the region for a pseudonym. Returns the
+    /// previous region when the record existed.
+    pub fn upsert(&mut self, rec: PrivateRecord) -> Option<Rect> {
+        let prev = self.records.insert(rec.pseudonym, rec.region);
+        if let Some(old) = prev {
+            self.tree.remove(&old, rec.pseudonym);
+        }
+        self.tree.insert(rec.region, rec.pseudonym);
+        prev
+    }
+
+    /// Removes a record.
+    pub fn remove(&mut self, pseudonym: PseudonymId) -> Option<Rect> {
+        let old = self.records.remove(&pseudonym)?;
+        self.tree.remove(&old, pseudonym);
+        Some(old)
+    }
+
+    /// Current region of a pseudonym.
+    pub fn get(&self, pseudonym: PseudonymId) -> Option<Rect> {
+        self.records.get(&pseudonym).copied()
+    }
+
+    /// All records whose region intersects `r`.
+    pub fn intersecting(&self, r: &Rect) -> Vec<PrivateRecord> {
+        self.tree
+            .search_rect(r)
+            .into_iter()
+            .map(|(region, pseudonym)| PrivateRecord { pseudonym, region })
+            .collect()
+    }
+
+    /// Iterates over all records (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = PrivateRecord> + '_ {
+        self.records
+            .iter()
+            .map(|(&pseudonym, &region)| PrivateRecord { pseudonym, region })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(id: ObjectId, x: f64, y: f64) -> PublicObject {
+        PublicObject::new(id, Point::new(x, y), 0)
+    }
+
+    #[test]
+    fn public_store_crud() {
+        let mut s = PublicStore::new();
+        assert!(s.is_empty());
+        s.insert(obj(1, 0.1, 0.1));
+        s.insert(obj(2, 0.9, 0.9));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(1).unwrap().pos, Point::new(0.1, 0.1));
+        // Replace same id.
+        s.insert(obj(1, 0.2, 0.2));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(1).unwrap().pos, Point::new(0.2, 0.2));
+        let hits = s.in_rect(&Rect::new_unchecked(0.0, 0.0, 0.5, 0.5));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 1);
+        assert!(s.remove(1).is_some());
+        assert!(s.remove(1).is_none());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn public_store_bulk_and_knn() {
+        let objects: Vec<_> = (0..50)
+            .map(|i| obj(i, (i as f64) / 50.0, ((i * 7) % 50) as f64 / 50.0))
+            .collect();
+        let s = PublicStore::bulk_load(objects.clone());
+        assert_eq!(s.len(), 50);
+        let q = Point::new(0.5, 0.5);
+        let knn = s.k_nearest(q, 3);
+        assert_eq!(knn.len(), 3);
+        let mut brute = objects.clone();
+        brute.sort_by(|a, b| q.dist_sq(a.pos).total_cmp(&q.dist_sq(b.pos)));
+        assert_eq!(knn[0].id, brute[0].id);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate public object id")]
+    fn bulk_load_rejects_duplicates() {
+        PublicStore::bulk_load(vec![obj(1, 0.0, 0.0), obj(1, 0.5, 0.5)]);
+    }
+
+    #[test]
+    fn moving_public_object() {
+        let mut s = PublicStore::new();
+        s.insert(obj(7, 0.1, 0.1));
+        assert!(s.update_position(7, Point::new(0.8, 0.8)));
+        assert!(!s.update_position(8, Point::new(0.5, 0.5)));
+        let hits = s.in_rect(&Rect::new_unchecked(0.7, 0.7, 0.9, 0.9));
+        assert_eq!(hits.len(), 1);
+        assert!(s
+            .in_rect(&Rect::new_unchecked(0.0, 0.0, 0.2, 0.2))
+            .is_empty());
+    }
+
+    #[test]
+    fn private_store_upsert_replaces_region() {
+        let mut s = PrivateStore::new();
+        let r1 = Rect::new_unchecked(0.0, 0.0, 0.2, 0.2);
+        let r2 = Rect::new_unchecked(0.5, 0.5, 0.7, 0.7);
+        assert_eq!(s.upsert(PrivateRecord::new(1, r1)), None);
+        assert_eq!(s.upsert(PrivateRecord::new(1, r2)), Some(r1));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(1), Some(r2));
+        // Old region no longer matches spatially.
+        assert!(s.intersecting(&r1).is_empty());
+        assert_eq!(s.intersecting(&r2).len(), 1);
+        assert_eq!(s.remove(1), Some(r2));
+        assert!(s.is_empty());
+        assert_eq!(s.remove(1), None);
+    }
+
+    #[test]
+    fn private_store_intersection_query() {
+        let mut s = PrivateStore::new();
+        for i in 0..10u64 {
+            let x = i as f64 / 10.0;
+            s.upsert(PrivateRecord::new(
+                i,
+                Rect::new_unchecked(x, 0.0, x + 0.05, 0.05),
+            ));
+        }
+        let hits = s.intersecting(&Rect::new_unchecked(0.0, 0.0, 0.32, 1.0));
+        // Regions starting at 0.0, 0.1, 0.2, 0.3 intersect.
+        assert_eq!(hits.len(), 4);
+        assert_eq!(s.iter().count(), 10);
+    }
+}

@@ -1,0 +1,120 @@
+//! Attack lab: the paper's reverse-engineering arguments, measured.
+//!
+//! Runs the adversaries against the main cloaking algorithms on
+//! the same population:
+//! * center-of-region attack (breaks the naive cloak, Fig. 3a),
+//! * boundary attack (leaks from the MBR cloak at small k, Fig. 3b),
+//! * region-intersection attack over an update trace (an extension:
+//!   quantifies multi-snapshot leakage, and shows that incremental
+//!   cloak caching — Sec. 5.3 — actually *blocks* it).
+//!
+//! Run with: `cargo run --release --example attack_lab`
+
+use privacy_lbs::anonymizer::attack::{BoundaryAttack, CenterAttack, IntersectionAttack};
+use privacy_lbs::anonymizer::{
+    CloakRequirement, CloakingAlgorithm, GridCloak, IncrementalCloaker, MbrCloak, NaiveCloak,
+    QuadCloak,
+};
+use privacy_lbs::geom::{Point, Rect};
+use privacy_lbs::mobility::{Population, SpatialDistribution};
+
+fn main() {
+    let world = Rect::new_unchecked(0.0, 0.0, 1.0, 1.0);
+    let population = Population::generate(
+        world,
+        10_000,
+        &SpatialDistribution::three_cities(&world),
+        0.0,
+        0.01,
+        4,
+    );
+    let positions = population.positions();
+
+    let mut algos: Vec<Box<dyn CloakingAlgorithm>> = vec![
+        Box::new(NaiveCloak::new(world, 64)),
+        Box::new(MbrCloak::new(world, 64)),
+        Box::new(QuadCloak::new(world, 8)),
+        Box::new(GridCloak::new(world, 64).with_refinement(true)),
+    ];
+    for a in &mut algos {
+        for (i, p) in positions.iter().enumerate() {
+            a.upsert(i as u64, *p);
+        }
+    }
+
+    println!("10,000 users, k = 5, 500 sampled cloaks per algorithm\n");
+    println!("algorithm        | center attack | boundary attack | mean normalized error");
+    println!("-----------------+---------------+-----------------+----------------------");
+    let req = CloakRequirement::k_only(5);
+    for a in &algos {
+        let ids: Vec<u64> = (0..10_000u64).step_by(20).collect();
+        let cloaks: Vec<_> = ids.iter().map(|&id| a.cloak(id, &req).unwrap()).collect();
+        let cases: Vec<_> = cloaks
+            .iter()
+            .zip(ids.iter().map(|&id| positions[id as usize]))
+            .collect();
+        let center = CenterAttack::default().attack_all(cases.iter().map(|&(c, p)| (c, p)));
+        let boundary = BoundaryAttack::default().attack_all(cases.iter().map(|&(c, p)| (c, p)));
+        println!(
+            "{:<16} | {:>12.1}% | {:>14.1}% | {:>20.3}",
+            a.name(),
+            100.0 * center.success_rate(),
+            100.0 * boundary.success_rate(),
+            center.mean_normalized_error,
+        );
+    }
+
+    // Intersection attack: a stationary subject, drifting crowd.
+    println!("\nRegion-intersection attack (stationary user, 10 re-cloaks, k=8):\n");
+    println!("strategy                     | intersection / initial area | truth inside");
+    println!("-----------------------------+-----------------------------+-------------");
+    let subject = Point::new(0.5, 0.5);
+
+    // Eager recomputation with the MBR cloak: every round differs.
+    let mut mbr = MbrCloak::new(world, 32);
+    mbr.upsert(0, subject);
+    for i in 1..60u64 {
+        mbr.upsert(i, Point::new(0.3 + 0.007 * i as f64, 0.55));
+    }
+    let req8 = CloakRequirement::k_only(8);
+    let mut trace = Vec::new();
+    for round in 0..10u64 {
+        for i in 1..60u64 {
+            let x = 0.3 + 0.007 * ((i + round * 3) % 60) as f64;
+            mbr.upsert(i, Point::new(x, 0.55 - 0.002 * round as f64));
+        }
+        trace.push(mbr.cloak(0, &req8).unwrap());
+    }
+    let eager = IntersectionAttack.attack_trace(&trace, subject).unwrap();
+    println!(
+        "{:<28} | {:>27.2} | {}",
+        "mbr, eager recompute",
+        eager.area_ratio(),
+        eager.contains_truth
+    );
+
+    // Incremental caching with the quad cloak: identical regions.
+    let mut quad = QuadCloak::new(world, 8);
+    quad.upsert(0, subject);
+    for i in 1..60u64 {
+        quad.upsert(i, Point::new(0.505, 0.505));
+    }
+    let mut inc = IncrementalCloaker::new(quad, 1000);
+    let mut trace = Vec::new();
+    for _ in 0..10 {
+        trace.push(inc.update_and_cloak(0, subject, &req8).unwrap());
+    }
+    let cached = IntersectionAttack.attack_trace(&trace, subject).unwrap();
+    println!(
+        "{:<28} | {:>27.2} | {}",
+        "quad, incremental cache",
+        cached.area_ratio(),
+        cached.contains_truth
+    );
+
+    println!(
+        "\nReadings: space-dependent cloaks are immune to single-snapshot\n\
+         reverse engineering; across snapshots, re-sending the *same* region\n\
+         (incremental caching) is strictly safer than eager recomputation."
+    );
+}

@@ -1,0 +1,100 @@
+//! The paper's running example, measured: "asking about the nearest gas
+//! station" under increasing privacy levels, with the paper's four
+//! cloaking algorithms plus the Hilbert baseline.
+//!
+//! For each algorithm and each k, reports:
+//! * the cloaked area (privacy),
+//! * the candidate-set size the user must download and scan (QoS cost),
+//! * whether the true nearest station was always in the candidate set
+//!   (correctness — must be 100%),
+//! * what a center-of-region adversary learns (leakage).
+//!
+//! Run with: `cargo run --release --example nearest_gas_station`
+
+use privacy_lbs::anonymizer::attack::CenterAttack;
+use privacy_lbs::anonymizer::{
+    CloakRequirement, CloakingAlgorithm, GridCloak, HilbertCloak, MbrCloak, NaiveCloak, QuadCloak,
+};
+use privacy_lbs::geom::{Point, Rect};
+use privacy_lbs::mobility::{PoiCategory, PoiSet, Population, SpatialDistribution};
+use privacy_lbs::server::{private_nn_candidates, refine_nn, PublicObject, PublicStore};
+
+fn run_algo(algo: &mut dyn CloakingAlgorithm, users: &[Point], store: &PublicStore, k: u32) {
+    for (i, p) in users.iter().enumerate() {
+        algo.upsert(i as u64, *p);
+    }
+    let req = CloakRequirement::k_only(k);
+    let attack = CenterAttack::default();
+    let mut total_area = 0.0;
+    let mut total_cands = 0usize;
+    let mut correct = 0usize;
+    let mut pinpointed = 0usize;
+    let sample: Vec<u64> = (0..users.len() as u64).step_by(users.len() / 200).collect();
+    for &id in &sample {
+        let cloak = algo.cloak(id, &req).expect("user present");
+        total_area += cloak.area();
+        let candidates = private_nn_candidates(store, &cloak.region);
+        total_cands += candidates.len();
+        let true_pos = users[id as usize];
+        let refined = refine_nn(&candidates, true_pos).expect("stations exist");
+        let direct = store.k_nearest(true_pos, 1)[0];
+        if (refined.pos.dist(true_pos) - direct.pos.dist(true_pos)).abs() < 1e-12 {
+            correct += 1;
+        }
+        if attack.attack_one(&cloak, true_pos).0 {
+            pinpointed += 1;
+        }
+    }
+    let n = sample.len() as f64;
+    println!(
+        "{:<16} | k={:<4} | area {:>8.5} | candidates {:>5.1} | correct {:>5.1}% | pinpointed {:>5.1}%",
+        algo.name(),
+        k,
+        total_area / n,
+        total_cands as f64 / n,
+        100.0 * correct as f64 / n,
+        100.0 * pinpointed as f64 / n,
+    );
+}
+
+fn main() {
+    let world = Rect::new_unchecked(0.0, 0.0, 1.0, 1.0);
+    let dist = SpatialDistribution::three_cities(&world);
+    let population = Population::generate(world, 20_000, &dist, 0.0, 0.01, 99);
+    let users = population.positions();
+
+    let stations = PoiSet::generate_category(
+        world,
+        500,
+        PoiCategory::GasStation,
+        &SpatialDistribution::Uniform,
+        5,
+    );
+    let store = PublicStore::bulk_load(
+        stations
+            .pois()
+            .iter()
+            .map(|p| PublicObject::new(p.id, p.pos, 0))
+            .collect(),
+    );
+
+    println!("20,000 users (3-city distribution), 500 gas stations, 200 sampled queries\n");
+    for k in [10u32, 50, 200] {
+        run_algo(&mut NaiveCloak::new(world, 64), &users, &store, k);
+        run_algo(&mut MbrCloak::new(world, 64), &users, &store, k);
+        run_algo(&mut QuadCloak::new(world, 8), &users, &store, k);
+        run_algo(
+            &mut GridCloak::new(world, 64).with_refinement(true),
+            &users,
+            &store,
+            k,
+        );
+        run_algo(&mut HilbertCloak::new(world, 64), &users, &store, k);
+        println!();
+    }
+    println!(
+        "Takeaways: every algorithm keeps the true answer in the candidate set \
+         (correct = 100%); candidate cost grows with k; only the naive cloak is \
+         pinpointed by the center attack."
+    );
+}

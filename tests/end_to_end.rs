@@ -1,0 +1,186 @@
+//! Cross-crate integration tests: the full architecture of Fig. 1
+//! exercised through the public API of the umbrella crate.
+
+use privacy_lbs::anonymizer::{
+    CloakRequirement, CloakingAlgorithm, GridCloak, PrivacyProfile, QuadCloak,
+};
+use privacy_lbs::geom::{Point, Rect, SimTime};
+use privacy_lbs::mobility::{PoiCategory, PoiSet, SpatialDistribution};
+use privacy_lbs::server::PublicObject;
+use privacy_lbs::system::{MobileUser, PrivacyAwareSystem, SimulationConfig, SimulationEngine};
+
+fn world() -> Rect {
+    Rect::new_unchecked(0.0, 0.0, 1.0, 1.0)
+}
+
+fn pois(n: usize) -> Vec<PublicObject> {
+    PoiSet::generate_category(
+        world(),
+        n,
+        PoiCategory::GasStation,
+        &SpatialDistribution::Uniform,
+        5,
+    )
+    .pois()
+    .iter()
+    .map(|p| PublicObject::new(p.id, p.pos, 0))
+    .collect()
+}
+
+fn lattice_system<A: CloakingAlgorithm>(algo: A, k: u32, n_pois: usize) -> PrivacyAwareSystem<A> {
+    let mut sys = PrivacyAwareSystem::new(algo, 77, pois(n_pois));
+    let profile = PrivacyProfile::uniform(CloakRequirement::k_only(k)).unwrap();
+    for i in 0..400u64 {
+        sys.register_user(MobileUser::active(i, profile.clone()));
+        let x = 0.025 + 0.05 * (i % 20) as f64;
+        let y = 0.025 + 0.05 * (i / 20) as f64;
+        sys.process_update(i, Point::new(x, y), SimTime::ZERO).unwrap();
+    }
+    sys
+}
+
+/// The core privacy invariant, end to end: with k > 1 the server never
+/// receives a record that pinpoints a user, and every stored region was
+/// k-anonymous when produced.
+#[test]
+fn server_never_sees_exact_locations() {
+    let mut sys = lattice_system(QuadCloak::new(world(), 6), 10, 100);
+    for i in 0..400u64 {
+        let update = sys
+            .process_update(
+                i,
+                sys.device_position(i).unwrap(),
+                SimTime::from_secs(1.0),
+            )
+            .unwrap()
+            .unwrap();
+        assert!(update.region.area() > 0.0, "user {i}: k=10 region is not a point");
+        assert!(update.region.achieved_k >= 10);
+        // The pseudonym is not the true id.
+        assert_ne!(update.pseudonym.0, i);
+    }
+    assert_eq!(sys.private_store().len(), 400);
+}
+
+/// End-to-end QoS invariant: private queries answered over cloaks give
+/// exactly the same final answer as queries over the exact location,
+/// paying only candidate-set overhead.
+#[test]
+fn private_queries_are_exact_after_refinement() {
+    let mut sys = lattice_system(GridCloak::new(world(), 32), 15, 200);
+    for id in (0..400u64).step_by(13) {
+        let pos = sys.device_position(id).unwrap();
+        // Range query.
+        let out = sys.private_range_query(id, 0.12, SimTime::ZERO).unwrap();
+        let direct: Vec<_> = sys
+            .public_store()
+            .iter()
+            .filter(|o| o.pos.dist(pos) <= 0.12)
+            .map(|o| o.id)
+            .collect();
+        assert_eq!(out.exact.len(), direct.len(), "user {id}");
+        assert!(out.candidates.len() >= out.exact.len());
+        // NN query.
+        let nn = sys.private_nn_query(id, SimTime::ZERO).unwrap();
+        let direct_nn = sys.public_store().k_nearest(pos, 1)[0];
+        let got = nn.exact.unwrap();
+        assert!(
+            (got.pos.dist(pos) - direct_nn.pos.dist(pos)).abs() < 1e-12,
+            "user {id}"
+        );
+    }
+}
+
+/// Greater k must not reduce privacy and must not improve QoS: the
+/// monotone trade-off claim of the paper's introduction.
+#[test]
+fn privacy_qos_tradeoff_is_monotone() {
+    let mut area_by_k = Vec::new();
+    let mut cands_by_k = Vec::new();
+    for k in [2u32, 10, 50, 150] {
+        let mut sys = lattice_system(QuadCloak::new(world(), 6), k, 300);
+        let mut area = 0.0;
+        let mut cands = 0usize;
+        let ids: Vec<u64> = (0..400).step_by(7).collect();
+        for &id in &ids {
+            let out = sys.private_nn_query(id, SimTime::ZERO).unwrap();
+            area += out.cloak.area();
+            cands += out.candidates.len();
+        }
+        area_by_k.push(area / ids.len() as f64);
+        cands_by_k.push(cands as f64 / ids.len() as f64);
+    }
+    for w in area_by_k.windows(2) {
+        assert!(w[1] >= w[0] - 1e-12, "cloak area grows with k: {area_by_k:?}");
+    }
+    assert!(
+        cands_by_k.last().unwrap() > cands_by_k.first().unwrap(),
+        "candidate cost grows with k: {cands_by_k:?}"
+    );
+}
+
+/// Public queries degrade gracefully: the interval always brackets the
+/// true count.
+#[test]
+fn public_count_interval_brackets_truth() {
+    let mut sys = lattice_system(QuadCloak::new(world(), 6), 20, 50);
+    for t in 0..20 {
+        let fx = (t % 5) as f64 / 6.25;
+        let fy = (t / 5) as f64 / 5.0;
+        let q = Rect::new_unchecked(fx, fy, (fx + 0.3).min(1.0), (fy + 0.3).min(1.0));
+        let truth = (0..400u64)
+            .filter(|&i| q.contains_point(sys.device_position(i).unwrap()))
+            .count();
+        let ans = sys.public_count_query(q);
+        assert!(
+            ans.certain <= truth && truth <= ans.possible,
+            "rect {t}: truth {truth} outside [{}, {}]",
+            ans.certain,
+            ans.possible
+        );
+        // The PDF agrees with the interval.
+        assert!(ans.probability_of(truth) > 0.0 || ans.possible == ans.certain);
+    }
+}
+
+/// A full simulated day with the paper's profile: the system works
+/// under temporal requirement switches without a single failure.
+#[test]
+fn full_day_with_paper_profile() {
+    let w = Rect::new_unchecked(0.0, 0.0, 6.0, 6.0);
+    let cfg = SimulationConfig {
+        users: 500,
+        pois: 100,
+        distribution: SpatialDistribution::three_cities(&w),
+        speed: (0.002, 0.01),
+        tick_seconds: 2.0 * 3600.0,
+        query_fraction: 0.1,
+        query_radius: 0.5,
+        seed: 99,
+    };
+    let mut engine = SimulationEngine::new(
+        QuadCloak::new(w, 7),
+        cfg,
+        PrivacyProfile::paper_example(),
+    );
+    let reports = engine.run(12); // 24 hours
+    assert_eq!(reports.len(), 12);
+    let total_updates: usize = reports.iter().map(|r| r.updates).sum();
+    assert_eq!(total_updates, 500 * 12);
+    // k=1000 > 500 users, so night cloaks are flagged unsatisfied —
+    // best-effort, not an error.
+    let night_unsat: usize = reports.iter().map(|r| r.unsatisfied).sum();
+    assert!(night_unsat > 0, "night ticks are best-effort");
+}
+
+/// Unregistering (passive mode) stops the flow of information.
+#[test]
+fn unregister_is_forgotten() {
+    let mut sys = lattice_system(QuadCloak::new(world(), 6), 5, 10);
+    assert!(sys.private_range_query(3, 0.1, SimTime::ZERO).is_ok());
+    // Simulate opting out by replacing with a passive registration: the
+    // anonymizer drops the user.
+    sys.register_user(MobileUser::passive(3));
+    let out = sys.process_update(3, Point::new(0.5, 0.5), SimTime::ZERO).unwrap();
+    assert!(out.is_none(), "passive users produce no cloaked updates");
+}
