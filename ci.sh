@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full local CI gate: release build, test suite, lints, formatting.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release, offline) =="
+cargo build --release --offline --workspace
+
+echo "== tests =="
+cargo test -q --workspace --offline
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== rustfmt check =="
+cargo fmt --all --check
+
+echo "CI gate passed."

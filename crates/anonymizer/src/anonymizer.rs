@@ -9,8 +9,8 @@
 use crate::cloak::{CloakRequirement, CloakedRegion, CloakingAlgorithm};
 use crate::{Billing, CloakError, PrivacyProfile, Tariff, UserId};
 use lbsp_geom::{Point, Rect, SimTime};
-use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 /// An opaque identifier that replaces the true user id on everything
 /// sent to the database server ("hide the query identity", Sec. 3).
@@ -103,7 +103,11 @@ impl<A: CloakingAlgorithm> LocationAnonymizer<A> {
 
     /// Replaces a user's profile ("mobile users have the ability to
     /// change their privacy profiles at any time").
-    pub fn update_profile(&mut self, id: UserId, profile: PrivacyProfile) -> Result<(), CloakError> {
+    pub fn update_profile(
+        &mut self,
+        id: UserId,
+        profile: PrivacyProfile,
+    ) -> Result<(), CloakError> {
         if !self.profiles.contains_key(&id) {
             return Err(CloakError::UnknownUser(id));
         }
@@ -179,8 +183,7 @@ impl<A: CloakingAlgorithm> LocationAnonymizer<A> {
         updates: &[(UserId, Point, SimTime)],
     ) -> Vec<Result<CloakedUpdate, CloakError>> {
         // Phase 1: apply all position updates and resolve requirements.
-        let mut reqs: Vec<Result<CloakRequirement, CloakError>> =
-            Vec::with_capacity(updates.len());
+        let mut reqs: Vec<Result<CloakRequirement, CloakError>> = Vec::with_capacity(updates.len());
         for &(id, position, time) in updates {
             match self.profiles.get(&id) {
                 None => reqs.push(Err(CloakError::UnknownUser(id))),
@@ -249,22 +252,22 @@ impl<A: CloakingAlgorithm> ConcurrentAnonymizer<A> {
         position: Point,
         time: SimTime,
     ) -> Result<CloakedUpdate, CloakError> {
-        self.0.write().handle_update(id, position, time)
+        self.0.write().unwrap().handle_update(id, position, time)
     }
 
     /// Cloaks a query (shared lock — many readers in parallel).
     pub fn cloak_query(&self, id: UserId, time: SimTime) -> Result<CloakedQuery, CloakError> {
-        self.0.read().cloak_query(id, time)
+        self.0.read().unwrap().cloak_query(id, time)
     }
 
     /// Registers a user.
     pub fn register(&self, id: UserId, profile: PrivacyProfile) {
-        self.0.write().register(id, profile);
+        self.0.write().unwrap().register(id, profile);
     }
 
     /// Runs a closure with read access to the inner anonymizer.
     pub fn with_read<T>(&self, f: impl FnOnce(&LocationAnonymizer<A>) -> T) -> T {
-        f(&self.0.read())
+        f(&self.0.read().unwrap())
     }
 }
 
@@ -282,7 +285,10 @@ mod tests {
         for i in 0..100u64 {
             let x = 0.05 + 0.1 * (i % 10) as f64;
             let y = 0.05 + 0.1 * (i / 10) as f64;
-            a.register(i, PrivacyProfile::uniform(CloakRequirement::k_only(10)).unwrap());
+            a.register(
+                i,
+                PrivacyProfile::uniform(CloakRequirement::k_only(10)).unwrap(),
+            );
             a.handle_update(i, Point::new(x, y), SimTime::ZERO).unwrap();
         }
         a
@@ -368,8 +374,11 @@ mod tests {
     #[test]
     fn profile_update_and_unregister() {
         let mut a = service();
-        a.update_profile(3, PrivacyProfile::uniform(CloakRequirement::k_only(50)).unwrap())
-            .unwrap();
+        a.update_profile(
+            3,
+            PrivacyProfile::uniform(CloakRequirement::k_only(50)).unwrap(),
+        )
+        .unwrap();
         let q = a.cloak_query(3, SimTime::ZERO).unwrap();
         assert!(q.region.achieved_k >= 50);
         assert!(a.unregister(3));
@@ -383,7 +392,10 @@ mod tests {
         let inner = LocationAnonymizer::new(QuadCloak::new(world(), 4), 1);
         let c = ConcurrentAnonymizer::new(inner);
         for i in 0..20u64 {
-            c.register(i, PrivacyProfile::uniform(CloakRequirement::k_only(5)).unwrap());
+            c.register(
+                i,
+                PrivacyProfile::uniform(CloakRequirement::k_only(5)).unwrap(),
+            );
             c.handle_update(i, Point::new(0.5 + 0.01 * i as f64, 0.5), SimTime::ZERO)
                 .unwrap();
         }
@@ -450,10 +462,16 @@ mod tests {
 
     #[test]
     fn billing_charges_by_protection_level() {
-        let mut a = LocationAnonymizer::new(QuadCloak::new(world(), 5), 3)
-            .with_billing(Tariff::default());
-        a.register(1, PrivacyProfile::uniform(CloakRequirement::k_only(2)).unwrap());
-        a.register(2, PrivacyProfile::uniform(CloakRequirement::k_only(512)).unwrap());
+        let mut a =
+            LocationAnonymizer::new(QuadCloak::new(world(), 5), 3).with_billing(Tariff::default());
+        a.register(
+            1,
+            PrivacyProfile::uniform(CloakRequirement::k_only(2)).unwrap(),
+        );
+        a.register(
+            2,
+            PrivacyProfile::uniform(CloakRequirement::k_only(512)).unwrap(),
+        );
         for t in 0..3 {
             for id in [1u64, 2] {
                 a.handle_update(id, Point::new(0.5, 0.5), SimTime::from_secs(t as f64))

@@ -80,7 +80,11 @@ impl CenterAttack {
         let guess = self.guess(cloak);
         let err = guess.dist(truth);
         let half_diag = cloak.region.half_diagonal();
-        let norm = if half_diag > 0.0 { err / half_diag } else { 0.0 };
+        let norm = if half_diag > 0.0 {
+            err / half_diag
+        } else {
+            0.0
+        };
         (err <= self.epsilon, norm)
     }
 
@@ -294,9 +298,8 @@ mod tests {
         let cloaks: Vec<_> = (0..1000u64)
             .map(|id| algo.cloak(id, &req).unwrap())
             .collect();
-        let report = CenterAttack::default().attack_all(
-            cloaks.iter().zip(positions.iter().copied()),
-        );
+        let report =
+            CenterAttack::default().attack_all(cloaks.iter().zip(positions.iter().copied()));
         assert!(
             report.success_rate() > 0.9,
             "success {}",
@@ -316,10 +319,12 @@ mod tests {
         let cloaks: Vec<_> = (0..200u64)
             .map(|id| algo.cloak(id, &req).unwrap())
             .collect();
-        let report = CenterAttack::default().attack_all(
-            cloaks.iter().zip(positions.iter().copied()),
+        let report =
+            CenterAttack::default().attack_all(cloaks.iter().zip(positions.iter().copied()));
+        assert_eq!(
+            report.successes, 0,
+            "no pinpoint against cell-aligned cloaks"
         );
-        assert_eq!(report.successes, 0, "no pinpoint against cell-aligned cloaks");
         // Error comparable to blind guessing.
         assert!(report.mean_normalized_error > 0.2);
     }
@@ -336,11 +341,11 @@ mod tests {
         let req = CloakRequirement::k_only(5);
         let attack = BoundaryAttack::default();
         let mbr_cloaks: Vec<_> = (0..300u64).map(|id| mbr.cloak(id, &req).unwrap()).collect();
-        let quad_cloaks: Vec<_> = (0..300u64).map(|id| quad.cloak(id, &req).unwrap()).collect();
-        let mbr_report =
-            attack.attack_all(mbr_cloaks.iter().zip(positions.iter().copied()));
-        let quad_report =
-            attack.attack_all(quad_cloaks.iter().zip(positions.iter().copied()));
+        let quad_cloaks: Vec<_> = (0..300u64)
+            .map(|id| quad.cloak(id, &req).unwrap())
+            .collect();
+        let mbr_report = attack.attack_all(mbr_cloaks.iter().zip(positions.iter().copied()));
+        let quad_report = attack.attack_all(quad_cloaks.iter().zip(positions.iter().copied()));
         // The paper predicts boundary leakage for small k. Note the
         // subject is the *center* of its own k-NN ball, so it lands on
         // the boundary less often than an exchangeable member would
@@ -370,8 +375,8 @@ mod tests {
         }
         let req = CloakRequirement::k_only(2);
         let cloaks: Vec<_> = (0..100u64).map(|id| mbr.cloak(id, &req).unwrap()).collect();
-        let report = BoundaryAttack::default()
-            .attack_all(cloaks.iter().zip(positions.iter().copied()));
+        let report =
+            BoundaryAttack::default().attack_all(cloaks.iter().zip(positions.iter().copied()));
         assert_eq!(report.successes, report.trials);
     }
 
@@ -490,7 +495,9 @@ mod tests {
 
     #[test]
     fn intersection_attack_empty_trace() {
-        assert!(IntersectionAttack.attack_trace(&[], Point::ORIGIN).is_none());
+        assert!(IntersectionAttack
+            .attack_trace(&[], Point::ORIGIN)
+            .is_none());
     }
 
     #[test]

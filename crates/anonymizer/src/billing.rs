@@ -36,7 +36,11 @@ impl Tariff {
     /// Price of one cloaked update under `req`.
     pub fn price(&self, req: &CloakRequirement) -> f64 {
         let k_bits = f64::from(req.k.max(1)).log2();
-        let area = if req.a_min.is_finite() { req.a_min } else { 0.0 };
+        let area = if req.a_min.is_finite() {
+            req.a_min
+        } else {
+            0.0
+        };
         self.base + self.per_k_bit * k_bits + self.per_area * area
     }
 }
@@ -98,14 +102,22 @@ mod tests {
         let none = t.price(&CloakRequirement::none());
         let k10 = t.price(&CloakRequirement::k_only(10));
         let k1000 = t.price(&CloakRequirement::k_only(1000));
-        let with_area = t.price(&CloakRequirement { k: 10, a_min: 2.0, a_max: f64::INFINITY });
+        let with_area = t.price(&CloakRequirement {
+            k: 10,
+            a_min: 2.0,
+            a_max: f64::INFINITY,
+        });
         assert!(none < k10 && k10 < k1000, "{none} {k10} {k1000}");
         assert!(with_area > k10);
         // k=1 has zero anonymity surcharge.
         assert!((none - t.base).abs() < 1e-12);
         // Infinite a_max never bills (only a_min is a demand).
         assert!(t
-            .price(&CloakRequirement { k: 1, a_min: 0.0, a_max: f64::INFINITY })
+            .price(&CloakRequirement {
+                k: 1,
+                a_min: 0.0,
+                a_max: f64::INFINITY
+            })
             .is_finite());
     }
 

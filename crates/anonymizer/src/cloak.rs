@@ -196,33 +196,62 @@ mod tests {
     #[test]
     fn requirement_validation() {
         assert!(CloakRequirement::k_only(1).validate().is_ok());
-        assert!(CloakRequirement { k: 0, a_min: 0.0, a_max: 1.0 }
-            .validate()
-            .is_err());
-        assert!(CloakRequirement { k: 5, a_min: -1.0, a_max: 1.0 }
-            .validate()
-            .is_err());
-        assert!(CloakRequirement { k: 5, a_min: 2.0, a_max: 1.0 }
-            .validate()
-            .is_err());
-        assert!(CloakRequirement { k: 5, a_min: f64::NAN, a_max: 1.0 }
-            .validate()
-            .is_err());
-        assert!(CloakRequirement { k: 5, a_min: 0.5, a_max: f64::INFINITY }
-            .validate()
-            .is_ok());
+        assert!(CloakRequirement {
+            k: 0,
+            a_min: 0.0,
+            a_max: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(CloakRequirement {
+            k: 5,
+            a_min: -1.0,
+            a_max: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(CloakRequirement {
+            k: 5,
+            a_min: 2.0,
+            a_max: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(CloakRequirement {
+            k: 5,
+            a_min: f64::NAN,
+            a_max: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(CloakRequirement {
+            k: 5,
+            a_min: 0.5,
+            a_max: f64::INFINITY
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]
     fn wants_privacy() {
         assert!(!CloakRequirement::none().wants_privacy());
         assert!(CloakRequirement::k_only(2).wants_privacy());
-        assert!(CloakRequirement { k: 1, a_min: 0.1, a_max: 1.0 }.wants_privacy());
+        assert!(CloakRequirement {
+            k: 1,
+            a_min: 0.1,
+            a_max: 1.0
+        }
+        .wants_privacy());
     }
 
     #[test]
     fn finalize_flags() {
-        let req = CloakRequirement { k: 10, a_min: 0.1, a_max: 0.5 };
+        let req = CloakRequirement {
+            k: 10,
+            a_min: 0.1,
+            a_max: 0.5,
+        };
         let r = Rect::new_unchecked(0.0, 0.0, 0.5, 0.5); // area 0.25
         let ok = finalize_region(r, 12, &req);
         assert!(ok.fully_satisfied());
@@ -240,7 +269,11 @@ mod tests {
 
     #[test]
     fn finalize_exact_bounds_count_as_satisfied() {
-        let req = CloakRequirement { k: 1, a_min: 0.25, a_max: 0.25 };
+        let req = CloakRequirement {
+            k: 1,
+            a_min: 0.25,
+            a_max: 0.25,
+        };
         let r = Rect::new_unchecked(0.0, 0.0, 0.5, 0.5);
         assert!(finalize_region(r, 1, &req).area_satisfied);
     }

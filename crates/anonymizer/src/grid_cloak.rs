@@ -23,7 +23,11 @@
 use crate::cloak::{finalize_region, CloakRequirement, CloakedRegion, CloakingAlgorithm};
 use crate::{CloakError, UserId};
 use lbsp_geom::{Point, Rect};
-use lbsp_index::{CellCoord, UniformGrid};
+use lbsp_index::{CellCoord, CellCounts, UniformGrid};
+
+/// Default multi-level refinement depth: a cell quarters at most this
+/// many times (1/16 cell → 1/256 at depth 4 on a 16×16 grid).
+pub const DEFAULT_MAX_REFINE_DEPTH: u8 = 4;
 
 /// Fixed-grid cloak with rectangular neighbor merging.
 #[derive(Debug, Clone)]
@@ -33,13 +37,221 @@ pub struct GridCloak {
     max_refine_depth: u8,
 }
 
+/// Expands the block `[c0, c1]` by one row/column on the side whose
+/// strip holds more users (ties and walls resolved deterministically).
+/// Returns `None` when the block already spans the whole grid.
+fn expand_once<C: CellCounts>(
+    counts: &C,
+    c0: CellCoord,
+    c1: CellCoord,
+    grow_x: bool,
+) -> Option<(CellCoord, CellCoord)> {
+    let nx = counts.nx();
+    let ny = counts.ny();
+    if grow_x {
+        let can_left = c0.ix > 0;
+        let can_right = c1.ix + 1 < nx;
+        match (can_left, can_right) {
+            (false, false) => None,
+            (true, false) => Some((
+                CellCoord {
+                    ix: c0.ix - 1,
+                    ..c0
+                },
+                c1,
+            )),
+            (false, true) => Some((
+                c0,
+                CellCoord {
+                    ix: c1.ix + 1,
+                    ..c1
+                },
+            )),
+            (true, true) => {
+                let left = counts.block_count(
+                    CellCoord {
+                        ix: c0.ix - 1,
+                        iy: c0.iy,
+                    },
+                    CellCoord {
+                        ix: c0.ix - 1,
+                        iy: c1.iy,
+                    },
+                );
+                let right = counts.block_count(
+                    CellCoord {
+                        ix: c1.ix + 1,
+                        iy: c0.iy,
+                    },
+                    CellCoord {
+                        ix: c1.ix + 1,
+                        iy: c1.iy,
+                    },
+                );
+                if left >= right {
+                    Some((
+                        CellCoord {
+                            ix: c0.ix - 1,
+                            ..c0
+                        },
+                        c1,
+                    ))
+                } else {
+                    Some((
+                        c0,
+                        CellCoord {
+                            ix: c1.ix + 1,
+                            ..c1
+                        },
+                    ))
+                }
+            }
+        }
+    } else {
+        let can_down = c0.iy > 0;
+        let can_up = c1.iy + 1 < ny;
+        match (can_down, can_up) {
+            (false, false) => None,
+            (true, false) => Some((
+                CellCoord {
+                    iy: c0.iy - 1,
+                    ..c0
+                },
+                c1,
+            )),
+            (false, true) => Some((
+                c0,
+                CellCoord {
+                    iy: c1.iy + 1,
+                    ..c1
+                },
+            )),
+            (true, true) => {
+                let down = counts.block_count(
+                    CellCoord {
+                        ix: c0.ix,
+                        iy: c0.iy - 1,
+                    },
+                    CellCoord {
+                        ix: c1.ix,
+                        iy: c0.iy - 1,
+                    },
+                );
+                let up = counts.block_count(
+                    CellCoord {
+                        ix: c0.ix,
+                        iy: c1.iy + 1,
+                    },
+                    CellCoord {
+                        ix: c1.ix,
+                        iy: c1.iy + 1,
+                    },
+                );
+                if down >= up {
+                    Some((
+                        CellCoord {
+                            iy: c0.iy - 1,
+                            ..c0
+                        },
+                        c1,
+                    ))
+                } else {
+                    Some((
+                        c0,
+                        CellCoord {
+                            iy: c1.iy + 1,
+                            ..c1
+                        },
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Multi-level descent: repeatedly quarter the region, following the
+/// quadrant that contains the user, while `(k, a_min)` still holds.
+fn refine_region<C: CellCounts>(
+    counts: &C,
+    mut region: Rect,
+    pos: Point,
+    req: &CloakRequirement,
+    max_depth: u8,
+) -> Rect {
+    for _ in 0..max_depth {
+        let quads = region.quadrants();
+        let qi = region.quadrant_of(pos);
+        let sub = quads[qi];
+        if sub.area() >= req.a_min && counts.count_in_rect(&sub) >= req.k as usize {
+            region = sub;
+        } else {
+            break;
+        }
+    }
+    region
+}
+
+/// The full fixed-grid merge (and optional multi-level refinement)
+/// against any [`CellCounts`] view.
+///
+/// This is [`GridCloak::cloak`] with the user lookup factored out: the
+/// caller supplies the subject's exact position and a count view, which
+/// may be a single [`UniformGrid`] or a [`lbsp_index::SummedGrids`]
+/// spanning several shards. Because the algorithm consumes only integer
+/// cell counts and cell-aligned rectangles, any two views reporting
+/// identical counts produce bit-identical regions — the property the
+/// sharded engine's equivalence tests assert.
+///
+/// `req` must already be validated ([`CloakRequirement::validate`]).
+pub fn cloak_with_counts<C: CellCounts>(
+    counts: &C,
+    pos: Point,
+    req: &CloakRequirement,
+    refine: bool,
+    max_refine_depth: u8,
+) -> CloakedRegion {
+    if !req.wants_privacy() {
+        let region = Rect::from_point(pos);
+        let k = counts.count_in_rect(&region) as u32;
+        return finalize_region(region, k.max(1), req);
+    }
+    let start = counts.cell_of(pos);
+    let (mut c0, mut c1) = (start, start);
+    let mut grow_x = true;
+    loop {
+        let count = counts.block_count(c0, c1) as u32;
+        let rect = counts.block_rect(c0, c1);
+        if count >= req.k && rect.area() >= req.a_min {
+            let rect = if refine && c0 == c1 {
+                refine_region(counts, rect, pos, req, max_refine_depth)
+            } else {
+                rect
+            };
+            let achieved = counts.count_in_rect(&rect) as u32;
+            return finalize_region(rect, achieved, req);
+        }
+        // Alternate growth axes so blocks stay near-square.
+        match expand_once(counts, c0, c1, grow_x).or_else(|| expand_once(counts, c0, c1, !grow_x)) {
+            Some((n0, n1)) => {
+                c0 = n0;
+                c1 = n1;
+                grow_x = !grow_x;
+            }
+            None => {
+                // Block spans the world: best effort.
+                return finalize_region(rect, count, req);
+            }
+        }
+    }
+}
+
 impl GridCloak {
     /// Creates the cloak over `world` with `side × side` cells.
     pub fn new(world: Rect, side: u32) -> GridCloak {
         GridCloak {
             grid: UniformGrid::new(world, side, side),
             refine: false,
-            max_refine_depth: 4,
+            max_refine_depth: DEFAULT_MAX_REFINE_DEPTH,
         }
     }
 
@@ -55,77 +267,9 @@ impl GridCloak {
         self.refine
     }
 
-    /// Expands the block `[c0, c1]` by one row/column on the side whose
-    /// strip holds more users (ties and walls resolved deterministically).
-    /// Returns `None` when the block already spans the whole grid.
-    fn expand_once(&self, c0: CellCoord, c1: CellCoord, grow_x: bool) -> Option<(CellCoord, CellCoord)> {
-        let nx = self.grid.nx();
-        let ny = self.grid.ny();
-        if grow_x {
-            let can_left = c0.ix > 0;
-            let can_right = c1.ix + 1 < nx;
-            match (can_left, can_right) {
-                (false, false) => None,
-                (true, false) => Some((CellCoord { ix: c0.ix - 1, ..c0 }, c1)),
-                (false, true) => Some((c0, CellCoord { ix: c1.ix + 1, ..c1 })),
-                (true, true) => {
-                    let left = self.grid.block_count(
-                        CellCoord { ix: c0.ix - 1, iy: c0.iy },
-                        CellCoord { ix: c0.ix - 1, iy: c1.iy },
-                    );
-                    let right = self.grid.block_count(
-                        CellCoord { ix: c1.ix + 1, iy: c0.iy },
-                        CellCoord { ix: c1.ix + 1, iy: c1.iy },
-                    );
-                    if left >= right {
-                        Some((CellCoord { ix: c0.ix - 1, ..c0 }, c1))
-                    } else {
-                        Some((c0, CellCoord { ix: c1.ix + 1, ..c1 }))
-                    }
-                }
-            }
-        } else {
-            let can_down = c0.iy > 0;
-            let can_up = c1.iy + 1 < ny;
-            match (can_down, can_up) {
-                (false, false) => None,
-                (true, false) => Some((CellCoord { iy: c0.iy - 1, ..c0 }, c1)),
-                (false, true) => Some((c0, CellCoord { iy: c1.iy + 1, ..c1 })),
-                (true, true) => {
-                    let down = self.grid.block_count(
-                        CellCoord { ix: c0.ix, iy: c0.iy - 1 },
-                        CellCoord { ix: c1.ix, iy: c0.iy - 1 },
-                    );
-                    let up = self.grid.block_count(
-                        CellCoord { ix: c0.ix, iy: c1.iy + 1 },
-                        CellCoord { ix: c1.ix, iy: c1.iy + 1 },
-                    );
-                    if down >= up {
-                        Some((CellCoord { iy: c0.iy - 1, ..c0 }, c1))
-                    } else {
-                        Some((c0, CellCoord { iy: c1.iy + 1, ..c1 }))
-                    }
-                }
-            }
-        }
-    }
-
-    /// Multi-level descent: repeatedly quarter the region, following the
-    /// quadrant that contains the user, while `(k, a_min)` still holds.
-    fn refine_region(&self, mut region: Rect, pos: Point, req: &CloakRequirement) -> Rect {
-        for _ in 0..self.max_refine_depth {
-            let quads = region.quadrants();
-            let qi = region.quadrant_of(pos);
-            let sub = quads[qi];
-            if sub.area() >= req.a_min
-                && self.grid.count_in_rect(&sub) >= req.k as usize
-            {
-                region = sub;
-            } else {
-                break;
-            }
-        }
-        region
+    /// The refinement descent limit in force.
+    pub fn max_refine_depth(&self) -> u8 {
+        self.max_refine_depth
     }
 }
 
@@ -178,42 +322,13 @@ impl CloakingAlgorithm for GridCloak {
     fn cloak(&self, id: UserId, req: &CloakRequirement) -> Result<CloakedRegion, CloakError> {
         req.validate()?;
         let pos = self.grid.location(id).ok_or(CloakError::UnknownUser(id))?;
-        if !req.wants_privacy() {
-            let region = Rect::from_point(pos);
-            let k = self.grid.count_in_rect(&region) as u32;
-            return Ok(finalize_region(region, k.max(1), req));
-        }
-        let start = self.grid.cell_of(pos);
-        let (mut c0, mut c1) = (start, start);
-        let mut grow_x = true;
-        loop {
-            let count = self.grid.block_count(c0, c1) as u32;
-            let rect = self.grid.block_rect(c0, c1);
-            if count >= req.k && rect.area() >= req.a_min {
-                let rect = if self.refine && c0 == c1 {
-                    self.refine_region(rect, pos, req)
-                } else {
-                    rect
-                };
-                let achieved = self.grid.count_in_rect(&rect) as u32;
-                return Ok(finalize_region(rect, achieved, req));
-            }
-            // Alternate growth axes so blocks stay near-square.
-            match self
-                .expand_once(c0, c1, grow_x)
-                .or_else(|| self.expand_once(c0, c1, !grow_x))
-            {
-                Some((n0, n1)) => {
-                    c0 = n0;
-                    c1 = n1;
-                    grow_x = !grow_x;
-                }
-                None => {
-                    // Block spans the world: best effort.
-                    return Ok(finalize_region(rect, count, req));
-                }
-            }
-        }
+        Ok(cloak_with_counts(
+            &self.grid,
+            pos,
+            req,
+            self.refine,
+            self.max_refine_depth,
+        ))
     }
 }
 
@@ -285,7 +400,11 @@ mod tests {
     #[test]
     fn a_min_expands_past_single_cell() {
         let c = populated(8);
-        let req = CloakRequirement { k: 2, a_min: 0.1, a_max: f64::INFINITY };
+        let req = CloakRequirement {
+            k: 2,
+            a_min: 0.1,
+            a_max: f64::INFINITY,
+        };
         let r = c.cloak(55, &req).unwrap();
         assert!(r.area() >= 0.1 - 1e-9);
         assert!(r.fully_satisfied());
@@ -323,7 +442,11 @@ mod tests {
     #[test]
     fn refinement_respects_a_min() {
         let refined = populated(2).with_refinement(true);
-        let req = CloakRequirement { k: 2, a_min: 0.25, a_max: f64::INFINITY };
+        let req = CloakRequirement {
+            k: 2,
+            a_min: 0.25,
+            a_max: f64::INFINITY,
+        };
         let r = refined.cloak(55, &req).unwrap();
         assert!(r.area() >= 0.25 - 1e-9, "a_min stops the descent");
     }

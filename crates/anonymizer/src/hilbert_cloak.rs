@@ -25,8 +25,8 @@ use crate::cloak::{finalize_region, CloakRequirement, CloakedRegion, CloakingAlg
 use crate::{CloakError, UserId};
 use lbsp_geom::{hilbert_d, Point, Rect};
 use lbsp_index::UniformGrid;
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::RwLock;
 
 /// Hilbert order used for indexing (2^10 × 2^10 cells is finer than any
 /// realistic cloak resolution while keeping indexes in `u64`).
@@ -83,18 +83,18 @@ impl HilbertCloak {
 
     fn with_ranks<T>(&self, f: impl FnOnce(&[(u64, UserId)]) -> T) -> T {
         {
-            let cached = self.ranks.read();
+            let cached = self.ranks.read().unwrap();
             if let Some(v) = cached.as_ref() {
                 return f(v);
             }
         }
-        let mut w = self.ranks.write();
+        let mut w = self.ranks.write().unwrap();
         let v = w.get_or_insert_with(|| self.order.keys().copied().collect());
         f(v)
     }
 
     fn invalidate(&mut self) {
-        *self.ranks.get_mut() = None;
+        *self.ranks.get_mut().unwrap() = None;
     }
 }
 
@@ -308,7 +308,11 @@ mod tests {
     #[test]
     fn a_min_padding_keeps_reciprocity() {
         let c = populated();
-        let req = CloakRequirement { k: 10, a_min: 0.3, a_max: f64::INFINITY };
+        let req = CloakRequirement {
+            k: 10,
+            a_min: 0.3,
+            a_max: f64::INFINITY,
+        };
         let r0 = c.cloak(0, &req).unwrap();
         assert!(r0.area() >= 0.3 - 1e-9);
         // A same-bucket peer gets the identical padded region. User 0's

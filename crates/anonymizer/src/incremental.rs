@@ -205,7 +205,9 @@ mod tests {
         let mut inc = IncrementalCloaker::new(seeded_quad(), 100);
         let req = CloakRequirement::k_only(10);
         // First update computes.
-        let r1 = inc.update_and_cloak(55, Point::new(0.55, 0.55), &req).unwrap();
+        let r1 = inc
+            .update_and_cloak(55, Point::new(0.55, 0.55), &req)
+            .unwrap();
         assert_eq!(inc.stats(), CacheStats { hits: 0, misses: 1 });
         // Tiny movements inside the region are served from cache.
         for i in 0..5 {
@@ -221,9 +223,13 @@ mod tests {
     fn leaving_region_forces_recompute() {
         let mut inc = IncrementalCloaker::new(seeded_quad(), 100);
         let req = CloakRequirement::k_only(5);
-        let r1 = inc.update_and_cloak(55, Point::new(0.55, 0.55), &req).unwrap();
+        let r1 = inc
+            .update_and_cloak(55, Point::new(0.55, 0.55), &req)
+            .unwrap();
         // Jump far outside the cached region.
-        let r2 = inc.update_and_cloak(55, Point::new(0.05, 0.05), &req).unwrap();
+        let r2 = inc
+            .update_and_cloak(55, Point::new(0.05, 0.05), &req)
+            .unwrap();
         assert_ne!(r1.region, r2.region);
         assert_eq!(inc.stats().misses, 2);
         assert!(r2.region.contains_point(Point::new(0.05, 0.05)));
@@ -233,8 +239,10 @@ mod tests {
     fn requirement_change_forces_recompute() {
         let mut inc = IncrementalCloaker::new(seeded_quad(), 100);
         let p = Point::new(0.55, 0.55);
-        inc.update_and_cloak(55, p, &CloakRequirement::k_only(5)).unwrap();
-        inc.update_and_cloak(55, p, &CloakRequirement::k_only(50)).unwrap();
+        inc.update_and_cloak(55, p, &CloakRequirement::k_only(5))
+            .unwrap();
+        inc.update_and_cloak(55, p, &CloakRequirement::k_only(50))
+            .unwrap();
         assert_eq!(inc.stats().misses, 2, "k change invalidates the cache");
     }
 
@@ -261,12 +269,15 @@ mod tests {
         }
         let mut inc = IncrementalCloaker::new(grid, 100);
         let req = CloakRequirement::k_only(8);
-        inc.update_and_cloak(0, Point::new(0.55, 0.55), &req).unwrap();
+        inc.update_and_cloak(0, Point::new(0.55, 0.55), &req)
+            .unwrap();
         // Most of the crowd leaves.
         for i in 1..8u64 {
             inc.inner_mut().upsert(i, Point::new(0.05, 0.05));
         }
-        let r = inc.update_and_cloak(0, Point::new(0.55, 0.55), &req).unwrap();
+        let r = inc
+            .update_and_cloak(0, Point::new(0.55, 0.55), &req)
+            .unwrap();
         assert!(r.k_satisfied, "recomputed region recovers k-anonymity");
         assert!(inc.inner().count_in_region(&r.region) >= 8);
         assert_eq!(inc.stats().misses, 2, "cache entry failed revalidation");
@@ -276,12 +287,16 @@ mod tests {
     fn cached_result_keeps_k_fresh() {
         let mut inc = IncrementalCloaker::new(seeded_quad(), 100);
         let req = CloakRequirement::k_only(5);
-        let r1 = inc.update_and_cloak(55, Point::new(0.55, 0.55), &req).unwrap();
+        let r1 = inc
+            .update_and_cloak(55, Point::new(0.55, 0.55), &req)
+            .unwrap();
         // New arrivals inside the region bump achieved_k on a cache hit.
         for i in 200..210u64 {
             inc.inner_mut().upsert(i, Point::new(0.55, 0.55));
         }
-        let r2 = inc.update_and_cloak(55, Point::new(0.551, 0.55), &req).unwrap();
+        let r2 = inc
+            .update_and_cloak(55, Point::new(0.551, 0.55), &req)
+            .unwrap();
         assert_eq!(r1.region, r2.region);
         assert!(r2.achieved_k >= r1.achieved_k + 10);
     }
@@ -298,7 +313,8 @@ mod tests {
         }
         let mut inc = IncrementalCloaker::new(grid, 1000);
         let req = CloakRequirement::k_only(10);
-        inc.update_and_cloak(0, Point::new(0.55, 0.55), &req).unwrap();
+        inc.update_and_cloak(0, Point::new(0.55, 0.55), &req)
+            .unwrap();
         // Nothing stale yet.
         assert!(inc.refresh_stale().is_empty());
         // The crowd emigrates.
@@ -319,14 +335,16 @@ mod tests {
     fn refresh_stale_drops_vanished_users() {
         let mut inc = IncrementalCloaker::new(seeded_quad(), 1000);
         let req = CloakRequirement::k_only(5);
-        inc.update_and_cloak(55, Point::new(0.55, 0.55), &req).unwrap();
+        inc.update_and_cloak(55, Point::new(0.55, 0.55), &req)
+            .unwrap();
         // The user unregisters behind the cache's back.
         inc.inner_mut().remove(55);
         assert!(inc.refresh_stale().is_empty(), "no correction for ghosts");
         // Cache entry is gone: the next update is a miss.
         let before = inc.stats().misses;
         inc.inner_mut().upsert(55, Point::new(0.55, 0.55));
-        inc.update_and_cloak(55, Point::new(0.55, 0.55), &req).unwrap();
+        inc.update_and_cloak(55, Point::new(0.55, 0.55), &req)
+            .unwrap();
         assert_eq!(inc.stats().misses, before + 1);
     }
 
@@ -334,11 +352,13 @@ mod tests {
     fn remove_clears_cache() {
         let mut inc = IncrementalCloaker::new(seeded_quad(), 100);
         let req = CloakRequirement::k_only(5);
-        inc.update_and_cloak(55, Point::new(0.55, 0.55), &req).unwrap();
+        inc.update_and_cloak(55, Point::new(0.55, 0.55), &req)
+            .unwrap();
         assert!(inc.remove(55));
         assert!(!inc.remove(55));
         // Re-adding starts with a miss.
-        inc.update_and_cloak(55, Point::new(0.55, 0.55), &req).unwrap();
+        inc.update_and_cloak(55, Point::new(0.55, 0.55), &req)
+            .unwrap();
         assert_eq!(inc.stats().misses, 2);
     }
 }

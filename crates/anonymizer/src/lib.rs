@@ -33,8 +33,8 @@
 
 #![warn(missing_docs)]
 
-pub mod attack;
 mod anonymizer;
+pub mod attack;
 mod billing;
 mod cloak;
 mod error;
@@ -54,7 +54,7 @@ pub use anonymizer::{
 pub use billing::{Billing, Tariff};
 pub use cloak::{CloakRequirement, CloakedRegion, CloakingAlgorithm};
 pub use error::CloakError;
-pub use grid_cloak::GridCloak;
+pub use grid_cloak::{cloak_with_counts, GridCloak, DEFAULT_MAX_REFINE_DEPTH};
 pub use hilbert_cloak::HilbertCloak;
 pub use incremental::{CacheStats, IncrementalCloaker};
 pub use mbr::MbrCloak;

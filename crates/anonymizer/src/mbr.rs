@@ -178,7 +178,11 @@ mod tests {
     #[test]
     fn a_min_padding_reaches_requested_area() {
         let c = populated();
-        let req = CloakRequirement { k: 2, a_min: 0.04, a_max: f64::INFINITY };
+        let req = CloakRequirement {
+            k: 2,
+            a_min: 0.04,
+            a_max: f64::INFINITY,
+        };
         let r = c.cloak(55, &req).unwrap();
         assert!(r.area() >= 0.04 - 1e-9, "area {}", r.area());
         assert!(r.fully_satisfied());
@@ -194,7 +198,11 @@ mod tests {
         for i in 0..5u64 {
             c.upsert(i, Point::new(0.5, 0.5));
         }
-        let req = CloakRequirement { k: 5, a_min: 0.01, a_max: f64::INFINITY };
+        let req = CloakRequirement {
+            k: 5,
+            a_min: 0.01,
+            a_max: f64::INFINITY,
+        };
         let r = c.cloak(0, &req).unwrap();
         assert!(r.area() >= 0.01 - 1e-9);
         assert!(r.k_satisfied);

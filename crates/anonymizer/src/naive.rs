@@ -174,7 +174,11 @@ mod tests {
     #[test]
     fn a_min_is_respected() {
         let c = populated();
-        let req = CloakRequirement { k: 2, a_min: 0.09, a_max: f64::INFINITY };
+        let req = CloakRequirement {
+            k: 2,
+            a_min: 0.09,
+            a_max: f64::INFINITY,
+        };
         let r = c.cloak(55, &req).unwrap();
         assert!(r.area() >= 0.09 - 1e-9);
         assert!(r.fully_satisfied());
@@ -184,7 +188,11 @@ mod tests {
     fn contradictory_a_max_yields_best_effort() {
         let c = populated();
         // k=50 needs a big square; a_max of 0.01 cannot hold 50 users.
-        let req = CloakRequirement { k: 50, a_min: 0.0, a_max: 0.01 };
+        let req = CloakRequirement {
+            k: 50,
+            a_min: 0.0,
+            a_max: 0.01,
+        };
         let r = c.cloak(55, &req).unwrap();
         assert!(r.k_satisfied, "k has priority (paper requirement 1)");
         assert!(!r.area_satisfied);

@@ -170,7 +170,11 @@ impl PrivacyProfile {
         (0..lbsp_geom::MINUTES_PER_DAY)
             .filter(|&m| {
                 let t = TimeOfDay::from_minutes(m);
-                self.entries.iter().filter(|e| e.interval.contains(t)).count() > 1
+                self.entries
+                    .iter()
+                    .filter(|e| e.interval.contains(t))
+                    .count()
+                    > 1
             })
             .count() as u32
     }
@@ -238,7 +242,11 @@ mod tests {
     fn invalid_entries_rejected() {
         let bad = ProfileEntry {
             interval: TimeInterval::all_day(),
-            requirement: CloakRequirement { k: 0, a_min: 0.0, a_max: 1.0 },
+            requirement: CloakRequirement {
+                k: 0,
+                a_min: 0.0,
+                a_max: 1.0,
+            },
         };
         assert!(PrivacyProfile::new(vec![bad], CloakRequirement::none()).is_err());
         assert!(PrivacyProfile::uniform(CloakRequirement {
@@ -304,7 +312,11 @@ mod tests {
         let p = PrivacyProfile::new(
             vec![ProfileEntry {
                 interval: TimeInterval::new(tod(9, 0), tod(18, 0)),
-                requirement: CloakRequirement { k: 42, a_min: 0.5, a_max: 2.0 },
+                requirement: CloakRequirement {
+                    k: 42,
+                    a_min: 0.5,
+                    a_max: 2.0,
+                },
             }],
             CloakRequirement::none(),
         )

@@ -57,21 +57,26 @@ impl QuadCloak {
     /// satisfying merged rect with its count when one exists. Only
     /// siblings within the same parent are considered, so the merged
     /// region is still a deterministic function of the cell.
-    fn try_neighbor_merge(
-        &self,
-        cell: PyramidCell,
-        req: &CloakRequirement,
-    ) -> Option<(Rect, u32)> {
+    fn try_neighbor_merge(&self, cell: PyramidCell, req: &CloakRequirement) -> Option<(Rect, u32)> {
         if cell.level == 0 {
             return None;
         }
         // Sibling along x: flip the low bit of ix; same for y.
-        let sib_x = PyramidCell { ix: cell.ix ^ 1, ..cell };
-        let sib_y = PyramidCell { iy: cell.iy ^ 1, ..cell };
+        let sib_x = PyramidCell {
+            ix: cell.ix ^ 1,
+            ..cell
+        };
+        let sib_y = PyramidCell {
+            iy: cell.iy ^ 1,
+            ..cell
+        };
         let mut best: Option<(Rect, u32)> = None;
         for sib in [sib_x, sib_y] {
             let count = self.pyramid.count(cell) + self.pyramid.count(sib);
-            let rect = self.pyramid.cell_rect(cell).union(&self.pyramid.cell_rect(sib));
+            let rect = self
+                .pyramid
+                .cell_rect(cell)
+                .union(&self.pyramid.cell_rect(sib));
             if count >= req.k && rect.area() >= req.a_min {
                 match &best {
                     Some((r, _)) if r.area() <= rect.area() => {}
@@ -214,7 +219,11 @@ mod tests {
     #[test]
     fn a_min_forces_larger_cells() {
         let c = populated(5);
-        let req = CloakRequirement { k: 2, a_min: 0.2, a_max: f64::INFINITY };
+        let req = CloakRequirement {
+            k: 2,
+            a_min: 0.2,
+            a_max: f64::INFINITY,
+        };
         let r = c.cloak(55, &req).unwrap();
         assert!(r.area() >= 0.2);
         assert!(r.fully_satisfied());

@@ -11,7 +11,7 @@
 //! [`SharedExecutor`] groups a batch of cloak requests by a
 //! caller-provided sharing key (typically the user's cell), computes one
 //! representative cloak per group, and fans the result out. A parallel
-//! variant shards groups across threads with `crossbeam::scope`.
+//! variant shards groups across threads with `std::thread::scope`.
 //!
 //! Sharing is only *sound* for algorithms whose output is position-
 //! independent within the sharing key — exactly the space-dependent
@@ -122,21 +122,17 @@ impl SharedExecutor {
             }
         }
         // Pass 2: compute one cloak per group, in parallel shards.
-        let mut results: Vec<Option<Result<CloakedRegion, CloakError>>> =
-            vec![None; groups.len()];
+        let mut results: Vec<Option<Result<CloakedRegion, CloakError>>> = vec![None; groups.len()];
         let chunk = groups.len().div_ceil(threads).max(1);
-        crossbeam::thread::scope(|s| {
-            for (group_chunk, result_chunk) in
-                groups.chunks(chunk).zip(results.chunks_mut(chunk))
-            {
-                s.spawn(move |_| {
+        std::thread::scope(|s| {
+            for (group_chunk, result_chunk) in groups.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                s.spawn(move || {
                     for ((user, req), slot) in group_chunk.iter().zip(result_chunk) {
                         *slot = Some(algo.cloak(*user, req));
                     }
                 });
             }
-        })
-        .expect("cloaking threads do not panic");
+        });
         // Pass 3: fan out.
         requests
             .iter()
@@ -196,7 +192,12 @@ mod tests {
         let batch = SharedExecutor::cloak_batch(&algo, &reqs, cell_key(&algo));
         for (req, got) in reqs.iter().zip(&batch) {
             let individual = algo.cloak(req.user, &req.requirement).unwrap();
-            assert_eq!(got.as_ref().unwrap().region, individual.region, "user {}", req.user);
+            assert_eq!(
+                got.as_ref().unwrap().region,
+                individual.region,
+                "user {}",
+                req.user
+            );
         }
     }
 
@@ -206,14 +207,10 @@ mod tests {
         let reqs = requests(10);
         let seq = SharedExecutor::cloak_batch(&algo, &reqs, cell_key(&algo));
         for threads in [1usize, 2, 4] {
-            let par =
-                SharedExecutor::cloak_batch_parallel(&algo, &reqs, cell_key(&algo), threads);
+            let par = SharedExecutor::cloak_batch_parallel(&algo, &reqs, cell_key(&algo), threads);
             assert_eq!(seq.len(), par.len());
             for (a, b) in seq.iter().zip(&par) {
-                assert_eq!(
-                    a.as_ref().unwrap().region,
-                    b.as_ref().unwrap().region
-                );
+                assert_eq!(a.as_ref().unwrap().region, b.as_ref().unwrap().region);
             }
         }
     }
@@ -222,8 +219,14 @@ mod tests {
     fn unknown_users_error_in_place() {
         let algo = seeded_grid();
         let reqs = vec![
-            CloakRequest { user: 5, requirement: CloakRequirement::k_only(5) },
-            CloakRequest { user: 999, requirement: CloakRequirement::k_only(5) },
+            CloakRequest {
+                user: 5,
+                requirement: CloakRequirement::k_only(5),
+            },
+            CloakRequest {
+                user: 999,
+                requirement: CloakRequirement::k_only(5),
+            },
         ];
         let out = SharedExecutor::cloak_batch(&algo, &reqs, cell_key(&algo));
         assert!(out[0].is_ok());
@@ -277,17 +280,26 @@ mod tests {
         for i in 0..50u64 {
             quad.upsert(i, Point::new(0.51 + 0.001 * (i % 10) as f64, 0.51));
         }
-        let spy = Spy { inner: &quad, calls: AtomicUsize::new(0) };
+        let spy = Spy {
+            inner: &quad,
+            calls: AtomicUsize::new(0),
+        };
         let reqs: Vec<_> = (0..50u64)
-            .map(|user| CloakRequest { user, requirement: CloakRequirement::k_only(10) })
+            .map(|user| CloakRequest {
+                user,
+                requirement: CloakRequirement::k_only(10),
+            })
             .collect();
         let leaf_key = |id: UserId| {
-            quad.location(id).map(|p| {
-                ((p.x * 8.0).floor() as u32, (p.y * 8.0).floor() as u32)
-            })
+            quad.location(id)
+                .map(|p| ((p.x * 8.0).floor() as u32, (p.y * 8.0).floor() as u32))
         };
         let out = SharedExecutor::cloak_batch(&spy, &reqs, leaf_key);
         assert!(out.iter().all(|r| r.is_ok()));
-        assert_eq!(spy.calls.load(Ordering::Relaxed), 1, "one computation for 50 users");
+        assert_eq!(
+            spy.calls.load(Ordering::Relaxed),
+            1,
+            "one computation for 50 users"
+        );
     }
 }

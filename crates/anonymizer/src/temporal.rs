@@ -177,7 +177,12 @@ mod tests {
         }
         let mut tc = TemporalCloak::new(quad, 0.1, 60.0);
         let out = tc
-            .submit(0, Point::new(0.51, 0.51), CloakRequirement::k_only(10), SimTime::ZERO)
+            .submit(
+                0,
+                Point::new(0.51, 0.51),
+                CloakRequirement::k_only(10),
+                SimTime::ZERO,
+            )
             .unwrap();
         let rel = out.expect("dense area: immediate release");
         assert_eq!(rel.delay(), 0.0);
@@ -192,7 +197,12 @@ mod tests {
         let mut tc = TemporalCloak::new(quad, 0.1, 600.0);
         // A lone user: the k=5 cloak would be the whole world.
         let out = tc
-            .submit(0, Point::new(0.2, 0.2), CloakRequirement::k_only(5), SimTime::ZERO)
+            .submit(
+                0,
+                Point::new(0.2, 0.2),
+                CloakRequirement::k_only(5),
+                SimTime::ZERO,
+            )
             .unwrap();
         assert!(out.is_none());
         assert_eq!(tc.pending(), 1);
@@ -216,8 +226,13 @@ mod tests {
     fn deadline_forces_best_effort_release() {
         let quad = QuadCloak::new(world(), 5);
         let mut tc = TemporalCloak::new(quad, 0.01, 30.0);
-        tc.submit(0, Point::new(0.5, 0.5), CloakRequirement::k_only(50), SimTime::ZERO)
-            .unwrap();
+        tc.submit(
+            0,
+            Point::new(0.5, 0.5),
+            CloakRequirement::k_only(50),
+            SimTime::ZERO,
+        )
+        .unwrap();
         // Deadline not reached: still pending.
         assert!(tc.tick(SimTime::from_secs(29.0)).is_empty());
         // Deadline reached: released with a too-large / unsatisfied region.
@@ -231,10 +246,20 @@ mod tests {
     fn resubmission_replaces_pending() {
         let quad = QuadCloak::new(world(), 5);
         let mut tc = TemporalCloak::new(quad, 0.0001, 600.0);
-        tc.submit(0, Point::new(0.2, 0.2), CloakRequirement::k_only(5), SimTime::ZERO)
-            .unwrap();
-        tc.submit(0, Point::new(0.8, 0.8), CloakRequirement::k_only(5), SimTime::from_secs(5.0))
-            .unwrap();
+        tc.submit(
+            0,
+            Point::new(0.2, 0.2),
+            CloakRequirement::k_only(5),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        tc.submit(
+            0,
+            Point::new(0.8, 0.8),
+            CloakRequirement::k_only(5),
+            SimTime::from_secs(5.0),
+        )
+        .unwrap();
         assert_eq!(tc.pending(), 1, "one pending entry per user");
     }
 
@@ -246,8 +271,13 @@ mod tests {
         for max_area in [0.5f64, 0.05, 0.005] {
             let quad = QuadCloak::new(world(), 6);
             let mut tc = TemporalCloak::new(quad, max_area, 1e9);
-            tc.submit(0, Point::new(0.5, 0.5), CloakRequirement::k_only(8), SimTime::ZERO)
-                .unwrap();
+            tc.submit(
+                0,
+                Point::new(0.5, 0.5),
+                CloakRequirement::k_only(8),
+                SimTime::ZERO,
+            )
+            .unwrap();
             // One user arrives near the subject every 10 simulated seconds.
             let mut release_time = f64::INFINITY;
             for step in 1..=20u64 {

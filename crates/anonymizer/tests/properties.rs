@@ -105,9 +105,12 @@ proptest! {
         dy in 0.0f64..0.9,
         k in 2u32..10,
     ) {
-        // Two subjects planted in the same 16x16 cell (same leaf cell of
-        // both space-dependent structures at their finest granularity).
-        let cell = 1.0 / 64.0; // finer than both (grid 16, quad 2^6=64)
+        // Two subjects planted in the same leaf cell of every
+        // space-dependent structure at its finest granularity: quad
+        // depth 6 stops at 1/64; grid 16 with multilevel refinement
+        // (max depth 4) quarters a 1/16 cell down to 1/256. Cells of
+        // side 1/256 are aligned with all of those boundaries.
+        let cell = 1.0 / 256.0;
         let base = Point::new((dx / cell).floor() * cell, (dy / cell).floor() * cell);
         let a = Point::new(base.x + cell * 0.25, base.y + cell * 0.25);
         let b = Point::new(base.x + cell * 0.75, base.y + cell * 0.75);

@@ -13,7 +13,11 @@ fn bench(c: &mut Criterion) {
     load(&mut quad, &positions);
     let profile = PrivacyProfile::paper_example();
     // Noon (k=1), 7 PM (k=100), 2 AM (k=1000).
-    for (label, hour) in [("day_k1", 12.0), ("evening_k100", 19.0), ("night_k1000", 2.0)] {
+    for (label, hour) in [
+        ("day_k1", 12.0),
+        ("evening_k100", 19.0),
+        ("night_k1000", 2.0),
+    ] {
         let req = profile.requirement_at(SimTime::from_hours(hour).time_of_day());
         let mut id = 0u64;
         group.bench_function(format!("cloak/{label}"), |b| {

@@ -42,13 +42,14 @@ fn bench(c: &mut Criterion) {
     let mut grid = GridCloak::new(world(), 64);
     load(&mut grid, &positions);
     let requests: Vec<CloakRequest> = (0..10_000u64)
-        .map(|user| CloakRequest { user, requirement: req })
+        .map(|user| CloakRequest {
+            user,
+            requirement: req,
+        })
         .collect();
     let cell = |p: Point| ((p.x * 64.0) as u32, (p.y * 64.0) as u32);
     group.bench_function("shared_batch/10k", |b| {
-        b.iter(|| {
-            SharedExecutor::cloak_batch(&grid, &requests, |id| grid.location(id).map(cell))
-        })
+        b.iter(|| SharedExecutor::cloak_batch(&grid, &requests, |id| grid.location(id).map(cell)))
     });
     group.bench_function("individual_batch/10k", |b| {
         b.iter(|| {

@@ -1,0 +1,82 @@
+//! `engine_throughput` — update-ingest scaling of the sharded engine.
+//!
+//! Measures `ShardedEngine::process_updates` over a full-population
+//! batch at 1, 2, and 4 workers, then prints a scaling summary
+//! (updates/s and speedup vs one worker). Multi-level refinement is on,
+//! matching the flagship `grid+multilevel` configuration, so the
+//! per-row cloaking work dominates and partitions across workers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbsp_anonymizer::{CloakRequirement, PrivacyProfile};
+use lbsp_bench::{uniform_positions, world};
+use lbsp_core::engine::{EngineConfig, ShardedEngine};
+use lbsp_geom::{Point, SimTime};
+use std::time::Instant;
+
+const USERS: usize = 20_000;
+
+fn profile_for(i: u64) -> PrivacyProfile {
+    let k = [2u32, 5, 10, 25][(i % 4) as usize];
+    PrivacyProfile::uniform(CloakRequirement::k_only(k)).unwrap()
+}
+
+fn build(threads: usize) -> ShardedEngine {
+    let mut cfg = EngineConfig::new(world());
+    cfg.refine = true;
+    let mut eng = ShardedEngine::new(cfg, threads);
+    for i in 0..USERS as u64 {
+        eng.register(i, profile_for(i));
+    }
+    eng
+}
+
+fn batch() -> Vec<(u64, Point, SimTime)> {
+    uniform_positions(USERS, 17)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (i as u64, p, SimTime::from_secs(i as f64)))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(10);
+    let updates = batch();
+    for threads in [1usize, 2, 4] {
+        let mut eng = build(threads);
+        eng.process_updates(&updates); // settle the population first
+        group.bench_function(format!("ingest_{USERS}u/threads_{threads}"), |b| {
+            b.iter(|| eng.process_updates(&updates))
+        });
+    }
+    group.finish();
+
+    // Readable scaling summary for the acceptance criterion
+    // (>= 2x update-ingest throughput at 4 workers vs 1).
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("\nengine_throughput summary: host parallelism = {cores} core(s)");
+    if cores < 4 {
+        println!("engine_throughput summary: fewer than 4 cores — speedup is bounded by the host");
+    }
+    let mut base = 0.0f64;
+    for threads in [1usize, 2, 4] {
+        let mut eng = build(threads);
+        eng.process_updates(&updates);
+        let reps = 5;
+        let start = Instant::now();
+        for _ in 0..reps {
+            eng.process_updates(&updates);
+        }
+        let ups = (USERS * reps) as f64 / start.elapsed().as_secs_f64();
+        if threads == 1 {
+            base = ups;
+        }
+        println!(
+            "engine_throughput summary: {threads} worker(s)  {ups:>12.0} updates/s  ({:.2}x vs 1)",
+            ups / base
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

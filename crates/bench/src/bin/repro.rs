@@ -6,30 +6,39 @@
 //! cargo run -p lbsp-bench --bin repro --release -- e3 e4   # a subset
 //! ```
 //!
-//! Each experiment (E1–E11) maps to one figure or section of the paper;
+//! Each experiment (E1–E12) maps to one figure or section of the paper;
 //! see DESIGN.md for the index and EXPERIMENTS.md for recorded results.
+//! `-- --threads N` runs the sharded-engine experiment (E12) at N
+//! workers.
 
 use lbsp_anonymizer::attack::{BoundaryAttack, CenterAttack, OccupancyAttack};
 use lbsp_anonymizer::{
     CloakRequest, CloakRequirement, CloakingAlgorithm, GridCloak, IncrementalCloaker, MbrCloak,
     NaiveCloak, PrivacyProfile, QuadCloak, SharedExecutor, TemporalCloak,
 };
-use lbsp_geom::SimTime;
 use lbsp_bench::{
     all_cloaks, header, load, poi_store, row, sample_ids, standard_positions, uniform_positions,
     world,
 };
 use lbsp_core::{PrivacyAwareSystem, SimulationConfig, SimulationEngine};
+use lbsp_geom::SimTime;
 use lbsp_geom::{Point, Rect};
 use lbsp_mobility::SpatialDistribution;
 use lbsp_server::{
-    private_nn_candidates, private_range_candidates, PrivateRecord, PrivateStore,
-    PublicCountQuery, PublicNnQuery,
+    private_nn_candidates, private_range_candidates, PrivateRecord, PrivateStore, PublicCountQuery,
+    PublicNnQuery,
 };
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `--threads N` selects the worker count for the sharded-engine
+    // experiment (E12) and, when given alone, runs just that experiment.
+    let threads_flag = args.iter().position(|a| a == "--threads");
+    let threads = threads_flag
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(4);
     let run_all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |name: &str| run_all || args.iter().any(|a| a == name);
 
@@ -67,6 +76,76 @@ fn main() {
     if want("e11") {
         e11_extensions();
     }
+    if want("e12") || threads_flag.is_some() {
+        e12_engine(threads);
+    }
+}
+
+/// E12: the sharded concurrent engine — worker-count scaling plus the
+/// bit-identity guarantee across worker counts.
+fn e12_engine(threads: usize) {
+    println!("## E12 — sharded concurrent engine (--threads {threads})\n");
+    println!(
+        "20,000 users stream one full-population batch through the sharded\n\
+         engine (grid+multilevel cloaking). Claim: worker counts change only\n\
+         throughput — the wire bytes crossing the anonymizer -> server trust\n\
+         boundary are identical at every worker count — and ingest throughput\n\
+         scales near-linearly 1 -> {threads} workers (bounded by host cores).\n"
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("Host parallelism: {cores} core(s).\n");
+    let n = 20_000usize;
+    let updates: Vec<(u64, Point, SimTime)> = uniform_positions(n, 17)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (i as u64, p, SimTime::from_secs(i as f64)))
+        .collect();
+    let build = |workers: usize| {
+        let mut cfg = lbsp_core::EngineConfig::new(world());
+        cfg.refine = true;
+        let mut eng = lbsp_core::ShardedEngine::new(cfg, workers);
+        for i in 0..n as u64 {
+            let k = [2u32, 5, 10, 25][(i % 4) as usize];
+            eng.register(
+                i,
+                PrivacyProfile::uniform(CloakRequirement::k_only(k)).unwrap(),
+            );
+        }
+        eng
+    };
+    let mut counts = vec![1usize, 2, threads];
+    counts.sort_unstable();
+    counts.dedup();
+    // Reference wire bytes from a single worker on a fresh engine.
+    let reference = build(1).process_updates_wire(&updates);
+    header(&["workers", "updates/s", "speedup", "wire identical"]);
+    let mut base = 0.0f64;
+    for workers in counts {
+        let mut eng = build(workers);
+        let wire = eng.process_updates_wire(&updates);
+        let identical = wire.len() == reference.len()
+            && wire.iter().zip(&reference).all(|(a, b)| match (a, b) {
+                (Ok(x), Ok(y)) => x == y,
+                (Err(_), Err(_)) => true,
+                _ => false,
+            });
+        let reps = 3;
+        let start = Instant::now();
+        for _ in 0..reps {
+            eng.process_updates(&updates);
+        }
+        let ups = (n * reps) as f64 / start.elapsed().as_secs_f64();
+        if base == 0.0 {
+            base = ups;
+        }
+        row(&[
+            format!("{workers}"),
+            format!("{ups:.0}"),
+            format!("{:.2}x", ups / base),
+            format!("{identical}"),
+        ]);
+    }
+    println!();
 }
 
 /// E1 (Fig. 1): the end-to-end architecture functions and scales.
@@ -77,7 +156,13 @@ fn e1_pipeline() {
          users issue private queries per tick. Claim: the pipeline sustains\n\
          city-scale update rates and answers queries on cloaked data only.\n"
     );
-    header(&["algorithm", "updates/s", "queries/s", "mean cloak area", "k fail %"]);
+    header(&[
+        "algorithm",
+        "updates/s",
+        "queries/s",
+        "mean cloak area",
+        "k fail %",
+    ]);
     for algo_name in ["quad", "grid+multilevel"] {
         let w = world();
         let cfg = SimulationConfig {
@@ -165,7 +250,11 @@ fn e2_profiles() {
         per_entry[idx].1 += m.candidate_set_size.summary().mean;
         per_entry[idx].2 += 1;
     }
-    header(&["profile entry", "mean cloak area (mi^2)", "mean NN/range candidates"]);
+    header(&[
+        "profile entry",
+        "mean cloak area (mi^2)",
+        "mean NN/range candidates",
+    ]);
     let labels = [
         "08-17h: k=1",
         "17-22h: k=100, 1-3 mi^2",
@@ -225,11 +314,7 @@ fn e3_data_dependent() {
     println!();
 }
 
-fn attack_row(
-    algo: &dyn CloakingAlgorithm,
-    positions: &[Point],
-    k: u32,
-) -> (f64, f64, f64, f64) {
+fn attack_row(algo: &dyn CloakingAlgorithm, positions: &[Point], k: u32) -> (f64, f64, f64, f64) {
     let req = CloakRequirement::k_only(k);
     let ids = sample_ids(positions.len(), 500);
     let start = Instant::now();
@@ -310,7 +395,14 @@ fn e5_private_range() {
     let store = poi_store(10_000, 17);
     let mut quad = QuadCloak::new(world(), 8);
     load(&mut quad, &positions);
-    header(&["k", "radius", "mean candidates", "mean exact", "recall", "query us"]);
+    header(&[
+        "k",
+        "radius",
+        "mean candidates",
+        "mean exact",
+        "recall",
+        "query us",
+    ]);
     for k in [1u32, 10, 100, 1000] {
         for radius in [0.02f64, 0.05, 0.1] {
             let req = CloakRequirement::k_only(k);
@@ -325,10 +417,7 @@ fn e5_private_range() {
                 let c = private_range_candidates(&store, &cloak, radius);
                 cands += c.len();
                 let pos = positions[id as usize];
-                let e: Vec<_> = store
-                    .iter()
-                    .filter(|o| o.pos.dist(pos) <= radius)
-                    .collect();
+                let e: Vec<_> = store.iter().filter(|o| o.pos.dist(pos) <= radius).collect();
                 exact += e.len();
                 total += e.len();
                 hits += e
@@ -408,12 +497,30 @@ fn e7_public_count() {
     println!("## E7 — public count over private data (Fig. 6a)\n");
     println!("### Worked example (must match the paper exactly)\n");
     let mut store = PrivateStore::new();
-    store.upsert(PrivateRecord::new(3, Rect::new_unchecked(0.4, 0.4, 0.6, 0.6))); // D: 1.0
-    store.upsert(PrivateRecord::new(0, Rect::new_unchecked(-0.1, 0.0, 0.3, 0.2))); // A: .75
-    store.upsert(PrivateRecord::new(1, Rect::new_unchecked(0.8, 0.2, 1.2, 0.4))); // B: .5
-    store.upsert(PrivateRecord::new(4, Rect::new_unchecked(0.9, 0.6, 1.4, 0.8))); // E: .2
-    store.upsert(PrivateRecord::new(5, Rect::new_unchecked(0.9, 0.9, 1.1, 1.1))); // F: .25
-    store.upsert(PrivateRecord::new(2, Rect::new_unchecked(1.5, 1.5, 1.7, 1.7))); // C: 0
+    store.upsert(PrivateRecord::new(
+        3,
+        Rect::new_unchecked(0.4, 0.4, 0.6, 0.6),
+    )); // D: 1.0
+    store.upsert(PrivateRecord::new(
+        0,
+        Rect::new_unchecked(-0.1, 0.0, 0.3, 0.2),
+    )); // A: .75
+    store.upsert(PrivateRecord::new(
+        1,
+        Rect::new_unchecked(0.8, 0.2, 1.2, 0.4),
+    )); // B: .5
+    store.upsert(PrivateRecord::new(
+        4,
+        Rect::new_unchecked(0.9, 0.6, 1.4, 0.8),
+    )); // E: .2
+    store.upsert(PrivateRecord::new(
+        5,
+        Rect::new_unchecked(0.9, 0.9, 1.1, 1.1),
+    )); // F: .25
+    store.upsert(PrivateRecord::new(
+        2,
+        Rect::new_unchecked(1.5, 1.5, 1.7, 1.7),
+    )); // C: 0
     let ans = PublicCountQuery::new(Rect::new_unchecked(0.0, 0.0, 1.0, 1.0)).evaluate(&store);
     println!("paper: expected = 2.7, interval = [1, 5]");
     println!(
@@ -475,12 +582,30 @@ fn e8_public_nn() {
     println!("### Worked example (paper: candidates {{E, D, F}}, best = D)\n");
     let q = Point::new(0.5, 0.5);
     let mut store = PrivateStore::new();
-    store.upsert(PrivateRecord::new(3, Rect::new_unchecked(0.54, 0.49, 0.56, 0.51))); // D
-    store.upsert(PrivateRecord::new(4, Rect::new_unchecked(0.42, 0.46, 0.46, 0.54))); // E
-    store.upsert(PrivateRecord::new(5, Rect::new_unchecked(0.5, 0.555, 0.56, 0.615))); // F
-    store.upsert(PrivateRecord::new(0, Rect::new_unchecked(0.1, 0.1, 0.2, 0.2))); // A
-    store.upsert(PrivateRecord::new(1, Rect::new_unchecked(0.8, 0.8, 0.9, 0.9))); // B
-    store.upsert(PrivateRecord::new(2, Rect::new_unchecked(0.1, 0.8, 0.2, 0.9))); // C
+    store.upsert(PrivateRecord::new(
+        3,
+        Rect::new_unchecked(0.54, 0.49, 0.56, 0.51),
+    )); // D
+    store.upsert(PrivateRecord::new(
+        4,
+        Rect::new_unchecked(0.42, 0.46, 0.46, 0.54),
+    )); // E
+    store.upsert(PrivateRecord::new(
+        5,
+        Rect::new_unchecked(0.5, 0.555, 0.56, 0.615),
+    )); // F
+    store.upsert(PrivateRecord::new(
+        0,
+        Rect::new_unchecked(0.1, 0.1, 0.2, 0.2),
+    )); // A
+    store.upsert(PrivateRecord::new(
+        1,
+        Rect::new_unchecked(0.8, 0.8, 0.9, 0.9),
+    )); // B
+    store.upsert(PrivateRecord::new(
+        2,
+        Rect::new_unchecked(0.1, 0.8, 0.2, 0.9),
+    )); // C
     let ans = PublicNnQuery::new(q).with_samples(50_000).evaluate(&store);
     let names = ["A", "B", "C", "D", "E", "F"];
     for c in &ans.candidates {
@@ -576,15 +701,12 @@ fn e9_incremental() {
             for r in 0..rounds {
                 for (i, p) in pos.iter_mut().enumerate() {
                     let dir = ((i + r) % 4) as f64 * std::f64::consts::FRAC_PI_2;
-                    *p = w.clamp_point(Point::new(
-                        p.x + speed * dir.cos(),
-                        p.y + speed * dir.sin(),
-                    ));
+                    *p =
+                        w.clamp_point(Point::new(p.x + speed * dir.cos(), p.y + speed * dir.sin()));
                     inc.update_and_cloak(i as u64, *p, &req).unwrap();
                 }
             }
-            let inc_us =
-                start.elapsed().as_secs_f64() * 1e6 / (rounds * pos.len()) as f64;
+            let inc_us = start.elapsed().as_secs_f64() * 1e6 / (rounds * pos.len()) as f64;
             let hit = 100.0 * inc.stats().hit_rate();
             // Recompute baseline: same movement, no cache.
             let mut algo2 = make(&positions);
@@ -593,16 +715,13 @@ fn e9_incremental() {
             for r in 0..rounds {
                 for (i, p) in pos2.iter_mut().enumerate() {
                     let dir = ((i + r) % 4) as f64 * std::f64::consts::FRAC_PI_2;
-                    *p = w.clamp_point(Point::new(
-                        p.x + speed * dir.cos(),
-                        p.y + speed * dir.sin(),
-                    ));
+                    *p =
+                        w.clamp_point(Point::new(p.x + speed * dir.cos(), p.y + speed * dir.sin()));
                     algo2.upsert(i as u64, *p);
                     algo2.cloak(i as u64, &req).unwrap();
                 }
             }
-            let re_us =
-                start.elapsed().as_secs_f64() * 1e6 / (rounds * pos2.len()) as f64;
+            let re_us = start.elapsed().as_secs_f64() * 1e6 / (rounds * pos2.len()) as f64;
             row(&[
                 which.to_string(),
                 format!("{speed}"),
@@ -679,7 +798,16 @@ fn e10_scalability() {
          Claim: space-dependent cloaking is computationally efficient\n\
          (requirement 3 of Sec. 5) and scales to large populations.\n"
     );
-    header(&["users", "naive", "mbr", "quad", "quad+merge", "grid", "grid+multilevel", "hilbert"]);
+    header(&[
+        "users",
+        "naive",
+        "mbr",
+        "quad",
+        "quad+merge",
+        "grid",
+        "grid+multilevel",
+        "hilbert",
+    ]);
     for n in [1_000usize, 10_000, 100_000, 300_000] {
         let positions = uniform_positions(n, 41);
         let mut cells = vec![n.to_string()];
@@ -747,12 +875,22 @@ fn e11_extensions() {
          last (spiraling in from the district edge). Tighter area bounds buy\n\
          privacy-with-QoS at the cost of waiting for a denser crowd.\n"
     );
-    header(&["max cloak area", "release delay (s)", "released area", "k satisfied"]);
+    header(&[
+        "max cloak area",
+        "release delay (s)",
+        "released area",
+        "k satisfied",
+    ]);
     for max_area in [0.5f64, 0.05, 0.005, 0.0005] {
         let quad = QuadCloak::new(world(), 8);
         let mut tc = TemporalCloak::new(quad, max_area, 1e9);
-        tc.submit(0, Point::new(0.5, 0.5), CloakRequirement::k_only(8), SimTime::ZERO)
-            .unwrap();
+        tc.submit(
+            0,
+            Point::new(0.5, 0.5),
+            CloakRequirement::k_only(8),
+            SimTime::ZERO,
+        )
+        .unwrap();
         let mut outcome = None;
         for step in 1..=200u64 {
             // Arrival `step` lands at radius 0.4 / step from the subject.

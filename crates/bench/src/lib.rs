@@ -6,7 +6,9 @@
 
 #![warn(missing_docs)]
 
-use lbsp_anonymizer::{CloakingAlgorithm, GridCloak, HilbertCloak, MbrCloak, NaiveCloak, QuadCloak};
+use lbsp_anonymizer::{
+    CloakingAlgorithm, GridCloak, HilbertCloak, MbrCloak, NaiveCloak, QuadCloak,
+};
 use lbsp_geom::{Point, Rect};
 use lbsp_mobility::{PoiCategory, PoiSet, Population, SpatialDistribution};
 use lbsp_server::{PublicObject, PublicStore};

@@ -1,0 +1,924 @@
+//! Sharded concurrent anonymizer/server engine.
+//!
+//! The paper's scalability story (Sec. 7, experiment 10) asks the
+//! anonymizer and the server to "cope with the continuous movement of
+//! mobile users" — an ingest-throughput problem. This module shards both
+//! components by spatial region and batches work across a fixed worker
+//! pool, while keeping every externally visible byte identical to the
+//! single-threaded pipeline:
+//!
+//! * **Anonymizer side** — the user registry is split into `shards`
+//!   vertical stripes of the world. Each shard owns a private
+//!   [`UniformGrid`] over the *whole* world holding only the users whose
+//!   exact position falls in its stripe. Cloaking reads a
+//!   [`SummedGrids`] view across all shards, so the fixed-grid merge
+//!   ([`cloak_with_counts`]) sees exactly the counts a single merged
+//!   grid would report — integer sums are order-independent, which makes
+//!   the cloaks *bit-identical* regardless of worker count or schedule.
+//! * **Server side** — the private store (pseudonym → cloaked rectangle)
+//!   and the public-object store are sharded by the same stripes.
+//!   `private_range_candidates` applies a per-object predicate, so the
+//!   union of per-shard candidate lists equals the unsharded answer;
+//!   merging sorts by object id to give the canonical wire order.
+//! * **Trust boundary** — everything leaving the engine flows through
+//!   the typed [`crate::wire`] messages: cloaked updates and range-query
+//!   requests carry pseudonyms and rectangles only, never an exact
+//!   point or a true identity.
+//!
+//! Batches run in two barrier-separated phases mirroring
+//! [`LocationAnonymizer::handle_updates_batch`][hub]: phase 1 applies
+//! every position upsert (per-shard jobs on disjoint state), phase 2
+//! cloaks every row against the settled population. The
+//! [`ReplayScheduler`] execution mode replays any seeded permutation of
+//! the per-phase jobs sequentially — every such permutation is a
+//! possible concurrent schedule, so the concurrency tests assert that
+//! all of them, and the real thread pool at any width, produce the same
+//! bytes.
+//!
+//! [hub]: lbsp_anonymizer::LocationAnonymizer::handle_updates_batch
+
+use crate::wire::{self, RangeQueryMsg};
+use crate::UserId;
+use bytes::Bytes;
+use lbsp_anonymizer::{
+    cloak_with_counts, CloakError, CloakRequirement, CloakedRegion, CloakedUpdate, PrivacyProfile,
+    Pseudonym, DEFAULT_MAX_REFINE_DEPTH,
+};
+use lbsp_geom::{Point, Rect, SimTime};
+use lbsp_index::{CellCounts, SummedGrids, UniformGrid};
+use lbsp_server::{
+    private_range_candidates, PrivateRecord, PrivateStore, PublicObject, PublicStore,
+};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+/// A unit of work dispatched to the pool.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared result slots the cloak phase writes into, one per input row.
+type RowResults = Arc<Mutex<Vec<Option<Result<CloakedUpdate, CloakError>>>>>;
+
+/// A fixed pool of OS worker threads consuming jobs from one shared
+/// channel (`std::thread` + `std::sync::mpsc`; no external crates).
+///
+/// [`WorkerPool::run`] is a barrier: it returns only after every
+/// submitted job has finished, which is what separates the engine's
+/// upsert phase from its cloak phase.
+pub struct WorkerPool {
+    tx: Option<Sender<(Job, Sender<bool>)>>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least one).
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let (tx, rx) = mpsc::channel::<(Job, Sender<bool>)>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    // Hold the receiver lock only while dequeuing.
+                    let job = rx.lock().unwrap().recv();
+                    match job {
+                        Ok((job, done)) => {
+                            let ok = catch_unwind(AssertUnwindSafe(job)).is_ok();
+                            let _ = done.send(ok);
+                        }
+                        Err(_) => break,
+                    }
+                })
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            handles,
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every job to completion (a barrier).
+    ///
+    /// # Panics
+    /// Panics when any job panicked; the pool itself stays usable.
+    pub fn run(&self, jobs: Vec<Job>) {
+        let n = jobs.len();
+        let (done_tx, done_rx): (Sender<bool>, Receiver<bool>) = mpsc::channel();
+        let tx = self.tx.as_ref().expect("pool is live");
+        for job in jobs {
+            tx.send((job, done_tx.clone())).expect("worker alive");
+        }
+        drop(done_tx);
+        let mut ok = true;
+        for _ in 0..n {
+            ok &= done_rx.recv().expect("worker alive");
+        }
+        assert!(ok, "a worker job panicked");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel makes every worker's recv fail and exit.
+        self.tx.take();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Deterministic replay of concurrent schedules.
+///
+/// Within each engine phase, jobs touch pairwise-disjoint shard state,
+/// so any execution order is a legal concurrent schedule. The scheduler
+/// runs each phase's jobs *sequentially* in the order given by a seeded
+/// Fisher–Yates permutation (a fresh permutation per phase, derived from
+/// `seed` and a phase counter). Replaying many seeds and asserting
+/// bit-identical outputs against the real pool demonstrates schedule
+/// independence.
+pub struct ReplayScheduler {
+    seed: u64,
+    phase: AtomicU64,
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ReplayScheduler {
+    /// Creates a scheduler replaying the interleavings of `seed`.
+    pub fn new(seed: u64) -> ReplayScheduler {
+        ReplayScheduler {
+            seed,
+            phase: AtomicU64::new(0),
+        }
+    }
+
+    /// The seed being replayed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Runs the phase's jobs in this schedule's permuted order.
+    pub fn run(&self, jobs: Vec<Job>) {
+        let phase = self.phase.fetch_add(1, Ordering::Relaxed);
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        let mut state = splitmix64(self.seed ^ phase.wrapping_mul(0xA076_1D64_78BD_642F));
+        for i in (1..order.len()).rev() {
+            state = splitmix64(state);
+            let j = (state % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let mut jobs: Vec<Option<Job>> = jobs.into_iter().map(Some).collect();
+        for i in order {
+            (jobs[i].take().expect("each job runs once"))();
+        }
+    }
+}
+
+/// How the engine executes its per-phase job sets.
+pub enum ExecutionMode {
+    /// A real thread pool: jobs run concurrently.
+    Pool(WorkerPool),
+    /// Deterministic sequential replay of a seeded schedule.
+    Replay(ReplayScheduler),
+}
+
+impl ExecutionMode {
+    fn run(&self, jobs: Vec<Job>) {
+        match self {
+            ExecutionMode::Pool(pool) => pool.run(jobs),
+            ExecutionMode::Replay(sched) => sched.run(jobs),
+        }
+    }
+
+    fn slots(&self) -> usize {
+        match self {
+            ExecutionMode::Pool(pool) => pool.workers(),
+            // One logical slot per replay step keeps chunk boundaries
+            // aligned with the single-threaded reference.
+            ExecutionMode::Replay(_) => 1,
+        }
+    }
+}
+
+/// Configuration of a [`ShardedEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// World rectangle all positions live in.
+    pub world: Rect,
+    /// Cloaking grid resolution (`grid_side × grid_side` cells), as in
+    /// [`lbsp_anonymizer::GridCloak::new`].
+    pub grid_side: u32,
+    /// Enable the multi-level refinement optimization.
+    pub refine: bool,
+    /// Number of spatial shards (vertical stripes). Fixed independently
+    /// of the worker count so results never depend on parallelism.
+    pub shards: usize,
+    /// Secret keying the pseudonym bijection.
+    pub secret: u64,
+}
+
+impl EngineConfig {
+    /// A reasonable default: 16×16 cloak grid, 4 stripes, no refinement.
+    pub fn new(world: Rect) -> EngineConfig {
+        EngineConfig {
+            world,
+            grid_side: 16,
+            refine: false,
+            shards: 4,
+            secret: 0x1BAD_B002_CAFE_F00D,
+        }
+    }
+}
+
+/// A mutation applied to one anonymizer shard during phase 1.
+enum ShardOp {
+    Insert(UserId, Point),
+    Remove(UserId),
+}
+
+/// Per-row plan computed by the coordinator before the parallel phases.
+enum RowPlan {
+    Fail(CloakError),
+    Cloak {
+        id: UserId,
+        /// Shard holding the user after all of phase 1 (its grid is the
+        /// authority for the user's final position).
+        shard: usize,
+        req: CloakRequirement,
+        time: SimTime,
+    },
+}
+
+/// The result of a private range query, on both sides of the wire.
+#[derive(Debug, Clone)]
+pub struct RangeQueryAnswer {
+    /// The cloaked region that stood in for the querier's position.
+    pub region: CloakedRegion,
+    /// The anonymizer→server request message bytes.
+    pub request: Bytes,
+    /// Candidate objects, sorted by id (the canonical merge order).
+    pub candidates: Vec<PublicObject>,
+    /// The server→user candidate-list bytes.
+    pub response: Bytes,
+}
+
+/// The sharded concurrent engine: anonymizer registry + private grid +
+/// public store, each split into spatial stripes behind per-shard locks.
+pub struct ShardedEngine {
+    cfg: EngineConfig,
+    mode: ExecutionMode,
+    /// Coordinator-owned profile registry (read-only during batches).
+    profiles: HashMap<UserId, PrivacyProfile>,
+    /// Which anonymizer shard currently tracks each user.
+    owner: HashMap<UserId, usize>,
+    /// Which private-store shard holds each pseudonym's record.
+    record_owner: HashMap<u64, usize>,
+    anon: Vec<Arc<RwLock<UniformGrid>>>,
+    private: Vec<Arc<RwLock<PrivateStore>>>,
+    public: Vec<Arc<RwLock<PublicStore>>>,
+}
+
+impl ShardedEngine {
+    /// Builds the engine with a real pool of `threads` workers.
+    pub fn new(cfg: EngineConfig, threads: usize) -> ShardedEngine {
+        Self::with_mode(cfg, ExecutionMode::Pool(WorkerPool::new(threads)))
+    }
+
+    /// Builds the engine under a deterministic replay schedule.
+    pub fn with_replay(cfg: EngineConfig, seed: u64) -> ShardedEngine {
+        Self::with_mode(cfg, ExecutionMode::Replay(ReplayScheduler::new(seed)))
+    }
+
+    /// Builds the engine with an explicit execution mode.
+    pub fn with_mode(cfg: EngineConfig, mode: ExecutionMode) -> ShardedEngine {
+        assert!(cfg.shards > 0, "engine needs at least one shard");
+        let shards = cfg.shards;
+        ShardedEngine {
+            cfg,
+            mode,
+            profiles: HashMap::new(),
+            owner: HashMap::new(),
+            record_owner: HashMap::new(),
+            anon: (0..shards)
+                .map(|_| {
+                    Arc::new(RwLock::new(UniformGrid::new(
+                        cfg.world,
+                        cfg.grid_side,
+                        cfg.grid_side,
+                    )))
+                })
+                .collect(),
+            private: (0..shards)
+                .map(|_| Arc::new(RwLock::new(PrivateStore::new())))
+                .collect(),
+            public: (0..shards)
+                .map(|_| Arc::new(RwLock::new(PublicStore::new())))
+                .collect(),
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Shard owning positions at `p`: vertical stripes of equal width,
+    /// with out-of-world points clamped to the border stripes.
+    pub fn shard_of(&self, p: Point) -> usize {
+        let f = (p.x - self.cfg.world.min_x()) / self.cfg.world.width();
+        let s = (f * self.cfg.shards as f64).floor();
+        (s.max(0.0) as usize).min(self.cfg.shards - 1)
+    }
+
+    /// Registers a user with a privacy profile.
+    pub fn register(&mut self, id: UserId, profile: PrivacyProfile) {
+        self.profiles.insert(id, profile);
+    }
+
+    /// Number of registered users.
+    pub fn registered(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Number of users with a tracked location, across all shards.
+    pub fn population(&self) -> usize {
+        self.anon.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+
+    /// Number of private records, across all shards.
+    pub fn private_len(&self) -> usize {
+        self.private.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+
+    /// Loads the public-object dataset, partitioned into shards by
+    /// object position.
+    pub fn load_public(&mut self, objects: Vec<PublicObject>) {
+        let mut parts: Vec<Vec<PublicObject>> = vec![Vec::new(); self.cfg.shards];
+        for o in objects {
+            parts[self.shard_of(o.pos)].push(o);
+        }
+        for (shard, part) in self.public.iter().zip(parts) {
+            *shard.write().unwrap() = PublicStore::bulk_load(part);
+        }
+    }
+
+    /// Stable pseudonym for a user — the same keyed splitmix64 bijection
+    /// as [`lbsp_anonymizer::LocationAnonymizer::pseudonym`], so the two
+    /// engines agree byte-for-byte on the server hop.
+    pub fn pseudonym(&self, id: UserId) -> Pseudonym {
+        Pseudonym(splitmix64_raw(
+            self.cfg.secret ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    /// Processes one batch of exact location updates: phase 1 applies
+    /// every upsert (per-shard jobs), phase 2 cloaks every row against
+    /// the settled population, phase 3 ingests the cloaked regions into
+    /// the sharded private store. Results are in input order; unknown
+    /// users error in place, exactly like the sequential batch path.
+    pub fn process_updates(
+        &mut self,
+        updates: &[(UserId, Point, SimTime)],
+    ) -> Vec<Result<CloakedUpdate, CloakError>> {
+        // Coordinator pass: resolve profiles, route rows to shards, and
+        // turn cross-shard moves into remove+insert pairs. Scanning in
+        // input order makes duplicate-user rows settle on the row that
+        // appears last, matching the sequential upsert order.
+        let mut ops: Vec<Vec<ShardOp>> = (0..self.cfg.shards).map(|_| Vec::new()).collect();
+        let mut plans: Vec<RowPlan> = Vec::with_capacity(updates.len());
+        for &(id, pos, time) in updates {
+            match self.profiles.get(&id) {
+                None => plans.push(RowPlan::Fail(CloakError::UnknownUser(id))),
+                Some(profile) => {
+                    let target = self.shard_of(pos);
+                    if let Some(prev) = self.owner.insert(id, target) {
+                        if prev != target {
+                            ops[prev].push(ShardOp::Remove(id));
+                        }
+                    }
+                    ops[target].push(ShardOp::Insert(id, pos));
+                    plans.push(RowPlan::Cloak {
+                        id,
+                        shard: target,
+                        req: profile.requirement_at(time.time_of_day()),
+                        time,
+                    });
+                }
+            }
+        }
+        // Duplicate rows: every row must cloak at the user's *final*
+        // position, i.e. through its final owner shard.
+        for plan in &mut plans {
+            if let RowPlan::Cloak { id, shard, .. } = plan {
+                *shard = self.owner[id];
+            }
+        }
+
+        // Phase 1 (barrier): apply shard-local mutations in parallel.
+        let phase1: Vec<Job> = ops
+            .into_iter()
+            .zip(&self.anon)
+            .filter(|(ops, _)| !ops.is_empty())
+            .map(|(ops, shard)| {
+                let shard = Arc::clone(shard);
+                Box::new(move || {
+                    let mut grid = shard.write().unwrap();
+                    for op in ops {
+                        match op {
+                            ShardOp::Insert(id, p) => {
+                                grid.insert(id, p);
+                            }
+                            ShardOp::Remove(id) => {
+                                grid.remove(id);
+                            }
+                        }
+                    }
+                }) as Job
+            })
+            .collect();
+        self.mode.run(phase1);
+
+        // Phase 2 (barrier): cloak every row against the summed view.
+        let plans = Arc::new(plans);
+        let results: RowResults = Arc::new(Mutex::new(vec![None; updates.len()]));
+        let chunk = updates.len().div_ceil(self.mode.slots().max(1)).max(1);
+        let mut phase2: Vec<Job> = Vec::new();
+        let mut start = 0usize;
+        while start < plans.len() {
+            let end = (start + chunk).min(plans.len());
+            let plans = Arc::clone(&plans);
+            let results = Arc::clone(&results);
+            let anon: Vec<_> = self.anon.iter().map(Arc::clone).collect();
+            let cfg = self.cfg;
+            let range = start..end;
+            phase2.push(Box::new(move || {
+                let guards: Vec<_> = anon.iter().map(|s| s.read().unwrap()).collect();
+                let view = SummedGrids::new(guards.iter().map(|g| &**g).collect());
+                // Shared execution (Sec. 5.3): one cloak per (cell,
+                // requirement) group, as in the sequential batch path.
+                // The cache changes which rows recompute, never the
+                // value — cloaks are pure functions of the view.
+                let mut cache: HashMap<(u64, u32, u64, u64), CloakedRegion> = HashMap::new();
+                let mut out: Vec<(usize, Result<CloakedUpdate, CloakError>)> =
+                    Vec::with_capacity(range.len());
+                for i in range.clone() {
+                    let res = match &plans[i] {
+                        RowPlan::Fail(e) => Err(e.clone()),
+                        RowPlan::Cloak {
+                            id,
+                            shard,
+                            req,
+                            time,
+                        } => cloak_row(&view, &guards[*shard], *id, req, *time, &cfg, &mut cache),
+                    };
+                    out.push((i, res));
+                }
+                let mut results = results.lock().unwrap();
+                for (i, res) in out {
+                    results[i] = Some(res);
+                }
+            }) as Job);
+            start = end;
+        }
+        self.mode.run(phase2);
+        let results: Vec<Result<CloakedUpdate, CloakError>> = Arc::try_unwrap(results)
+            .expect("phase jobs done")
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|r| r.expect("every row planned"))
+            .collect();
+
+        // Phase 3 (barrier): ingest cloaked regions into the private
+        // store, shard chosen by region center so placement never
+        // depends on worker count.
+        let mut ingest: Vec<Vec<ShardOp2>> = (0..self.cfg.shards).map(|_| Vec::new()).collect();
+        for res in results.iter().flatten() {
+            let target = self.shard_of(res.region.region.center());
+            let key = res.pseudonym.0;
+            if let Some(prev) = self.record_owner.insert(key, target) {
+                if prev != target {
+                    ingest[prev].push(ShardOp2::Forget(key));
+                }
+            }
+            ingest[target].push(ShardOp2::Upsert(PrivateRecord::new(key, res.region.region)));
+        }
+        let phase3: Vec<Job> = ingest
+            .into_iter()
+            .zip(&self.private)
+            .filter(|(ops, _)| !ops.is_empty())
+            .map(|(ops, shard)| {
+                let shard = Arc::clone(shard);
+                Box::new(move || {
+                    let mut store = shard.write().unwrap();
+                    for op in ops {
+                        match op {
+                            ShardOp2::Upsert(rec) => {
+                                store.upsert(rec);
+                            }
+                            ShardOp2::Forget(p) => {
+                                store.remove(p);
+                            }
+                        }
+                    }
+                }) as Job
+            })
+            .collect();
+        self.mode.run(phase3);
+        results
+    }
+
+    /// [`Self::process_updates`], emitting the anonymizer→server wire
+    /// bytes for each successful row.
+    pub fn process_updates_wire(
+        &mut self,
+        updates: &[(UserId, Point, SimTime)],
+    ) -> Vec<Result<Bytes, CloakError>> {
+        self.process_updates(updates)
+            .into_iter()
+            .map(|r| r.map(|u| wire::encode_cloaked_update(&u)))
+            .collect()
+    }
+
+    /// Executes a private range query (Fig. 5a) for `user`: cloaks the
+    /// querier, fans `private_range_candidates` out over the public
+    /// shards, and merges the per-shard lists in canonical id order.
+    /// Both hops are returned as wire bytes.
+    pub fn range_query(
+        &self,
+        user: UserId,
+        time: SimTime,
+        radius: f64,
+    ) -> Result<RangeQueryAnswer, CloakError> {
+        let profile = self
+            .profiles
+            .get(&user)
+            .ok_or(CloakError::UnknownUser(user))?;
+        let req = profile.requirement_at(time.time_of_day());
+        req.validate()?;
+        let region = {
+            let guards: Vec<_> = self.anon.iter().map(|s| s.read().unwrap()).collect();
+            let view = SummedGrids::new(guards.iter().map(|g| &**g).collect());
+            let pos = view.location(user).ok_or(CloakError::UnknownUser(user))?;
+            cloak_with_counts(&view, pos, &req, self.cfg.refine, DEFAULT_MAX_REFINE_DEPTH)
+        };
+        let msg = RangeQueryMsg {
+            pseudonym: self.pseudonym(user),
+            region: region.region,
+            radius,
+            time,
+        };
+        let request = wire::encode_range_query(&msg);
+        // Fan out: each shard computes its candidates independently.
+        let per_shard: Arc<Mutex<Vec<Vec<PublicObject>>>> =
+            Arc::new(Mutex::new(vec![Vec::new(); self.cfg.shards]));
+        let jobs: Vec<Job> = self
+            .public
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let shard = Arc::clone(shard);
+                let per_shard = Arc::clone(&per_shard);
+                let cloak = region.region;
+                Box::new(move || {
+                    let found = private_range_candidates(&shard.read().unwrap(), &cloak, radius);
+                    per_shard.lock().unwrap()[i] = found;
+                }) as Job
+            })
+            .collect();
+        self.mode.run(jobs);
+        let mut candidates: Vec<PublicObject> = Arc::try_unwrap(per_shard)
+            .expect("query jobs done")
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .flatten()
+            .collect();
+        // Canonical merge order: ascending object id. Shards partition
+        // the objects, so ids are unique and the order is total.
+        candidates.sort_unstable_by_key(|o| o.id);
+        let response =
+            wire::encode_candidates(&candidates.iter().map(|o| (o.id, o.pos)).collect::<Vec<_>>());
+        Ok(RangeQueryAnswer {
+            region,
+            request,
+            candidates,
+            response,
+        })
+    }
+
+    /// Number of private records whose cloaked rectangle intersects `r`,
+    /// summed across shards (each record lives in exactly one shard).
+    pub fn private_intersecting(&self, r: &Rect) -> usize {
+        let counts: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(vec![0; self.cfg.shards]));
+        let jobs: Vec<Job> = self
+            .private
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let shard = Arc::clone(shard);
+                let counts = Arc::clone(&counts);
+                let r = *r;
+                Box::new(move || {
+                    let n = shard.read().unwrap().intersecting(&r).len();
+                    counts.lock().unwrap()[i] = n;
+                }) as Job
+            })
+            .collect();
+        self.mode.run(jobs);
+        let counts = Arc::try_unwrap(counts)
+            .expect("jobs done")
+            .into_inner()
+            .unwrap();
+        counts.into_iter().sum()
+    }
+}
+
+/// Second mutation kind, for the private-store ingest phase.
+enum ShardOp2 {
+    Upsert(PrivateRecord),
+    Forget(u64),
+}
+
+/// Raw splitmix64 finalizer (shared with [`ShardedEngine::pseudonym`]).
+fn splitmix64_raw(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Cloaks one row against the summed view, mirroring the sequential
+/// batch path: validate, look up the final position, consult the
+/// shared-execution cache, run the grid merge.
+#[allow(clippy::too_many_arguments)]
+fn cloak_row(
+    view: &SummedGrids<'_>,
+    owner_grid: &UniformGrid,
+    id: UserId,
+    req: &CloakRequirement,
+    time: SimTime,
+    cfg: &EngineConfig,
+    cache: &mut HashMap<(u64, u32, u64, u64), CloakedRegion>,
+) -> Result<CloakedUpdate, CloakError> {
+    req.validate()?;
+    let pos = owner_grid.location(id).ok_or(CloakError::UnknownUser(id))?;
+    // Sharing key: the occupied cell — sound only without refinement,
+    // exactly as GridCloak::sharing_key declares.
+    let region = if cfg.refine {
+        cloak_with_counts(view, pos, req, true, DEFAULT_MAX_REFINE_DEPTH)
+    } else {
+        let c = view.cell_of(pos);
+        let key = (
+            u64::from(c.iy) * u64::from(view.nx()) + u64::from(c.ix),
+            req.k,
+            req.a_min.to_bits(),
+            req.a_max.to_bits(),
+        );
+        *cache
+            .entry(key)
+            .or_insert_with(|| cloak_with_counts(view, pos, req, false, DEFAULT_MAX_REFINE_DEPTH))
+    };
+    let mut z = cfg.secret ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = splitmix64_raw(z);
+    Ok(CloakedUpdate {
+        pseudonym: Pseudonym(z),
+        region,
+        time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsp_anonymizer::{GridCloak, LocationAnonymizer};
+
+    fn world() -> Rect {
+        Rect::new_unchecked(0.0, 0.0, 1.0, 1.0)
+    }
+
+    fn lattice_updates(n: u64) -> Vec<(UserId, Point, SimTime)> {
+        (0..n)
+            .map(|i| {
+                let x = ((i as f64 * 0.618_033_988_749) % 1.0).min(0.999);
+                let y = ((i as f64 * 0.414_213_562_373) % 1.0).min(0.999);
+                (i, Point::new(x, y), SimTime::ZERO)
+            })
+            .collect()
+    }
+
+    fn engine(threads: usize) -> ShardedEngine {
+        let mut e = ShardedEngine::new(EngineConfig::new(world()), threads);
+        for i in 0..64u64 {
+            e.register(
+                i,
+                PrivacyProfile::uniform(CloakRequirement::k_only(5)).unwrap(),
+            );
+        }
+        e
+    }
+
+    #[test]
+    fn engine_matches_sequential_anonymizer() {
+        let cfg = EngineConfig::new(world());
+        let mut seq = LocationAnonymizer::new(GridCloak::new(world(), cfg.grid_side), cfg.secret);
+        let mut eng = engine(4);
+        for i in 0..64u64 {
+            seq.register(
+                i,
+                PrivacyProfile::uniform(CloakRequirement::k_only(5)).unwrap(),
+            );
+        }
+        let updates = lattice_updates(64);
+        let a = seq.handle_updates_batch(&updates);
+        let b = eng.process_updates(&updates);
+        for (x, y) in a.iter().zip(&b) {
+            let (x, y) = (x.as_ref().unwrap(), y.as_ref().unwrap());
+            assert_eq!(x.pseudonym, y.pseudonym);
+            assert_eq!(x.region, y.region);
+            assert_eq!(x.time, y.time);
+        }
+    }
+
+    #[test]
+    fn worker_counts_agree_bytewise() {
+        let updates = lattice_updates(64);
+        let mut one = engine(1);
+        let wire1 = one.process_updates_wire(&updates);
+        for threads in [2usize, 4, 8] {
+            let mut many = engine(threads);
+            let wire_n = many.process_updates_wire(&updates);
+            for (a, b) in wire1.iter().zip(&wire_n) {
+                assert_eq!(
+                    a.as_ref().unwrap().to_vec(),
+                    b.as_ref().unwrap().to_vec(),
+                    "threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replay_schedules_agree_with_pool() {
+        let updates = lattice_updates(48);
+        let mut pool = engine(4);
+        let reference = pool.process_updates_wire(&updates);
+        for seed in 0..8u64 {
+            let mut replay = ShardedEngine::with_replay(EngineConfig::new(world()), seed);
+            for i in 0..64u64 {
+                replay.register(
+                    i,
+                    PrivacyProfile::uniform(CloakRequirement::k_only(5)).unwrap(),
+                );
+            }
+            let got = replay.process_updates_wire(&updates);
+            for (a, b) in reference.iter().zip(&got) {
+                assert_eq!(
+                    a.as_ref().unwrap().to_vec(),
+                    b.as_ref().unwrap().to_vec(),
+                    "seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn moves_across_stripes_keep_one_copy() {
+        let mut e = engine(4);
+        e.process_updates(&[(1, Point::new(0.1, 0.5), SimTime::ZERO)]);
+        assert_eq!(e.population(), 1);
+        // Move across every stripe boundary.
+        e.process_updates(&[(1, Point::new(0.9, 0.5), SimTime::from_secs(1.0))]);
+        assert_eq!(e.population(), 1, "old shard dropped the user");
+        assert_eq!(e.private_len(), 1, "one private record survives");
+    }
+
+    #[test]
+    fn duplicate_rows_cloak_at_final_position() {
+        let mut e = engine(4);
+        // Seed a population so cloaks are k-satisfiable.
+        e.process_updates(&lattice_updates(64));
+        let out = e.process_updates(&[
+            (1, Point::new(0.05, 0.05), SimTime::ZERO),
+            (1, Point::new(0.95, 0.95), SimTime::ZERO),
+        ]);
+        let first = out[0].as_ref().unwrap();
+        let second = out[1].as_ref().unwrap();
+        // Sequential semantics: both rows cloak after all upserts, so
+        // both regions contain the final position.
+        assert!(first.region.region.contains_point(Point::new(0.95, 0.95)));
+        assert_eq!(first.region.region, second.region.region);
+    }
+
+    #[test]
+    fn unknown_users_fail_in_place() {
+        let mut e = engine(2);
+        let out = e.process_updates(&[
+            (1, Point::new(0.5, 0.5), SimTime::ZERO),
+            (9999, Point::new(0.5, 0.5), SimTime::ZERO),
+        ]);
+        assert!(out[0].is_ok());
+        assert!(matches!(out[1], Err(CloakError::UnknownUser(9999))));
+        assert!(matches!(
+            e.range_query(9999, SimTime::ZERO, 0.1),
+            Err(CloakError::UnknownUser(9999))
+        ));
+    }
+
+    #[test]
+    fn range_query_merges_shards_in_id_order() {
+        let mut e = engine(4);
+        let objects: Vec<PublicObject> = (0..40)
+            .map(|i| PublicObject::new(i, Point::new(((i as f64) * 0.025).min(0.999), 0.5), 0))
+            .collect();
+        e.load_public(objects.clone());
+        e.process_updates(&lattice_updates(64));
+        let ans = e.range_query(7, SimTime::ZERO, 0.2).unwrap();
+        // Candidates are sorted by id and decodable from the wire.
+        let ids: Vec<u64> = ans.candidates.iter().map(|o| o.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+        let decoded = wire::decode_candidates(&ans.response).unwrap();
+        assert_eq!(decoded.len(), ans.candidates.len());
+        // The request hop decodes to the same cloak.
+        let req = wire::decode_range_query(&ans.request).unwrap();
+        assert_eq!(req.region, ans.region.region);
+        // Sanity: candidates match the unsharded predicate.
+        let merged = PublicStore::bulk_load(objects);
+        let mut expect = private_range_candidates(&merged, &ans.region.region, 0.2);
+        expect.sort_unstable_by_key(|o| o.id);
+        assert_eq!(ans.candidates, expect);
+    }
+
+    #[test]
+    fn private_store_tracks_ingest() {
+        let mut e = engine(4);
+        e.process_updates(&lattice_updates(64));
+        assert_eq!(e.private_len(), 64);
+        let n = e.private_intersecting(&world());
+        assert_eq!(n, 64, "every record intersects the world");
+    }
+
+    #[test]
+    fn pool_survives_job_panics() {
+        let pool = WorkerPool::new(2);
+        let ran = Arc::new(AtomicU64::new(0));
+        let r = ran.clone();
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(vec![
+                Box::new(|| panic!("boom")) as Job,
+                Box::new(move || {
+                    r.fetch_add(1, Ordering::Relaxed);
+                }) as Job,
+            ]);
+        }));
+        assert!(outcome.is_err(), "run reports the panic");
+        // The pool still executes new jobs afterwards.
+        let r = ran.clone();
+        pool.run(vec![Box::new(move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        }) as Job]);
+        assert!(ran.load(Ordering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn replay_permutations_cover_orders() {
+        // Different seeds produce different execution orders (with high
+        // probability), yet section results stay identical — checked
+        // here just for the permutation machinery.
+        let order_for = |seed: u64| {
+            let sched = ReplayScheduler::new(seed);
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let jobs: Vec<Job> = (0..6usize)
+                .map(|i| {
+                    let log = Arc::clone(&log);
+                    Box::new(move || log.lock().unwrap().push(i)) as Job
+                })
+                .collect();
+            sched.run(jobs);
+            Arc::try_unwrap(log).unwrap().into_inner().unwrap()
+        };
+        let a = order_for(1);
+        let b = order_for(2);
+        assert_eq!(a.len(), 6);
+        assert_ne!(a, b, "seeds drive distinct interleavings");
+        // Same seed replays the same order.
+        assert_eq!(order_for(3), order_for(3));
+    }
+}

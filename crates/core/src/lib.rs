@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod metrics;
 mod sim;
 mod standing;
@@ -33,6 +34,9 @@ mod system;
 mod user;
 pub mod wire;
 
+pub use engine::{
+    EngineConfig, ExecutionMode, RangeQueryAnswer, ReplayScheduler, ShardedEngine, WorkerPool,
+};
 pub use sim::{SimulationConfig, SimulationEngine, TickReport};
 pub use standing::{StandingPrivateRanges, StandingQueryId};
 pub use system::{NnQueryOutcome, PrivacyAwareSystem, RangeQueryOutcome};

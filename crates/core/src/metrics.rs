@@ -169,6 +169,48 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_collapses_all_statistics() {
+        let s = Summary::of(&[7.25]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 7.25);
+        assert_eq!(s.min, 7.25);
+        assert_eq!(s.p50, 7.25);
+        assert_eq!(s.p95, 7.25);
+        assert_eq!(s.max, 7.25);
+    }
+
+    #[test]
+    fn summary_is_order_invariant() {
+        let a = Summary::of(&[3.0, -1.0, 10.0, 2.5]);
+        let b = Summary::of(&[10.0, 2.5, 3.0, -1.0]);
+        assert_eq!(a, b);
+        assert_eq!(a.min, -1.0, "negative samples are legal");
+        assert_eq!(a.max, 10.0);
+    }
+
+    #[test]
+    fn duplicate_samples_keep_count_and_percentiles() {
+        let s = Summary::of(&[4.0; 10]);
+        assert_eq!(s.count, 10);
+        assert_eq!(s.p50, 4.0);
+        assert_eq!(s.p95, 4.0);
+        assert_eq!(s.mean, 4.0);
+    }
+
+    #[test]
+    fn empty_slice_equals_default_summary() {
+        assert_eq!(Summary::of(&[]), Summary::default());
+    }
+
+    #[test]
+    fn zero_duration_counts_as_a_sample() {
+        let mut r = Recorder::new();
+        r.record_duration(Duration::ZERO);
+        assert_eq!(r.count(), 1);
+        assert_eq!(r.summary().max, 0.0);
+    }
+
+    #[test]
     fn duration_recording_and_reset() {
         let mut r = Recorder::new();
         r.record_duration(Duration::from_micros(250));

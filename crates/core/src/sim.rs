@@ -200,8 +200,11 @@ mod tests {
     #[test]
     fn engine_runs_and_reports() {
         let profile = PrivacyProfile::uniform(CloakRequirement::k_only(10)).unwrap();
-        let mut engine =
-            SimulationEngine::new(QuadCloak::new(world(), 5), SimulationConfig::small(), profile);
+        let mut engine = SimulationEngine::new(
+            QuadCloak::new(world(), 5),
+            SimulationConfig::small(),
+            profile,
+        );
         let reports = engine.run(3);
         assert_eq!(reports.len(), 3);
         for (i, r) in reports.iter().enumerate() {
@@ -218,8 +221,11 @@ mod tests {
     #[test]
     fn k_is_satisfied_throughout_motion() {
         let profile = PrivacyProfile::uniform(CloakRequirement::k_only(20)).unwrap();
-        let mut engine =
-            SimulationEngine::new(GridCloak::new(world(), 16), SimulationConfig::small(), profile);
+        let mut engine = SimulationEngine::new(
+            GridCloak::new(world(), 16),
+            SimulationConfig::small(),
+            profile,
+        );
         let reports = engine.run(5);
         let total_unsat: usize = reports.iter().map(|r| r.unsatisfied).sum();
         // 200 users, k=20: the population always suffices.
@@ -238,8 +244,7 @@ mod tests {
         let mut cfg = SimulationConfig::small();
         cfg.tick_seconds = 6.0 * 3600.0; // 6-hour ticks
         let engine_profile = PrivacyProfile::paper_example();
-        let mut engine =
-            SimulationEngine::new(QuadCloak::new(world(), 5), cfg, engine_profile);
+        let mut engine = SimulationEngine::new(QuadCloak::new(world(), 5), cfg, engine_profile);
         // Tick 1 ends at 06:00 (night entry), tick 2 at 12:00 (day).
         engine.tick();
         let night_area = engine.system().metrics.cloak_area.summary().max;

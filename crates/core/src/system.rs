@@ -9,8 +9,8 @@ use lbsp_anonymizer::{
 use lbsp_geom::{Point, Rect, SimTime};
 use lbsp_server::{
     refine_knn, refine_nn, refine_range, ContinuousRangeCount, CountAnswer,
-    PrivatePrivateCountAnswer, PrivatePrivateNnAnswer, PrivateStore, PublicNnAnswer,
-    PublicObject, PublicStore, Server, ServerStats,
+    PrivatePrivateCountAnswer, PrivatePrivateNnAnswer, PrivateStore, PublicNnAnswer, PublicObject,
+    PublicStore, Server, ServerStats,
 };
 use std::collections::HashMap;
 use std::time::Instant;
@@ -77,7 +77,11 @@ impl<A: CloakingAlgorithm> PrivacyAwareSystem<A> {
     }
 
     /// Changes a user's privacy profile at runtime.
-    pub fn update_profile(&mut self, id: UserId, profile: PrivacyProfile) -> Result<(), CloakError> {
+    pub fn update_profile(
+        &mut self,
+        id: UserId,
+        profile: PrivacyProfile,
+    ) -> Result<(), CloakError> {
         self.anonymizer.update_profile(id, profile.clone())?;
         if let Some(u) = self.users.get_mut(&id) {
             u.profile = profile;
@@ -333,7 +337,8 @@ mod tests {
             sys.register_user(MobileUser::active(i, profile.clone()));
             let x = 0.05 + 0.1 * (i % 10) as f64;
             let y = 0.05 + 0.1 * (i / 10) as f64;
-            sys.process_update(i, Point::new(x, y), SimTime::ZERO).unwrap();
+            sys.process_update(i, Point::new(x, y), SimTime::ZERO)
+                .unwrap();
         }
         sys
     }
@@ -355,7 +360,9 @@ mod tests {
     fn passive_users_share_nothing() {
         let mut sys = PrivacyAwareSystem::new(QuadCloak::new(world(), 4), 1, pois());
         sys.register_user(MobileUser::passive(1));
-        let out = sys.process_update(1, Point::new(0.5, 0.5), SimTime::ZERO).unwrap();
+        let out = sys
+            .process_update(1, Point::new(0.5, 0.5), SimTime::ZERO)
+            .unwrap();
         assert!(out.is_none());
         assert_eq!(sys.private_store().len(), 0);
         // Unregistered users error.
@@ -405,7 +412,11 @@ mod tests {
         let ans = sys.public_count_query(Rect::new_unchecked(0.0, 0.0, 0.5, 0.5));
         // ~25 users live in that quadrant; the probabilistic count
         // should be in a plausible band around it but fuzzy.
-        assert!(ans.expected > 5.0 && ans.expected < 60.0, "{}", ans.expected);
+        assert!(
+            ans.expected > 5.0 && ans.expected < 60.0,
+            "{}",
+            ans.expected
+        );
         assert!(ans.possible >= ans.certain);
         let nn = sys.public_nn_query(Point::new(0.5, 0.5));
         assert!(!nn.candidates.is_empty());

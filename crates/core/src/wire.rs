@@ -65,8 +65,7 @@ pub fn encode_cloaked_update(msg: &CloakedUpdate) -> Bytes {
     b.put_f64_le(r.max_y());
     b.put_f64_le(msg.time.as_secs());
     b.put_u32_le(msg.region.achieved_k);
-    let flags =
-        (msg.region.k_satisfied as u8) | ((msg.region.area_satisfied as u8) << 1);
+    let flags = (msg.region.k_satisfied as u8) | ((msg.region.area_satisfied as u8) << 1);
     b.put_u8(flags);
     b.freeze()
 }
@@ -280,10 +279,7 @@ mod tests {
 
     #[test]
     fn candidate_list_roundtrip() {
-        let list = vec![
-            (1u64, Point::new(0.1, 0.2)),
-            (9u64, Point::new(0.9, 0.8)),
-        ];
+        let list = vec![(1u64, Point::new(0.1, 0.2)), (9u64, Point::new(0.9, 0.8))];
         let bytes = encode_candidates(&list);
         assert_eq!(decode_candidates(&bytes), Some(list));
         // Empty list.

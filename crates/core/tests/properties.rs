@@ -5,8 +5,9 @@ use lbsp_anonymizer::{
     CloakRequirement, CloakedRegion, CloakedUpdate, PrivacyProfile, Pseudonym, QuadCloak,
 };
 use lbsp_core::wire::{
-    decode_cloaked_update, decode_exact_update, encode_cloaked_update, encode_exact_update,
-    ExactUpdateMsg,
+    decode_candidates, decode_cloaked_update, decode_exact_update, decode_range_query,
+    encode_candidates, encode_cloaked_update, encode_exact_update, encode_range_query,
+    ExactUpdateMsg, RangeQueryMsg,
 };
 use lbsp_core::{MobileUser, PrivacyAwareSystem};
 use lbsp_geom::{Point, Rect, SimTime};
@@ -60,12 +61,59 @@ proptest! {
     }
 
     #[test]
-    fn truncated_wire_messages_never_decode(
+    fn range_query_wire_roundtrip(
         pseudo in any::<u64>(),
         region in urect(),
-        cut in 1usize..53,
+        radius in 0.0f64..100.0,
+        secs in 0.0f64..1e9,
     ) {
-        let msg = CloakedUpdate {
+        let msg = RangeQueryMsg {
+            pseudonym: Pseudonym(pseudo),
+            region,
+            radius,
+            time: SimTime::from_secs(secs),
+        };
+        prop_assert_eq!(decode_range_query(&encode_range_query(&msg)), Some(msg));
+    }
+
+    #[test]
+    fn candidates_wire_roundtrip(
+        entries in prop::collection::vec((any::<u64>(), upoint()), 0..40),
+    ) {
+        let bytes = encode_candidates(&entries);
+        prop_assert_eq!(bytes.len(), 4 + entries.len() * 24);
+        prop_assert_eq!(decode_candidates(&bytes), Some(entries));
+    }
+
+    #[test]
+    fn negative_or_nonfinite_radius_is_rejected(
+        pseudo in any::<u64>(),
+        region in urect(),
+        radius in -100.0f64..-1e-12,
+    ) {
+        let msg = RangeQueryMsg {
+            pseudonym: Pseudonym(pseudo),
+            region,
+            radius,
+            time: SimTime::ZERO,
+        };
+        prop_assert_eq!(decode_range_query(&encode_range_query(&msg)), None);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let msg = RangeQueryMsg { radius: bad, ..msg };
+            prop_assert_eq!(decode_range_query(&encode_range_query(&msg)), None);
+        }
+    }
+
+    #[test]
+    fn truncated_wire_messages_never_decode(
+        pseudo in any::<u64>(),
+        user in any::<u64>(),
+        region in urect(),
+        p in upoint(),
+        entries in prop::collection::vec((any::<u64>(), upoint()), 1..8),
+    ) {
+        // Every proper prefix of every message type must be rejected.
+        let cloaked = CloakedUpdate {
             pseudonym: Pseudonym(pseudo),
             region: CloakedRegion {
                 region,
@@ -75,8 +123,32 @@ proptest! {
             },
             time: SimTime::ZERO,
         };
-        let bytes = encode_cloaked_update(&msg);
-        prop_assert_eq!(decode_cloaked_update(&bytes[..bytes.len() - cut]), None);
+        let bytes = encode_cloaked_update(&cloaked);
+        for cut in 0..bytes.len() {
+            prop_assert_eq!(decode_cloaked_update(&bytes[..cut]), None, "cloaked cut {}", cut);
+        }
+        let exact = ExactUpdateMsg { user, position: p, time: SimTime::ZERO };
+        let bytes = encode_exact_update(&exact);
+        for cut in 0..bytes.len() {
+            prop_assert_eq!(decode_exact_update(&bytes[..cut]), None, "exact cut {}", cut);
+        }
+        let query = RangeQueryMsg {
+            pseudonym: Pseudonym(pseudo),
+            region,
+            radius: 0.5,
+            time: SimTime::ZERO,
+        };
+        let bytes = encode_range_query(&query);
+        for cut in 0..bytes.len() {
+            prop_assert_eq!(decode_range_query(&bytes[..cut]), None, "query cut {}", cut);
+        }
+        // Candidate lists: any cut must fail — even a cut right after
+        // the length prefix, since the prefix then promises n >= 1
+        // entries that are not present.
+        let bytes = encode_candidates(&entries);
+        for cut in 0..bytes.len() {
+            prop_assert_eq!(decode_candidates(&bytes[..cut]), None, "candidates cut {}", cut);
+        }
     }
 
     #[test]

@@ -44,8 +44,12 @@ pub fn min_dist_rect_rect(a: &Rect, b: &Rect) -> f64 {
 /// (always attained at a corner pair).
 #[inline]
 pub fn max_dist_rect_rect(a: &Rect, b: &Rect) -> f64 {
-    let dx = (a.max_x() - b.min_x()).abs().max((b.max_x() - a.min_x()).abs());
-    let dy = (a.max_y() - b.min_y()).abs().max((b.max_y() - a.min_y()).abs());
+    let dx = (a.max_x() - b.min_x())
+        .abs()
+        .max((b.max_x() - a.min_x()).abs());
+    let dy = (a.max_y() - b.min_y())
+        .abs()
+        .max((b.max_y() - a.min_y()).abs());
     (dx * dx + dy * dy).sqrt()
 }
 

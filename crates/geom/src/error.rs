@@ -43,7 +43,11 @@ mod tests {
             "invalid rectangle: inverted bounds"
         );
         assert_eq!(
-            GeomError::InvalidTime { hour: 25, minute: 0 }.to_string(),
+            GeomError::InvalidTime {
+                hour: 25,
+                minute: 0
+            }
+            .to_string(),
             "invalid time of day: 25:00"
         );
         assert_eq!(

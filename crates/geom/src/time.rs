@@ -232,8 +232,10 @@ mod tests {
         // The three entries tile the full day.
         for m in 0..MINUTES_PER_DAY {
             let t = TimeOfDay::from_minutes(m);
-            let hits =
-                [day, evening, night].iter().filter(|i| i.contains(t)).count();
+            let hits = [day, evening, night]
+                .iter()
+                .filter(|i| i.contains(t))
+                .count();
             assert_eq!(hits, 1, "minute {m} covered exactly once");
         }
         assert_eq!(

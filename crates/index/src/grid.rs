@@ -258,12 +258,7 @@ impl UniformGrid {
 /// Yields the cell coordinates on the square ring at Chebyshev distance
 /// `ring` around `center`, clipped to the grid bounds. Ring 0 is the
 /// center cell itself.
-fn ring_cells(
-    center: CellCoord,
-    ring: i64,
-    nx: u32,
-    ny: u32,
-) -> impl Iterator<Item = (u32, u32)> {
+fn ring_cells(center: CellCoord, ring: i64, nx: u32, ny: u32) -> impl Iterator<Item = (u32, u32)> {
     let cx = center.ix as i64;
     let cy = center.iy as i64;
     let mut cells: Vec<(u32, u32)> = Vec::new();
@@ -392,7 +387,10 @@ mod tests {
         assert_eq!(g.block_count(c0, c1), 2);
         let r = g.block_rect(c0, c1);
         assert!(approx_eq(r.area(), 0.125));
-        assert_eq!(g.block_count(CellCoord { ix: 0, iy: 0 }, CellCoord { ix: 3, iy: 3 }), 3);
+        assert_eq!(
+            g.block_count(CellCoord { ix: 0, iy: 0 }, CellCoord { ix: 3, iy: 3 }),
+            3
+        );
     }
 
     #[test]

@@ -24,11 +24,13 @@
 
 #![warn(missing_docs)]
 
+mod counts;
 mod grid;
 mod pyramid;
 mod quadtree;
 mod rtree;
 
+pub use counts::{CellCounts, SummedGrids};
 pub use grid::{CellCoord, UniformGrid};
 pub use pyramid::{PyramidCell, PyramidGrid};
 pub use quadtree::PointQuadTree;

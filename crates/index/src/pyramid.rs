@@ -152,8 +152,7 @@ impl PyramidGrid {
         let mut c = self.leaf_cell_of(p);
         loop {
             let side = self.side(c.level);
-            let slot =
-                &mut self.counts[c.level as usize][(c.iy * side + c.ix) as usize];
+            let slot = &mut self.counts[c.level as usize][(c.iy * side + c.ix) as usize];
             *slot = slot.checked_add_signed(delta).expect("count underflow");
             if c.level == 0 {
                 break;
@@ -243,12 +242,33 @@ mod tests {
         let pt = Point::new(0.9, 0.1);
         let leaf = p.leaf_cell_of(pt);
         assert_eq!(leaf.level, 3);
-        assert_eq!(leaf, PyramidCell { level: 3, ix: 7, iy: 0 });
+        assert_eq!(
+            leaf,
+            PyramidCell {
+                level: 3,
+                ix: 7,
+                iy: 0
+            }
+        );
         let l2 = p.cell_of(2, pt);
-        assert_eq!(l2, PyramidCell { level: 2, ix: 3, iy: 0 });
+        assert_eq!(
+            l2,
+            PyramidCell {
+                level: 2,
+                ix: 3,
+                iy: 0
+            }
+        );
         assert_eq!(leaf.parent(), l2);
         let root = p.cell_of(0, pt);
-        assert_eq!(root, PyramidCell { level: 0, ix: 0, iy: 0 });
+        assert_eq!(
+            root,
+            PyramidCell {
+                level: 0,
+                ix: 0,
+                iy: 0
+            }
+        );
         assert_eq!(root.parent(), root);
         // Every cell's rect contains the point and nests in its parent's.
         assert!(p.cell_rect(leaf).contains_point(pt));
@@ -266,7 +286,14 @@ mod tests {
             assert_eq!(p.count(c), 1, "level {level}");
         }
         // A far-away cell stays zero.
-        assert_eq!(p.count(PyramidCell { level: 3, ix: 7, iy: 7 }), 0);
+        assert_eq!(
+            p.count(PyramidCell {
+                level: 3,
+                ix: 7,
+                iy: 7
+            }),
+            0
+        );
     }
 
     #[test]
@@ -280,7 +307,14 @@ mod tests {
         assert_eq!(p.len(), 1);
         assert_eq!(p.count(p.leaf_cell_of(a)), 0);
         assert_eq!(p.count(p.leaf_cell_of(b)), 1);
-        assert_eq!(p.count(PyramidCell { level: 0, ix: 0, iy: 0 }), 1);
+        assert_eq!(
+            p.count(PyramidCell {
+                level: 0,
+                ix: 0,
+                iy: 0
+            }),
+            1
+        );
     }
 
     #[test]
@@ -290,7 +324,14 @@ mod tests {
         p.insert(2, Point::new(0.21, 0.21));
         assert_eq!(p.remove(1), Some(Point::new(0.2, 0.2)));
         assert_eq!(p.len(), 1);
-        assert_eq!(p.count(PyramidCell { level: 0, ix: 0, iy: 0 }), 1);
+        assert_eq!(
+            p.count(PyramidCell {
+                level: 0,
+                ix: 0,
+                iy: 0
+            }),
+            1
+        );
         assert_eq!(p.remove(1), None);
     }
 
@@ -301,7 +342,14 @@ mod tests {
             let t = i as f64 / 100.0;
             p.insert(i, Point::new(t, (t * 7.0) % 1.0));
         }
-        assert_eq!(p.count(PyramidCell { level: 0, ix: 0, iy: 0 }), 100);
+        assert_eq!(
+            p.count(PyramidCell {
+                level: 0,
+                ix: 0,
+                iy: 0
+            }),
+            100
+        );
         assert_eq!(p.len(), 100);
         // Level sums are conserved at every level.
         for level in 0..=4u8 {

@@ -160,8 +160,7 @@ impl RTree {
                 _ => break,
             }
         }
-        let has_entries =
-            root.len() > 0 || !orphans.is_empty() || !orphan_nodes.is_empty();
+        let has_entries = root.len() > 0 || !orphans.is_empty() || !orphan_nodes.is_empty();
         self.root = if has_entries { Some(root) } else { None };
         if self.root.is_none() {
             return true;
@@ -264,7 +263,9 @@ impl RTree {
         }
         impl Ord for HeapItem<'_> {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                self.dist.total_cmp(&other.dist).then(self.seq.cmp(&other.seq))
+                self.dist
+                    .total_cmp(&other.dist)
+                    .then(self.seq.cmp(&other.seq))
             }
         }
         let mut seq = 0u64;
@@ -335,9 +336,7 @@ impl RTree {
         fn rec(node: &Node) -> usize {
             match node {
                 Node::Leaf(_) => 1,
-                Node::Internal(children) => {
-                    1 + children.first().map_or(0, |(_, c)| rec(c))
-                }
+                Node::Internal(children) => 1 + children.first().map_or(0, |(_, c)| rec(c)),
             }
         }
         self.root.as_ref().map_or(0, rec)
@@ -422,9 +421,7 @@ fn choose_subtree(children: &[(Rect, Node)], rect: &Rect) -> usize {
     for (i, (r, _)) in children.iter().enumerate() {
         let area = r.area();
         let enlargement = r.union(rect).area() - area;
-        if enlargement < best_enlargement
-            || (enlargement == best_enlargement && area < best_area)
-        {
+        if enlargement < best_enlargement || (enlargement == best_enlargement && area < best_area) {
             best = i;
             best_enlargement = enlargement;
             best_area = area;
@@ -458,8 +455,9 @@ fn quadratic_split<T>(mut entries: Vec<(Rect, T)>) -> SplitPair<T> {
     let (mut s1, mut s2, mut worst) = (0usize, 1usize, f64::NEG_INFINITY);
     for i in 0..entries.len() {
         for j in (i + 1)..entries.len() {
-            let waste =
-                entries[i].0.union(&entries[j].0).area() - entries[i].0.area() - entries[j].0.area();
+            let waste = entries[i].0.union(&entries[j].0).area()
+                - entries[i].0.area()
+                - entries[j].0.area();
             if waste > worst {
                 worst = waste;
                 s1 = i;
@@ -595,8 +593,7 @@ fn str_pack_internal(mut nodes: Vec<(Rect, Node)>) -> Node {
             strip.sort_by(|a, b| a.0.center().y.total_cmp(&b.0.center().y));
             let mut strip_iter = strip.into_iter().peekable();
             while strip_iter.peek().is_some() {
-                let group: Vec<(Rect, Node)> =
-                    strip_iter.by_ref().take(MAX_ENTRIES).collect();
+                let group: Vec<(Rect, Node)> = strip_iter.by_ref().take(MAX_ENTRIES).collect();
                 let mbr = mbr_of_nodes(&group);
                 parents.push((mbr, Node::Internal(group)));
             }
@@ -633,7 +630,9 @@ mod tests {
         assert_eq!(t.height(), 0);
         assert!(t.bounds().is_none());
         assert!(t.nearest(Point::ORIGIN).is_none());
-        assert!(t.search_rect(&Rect::new_unchecked(0.0, 0.0, 1.0, 1.0)).is_empty());
+        assert!(t
+            .search_rect(&Rect::new_unchecked(0.0, 0.0, 1.0, 1.0))
+            .is_empty());
     }
 
     #[test]
@@ -696,10 +695,7 @@ mod tests {
             let mut brute = pts.clone();
             brute.sort_by(|a, b| q.dist_sq(a.0).total_cmp(&q.dist_sq(b.0)));
             for (i, nb) in got.iter().enumerate() {
-                assert!(
-                    approx_eq(nb.dist, q.dist(brute[i].0)),
-                    "k={k} rank {i}"
-                );
+                assert!(approx_eq(nb.dist, q.dist(brute[i].0)), "k={k} rank {i}");
             }
             // Distances non-decreasing.
             for w in got.windows(2) {
@@ -779,14 +775,19 @@ mod tests {
         assert_eq!(hits.len(), 2);
         let nb = t.nearest(Point::new(2.0, 2.0)).unwrap();
         assert_eq!(nb.id, 2);
-        assert!(approx_eq(nb.dist, Point::new(2.0, 2.0).dist(Point::new(1.0, 1.0))));
+        assert!(approx_eq(
+            nb.dist,
+            Point::new(2.0, 2.0).dist(Point::new(1.0, 1.0))
+        ));
     }
 
     #[test]
     fn bulk_load_large_has_reasonable_height() {
         let pts = random_points(10_000, 6);
-        let entries: Vec<(Rect, ObjectId)> =
-            pts.iter().map(|(p, id)| (Rect::from_point(*p), *id)).collect();
+        let entries: Vec<(Rect, ObjectId)> = pts
+            .iter()
+            .map(|(p, id)| (Rect::from_point(*p), *id))
+            .collect();
         let t = RTree::bulk_load(entries);
         assert_eq!(t.len(), 10_000);
         // ceil(log_16(10000/16)) + 1 = 4-ish; quadratic growth would blow this.

@@ -40,9 +40,7 @@ impl SpatialDistribution {
     pub fn three_cities(world: &Rect) -> SpatialDistribution {
         let w = world.width();
         let h = world.height();
-        let at = |fx: f64, fy: f64| {
-            Point::new(world.min_x() + fx * w, world.min_y() + fy * h)
-        };
+        let at = |fx: f64, fy: f64| Point::new(world.min_x() + fx * w, world.min_y() + fy * h);
         SpatialDistribution::GaussianClusters {
             centers: vec![at(0.25, 0.25), at(0.7, 0.6), at(0.4, 0.85)],
             sigma: 0.05 * w.min(h),

@@ -111,14 +111,7 @@ mod tests {
 
     #[test]
     fn generate_places_everyone_in_world() {
-        let p = Population::generate(
-            world(),
-            100,
-            &SpatialDistribution::Uniform,
-            0.01,
-            0.05,
-            42,
-        );
+        let p = Population::generate(world(), 100, &SpatialDistribution::Uniform, 0.01, 0.05, 42);
         assert_eq!(p.len(), 100);
         assert!(!p.is_empty());
         assert!(p.positions().iter().all(|pt| world().contains_point(*pt)));
@@ -139,8 +132,7 @@ mod tests {
 
     #[test]
     fn step_all_moves_users_within_speed_bound() {
-        let mut p =
-            Population::generate(world(), 30, &SpatialDistribution::Uniform, 0.02, 0.04, 3);
+        let mut p = Population::generate(world(), 30, &SpatialDistribution::Uniform, 0.02, 0.04, 3);
         let before = p.positions();
         let updates = p.step_all(1.0);
         assert_eq!(updates.len(), 30);

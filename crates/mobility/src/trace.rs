@@ -51,8 +51,14 @@ impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TraceError::BadMagic => write!(f, "not a LBSP trace (bad magic)"),
-            TraceError::Truncated { expected, available } => {
-                write!(f, "trace truncated: {expected} records declared, {available} bytes left")
+            TraceError::Truncated {
+                expected,
+                available,
+            } => {
+                write!(
+                    f,
+                    "trace truncated: {expected} records declared, {available} bytes left"
+                )
             }
             TraceError::CorruptRecord(i) => write!(f, "corrupt record {i}"),
         }

@@ -88,7 +88,11 @@ impl RandomWaypoint {
             let to_target = self.pos.dist(self.target);
             let travel = self.speed * remaining;
             if travel < to_target || to_target == 0.0 && travel == 0.0 {
-                let t = if to_target > 0.0 { travel / to_target } else { 1.0 };
+                let t = if to_target > 0.0 {
+                    travel / to_target
+                } else {
+                    1.0
+                };
                 self.pos = self.pos.lerp(self.target, t);
                 remaining = 0.0;
             } else {

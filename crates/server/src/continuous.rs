@@ -337,10 +337,7 @@ mod tests {
         let snapshot = PublicCountQuery::new(area).evaluate(&store);
         let live = cont.pdf(q).unwrap();
         for k in 0..=5 {
-            assert!(
-                (snapshot.pdf.pmf(k) - live.pmf(k)).abs() < 1e-9,
-                "k={k}"
-            );
+            assert!((snapshot.pdf.pmf(k) - live.pmf(k)).abs() < 1e-9, "k={k}");
         }
     }
 
@@ -383,8 +380,7 @@ mod tests {
         let from = Point::new(0.0, 0.0);
         let near = rect(0.1, 0.1, 0.2, 0.2);
         let far = rect(0.8, 0.8, 0.9, 0.9);
-        let mut monitor =
-            ContinuousNnMonitor::new(from, vec![(1, near), (2, far)]);
+        let mut monitor = ContinuousNnMonitor::new(from, vec![(1, near), (2, far)]);
         assert_eq!(monitor.candidates(), vec![1], "far record pruned");
         // The near record leaves: the far one becomes the answer.
         monitor.on_update(1, None);

@@ -32,7 +32,9 @@ impl PoissonBinomial {
     /// here is a logic error worth failing loudly on.
     pub fn new(probs: &[f64]) -> PoissonBinomial {
         assert!(
-            probs.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)),
+            probs
+                .iter()
+                .all(|p| p.is_finite() && (0.0..=1.0).contains(p)),
             "probabilities must lie in [0, 1]"
         );
         // dp[j] = P(j successes among the trials seen so far).
@@ -42,7 +44,11 @@ impl PoissonBinomial {
             pmf.push(0.0);
             // Traverse backwards so each trial is counted once.
             for j in (0..pmf.len()).rev() {
-                let stay = if j < pmf.len() - 1 { pmf[j] * (1.0 - p) } else { 0.0 };
+                let stay = if j < pmf.len() - 1 {
+                    pmf[j] * (1.0 - p)
+                } else {
+                    0.0
+                };
                 let step = if j > 0 { pmf[j - 1] * p } else { 0.0 };
                 pmf[j] = stay + step;
             }
@@ -68,11 +74,7 @@ impl PoissonBinomial {
     /// `E[X] = Σ p_i` (computed from the PMF; equals the probability sum
     /// up to float error).
     pub fn mean(&self) -> f64 {
-        self.pmf
-            .iter()
-            .enumerate()
-            .map(|(k, p)| k as f64 * p)
-            .sum()
+        self.pmf.iter().enumerate().map(|(k, p)| k as f64 * p).sum()
     }
 
     /// `P(X >= k)`.

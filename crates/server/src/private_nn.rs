@@ -63,10 +63,7 @@ pub fn private_nn_candidates(store: &PublicStore, cloak: &Rect) -> Vec<PublicObj
     pool.retain(|o| min_dist_point_rect(o.pos, cloak) <= bound + TIE_EPS);
 
     // --- Stage 2: exact refinement ------------------------------------
-    let mut keep: Vec<bool> = pool
-        .iter()
-        .map(|o| cloak.contains_point(o.pos))
-        .collect();
+    let mut keep: Vec<bool> = pool.iter().map(|o| cloak.contains_point(o.pos)).collect();
     let corners = cloak.corners();
     for i in 0..4 {
         mark_edge_winners(&pool, corners[i], corners[(i + 1) % 4], &mut keep);
@@ -91,7 +88,10 @@ fn mark_edge_winners(pool: &[PublicObject], a: Point, b: Point, keep: &mut [bool
         .iter()
         .map(|o| {
             let ao = a - o.pos;
-            (2.0 * (dir.x * ao.x + dir.y * ao.y), ao.x * ao.x + ao.y * ao.y)
+            (
+                2.0 * (dir.x * ao.x + dir.y * ao.y),
+                ao.x * ao.x + ao.y * ao.y,
+            )
         })
         .collect();
     for (i, &(beta_i, gamma_i)) in coeffs.iter().enumerate() {
@@ -308,13 +308,7 @@ mod tests {
         // Dense sampling: each candidate should actually be the NN of
         // some sampled point (statistically; tiny winning slivers may be
         // missed, so use a generous sample and a modest configuration).
-        let store = store_from(&[
-            (0.2, 0.5),
-            (0.8, 0.5),
-            (0.5, 0.2),
-            (0.5, 0.8),
-            (0.5, 0.5),
-        ]);
+        let store = store_from(&[(0.2, 0.5), (0.8, 0.5), (0.5, 0.2), (0.5, 0.8), (0.5, 0.5)]);
         let cloak = Rect::new_unchecked(0.3, 0.3, 0.7, 0.7);
         let cands = private_nn_candidates(&store, &cloak);
         let mut winners = std::collections::HashSet::new();

@@ -12,9 +12,7 @@
 //! the same uniform-position model, now applied to *both* positions.
 
 use crate::{PrivateStore, PseudonymId};
-use lbsp_geom::{
-    max_dist_rect_rect, min_dist_rect_rect, uniform_point_in_rect, Rect,
-};
+use lbsp_geom::{max_dist_rect_rect, min_dist_rect_rect, uniform_point_in_rect, Rect};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -117,7 +115,9 @@ impl PrivatePrivateNnQuery {
     pub fn evaluate(&self, store: &PrivateStore) -> PrivatePrivateNnAnswer {
         let candidates = self.candidate_records(store);
         if candidates.is_empty() {
-            return PrivatePrivateNnAnswer { candidates: Vec::new() };
+            return PrivatePrivateNnAnswer {
+                candidates: Vec::new(),
+            };
         }
         let mut wins = vec![0u32; candidates.len()];
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -189,9 +189,7 @@ pub fn private_private_range_count(
         .count();
     let maybe: Vec<&Rect> = records
         .iter()
-        .filter(|r| {
-            min_dist_rect_rect(from, r) <= radius && max_dist_rect_rect(from, r) > radius
-        })
+        .filter(|r| min_dist_rect_rect(from, r) <= radius && max_dist_rect_rect(from, r) > radius)
         .collect();
     let possible = certain + maybe.len();
     // Monte-Carlo only over the uncertain band.
@@ -259,12 +257,8 @@ mod tests {
 
     #[test]
     fn symmetric_friends_split_probability() {
-        let store = store_with(&[
-            (1, rect(0.1, 0.4, 0.3, 0.6)),
-            (2, rect(0.7, 0.4, 0.9, 0.6)),
-        ]);
-        let q = PrivatePrivateNnQuery::new(rect(0.4, 0.4, 0.6, 0.6), 0)
-            .with_samples(40_000);
+        let store = store_with(&[(1, rect(0.1, 0.4, 0.3, 0.6)), (2, rect(0.7, 0.4, 0.9, 0.6))]);
+        let q = PrivatePrivateNnQuery::new(rect(0.4, 0.4, 0.6, 0.6), 0).with_samples(40_000);
         let ans = q.evaluate(&store);
         assert_eq!(ans.candidates.len(), 2);
         for c in &ans.candidates {
@@ -307,7 +301,11 @@ mod tests {
         let ans = private_private_range_count(&store, &from, 0, 0.5, 4000, 1);
         assert_eq!(ans.certain, 1);
         assert_eq!(ans.possible, 2);
-        assert!(ans.expected >= 1.0 && ans.expected <= 2.0, "{}", ans.expected);
+        assert!(
+            ans.expected >= 1.0 && ans.expected <= 2.0,
+            "{}",
+            ans.expected
+        );
     }
 
     #[test]
@@ -327,8 +325,7 @@ mod tests {
     #[test]
     fn count_excludes_querier_and_clamps_radius() {
         let store = store_with(&[(7, rect(0.4, 0.4, 0.6, 0.6))]);
-        let ans =
-            private_private_range_count(&store, &rect(0.4, 0.4, 0.6, 0.6), 7, -1.0, 100, 1);
+        let ans = private_private_range_count(&store, &rect(0.4, 0.4, 0.6, 0.6), 7, -1.0, 100, 1);
         assert_eq!(ans.possible, 0);
         assert_eq!(ans.expected, 0.0);
     }

@@ -49,7 +49,11 @@ pub fn private_range_candidates(
 /// The client-side refinement step: the mobile user filters the
 /// candidate list against her exact position ("internally, the mobile
 /// user will go through the candidate list to find the actual answer").
-pub fn refine_range(candidates: &[PublicObject], true_pos: Point, radius: f64) -> Vec<PublicObject> {
+pub fn refine_range(
+    candidates: &[PublicObject],
+    true_pos: Point,
+    radius: f64,
+) -> Vec<PublicObject> {
     candidates
         .iter()
         .filter(|o| o.pos.dist(true_pos) <= radius)
@@ -151,21 +155,12 @@ mod tests {
     #[test]
     fn candidate_count_grows_with_cloak_area_and_radius() {
         let store = store_grid();
-        let small = private_range_candidates(
-            &store,
-            &Rect::new_unchecked(0.45, 0.45, 0.55, 0.55),
-            0.1,
-        );
-        let bigger_cloak = private_range_candidates(
-            &store,
-            &Rect::new_unchecked(0.3, 0.3, 0.7, 0.7),
-            0.1,
-        );
-        let bigger_radius = private_range_candidates(
-            &store,
-            &Rect::new_unchecked(0.45, 0.45, 0.55, 0.55),
-            0.25,
-        );
+        let small =
+            private_range_candidates(&store, &Rect::new_unchecked(0.45, 0.45, 0.55, 0.55), 0.1);
+        let bigger_cloak =
+            private_range_candidates(&store, &Rect::new_unchecked(0.3, 0.3, 0.7, 0.7), 0.1);
+        let bigger_radius =
+            private_range_candidates(&store, &Rect::new_unchecked(0.45, 0.45, 0.55, 0.55), 0.25);
         assert!(bigger_cloak.len() > small.len());
         assert!(bigger_radius.len() > small.len());
     }

@@ -218,8 +218,14 @@ mod tests {
         // A k=1 user (exact location) contributes 0 or 1, never a
         // fraction.
         let mut store = PrivateStore::new();
-        store.upsert(PrivateRecord::new(1, Rect::from_point(lbsp_geom::Point::new(0.5, 0.5))));
-        store.upsert(PrivateRecord::new(2, Rect::from_point(lbsp_geom::Point::new(2.0, 2.0))));
+        store.upsert(PrivateRecord::new(
+            1,
+            Rect::from_point(lbsp_geom::Point::new(0.5, 0.5)),
+        ));
+        store.upsert(PrivateRecord::new(
+            2,
+            Rect::from_point(lbsp_geom::Point::new(2.0, 2.0)),
+        ));
         let ans = PublicCountQuery::new(rect(0.0, 0.0, 1.0, 1.0)).evaluate(&store);
         assert_eq!(ans.expected, 1.0);
         assert_eq!((ans.certain, ans.possible), (1, 1));
@@ -267,13 +273,23 @@ mod tests {
         let mut loose = PrivateStore::new();
         for i in 0..4u64 {
             let c = lbsp_geom::Point::new(0.1 + 0.1 * i as f64, 0.25);
-            tight.upsert(PrivateRecord::new(i, Rect::centered_square(c, 0.01).unwrap()));
-            loose.upsert(PrivateRecord::new(i, Rect::centered_square(c, 0.4).unwrap()));
+            tight.upsert(PrivateRecord::new(
+                i,
+                Rect::centered_square(c, 0.01).unwrap(),
+            ));
+            loose.upsert(PrivateRecord::new(
+                i,
+                Rect::centered_square(c, 0.4).unwrap(),
+            ));
         }
         let t = query.evaluate(&tight);
         let l = query.evaluate(&loose);
         assert!((t.expected - 4.0).abs() < 1e-9);
-        assert!(l.expected < 3.0, "loose cloaks leak mass out: {}", l.expected);
+        assert!(
+            l.expected < 3.0,
+            "loose cloaks leak mass out: {}",
+            l.expected
+        );
         assert_eq!(t.certain, 4);
         assert_eq!(l.certain, 0);
     }

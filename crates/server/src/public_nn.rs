@@ -19,9 +19,7 @@
 //! one wins the round.
 
 use crate::{PrivateStore, PseudonymId};
-use lbsp_geom::{
-    max_dist_point_rect, min_dist_point_rect, uniform_point_in_rect, Point, Rect,
-};
+use lbsp_geom::{max_dist_point_rect, min_dist_point_rect, uniform_point_in_rect, Point, Rect};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -118,7 +116,9 @@ impl PublicNnQuery {
     pub fn evaluate(&self, store: &PrivateStore) -> PublicNnAnswer {
         let candidates = self.candidate_records(store);
         if candidates.is_empty() {
-            return PublicNnAnswer { candidates: Vec::new() };
+            return PublicNnAnswer {
+                candidates: Vec::new(),
+            };
         }
         if candidates.len() == 1 {
             let (pseudonym, region) = candidates[0];

@@ -81,7 +81,8 @@ impl Server {
     pub fn ingest(&mut self, pseudonym: PseudonymId, region: Rect) {
         self.stats.updates += 1;
         let old = self.private.upsert(PrivateRecord::new(pseudonym, region));
-        self.continuous.on_update(pseudonym, old.as_ref(), Some(&region));
+        self.continuous
+            .on_update(pseudonym, old.as_ref(), Some(&region));
     }
 
     /// Removes a pseudonym (user went passive).
@@ -143,7 +144,14 @@ impl Server {
         radius: f64,
     ) -> PrivatePrivateCountAnswer {
         self.stats.private_private += 1;
-        private_private_range_count(&self.private, cloak, querier, radius, 2048, querier ^ 0xC0DE)
+        private_private_range_count(
+            &self.private,
+            cloak,
+            querier,
+            radius,
+            2048,
+            querier ^ 0xC0DE,
+        )
     }
 
     /// Registers a standing count query seeded from the current records.
@@ -164,13 +172,7 @@ mod tests {
 
     fn pois() -> Vec<PublicObject> {
         (0..50)
-            .map(|i| {
-                PublicObject::new(
-                    i,
-                    Point::new(0.1 + 0.016 * i as f64, 0.5),
-                    (i % 3) as u32,
-                )
-            })
+            .map(|i| PublicObject::new(i, Point::new(0.1 + 0.016 * i as f64, 0.5), (i % 3) as u32))
             .collect()
     }
 

@@ -52,7 +52,10 @@ fn main() {
         );
     }
     if nn.candidates.len() > 5 {
-        println!("  ... and {} more with smaller probabilities", nn.candidates.len() - 5);
+        println!(
+            "  ... and {} more with smaller probabilities",
+            nn.candidates.len() - 5
+        );
     }
 
     println!("\nAlice asks: how many users are within 0.1 of me?\n");

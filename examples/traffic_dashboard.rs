@@ -75,7 +75,9 @@ fn main() {
         );
     }
     match nn.most_probable() {
-        Some(p) => println!("  -> e-coupon goes to pseudonym {p} (identity unknown to the station)"),
+        Some(p) => {
+            println!("  -> e-coupon goes to pseudonym {p} (identity unknown to the station)")
+        }
         None => println!("  -> nobody around"),
     }
 }

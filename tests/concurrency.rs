@@ -1,0 +1,252 @@
+//! Deterministic concurrency tests for the sharded engine.
+//!
+//! The contract under test: the sharded, multi-worker engine is an
+//! *implementation detail* — every byte that crosses the anonymizer →
+//! server trust boundary is identical to what the single-threaded
+//! pipeline emits, for every worker count and every replayed schedule.
+//! Cloaking consumes only integer cell counts, summing per-shard counts
+//! is order-independent, and per-shard query results merge in canonical
+//! id order, so equivalence is exact, not approximate.
+
+use lbsp_anonymizer::{CloakRequirement, GridCloak, LocationAnonymizer, PrivacyProfile};
+use lbsp_core::engine::{EngineConfig, ShardedEngine};
+use lbsp_core::wire;
+use lbsp_geom::{Point, Rect, SimTime};
+use lbsp_server::{private_range_candidates, PublicObject, PublicStore, Server};
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+fn world() -> Rect {
+    Rect::new_unchecked(0.0, 0.0, 1.0, 1.0)
+}
+
+/// A seeded random population with mixed privacy requirements.
+fn random_updates(seed: u64, n: u64) -> Vec<(u64, Point, SimTime)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let p = Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
+            (i, p, SimTime::from_secs(rng.random_range(0.0..3600.0)))
+        })
+        .collect()
+}
+
+fn profile_for(i: u64) -> PrivacyProfile {
+    // Cycle through k levels and an occasional area floor.
+    let k = [2u32, 5, 10, 25][(i % 4) as usize];
+    let a_min = if i.is_multiple_of(5) { 0.01 } else { 0.0 };
+    PrivacyProfile::uniform(CloakRequirement {
+        k,
+        a_min,
+        a_max: f64::INFINITY,
+    })
+    .unwrap()
+}
+
+fn sequential(refine: bool, n: u64) -> LocationAnonymizer<GridCloak> {
+    let cfg = EngineConfig::new(world());
+    let mut a = LocationAnonymizer::new(
+        GridCloak::new(world(), cfg.grid_side).with_refinement(refine),
+        cfg.secret,
+    );
+    for i in 0..n {
+        a.register(i, profile_for(i));
+    }
+    a
+}
+
+fn sharded(refine: bool, threads: usize, n: u64) -> ShardedEngine {
+    let mut cfg = EngineConfig::new(world());
+    cfg.refine = refine;
+    let mut e = ShardedEngine::new(cfg, threads);
+    for i in 0..n {
+        e.register(i, profile_for(i));
+    }
+    e
+}
+
+/// Sequential anonymizer and 4-worker sharded engine agree on every
+/// cloak — region, achieved k, flags, pseudonym — across seeds, with
+/// and without multi-level refinement.
+#[test]
+fn sharded_equals_sequential_across_seeds() {
+    for refine in [false, true] {
+        for seed in [1u64, 7, 42] {
+            let updates = random_updates(seed, 200);
+            let mut seq = sequential(refine, 200);
+            let mut eng = sharded(refine, 4, 200);
+            let a = seq.handle_updates_batch(&updates);
+            let b = eng.process_updates(&updates);
+            assert_eq!(a.len(), b.len());
+            for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                let x = x.as_ref().unwrap();
+                let y = y.as_ref().unwrap();
+                assert_eq!(x.pseudonym, y.pseudonym, "row {i} seed {seed}");
+                assert_eq!(x.region, y.region, "row {i} seed {seed} refine {refine}");
+            }
+        }
+    }
+}
+
+/// `--threads 1` and `--threads 4` produce bit-identical wire bytes, as
+/// do replayed schedules under many seeds.
+#[test]
+fn thread_counts_and_schedules_are_byte_identical() {
+    let updates = random_updates(99, 300);
+    let reference = sharded(true, 1, 300).process_updates_wire(&updates);
+    for threads in [2usize, 4] {
+        let got = sharded(true, threads, 300).process_updates_wire(&updates);
+        for (a, b) in reference.iter().zip(&got) {
+            assert_eq!(a.as_ref().unwrap().to_vec(), b.as_ref().unwrap().to_vec());
+        }
+    }
+    for seed in 0..16u64 {
+        let mut cfg = EngineConfig::new(world());
+        cfg.refine = true;
+        let mut replay = ShardedEngine::with_replay(cfg, seed);
+        for i in 0..300u64 {
+            replay.register(i, profile_for(i));
+        }
+        let got = replay.process_updates_wire(&updates);
+        for (a, b) in reference.iter().zip(&got) {
+            assert_eq!(
+                a.as_ref().unwrap().to_vec(),
+                b.as_ref().unwrap().to_vec(),
+                "replay seed {seed}"
+            );
+        }
+    }
+}
+
+/// Users parked exactly on shard-stripe boundaries — and cloaks that
+/// straddle several stripes — behave identically to the sequential path.
+#[test]
+fn shard_boundary_users_are_equivalent() {
+    let n = 64u64;
+    let mut seq = sequential(false, n);
+    let mut eng = sharded(false, 4, n);
+    // With 4 stripes the boundaries sit at x = 0.25, 0.5, 0.75; also
+    // test the world edges where clamping applies.
+    let xs = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let updates: Vec<(u64, Point, SimTime)> = (0..n)
+        .map(|i| {
+            let x = xs[(i % 5) as usize];
+            let y = (i as f64 / n as f64).min(0.999);
+            (i, Point::new(x, y), SimTime::ZERO)
+        })
+        .collect();
+    let a = seq.handle_updates_batch(&updates);
+    let b = eng.process_updates(&updates);
+    for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+        let (x, y) = (x.as_ref().unwrap(), y.as_ref().unwrap());
+        assert_eq!(x.region, y.region, "boundary row {i}");
+        // Sparse columns force merges across stripe boundaries; the
+        // regions must still contain the subject.
+        assert!(y.region.region.contains_point(updates[i].1));
+    }
+    // A boundary user moving along the boundary line stays single-copy.
+    eng.process_updates(&[(0, Point::new(0.5, 0.9), SimTime::from_secs(1.0))]);
+    assert_eq!(eng.population(), n as usize);
+}
+
+/// Private range queries: the sharded fan-out merged in id order equals
+/// the unsharded server's candidate set, and the wire request carries
+/// the same cloak the sequential anonymizer would produce.
+#[test]
+fn range_queries_match_unsharded_server() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let objects: Vec<PublicObject> = (0..150u64)
+        .map(|id| {
+            PublicObject::new(
+                id,
+                Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)),
+                0,
+            )
+        })
+        .collect();
+    let updates = random_updates(11, 120);
+    let mut seq = sequential(false, 120);
+    let mut server = Server::new(objects.clone());
+    let mut eng = sharded(false, 4, 120);
+    eng.load_public(objects);
+    seq.handle_updates_batch(&updates);
+    eng.process_updates(&updates);
+    for user in [0u64, 3, 57, 119] {
+        for radius in [0.05, 0.2] {
+            let ans = eng.range_query(user, SimTime::ZERO, radius).unwrap();
+            let q = seq.cloak_query(user, SimTime::ZERO).unwrap();
+            assert_eq!(q.region, ans.region, "user {user}");
+            let mut expect = server.private_range(&q.region.region, radius);
+            expect.sort_unstable_by_key(|o| o.id);
+            assert_eq!(ans.candidates, expect, "user {user} radius {radius}");
+            // Round-trip the response hop.
+            let decoded = wire::decode_candidates(&ans.response).unwrap();
+            let expect_pairs: Vec<(u64, Point)> = expect.iter().map(|o| (o.id, o.pos)).collect();
+            assert_eq!(decoded, expect_pairs);
+        }
+    }
+}
+
+/// 10k users through a 4-worker engine: every cloak satisfies its
+/// requirement, the private store tracks one record per user, and a
+/// second full-population batch (all users moving) stays consistent.
+#[test]
+fn ten_thousand_user_smoke() {
+    let n = 10_000u64;
+    let mut eng = sharded(false, 4, n);
+    let updates = random_updates(1234, n);
+    let out = eng.process_updates(&updates);
+    assert_eq!(out.len(), n as usize);
+    for (i, res) in out.iter().enumerate() {
+        let u = res.as_ref().unwrap();
+        assert!(u.region.k_satisfied, "row {i}");
+        assert!(u.region.region.contains_point(updates[i].1));
+    }
+    assert_eq!(eng.population(), n as usize);
+    assert_eq!(eng.private_len(), n as usize);
+    // Everybody moves: population and record counts must not drift.
+    let mut moved = random_updates(5678, n);
+    for (i, u) in moved.iter_mut().enumerate() {
+        u.2 = SimTime::from_secs(60.0 + i as f64);
+    }
+    let out = eng.process_updates(&moved);
+    assert!(out.iter().all(|r| r.is_ok()));
+    assert_eq!(eng.population(), n as usize);
+    assert_eq!(eng.private_len(), n as usize);
+    assert_eq!(eng.private_intersecting(&world()), n as usize);
+}
+
+/// The per-object range predicate is shard-decomposable: the union of
+/// per-shard candidate lists over a partition of the objects equals the
+/// candidates over the whole set — checked directly on the primitive.
+#[test]
+fn candidate_predicate_is_partition_invariant() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let objects: Vec<PublicObject> = (0..80u64)
+        .map(|id| {
+            PublicObject::new(
+                id,
+                Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)),
+                0,
+            )
+        })
+        .collect();
+    let whole = PublicStore::bulk_load(objects.clone());
+    // Partition into 3 arbitrary stores.
+    let mut parts = vec![Vec::new(), Vec::new(), Vec::new()];
+    for o in &objects {
+        parts[(o.id % 3) as usize].push(*o);
+    }
+    let stores: Vec<PublicStore> = parts.into_iter().map(PublicStore::bulk_load).collect();
+    let cloak = Rect::new_unchecked(0.3, 0.3, 0.6, 0.6);
+    for radius in [0.0, 0.1, 0.4] {
+        let mut merged: Vec<PublicObject> = stores
+            .iter()
+            .flat_map(|s| private_range_candidates(s, &cloak, radius))
+            .collect();
+        merged.sort_unstable_by_key(|o| o.id);
+        let mut expect = private_range_candidates(&whole, &cloak, radius);
+        expect.sort_unstable_by_key(|o| o.id);
+        assert_eq!(merged, expect, "radius {radius}");
+    }
+}

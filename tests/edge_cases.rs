@@ -7,8 +7,8 @@ use privacy_lbs::anonymizer::{
 };
 use privacy_lbs::geom::{Point, Rect, SimTime};
 use privacy_lbs::server::{
-    private_nn_candidates, private_range_candidates, PrivateRecord, PrivateStore,
-    PublicCountQuery, PublicNnQuery, PublicObject, PublicStore,
+    private_nn_candidates, private_range_candidates, PrivateRecord, PrivateStore, PublicCountQuery,
+    PublicNnQuery, PublicObject, PublicStore,
 };
 use privacy_lbs::system::{wire, MobileUser, PrivacyAwareSystem};
 
@@ -58,7 +58,11 @@ fn fully_coincident_population() {
         let with_area = algo
             .cloak(
                 0,
-                &CloakRequirement { k: 50, a_min: 0.01, a_max: f64::INFINITY },
+                &CloakRequirement {
+                    k: 50,
+                    a_min: 0.01,
+                    a_max: f64::INFINITY,
+                },
             )
             .unwrap();
         assert!(with_area.fully_satisfied(), "{}", algo.name());
@@ -103,7 +107,11 @@ fn contradictory_profile_is_best_effort_not_error() {
             let y = 0.05 + 0.09 * (i / 10) as f64;
             algo.upsert(i, Point::new(x, y));
         }
-        let req = CloakRequirement { k: 80, a_min: 0.0, a_max: 1e-6 };
+        let req = CloakRequirement {
+            k: 80,
+            a_min: 0.0,
+            a_max: 1e-6,
+        };
         let c = algo.cloak(0, &req).unwrap();
         assert!(c.k_satisfied, "{}: k has priority", algo.name());
         assert!(!c.area_satisfied, "{}: contradiction reported", algo.name());
@@ -116,7 +124,11 @@ fn contradictory_profile_is_best_effort_not_error() {
 fn zero_area_bounds_with_no_privacy() {
     let mut algo = QuadCloak::new(world(), 5);
     algo.upsert(0, Point::new(0.3, 0.3));
-    let req = CloakRequirement { k: 1, a_min: 0.0, a_max: 0.0 };
+    let req = CloakRequirement {
+        k: 1,
+        a_min: 0.0,
+        a_max: 0.0,
+    };
     let c = algo.cloak(0, &req).unwrap();
     assert!(c.fully_satisfied());
     assert_eq!(c.area(), 0.0);
@@ -128,10 +140,26 @@ fn invalid_requirements_error() {
     let mut algo = GridCloak::new(world(), 8);
     algo.upsert(0, Point::new(0.5, 0.5));
     for req in [
-        CloakRequirement { k: 0, a_min: 0.0, a_max: 1.0 },
-        CloakRequirement { k: 5, a_min: -0.1, a_max: 1.0 },
-        CloakRequirement { k: 5, a_min: 0.5, a_max: 0.1 },
-        CloakRequirement { k: 5, a_min: f64::NAN, a_max: 1.0 },
+        CloakRequirement {
+            k: 0,
+            a_min: 0.0,
+            a_max: 1.0,
+        },
+        CloakRequirement {
+            k: 5,
+            a_min: -0.1,
+            a_max: 1.0,
+        },
+        CloakRequirement {
+            k: 5,
+            a_min: 0.5,
+            a_max: 0.1,
+        },
+        CloakRequirement {
+            k: 5,
+            a_min: f64::NAN,
+            a_max: 1.0,
+        },
     ] {
         assert!(matches!(
             algo.cloak(0, &req),
@@ -166,8 +194,7 @@ fn degenerate_private_records() {
             Rect::from_point(Point::new(0.1 * i as f64, 0.5)),
         ));
     }
-    let count = PublicCountQuery::new(Rect::new_unchecked(0.0, 0.0, 0.45, 1.0))
-        .evaluate(&store);
+    let count = PublicCountQuery::new(Rect::new_unchecked(0.0, 0.0, 0.45, 1.0)).evaluate(&store);
     // Points at x = 0.0..=0.4 are inside: 5 certain.
     assert_eq!(count.certain, 5);
     assert_eq!(count.possible, 5);
@@ -203,10 +230,14 @@ fn partial_failures_are_isolated() {
     let profile = PrivacyProfile::uniform(CloakRequirement::k_only(2)).unwrap();
     sys.register_user(MobileUser::active(1, profile.clone()));
     sys.register_user(MobileUser::active(2, profile));
-    sys.process_update(1, Point::new(0.4, 0.4), SimTime::ZERO).unwrap();
-    sys.process_update(2, Point::new(0.41, 0.41), SimTime::ZERO).unwrap();
+    sys.process_update(1, Point::new(0.4, 0.4), SimTime::ZERO)
+        .unwrap();
+    sys.process_update(2, Point::new(0.41, 0.41), SimTime::ZERO)
+        .unwrap();
     // Unknown user errors...
-    assert!(sys.process_update(99, Point::ORIGIN, SimTime::ZERO).is_err());
+    assert!(sys
+        .process_update(99, Point::ORIGIN, SimTime::ZERO)
+        .is_err());
     assert!(sys.private_nn_query(99, SimTime::ZERO).is_err());
     // ...while known users keep working.
     let out = sys.private_nn_query(1, SimTime::ZERO).unwrap();

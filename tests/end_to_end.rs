@@ -34,7 +34,8 @@ fn lattice_system<A: CloakingAlgorithm>(algo: A, k: u32, n_pois: usize) -> Priva
         sys.register_user(MobileUser::active(i, profile.clone()));
         let x = 0.025 + 0.05 * (i % 20) as f64;
         let y = 0.025 + 0.05 * (i / 20) as f64;
-        sys.process_update(i, Point::new(x, y), SimTime::ZERO).unwrap();
+        sys.process_update(i, Point::new(x, y), SimTime::ZERO)
+            .unwrap();
     }
     sys
 }
@@ -47,14 +48,13 @@ fn server_never_sees_exact_locations() {
     let mut sys = lattice_system(QuadCloak::new(world(), 6), 10, 100);
     for i in 0..400u64 {
         let update = sys
-            .process_update(
-                i,
-                sys.device_position(i).unwrap(),
-                SimTime::from_secs(1.0),
-            )
+            .process_update(i, sys.device_position(i).unwrap(), SimTime::from_secs(1.0))
             .unwrap()
             .unwrap();
-        assert!(update.region.area() > 0.0, "user {i}: k=10 region is not a point");
+        assert!(
+            update.region.area() > 0.0,
+            "user {i}: k=10 region is not a point"
+        );
         assert!(update.region.achieved_k >= 10);
         // The pseudonym is not the true id.
         assert_ne!(update.pseudonym.0, i);
@@ -111,7 +111,10 @@ fn privacy_qos_tradeoff_is_monotone() {
         cands_by_k.push(cands as f64 / ids.len() as f64);
     }
     for w in area_by_k.windows(2) {
-        assert!(w[1] >= w[0] - 1e-12, "cloak area grows with k: {area_by_k:?}");
+        assert!(
+            w[1] >= w[0] - 1e-12,
+            "cloak area grows with k: {area_by_k:?}"
+        );
     }
     assert!(
         cands_by_k.last().unwrap() > cands_by_k.first().unwrap(),
@@ -158,11 +161,8 @@ fn full_day_with_paper_profile() {
         query_radius: 0.5,
         seed: 99,
     };
-    let mut engine = SimulationEngine::new(
-        QuadCloak::new(w, 7),
-        cfg,
-        PrivacyProfile::paper_example(),
-    );
+    let mut engine =
+        SimulationEngine::new(QuadCloak::new(w, 7), cfg, PrivacyProfile::paper_example());
     let reports = engine.run(12); // 24 hours
     assert_eq!(reports.len(), 12);
     let total_updates: usize = reports.iter().map(|r| r.updates).sum();
@@ -181,6 +181,8 @@ fn unregister_is_forgotten() {
     // Simulate opting out by replacing with a passive registration: the
     // anonymizer drops the user.
     sys.register_user(MobileUser::passive(3));
-    let out = sys.process_update(3, Point::new(0.5, 0.5), SimTime::ZERO).unwrap();
+    let out = sys
+        .process_update(3, Point::new(0.5, 0.5), SimTime::ZERO)
+        .unwrap();
     assert!(out.is_none(), "passive users produce no cloaked updates");
 }

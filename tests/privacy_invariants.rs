@@ -33,7 +33,8 @@ fn run_system<A: privacy_lbs::anonymizer::CloakingAlgorithm>(
     let profile = PrivacyProfile::uniform(CloakRequirement::k_only(k)).unwrap();
     for u in pop.users() {
         sys.register_user(MobileUser::active(u.id, profile.clone()));
-        sys.process_update(u.id, u.position(), SimTime::ZERO).unwrap();
+        sys.process_update(u.id, u.position(), SimTime::ZERO)
+            .unwrap();
     }
     // One movement tick so the measured cloaks come from a warm index.
     let mut cloaks = Vec::new();
@@ -54,11 +55,9 @@ fn run_system<A: privacy_lbs::anonymizer::CloakingAlgorithm>(
 #[test]
 fn system_resists_single_snapshot_attacks() {
     let (cloaks, truths) = run_system(QuadCloak::new(world(), 7), 15);
-    let center = CenterAttack::default()
-        .attack_all(cloaks.iter().zip(truths.iter().copied()));
+    let center = CenterAttack::default().attack_all(cloaks.iter().zip(truths.iter().copied()));
     assert_eq!(center.successes, 0, "no center pinpoints");
-    let boundary = BoundaryAttack::default()
-        .attack_all(cloaks.iter().zip(truths.iter().copied()));
+    let boundary = BoundaryAttack::default().attack_all(cloaks.iter().zip(truths.iter().copied()));
     assert!(
         boundary.success_rate() < 0.01,
         "boundary rate {}",
@@ -77,8 +76,7 @@ fn system_resists_single_snapshot_attacks() {
 #[test]
 fn grid_system_resists_attacks_too() {
     let (cloaks, truths) = run_system(GridCloak::new(world(), 32).with_refinement(true), 15);
-    let center = CenterAttack::default()
-        .attack_all(cloaks.iter().zip(truths.iter().copied()));
+    let center = CenterAttack::default().attack_all(cloaks.iter().zip(truths.iter().copied()));
     assert_eq!(center.successes, 0);
     let occupancy = OccupancyAttack.attack_all(&cloaks, &truths);
     assert!(occupancy <= 1.0 / 15.0 + 1e-9);
@@ -95,7 +93,8 @@ fn trace_intersection_keeps_k_anonymity_for_slow_users() {
         sys.register_user(MobileUser::active(i, profile.clone()));
         let x = 0.3 + 0.001 * (i % 100) as f64;
         let y = 0.3 + 0.001 * (i / 100) as f64;
-        sys.process_update(i, Point::new(x, y), SimTime::ZERO).unwrap();
+        sys.process_update(i, Point::new(x, y), SimTime::ZERO)
+            .unwrap();
     }
     sys.register_user(MobileUser::active(0, profile));
     let mut trace = Vec::new();
@@ -148,8 +147,7 @@ fn pseudonyms_are_stable_per_user_and_secret_dependent() {
 #[test]
 fn k1_users_are_knowingly_exact() {
     let (cloaks, truths) = run_system(QuadCloak::new(world(), 6), 1);
-    let center = CenterAttack::default()
-        .attack_all(cloaks.iter().zip(truths.iter().copied()));
+    let center = CenterAttack::default().attack_all(cloaks.iter().zip(truths.iter().copied()));
     assert_eq!(center.successes, center.trials);
     assert!(cloaks.iter().all(|c| c.area() == 0.0));
 }

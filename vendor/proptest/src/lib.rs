@@ -1,0 +1,511 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Patched in via `[patch.crates-io]` because the build environment has
+//! no registry access. Provides the subset the workspace's property
+//! tests use: the `proptest!` / `prop_compose!` / `prop_assert*` /
+//! `prop_assume!` macros, range/tuple/`any`/`vec` strategies, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Differences from the real crate, deliberately accepted:
+//! - no shrinking — a failing case reports its deterministic seed
+//!   instead of a minimized input;
+//! - case generation is seeded from the test name and case index, so
+//!   every run (and every failure) is reproducible with no
+//!   `proptest-regressions` machinery.
+
+#![warn(missing_docs)]
+
+/// Runner internals: config, PRNG, and case errors.
+pub mod test_runner {
+    /// Controls how many random cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The input was rejected by `prop_assume!`; try another.
+        Reject,
+        /// A `prop_assert*` failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// An assertion failure carrying its message.
+        pub fn fail(msg: String) -> TestCaseError {
+            TestCaseError::Fail(msg)
+        }
+
+        /// An assumption rejection.
+        pub fn reject() -> TestCaseError {
+            TestCaseError::Reject
+        }
+    }
+
+    /// Deterministic generator handed to strategies (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator.
+        pub fn new(seed: u64) -> TestRng {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform `u64` below `bound` (must be non-zero).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+
+    fn seed_for(name: &str, case: u64) -> u64 {
+        // FNV-1a over the test name, mixed with the case index, so each
+        // (property, case) pair replays the same input forever.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Runs `property` for `config.cases` accepted cases, panicking on
+    /// the first failure with enough context to replay it.
+    pub fn run<F>(config: &ProptestConfig, name: &str, mut property: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut accepted: u64 = 0;
+        let mut rejected: u64 = 0;
+        let max_rejects = (config.cases as u64).saturating_mul(16).max(1024);
+        while accepted < config.cases as u64 {
+            let seed = seed_for(name, accepted + rejected);
+            let mut rng = TestRng::new(seed);
+            match property(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= max_rejects,
+                        "property {name}: too many prop_assume! rejections \
+                         ({rejected} rejects for {accepted} accepted cases)"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("property {name} failed at case {accepted} (seed {seed:#x}): {msg}");
+                }
+            }
+        }
+    }
+}
+
+/// Strategies: deterministic generators of typed values.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value using `rng`.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Wraps a closure as a strategy (used by `prop_compose!`).
+    pub struct FnStrategy<F>(pub F);
+
+    impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    self.start
+                        .wrapping_add((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty strategy range");
+                    let span =
+                        (end as u128).wrapping_sub(start as u128).wrapping_add(1);
+                    start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (start, end) = (*self.start(), *self.end());
+            assert!(start <= end, "empty strategy range");
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+            start + unit * (end - start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty strategy range");
+            self.start + rng.unit_f64() as f32 * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+ ))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// Types with a canonical "arbitrary value" strategy ([`any`]).
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value of this type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Arbitrary bit patterns: exercises NaN/inf paths like the
+            // real crate's full f64 domain.
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    /// Strategy for [`Arbitrary`] types, returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy producing any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Combinator namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use std::ops::Range;
+
+        /// Strategy producing `Vec`s of `elem` with a length drawn from
+        /// `size`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = self.size.clone().generate(rng);
+                (0..len).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+
+        /// Vec of values from `elem`, length uniform in `size`.
+        pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, size }
+        }
+    }
+}
+
+/// One-stop imports for property tests (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, proptest,
+    };
+}
+
+/// Defines property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of `#[test] fn` items
+/// whose parameters are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (@with_config ($cfg:expr)
+     $(
+         #[test]
+         fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config = $cfg;
+                $crate::test_runner::run(&config, stringify!($name), |rng| {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), rng);
+                    )+
+                    let outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    outcome
+                });
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        );
+    };
+}
+
+/// Defines a named strategy out of component strategies:
+/// `prop_compose! { fn name()(a in sa, b in sb) -> T { expr } }`.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident ()($($arg:ident in $strat:expr),+ $(,)?) -> $ret:ty
+        $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name() -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy(
+                move |rng: &mut $crate::test_runner::TestRng| -> $ret {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), rng);
+                    )+
+                    $body
+                },
+            )
+        }
+    };
+}
+
+/// `assert!` that reports through the property runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` that reports through the property runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left != right, $($fmt)*);
+    }};
+}
+
+/// Rejects the current case without failing the property.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn pair()(a in 0u32..10, b in 10u32..20) -> (u32, u32) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_composition(p in pair(), x in 0.0f64..1.0) {
+            prop_assert!(p.0 < 10);
+            prop_assert!((10..20).contains(&p.1));
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn vectors_and_tuples(
+            v in prop::collection::vec((any::<u8>(), 0i32..5), 2..9),
+        ) {
+            prop_assert!((2..9).contains(&v.len()));
+            for (_, i) in &v {
+                prop_assert!((0..5).contains(i));
+            }
+        }
+
+        #[test]
+        fn assumptions_reject_without_failing(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n, 1);
+        }
+    }
+
+    #[test]
+    fn same_name_and_case_replays_identically() {
+        use crate::strategy::{any, Strategy};
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::new(99);
+        let mut b = TestRng::new(99);
+        for _ in 0..50 {
+            assert_eq!(any::<u64>().generate(&mut a), any::<u64>().generate(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property always_fails failed at case 0")]
+    fn failures_panic_with_seed() {
+        let config = ProptestConfig::with_cases(8);
+        crate::test_runner::run(&config, "always_fails", |rng| {
+            let n = crate::strategy::Strategy::generate(&(0u32..10), rng);
+            prop_assert!(n > 100, "n was {}", n);
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,37 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace derives `Serialize`/`Deserialize` purely as a
+//! declaration that a type is safe to ship across the user↔anonymizer
+//! boundary — no code path ever serializes (the wire layer has its own
+//! explicit fixed-width encoders in `lbsp-core::wire`). So the traits
+//! here are empty markers and the derive emits empty impls, which
+//! keeps `cargo build --offline` working with no registry access.
+
+#![warn(missing_docs)]
+
+/// Marker: the type has a stable serialized form.
+pub trait Serialize {}
+
+/// Marker: the type can be reconstructed from its serialized form.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    // The derive is exercised by every dependent crate; here just pin
+    // that the marker traits are object-safe enough to bound on.
+    fn assert_serializable<T: crate::Serialize>() {}
+    fn assert_deserializable<T: for<'de> crate::Deserialize<'de>>() {}
+
+    struct Plain;
+    impl crate::Serialize for Plain {}
+    impl<'de> crate::Deserialize<'de> for Plain {}
+
+    #[test]
+    fn bounds_work() {
+        assert_serializable::<Plain>();
+        assert_deserializable::<Plain>();
+    }
+}

@@ -1,0 +1,67 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The companion `serde` stub defines `Serialize`/`Deserialize` as
+//! empty marker traits (nothing in this workspace ever serializes —
+//! the derives only document that a type is wire-safe), so the derive
+//! macros just emit empty impls. Hand-rolled token scanning instead of
+//! `syn`/`quote` because the build environment has no registry access.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extracts the type name following `struct`/`enum`, skipping
+/// attributes and visibility. Panics (compile error) on generic types,
+/// which this workspace does not derive on.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: consume the bracketed group that follows.
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let id = id.to_string();
+                if id == "pub" {
+                    // Skip a possible (crate)/(super) restriction.
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                } else if id == "struct" || id == "enum" || id == "union" {
+                    let name = match iter.next() {
+                        Some(TokenTree::Ident(name)) => name.to_string(),
+                        other => panic!("expected type name, found {other:?}"),
+                    };
+                    if let Some(TokenTree::Punct(p)) = iter.peek() {
+                        assert!(
+                            p.as_char() != '<',
+                            "serde stub derive does not support generic type `{name}`"
+                        );
+                    }
+                    return name;
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("no struct/enum found in derive input");
+}
+
+/// Derives the `serde::Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+/// Derives the `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
