@@ -9,6 +9,12 @@ cargo build --release --offline --workspace
 echo "== tests =="
 cargo test -q --workspace --offline
 
+echo "== loopback byte-identity (network vs in-process) =="
+cargo test -q --offline --release --test net_loopback
+
+echo "== benches compile =="
+cargo bench --workspace --offline --no-run
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

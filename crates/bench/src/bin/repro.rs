@@ -6,10 +6,16 @@
 //! cargo run -p lbsp-bench --bin repro --release -- e3 e4   # a subset
 //! ```
 //!
-//! Each experiment (E1–E12) maps to one figure or section of the paper;
+//! Each experiment (E1–E13) maps to one figure or section of the paper;
 //! see DESIGN.md for the index and EXPERIMENTS.md for recorded results.
 //! `-- --threads N` runs the sharded-engine experiment (E12) at N
 //! workers.
+//!
+//! Network mode (see DESIGN.md "Network architecture"):
+//! ```text
+//! repro -- --serve 127.0.0.1:7600              # run the TCP service
+//! repro -- --connect 127.0.0.1:7600            # drive it with load
+//! ```
 
 use lbsp_anonymizer::attack::{BoundaryAttack, CenterAttack, OccupancyAttack};
 use lbsp_anonymizer::{
@@ -39,6 +45,23 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(4);
+    // `--serve ADDR` / `--connect ADDR` switch repro into network mode:
+    // one process runs the framed TCP service, another drives it with
+    // the standard closed-loop workload.
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    if let Some(addr) = flag_value("--serve") {
+        serve(&addr, threads);
+        return;
+    }
+    if let Some(addr) = flag_value("--connect") {
+        connect(&addr);
+        return;
+    }
     let run_all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |name: &str| run_all || args.iter().any(|a| a == name);
 
@@ -79,6 +102,103 @@ fn main() {
     if want("e12") || threads_flag.is_some() {
         e12_engine(threads);
     }
+    if want("e13") {
+        e13_network();
+    }
+}
+
+/// `--serve ADDR`: run the framed TCP service until killed.
+fn serve(addr: &str, workers: usize) {
+    use lbsp_bench::netload::serve_engine;
+    use lbsp_net::{NetConfig, NetServer};
+    let server = NetServer::bind(addr, serve_engine(), NetConfig::with_workers(workers))
+        .unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
+    println!(
+        "serving privacy-aware LBS on {} ({workers} workers); connect with:\n  \
+         cargo run -p lbsp-bench --bin repro --release -- --connect {}\n\
+         Ctrl-C to stop.",
+        server.local_addr(),
+        server.local_addr()
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(5));
+        let s = server.counters().snapshot();
+        println!(
+            "[stats] conns {} (refused {}, closed {})  requests {}  errors {}  slow {}  idle {}",
+            s.connections_accepted,
+            s.connections_refused,
+            s.connections_closed,
+            s.requests_served,
+            s.errors_returned,
+            s.slow_disconnects,
+            s.idle_disconnects,
+        );
+    }
+}
+
+/// `--connect ADDR`: drive a running service with the standard
+/// closed-loop workload and report throughput.
+fn connect(addr: &str) {
+    use lbsp_bench::netload::closed_loop;
+    let users = 1_000u64;
+    let rounds = 3u32;
+    println!("driving {addr}: {users} users, {rounds} update rounds (closed loop)…");
+    match closed_loop(addr, users, rounds, 7) {
+        Ok(report) => println!(
+            "done: {} requests in {:.2}s — {:.0} req/s ({} error replies)",
+            report.requests,
+            report.secs,
+            report.rate(),
+            report.errors
+        ),
+        Err(e) => {
+            eprintln!("workload failed against {addr}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// E13: the network deployment — loopback closed-loop throughput per
+/// server worker-pool size, with the byte-identity claim restated.
+fn e13_network() {
+    use lbsp_bench::netload::{closed_loop, serve_engine};
+    use lbsp_net::{NetConfig, NetServer};
+    println!("## E13 — framed TCP deployment (loopback)\n");
+    println!(
+        "One closed-loop client drives register/update/query traffic through\n\
+         NetClient -> NetServer -> ShardedEngine over loopback TCP. Claim: the\n\
+         network hop changes throughput, never bytes — responses are\n\
+         byte-identical to the in-process engine at every worker-pool size\n\
+         (asserted by tests/net_loopback.rs); this table prices the hop.\n"
+    );
+    header(&[
+        "workers",
+        "requests",
+        "req/s",
+        "errors",
+        "bytes in",
+        "bytes out",
+    ]);
+    for workers in [1usize, 2, 4] {
+        let server = NetServer::bind(
+            "127.0.0.1:0",
+            serve_engine(),
+            NetConfig::with_workers(workers),
+        )
+        .expect("bind loopback");
+        let report = closed_loop(server.local_addr(), 1_000, 2, 7).expect("loopback workload");
+        let snap = server.counters().snapshot();
+        row(&[
+            format!("{workers}"),
+            format!("{}", report.requests),
+            format!("{:.0}", report.rate()),
+            format!("{}", report.errors),
+            format!("{}", snap.bytes_in),
+            format!("{}", snap.bytes_out),
+        ]);
+        server.shutdown();
+    }
+    println!();
 }
 
 /// E12: the sharded concurrent engine — worker-count scaling plus the

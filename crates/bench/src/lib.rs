@@ -74,6 +74,92 @@ pub fn poi_store(n: usize, seed: u64) -> PublicStore {
     )
 }
 
+/// Shared workload for the network experiments (E13, `net_throughput`,
+/// `repro --serve/--connect`): one seeded closed-loop client driving
+/// registrations, exact-location updates, and private range queries
+/// through the framed TCP transport.
+pub mod netload {
+    use super::{poi_store, world};
+    use lbsp_core::engine::{EngineConfig, ShardedEngine};
+    use lbsp_geom::{Point, SimTime};
+    use lbsp_net::{NetClient, Reply};
+    use rand::rngs::StdRng;
+    use rand::{RngExt as _, SeedableRng};
+    use std::io;
+    use std::net::ToSocketAddrs;
+    use std::time::Instant;
+
+    /// The engine every network experiment serves: flagship
+    /// grid+multilevel configuration with 1,000 public POIs loaded.
+    pub fn serve_engine() -> ShardedEngine {
+        let mut cfg = EngineConfig::new(world());
+        cfg.refine = true;
+        let mut engine = ShardedEngine::new(cfg, 2);
+        let pois = poi_store(1_000, 17);
+        engine.load_public(pois.iter().copied().collect());
+        engine
+    }
+
+    /// Outcome of one closed-loop run.
+    #[derive(Debug, Clone, Copy)]
+    pub struct LoadReport {
+        /// Requests completed (each waited for its reply).
+        pub requests: u64,
+        /// Wall-clock seconds for the whole run.
+        pub secs: f64,
+        /// Error replies received (should be 0 on a healthy run).
+        pub errors: u64,
+    }
+
+    impl LoadReport {
+        /// Requests per second.
+        pub fn rate(&self) -> f64 {
+            self.requests as f64 / self.secs
+        }
+    }
+
+    /// Drives the standard closed-loop workload against a server:
+    /// registers `users` users (mixed k levels), then `rounds` full
+    /// passes of location updates with a range query every 10th user.
+    pub fn closed_loop<A: ToSocketAddrs>(
+        addr: A,
+        users: u64,
+        rounds: u32,
+        seed: u64,
+    ) -> io::Result<LoadReport> {
+        let mut client = NetClient::connect(addr)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut requests = 0u64;
+        let mut errors = 0u64;
+        let mut tally = |reply: &Reply| {
+            requests += 1;
+            if matches!(reply, Reply::Error(_)) {
+                errors += 1;
+            }
+        };
+        let start = Instant::now();
+        for i in 0..users {
+            let k = [2u32, 5, 10, 25][(i % 4) as usize];
+            tally(&client.register(i, k, 0.0, f64::INFINITY)?);
+        }
+        for round in 0..rounds {
+            for i in 0..users {
+                let p = Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
+                let t = SimTime::from_secs(f64::from(round) * 60.0 + i as f64 * 1e-3);
+                tally(&client.update(i, p, t)?);
+                if i % 10 == 0 {
+                    tally(&client.range_query(i, 0.05, t)?);
+                }
+            }
+        }
+        Ok(LoadReport {
+            requests,
+            secs: start.elapsed().as_secs_f64(),
+            errors,
+        })
+    }
+}
+
 /// Evenly spaced sample of user ids for measurement loops.
 pub fn sample_ids(n_users: usize, n_samples: usize) -> Vec<u64> {
     let step = (n_users / n_samples.max(1)).max(1);

@@ -8,6 +8,7 @@
 //! (candidate-set sizes — which the user pays for in transmission and
 //! local computation — plus processing latencies).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// A streaming recorder of scalar samples with summary statistics.
@@ -122,6 +123,86 @@ impl SystemMetrics {
     }
 }
 
+/// Shared-counter instrumentation for the network transport
+/// (`lbsp-net`): connection lifecycle, request volume, and the
+/// protective disconnect paths (oversized frames, slow consumers, idle
+/// timeouts). All fields are atomics so the acceptor, every worker, and
+/// every per-connection writer can bump them without locking.
+#[derive(Debug, Default)]
+pub struct NetCounters {
+    /// Connections accepted by the listener.
+    pub connections_accepted: AtomicU64,
+    /// Connections refused because the accept backlog was full.
+    pub connections_refused: AtomicU64,
+    /// Connections closed (any reason).
+    pub connections_closed: AtomicU64,
+    /// Requests decoded and answered (including error answers).
+    pub requests_served: AtomicU64,
+    /// Error responses returned to clients.
+    pub errors_returned: AtomicU64,
+    /// Frames rejected at the transport layer (oversized, truncated).
+    pub frames_rejected: AtomicU64,
+    /// Connections dropped because the consumer was too slow (outbound
+    /// queue or socket write stalled past its bound).
+    pub slow_disconnects: AtomicU64,
+    /// Connections dropped for exceeding the idle timeout.
+    pub idle_disconnects: AtomicU64,
+    /// Total payload bytes read off the wire (including frame headers).
+    pub bytes_in: AtomicU64,
+    /// Total payload bytes written to the wire (including headers).
+    pub bytes_out: AtomicU64,
+}
+
+impl NetCounters {
+    /// Creates a zeroed counter set.
+    pub fn new() -> NetCounters {
+        NetCounters::default()
+    }
+
+    /// Adds `n` to a counter (relaxed ordering; these are statistics,
+    /// not synchronization).
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reads one counter.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough snapshot of every counter.
+    pub fn snapshot(&self) -> NetCountersSnapshot {
+        NetCountersSnapshot {
+            connections_accepted: Self::get(&self.connections_accepted),
+            connections_refused: Self::get(&self.connections_refused),
+            connections_closed: Self::get(&self.connections_closed),
+            requests_served: Self::get(&self.requests_served),
+            errors_returned: Self::get(&self.errors_returned),
+            frames_rejected: Self::get(&self.frames_rejected),
+            slow_disconnects: Self::get(&self.slow_disconnects),
+            idle_disconnects: Self::get(&self.idle_disconnects),
+            bytes_in: Self::get(&self.bytes_in),
+            bytes_out: Self::get(&self.bytes_out),
+        }
+    }
+}
+
+/// Plain-value snapshot of [`NetCounters`], cheap to copy and compare.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct NetCountersSnapshot {
+    pub connections_accepted: u64,
+    pub connections_refused: u64,
+    pub connections_closed: u64,
+    pub requests_served: u64,
+    pub errors_returned: u64,
+    pub frames_rejected: u64,
+    pub slow_disconnects: u64,
+    pub idle_disconnects: u64,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +289,42 @@ mod tests {
         r.record_duration(Duration::ZERO);
         assert_eq!(r.count(), 1);
         assert_eq!(r.summary().max, 0.0);
+    }
+
+    #[test]
+    fn net_counters_accumulate_and_snapshot() {
+        let c = NetCounters::new();
+        NetCounters::add(&c.connections_accepted, 3);
+        NetCounters::add(&c.requests_served, 10);
+        NetCounters::add(&c.bytes_in, 1024);
+        NetCounters::add(&c.slow_disconnects, 1);
+        let s = c.snapshot();
+        assert_eq!(s.connections_accepted, 3);
+        assert_eq!(s.requests_served, 10);
+        assert_eq!(s.bytes_in, 1024);
+        assert_eq!(s.slow_disconnects, 1);
+        assert_eq!(s.connections_refused, 0);
+        assert_eq!(s.frames_rejected, 0);
+    }
+
+    #[test]
+    fn net_counters_shared_across_threads() {
+        use std::sync::Arc;
+        let c = Arc::new(NetCounters::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        NetCounters::add(&c.requests_served, 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.snapshot().requests_served, 4000);
     }
 
     #[test]

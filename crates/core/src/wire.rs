@@ -14,6 +14,37 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use lbsp_anonymizer::{CloakedRegion, CloakedUpdate, Pseudonym};
 use lbsp_geom::{Point, Rect, SimTime};
 
+/// Message tags used by the framed network transport (`lbsp-net`).
+///
+/// Every frame on the wire is `u32 length (LE) + u8 tag + payload`; the
+/// tag selects which codec in this module interprets the payload.
+/// Request tags (`0x0_`) flow client → server, response tags (`0x8_`)
+/// flow server → client.
+pub mod tag {
+    /// Client → server: register a user (payload: [`super::RegisterMsg`]).
+    pub const REGISTER: u8 = 0x01;
+    /// Client → server: exact location update on the trusted hop
+    /// (payload: [`super::ExactUpdateMsg`]).
+    pub const EXACT_UPDATE: u8 = 0x02;
+    /// Client → server: private range query by the user
+    /// (payload: [`super::UserQueryMsg`]).
+    pub const USER_QUERY: u8 = 0x03;
+    /// Either direction: liveness probe; the payload is echoed back.
+    pub const PING: u8 = 0x04;
+    /// Server → client: request acknowledged, empty payload.
+    pub const OK: u8 = 0x80;
+    /// Server → client: a cloaked update (payload: the
+    /// [`super::encode_cloaked_update`] bytes).
+    pub const CLOAKED_UPDATE: u8 = 0x81;
+    /// Server → client: a candidate list (payload: the
+    /// [`super::encode_candidates`] bytes).
+    pub const CANDIDATES: u8 = 0x82;
+    /// Server → client: echo of a [`PING`] payload.
+    pub const PONG: u8 = 0x83;
+    /// Server → client: the request failed; payload is UTF-8 error text.
+    pub const ERROR: u8 = 0xEE;
+}
+
 /// Byte length of an encoded user→anonymizer update.
 pub const EXACT_UPDATE_LEN: usize = 8 + 16 + 8;
 /// Byte length of an encoded anonymizer→server update.
@@ -40,9 +71,11 @@ pub fn encode_exact_update(msg: &ExactUpdateMsg) -> Bytes {
     b.freeze()
 }
 
-/// Decodes a user→anonymizer update. Returns `None` on short input.
+/// Decodes a user→anonymizer update. Strict: the buffer must be exactly
+/// one encoded message — short input *and* trailing bytes are rejected,
+/// so a framed transport cannot smuggle extra data past the codec.
 pub fn decode_exact_update(mut buf: &[u8]) -> Option<ExactUpdateMsg> {
-    if buf.len() < EXACT_UPDATE_LEN {
+    if buf.len() != EXACT_UPDATE_LEN {
         return None;
     }
     Some(ExactUpdateMsg {
@@ -70,10 +103,10 @@ pub fn encode_cloaked_update(msg: &CloakedUpdate) -> Bytes {
     b.freeze()
 }
 
-/// Decodes an anonymizer→server update. Returns `None` on short or
-/// geometrically invalid input.
+/// Decodes an anonymizer→server update. Strict: rejects short input,
+/// trailing bytes, and geometrically invalid rectangles.
 pub fn decode_cloaked_update(mut buf: &[u8]) -> Option<CloakedUpdate> {
-    if buf.len() < CLOAKED_UPDATE_LEN {
+    if buf.len() != CLOAKED_UPDATE_LEN {
         return None;
     }
     let pseudonym = Pseudonym(buf.get_u64_le());
@@ -130,10 +163,11 @@ pub fn encode_range_query(msg: &RangeQueryMsg) -> Bytes {
     b.freeze()
 }
 
-/// Decodes a private range query request. Returns `None` on short input,
-/// an invalid rectangle, or a negative/non-finite radius.
+/// Decodes a private range query request. Strict: rejects short input,
+/// trailing bytes, an invalid rectangle, or a negative/non-finite
+/// radius.
 pub fn decode_range_query(mut buf: &[u8]) -> Option<RangeQueryMsg> {
-    if buf.len() < RANGE_QUERY_LEN {
+    if buf.len() != RANGE_QUERY_LEN {
         return None;
     }
     let pseudonym = Pseudonym(buf.get_u64_le());
@@ -171,13 +205,16 @@ pub fn encode_candidates(candidates: &[(u64, Point)]) -> Bytes {
     b.freeze()
 }
 
-/// Decodes a candidate list. Returns `None` on truncation.
+/// Decodes a candidate list. Strict: the length prefix must account for
+/// the entire remaining buffer — truncation (a prefix promising more
+/// entries than present) and trailing garbage are both rejected.
 pub fn decode_candidates(mut buf: &[u8]) -> Option<Vec<(u64, Point)>> {
     if buf.len() < 4 {
         return None;
     }
     let n = buf.get_u32_le() as usize;
-    if buf.len() < n * 24 {
+    // u64 arithmetic so a hostile prefix cannot overflow the check.
+    if buf.len() as u64 != n as u64 * 24 {
         return None;
     }
     let mut out = Vec::with_capacity(n);
@@ -187,6 +224,99 @@ pub fn decode_candidates(mut buf: &[u8]) -> Option<Vec<(u64, Point)>> {
         out.push((id, p));
     }
     Some(out)
+}
+
+/// Byte length of an encoded registration request.
+pub const REGISTER_LEN: usize = 8 + 4 + 8 + 8;
+
+/// A client→service registration: true user id plus a uniform cloaking
+/// requirement `(k, a_min, a_max)`. Sent on the trusted hop only — like
+/// [`ExactUpdateMsg`], it may carry the true identity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegisterMsg {
+    /// True user id.
+    pub user: u64,
+    /// Required anonymity level.
+    pub k: u32,
+    /// Minimum acceptable cloak area.
+    pub a_min: f64,
+    /// Maximum acceptable cloak area (`f64::INFINITY` = unbounded).
+    pub a_max: f64,
+}
+
+/// Encodes a registration request.
+pub fn encode_register(msg: &RegisterMsg) -> Bytes {
+    let mut b = BytesMut::with_capacity(REGISTER_LEN);
+    b.put_u64_le(msg.user);
+    b.put_u32_le(msg.k);
+    b.put_f64_le(msg.a_min);
+    b.put_f64_le(msg.a_max);
+    b.freeze()
+}
+
+/// Decodes a registration request. Strict: rejects short input, trailing
+/// bytes, a NaN/negative `a_min`, and an `a_max` below `a_min` (infinity
+/// is legal — it means "no area ceiling").
+pub fn decode_register(mut buf: &[u8]) -> Option<RegisterMsg> {
+    if buf.len() != REGISTER_LEN {
+        return None;
+    }
+    let user = buf.get_u64_le();
+    let k = buf.get_u32_le();
+    let a_min = buf.get_f64_le();
+    let a_max = buf.get_f64_le();
+    if !a_min.is_finite() || a_min < 0.0 || a_max.is_nan() || a_max < a_min {
+        return None;
+    }
+    Some(RegisterMsg {
+        user,
+        k,
+        a_min,
+        a_max,
+    })
+}
+
+/// Byte length of an encoded user-side query request.
+pub const USER_QUERY_LEN: usize = 8 + 8 + 8;
+
+/// A client→service private range query on the trusted hop: the user
+/// asks "objects within `radius` of me" by id — the service looks up the
+/// user's cloak itself, so no location crosses the wire at all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UserQueryMsg {
+    /// True user id (trusted hop only).
+    pub user: u64,
+    /// Query radius in world units.
+    pub radius: f64,
+    /// Query timestamp.
+    pub time: SimTime,
+}
+
+/// Encodes a user-side query request.
+pub fn encode_user_query(msg: &UserQueryMsg) -> Bytes {
+    let mut b = BytesMut::with_capacity(USER_QUERY_LEN);
+    b.put_u64_le(msg.user);
+    b.put_f64_le(msg.radius);
+    b.put_f64_le(msg.time.as_secs());
+    b.freeze()
+}
+
+/// Decodes a user-side query request. Strict: rejects short input,
+/// trailing bytes, and a negative/non-finite radius.
+pub fn decode_user_query(mut buf: &[u8]) -> Option<UserQueryMsg> {
+    if buf.len() != USER_QUERY_LEN {
+        return None;
+    }
+    let user = buf.get_u64_le();
+    let radius = buf.get_f64_le();
+    if !radius.is_finite() || radius < 0.0 {
+        return None;
+    }
+    Some(UserQueryMsg {
+        user,
+        radius,
+        time: SimTime::from_secs(buf.get_f64_le()),
+    })
 }
 
 #[cfg(test)]
@@ -291,6 +421,96 @@ mod tests {
         let mut lying = bytes.to_vec();
         lying[0..4].copy_from_slice(&100u32.to_le_bytes());
         assert_eq!(decode_candidates(&lying), None);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected_everywhere() {
+        let exact = ExactUpdateMsg {
+            user: 1,
+            position: Point::new(0.5, 0.5),
+            time: SimTime::ZERO,
+        };
+        let mut b = encode_exact_update(&exact).to_vec();
+        b.push(0);
+        assert_eq!(decode_exact_update(&b), None);
+        let mut b = encode_cloaked_update(&sample_cloaked()).to_vec();
+        b.push(0);
+        assert_eq!(decode_cloaked_update(&b), None);
+        let q = RangeQueryMsg {
+            pseudonym: Pseudonym(1),
+            region: Rect::new_unchecked(0.0, 0.0, 1.0, 1.0),
+            radius: 0.1,
+            time: SimTime::ZERO,
+        };
+        let mut b = encode_range_query(&q).to_vec();
+        b.push(0);
+        assert_eq!(decode_range_query(&b), None);
+        let mut b = encode_candidates(&[(1, Point::new(0.1, 0.2))]).to_vec();
+        b.push(0);
+        assert_eq!(decode_candidates(&b), None);
+    }
+
+    #[test]
+    fn register_roundtrip_and_validation() {
+        let msg = RegisterMsg {
+            user: 42,
+            k: 25,
+            a_min: 0.01,
+            a_max: f64::INFINITY,
+        };
+        let bytes = encode_register(&msg);
+        assert_eq!(bytes.len(), REGISTER_LEN);
+        assert_eq!(decode_register(&bytes), Some(msg));
+        assert_eq!(decode_register(&bytes[..REGISTER_LEN - 1]), None);
+        let mut long = bytes.to_vec();
+        long.push(0);
+        assert_eq!(decode_register(&long), None);
+        // NaN / negative a_min and a_max < a_min rejected.
+        for (a_min, a_max) in [(f64::NAN, 1.0), (-0.5, 1.0), (2.0, 1.0), (0.0, f64::NAN)] {
+            let bad = RegisterMsg {
+                a_min,
+                a_max,
+                ..msg
+            };
+            assert_eq!(decode_register(&encode_register(&bad)), None);
+        }
+    }
+
+    #[test]
+    fn user_query_roundtrip_and_validation() {
+        let msg = UserQueryMsg {
+            user: 7,
+            radius: 0.25,
+            time: SimTime::from_secs(12.0),
+        };
+        let bytes = encode_user_query(&msg);
+        assert_eq!(bytes.len(), USER_QUERY_LEN);
+        assert_eq!(decode_user_query(&bytes), Some(msg));
+        assert_eq!(decode_user_query(&bytes[..USER_QUERY_LEN - 1]), None);
+        let mut long = bytes.to_vec();
+        long.push(9);
+        assert_eq!(decode_user_query(&long), None);
+        for bad in [-0.1, f64::NAN, f64::INFINITY] {
+            let msg = UserQueryMsg { radius: bad, ..msg };
+            assert_eq!(decode_user_query(&encode_user_query(&msg)), None);
+        }
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let tags = [
+            tag::REGISTER,
+            tag::EXACT_UPDATE,
+            tag::USER_QUERY,
+            tag::PING,
+            tag::OK,
+            tag::CLOAKED_UPDATE,
+            tag::CANDIDATES,
+            tag::PONG,
+            tag::ERROR,
+        ];
+        let set: std::collections::HashSet<u8> = tags.iter().copied().collect();
+        assert_eq!(set.len(), tags.len());
     }
 
     #[test]

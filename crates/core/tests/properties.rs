@@ -6,8 +6,9 @@ use lbsp_anonymizer::{
 };
 use lbsp_core::wire::{
     decode_candidates, decode_cloaked_update, decode_exact_update, decode_range_query,
-    encode_candidates, encode_cloaked_update, encode_exact_update, encode_range_query,
-    ExactUpdateMsg, RangeQueryMsg,
+    decode_register, decode_user_query, encode_candidates, encode_cloaked_update,
+    encode_exact_update, encode_range_query, encode_register, encode_user_query, ExactUpdateMsg,
+    RangeQueryMsg, RegisterMsg, UserQueryMsg,
 };
 use lbsp_core::{MobileUser, PrivacyAwareSystem};
 use lbsp_geom::{Point, Rect, SimTime};
@@ -152,6 +153,90 @@ proptest! {
     }
 
     #[test]
+    fn register_and_user_query_wire_roundtrip(
+        user in any::<u64>(),
+        k in any::<u32>(),
+        a_min in 0.0f64..10.0,
+        extra in 0.0f64..10.0,
+        radius in 0.0f64..100.0,
+        secs in 0.0f64..1e9,
+    ) {
+        let msg = RegisterMsg { user, k, a_min, a_max: a_min + extra };
+        prop_assert_eq!(decode_register(&encode_register(&msg)), Some(msg));
+        // An unbounded area ceiling is legal and survives the trip.
+        let unbounded = RegisterMsg { a_max: f64::INFINITY, ..msg };
+        prop_assert_eq!(decode_register(&encode_register(&unbounded)), Some(unbounded));
+        // An inverted interval is rejected whenever it is truly inverted.
+        if extra > 0.0 {
+            let inverted = RegisterMsg { a_min: a_min + extra, a_max: a_min, ..msg };
+            prop_assert_eq!(decode_register(&encode_register(&inverted)), None);
+        }
+        let q = UserQueryMsg { user, radius, time: SimTime::from_secs(secs) };
+        prop_assert_eq!(decode_user_query(&encode_user_query(&q)), Some(q));
+        let bad = UserQueryMsg { radius: -radius - 1e-9, ..q };
+        prop_assert_eq!(decode_user_query(&encode_user_query(&bad)), None);
+    }
+
+    #[test]
+    fn trailing_bytes_never_decode(
+        pseudo in any::<u64>(),
+        user in any::<u64>(),
+        region in urect(),
+        p in upoint(),
+        entries in prop::collection::vec((any::<u64>(), upoint()), 0..8),
+        junk in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        // Strictness property: a valid message followed by ANY extra
+        // bytes must be rejected by every decoder. A framed transport
+        // hands the codec exactly one payload; accepting trailing data
+        // would let peers smuggle bytes past validation.
+        let with_junk = |bytes: &[u8]| -> Vec<u8> {
+            let mut v = bytes.to_vec();
+            v.extend_from_slice(&junk);
+            v
+        };
+        let exact = ExactUpdateMsg { user, position: p, time: SimTime::ZERO };
+        prop_assert_eq!(decode_exact_update(&with_junk(&encode_exact_update(&exact))), None);
+        let cloaked = CloakedUpdate {
+            pseudonym: Pseudonym(pseudo),
+            region: CloakedRegion {
+                region,
+                achieved_k: 3,
+                k_satisfied: true,
+                area_satisfied: false,
+            },
+            time: SimTime::ZERO,
+        };
+        prop_assert_eq!(decode_cloaked_update(&with_junk(&encode_cloaked_update(&cloaked))), None);
+        let query = RangeQueryMsg {
+            pseudonym: Pseudonym(pseudo),
+            region,
+            radius: 0.25,
+            time: SimTime::ZERO,
+        };
+        prop_assert_eq!(decode_range_query(&with_junk(&encode_range_query(&query))), None);
+        prop_assert_eq!(decode_candidates(&with_junk(&encode_candidates(&entries))), None);
+        let reg = RegisterMsg { user, k: 4, a_min: 0.0, a_max: 1.0 };
+        prop_assert_eq!(decode_register(&with_junk(&encode_register(&reg))), None);
+        let uq = UserQueryMsg { user, radius: 0.25, time: SimTime::ZERO };
+        prop_assert_eq!(decode_user_query(&with_junk(&encode_user_query(&uq))), None);
+    }
+
+    #[test]
+    fn hostile_candidate_length_prefixes_never_decode(
+        n_claimed in 1u32..=u32::MAX,
+        body in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // A length prefix promising more entries than the buffer holds
+        // (including prefixes whose n*24 would overflow usize math)
+        // must be rejected, never trusted for allocation.
+        prop_assume!(body.len() as u64 != u64::from(n_claimed) * 24);
+        let mut bytes = n_claimed.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&body);
+        prop_assert_eq!(decode_candidates(&bytes), None);
+    }
+
+    #[test]
     fn random_bytes_never_panic_the_decoders(
         bytes in prop::collection::vec(any::<u8>(), 0..128),
     ) {
@@ -165,6 +250,12 @@ proptest! {
         }
         let _ = lbsp_core::wire::decode_range_query(&bytes);
         let _ = lbsp_core::wire::decode_candidates(&bytes);
+        if let Some(msg) = decode_register(&bytes) {
+            prop_assert!(msg.a_min >= 0.0 && msg.a_max >= msg.a_min);
+        }
+        if let Some(msg) = decode_user_query(&bytes) {
+            prop_assert!(msg.radius >= 0.0 && msg.radius.is_finite());
+        }
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! A blocking client for the framed LBS protocol.
+//!
+//! One [`NetClient`] wraps one TCP connection. The request methods
+//! ([`NetClient::register`], [`NetClient::update`],
+//! [`NetClient::range_query`], [`NetClient::ping`]) are closed-loop:
+//! send one frame, wait for its reply. For load generators and tests
+//! that need pipelining, the [`NetClient::send_only`] /
+//! [`NetClient::read_reply`] halves are exposed separately.
+
+use crate::frame::{write_frame, Frame, FrameReader, Poll, MAX_FRAME_LEN};
+use lbsp_core::wire;
+use lbsp_geom::{Point, SimTime};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// What the server said in response to one request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Request accepted, nothing further to report (registration).
+    Ok,
+    /// The raw cloaked-update bytes the anonymizer forwarded to the
+    /// untrusted server tier (decodable with
+    /// [`wire::decode_cloaked_update`]).
+    Cloaked(Vec<u8>),
+    /// The raw candidate-list bytes of a private query answer
+    /// (decodable with [`wire::decode_candidates`]).
+    Candidates(Vec<u8>),
+    /// Echo of a ping payload.
+    Pong(Vec<u8>),
+    /// The server rejected the request with a message; the connection
+    /// is still usable.
+    Error(String),
+}
+
+/// A blocking connection to a [`crate::NetServer`].
+pub struct NetClient {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+impl NetClient {
+    /// Connects to `addr` with no I/O timeouts (suitable for loopback
+    /// tests and benchmarks).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(NetClient {
+            stream,
+            reader: FrameReader::new(MAX_FRAME_LEN),
+        })
+    }
+
+    /// Sets a read timeout so a dead server cannot hang the client.
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(t)
+    }
+
+    /// Sends one frame without waiting for a reply (pipelining half).
+    pub fn send_only(&mut self, tag: u8, payload: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.stream, tag, payload, MAX_FRAME_LEN)
+    }
+
+    /// Blocks until the next reply frame arrives (pipelining half).
+    pub fn read_reply(&mut self) -> io::Result<Reply> {
+        match self.reader.poll(&mut self.stream)? {
+            Poll::Frame(f) => Ok(classify(f)),
+            // A read timeout (if the caller set one) surfaces as
+            // Pending; report it as such rather than spinning.
+            Poll::Pending => Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "timed out waiting for reply",
+            )),
+            Poll::Eof => Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "server closed the connection",
+            )),
+        }
+    }
+
+    /// One closed-loop request: send, then wait for the reply.
+    pub fn request(&mut self, tag: u8, payload: &[u8]) -> io::Result<Reply> {
+        self.send_only(tag, payload)?;
+        self.read_reply()
+    }
+
+    /// Registers `user` with a uniform cloaking requirement.
+    pub fn register(&mut self, user: u64, k: u32, a_min: f64, a_max: f64) -> io::Result<Reply> {
+        let msg = wire::RegisterMsg {
+            user,
+            k,
+            a_min,
+            a_max,
+        };
+        self.request(wire::tag::REGISTER, &wire::encode_register(&msg))
+    }
+
+    /// Reports an exact location update; on success the reply carries
+    /// the cloaked bytes the anonymizer produced.
+    pub fn update(&mut self, user: u64, position: Point, time: SimTime) -> io::Result<Reply> {
+        let msg = wire::ExactUpdateMsg {
+            user,
+            position,
+            time,
+        };
+        self.request(wire::tag::EXACT_UPDATE, &wire::encode_exact_update(&msg))
+    }
+
+    /// Pipelined variant of [`NetClient::update`]: sends the update
+    /// frame without waiting; pair with [`NetClient::read_reply`].
+    pub fn update_send_only(
+        &mut self,
+        user: u64,
+        position: Point,
+        time: SimTime,
+    ) -> io::Result<()> {
+        let msg = wire::ExactUpdateMsg {
+            user,
+            position,
+            time,
+        };
+        self.send_only(wire::tag::EXACT_UPDATE, &wire::encode_exact_update(&msg))
+    }
+
+    /// Asks for public objects within `radius` of the user's current
+    /// (cloaked) position.
+    pub fn range_query(&mut self, user: u64, radius: f64, time: SimTime) -> io::Result<Reply> {
+        let msg = wire::UserQueryMsg { user, radius, time };
+        self.request(wire::tag::USER_QUERY, &wire::encode_user_query(&msg))
+    }
+
+    /// Round-trips an arbitrary payload (liveness / latency probe).
+    pub fn ping(&mut self, payload: &[u8]) -> io::Result<Reply> {
+        self.request(wire::tag::PING, payload)
+    }
+}
+
+fn classify(f: Frame) -> Reply {
+    match f.tag {
+        wire::tag::OK => Reply::Ok,
+        wire::tag::CLOAKED_UPDATE => Reply::Cloaked(f.payload),
+        wire::tag::CANDIDATES => Reply::Candidates(f.payload),
+        wire::tag::PONG => Reply::Pong(f.payload),
+        wire::tag::ERROR => Reply::Error(String::from_utf8_lossy(&f.payload).into_owned()),
+        other => Reply::Error(format!("unrecognized reply tag 0x{other:02x}")),
+    }
+}

@@ -1,0 +1,358 @@
+//! The length-prefixed frame layer.
+//!
+//! Every message on a `lbsp-net` connection is one frame:
+//!
+//! ```text
+//! ┌───────────────┬───────┬───────────────────┐
+//! │ u32 LE length │ u8 tag│ payload           │
+//! └───────────────┴───────┴───────────────────┘
+//!        │             └ one of `lbsp_core::wire::tag`
+//!        └ length of (tag + payload), so length >= 1
+//! ```
+//!
+//! The length counts the tag byte plus the payload, so a frame body is
+//! never empty and a zero length is a protocol violation. Lengths above
+//! the configured maximum are rejected *before* any allocation — a
+//! hostile peer cannot make the server reserve gigabytes by sending five
+//! bytes. Payload interpretation is entirely the caller's business; this
+//! layer only restores message boundaries on top of the byte stream.
+
+use std::io::{self, Read, Write};
+
+/// Default ceiling on the frame body (tag + payload) in bytes: 1 MiB.
+/// Generous for every codec in `lbsp_core::wire` (the largest legal
+/// payload, a candidate list, stays far below this at sane result
+/// sizes) while bounding per-connection memory.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Number of bytes a frame occupies on the wire beyond its payload:
+/// 4-byte length prefix + 1 tag byte.
+pub const FRAME_OVERHEAD: usize = 5;
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Message tag (see `lbsp_core::wire::tag`).
+    pub tag: u8,
+    /// Message payload.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Bytes this frame occupies on the wire.
+    pub fn wire_len(&self) -> usize {
+        FRAME_OVERHEAD + self.payload.len()
+    }
+}
+
+/// Encodes one frame into a contiguous buffer (header + tag + payload).
+///
+/// # Errors
+/// `InvalidInput` when the body would exceed `max_frame`.
+pub fn frame_bytes(tag: u8, payload: &[u8], max_frame: usize) -> io::Result<Vec<u8>> {
+    let body_len = payload.len() + 1;
+    if body_len > max_frame {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame body {body_len} exceeds max {max_frame}"),
+        ));
+    }
+    let mut out = Vec::with_capacity(4 + body_len);
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    out.push(tag);
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Writes one frame to `w` as a single `write_all` (one syscall in the
+/// common case, so frames are never interleaved mid-message by
+/// concurrent writers that each own their stream).
+pub fn write_frame<W: Write>(
+    w: &mut W,
+    tag: u8,
+    payload: &[u8],
+    max_frame: usize,
+) -> io::Result<()> {
+    let bytes = frame_bytes(tag, payload, max_frame)?;
+    w.write_all(&bytes)
+}
+
+/// What a [`FrameReader::poll`] call observed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Poll {
+    /// A complete frame arrived.
+    Frame(Frame),
+    /// No data available right now (the underlying read timed out or
+    /// would block); partial progress is retained for the next poll.
+    Pending,
+    /// The peer closed the connection cleanly at a frame boundary.
+    Eof,
+}
+
+/// Incremental frame decoder that survives read timeouts.
+///
+/// The server reads with a short socket timeout so it can poll its
+/// shutdown flag and idle clock between frames; a timeout can therefore
+/// fire *mid-frame*. `FrameReader` keeps the partial header/body across
+/// [`Poll::Pending`] returns and resumes exactly where it stopped, so a
+/// slow-trickling peer is handled correctly (and an EOF mid-frame is
+/// reported as `UnexpectedEof`, distinct from a clean close between
+/// frames).
+#[derive(Debug)]
+pub struct FrameReader {
+    max_frame: usize,
+    header: [u8; 4],
+    have_header: usize,
+    body: Vec<u8>,
+    have_body: usize,
+}
+
+impl FrameReader {
+    /// Creates a reader enforcing `max_frame` as the body-length cap.
+    pub fn new(max_frame: usize) -> FrameReader {
+        FrameReader {
+            max_frame,
+            header: [0; 4],
+            have_header: 0,
+            body: Vec::new(),
+            have_body: 0,
+        }
+    }
+
+    /// `true` when no partial frame is buffered (a clean close here is a
+    /// graceful EOF, not a truncation).
+    pub fn at_boundary(&self) -> bool {
+        self.have_header == 0
+    }
+
+    /// Pulls bytes from `r` until a frame completes, the source would
+    /// block, or the stream ends.
+    ///
+    /// # Errors
+    /// * `InvalidData` — zero or oversized length prefix (protocol
+    ///   violation; the stream can no longer be trusted to be in sync).
+    /// * `UnexpectedEof` — the peer closed mid-frame.
+    /// * Any other I/O error from `r` except `WouldBlock`/`TimedOut`
+    ///   (reported as [`Poll::Pending`]) and `Interrupted` (retried).
+    pub fn poll<R: Read>(&mut self, r: &mut R) -> io::Result<Poll> {
+        // Phase 1: the 4-byte length prefix.
+        while self.have_header < 4 {
+            let mut chunk = [0u8; 4];
+            let want = 4 - self.have_header;
+            match r.read(&mut chunk[..want]) {
+                Ok(0) => {
+                    return if self.at_boundary() {
+                        Ok(Poll::Eof)
+                    } else {
+                        Err(io::ErrorKind::UnexpectedEof.into())
+                    };
+                }
+                Ok(n) => {
+                    self.header[self.have_header..self.have_header + n]
+                        .copy_from_slice(&chunk[..n]);
+                    self.have_header += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(Poll::Pending);
+                }
+                Err(e) => return Err(e),
+            }
+            if self.have_header == 4 {
+                let len = u32::from_le_bytes(self.header) as usize;
+                if len == 0 || len > self.max_frame {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("frame length {len} outside 1..={}", self.max_frame),
+                    ));
+                }
+                self.body = vec![0; len];
+                self.have_body = 0;
+            }
+        }
+        // Phase 2: the body (tag + payload).
+        while self.have_body < self.body.len() {
+            match r.read(&mut self.body[self.have_body..]) {
+                Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+                Ok(n) => self.have_body += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(Poll::Pending);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Frame complete.
+        let body = std::mem::take(&mut self.body);
+        self.have_header = 0;
+        self.have_body = 0;
+        let tag = body[0];
+        let payload = body[1..].to_vec();
+        Ok(Poll::Frame(Frame { tag, payload }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// A reader that yields its script one item at a time: `Ok(bytes)`
+    /// chunks interleaved with `WouldBlock` stalls, then EOF.
+    struct Script {
+        items: Vec<Option<Vec<u8>>>,
+        next: usize,
+        pending: Vec<u8>,
+    }
+
+    impl Script {
+        fn new(items: Vec<Option<Vec<u8>>>) -> Script {
+            Script {
+                items,
+                next: 0,
+                pending: Vec::new(),
+            }
+        }
+    }
+
+    impl Read for Script {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pending.is_empty() {
+                match self.items.get(self.next) {
+                    None => return Ok(0),
+                    Some(None) => {
+                        self.next += 1;
+                        return Err(io::ErrorKind::WouldBlock.into());
+                    }
+                    Some(Some(bytes)) => {
+                        self.pending = bytes.clone();
+                        self.next += 1;
+                    }
+                }
+            }
+            let n = self.pending.len().min(buf.len());
+            buf[..n].copy_from_slice(&self.pending[..n]);
+            self.pending.drain(..n);
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let bytes = frame_bytes(0x42, b"hello", MAX_FRAME_LEN).unwrap();
+        assert_eq!(bytes.len(), FRAME_OVERHEAD + 5);
+        let mut r = FrameReader::new(MAX_FRAME_LEN);
+        let mut cur = Cursor::new(bytes);
+        match r.poll(&mut cur).unwrap() {
+            Poll::Frame(f) => {
+                assert_eq!(f.tag, 0x42);
+                assert_eq!(f.payload, b"hello");
+                assert_eq!(f.wire_len(), FRAME_OVERHEAD + 5);
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+        assert_eq!(r.poll(&mut cur).unwrap(), Poll::Eof);
+    }
+
+    #[test]
+    fn empty_payload_is_legal() {
+        let bytes = frame_bytes(0x01, b"", MAX_FRAME_LEN).unwrap();
+        let mut r = FrameReader::new(MAX_FRAME_LEN);
+        match r.poll(&mut Cursor::new(bytes)).unwrap() {
+            Poll::Frame(f) => {
+                assert_eq!(f.tag, 0x01);
+                assert!(f.payload.is_empty());
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames() {
+        let mut bytes = frame_bytes(1, b"a", MAX_FRAME_LEN).unwrap();
+        bytes.extend(frame_bytes(2, b"bb", MAX_FRAME_LEN).unwrap());
+        let mut cur = Cursor::new(bytes);
+        let mut r = FrameReader::new(MAX_FRAME_LEN);
+        let tags: Vec<u8> = (0..2)
+            .map(|_| match r.poll(&mut cur).unwrap() {
+                Poll::Frame(f) => f.tag,
+                other => panic!("expected frame, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(tags, vec![1, 2]);
+        assert_eq!(r.poll(&mut cur).unwrap(), Poll::Eof);
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        // Header promises body one past the cap — rejected immediately.
+        let cap = 1024;
+        let mut bytes = ((cap + 1) as u32).to_le_bytes().to_vec();
+        bytes.push(0x01);
+        let mut r = FrameReader::new(cap);
+        let err = r.poll(&mut Cursor::new(bytes)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn zero_length_rejected() {
+        let bytes = 0u32.to_le_bytes().to_vec();
+        let mut r = FrameReader::new(MAX_FRAME_LEN);
+        let err = r.poll(&mut Cursor::new(bytes)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn eof_mid_frame_is_unexpected() {
+        let bytes = frame_bytes(7, b"payload", MAX_FRAME_LEN).unwrap();
+        for cut in 1..bytes.len() {
+            let mut r = FrameReader::new(MAX_FRAME_LEN);
+            let err = r.poll(&mut Cursor::new(bytes[..cut].to_vec())).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn partial_reads_across_wouldblock_resume() {
+        // One frame delivered byte-by-byte with a stall between every
+        // chunk; the reader must report Pending and then resume.
+        let bytes = frame_bytes(9, b"resume", MAX_FRAME_LEN).unwrap();
+        let mut items = Vec::new();
+        for b in &bytes {
+            items.push(Some(vec![*b]));
+            items.push(None);
+        }
+        let mut script = Script::new(items);
+        let mut r = FrameReader::new(MAX_FRAME_LEN);
+        let mut frames = 0;
+        loop {
+            match r.poll(&mut script).unwrap() {
+                Poll::Frame(f) => {
+                    assert_eq!(f.tag, 9);
+                    assert_eq!(f.payload, b"resume");
+                    frames += 1;
+                }
+                Poll::Pending => continue,
+                Poll::Eof => break,
+            }
+        }
+        assert_eq!(frames, 1);
+    }
+
+    #[test]
+    fn writer_refuses_oversized_payload() {
+        let payload = vec![0u8; 64];
+        let mut sink = Vec::new();
+        let err = write_frame(&mut sink, 1, &payload, 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(sink.is_empty(), "nothing written on refusal");
+        write_frame(&mut sink, 1, &payload, 65).unwrap();
+        assert_eq!(sink.len(), FRAME_OVERHEAD + 64);
+    }
+}

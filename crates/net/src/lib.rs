@@ -1,0 +1,28 @@
+//! # lbsp-net — the networked deployment of the privacy-aware LBS
+//!
+//! The paper's architecture has three physical tiers: mobile users, the
+//! trusted *location anonymizer*, and the untrusted *privacy-aware
+//! query processor*. The rest of this workspace exercises those tiers
+//! in-process; this crate puts a real network between them so the
+//! system can be deployed (and measured) as a service.
+//!
+//! Std-only by design — the build is offline, so the transport is
+//! `std::net` + OS threads: a length-prefixed frame layer over the
+//! `lbsp-core::wire` codecs, a multi-threaded [`NetServer`] bridging
+//! frames into the deterministic `ShardedEngine`, and a blocking
+//! [`NetClient`] for closed-loop load generation.
+//!
+//! Determinism is preserved across the wire: a closed-loop client
+//! driving the server produces byte-identical responses to the
+//! in-process engine, at any worker-pool size (the loopback integration
+//! test in the workspace root asserts exactly this).
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod server;
+
+pub use client::{NetClient, Reply};
+pub use frame::{Frame, FrameReader, Poll, FRAME_OVERHEAD, MAX_FRAME_LEN};
+pub use server::{sim_time_since, NetConfig, NetServer};

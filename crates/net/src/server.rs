@@ -1,0 +1,466 @@
+//! The network server: acceptor → bounded worker pool → `ShardedEngine`.
+//!
+//! Threading model (std-only, no async runtime):
+//!
+//! * **Acceptor** — one thread accepts TCP connections and hands each to
+//!   a bounded queue. When every worker is busy the queue buffers up to
+//!   `accept_backlog` connections; beyond that, new connections are
+//!   closed immediately (counted, never silently dropped into an
+//!   unbounded buffer).
+//! * **Workers** — `workers` threads each serve one connection at a
+//!   time: decode frames, bridge requests into the shared
+//!   [`ShardedEngine`], enqueue responses. The engine is the same
+//!   deterministic sharded engine the in-process pipeline uses, behind
+//!   one mutex — requests from one connection are therefore processed
+//!   in arrival order, which is what makes the network path
+//!   byte-identical to the in-process path for a closed-loop client.
+//! * **Per-connection writer** — each connection gets a writer thread
+//!   fed by a *bounded* queue. A consumer that stops reading makes the
+//!   writer stall on the socket (bounded by `write_timeout`) and the
+//!   queue fill (bounded by `backpressure_timeout`); either way the
+//!   connection is disconnected instead of buffering without limit.
+//!
+//! Shutdown is graceful: the acceptor stops, each live connection
+//! finishes the requests already buffered on its socket (bounded by
+//! `drain_grace`), writers flush their queues, and
+//! [`NetServer::shutdown`] returns the engine so callers can inspect
+//! the final state the network workload produced.
+
+use crate::frame::{write_frame, FrameReader, Poll, MAX_FRAME_LEN};
+use lbsp_anonymizer::{CloakRequirement, PrivacyProfile};
+use lbsp_core::metrics::NetCounters;
+use lbsp_core::{wire, ShardedEngine};
+use lbsp_geom::SimTime;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`NetServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Worker threads serving connections (at least 1).
+    pub workers: usize,
+    /// Accepted connections that may wait for a free worker before the
+    /// acceptor starts refusing new ones.
+    pub accept_backlog: usize,
+    /// Socket read timeout slice; between slices the server polls its
+    /// shutdown flag and the idle clock. Small values mean fast
+    /// shutdown, large values mean fewer wakeups.
+    pub read_poll: Duration,
+    /// Disconnect a connection with no complete frame for this long.
+    pub idle_timeout: Duration,
+    /// Maximum time one socket write may stall before the consumer is
+    /// declared slow and disconnected.
+    pub write_timeout: Duration,
+    /// Responses that may queue per connection before backpressure.
+    pub outbound_bound: usize,
+    /// Maximum time a request may wait for space in the outbound queue
+    /// before the consumer is declared slow and disconnected.
+    pub backpressure_timeout: Duration,
+    /// After shutdown begins, how long a connection may keep draining
+    /// already-buffered requests before being closed regardless.
+    pub drain_grace: Duration,
+    /// Frame body size cap (see [`MAX_FRAME_LEN`]).
+    pub max_frame: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            workers: 4,
+            accept_backlog: 64,
+            read_poll: Duration::from_millis(25),
+            idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(2),
+            outbound_bound: 64,
+            backpressure_timeout: Duration::from_secs(2),
+            drain_grace: Duration::from_secs(1),
+            max_frame: MAX_FRAME_LEN,
+        }
+    }
+}
+
+impl NetConfig {
+    /// A config with `workers` worker threads and defaults elsewhere.
+    pub fn with_workers(workers: usize) -> NetConfig {
+        NetConfig {
+            workers,
+            ..NetConfig::default()
+        }
+    }
+}
+
+/// Why a connection ended (drives which counter is bumped).
+enum CloseReason {
+    /// Peer closed cleanly, or the handler is shutting down.
+    Normal,
+    /// Protocol violation (oversized/zero/truncated frame).
+    BadFrame,
+    /// Outbound queue or socket write stalled past its bound.
+    Slow,
+    /// No traffic within the idle timeout.
+    Idle,
+}
+
+/// The framed TCP front-end of the privacy-aware LBS service.
+pub struct NetServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    engine: Option<Arc<Mutex<ShardedEngine>>>,
+    counters: Arc<NetCounters>,
+}
+
+impl NetServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `engine` with the given configuration.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        engine: ShardedEngine,
+        cfg: NetConfig,
+    ) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let engine = Arc::new(Mutex::new(engine));
+        let counters = Arc::new(NetCounters::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        // Bounded hand-off queue: acceptor -> workers.
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(cfg.accept_backlog.max(1));
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let conn_rx = Arc::clone(&conn_rx);
+                let engine = Arc::clone(&engine);
+                let counters = Arc::clone(&counters);
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::spawn(move || loop {
+                    // Hold the receiver lock only while dequeuing; poll
+                    // so shutdown is noticed even while idle.
+                    let next = conn_rx
+                        .lock()
+                        .unwrap()
+                        .recv_timeout(Duration::from_millis(50));
+                    match next {
+                        Ok(stream) => {
+                            if shutdown.load(Ordering::Relaxed) {
+                                // A connection that never got a worker
+                                // before shutdown: close, don't serve.
+                                let _ = stream.shutdown(Shutdown::Both);
+                                NetCounters::add(&counters.connections_closed, 1);
+                                continue;
+                            }
+                            serve_connection(stream, &engine, &counters, &cfg, &shutdown);
+                        }
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            if shutdown.load(Ordering::Relaxed) {
+                                break;
+                            }
+                        }
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                    }
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let counters = Arc::clone(&counters);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match stream {
+                        Ok(s) => {
+                            NetCounters::add(&counters.connections_accepted, 1);
+                            if let Err(TrySendError::Full(s)) = conn_tx.try_send(s) {
+                                // Backlog full: refuse, never buffer
+                                // without bound.
+                                NetCounters::add(&counters.connections_refused, 1);
+                                let _ = s.shutdown(Shutdown::Both);
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                // Dropping conn_tx lets idle workers drain and exit.
+            })
+        };
+
+        Ok(NetServer {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers,
+            engine: Some(engine),
+            counters,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live counter set (shared with every server thread).
+    pub fn counters(&self) -> &NetCounters {
+        &self.counters
+    }
+
+    /// Stops accepting, drains in-flight requests, joins every thread.
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // Wake the acceptor out of its blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Graceful shutdown: connections finish the requests already on
+    /// their sockets (bounded by `drain_grace`), writers flush, and the
+    /// engine — with every state change the network workload made — is
+    /// returned to the caller.
+    pub fn shutdown(mut self) -> ShardedEngine {
+        self.stop();
+        let engine = self.engine.take().expect("engine present until shutdown");
+        Arc::try_unwrap(engine)
+            .map(|m| m.into_inner().unwrap())
+            .unwrap_or_else(|_| panic!("all worker references released after join"))
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() || !self.workers.is_empty() {
+            self.stop();
+        }
+    }
+}
+
+/// Serves one connection to completion. Never panics outward — every
+/// exit path closes the socket and bumps the right counter.
+fn serve_connection(
+    stream: TcpStream,
+    engine: &Arc<Mutex<ShardedEngine>>,
+    counters: &Arc<NetCounters>,
+    cfg: &NetConfig,
+    shutdown: &Arc<AtomicBool>,
+) {
+    let reason = serve_connection_inner(&stream, engine, counters, cfg, shutdown)
+        .unwrap_or(CloseReason::Normal);
+    match reason {
+        CloseReason::Normal => {}
+        CloseReason::BadFrame => NetCounters::add(&counters.frames_rejected, 1),
+        CloseReason::Slow => NetCounters::add(&counters.slow_disconnects, 1),
+        CloseReason::Idle => NetCounters::add(&counters.idle_disconnects, 1),
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+    NetCounters::add(&counters.connections_closed, 1);
+}
+
+fn serve_connection_inner(
+    stream: &TcpStream,
+    engine: &Arc<Mutex<ShardedEngine>>,
+    counters: &Arc<NetCounters>,
+    cfg: &NetConfig,
+    shutdown: &Arc<AtomicBool>,
+) -> io::Result<CloseReason> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(cfg.read_poll))?;
+    let mut rstream = stream.try_clone()?;
+
+    // Writer half: bounded queue drained by a dedicated thread, so a
+    // stalled socket never blocks request processing directly — it
+    // surfaces as backpressure on the queue instead.
+    let wstream = stream.try_clone()?;
+    wstream.set_write_timeout(Some(cfg.write_timeout))?;
+    // One queued response = (reply tag, payload bytes).
+    type Outbound = (u8, Vec<u8>);
+    let (out_tx, out_rx) = mpsc::sync_channel::<Outbound>(cfg.outbound_bound.max(1));
+    let writer = {
+        let counters = Arc::clone(counters);
+        let max_frame = cfg.max_frame;
+        let mut wstream = wstream;
+        std::thread::spawn(move || -> bool {
+            // Returns false when the consumer stalled a write.
+            while let Ok((tag, payload)) = out_rx.recv() {
+                let len = payload.len();
+                if write_frame(&mut wstream, tag, &payload, max_frame).is_err() {
+                    return false;
+                }
+                NetCounters::add(
+                    &counters.bytes_out,
+                    (len + crate::frame::FRAME_OVERHEAD) as u64,
+                );
+            }
+            true
+        })
+    };
+
+    let mut reader = FrameReader::new(cfg.max_frame);
+    let mut last_frame = Instant::now();
+    let mut draining_since: Option<Instant> = None;
+    let mut reason = CloseReason::Normal;
+
+    'conn: loop {
+        if shutdown.load(Ordering::Relaxed) && draining_since.is_none() {
+            draining_since = Some(Instant::now());
+        }
+        if let Some(t) = draining_since {
+            if t.elapsed() > cfg.drain_grace {
+                break 'conn;
+            }
+        }
+        match reader.poll(&mut rstream) {
+            Ok(Poll::Frame(frame)) => {
+                last_frame = Instant::now();
+                NetCounters::add(&counters.bytes_in, frame.wire_len() as u64);
+                let (tag, payload) = handle_request(engine, counters, frame);
+                NetCounters::add(&counters.requests_served, 1);
+                if tag == wire::tag::ERROR {
+                    NetCounters::add(&counters.errors_returned, 1);
+                }
+                // Bounded enqueue with a deadline: slow consumers are
+                // disconnected, not buffered indefinitely.
+                let deadline = Instant::now() + cfg.backpressure_timeout;
+                let mut item = (tag, payload);
+                loop {
+                    match out_tx.try_send(item) {
+                        Ok(()) => break,
+                        Err(TrySendError::Full(it)) => {
+                            if Instant::now() >= deadline {
+                                reason = CloseReason::Slow;
+                                break 'conn;
+                            }
+                            item = it;
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            // Writer died on a stalled write.
+                            reason = CloseReason::Slow;
+                            break 'conn;
+                        }
+                    }
+                }
+            }
+            Ok(Poll::Pending) => {
+                // No buffered data left: if shutting down, the drain is
+                // complete; otherwise check the idle clock.
+                if draining_since.is_some() {
+                    break 'conn;
+                }
+                if last_frame.elapsed() > cfg.idle_timeout {
+                    reason = CloseReason::Idle;
+                    break 'conn;
+                }
+            }
+            Ok(Poll::Eof) => break 'conn,
+            Err(e) => {
+                reason = match e.kind() {
+                    io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof => {
+                        CloseReason::BadFrame
+                    }
+                    _ => CloseReason::Normal,
+                };
+                break 'conn;
+            }
+        }
+    }
+
+    // Close the queue; the writer flushes what was already accepted,
+    // then exits. A writer that reports a stalled write marks the
+    // close as a slow-consumer disconnect.
+    drop(out_tx);
+    if let Ok(false) = writer.join().map_err(|_| ()) {
+        if !matches!(reason, CloseReason::Slow) {
+            reason = CloseReason::Slow;
+        }
+    }
+    Ok(reason)
+}
+
+/// Decodes one request frame and runs it against the engine. Always
+/// yields a response frame — malformed payloads and engine errors come
+/// back as [`wire::tag::ERROR`] with a UTF-8 message, so the client can
+/// tell a rejected request from a dead connection.
+fn handle_request(
+    engine: &Arc<Mutex<ShardedEngine>>,
+    counters: &Arc<NetCounters>,
+    frame: crate::frame::Frame,
+) -> (u8, Vec<u8>) {
+    let err = |msg: String| (wire::tag::ERROR, msg.into_bytes());
+    match frame.tag {
+        wire::tag::PING => (wire::tag::PONG, frame.payload),
+        wire::tag::REGISTER => {
+            let Some(msg) = wire::decode_register(&frame.payload) else {
+                NetCounters::add(&counters.frames_rejected, 1);
+                return err("malformed register payload".into());
+            };
+            let req = CloakRequirement {
+                k: msg.k,
+                a_min: msg.a_min,
+                a_max: msg.a_max,
+            };
+            match PrivacyProfile::uniform(req) {
+                Ok(profile) => {
+                    engine.lock().unwrap().register(msg.user, profile);
+                    (wire::tag::OK, Vec::new())
+                }
+                Err(e) => err(e.to_string()),
+            }
+        }
+        wire::tag::EXACT_UPDATE => {
+            let Some(msg) = wire::decode_exact_update(&frame.payload) else {
+                NetCounters::add(&counters.frames_rejected, 1);
+                return err("malformed update payload".into());
+            };
+            // One frame = one single-row batch, in arrival order — the
+            // same call the in-process reference makes, so the cloaked
+            // bytes are identical by construction.
+            let out =
+                engine
+                    .lock()
+                    .unwrap()
+                    .process_updates_wire(&[(msg.user, msg.position, msg.time)]);
+            match out.into_iter().next().expect("one row in, one row out") {
+                Ok(bytes) => (wire::tag::CLOAKED_UPDATE, bytes.to_vec()),
+                Err(e) => err(e.to_string()),
+            }
+        }
+        wire::tag::USER_QUERY => {
+            let Some(msg) = wire::decode_user_query(&frame.payload) else {
+                NetCounters::add(&counters.frames_rejected, 1);
+                return err("malformed query payload".into());
+            };
+            let ans = engine
+                .lock()
+                .unwrap()
+                .range_query(msg.user, msg.time, msg.radius);
+            match ans {
+                Ok(a) => (wire::tag::CANDIDATES, a.response.to_vec()),
+                Err(e) => err(e.to_string()),
+            }
+        }
+        other => {
+            NetCounters::add(&counters.frames_rejected, 1);
+            err(format!("unknown request tag 0x{other:02x}"))
+        }
+    }
+}
+
+/// Convenience: a [`SimTime`] that stamps "now" relative to a fixed
+/// epoch, for load generators that need monotonically increasing times.
+pub fn sim_time_since(epoch: Instant) -> SimTime {
+    SimTime::from_secs(epoch.elapsed().as_secs_f64())
+}

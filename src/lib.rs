@@ -12,6 +12,8 @@
 //! * [`anonymizer`] — privacy profiles, cloaking algorithms, attacks.
 //! * [`server`] — the privacy-aware query processor.
 //! * [`system`] — the end-to-end architecture of the paper's Fig. 1.
+//! * [`net`] — the framed TCP transport deploying the system as a
+//!   real network service (`repro --serve` / `--connect`).
 //!
 //! # Example: the whole pipeline
 //!
@@ -49,6 +51,7 @@ pub use lbsp_core as system;
 pub use lbsp_geom as geom;
 pub use lbsp_index as index;
 pub use lbsp_mobility as mobility;
+pub use lbsp_net as net;
 pub use lbsp_server as server;
 
 /// Crate version, for examples that print provenance.
