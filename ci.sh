@@ -9,6 +9,13 @@ cargo build --release --offline --workspace
 echo "== tests =="
 cargo test -q --workspace --offline
 
+echo "== lbsp-lint (privacy-taint / panic-freedom / lock-discipline) =="
+cargo run -q -p lbsp-lint --offline
+
+echo "== concurrency + loopback under debug_assertions (lock-order checker armed) =="
+cargo test -q --offline --test concurrency
+cargo test -q --offline --test net_loopback
+
 echo "== loopback byte-identity (network vs in-process) =="
 cargo test -q --offline --release --test net_loopback
 

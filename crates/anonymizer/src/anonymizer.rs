@@ -18,6 +18,7 @@ use std::sync::RwLock;
 pub struct Pseudonym(pub u64);
 
 /// A cloaked location update, as forwarded to the database server.
+// lint: server-bound
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CloakedUpdate {
     /// Pseudonymized identity.
@@ -31,6 +32,7 @@ pub struct CloakedUpdate {
 
 /// A cloaked query context, attached to spatio-temporal queries issued
 /// by mobile users.
+// lint: server-bound
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CloakedQuery {
     /// Pseudonymized identity of the querying user.
@@ -45,12 +47,24 @@ pub struct CloakedQuery {
 ///
 /// Generic over the cloaking algorithm so experiments can swap the four
 /// variants of Sec. 5 without touching the pipeline.
-#[derive(Debug)]
 pub struct LocationAnonymizer<A> {
     algo: A,
     profiles: HashMap<UserId, PrivacyProfile>,
     secret: u64,
     billing: Option<Billing>,
+}
+
+/// Redacting formatter: the pseudonym secret must never reach a log
+/// line, and the algorithm state holds exact user locations, so neither
+/// is printed (a derived impl would leak both).
+impl<A> std::fmt::Debug for LocationAnonymizer<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocationAnonymizer")
+            .field("registered", &self.profiles.len())
+            .field("secret", &"<redacted>")
+            .field("billing", &self.billing.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<A: CloakingAlgorithm> LocationAnonymizer<A> {
@@ -242,6 +256,9 @@ pub struct ConcurrentAnonymizer<A>(RwLock<LocationAnonymizer<A>>);
 impl<A: CloakingAlgorithm> ConcurrentAnonymizer<A> {
     /// Wraps an anonymizer.
     pub fn new(inner: LocationAnonymizer<A>) -> Self {
+        // lint: lock(AnonService) -- this crate sits below lbsp-core in the
+        // dependency graph, so it cannot use TrackedRwLock; the registry
+        // rank is declared in lbsp_core::locks::LockRank::AnonService.
         ConcurrentAnonymizer(RwLock::new(inner))
     }
 

@@ -65,6 +65,7 @@ impl CloakRequirement {
 }
 
 /// The output of a cloaking algorithm.
+// lint: server-bound
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CloakedRegion {
     /// The cloaked spatial region sent to the database server.

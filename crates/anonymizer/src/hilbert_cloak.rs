@@ -53,6 +53,8 @@ impl HilbertCloak {
             grid: UniformGrid::new(world, grid_side, grid_side),
             order: BTreeMap::new(),
             keys: std::collections::HashMap::new(),
+            // lint: lock(HilbertRanks) -- leaf lock (never held across a
+            // call into another lock); rank declared in lbsp_core::locks.
             ranks: RwLock::new(None),
         }
     }

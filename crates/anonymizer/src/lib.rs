@@ -31,6 +31,7 @@
 //!   points that sit between mobile users and the database server
 //!   (Fig. 1).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod anonymizer;

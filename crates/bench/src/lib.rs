@@ -4,6 +4,7 @@
 //! DESIGN.md) builds its workload through these helpers so the `repro`
 //! binary and the criterion benches measure exactly the same setups.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use lbsp_anonymizer::{

@@ -37,6 +37,7 @@
 //!
 //! [hub]: lbsp_anonymizer::LocationAnonymizer::handle_updates_batch
 
+use crate::locks::{LockRank, TrackedMutex, TrackedRwLock};
 use crate::wire::{self, RangeQueryMsg};
 use crate::UserId;
 use bytes::Bytes;
@@ -53,14 +54,14 @@ use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// A unit of work dispatched to the pool.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// Shared result slots the cloak phase writes into, one per input row.
-type RowResults = Arc<Mutex<Vec<Option<Result<CloakedUpdate, CloakError>>>>>;
+type RowResults = Arc<TrackedMutex<Vec<Option<Result<CloakedUpdate, CloakError>>>>>;
 
 /// A fixed pool of OS worker threads consuming jobs from one shared
 /// channel (`std::thread` + `std::sync::mpsc`; no external crates).
@@ -79,13 +80,13 @@ impl WorkerPool {
     pub fn new(workers: usize) -> WorkerPool {
         let workers = workers.max(1);
         let (tx, rx) = mpsc::channel::<(Job, Sender<bool>)>();
-        let rx = Arc::new(Mutex::new(rx));
+        let rx = Arc::new(TrackedMutex::new(LockRank::PoolQueue, rx));
         let handles = (0..workers)
             .map(|_| {
                 let rx = Arc::clone(&rx);
                 std::thread::spawn(move || loop {
                     // Hold the receiver lock only while dequeuing.
-                    let job = rx.lock().unwrap().recv();
+                    let job = rx.lock().recv();
                     match job {
                         Ok((job, done)) => {
                             let ok = catch_unwind(AssertUnwindSafe(job)).is_ok();
@@ -217,7 +218,7 @@ impl ExecutionMode {
 }
 
 /// Configuration of a [`ShardedEngine`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone, Copy)]
 pub struct EngineConfig {
     /// World rectangle all positions live in.
     pub world: Rect,
@@ -231,6 +232,20 @@ pub struct EngineConfig {
     pub shards: usize,
     /// Secret keying the pseudonym bijection.
     pub secret: u64,
+}
+
+/// Redacting formatter: `secret` keys the pseudonym bijection, so a
+/// derived impl would leak it into any log line that prints the config.
+impl std::fmt::Debug for EngineConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineConfig")
+            .field("world", &self.world)
+            .field("grid_side", &self.grid_side)
+            .field("refine", &self.refine)
+            .field("shards", &self.shards)
+            .field("secret", &"<redacted>")
+            .finish()
+    }
 }
 
 impl EngineConfig {
@@ -289,9 +304,9 @@ pub struct ShardedEngine {
     owner: HashMap<UserId, usize>,
     /// Which private-store shard holds each pseudonym's record.
     record_owner: HashMap<u64, usize>,
-    anon: Vec<Arc<RwLock<UniformGrid>>>,
-    private: Vec<Arc<RwLock<PrivateStore>>>,
-    public: Vec<Arc<RwLock<PublicStore>>>,
+    anon: Vec<Arc<TrackedRwLock<UniformGrid>>>,
+    private: Vec<Arc<TrackedRwLock<PrivateStore>>>,
+    public: Vec<Arc<TrackedRwLock<PublicStore>>>,
 }
 
 impl ShardedEngine {
@@ -317,18 +332,27 @@ impl ShardedEngine {
             record_owner: HashMap::new(),
             anon: (0..shards)
                 .map(|_| {
-                    Arc::new(RwLock::new(UniformGrid::new(
-                        cfg.world,
-                        cfg.grid_side,
-                        cfg.grid_side,
-                    )))
+                    Arc::new(TrackedRwLock::new(
+                        LockRank::AnonShard,
+                        UniformGrid::new(cfg.world, cfg.grid_side, cfg.grid_side),
+                    ))
                 })
                 .collect(),
             private: (0..shards)
-                .map(|_| Arc::new(RwLock::new(PrivateStore::new())))
+                .map(|_| {
+                    Arc::new(TrackedRwLock::new(
+                        LockRank::PrivateShard,
+                        PrivateStore::new(),
+                    ))
+                })
                 .collect(),
             public: (0..shards)
-                .map(|_| Arc::new(RwLock::new(PublicStore::new())))
+                .map(|_| {
+                    Arc::new(TrackedRwLock::new(
+                        LockRank::PublicShard,
+                        PublicStore::new(),
+                    ))
+                })
                 .collect(),
         }
     }
@@ -358,12 +382,12 @@ impl ShardedEngine {
 
     /// Number of users with a tracked location, across all shards.
     pub fn population(&self) -> usize {
-        self.anon.iter().map(|s| s.read().unwrap().len()).sum()
+        self.anon.iter().map(|s| s.read().len()).sum()
     }
 
     /// Number of private records, across all shards.
     pub fn private_len(&self) -> usize {
-        self.private.iter().map(|s| s.read().unwrap().len()).sum()
+        self.private.iter().map(|s| s.read().len()).sum()
     }
 
     /// Loads the public-object dataset, partitioned into shards by
@@ -374,7 +398,7 @@ impl ShardedEngine {
             parts[self.shard_of(o.pos)].push(o);
         }
         for (shard, part) in self.public.iter().zip(parts) {
-            *shard.write().unwrap() = PublicStore::bulk_load(part);
+            *shard.write() = PublicStore::bulk_load(part);
         }
     }
 
@@ -438,7 +462,7 @@ impl ShardedEngine {
             .map(|(ops, shard)| {
                 let shard = Arc::clone(shard);
                 Box::new(move || {
-                    let mut grid = shard.write().unwrap();
+                    let mut grid = shard.write();
                     for op in ops {
                         match op {
                             ShardOp::Insert(id, p) => {
@@ -456,7 +480,10 @@ impl ShardedEngine {
 
         // Phase 2 (barrier): cloak every row against the summed view.
         let plans = Arc::new(plans);
-        let results: RowResults = Arc::new(Mutex::new(vec![None; updates.len()]));
+        let results: RowResults = Arc::new(TrackedMutex::new(
+            LockRank::ResultSink,
+            vec![None; updates.len()],
+        ));
         let chunk = updates.len().div_ceil(self.mode.slots().max(1)).max(1);
         let mut phase2: Vec<Job> = Vec::new();
         let mut start = 0usize;
@@ -468,7 +495,7 @@ impl ShardedEngine {
             let cfg = self.cfg;
             let range = start..end;
             phase2.push(Box::new(move || {
-                let guards: Vec<_> = anon.iter().map(|s| s.read().unwrap()).collect();
+                let guards: Vec<_> = anon.iter().map(|s| s.read()).collect();
                 let view = SummedGrids::new(guards.iter().map(|g| &**g).collect());
                 // Shared execution (Sec. 5.3): one cloak per (cell,
                 // requirement) group, as in the sequential batch path.
@@ -489,7 +516,7 @@ impl ShardedEngine {
                     };
                     out.push((i, res));
                 }
-                let mut results = results.lock().unwrap();
+                let mut results = results.lock();
                 for (i, res) in out {
                     results[i] = Some(res);
                 }
@@ -500,7 +527,6 @@ impl ShardedEngine {
         let results: Vec<Result<CloakedUpdate, CloakError>> = Arc::try_unwrap(results)
             .expect("phase jobs done")
             .into_inner()
-            .unwrap()
             .into_iter()
             .map(|r| r.expect("every row planned"))
             .collect();
@@ -526,7 +552,7 @@ impl ShardedEngine {
             .map(|(ops, shard)| {
                 let shard = Arc::clone(shard);
                 Box::new(move || {
-                    let mut store = shard.write().unwrap();
+                    let mut store = shard.write();
                     for op in ops {
                         match op {
                             ShardOp2::Upsert(rec) => {
@@ -573,7 +599,7 @@ impl ShardedEngine {
         let req = profile.requirement_at(time.time_of_day());
         req.validate()?;
         let region = {
-            let guards: Vec<_> = self.anon.iter().map(|s| s.read().unwrap()).collect();
+            let guards: Vec<_> = self.anon.iter().map(|s| s.read()).collect();
             let view = SummedGrids::new(guards.iter().map(|g| &**g).collect());
             let pos = view.location(user).ok_or(CloakError::UnknownUser(user))?;
             cloak_with_counts(&view, pos, &req, self.cfg.refine, DEFAULT_MAX_REFINE_DEPTH)
@@ -586,8 +612,10 @@ impl ShardedEngine {
         };
         let request = wire::encode_range_query(&msg);
         // Fan out: each shard computes its candidates independently.
-        let per_shard: Arc<Mutex<Vec<Vec<PublicObject>>>> =
-            Arc::new(Mutex::new(vec![Vec::new(); self.cfg.shards]));
+        let per_shard: Arc<TrackedMutex<Vec<Vec<PublicObject>>>> = Arc::new(TrackedMutex::new(
+            LockRank::ResultSink,
+            vec![Vec::new(); self.cfg.shards],
+        ));
         let jobs: Vec<Job> = self
             .public
             .iter()
@@ -597,8 +625,8 @@ impl ShardedEngine {
                 let per_shard = Arc::clone(&per_shard);
                 let cloak = region.region;
                 Box::new(move || {
-                    let found = private_range_candidates(&shard.read().unwrap(), &cloak, radius);
-                    per_shard.lock().unwrap()[i] = found;
+                    let found = private_range_candidates(&shard.read(), &cloak, radius);
+                    per_shard.lock()[i] = found;
                 }) as Job
             })
             .collect();
@@ -606,7 +634,6 @@ impl ShardedEngine {
         let mut candidates: Vec<PublicObject> = Arc::try_unwrap(per_shard)
             .expect("query jobs done")
             .into_inner()
-            .unwrap()
             .into_iter()
             .flatten()
             .collect();
@@ -626,7 +653,10 @@ impl ShardedEngine {
     /// Number of private records whose cloaked rectangle intersects `r`,
     /// summed across shards (each record lives in exactly one shard).
     pub fn private_intersecting(&self, r: &Rect) -> usize {
-        let counts: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(vec![0; self.cfg.shards]));
+        let counts: Arc<TrackedMutex<Vec<usize>>> = Arc::new(TrackedMutex::new(
+            LockRank::ResultSink,
+            vec![0; self.cfg.shards],
+        ));
         let jobs: Vec<Job> = self
             .private
             .iter()
@@ -636,16 +666,13 @@ impl ShardedEngine {
                 let counts = Arc::clone(&counts);
                 let r = *r;
                 Box::new(move || {
-                    let n = shard.read().unwrap().intersecting(&r).len();
-                    counts.lock().unwrap()[i] = n;
+                    let n = shard.read().intersecting(&r).len();
+                    counts.lock()[i] = n;
                 }) as Job
             })
             .collect();
         self.mode.run(jobs);
-        let counts = Arc::try_unwrap(counts)
-            .expect("jobs done")
-            .into_inner()
-            .unwrap();
+        let counts = Arc::try_unwrap(counts).expect("jobs done").into_inner();
         counts.into_iter().sum()
     }
 }
@@ -707,6 +734,7 @@ fn cloak_row(
 mod tests {
     use super::*;
     use lbsp_anonymizer::{GridCloak, LocationAnonymizer};
+    use std::sync::Mutex;
 
     fn world() -> Rect {
         Rect::new_unchecked(0.0, 0.0, 1.0, 1.0)

@@ -21,22 +21,31 @@
 //!   executable proof of what information crosses each trust boundary.
 //! * [`metrics`] — QoS/performance instrumentation used by every
 //!   experiment (cloak areas, candidate-set sizes, latencies).
+//! * [`locks`] — the ordered lock registry plus order-checked
+//!   `TrackedMutex`/`TrackedRwLock` wrappers (debug builds panic on
+//!   lock-order inversions and record hold-time histograms).
 //! * [`SimulationEngine`] — drives a synthetic population through the
 //!   system over simulated time, applying temporal profiles.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod locks;
 pub mod metrics;
 mod sim;
 mod standing;
 mod system;
 mod user;
+// Hostile-input surface (decoders run on network bytes): truncating
+// casts and panicking indexing are hard errors here.
+#[deny(clippy::cast_possible_truncation, clippy::indexing_slicing)]
 pub mod wire;
 
 pub use engine::{
     EngineConfig, ExecutionMode, RangeQueryAnswer, ReplayScheduler, ShardedEngine, WorkerPool,
 };
+pub use locks::{LockRank, TrackedMutex, TrackedRwLock};
 pub use sim::{SimulationConfig, SimulationEngine, TickReport};
 pub use standing::{StandingPrivateRanges, StandingQueryId};
 pub use system::{NnQueryOutcome, PrivacyAwareSystem, RangeQueryOutcome};

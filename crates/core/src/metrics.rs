@@ -123,6 +123,41 @@ impl SystemMetrics {
     }
 }
 
+/// Number of buckets in a lock hold-time histogram: log2-microsecond
+/// buckets, so bucket `b` counts holds of roughly `[2^(b-1), 2^b)` µs
+/// and the last bucket absorbs everything from ~16 ms up.
+pub const LOCK_HOLD_BUCKETS: usize = 16;
+
+/// One registry rank's hold-time accounting, as reported by
+/// [`lock_hold_stats`] (see [`crate::locks`]). Populated in debug
+/// builds, where the `TrackedMutex`/`TrackedRwLock` bookkeeping is
+/// active; all zeros in release builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockHoldSummary {
+    /// Registry name of the rank (`LockRank::name`).
+    pub rank: &'static str,
+    /// Number of completed acquire/release cycles.
+    pub acquisitions: u64,
+    /// Total microseconds the rank was held, summed over acquisitions.
+    pub total_micros: u64,
+    /// Log2-microsecond hold-time histogram.
+    pub buckets: [u64; LOCK_HOLD_BUCKETS],
+}
+
+impl LockHoldSummary {
+    /// A zeroed summary for `rank`.
+    pub fn empty(rank: &'static str) -> LockHoldSummary {
+        LockHoldSummary {
+            rank,
+            acquisitions: 0,
+            total_micros: 0,
+            buckets: [0; LOCK_HOLD_BUCKETS],
+        }
+    }
+}
+
+pub use crate::locks::lock_hold_stats;
+
 /// Shared-counter instrumentation for the network transport
 /// (`lbsp-net`): connection lifecycle, request volume, and the
 /// protective disconnect paths (oversized frames, slow consumers, idle

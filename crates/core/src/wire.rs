@@ -98,7 +98,7 @@ pub fn encode_cloaked_update(msg: &CloakedUpdate) -> Bytes {
     b.put_f64_le(r.max_y());
     b.put_f64_le(msg.time.as_secs());
     b.put_u32_le(msg.region.achieved_k);
-    let flags = (msg.region.k_satisfied as u8) | ((msg.region.area_satisfied as u8) << 1);
+    let flags = u8::from(msg.region.k_satisfied) | (u8::from(msg.region.area_satisfied) << 1);
     b.put_u8(flags);
     b.freeze()
 }
@@ -138,6 +138,7 @@ pub const RANGE_QUERY_LEN: usize = 8 + 32 + 8 + 8;
 /// The anonymizer→server message for a private range query (Fig. 5a):
 /// pseudonym, cloaked region, radius, time. Like the update hop, there
 /// is no field that could carry an exact location.
+// lint: server-bound
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RangeQueryMsg {
     /// Pseudonymized querying identity.
@@ -195,9 +196,13 @@ pub fn decode_range_query(mut buf: &[u8]) -> Option<RangeQueryMsg> {
 /// server→anonymizer→user, so object coordinates are fine to include —
 /// they are public data.
 pub fn encode_candidates(candidates: &[(u64, Point)]) -> Bytes {
-    let mut b = BytesMut::with_capacity(4 + candidates.len() * 24);
-    b.put_u32_le(candidates.len() as u32);
-    for (id, p) in candidates {
+    // The u32 length prefix caps a single response at ~4 billion
+    // entries; a longer list is truncated to what the prefix can
+    // describe rather than silently wrapping the count.
+    let n = u32::try_from(candidates.len()).unwrap_or(u32::MAX);
+    let mut b = BytesMut::with_capacity(4 + (n as usize) * 24);
+    b.put_u32_le(n);
+    for (id, p) in candidates.iter().take(n as usize) {
         b.put_u64_le(*id);
         b.put_f64_le(p.x);
         b.put_f64_le(p.y);
@@ -321,6 +326,10 @@ pub fn decode_user_query(mut buf: &[u8]) -> Option<UserQueryMsg> {
 
 #[cfg(test)]
 mod tests {
+    // Tests exercise hostile-input shapes with direct slicing; the
+    // panic-freedom bar applies to the codecs, not their tests.
+    #![allow(clippy::indexing_slicing, clippy::cast_possible_truncation)]
+
     use super::*;
 
     fn sample_cloaked() -> CloakedUpdate {

@@ -14,6 +14,7 @@
 //! `[0,1]²` unit world scaled to miles where the paper's profile example
 //! needs them).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod circle;

@@ -22,6 +22,7 @@
 //! All indexes are deterministic and single-threaded; concurrency is
 //! layered above them (see `lbsp-anonymizer::shared`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod counts;

@@ -1,0 +1,32 @@
+//! CLI entry point: `cargo run -p lbsp-lint [workspace-root]`.
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = I/O or configuration error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")));
+    match lbsp_lint::lint_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("lbsp-lint: 0 findings");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("lbsp-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("lbsp-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,16 @@
+// Known-bad fixture: a server-bound message smuggling an exact location
+// and a true identity across the anonymizer→server boundary. Never
+// compiled — consumed as data by tests/lint_fixtures.rs.
+
+/// A query message that leaks everything the paper says must stay on
+/// the trusted side.
+// lint: server-bound
+#[derive(Debug, Clone, Copy)]
+pub struct LeakyQueryMsg {
+    /// The exact device position — must never reach the server.
+    pub position: Point,
+    /// The true identity — the server may only see pseudonyms.
+    pub user: u64,
+    /// The cloaked region (the only spatial field that is legal here).
+    pub region: Rect,
+}

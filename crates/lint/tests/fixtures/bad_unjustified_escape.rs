@@ -1,0 +1,8 @@
+// Known-bad fixture: an escape hatch without a justification. The
+// annotation itself is the finding; the unwrap stays flagged too.
+// Never compiled — consumed as data by tests/lint_fixtures.rs.
+
+pub fn decode(buf: &[u8]) -> u8 {
+    // lint: allow(panic)
+    buf.first().copied().unwrap()
+}

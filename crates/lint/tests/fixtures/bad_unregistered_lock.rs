@@ -1,0 +1,13 @@
+// Known-bad fixture: raw locks outside the registry discipline.
+// Never compiled — consumed as data by tests/lint_fixtures.rs.
+
+use std::sync::{Mutex, RwLock};
+
+pub fn bare_lock() -> Mutex<u32> {
+    Mutex::new(0)
+}
+
+pub fn misnamed_lock() -> RwLock<u32> {
+    // lint: lock(NoSuchRank)
+    RwLock::new(0)
+}

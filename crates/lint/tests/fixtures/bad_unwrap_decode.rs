@@ -1,0 +1,11 @@
+// Known-bad fixture: panics reachable from hostile network input.
+// Never compiled — consumed as data by tests/lint_fixtures.rs.
+
+pub fn decode(buf: &[u8]) -> (u8, Vec<u8>) {
+    let tag = buf[0];
+    let len: usize = buf.get(1).copied().unwrap().into();
+    if len > buf.len() {
+        panic!("bad length");
+    }
+    (tag, buf[2..].to_vec())
+}

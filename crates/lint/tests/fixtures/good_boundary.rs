@@ -1,0 +1,40 @@
+// Known-good fixture: the same shapes as the bad corpus, written the
+// way the rules require. Must produce zero findings under every scope.
+// Never compiled — consumed as data by tests/lint_fixtures.rs.
+
+#![forbid(unsafe_code)]
+
+/// A server-bound message carrying only what the paper allows across
+/// the boundary: pseudonym, cloaked region, time.
+// lint: server-bound
+#[derive(Debug, Clone, Copy)]
+pub struct CloakedMsg {
+    /// Pseudonymized identity.
+    pub pseudonym: u64,
+    /// The cloaked region standing in for the position.
+    pub region: Rect,
+    /// Timestamp.
+    pub time: f64,
+}
+
+pub fn decode(buf: &[u8]) -> Option<(u8, Vec<u8>)> {
+    let (&tag, payload) = buf.split_first()?;
+    Some((tag, payload.to_vec()))
+}
+
+// lint: allow(taint) -- refinement runs on the user's own device; the
+// exact position never leaves the trusted side.
+pub fn refine(candidates: &[u64], true_pos: Point) -> Option<u64> {
+    let _ = true_pos;
+    candidates.first().copied()
+}
+
+pub fn make_lock() -> TrackedMutex<u32> {
+    TrackedMutex::new(LockRank::Engine, 0)
+}
+
+pub fn legacy_lock() -> std::sync::RwLock<u32> {
+    // lint: lock(Engine) -- this module sits below the core crate, so
+    // it cannot use the tracked wrappers.
+    std::sync::RwLock::new(0)
+}

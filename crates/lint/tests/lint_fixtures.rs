@@ -1,0 +1,127 @@
+//! Fixture corpus: known-bad snippets must be caught with file:line
+//! diagnostics, known-good snippets must be clean, and the workspace
+//! itself must scan clean (the CI gate in `ci.sh` relies on that).
+
+use lbsp_lint::{lint_file, lint_workspace, parse_registry, scope_for, Finding};
+use std::path::Path;
+
+fn registry() -> Vec<String> {
+    let locks = concat!(env!("CARGO_MANIFEST_DIR"), "/../core/src/locks.rs");
+    let src = std::fs::read_to_string(locks).expect("lock registry readable");
+    let names = parse_registry(&src);
+    assert!(
+        names.contains(&"Engine".to_string()),
+        "registry parsed from the real locks.rs: {names:?}"
+    );
+    names
+}
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name}: {e}"))
+}
+
+fn lint_as(rel: &str, src: &str) -> Vec<Finding> {
+    lint_file(rel, src, scope_for(rel), &registry())
+}
+
+#[test]
+fn taint_leak_in_server_bound_struct_is_caught() {
+    // The acceptance scenario: reintroducing a Point field (and a true
+    // identity) into a server-bound wire struct must produce findings
+    // that carry the file and line.
+    let f = lint_as("crates/core/src/wire.rs", &fixture("bad_taint_struct.rs"));
+    let taint: Vec<_> = f.iter().filter(|x| x.rule == "taint").collect();
+    assert!(
+        taint.len() >= 2,
+        "Point field and user field both caught: {f:?}"
+    );
+    assert!(taint.iter().all(|x| x.line > 0));
+    assert!(taint.iter().any(|x| x.message.contains("Point")));
+    assert!(taint.iter().any(|x| x.message.contains("`user`")));
+    let rendered = format!("{}", taint[0]);
+    assert!(
+        rendered.starts_with("crates/core/src/wire.rs:"),
+        "diagnostic is file:line-prefixed: {rendered}"
+    );
+}
+
+#[test]
+fn unwrap_indexing_and_panic_in_decode_path_are_caught() {
+    // The acceptance scenario: an unwrap() reintroduced into frame.rs.
+    let f = lint_as("crates/net/src/frame.rs", &fixture("bad_unwrap_decode.rs"));
+    let panics: Vec<_> = f.iter().filter(|x| x.rule == "panic").collect();
+    assert!(
+        panics.iter().any(|x| x.message.contains("`.unwrap()`")),
+        "{f:?}"
+    );
+    assert!(panics.iter().any(|x| x.message.contains("panic!")), "{f:?}");
+    assert!(
+        panics.iter().any(|x| x.message.contains("indexing")),
+        "{f:?}"
+    );
+    // The same file outside the hostile-input scope is not judged.
+    let f = lint_as("crates/geom/src/frame.rs", &fixture("bad_unwrap_decode.rs"));
+    assert!(f.iter().all(|x| x.rule != "panic"), "{f:?}");
+}
+
+#[test]
+fn unregistered_and_misnamed_locks_are_caught() {
+    let f = lint_as(
+        "crates/server/src/cache.rs",
+        &fixture("bad_unregistered_lock.rs"),
+    );
+    let locks: Vec<_> = f.iter().filter(|x| x.rule == "lock").collect();
+    assert_eq!(locks.len(), 2, "{f:?}");
+    assert!(locks.iter().any(|x| x.message.contains("Mutex::new")));
+    assert!(locks.iter().any(|x| x.message.contains("NoSuchRank")));
+}
+
+#[test]
+fn unjustified_escape_hatch_is_itself_a_finding() {
+    let f = lint_as(
+        "crates/net/src/frame.rs",
+        &fixture("bad_unjustified_escape.rs"),
+    );
+    assert!(
+        f.iter()
+            .any(|x| x.rule == "annotation" && x.message.contains("justification")),
+        "{f:?}"
+    );
+}
+
+#[test]
+fn good_fixture_is_clean_under_every_scope() {
+    let src = fixture("good_boundary.rs");
+    for rel in [
+        "crates/net/src/lib.rs",
+        "crates/core/src/wire.rs",
+        "crates/server/src/private_fixture.rs",
+        "crates/anonymizer/src/fixture.rs",
+    ] {
+        let f: Vec<Finding> = lint_as(rel, &src)
+            .into_iter()
+            // The required-marker rule is about the real boundary files'
+            // struct names, which the fixture deliberately doesn't use.
+            .filter(|x| !x.message.contains("must carry"))
+            .collect();
+        assert!(f.is_empty(), "scope {rel}: {f:?}");
+    }
+}
+
+#[test]
+fn workspace_scans_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = lint_workspace(&root).expect("workspace scan succeeds");
+    assert!(
+        findings.is_empty(),
+        "the workspace must lint clean:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

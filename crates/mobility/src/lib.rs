@@ -9,6 +9,7 @@
 //! data, and reproducible update streams — everything is seeded, so every
 //! experiment is deterministic.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod distribution;

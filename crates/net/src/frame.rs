@@ -57,8 +57,14 @@ pub fn frame_bytes(tag: u8, payload: &[u8], max_frame: usize) -> io::Result<Vec<
             format!("frame body {body_len} exceeds max {max_frame}"),
         ));
     }
+    let prefix = u32::try_from(body_len).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame body {body_len} exceeds the u32 length prefix"),
+        )
+    })?;
     let mut out = Vec::with_capacity(4 + body_len);
-    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    out.extend_from_slice(&prefix.to_le_bytes());
     out.push(tag);
     out.extend_from_slice(payload);
     Ok(out)
@@ -135,11 +141,13 @@ impl FrameReader {
     /// * Any other I/O error from `r` except `WouldBlock`/`TimedOut`
     ///   (reported as [`Poll::Pending`]) and `Interrupted` (retried).
     pub fn poll<R: Read>(&mut self, r: &mut R) -> io::Result<Poll> {
-        // Phase 1: the 4-byte length prefix.
-        while self.have_header < 4 {
-            let mut chunk = [0u8; 4];
-            let want = 4 - self.have_header;
-            match r.read(&mut chunk[..want]) {
+        // Phase 1: the 4-byte length prefix, read straight into the
+        // remaining tail of the header buffer.
+        while self.have_header < self.header.len() {
+            let Some(dst) = self.header.get_mut(self.have_header..) else {
+                return Err(corrupt_state());
+            };
+            match r.read(dst) {
                 Ok(0) => {
                     return if self.at_boundary() {
                         Ok(Poll::Eof)
@@ -148,9 +156,7 @@ impl FrameReader {
                     };
                 }
                 Ok(n) => {
-                    self.header[self.have_header..self.have_header + n]
-                        .copy_from_slice(&chunk[..n]);
-                    self.have_header += n;
+                    self.have_header = self.have_header.saturating_add(n).min(self.header.len());
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e)
@@ -175,9 +181,13 @@ impl FrameReader {
         }
         // Phase 2: the body (tag + payload).
         while self.have_body < self.body.len() {
-            match r.read(&mut self.body[self.have_body..]) {
+            let len = self.body.len();
+            let Some(dst) = self.body.get_mut(self.have_body..) else {
+                return Err(corrupt_state());
+            };
+            match r.read(dst) {
                 Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
-                Ok(n) => self.have_body += n,
+                Ok(n) => self.have_body = self.have_body.saturating_add(n).min(len),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
@@ -188,14 +198,27 @@ impl FrameReader {
                 Err(e) => return Err(e),
             }
         }
-        // Frame complete.
+        // Frame complete. The body is never empty (a zero length prefix
+        // was rejected in phase 1), but decompose it fallibly anyway.
         let body = std::mem::take(&mut self.body);
         self.have_header = 0;
         self.have_body = 0;
-        let tag = body[0];
-        let payload = body[1..].to_vec();
+        let Some((&tag, payload)) = body.split_first() else {
+            return Err(corrupt_state());
+        };
+        let payload = payload.to_vec();
         Ok(Poll::Frame(Frame { tag, payload }))
     }
+}
+
+/// Internal invariant violation in the reader's resume state. Reaching
+/// this is a bug, but the connection handler treats it like any other
+/// protocol error: disconnect, never panic.
+fn corrupt_state() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        "frame reader state out of sync (internal error)",
+    )
 }
 
 #[cfg(test)]

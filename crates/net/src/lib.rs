@@ -17,7 +17,16 @@
 //! in-process engine, at any worker-pool size (the loopback integration
 //! test in the workspace root asserts exactly this).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Hostile-input surface: promote the truncation/indexing pedantic lints
+// to hard errors so a panic-by-index can't slip back in. Tests may slice
+// freely — they construct their own inputs.
+#![deny(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+#![cfg_attr(
+    test,
+    allow(clippy::cast_possible_truncation, clippy::indexing_slicing)
+)]
 
 pub mod client;
 pub mod frame;

@@ -29,13 +29,13 @@
 use crate::frame::{write_frame, FrameReader, Poll, MAX_FRAME_LEN};
 use lbsp_anonymizer::{CloakRequirement, PrivacyProfile};
 use lbsp_core::metrics::NetCounters;
-use lbsp_core::{wire, ShardedEngine};
+use lbsp_core::{wire, LockRank, ShardedEngine, TrackedMutex};
 use lbsp_geom::SimTime;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -112,7 +112,7 @@ pub struct NetServer {
     shutdown: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    engine: Option<Arc<Mutex<ShardedEngine>>>,
+    engine: Option<Arc<TrackedMutex<ShardedEngine>>>,
     counters: Arc<NetCounters>,
 }
 
@@ -126,13 +126,13 @@ impl NetServer {
     ) -> io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let engine = Arc::new(Mutex::new(engine));
+        let engine = Arc::new(TrackedMutex::new(LockRank::Engine, engine));
         let counters = Arc::new(NetCounters::new());
         let shutdown = Arc::new(AtomicBool::new(false));
 
         // Bounded hand-off queue: acceptor -> workers.
         let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(cfg.accept_backlog.max(1));
-        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let conn_rx = Arc::new(TrackedMutex::new(LockRank::NetConnQueue, conn_rx));
 
         let workers = (0..cfg.workers.max(1))
             .map(|_| {
@@ -143,10 +143,7 @@ impl NetServer {
                 std::thread::spawn(move || loop {
                     // Hold the receiver lock only while dequeuing; poll
                     // so shutdown is noticed even while idle.
-                    let next = conn_rx
-                        .lock()
-                        .unwrap()
-                        .recv_timeout(Duration::from_millis(50));
+                    let next = conn_rx.lock().recv_timeout(Duration::from_millis(50));
                     match next {
                         Ok(stream) => {
                             if shutdown.load(Ordering::Relaxed) {
@@ -233,10 +230,14 @@ impl NetServer {
     /// returned to the caller.
     pub fn shutdown(mut self) -> ShardedEngine {
         self.stop();
-        let engine = self.engine.take().expect("engine present until shutdown");
-        Arc::try_unwrap(engine)
-            .map(|m| m.into_inner().unwrap())
-            .unwrap_or_else(|_| panic!("all worker references released after join"))
+        self.engine
+            .take()
+            .and_then(|arc| Arc::try_unwrap(arc).ok())
+            // lint: allow(panic) -- invariant: stop() joined every worker
+            // thread, so the engine Arc is present and uniquely owned here;
+            // a miss is a server bug, not hostile input.
+            .expect("engine uniquely owned after stop()")
+            .into_inner()
     }
 }
 
@@ -252,7 +253,7 @@ impl Drop for NetServer {
 /// exit path closes the socket and bumps the right counter.
 fn serve_connection(
     stream: TcpStream,
-    engine: &Arc<Mutex<ShardedEngine>>,
+    engine: &Arc<TrackedMutex<ShardedEngine>>,
     counters: &Arc<NetCounters>,
     cfg: &NetConfig,
     shutdown: &Arc<AtomicBool>,
@@ -271,7 +272,7 @@ fn serve_connection(
 
 fn serve_connection_inner(
     stream: &TcpStream,
-    engine: &Arc<Mutex<ShardedEngine>>,
+    engine: &Arc<TrackedMutex<ShardedEngine>>,
     counters: &Arc<NetCounters>,
     cfg: &NetConfig,
     shutdown: &Arc<AtomicBool>,
@@ -395,7 +396,7 @@ fn serve_connection_inner(
 /// back as [`wire::tag::ERROR`] with a UTF-8 message, so the client can
 /// tell a rejected request from a dead connection.
 fn handle_request(
-    engine: &Arc<Mutex<ShardedEngine>>,
+    engine: &Arc<TrackedMutex<ShardedEngine>>,
     counters: &Arc<NetCounters>,
     frame: crate::frame::Frame,
 ) -> (u8, Vec<u8>) {
@@ -414,7 +415,7 @@ fn handle_request(
             };
             match PrivacyProfile::uniform(req) {
                 Ok(profile) => {
-                    engine.lock().unwrap().register(msg.user, profile);
+                    engine.lock().register(msg.user, profile);
                     (wire::tag::OK, Vec::new())
                 }
                 Err(e) => err(e.to_string()),
@@ -428,14 +429,13 @@ fn handle_request(
             // One frame = one single-row batch, in arrival order — the
             // same call the in-process reference makes, so the cloaked
             // bytes are identical by construction.
-            let out =
-                engine
-                    .lock()
-                    .unwrap()
-                    .process_updates_wire(&[(msg.user, msg.position, msg.time)]);
-            match out.into_iter().next().expect("one row in, one row out") {
-                Ok(bytes) => (wire::tag::CLOAKED_UPDATE, bytes.to_vec()),
-                Err(e) => err(e.to_string()),
+            let out = engine
+                .lock()
+                .process_updates_wire(&[(msg.user, msg.position, msg.time)]);
+            match out.into_iter().next() {
+                Some(Ok(bytes)) => (wire::tag::CLOAKED_UPDATE, bytes.to_vec()),
+                Some(Err(e)) => err(e.to_string()),
+                None => err("internal error: engine returned no result row".into()),
             }
         }
         wire::tag::USER_QUERY => {
@@ -443,10 +443,7 @@ fn handle_request(
                 NetCounters::add(&counters.frames_rejected, 1);
                 return err("malformed query payload".into());
             };
-            let ans = engine
-                .lock()
-                .unwrap()
-                .range_query(msg.user, msg.time, msg.radius);
+            let ans = engine.lock().range_query(msg.user, msg.time, msg.radius);
             match ans {
                 Ok(a) => (wire::tag::CANDIDATES, a.response.to_vec()),
                 Err(e) => err(e.to_string()),

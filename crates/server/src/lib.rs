@@ -34,6 +34,7 @@
 //! machinery (Sec. 5.3) for standing public count queries over the
 //! moving private population.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod continuous;

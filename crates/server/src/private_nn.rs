@@ -129,6 +129,8 @@ fn mark_edge_winners(pool: &[PublicObject], a: Point, b: Point, keep: &mut [bool
 
 /// Client-side refinement: the true nearest neighbor given the user's
 /// exact position. Returns `None` on an empty candidate list.
+// lint: allow(taint) -- refinement runs on the user's own device; the
+// exact position never leaves the trusted side of the boundary.
 pub fn refine_nn(candidates: &[PublicObject], true_pos: Point) -> Option<PublicObject> {
     candidates
         .iter()
@@ -181,6 +183,8 @@ pub fn private_knn_candidates(store: &PublicStore, cloak: &Rect, k: usize) -> Ve
 
 /// Client-side refinement for k-NN: the `k` true nearest neighbors from
 /// the candidate list, sorted by distance.
+// lint: allow(taint) -- refinement runs on the user's own device; the
+// exact position never leaves the trusted side of the boundary.
 pub fn refine_knn(candidates: &[PublicObject], true_pos: Point, k: usize) -> Vec<PublicObject> {
     let mut v: Vec<PublicObject> = candidates.to_vec();
     v.sort_by(|a, b| true_pos.dist_sq(a.pos).total_cmp(&true_pos.dist_sq(b.pos)));

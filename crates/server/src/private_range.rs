@@ -49,6 +49,8 @@ pub fn private_range_candidates(
 /// The client-side refinement step: the mobile user filters the
 /// candidate list against her exact position ("internally, the mobile
 /// user will go through the candidate list to find the actual answer").
+// lint: allow(taint) -- refinement runs on the user's own device; the
+// exact position never leaves the trusted side of the boundary.
 pub fn refine_range(
     candidates: &[PublicObject],
     true_pos: Point,

@@ -46,6 +46,8 @@
 //! assert_eq!(outcome.exact.unwrap().id, 1, "nearest station after local refinement");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use lbsp_anonymizer as anonymizer;
 pub use lbsp_core as system;
 pub use lbsp_geom as geom;
