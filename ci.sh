@@ -19,6 +19,22 @@ cargo test -q --offline --test net_loopback
 echo "== loopback byte-identity (network vs in-process) =="
 cargo test -q --offline --release --test net_loopback
 
+echo "== STATS scrape smoke (repro --serve / --stats) =="
+cargo build -q --release --offline -p lbsp-bench --bin repro
+./target/release/repro --serve 127.0.0.1:7641 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+  if ./target/release/repro --stats 127.0.0.1:7641 >/tmp/lbsp_stats.txt 2>/dev/null; then
+    break
+  fi
+  sleep 0.1
+done
+grep -q "lbsp_net_requests_served" /tmp/lbsp_stats.txt
+grep -q 'stage="cloak"' /tmp/lbsp_stats.txt
+kill "$SERVE_PID" 2>/dev/null || true
+trap - EXIT
+
 echo "== benches compile =="
 cargo bench --workspace --offline --no-run
 

@@ -14,6 +14,28 @@ pub enum CloakError {
     InvalidProfile(&'static str),
 }
 
+impl CloakError {
+    /// Stable index of this failure kind, used by the observability
+    /// registry's cloak-failure counters (`lbsp-core::obs` keeps the
+    /// matching label list in `CLOAK_FAILURE_KINDS`, same order).
+    pub fn kind_index(&self) -> usize {
+        match self {
+            CloakError::UnknownUser(_) => 0,
+            CloakError::InvalidRequirement(_) => 1,
+            CloakError::InvalidProfile(_) => 2,
+        }
+    }
+
+    /// Stable snake_case label of this failure kind.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            CloakError::UnknownUser(_) => "unknown_user",
+            CloakError::InvalidRequirement(_) => "invalid_requirement",
+            CloakError::InvalidProfile(_) => "invalid_profile",
+        }
+    }
+}
+
 impl fmt::Display for CloakError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -31,6 +53,18 @@ impl std::error::Error for CloakError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn kind_labels_are_stable() {
+        assert_eq!(CloakError::UnknownUser(3).kind_index(), 0);
+        assert_eq!(CloakError::UnknownUser(3).kind_name(), "unknown_user");
+        assert_eq!(CloakError::InvalidRequirement("x").kind_index(), 1);
+        assert_eq!(CloakError::InvalidProfile("x").kind_index(), 2);
+        assert_eq!(
+            CloakError::InvalidProfile("x").kind_name(),
+            "invalid_profile"
+        );
+    }
 
     #[test]
     fn display() {

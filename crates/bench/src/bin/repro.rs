@@ -15,6 +15,7 @@
 //! ```text
 //! repro -- --serve 127.0.0.1:7600              # run the TCP service
 //! repro -- --connect 127.0.0.1:7600            # drive it with load
+//! repro -- --stats 127.0.0.1:7600              # scrape observability
 //! ```
 
 use lbsp_anonymizer::attack::{BoundaryAttack, CenterAttack, OccupancyAttack};
@@ -60,6 +61,10 @@ fn main() {
     }
     if let Some(addr) = flag_value("--connect") {
         connect(&addr);
+        return;
+    }
+    if let Some(addr) = flag_value("--stats") {
+        stats(&addr);
         return;
     }
     let run_all = args.is_empty() || args.iter().any(|a| a == "all");
@@ -153,6 +158,37 @@ fn connect(addr: &str) {
         ),
         Err(e) => {
             eprintln!("workload failed against {addr}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--stats ADDR`: scrape a running service's observability registry
+/// (one `STATS` frame) and print the text exposition.
+fn stats(addr: &str) {
+    use lbsp_net::{NetClient, Reply};
+    use std::time::Duration;
+    let run = || -> Result<String, String> {
+        let mut client = NetClient::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .map_err(|e| format!("read timeout: {e}"))?;
+        client
+            .set_write_timeout(Some(Duration::from_secs(5)))
+            .map_err(|e| format!("write timeout: {e}"))?;
+        let bytes = match client.stats().map_err(|e| format!("scrape: {e}"))? {
+            Reply::Stats(bytes) => bytes,
+            Reply::Error(msg) => return Err(format!("server rejected the scrape: {msg}")),
+            other => return Err(format!("unexpected reply {other:?}")),
+        };
+        let snap = lbsp_core::wire::decode_stats_snapshot(&bytes)
+            .ok_or_else(|| "malformed stats snapshot payload".to_string())?;
+        Ok(snap.to_text())
+    };
+    match run() {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("stats scrape failed against {addr}: {e}");
             std::process::exit(1);
         }
     }

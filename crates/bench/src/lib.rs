@@ -88,7 +88,7 @@ pub mod netload {
     use rand::{RngExt as _, SeedableRng};
     use std::io;
     use std::net::ToSocketAddrs;
-    use std::time::Instant;
+    use std::time::{Duration, Instant};
 
     /// The engine every network experiment serves: flagship
     /// grid+multilevel configuration with 1,000 public POIs loaded.
@@ -129,6 +129,10 @@ pub mod netload {
         seed: u64,
     ) -> io::Result<LoadReport> {
         let mut client = NetClient::connect(addr)?;
+        // Bound both socket halves so a wedged server fails the run
+        // with a clear error instead of hanging the load generator.
+        client.set_read_timeout(Some(Duration::from_secs(10)))?;
+        client.set_write_timeout(Some(Duration::from_secs(10)))?;
         let mut rng = StdRng::seed_from_u64(seed);
         let mut requests = 0u64;
         let mut errors = 0u64;

@@ -38,6 +38,7 @@
 //! [hub]: lbsp_anonymizer::LocationAnonymizer::handle_updates_batch
 
 use crate::locks::{LockRank, TrackedMutex, TrackedRwLock};
+use crate::obs::{MetricsRegistry, Stage};
 use crate::wire::{self, RangeQueryMsg};
 use crate::UserId;
 use bytes::Bytes;
@@ -56,6 +57,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A unit of work dispatched to the pool.
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -307,6 +309,10 @@ pub struct ShardedEngine {
     anon: Vec<Arc<TrackedRwLock<UniformGrid>>>,
     private: Vec<Arc<TrackedRwLock<PrivateStore>>>,
     public: Vec<Arc<TrackedRwLock<PublicStore>>>,
+    /// Unified observability registry (shared with the network
+    /// front-end when one wraps this engine). All recording paths are
+    /// `&self` and lock-free, so metrics never perturb batch semantics.
+    obs: Arc<MetricsRegistry>,
 }
 
 impl ShardedEngine {
@@ -354,12 +360,21 @@ impl ShardedEngine {
                     ))
                 })
                 .collect(),
+            obs: Arc::new(MetricsRegistry::new()),
         }
     }
 
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.cfg
+    }
+
+    /// The engine's observability registry (cloak/query stage timings,
+    /// privacy/QoS value histograms, cloak-failure counters). The
+    /// network front-end shares this `Arc` and adds its transport
+    /// counters and stages to the same registry.
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.obs
     }
 
     /// Shard owning positions at `p`: vertical stripes of equal width,
@@ -523,13 +538,27 @@ impl ShardedEngine {
             }) as Job);
             start = end;
         }
+        let cloak_start = Instant::now();
         self.mode.run(phase2);
+        self.obs
+            .stage(Stage::Cloak)
+            .record_duration(cloak_start.elapsed());
         let results: Vec<Result<CloakedUpdate, CloakError>> = Arc::try_unwrap(results)
             .expect("phase jobs done")
             .into_inner()
             .into_iter()
             .map(|r| r.expect("every row planned"))
             .collect();
+        // Privacy-side observability: one sample per row outcome.
+        for res in &results {
+            match res {
+                Ok(u) => {
+                    self.obs.cloak_area().record(u.region.area());
+                    self.obs.achieved_k().record(f64::from(u.region.achieved_k));
+                }
+                Err(e) => self.obs.record_cloak_failure(e.kind_index()),
+            }
+        }
 
         // Phase 3 (barrier): ingest cloaked regions into the private
         // store, shard chosen by region center so placement never
@@ -587,6 +616,27 @@ impl ShardedEngine {
     /// shards, and merges the per-shard lists in canonical id order.
     /// Both hops are returned as wire bytes.
     pub fn range_query(
+        &self,
+        user: UserId,
+        time: SimTime,
+        radius: f64,
+    ) -> Result<RangeQueryAnswer, CloakError> {
+        let start = Instant::now();
+        let out = self.range_query_inner(user, time, radius);
+        self.obs
+            .stage(Stage::PrivateQuery)
+            .record_duration(start.elapsed());
+        match &out {
+            Ok(a) => self
+                .obs
+                .candidate_set_size()
+                .record(a.candidates.len() as f64),
+            Err(e) => self.obs.record_cloak_failure(e.kind_index()),
+        }
+        out
+    }
+
+    fn range_query_inner(
         &self,
         user: UserId,
         time: SimTime,

@@ -33,6 +33,9 @@
 pub mod engine;
 pub mod locks;
 pub mod metrics;
+// Observability snapshots cross the trust boundary to remote scrapers,
+// and the registry records on hot paths: keep it panic-free.
+pub mod obs;
 mod sim;
 mod standing;
 mod system;
@@ -46,6 +49,7 @@ pub use engine::{
     EngineConfig, ExecutionMode, RangeQueryAnswer, ReplayScheduler, ShardedEngine, WorkerPool,
 };
 pub use locks::{LockRank, TrackedMutex, TrackedRwLock};
+pub use obs::{Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot, Stage};
 pub use sim::{SimulationConfig, SimulationEngine, TickReport};
 pub use standing::{StandingPrivateRanges, StandingQueryId};
 pub use system::{NnQueryOutcome, PrivacyAwareSystem, RangeQueryOutcome};

@@ -12,9 +12,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// A streaming recorder of scalar samples with summary statistics.
+///
+/// Backed by a fixed-footprint [`crate::obs::Histogram`] — recording is
+/// O(1) in memory no matter how many samples arrive, and `summary()` is
+/// O(buckets) instead of the old clone-and-sort over every retained
+/// sample. `count`, `mean`, `min`, and `max` are exact; `p50`/`p95`
+/// carry the factor-2 log2-bucket bound documented in [`crate::obs`].
 #[derive(Debug, Clone, Default)]
 pub struct Recorder {
-    samples: Vec<f64>,
+    hist: crate::obs::Histogram,
 }
 
 impl Recorder {
@@ -23,31 +29,34 @@ impl Recorder {
         Recorder::default()
     }
 
-    /// Records one sample.
+    /// Records one sample (non-finite samples are dropped).
     pub fn record(&mut self, v: f64) {
-        if v.is_finite() {
-            self.samples.push(v);
-        }
+        self.hist.record(v);
     }
 
     /// Records a duration in microseconds.
     pub fn record_duration(&mut self, d: Duration) {
-        self.record(d.as_secs_f64() * 1e6);
+        self.hist.record_duration(d);
     }
 
     /// Number of samples recorded.
     pub fn count(&self) -> usize {
-        self.samples.len()
+        usize::try_from(self.hist.count()).unwrap_or(usize::MAX)
     }
 
     /// Summary of everything recorded so far.
     pub fn summary(&self) -> Summary {
-        Summary::of(&self.samples)
+        self.hist.summary()
+    }
+
+    /// The backing histogram's plain-value snapshot.
+    pub fn snapshot(&self) -> crate::obs::HistogramSnapshot {
+        self.hist.snapshot()
     }
 
     /// Clears all samples.
     pub fn reset(&mut self) {
-        self.samples.clear();
+        self.hist.reset();
     }
 }
 
@@ -260,7 +269,8 @@ mod tests {
         assert_eq!(s.count, 5);
         assert!((s.mean - 3.0).abs() < 1e-12);
         assert_eq!(s.min, 1.0);
-        assert_eq!(s.p50, 3.0);
+        // p50 is bucket-interpolated: exact value 3.0, factor-2 bound.
+        assert!(s.p50 >= 1.5 && s.p50 <= 6.0, "p50 = {}", s.p50);
         assert_eq!(s.max, 5.0);
     }
 
@@ -271,8 +281,11 @@ mod tests {
             r.record(i as f64);
         }
         let s = r.summary();
-        assert!((s.p50 - 50.0).abs() <= 1.0);
-        assert!((s.p95 - 95.0).abs() <= 1.0);
+        // Exact p50 = 50, p95 = 95; the histogram reports within a
+        // factor of 2 (and never outside [min, max]).
+        assert!(s.p50 >= 25.0 && s.p50 <= 100.0, "p50 = {}", s.p50);
+        assert!(s.p95 >= 47.5 && s.p95 <= 100.0, "p95 = {}", s.p95);
+        assert!(s.p95 >= s.p50);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The end-to-end privacy-aware system (Fig. 1).
 
 use crate::metrics::SystemMetrics;
+use crate::obs::{MetricsRegistry, Stage};
 use crate::standing::{StandingPrivateRanges, StandingQueryId};
 use crate::{MobileUser, UserId, UserMode};
 use lbsp_anonymizer::{
@@ -13,6 +14,7 @@ use lbsp_server::{
     PublicStore, Server, ServerStats,
 };
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Outcome of a private range query, including both what the server
@@ -53,6 +55,10 @@ pub struct PrivacyAwareSystem<A> {
     device_positions: HashMap<UserId, Point>,
     /// QoS / performance instrumentation.
     pub metrics: SystemMetrics,
+    /// The unified streaming registry (per-stage timing histograms and
+    /// cloak-failure counters) — same registry type the sharded engine
+    /// and the network front-end feed.
+    obs: Arc<MetricsRegistry>,
 }
 
 impl<A: CloakingAlgorithm> PrivacyAwareSystem<A> {
@@ -65,7 +71,13 @@ impl<A: CloakingAlgorithm> PrivacyAwareSystem<A> {
             users: HashMap::new(),
             device_positions: HashMap::new(),
             metrics: SystemMetrics::new(),
+            obs: Arc::new(MetricsRegistry::new()),
         }
+    }
+
+    /// The system's observability registry.
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.obs
     }
 
     /// Registers a user. Passive users are remembered but never indexed.
@@ -135,11 +147,24 @@ impl<A: CloakingAlgorithm> PrivacyAwareSystem<A> {
         }
         self.device_positions.insert(id, position);
         let start = Instant::now();
-        let update = self.anonymizer.handle_update(id, position, time)?;
+        let update = match self.anonymizer.handle_update(id, position, time) {
+            Ok(u) => u,
+            Err(e) => {
+                self.obs.record_cloak_failure(e.kind_index());
+                return Err(e);
+            }
+        };
         self.metrics.cloak_latency.record_duration(start.elapsed());
+        self.obs
+            .stage(Stage::Cloak)
+            .record_duration(start.elapsed());
         self.metrics.cloak_area.record(update.region.area());
+        self.obs.cloak_area().record(update.region.area());
         self.metrics
             .achieved_k
+            .record(update.region.achieved_k as f64);
+        self.obs
+            .achieved_k()
             .record(update.region.achieved_k as f64);
         // Server side: store the cloaked record, notify standing queries.
         self.server.ingest(update.pseudonym.0, update.region.region);
@@ -163,8 +188,14 @@ impl<A: CloakingAlgorithm> PrivacyAwareSystem<A> {
         let start = Instant::now();
         let candidates = self.server.private_range(&query.region.region, radius);
         self.metrics.query_latency.record_duration(start.elapsed());
+        self.obs
+            .stage(Stage::PrivateQuery)
+            .record_duration(start.elapsed());
         self.metrics
             .candidate_set_size
+            .record(candidates.len() as f64);
+        self.obs
+            .candidate_set_size()
             .record(candidates.len() as f64);
         let true_pos = self.device_positions[&id];
         let exact = refine_range(&candidates, true_pos, radius);
@@ -185,8 +216,14 @@ impl<A: CloakingAlgorithm> PrivacyAwareSystem<A> {
         let start = Instant::now();
         let candidates = self.server.private_nn(&query.region.region);
         self.metrics.query_latency.record_duration(start.elapsed());
+        self.obs
+            .stage(Stage::PrivateQuery)
+            .record_duration(start.elapsed());
         self.metrics
             .candidate_set_size
+            .record(candidates.len() as f64);
+        self.obs
+            .candidate_set_size()
             .record(candidates.len() as f64);
         let true_pos = self.device_positions[&id];
         let exact = refine_nn(&candidates, true_pos);
@@ -209,8 +246,14 @@ impl<A: CloakingAlgorithm> PrivacyAwareSystem<A> {
         let start = Instant::now();
         let candidates = self.server.private_knn(&query.region.region, k);
         self.metrics.query_latency.record_duration(start.elapsed());
+        self.obs
+            .stage(Stage::PrivateQuery)
+            .record_duration(start.elapsed());
         self.metrics
             .candidate_set_size
+            .record(candidates.len() as f64);
+        self.obs
+            .candidate_set_size()
             .record(candidates.len() as f64);
         let true_pos = self.device_positions[&id];
         let exact = refine_knn(&candidates, true_pos, k);
@@ -235,6 +278,9 @@ impl<A: CloakingAlgorithm> PrivacyAwareSystem<A> {
             .server
             .private_friend_nn(&query.region.region, query.pseudonym.0);
         self.metrics.query_latency.record_duration(start.elapsed());
+        self.obs
+            .stage(Stage::PrivateQuery)
+            .record_duration(start.elapsed());
         Ok(ans)
     }
 
@@ -252,6 +298,9 @@ impl<A: CloakingAlgorithm> PrivacyAwareSystem<A> {
             .server
             .private_friend_count(&query.region.region, query.pseudonym.0, radius);
         self.metrics.query_latency.record_duration(start.elapsed());
+        self.obs
+            .stage(Stage::PrivateQuery)
+            .record_duration(start.elapsed());
         Ok(ans)
     }
 
@@ -261,6 +310,9 @@ impl<A: CloakingAlgorithm> PrivacyAwareSystem<A> {
         let start = Instant::now();
         let ans = self.server.public_count(area);
         self.metrics.query_latency.record_duration(start.elapsed());
+        self.obs
+            .stage(Stage::PublicQuery)
+            .record_duration(start.elapsed());
         ans
     }
 
@@ -269,6 +321,9 @@ impl<A: CloakingAlgorithm> PrivacyAwareSystem<A> {
         let start = Instant::now();
         let ans = self.server.public_nn(from);
         self.metrics.query_latency.record_duration(start.elapsed());
+        self.obs
+            .stage(Stage::PublicQuery)
+            .record_duration(start.elapsed());
         ans
     }
 

@@ -31,6 +31,8 @@ pub mod tag {
     pub const USER_QUERY: u8 = 0x03;
     /// Either direction: liveness probe; the payload is echoed back.
     pub const PING: u8 = 0x04;
+    /// Client → server: scrape the metrics registry (empty payload).
+    pub const STATS: u8 = 0x05;
     /// Server → client: request acknowledged, empty payload.
     pub const OK: u8 = 0x80;
     /// Server → client: a cloaked update (payload: the
@@ -41,6 +43,9 @@ pub mod tag {
     pub const CANDIDATES: u8 = 0x82;
     /// Server → client: echo of a [`PING`] payload.
     pub const PONG: u8 = 0x83;
+    /// Server → client: an encoded registry snapshot (payload: the
+    /// [`super::encode_stats_snapshot`] bytes).
+    pub const STATS_SNAPSHOT: u8 = 0x84;
     /// Server → client: the request failed; payload is UTF-8 error text.
     pub const ERROR: u8 = 0xEE;
 }
@@ -324,6 +329,186 @@ pub fn decode_user_query(mut buf: &[u8]) -> Option<UserQueryMsg> {
     })
 }
 
+// ---------------------------------------------------------------------
+// STATS: the observability scrape (server → client)
+// ---------------------------------------------------------------------
+
+use crate::metrics::{NetCountersSnapshot, LOCK_HOLD_BUCKETS};
+use crate::obs::{
+    HistogramSnapshot, LockHoldRow, RegistrySnapshot, CLOAK_FAILURE_KINDS, HIST_BUCKETS,
+    STAGE_COUNT,
+};
+
+/// Version byte leading every encoded [`RegistrySnapshot`]; bumped on
+/// any layout change so a stale scraper fails loudly instead of
+/// misreading counters.
+pub const STATS_SNAPSHOT_VERSION: u8 = 1;
+
+/// Byte length of one encoded histogram snapshot: count + sum + min +
+/// max + the bucket array, all 8-byte fields.
+pub const HIST_ENC_LEN: usize = 8 * (4 + HIST_BUCKETS);
+
+/// Byte length of the fixed (lock-free) part of an encoded snapshot:
+/// version, 5 stage histograms, 3 value histograms, the cloak-failure
+/// counters, the 10 net counters, and the lock-row count.
+pub const STATS_FIXED_LEN: usize =
+    1 + (STAGE_COUNT + 3) * HIST_ENC_LEN + CLOAK_FAILURE_KINDS.len() * 8 + 10 * 8 + 1;
+
+fn put_hist(b: &mut BytesMut, h: &HistogramSnapshot) {
+    b.put_u64_le(h.count);
+    b.put_f64_le(h.sum);
+    b.put_f64_le(h.min);
+    b.put_f64_le(h.max);
+    for v in &h.buckets {
+        b.put_u64_le(*v);
+    }
+}
+
+fn get_hist(buf: &mut &[u8]) -> Option<HistogramSnapshot> {
+    if buf.len() < HIST_ENC_LEN {
+        return None;
+    }
+    let count = buf.get_u64_le();
+    let sum = buf.get_f64_le();
+    let min = buf.get_f64_le();
+    let max = buf.get_f64_le();
+    let mut buckets = [0u64; HIST_BUCKETS];
+    for v in buckets.iter_mut() {
+        *v = buf.get_u64_le();
+    }
+    Some(HistogramSnapshot {
+        count,
+        sum,
+        min,
+        max,
+        buckets,
+    })
+}
+
+/// Encodes a registry snapshot for the `STATS_SNAPSHOT` reply. The
+/// payload carries aggregate statistics only — histograms, counters,
+/// and lock hold times; there is no field for a position or identity
+/// (the lint taint rule checks [`RegistrySnapshot`] structurally).
+pub fn encode_stats_snapshot(snap: &RegistrySnapshot) -> Bytes {
+    let mut b = BytesMut::with_capacity(STATS_FIXED_LEN + snap.locks.len() * 160);
+    b.put_u8(STATS_SNAPSHOT_VERSION);
+    for h in &snap.stages {
+        put_hist(&mut b, h);
+    }
+    put_hist(&mut b, &snap.cloak_area);
+    put_hist(&mut b, &snap.achieved_k);
+    put_hist(&mut b, &snap.candidate_set_size);
+    for v in &snap.cloak_failures {
+        b.put_u64_le(*v);
+    }
+    let n = &snap.net;
+    for v in [
+        n.connections_accepted,
+        n.connections_refused,
+        n.connections_closed,
+        n.requests_served,
+        n.errors_returned,
+        n.frames_rejected,
+        n.slow_disconnects,
+        n.idle_disconnects,
+        n.bytes_in,
+        n.bytes_out,
+    ] {
+        b.put_u64_le(v);
+    }
+    // Lock rows: a u8 count is plenty (the rank registry is single
+    // digits); anything beyond 255 rows is truncated at encode time.
+    let rows = u8::try_from(snap.locks.len()).unwrap_or(u8::MAX);
+    b.put_u8(rows);
+    for row in snap.locks.iter().take(usize::from(rows)) {
+        let name_len = u8::try_from(row.rank_label.len()).unwrap_or(u8::MAX);
+        b.put_u8(name_len);
+        for byte in row.rank_label.bytes().take(usize::from(name_len)) {
+            b.put_u8(byte);
+        }
+        b.put_u64_le(row.acquisitions);
+        b.put_u64_le(row.total_micros);
+        for v in &row.buckets {
+            b.put_u64_le(*v);
+        }
+    }
+    b.freeze()
+}
+
+/// Decodes a registry snapshot. Strict: the version byte must match,
+/// every length must account for the remaining buffer exactly, and the
+/// rank names must be UTF-8 — trailing bytes are rejected.
+pub fn decode_stats_snapshot(mut buf: &[u8]) -> Option<RegistrySnapshot> {
+    if buf.len() < STATS_FIXED_LEN {
+        return None;
+    }
+    if buf.get_u8() != STATS_SNAPSHOT_VERSION {
+        return None;
+    }
+    let mut stages: [HistogramSnapshot; STAGE_COUNT] =
+        std::array::from_fn(|_| HistogramSnapshot::default());
+    for slot in stages.iter_mut() {
+        *slot = get_hist(&mut buf)?;
+    }
+    let cloak_area = get_hist(&mut buf)?;
+    let achieved_k = get_hist(&mut buf)?;
+    let candidate_set_size = get_hist(&mut buf)?;
+    let mut cloak_failures = [0u64; CLOAK_FAILURE_KINDS.len()];
+    for v in cloak_failures.iter_mut() {
+        *v = buf.get_u64_le();
+    }
+    let net = NetCountersSnapshot {
+        connections_accepted: buf.get_u64_le(),
+        connections_refused: buf.get_u64_le(),
+        connections_closed: buf.get_u64_le(),
+        requests_served: buf.get_u64_le(),
+        errors_returned: buf.get_u64_le(),
+        frames_rejected: buf.get_u64_le(),
+        slow_disconnects: buf.get_u64_le(),
+        idle_disconnects: buf.get_u64_le(),
+        bytes_in: buf.get_u64_le(),
+        bytes_out: buf.get_u64_le(),
+    };
+    let rows = usize::from(buf.get_u8());
+    let mut locks = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        if buf.is_empty() {
+            return None;
+        }
+        let name_len = usize::from(buf.get_u8());
+        if buf.len() < name_len + 16 + LOCK_HOLD_BUCKETS * 8 {
+            return None;
+        }
+        let name = buf.get(..name_len)?;
+        let rank_label = String::from_utf8(name.to_vec()).ok()?;
+        buf.advance(name_len);
+        let acquisitions = buf.get_u64_le();
+        let total_micros = buf.get_u64_le();
+        let mut buckets = [0u64; LOCK_HOLD_BUCKETS];
+        for v in buckets.iter_mut() {
+            *v = buf.get_u64_le();
+        }
+        locks.push(LockHoldRow {
+            rank_label,
+            acquisitions,
+            total_micros,
+            buckets,
+        });
+    }
+    if !buf.is_empty() {
+        return None;
+    }
+    Some(RegistrySnapshot {
+        stages,
+        cloak_area,
+        achieved_k,
+        candidate_set_size,
+        cloak_failures,
+        net,
+        locks,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     // Tests exercise hostile-input shapes with direct slicing; the
@@ -512,14 +697,87 @@ mod tests {
             tag::EXACT_UPDATE,
             tag::USER_QUERY,
             tag::PING,
+            tag::STATS,
             tag::OK,
             tag::CLOAKED_UPDATE,
             tag::CANDIDATES,
             tag::PONG,
+            tag::STATS_SNAPSHOT,
             tag::ERROR,
         ];
         let set: std::collections::HashSet<u8> = tags.iter().copied().collect();
         assert_eq!(set.len(), tags.len());
+    }
+
+    fn sample_snapshot() -> RegistrySnapshot {
+        use crate::obs::{MetricsRegistry, Stage};
+        use std::time::Duration;
+        let r = MetricsRegistry::new();
+        r.stage(Stage::Cloak)
+            .record_duration(Duration::from_micros(150));
+        r.stage(Stage::PrivateQuery)
+            .record_duration(Duration::from_micros(90));
+        r.cloak_area().record(0.015625);
+        r.achieved_k().record(25.0);
+        r.candidate_set_size().record(17.0);
+        r.record_cloak_failure(1);
+        crate::metrics::NetCounters::add(&r.net().requests_served, 3);
+        crate::metrics::NetCounters::add(&r.net().bytes_in, 512);
+        r.snapshot()
+    }
+
+    #[test]
+    fn stats_snapshot_roundtrip() {
+        let snap = sample_snapshot();
+        let bytes = encode_stats_snapshot(&snap);
+        assert!(bytes.len() >= STATS_FIXED_LEN);
+        assert_eq!(decode_stats_snapshot(&bytes), Some(snap));
+    }
+
+    #[test]
+    fn stats_snapshot_strictness() {
+        let snap = sample_snapshot();
+        let bytes = encode_stats_snapshot(&snap);
+        // Truncation anywhere is rejected.
+        assert_eq!(decode_stats_snapshot(&bytes[..bytes.len() - 1]), None);
+        assert_eq!(decode_stats_snapshot(&bytes[..STATS_FIXED_LEN - 1]), None);
+        assert_eq!(decode_stats_snapshot(&[]), None);
+        // Trailing garbage is rejected.
+        let mut long = bytes.to_vec();
+        long.push(0);
+        assert_eq!(decode_stats_snapshot(&long), None);
+        // A wrong version byte is rejected.
+        let mut wrong = bytes.to_vec();
+        wrong[0] = STATS_SNAPSHOT_VERSION + 1;
+        assert_eq!(decode_stats_snapshot(&wrong), None);
+        // A lock-row count promising more rows than present is rejected.
+        let empty_locks = RegistrySnapshot {
+            locks: Vec::new(),
+            ..sample_snapshot()
+        };
+        let mut lying = encode_stats_snapshot(&empty_locks).to_vec();
+        let last = lying.len() - 1;
+        lying[last] = 4;
+        assert_eq!(decode_stats_snapshot(&lying), None);
+    }
+
+    #[test]
+    fn stats_snapshot_carries_no_location_fields() {
+        // Executable form of the boundary claim: the scrape payload of a
+        // populated system is pure aggregates — fixed-size histograms
+        // and counters — with no per-user rows that could scale with
+        // (or leak) tracked positions.
+        let snap = sample_snapshot();
+        let bytes = encode_stats_snapshot(&snap);
+        assert_eq!(
+            bytes.len(),
+            STATS_FIXED_LEN
+                + snap
+                    .locks
+                    .iter()
+                    .map(|r| 1 + r.rank_label.len() + 16 + 8 * LOCK_HOLD_BUCKETS)
+                    .sum::<usize>()
+        );
     }
 
     #[test]

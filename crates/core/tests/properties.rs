@@ -259,6 +259,40 @@ proptest! {
     }
 
     #[test]
+    fn histogram_summary_tracks_exact_summary(
+        samples in prop::collection::vec(1e-6f64..1e6, 1..500),
+    ) {
+        // The streaming histogram keeps count/sum/min/max exactly and
+        // buckets samples by power of two, so against the exact
+        // sorted-vector summary: count/min/max identical, mean within
+        // float-accumulation noise, p50/p95 within the documented
+        // factor-2 bucket bound (all samples are in [2^-32, 2^32)).
+        let hist = lbsp_core::Histogram::new();
+        for s in &samples {
+            hist.record(*s);
+        }
+        let approx = hist.summary();
+        let exact = lbsp_core::metrics::Summary::of(&samples);
+        prop_assert_eq!(approx.count, exact.count);
+        prop_assert_eq!(approx.min, exact.min);
+        prop_assert_eq!(approx.max, exact.max);
+        prop_assert!(
+            (approx.mean - exact.mean).abs() <= exact.mean.abs() * 1e-9,
+            "mean {} vs exact {}", approx.mean, exact.mean,
+        );
+        for (a, e, which) in [(approx.p50, exact.p50, "p50"), (approx.p95, exact.p95, "p95")] {
+            let ratio = a / e;
+            prop_assert!(
+                (0.5..=2.0).contains(&ratio),
+                "{} {} vs exact {} (ratio {})", which, a, e, ratio,
+            );
+            // Interpolated percentiles also never escape the observed
+            // value range.
+            prop_assert!(a >= approx.min && a <= approx.max, "{} out of range", which);
+        }
+    }
+
+    #[test]
     fn pipeline_pseudonymity_and_containment(
         pts in prop::collection::vec(upoint(), 5..60),
         k in 1u32..10,

@@ -82,7 +82,11 @@ pub struct Scope {
 /// path with forward slashes).
 pub fn scope_for(rel: &str) -> Scope {
     Scope {
-        panic_free: rel.starts_with("crates/net/src/") || rel == "crates/core/src/wire.rs",
+        panic_free: rel.starts_with("crates/net/src/")
+            || rel == "crates/core/src/wire.rs"
+            // The observability registry records on hot paths and its
+            // snapshots are served to remote scrapers.
+            || rel == "crates/core/src/obs.rs",
         private_api: rel.starts_with("crates/server/src/private_"),
         // The registry module itself implements the tracked wrappers on
         // top of raw std locks.
@@ -98,6 +102,9 @@ const REQUIRED_SERVER_BOUND: &[(&str, &str)] = &[
     ("crates/anonymizer/src/anonymizer.rs", "CloakedUpdate"),
     ("crates/anonymizer/src/anonymizer.rs", "CloakedQuery"),
     ("crates/anonymizer/src/cloak.rs", "CloakedRegion"),
+    // A STATS scrape leaves the trust boundary too: the snapshot may
+    // carry aggregates only, never positions or identities.
+    ("crates/core/src/obs.rs", "RegistrySnapshot"),
 ];
 
 /// Field names that may not appear in a server-bound struct.

@@ -1,0 +1,19 @@
+// Known-bad fixture: an observability snapshot that "enriches" its
+// aggregates with per-user detail — exactly the leak a STATS scrape
+// must never carry across the trust boundary. Never compiled —
+// consumed as data by tests/lint_fixtures.rs.
+
+/// A stats snapshot that forgot stats are aggregates.
+// lint: server-bound
+#[derive(Debug, Clone)]
+pub struct RegistrySnapshot {
+    /// Requests served — a legal aggregate counter.
+    pub requests_served: u64,
+    /// The last updater's position — an exact-location leak, twice
+    /// over (banned field name and banned location type).
+    pub position: Point,
+    /// A true identity — the boundary only ever sees pseudonyms.
+    pub user_id: u64,
+    /// "exact anything" is a leak by prefix.
+    pub exact_hold_micros: f64,
+}

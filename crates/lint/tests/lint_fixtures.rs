@@ -49,6 +49,42 @@ fn taint_leak_in_server_bound_struct_is_caught() {
 }
 
 #[test]
+fn stats_snapshot_leak_is_caught_in_obs_scope() {
+    // The STATS boundary struct lives in crates/core/src/obs.rs; the
+    // taint rule must cover that file so a snapshot can never grow a
+    // position, identity, or exact-prefixed field.
+    let f = lint_as("crates/core/src/obs.rs", &fixture("bad_stats_leak.rs"));
+    let taint: Vec<_> = f.iter().filter(|x| x.rule == "taint").collect();
+    assert!(
+        taint.len() >= 3,
+        "position (name + Point type), user_id, and exact_* all caught: {f:?}"
+    );
+    assert!(taint.iter().any(|x| x.message.contains("`position`")));
+    assert!(taint.iter().any(|x| x.message.contains("`user_id`")));
+    assert!(taint.iter().any(|x| x.message.contains("Point")));
+    assert!(taint
+        .iter()
+        .any(|x| x.message.contains("exact_hold_micros")));
+    // obs.rs is also panic-free scope: the fixture has no unwraps, so
+    // no panic findings — but the scope itself must be active.
+    assert!(lbsp_lint::scope_for("crates/core/src/obs.rs").panic_free);
+}
+
+#[test]
+fn obs_without_marked_registry_snapshot_is_flagged() {
+    // The required-marker rule pins `RegistrySnapshot` in obs.rs: if the
+    // struct loses its `// lint: server-bound` annotation (silently
+    // disabling the taint check), the lint itself must say so.
+    let src = "pub struct RegistrySnapshot { pub served: u64 }\n";
+    let f = lint_as("crates/core/src/obs.rs", src);
+    assert!(
+        f.iter()
+            .any(|x| x.message.contains("must carry") && x.message.contains("RegistrySnapshot")),
+        "{f:?}"
+    );
+}
+
+#[test]
 fn unwrap_indexing_and_panic_in_decode_path_are_caught() {
     // The acceptance scenario: an unwrap() reintroduced into frame.rs.
     let f = lint_as("crates/net/src/frame.rs", &fixture("bad_unwrap_decode.rs"));

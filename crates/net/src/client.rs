@@ -28,6 +28,9 @@ pub enum Reply {
     Candidates(Vec<u8>),
     /// Echo of a ping payload.
     Pong(Vec<u8>),
+    /// The raw observability snapshot bytes of a STATS scrape
+    /// (decodable with [`wire::decode_stats_snapshot`]).
+    Stats(Vec<u8>),
     /// The server rejected the request with a message; the connection
     /// is still usable.
     Error(String),
@@ -56,25 +59,48 @@ impl NetClient {
         self.stream.set_read_timeout(t)
     }
 
+    /// Sets a write timeout so a stalled server (full socket buffers,
+    /// wedged peer) cannot hang the sending half either.
+    pub fn set_write_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.stream.set_write_timeout(t)
+    }
+
     /// Sends one frame without waiting for a reply (pipelining half).
     pub fn send_only(&mut self, tag: u8, payload: &[u8]) -> io::Result<()> {
         write_frame(&mut self.stream, tag, payload, MAX_FRAME_LEN)
     }
 
     /// Blocks until the next reply frame arrives (pipelining half).
+    ///
+    /// With a read timeout set, each `Pending` poll is allowed as long
+    /// as the frame made *progress* during the interval — a server
+    /// trickling a large reply is not a dead server. The call fails
+    /// with [`io::ErrorKind::TimedOut`] only after a full quiet
+    /// interval in which zero new bytes arrived.
     pub fn read_reply(&mut self) -> io::Result<Reply> {
-        match self.reader.poll(&mut self.stream)? {
-            Poll::Frame(f) => Ok(classify(f)),
-            // A read timeout (if the caller set one) surfaces as
-            // Pending; report it as such rather than spinning.
-            Poll::Pending => Err(io::Error::new(
-                io::ErrorKind::TimedOut,
-                "timed out waiting for reply",
-            )),
-            Poll::Eof => Err(io::Error::new(
-                io::ErrorKind::ConnectionAborted,
-                "server closed the connection",
-            )),
+        loop {
+            let before = self.reader.buffered();
+            match self.reader.poll(&mut self.stream)? {
+                Poll::Frame(f) => return classify(f),
+                Poll::Pending => {
+                    // A read timeout (if the caller set one) surfaces
+                    // as Pending. Give up only if the interval was
+                    // completely quiet; a partial frame that grew means
+                    // the peer is alive, so keep waiting.
+                    if self.reader.buffered() == before {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "timed out waiting for reply",
+                        ));
+                    }
+                }
+                Poll::Eof => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionAborted,
+                        "server closed the connection",
+                    ))
+                }
+            }
         }
     }
 
@@ -133,15 +159,35 @@ impl NetClient {
     pub fn ping(&mut self, payload: &[u8]) -> io::Result<Reply> {
         self.request(wire::tag::PING, payload)
     }
+
+    /// Scrapes the server's observability registry; on success the
+    /// reply carries bytes for [`wire::decode_stats_snapshot`].
+    pub fn stats(&mut self) -> io::Result<Reply> {
+        self.request(wire::tag::STATS, &[])
+    }
 }
 
-fn classify(f: Frame) -> Reply {
+/// Maps a reply frame to a [`Reply`].
+///
+/// A `tag::ERROR` frame is an *application* rejection — the server
+/// understood the request and said no; the connection stays usable and
+/// it becomes [`Reply::Error`]. An unrecognized tag is a *protocol*
+/// violation — the peer is not speaking this protocol (or the stream
+/// desynchronized) — and must not masquerade as a server rejection, so
+/// it surfaces as an [`io::ErrorKind::InvalidData`] error instead.
+fn classify(f: Frame) -> io::Result<Reply> {
     match f.tag {
-        wire::tag::OK => Reply::Ok,
-        wire::tag::CLOAKED_UPDATE => Reply::Cloaked(f.payload),
-        wire::tag::CANDIDATES => Reply::Candidates(f.payload),
-        wire::tag::PONG => Reply::Pong(f.payload),
-        wire::tag::ERROR => Reply::Error(String::from_utf8_lossy(&f.payload).into_owned()),
-        other => Reply::Error(format!("unrecognized reply tag 0x{other:02x}")),
+        wire::tag::OK => Ok(Reply::Ok),
+        wire::tag::CLOAKED_UPDATE => Ok(Reply::Cloaked(f.payload)),
+        wire::tag::CANDIDATES => Ok(Reply::Candidates(f.payload)),
+        wire::tag::PONG => Ok(Reply::Pong(f.payload)),
+        wire::tag::STATS_SNAPSHOT => Ok(Reply::Stats(f.payload)),
+        wire::tag::ERROR => Ok(Reply::Error(
+            String::from_utf8_lossy(&f.payload).into_owned(),
+        )),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("protocol violation: unrecognized reply tag 0x{other:02x}"),
+        )),
     }
 }

@@ -131,6 +131,14 @@ impl FrameReader {
         self.have_header == 0
     }
 
+    /// Bytes of the in-progress frame buffered so far (header + body).
+    /// Strictly increases while a frame is arriving and resets to 0 when
+    /// one completes, so callers can distinguish "no data at all" from
+    /// "a frame is trickling in" across [`Poll::Pending`] returns.
+    pub fn buffered(&self) -> usize {
+        self.have_header + self.have_body
+    }
+
     /// Pulls bytes from `r` until a frame completes, the source would
     /// block, or the stream ends.
     ///

@@ -29,7 +29,7 @@
 use crate::frame::{write_frame, FrameReader, Poll, MAX_FRAME_LEN};
 use lbsp_anonymizer::{CloakRequirement, PrivacyProfile};
 use lbsp_core::metrics::NetCounters;
-use lbsp_core::{wire, LockRank, ShardedEngine, TrackedMutex};
+use lbsp_core::{wire, LockRank, MetricsRegistry, ShardedEngine, Stage, TrackedMutex};
 use lbsp_geom::SimTime;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -113,7 +113,10 @@ pub struct NetServer {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     engine: Option<Arc<TrackedMutex<ShardedEngine>>>,
-    counters: Arc<NetCounters>,
+    /// The engine's own metrics registry, shared (not copied) so the
+    /// network counters, per-stage timings, and cloaking histograms all
+    /// land in one place — and one STATS scrape reports all of them.
+    obs: Arc<MetricsRegistry>,
 }
 
 impl NetServer {
@@ -126,8 +129,11 @@ impl NetServer {
     ) -> io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        // Share the engine's registry rather than keeping a separate
+        // counter set: scrapes then see engine stages and net counters
+        // in one consistent snapshot.
+        let obs = Arc::clone(engine.metrics_registry());
         let engine = Arc::new(TrackedMutex::new(LockRank::Engine, engine));
-        let counters = Arc::new(NetCounters::new());
         let shutdown = Arc::new(AtomicBool::new(false));
 
         // Bounded hand-off queue: acceptor -> workers.
@@ -138,7 +144,7 @@ impl NetServer {
             .map(|_| {
                 let conn_rx = Arc::clone(&conn_rx);
                 let engine = Arc::clone(&engine);
-                let counters = Arc::clone(&counters);
+                let obs = Arc::clone(&obs);
                 let shutdown = Arc::clone(&shutdown);
                 std::thread::spawn(move || loop {
                     // Hold the receiver lock only while dequeuing; poll
@@ -150,10 +156,10 @@ impl NetServer {
                                 // A connection that never got a worker
                                 // before shutdown: close, don't serve.
                                 let _ = stream.shutdown(Shutdown::Both);
-                                NetCounters::add(&counters.connections_closed, 1);
+                                NetCounters::add(&obs.net().connections_closed, 1);
                                 continue;
                             }
-                            serve_connection(stream, &engine, &counters, &cfg, &shutdown);
+                            serve_connection(stream, &engine, &obs, &cfg, &shutdown);
                         }
                         Err(mpsc::RecvTimeoutError::Timeout) => {
                             if shutdown.load(Ordering::Relaxed) {
@@ -167,7 +173,7 @@ impl NetServer {
             .collect();
 
         let acceptor = {
-            let counters = Arc::clone(&counters);
+            let obs = Arc::clone(&obs);
             let shutdown = Arc::clone(&shutdown);
             std::thread::spawn(move || {
                 for stream in listener.incoming() {
@@ -176,11 +182,11 @@ impl NetServer {
                     }
                     match stream {
                         Ok(s) => {
-                            NetCounters::add(&counters.connections_accepted, 1);
+                            NetCounters::add(&obs.net().connections_accepted, 1);
                             if let Err(TrySendError::Full(s)) = conn_tx.try_send(s) {
                                 // Backlog full: refuse, never buffer
                                 // without bound.
-                                NetCounters::add(&counters.connections_refused, 1);
+                                NetCounters::add(&obs.net().connections_refused, 1);
                                 let _ = s.shutdown(Shutdown::Both);
                             }
                         }
@@ -197,7 +203,7 @@ impl NetServer {
             acceptor: Some(acceptor),
             workers,
             engine: Some(engine),
-            counters,
+            obs,
         })
     }
 
@@ -208,7 +214,14 @@ impl NetServer {
 
     /// The live counter set (shared with every server thread).
     pub fn counters(&self) -> &NetCounters {
-        &self.counters
+        self.obs.net()
+    }
+
+    /// The full observability registry backing this server — the same
+    /// one the engine records into, and the one a `STATS` scrape
+    /// snapshots.
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.obs
     }
 
     /// Stops accepting, drains in-flight requests, joins every thread.
@@ -254,12 +267,13 @@ impl Drop for NetServer {
 fn serve_connection(
     stream: TcpStream,
     engine: &Arc<TrackedMutex<ShardedEngine>>,
-    counters: &Arc<NetCounters>,
+    obs: &Arc<MetricsRegistry>,
     cfg: &NetConfig,
     shutdown: &Arc<AtomicBool>,
 ) {
-    let reason = serve_connection_inner(&stream, engine, counters, cfg, shutdown)
-        .unwrap_or(CloseReason::Normal);
+    let reason =
+        serve_connection_inner(&stream, engine, obs, cfg, shutdown).unwrap_or(CloseReason::Normal);
+    let counters = obs.net();
     match reason {
         CloseReason::Normal => {}
         CloseReason::BadFrame => NetCounters::add(&counters.frames_rejected, 1),
@@ -273,10 +287,11 @@ fn serve_connection(
 fn serve_connection_inner(
     stream: &TcpStream,
     engine: &Arc<TrackedMutex<ShardedEngine>>,
-    counters: &Arc<NetCounters>,
+    obs: &Arc<MetricsRegistry>,
     cfg: &NetConfig,
     shutdown: &Arc<AtomicBool>,
 ) -> io::Result<CloseReason> {
+    let counters = obs.net();
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(cfg.read_poll))?;
     let mut rstream = stream.try_clone()?;
@@ -290,7 +305,7 @@ fn serve_connection_inner(
     type Outbound = (u8, Vec<u8>);
     let (out_tx, out_rx) = mpsc::sync_channel::<Outbound>(cfg.outbound_bound.max(1));
     let writer = {
-        let counters = Arc::clone(counters);
+        let obs = Arc::clone(obs);
         let max_frame = cfg.max_frame;
         let mut wstream = wstream;
         std::thread::spawn(move || -> bool {
@@ -301,7 +316,7 @@ fn serve_connection_inner(
                     return false;
                 }
                 NetCounters::add(
-                    &counters.bytes_out,
+                    &obs.net().bytes_out,
                     (len + crate::frame::FRAME_OVERHEAD) as u64,
                 );
             }
@@ -313,6 +328,10 @@ fn serve_connection_inner(
     let mut last_frame = Instant::now();
     let mut draining_since: Option<Instant> = None;
     let mut reason = CloseReason::Normal;
+    // Time attributed to decoding the frame currently in flight. Idle
+    // polls (nothing buffered) are excluded so the frame-decode stage
+    // measures decode work, not how long the connection sat quiet.
+    let mut decode_acc = Duration::ZERO;
 
     'conn: loop {
         if shutdown.load(Ordering::Relaxed) && draining_since.is_none() {
@@ -323,11 +342,15 @@ fn serve_connection_inner(
                 break 'conn;
             }
         }
+        let poll_start = Instant::now();
         match reader.poll(&mut rstream) {
             Ok(Poll::Frame(frame)) => {
+                obs.stage(Stage::FrameDecode)
+                    .record_duration(decode_acc + poll_start.elapsed());
+                decode_acc = Duration::ZERO;
                 last_frame = Instant::now();
                 NetCounters::add(&counters.bytes_in, frame.wire_len() as u64);
-                let (tag, payload) = handle_request(engine, counters, frame);
+                let (tag, payload) = handle_request(engine, obs, frame);
                 NetCounters::add(&counters.requests_served, 1);
                 if tag == wire::tag::ERROR {
                     NetCounters::add(&counters.errors_returned, 1);
@@ -335,6 +358,7 @@ fn serve_connection_inner(
                 // Bounded enqueue with a deadline: slow consumers are
                 // disconnected, not buffered indefinitely.
                 let deadline = Instant::now() + cfg.backpressure_timeout;
+                let wait_start = Instant::now();
                 let mut item = (tag, payload);
                 loop {
                     match out_tx.try_send(item) {
@@ -354,8 +378,17 @@ fn serve_connection_inner(
                         }
                     }
                 }
+                obs.stage(Stage::OutboundWait)
+                    .record_duration(wait_start.elapsed());
             }
             Ok(Poll::Pending) => {
+                if reader.buffered() > 0 {
+                    // Mid-frame stall: the peer is trickling a frame,
+                    // so the elapsed slice is decode latency.
+                    decode_acc = decode_acc.saturating_add(poll_start.elapsed());
+                } else {
+                    decode_acc = Duration::ZERO;
+                }
                 // No buffered data left: if shutting down, the drain is
                 // complete; otherwise check the idle clock.
                 if draining_since.is_some() {
@@ -397,12 +430,26 @@ fn serve_connection_inner(
 /// tell a rejected request from a dead connection.
 fn handle_request(
     engine: &Arc<TrackedMutex<ShardedEngine>>,
-    counters: &Arc<NetCounters>,
+    obs: &Arc<MetricsRegistry>,
     frame: crate::frame::Frame,
 ) -> (u8, Vec<u8>) {
+    let counters = obs.net();
     let err = |msg: String| (wire::tag::ERROR, msg.into_bytes());
     match frame.tag {
         wire::tag::PING => (wire::tag::PONG, frame.payload),
+        wire::tag::STATS => {
+            // A scrape takes no arguments; a payload means the peer is
+            // confused, and silently ignoring it would hide that.
+            if !frame.payload.is_empty() {
+                NetCounters::add(&counters.frames_rejected, 1);
+                return err("stats request carries a payload".into());
+            }
+            let snap = obs.snapshot();
+            (
+                wire::tag::STATS_SNAPSHOT,
+                wire::encode_stats_snapshot(&snap).to_vec(),
+            )
+        }
         wire::tag::REGISTER => {
             let Some(msg) = wire::decode_register(&frame.payload) else {
                 NetCounters::add(&counters.frames_rejected, 1);

@@ -1,0 +1,204 @@
+//! Client-side robustness: the timeout semantics of
+//! [`NetClient::read_reply`] and the classification of reply frames.
+//!
+//! These are regression tests for three bugs:
+//!
+//! 1. `read_reply` used to return `TimedOut` on the *first* quiet read
+//!    interval, even when a reply frame was mid-flight — a server
+//!    trickling a large reply slower than the read timeout looked
+//!    identical to a dead one. It must time out only after a full
+//!    interval with zero new bytes.
+//! 2. Unrecognized reply tags used to fold into [`Reply::Error`], making
+//!    a protocol violation indistinguishable from an application-level
+//!    server rejection. They must surface as an `InvalidData` I/O error.
+//! 3. The client had no write timeout at all, so a peer that stopped
+//!    reading could hang the sending half forever.
+
+use lbsp_net::{NetClient, Reply};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Encodes one frame (u32 LE length prefix + tag + payload) by hand so
+/// these tests do not depend on the writer under test.
+fn raw_frame(tag: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = ((payload.len() + 1) as u32).to_le_bytes().to_vec();
+    out.push(tag);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Spawns a raw TCP server that runs `f` on its first connection and
+/// returns the address plus the join handle.
+fn raw_server(
+    f: impl FnOnce(TcpStream) + Send + 'static,
+) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        if let Ok((stream, _)) = listener.accept() {
+            f(stream);
+        }
+    });
+    (addr, handle)
+}
+
+/// A reply that trickles in byte-by-byte, each gap shorter than the
+/// read timeout but the whole frame taking many timeouts to arrive,
+/// must still be read successfully: progress resets the quiet clock.
+#[test]
+fn read_reply_survives_a_slow_trickling_server() {
+    let frame = raw_frame(lbsp_core::wire::tag::PONG, b"trickle");
+    let (addr, handle) = raw_server(move |mut stream| {
+        for b in &frame {
+            stream.write_all(&[*b]).unwrap();
+            stream.flush().ok();
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        // Hold the socket open until the client has surely finished.
+        std::thread::sleep(Duration::from_millis(200));
+    });
+
+    let mut client = NetClient::connect(addr).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_millis(60)))
+        .unwrap();
+    // 12 frame bytes * 25 ms ≈ 300 ms of trickle, five times the read
+    // timeout. The old first-Pending-loses behavior fails here.
+    let reply = client.read_reply().unwrap();
+    assert_eq!(reply, Reply::Pong(b"trickle".to_vec()));
+    handle.join().unwrap();
+}
+
+/// A server that accepts and then says nothing is dead air: the read
+/// must give up with `TimedOut` after one quiet interval, not hang.
+#[test]
+fn read_reply_times_out_on_a_quiet_server() {
+    let (addr, handle) = raw_server(|stream| {
+        std::thread::sleep(Duration::from_millis(500));
+        drop(stream);
+    });
+
+    let mut client = NetClient::connect(addr).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .unwrap();
+    let start = Instant::now();
+    let err = client.read_reply().unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+    assert!(
+        start.elapsed() < Duration::from_millis(400),
+        "quiet server must fail fast, took {:?}",
+        start.elapsed()
+    );
+    handle.join().unwrap();
+}
+
+/// A partial frame followed by silence is also a timeout — progress
+/// extends patience only while it continues.
+#[test]
+fn read_reply_times_out_when_a_partial_frame_stalls() {
+    let frame = raw_frame(lbsp_core::wire::tag::PONG, b"never finished");
+    let (addr, handle) = raw_server(move |mut stream| {
+        stream.write_all(&frame[..3]).unwrap();
+        stream.flush().ok();
+        std::thread::sleep(Duration::from_millis(600));
+        drop(stream);
+    });
+
+    let mut client = NetClient::connect(addr).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .unwrap();
+    let err = client.read_reply().unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+    handle.join().unwrap();
+}
+
+/// An unrecognized reply tag is a protocol violation and must surface
+/// as an `InvalidData` I/O error — never as `Reply::Error`, which means
+/// "the server understood and rejected the request".
+#[test]
+fn garbage_reply_tag_is_a_protocol_error_not_a_server_rejection() {
+    let frame = raw_frame(0x5A, b"who knows");
+    let (addr, handle) = raw_server(move |mut stream| {
+        stream.write_all(&frame).unwrap();
+        stream.flush().ok();
+        std::thread::sleep(Duration::from_millis(200));
+    });
+
+    let mut client = NetClient::connect(addr).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    let err = client.read_reply().unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(
+        err.to_string().contains("0x5a"),
+        "error names the offending tag: {err}"
+    );
+    handle.join().unwrap();
+}
+
+/// A genuine server ERROR frame still classifies as `Reply::Error`, so
+/// the two cases stay distinguishable.
+#[test]
+fn error_frames_still_classify_as_application_errors() {
+    let frame = raw_frame(lbsp_core::wire::tag::ERROR, b"nope");
+    let (addr, handle) = raw_server(move |mut stream| {
+        stream.write_all(&frame).unwrap();
+        stream.flush().ok();
+        std::thread::sleep(Duration::from_millis(200));
+    });
+
+    let mut client = NetClient::connect(addr).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    assert_eq!(client.read_reply().unwrap(), Reply::Error("nope".into()));
+    handle.join().unwrap();
+}
+
+/// With a write timeout set, a peer that never reads cannot hang the
+/// sending half: once loopback buffers fill, the send errors out
+/// instead of blocking forever.
+#[test]
+fn write_timeout_bounds_a_stalled_send() {
+    let (addr, handle) = raw_server(|stream| {
+        // Accept, never read; keep the socket open long enough for the
+        // client to hit its write timeout.
+        std::thread::sleep(Duration::from_secs(10));
+        drop(stream);
+    });
+
+    let mut client = NetClient::connect(addr).unwrap();
+    client
+        .set_write_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    let payload = vec![0x77u8; 64 * 1024];
+    let start = Instant::now();
+    let mut failed = None;
+    for _ in 0..4096 {
+        if let Err(e) = client.send_only(lbsp_core::wire::tag::PING, &payload) {
+            failed = Some(e);
+            break;
+        }
+    }
+    let err = failed.expect("send loop filled the buffers and errored");
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+        ),
+        "stalled write surfaces as a timeout, got {err:?}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(8),
+        "write timeout bounded the stall, took {:?}",
+        start.elapsed()
+    );
+    drop(client);
+    // The server thread is parked in a long sleep by design; detach it
+    // instead of stalling the test run on the join.
+    drop(handle);
+}

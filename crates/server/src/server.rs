@@ -16,8 +16,15 @@ use crate::{
     PublicCountQuery, PublicNnAnswer, PublicNnQuery, PublicObject, PublicStore,
 };
 use lbsp_geom::{Point, Rect};
+use std::time::Instant;
 
 /// Counters per query class, for operations dashboards and experiments.
+///
+/// Besides the per-class request counts, the server accumulates the
+/// time spent *inside* its query processors (`private_micros` /
+/// `public_micros`), so callers that aggregate into the streaming
+/// observability registry (`lbsp-core::obs`) can attribute latency to
+/// the server stage without this crate depending on it.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Cloaked updates ingested.
@@ -32,6 +39,16 @@ pub struct ServerStats {
     pub public_nn: u64,
     /// Private-over-private queries served (Sec. 6.1, fourth cell).
     pub private_private: u64,
+    /// Total microseconds spent evaluating private-side queries
+    /// (range/NN/kNN and private-over-private).
+    pub private_micros: u64,
+    /// Total microseconds spent evaluating public-side queries.
+    pub public_micros: u64,
+}
+
+/// Microseconds elapsed since `t`, saturating into a u64.
+fn micros_since(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 /// The assembled privacy-aware database server.
@@ -99,31 +116,46 @@ impl Server {
     /// Private range query over public data (Fig. 5a).
     pub fn private_range(&mut self, cloak: &Rect, radius: f64) -> Vec<PublicObject> {
         self.stats.private_range += 1;
-        private_range_candidates(&self.public, cloak, radius)
+        let t = Instant::now();
+        let out = private_range_candidates(&self.public, cloak, radius);
+        self.stats.private_micros += micros_since(t);
+        out
     }
 
     /// Private NN query over public data (Fig. 5b).
     pub fn private_nn(&mut self, cloak: &Rect) -> Vec<PublicObject> {
         self.stats.private_nn += 1;
-        private_nn_candidates(&self.public, cloak)
+        let t = Instant::now();
+        let out = private_nn_candidates(&self.public, cloak);
+        self.stats.private_micros += micros_since(t);
+        out
     }
 
     /// Private k-NN query over public data (extension).
     pub fn private_knn(&mut self, cloak: &Rect, k: usize) -> Vec<PublicObject> {
         self.stats.private_nn += 1;
-        private_knn_candidates(&self.public, cloak, k)
+        let t = Instant::now();
+        let out = private_knn_candidates(&self.public, cloak, k);
+        self.stats.private_micros += micros_since(t);
+        out
     }
 
     /// Public count query over private data (Fig. 6a).
     pub fn public_count(&mut self, area: Rect) -> CountAnswer {
         self.stats.public_count += 1;
-        PublicCountQuery::new(area).evaluate(&self.private)
+        let t = Instant::now();
+        let out = PublicCountQuery::new(area).evaluate(&self.private);
+        self.stats.public_micros += micros_since(t);
+        out
     }
 
     /// Public NN query over private data (Fig. 6b).
     pub fn public_nn(&mut self, from: Point) -> PublicNnAnswer {
         self.stats.public_nn += 1;
-        PublicNnQuery::new(from).evaluate(&self.private)
+        let t = Instant::now();
+        let out = PublicNnQuery::new(from).evaluate(&self.private);
+        self.stats.public_micros += micros_since(t);
+        out
     }
 
     /// Private NN over private data (Sec. 6.1's fourth cell).
@@ -133,7 +165,10 @@ impl Server {
         querier: PseudonymId,
     ) -> PrivatePrivateNnAnswer {
         self.stats.private_private += 1;
-        PrivatePrivateNnQuery::new(*cloak, querier).evaluate(&self.private)
+        let t = Instant::now();
+        let out = PrivatePrivateNnQuery::new(*cloak, querier).evaluate(&self.private);
+        self.stats.private_micros += micros_since(t);
+        out
     }
 
     /// Private range count over private data.
@@ -144,14 +179,17 @@ impl Server {
         radius: f64,
     ) -> PrivatePrivateCountAnswer {
         self.stats.private_private += 1;
-        private_private_range_count(
+        let t = Instant::now();
+        let out = private_private_range_count(
             &self.private,
             cloak,
             querier,
             radius,
             2048,
             querier ^ 0xC0DE,
-        )
+        );
+        self.stats.private_micros += micros_since(t);
+        out
     }
 
     /// Registers a standing count query seeded from the current records.
