@@ -19,6 +19,9 @@ cargo test -q --offline --test net_loopback
 echo "== loopback byte-identity (network vs in-process) =="
 cargo test -q --offline --release --test net_loopback
 
+echo "== standing queries over the network (release smoke) =="
+cargo test -q --offline --release --test standing_network
+
 echo "== STATS scrape smoke (repro --serve / --stats) =="
 cargo build -q --release --offline -p lbsp-bench --bin repro
 ./target/release/repro --serve 127.0.0.1:7641 &

@@ -6,7 +6,7 @@
 //! cargo run -p lbsp-bench --bin repro --release -- e3 e4   # a subset
 //! ```
 //!
-//! Each experiment (E1–E13) maps to one figure or section of the paper;
+//! Each experiment (E1–E14) maps to one figure or section of the paper;
 //! see DESIGN.md for the index and EXPERIMENTS.md for recorded results.
 //! `-- --threads N` runs the sharded-engine experiment (E12) at N
 //! workers.
@@ -109,6 +109,9 @@ fn main() {
     }
     if want("e13") {
         e13_network();
+    }
+    if want("e14") {
+        e14_standing();
     }
 }
 
@@ -235,6 +238,83 @@ fn e13_network() {
         server.shutdown();
     }
     println!();
+}
+
+/// E14: standing-query maintenance — the uniform-grid area index keeps
+/// per-update cost proportional to *overlapping* queries, not to the
+/// number registered.
+fn e14_standing() {
+    use lbsp_server::ContinuousRangeCount;
+    use std::collections::HashMap;
+    println!("## E14 — standing count maintenance (area index)\n");
+    println!(
+        "Q standing count queries are registered, all but 32 monitoring the\n\
+         left half of the world; 20,000 cloak updates then stream through the\n\
+         right half only. Claim: per-update work (queries examined via the\n\
+         area index, queries actually adjusted) tracks the 32 overlapping\n\
+         queries and stays flat as Q grows 16x — the naive O(Q) scan this\n\
+         index replaced would grow 16x.\n"
+    );
+    let n_updates = 20_000usize;
+    let users = 2_000u64;
+    // Small query rectangles centered on seeded points, squeezed into
+    // the requested half of the world.
+    let query_rect = |p: Point, left: bool| {
+        let x = if left { p.x * 0.45 } else { 0.55 + p.x * 0.4 };
+        let y = p.y * 0.9;
+        Rect::new_unchecked(x, y, (x + 0.05).min(1.0), (y + 0.05).min(1.0))
+    };
+    header(&[
+        "registered",
+        "overlapping side",
+        "examined/update",
+        "adjusted/update",
+        "updates/s",
+    ]);
+    let mut examined_rates: Vec<f64> = Vec::new();
+    for q_total in [64usize, 1024] {
+        let mut reg = ContinuousRangeCount::new();
+        for (j, p) in uniform_positions(q_total, 31).into_iter().enumerate() {
+            // The last 32 queries sit in the busy right half.
+            let left = j < q_total - 32;
+            reg.register(query_rect(p, left), std::iter::empty());
+        }
+        // Updates confined to the right half: each user's cloak drifts
+        // among seeded positions, so every update has an old and a new
+        // region exactly like engine maintenance produces.
+        let positions = uniform_positions(n_updates, 7);
+        let mut cloaks: HashMap<u64, Rect> = HashMap::new();
+        let mut adjusted = 0u64;
+        let start = Instant::now();
+        for (i, p) in positions.iter().enumerate() {
+            let user = i as u64 % users;
+            let x = 0.55 + p.x * 0.4;
+            let y = p.y * 0.9;
+            let new = Rect::new_unchecked(x, y, (x + 0.03).min(1.0), (y + 0.03).min(1.0));
+            let old = cloaks.insert(user, new);
+            adjusted += reg.on_update(user, old.as_ref(), Some(&new)) as u64;
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let examined = reg.examined_total() as f64 / reg.updates_processed() as f64;
+        examined_rates.push(examined);
+        row(&[
+            format!("{q_total}"),
+            "32 right-half".to_string(),
+            format!("{examined:.2}"),
+            format!("{:.2}", adjusted as f64 / n_updates as f64),
+            format!("{:.0}", n_updates as f64 / elapsed),
+        ]);
+    }
+    let ratio = examined_rates[1] / examined_rates[0].max(f64::MIN_POSITIVE);
+    assert!(
+        ratio < 2.0,
+        "per-update examined work must track overlapping queries, not the \
+         registry: 16x more queries cost {ratio:.2}x"
+    );
+    println!(
+        "\n16x more registered queries -> {ratio:.2}x examined per update\n\
+         (flat; a linear scan would be 16.00x; asserted < 2x).\n"
+    );
 }
 
 /// E12: the sharded concurrent engine — worker-count scaling plus the

@@ -39,7 +39,8 @@
 
 use crate::locks::{LockRank, TrackedMutex, TrackedRwLock};
 use crate::obs::{MetricsRegistry, Stage};
-use crate::wire::{self, RangeQueryMsg};
+use crate::standing::{StandingPrivateRanges, StandingQueryId};
+use crate::wire::{self, RangeQueryMsg, StandingCountState, StandingKind, StandingRangeState};
 use crate::UserId;
 use bytes::Bytes;
 use lbsp_anonymizer::{
@@ -49,7 +50,8 @@ use lbsp_anonymizer::{
 use lbsp_geom::{Point, Rect, SimTime};
 use lbsp_index::{CellCounts, SummedGrids, UniformGrid};
 use lbsp_server::{
-    private_range_candidates, PrivateRecord, PrivateStore, PublicObject, PublicStore,
+    private_range_candidates, ContinuousRangeCount, PrivateRecord, PrivateStore, PublicObject,
+    PublicStore,
 };
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -309,6 +311,15 @@ pub struct ShardedEngine {
     anon: Vec<Arc<TrackedRwLock<UniformGrid>>>,
     private: Vec<Arc<TrackedRwLock<PrivateStore>>>,
     public: Vec<Arc<TrackedRwLock<PublicStore>>>,
+    /// Standing count queries over the private population, maintained
+    /// incrementally from per-row `(old, new)` cloak deltas.
+    standing_counts: ContinuousRangeCount,
+    /// Standing private range queries, refreshed per updating user.
+    standing_ranges: StandingPrivateRanges,
+    /// Unsharded copy of the public dataset: standing-range recomputes
+    /// need the whole object set, and keeping a merged store avoids a
+    /// cross-shard collect on every cloak change.
+    public_all: PublicStore,
     /// Unified observability registry (shared with the network
     /// front-end when one wraps this engine). All recording paths are
     /// `&self` and lock-free, so metrics never perturb batch semantics.
@@ -360,6 +371,9 @@ impl ShardedEngine {
                     ))
                 })
                 .collect(),
+            standing_counts: ContinuousRangeCount::new(),
+            standing_ranges: StandingPrivateRanges::new(),
+            public_all: PublicStore::new(),
             obs: Arc::new(MetricsRegistry::new()),
         }
     }
@@ -408,6 +422,7 @@ impl ShardedEngine {
     /// Loads the public-object dataset, partitioned into shards by
     /// object position.
     pub fn load_public(&mut self, objects: Vec<PublicObject>) {
+        self.public_all = PublicStore::bulk_load(objects.clone());
         let mut parts: Vec<Vec<PublicObject>> = vec![Vec::new(); self.cfg.shards];
         for o in objects {
             parts[self.shard_of(o.pos)].push(o);
@@ -562,40 +577,85 @@ impl ShardedEngine {
 
         // Phase 3 (barrier): ingest cloaked regions into the private
         // store, shard chosen by region center so placement never
-        // depends on worker count.
+        // depends on worker count. Each op is tagged with its input row
+        // so the shards can report the rectangle it displaced — the
+        // `old` half of the standing-query delta.
         let mut ingest: Vec<Vec<ShardOp2>> = (0..self.cfg.shards).map(|_| Vec::new()).collect();
-        for res in results.iter().flatten() {
+        for (row, res) in results.iter().enumerate() {
+            let Ok(res) = res else { continue };
             let target = self.shard_of(res.region.region.center());
             let key = res.pseudonym.0;
             if let Some(prev) = self.record_owner.insert(key, target) {
                 if prev != target {
-                    ingest[prev].push(ShardOp2::Forget(key));
+                    ingest[prev].push(ShardOp2::Forget(row, key));
                 }
             }
-            ingest[target].push(ShardOp2::Upsert(PrivateRecord::new(key, res.region.region)));
+            ingest[target].push(ShardOp2::Upsert(
+                row,
+                PrivateRecord::new(key, res.region.region),
+            ));
         }
+        // One slot per input row; a row's ops can span two shards (a
+        // cross-shard move), but at most one of them displaces a
+        // rectangle, so "any Some wins" merges without conflict.
+        let olds: Arc<TrackedMutex<Vec<Option<Rect>>>> = Arc::new(TrackedMutex::new(
+            LockRank::ResultSink,
+            vec![None; updates.len()],
+        ));
         let phase3: Vec<Job> = ingest
             .into_iter()
             .zip(&self.private)
             .filter(|(ops, _)| !ops.is_empty())
             .map(|(ops, shard)| {
                 let shard = Arc::clone(shard);
+                let olds = Arc::clone(&olds);
                 Box::new(move || {
-                    let mut store = shard.write();
-                    for op in ops {
-                        match op {
-                            ShardOp2::Upsert(rec) => {
-                                store.upsert(rec);
-                            }
-                            ShardOp2::Forget(p) => {
-                                store.remove(p);
+                    let mut displaced: Vec<(usize, Rect)> = Vec::new();
+                    {
+                        let mut store = shard.write();
+                        for op in ops {
+                            let (row, old) = match op {
+                                ShardOp2::Upsert(row, rec) => (row, store.upsert(rec)),
+                                ShardOp2::Forget(row, p) => (row, store.remove(p)),
+                            };
+                            if let Some(r) = old {
+                                displaced.push((row, r));
                             }
                         }
+                    }
+                    let mut olds = olds.lock();
+                    for (row, r) in displaced {
+                        olds[row] = Some(r);
                     }
                 }) as Job
             })
             .collect();
         self.mode.run(phase3);
+
+        // Standing-query maintenance: replay the per-row deltas in input
+        // order, exactly as the sequential system applies them (count
+        // registry first, then the updating user's private ranges).
+        if !(self.standing_counts.is_empty() && self.standing_ranges.is_empty()) {
+            let olds = Arc::try_unwrap(olds).expect("phase jobs done").into_inner();
+            let start = Instant::now();
+            for (row, res) in results.iter().enumerate() {
+                let Ok(u) = res else { continue };
+                let old = olds.get(row).and_then(Option::as_ref);
+                let fan_count =
+                    self.standing_counts
+                        .on_update(u.pseudonym.0, old, Some(&u.region.region));
+                let fan_range = updates.get(row).map_or(0, |&(user, _, _)| {
+                    self.standing_ranges
+                        .on_cloak_update(user, &u.region.region, &self.public_all)
+                });
+                self.obs
+                    .standing_fanout()
+                    .record((fan_count + fan_range) as f64);
+            }
+            self.obs
+                .stage(Stage::StandingUpdate)
+                .record_duration(start.elapsed());
+        }
         results
     }
 
@@ -725,12 +785,102 @@ impl ShardedEngine {
         let counts = Arc::try_unwrap(counts).expect("jobs done").into_inner();
         counts.into_iter().sum()
     }
+
+    /// Registers a standing count query over `area`, seeded from every
+    /// private record across the shards. The registry sorts seeds by
+    /// pseudonym before accumulating, so the engine and the sequential
+    /// server agree bit-for-bit on the expected count no matter which
+    /// order the shards (or the sequential store's hash map) iterate.
+    pub fn add_standing_count(&mut self, area: Rect) -> u64 {
+        let mut seeds: Vec<(u64, Rect)> = Vec::new();
+        for shard in &self.private {
+            let store = shard.read();
+            seeds.extend(store.iter().map(|r| (r.pseudonym, r.region)));
+        }
+        self.standing_counts.register(area, seeds)
+    }
+
+    /// Registers a standing private range query for `user` ("keep me
+    /// updated on objects within `radius` of me").
+    pub fn add_standing_range(&mut self, user: UserId, radius: f64) -> StandingQueryId {
+        self.standing_ranges.register(user, radius)
+    }
+
+    /// Drops a standing query from the registry `kind` addresses.
+    pub fn deregister_standing(&mut self, kind: StandingKind, id: u64) -> bool {
+        match kind {
+            StandingKind::Count => self.standing_counts.deregister(id),
+            StandingKind::Range => self.standing_ranges.deregister(id),
+        }
+    }
+
+    /// The current wire-level state of a standing query, or `None` when
+    /// no such query is registered. This is the exact payload pushed in
+    /// [`wire::tag::STANDING_DELTA`] frames and returned by snapshot
+    /// requests, so sequential and sharded paths can be compared
+    /// byte-for-byte through [`wire::encode_standing_state`].
+    pub fn standing_state(&self, kind: StandingKind, id: u64) -> Option<wire::StandingState> {
+        match kind {
+            StandingKind::Count => {
+                let (certain, possible) = self.standing_counts.interval(id)?;
+                Some(wire::StandingState::Count(StandingCountState {
+                    id,
+                    seq: self.standing_counts.seq(id)?,
+                    expected: self.standing_counts.expected(id)?,
+                    certain: certain as u64,
+                    possible: possible as u64,
+                }))
+            }
+            StandingKind::Range => Some(wire::StandingState::Range(StandingRangeState {
+                id,
+                seq: self.standing_ranges.seq(id)?,
+                candidates: self
+                    .standing_ranges
+                    .candidates(id)?
+                    .iter()
+                    .map(|o| (o.id, o.pos))
+                    .collect(),
+            })),
+        }
+    }
+
+    /// Drains the queries whose answer changed since the last call:
+    /// count queries first, then range queries, each in ascending id
+    /// order — the deterministic fan-out order for delta pushes.
+    pub fn take_standing_changes(&mut self) -> Vec<(StandingKind, u64)> {
+        let mut out: Vec<(StandingKind, u64)> = self
+            .standing_counts
+            .take_changed()
+            .into_iter()
+            .map(|id| (StandingKind::Count, id))
+            .collect();
+        out.extend(
+            self.standing_ranges
+                .take_changed()
+                .into_iter()
+                .map(|id| (StandingKind::Range, id)),
+        );
+        out
+    }
+
+    /// The standing count registry (read-only).
+    pub fn standing_counts(&self) -> &ContinuousRangeCount {
+        &self.standing_counts
+    }
+
+    /// The standing private-range registry (read-only).
+    pub fn standing_ranges(&self) -> &StandingPrivateRanges {
+        &self.standing_ranges
+    }
 }
 
-/// Second mutation kind, for the private-store ingest phase.
+/// Second mutation kind, for the private-store ingest phase. The
+/// leading `usize` is the input-row index the op belongs to, so the
+/// displaced rectangle can be routed back to that row's standing-query
+/// delta.
 enum ShardOp2 {
-    Upsert(PrivateRecord),
-    Forget(u64),
+    Upsert(usize, PrivateRecord),
+    Forget(usize, u64),
 }
 
 /// Raw splitmix64 finalizer (shared with [`ShardedEngine::pseudonym`]).
@@ -951,6 +1101,84 @@ mod tests {
         assert_eq!(e.private_len(), 64);
         let n = e.private_intersecting(&world());
         assert_eq!(n, 64, "every record intersects the world");
+    }
+
+    #[test]
+    fn standing_queries_agree_bytewise_across_worker_counts() {
+        // Same registration + update script on engines of different
+        // widths (and a replayed schedule): every standing query's wire
+        // state must be byte-identical, including the f64 bits of the
+        // expected count.
+        let objects: Vec<PublicObject> = (0..40)
+            .map(|i| PublicObject::new(i, Point::new(((i as f64) * 0.025).min(0.999), 0.5), 0))
+            .collect();
+        let script = |e: &mut ShardedEngine| {
+            e.load_public(objects.clone());
+            e.process_updates(&lattice_updates(64));
+            let qc = e.add_standing_count(Rect::new_unchecked(0.2, 0.2, 0.8, 0.8));
+            let qr = e.add_standing_range(7, 0.2);
+            // Two waves of movement, including user 7 (the range owner).
+            for wave in 1..3u64 {
+                let updates: Vec<(UserId, Point, SimTime)> = (0..64u64)
+                    .map(|i| {
+                        let x = (((i + wave) as f64 * 0.618_033_988_749) % 1.0).min(0.999);
+                        let y = (((i + 2 * wave) as f64 * 0.414_213_562_373) % 1.0).min(0.999);
+                        (i, Point::new(x, y), SimTime::from_secs(wave as f64))
+                    })
+                    .collect();
+                e.process_updates(&updates);
+            }
+            let count =
+                wire::encode_standing_state(&e.standing_state(StandingKind::Count, qc).unwrap());
+            let range =
+                wire::encode_standing_state(&e.standing_state(StandingKind::Range, qr).unwrap());
+            (count.to_vec(), range.to_vec(), e.take_standing_changes())
+        };
+        let mut one = engine(1);
+        let reference = script(&mut one);
+        assert!(!reference.2.is_empty(), "movement changed some answer");
+        for threads in [2usize, 4, 8] {
+            let mut many = engine(threads);
+            assert_eq!(script(&mut many), reference, "threads={threads}");
+        }
+        for seed in 0..4u64 {
+            let mut replay = ShardedEngine::with_replay(EngineConfig::new(world()), seed);
+            for i in 0..64u64 {
+                replay.register(
+                    i,
+                    PrivacyProfile::uniform(CloakRequirement::k_only(5)).unwrap(),
+                );
+            }
+            assert_eq!(script(&mut replay), reference, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn standing_count_interval_matches_full_recompute() {
+        use lbsp_server::PublicCountQuery;
+        let mut e = engine(4);
+        e.process_updates(&lattice_updates(64));
+        let area = Rect::new_unchecked(0.1, 0.1, 0.6, 0.6);
+        let qc = e.add_standing_count(area);
+        e.process_updates(&lattice_updates(64));
+        // Rebuild the private population into one store and recompute.
+        let mut merged = PrivateStore::new();
+        for i in 0..64u64 {
+            let p = e.pseudonym(i).0;
+            let shard = e.record_owner[&p];
+            let rect = e.private[shard].read().get(p).unwrap();
+            merged.upsert(PrivateRecord::new(p, rect));
+        }
+        let full = PublicCountQuery::new(area).evaluate(&merged);
+        assert_eq!(
+            e.standing_counts().interval(qc).unwrap(),
+            (full.certain, full.possible)
+        );
+        let inc = e.standing_counts().expected(qc).unwrap();
+        assert!((inc - full.expected).abs() < 1e-9);
+        // Deregistration works through the typed kind.
+        assert!(e.deregister_standing(StandingKind::Count, qc));
+        assert!(e.standing_state(StandingKind::Count, qc).is_none());
     }
 
     #[test]

@@ -37,7 +37,7 @@ use std::fmt;
 use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Number of declared lock ranks.
-pub const LOCK_RANK_COUNT: usize = 9;
+pub const LOCK_RANK_COUNT: usize = 10;
 
 /// The ordered lock registry. Declaration order *is* acquisition order:
 /// a thread holding a lock of some rank may only acquire locks of equal
@@ -49,6 +49,10 @@ pub enum LockRank {
     /// `lbsp-net`: the engine mutex serializing requests into the
     /// sharded engine.
     Engine,
+    /// `lbsp-net`: the standing-query subscription map (query -> conn
+    /// ids, conn id -> writer queue). Ranked after `Engine` so delta
+    /// fan-out may acquire it while the engine is held.
+    NetStandingSubs,
     /// `lbsp-anonymizer`: the `ConcurrentAnonymizer` service lock
     /// (annotated at its raw `RwLock` site).
     AnonService,
@@ -74,6 +78,7 @@ impl LockRank {
     pub const ALL: [LockRank; LOCK_RANK_COUNT] = [
         LockRank::NetConnQueue,
         LockRank::Engine,
+        LockRank::NetStandingSubs,
         LockRank::AnonService,
         LockRank::HilbertRanks,
         LockRank::PoolQueue,
@@ -93,6 +98,7 @@ impl LockRank {
         match self {
             LockRank::NetConnQueue => "NetConnQueue",
             LockRank::Engine => "Engine",
+            LockRank::NetStandingSubs => "NetStandingSubs",
             LockRank::AnonService => "AnonService",
             LockRank::HilbertRanks => "HilbertRanks",
             LockRank::PoolQueue => "PoolQueue",

@@ -353,10 +353,13 @@ pub enum Stage {
     FrameDecode,
     /// Wait for space in a connection's bounded outbound queue.
     OutboundWait,
+    /// Standing-query maintenance: applying one batch of cloak deltas
+    /// to the continuous-count and standing-range registries.
+    StandingUpdate,
 }
 
 /// Number of [`Stage`] variants.
-pub const STAGE_COUNT: usize = 5;
+pub const STAGE_COUNT: usize = 6;
 
 impl Stage {
     /// Every stage, in wire/exposition order.
@@ -366,6 +369,7 @@ impl Stage {
         Stage::PublicQuery,
         Stage::FrameDecode,
         Stage::OutboundWait,
+        Stage::StandingUpdate,
     ];
 
     /// Stable snake_case label (used in the text exposition).
@@ -376,6 +380,7 @@ impl Stage {
             Stage::PublicQuery => "public_query",
             Stage::FrameDecode => "frame_decode",
             Stage::OutboundWait => "outbound_wait",
+            Stage::StandingUpdate => "standing_update",
         }
     }
 }
@@ -397,12 +402,15 @@ pub struct MetricsRegistry {
     stage_public_query: Histogram,
     stage_frame_decode: Histogram,
     stage_outbound_wait: Histogram,
+    stage_standing_update: Histogram,
     /// Cloaked-region areas (square world units).
     cloak_area: Histogram,
     /// Achieved anonymity levels.
     achieved_k: Histogram,
     /// Candidate-set sizes returned by private queries.
     candidate_set_size: Histogram,
+    /// Standing queries touched per cloak update (count + range).
+    standing_fanout: Histogram,
     cloak_failures: [AtomicU64; CLOAK_FAILURE_KINDS.len()],
     net: NetCounters,
 }
@@ -421,6 +429,7 @@ impl MetricsRegistry {
             Stage::PublicQuery => &self.stage_public_query,
             Stage::FrameDecode => &self.stage_frame_decode,
             Stage::OutboundWait => &self.stage_outbound_wait,
+            Stage::StandingUpdate => &self.stage_standing_update,
         }
     }
 
@@ -437,6 +446,12 @@ impl MetricsRegistry {
     /// Candidate-set-size histogram.
     pub fn candidate_set_size(&self) -> &Histogram {
         &self.candidate_set_size
+    }
+
+    /// Standing-query fan-out histogram: queries touched per cloak
+    /// update across both standing registries.
+    pub fn standing_fanout(&self) -> &Histogram {
+        &self.standing_fanout
     }
 
     /// The shared transport counters.
@@ -466,10 +481,12 @@ impl MetricsRegistry {
                 self.stage_public_query.snapshot(),
                 self.stage_frame_decode.snapshot(),
                 self.stage_outbound_wait.snapshot(),
+                self.stage_standing_update.snapshot(),
             ],
             cloak_area: self.cloak_area.snapshot(),
             achieved_k: self.achieved_k.snapshot(),
             candidate_set_size: self.candidate_set_size.snapshot(),
+            standing_fanout: self.standing_fanout.snapshot(),
             cloak_failures: failures,
             net: self.net.snapshot(),
             locks: crate::locks::lock_hold_stats()
@@ -514,6 +531,8 @@ pub struct RegistrySnapshot {
     pub achieved_k: HistogramSnapshot,
     /// Candidate-set sizes returned by private queries.
     pub candidate_set_size: HistogramSnapshot,
+    /// Standing queries touched per cloak update.
+    pub standing_fanout: HistogramSnapshot,
     /// Cloak failures by kind, in [`CLOAK_FAILURE_KINDS`] order.
     pub cloak_failures: [u64; CLOAK_FAILURE_KINDS.len()],
     /// Transport counters.
@@ -529,6 +548,7 @@ impl Default for RegistrySnapshot {
             cloak_area: HistogramSnapshot::default(),
             achieved_k: HistogramSnapshot::default(),
             candidate_set_size: HistogramSnapshot::default(),
+            standing_fanout: HistogramSnapshot::default(),
             cloak_failures: [0; CLOAK_FAILURE_KINDS.len()],
             net: NetCountersSnapshot::default(),
             locks: Vec::new(),
@@ -572,6 +592,7 @@ impl RegistrySnapshot {
             "",
             &self.candidate_set_size,
         );
+        hist(&mut out, "lbsp_standing_fanout", "", &self.standing_fanout);
         for (kind, n) in CLOAK_FAILURE_KINDS.iter().zip(self.cloak_failures.iter()) {
             let _ = writeln!(out, "lbsp_cloak_failures{{kind=\"{kind}\"}} {n}");
         }

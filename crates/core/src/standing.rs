@@ -10,11 +10,18 @@
 //! only when the user's cloaked region actually changes — re-using the
 //! previous candidate set otherwise, since the candidate set is a
 //! function of (cloak, radius) alone.
+//!
+//! Refresh cost is proportional to the *updating user's* queries, not
+//! to every query registered: entries are indexed by [`UserId`], so a
+//! cloak update for a user with no standing queries is O(1).
+//! Candidate sets inherit the canonical id order of
+//! [`private_range_candidates`], so the sharded engine reproduces the
+//! sequential path byte-for-byte.
 
 use crate::UserId;
 use lbsp_geom::Rect;
 use lbsp_server::{private_range_candidates, PublicObject, PublicStore};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Identifier of a standing private range query.
 pub type StandingQueryId = u64;
@@ -25,7 +32,11 @@ struct Entry {
     radius: f64,
     /// The cloak the cached candidates were computed for.
     cloak: Option<Rect>,
+    /// Cached candidates, sorted by object id.
     candidates: Vec<PublicObject>,
+    /// Bumped whenever the candidate set changes; drives
+    /// standing-delta push over the wire.
+    seq: u64,
 }
 
 /// Registry of standing private range queries with cloak-change-driven
@@ -33,7 +44,12 @@ struct Entry {
 #[derive(Debug, Default)]
 pub struct StandingPrivateRanges {
     entries: HashMap<StandingQueryId, Entry>,
+    /// user -> that user's standing queries, in registration order.
+    by_user: HashMap<UserId, Vec<StandingQueryId>>,
     next_id: StandingQueryId,
+    /// Queries whose candidate set changed since the last
+    /// [`StandingPrivateRanges::take_changed`].
+    changed: BTreeSet<StandingQueryId>,
     /// Refreshes that recomputed candidates.
     pub recomputes: u64,
     /// Refreshes served from the cached candidate set.
@@ -57,14 +73,26 @@ impl StandingPrivateRanges {
                 radius: radius.max(0.0),
                 cloak: None,
                 candidates: Vec::new(),
+                seq: 0,
             },
         );
+        self.by_user.entry(user).or_default().push(id);
         id
     }
 
     /// Deregisters a standing query.
     pub fn deregister(&mut self, id: StandingQueryId) -> bool {
-        self.entries.remove(&id).is_some()
+        let Some(e) = self.entries.remove(&id) else {
+            return false;
+        };
+        self.changed.remove(&id);
+        if let Some(ids) = self.by_user.get_mut(&e.user) {
+            ids.retain(|&q| q != id);
+            if ids.is_empty() {
+                self.by_user.remove(&e.user);
+            }
+        }
+        true
     }
 
     /// Number of standing queries.
@@ -78,26 +106,45 @@ impl StandingPrivateRanges {
     }
 
     /// Called by the system when `user`'s cloak changes to `new_cloak`:
-    /// refreshes all of that user's standing queries. Queries whose
-    /// cloak is unchanged keep their candidate set (the incremental
-    /// win); changed cloaks trigger a recompute against `store`.
-    pub fn on_cloak_update(&mut self, user: UserId, new_cloak: &Rect, store: &PublicStore) {
-        for e in self.entries.values_mut() {
-            if e.user != user {
+    /// refreshes all of that user's standing queries (found through the
+    /// per-user index — other users' queries are never visited).
+    /// Queries whose cloak is unchanged keep their candidate set (the
+    /// incremental win); changed cloaks trigger a recompute against
+    /// `store`. Returns how many queries were refreshed (reused or
+    /// recomputed).
+    pub fn on_cloak_update(
+        &mut self,
+        user: UserId,
+        new_cloak: &Rect,
+        store: &PublicStore,
+    ) -> usize {
+        let Some(ids) = self.by_user.get(&user) else {
+            return 0;
+        };
+        let mut refreshed = 0;
+        for &id in ids {
+            let Some(e) = self.entries.get_mut(&id) else {
                 continue;
-            }
+            };
+            refreshed += 1;
             if e.cloak.as_ref() == Some(new_cloak) {
                 self.reuses += 1;
                 continue;
             }
-            e.candidates = private_range_candidates(store, new_cloak, e.radius);
+            let candidates = private_range_candidates(store, new_cloak, e.radius);
+            if candidates != e.candidates {
+                e.seq += 1;
+                self.changed.insert(id);
+            }
+            e.candidates = candidates;
             e.cloak = Some(*new_cloak);
             self.recomputes += 1;
         }
+        refreshed
     }
 
     /// Current candidate set of a standing query (empty before the
-    /// first cloak update for its user).
+    /// first cloak update for its user), sorted by object id.
     pub fn candidates(&self, id: StandingQueryId) -> Option<&[PublicObject]> {
         self.entries.get(&id).map(|e| e.candidates.as_slice())
     }
@@ -107,7 +154,24 @@ impl StandingPrivateRanges {
         self.entries.get(&id).map(|e| e.user)
     }
 
+    /// Change sequence number of a query: bumped each time its
+    /// candidate set changes.
+    pub fn seq(&self, id: StandingQueryId) -> Option<u64> {
+        self.entries.get(&id).map(|e| e.seq)
+    }
+
+    /// Drains the set of queries whose candidate set changed since the
+    /// last call, in ascending id order.
+    pub fn take_changed(&mut self) -> Vec<StandingQueryId> {
+        std::mem::take(&mut self.changed).into_iter().collect()
+    }
+
     /// Fraction of refreshes served without recomputation.
+    ///
+    /// Well-defined for every state: before any refresh has happened
+    /// (`recomputes + reuses == 0`) there is nothing to rate, and the
+    /// function returns `0.0` by convention — "no refresh has been
+    /// saved yet" — rather than `NaN`.
     pub fn reuse_rate(&self) -> f64 {
         let total = self.recomputes + self.reuses;
         if total == 0 {
@@ -168,9 +232,36 @@ mod tests {
         let store = store();
         let mut reg = StandingPrivateRanges::new();
         let q = reg.register(1, 0.1);
-        reg.on_cloak_update(2, &Rect::new_unchecked(0.0, 0.0, 1.0, 1.0), &store);
+        let refreshed = reg.on_cloak_update(2, &Rect::new_unchecked(0.0, 0.0, 1.0, 1.0), &store);
+        assert_eq!(refreshed, 0);
         assert!(reg.candidates(q).unwrap().is_empty());
         assert_eq!(reg.recomputes, 0);
+    }
+
+    #[test]
+    fn many_users_few_queries_refresh_in_isolation() {
+        // 1000 users churn cloaks; only user 7 holds standing queries.
+        // The per-user index must keep every other user's update away
+        // from the entries, and the bookkeeping must count only user
+        // 7's refreshes.
+        let store = store();
+        let mut reg = StandingPrivateRanges::new();
+        let q1 = reg.register(7, 0.05);
+        let q2 = reg.register(7, 0.25);
+        assert_eq!(reg.reuse_rate(), 0.0, "0-total case is 0.0, not NaN");
+        let cloak = Rect::new_unchecked(0.4, 0.4, 0.6, 0.6);
+        for user in 0..1000u64 {
+            let refreshed = reg.on_cloak_update(user, &cloak, &store);
+            assert_eq!(refreshed, if user == 7 { 2 } else { 0 });
+        }
+        assert_eq!(reg.recomputes, 2, "one recompute per owned query");
+        assert_eq!(reg.reuses, 0);
+        // The two queries saw different radii over the same cloak.
+        assert!(reg.candidates(q1).unwrap().len() < reg.candidates(q2).unwrap().len());
+        // A repeat from the owner reuses both.
+        reg.on_cloak_update(7, &cloak, &store);
+        assert_eq!(reg.reuses, 2);
+        assert!((reg.reuse_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -182,6 +273,33 @@ mod tests {
         reg.on_cloak_update(1, &cloak, &store);
         let direct = private_range_candidates(&store, &cloak, 0.1);
         assert_eq!(reg.candidates(q).unwrap().len(), direct.len());
+        // Cached candidates come back in canonical id order.
+        let ids: Vec<u64> = reg.candidates(q).unwrap().iter().map(|o| o.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn candidate_changes_bump_seq_and_feed_take_changed() {
+        let store = store();
+        let mut reg = StandingPrivateRanges::new();
+        let q = reg.register(3, 0.1);
+        assert_eq!(reg.seq(q), Some(0));
+        assert!(reg.take_changed().is_empty());
+        let cloak = Rect::new_unchecked(0.4, 0.4, 0.6, 0.6);
+        reg.on_cloak_update(3, &cloak, &store);
+        assert_eq!(reg.seq(q), Some(1));
+        assert_eq!(reg.take_changed(), vec![q]);
+        assert!(reg.take_changed().is_empty(), "drained");
+        // Same cloak: reuse, no change signalled.
+        reg.on_cloak_update(3, &cloak, &store);
+        assert_eq!(reg.seq(q), Some(1));
+        assert!(reg.take_changed().is_empty());
+        // A new cloak far away changes the candidate set.
+        reg.on_cloak_update(3, &Rect::new_unchecked(0.0, 0.0, 0.1, 0.1), &store);
+        assert_eq!(reg.seq(q), Some(2));
+        assert_eq!(reg.take_changed(), vec![q]);
     }
 
     #[test]

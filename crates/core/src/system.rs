@@ -357,6 +357,41 @@ impl<A: CloakingAlgorithm> PrivacyAwareSystem<A> {
         &self.standing_ranges
     }
 
+    /// The current wire-level state of a standing query — the same
+    /// shape [`crate::ShardedEngine::standing_state`] reports, so the
+    /// sequential and sharded paths can be compared byte-for-byte
+    /// through [`crate::wire::encode_standing_state`].
+    pub fn standing_state(
+        &self,
+        kind: crate::wire::StandingKind,
+        id: u64,
+    ) -> Option<crate::wire::StandingState> {
+        use crate::wire::{StandingCountState, StandingKind, StandingRangeState, StandingState};
+        match kind {
+            StandingKind::Count => {
+                let counts = self.server.continuous();
+                let (certain, possible) = counts.interval(id)?;
+                Some(StandingState::Count(StandingCountState {
+                    id,
+                    seq: counts.seq(id)?,
+                    expected: counts.expected(id)?,
+                    certain: certain as u64,
+                    possible: possible as u64,
+                }))
+            }
+            StandingKind::Range => Some(StandingState::Range(StandingRangeState {
+                id,
+                seq: self.standing_ranges.seq(id)?,
+                candidates: self
+                    .standing_ranges
+                    .candidates(id)?
+                    .iter()
+                    .map(|o| (o.id, o.pos))
+                    .collect(),
+            })),
+        }
+    }
+
     /// The true position of a user as known to the device (test/metric
     /// support; a real server has no such access).
     pub fn device_position(&self, id: UserId) -> Option<Point> {

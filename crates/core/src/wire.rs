@@ -33,6 +33,20 @@ pub mod tag {
     pub const PING: u8 = 0x04;
     /// Client → server: scrape the metrics registry (empty payload).
     pub const STATS: u8 = 0x05;
+    /// Client → server: register a standing count query over an area
+    /// (payload: [`super::RegisterStandingCountMsg`]); subscribes the
+    /// connection to that query's deltas.
+    pub const REGISTER_STANDING_COUNT: u8 = 0x06;
+    /// Client → server: register a standing private range query on the
+    /// trusted hop (payload: [`super::RegisterStandingRangeMsg`]);
+    /// subscribes the connection to that query's deltas.
+    pub const REGISTER_STANDING_RANGE: u8 = 0x07;
+    /// Client → server: drop a standing query
+    /// (payload: [`super::StandingRefMsg`]).
+    pub const DEREGISTER_STANDING: u8 = 0x08;
+    /// Client → server: read a standing query's current state
+    /// (payload: [`super::StandingRefMsg`]).
+    pub const STANDING_SNAPSHOT: u8 = 0x09;
     /// Server → client: request acknowledged, empty payload.
     pub const OK: u8 = 0x80;
     /// Server → client: a cloaked update (payload: the
@@ -46,6 +60,18 @@ pub mod tag {
     /// Server → client: an encoded registry snapshot (payload: the
     /// [`super::encode_stats_snapshot`] bytes).
     pub const STATS_SNAPSHOT: u8 = 0x84;
+    /// Server → client: a standing query was registered
+    /// (payload: [`super::StandingRefMsg`] naming the new query).
+    pub const STANDING_REGISTERED: u8 = 0x85;
+    /// Server → client: a standing query's state, in reply to
+    /// [`STANDING_SNAPSHOT`] (payload: the
+    /// [`super::encode_standing_state`] bytes).
+    pub const STANDING_STATE: u8 = 0x86;
+    /// Server → client, *unsolicited*: a subscribed standing query's
+    /// answer changed; same payload as [`STANDING_STATE`]. Pushed
+    /// through the per-connection writer queue ahead of the reply to
+    /// the update that caused it.
+    pub const STANDING_DELTA: u8 = 0x87;
     /// Server → client: the request failed; payload is UTF-8 error text.
     pub const ERROR: u8 = 0xEE;
 }
@@ -330,6 +356,311 @@ pub fn decode_user_query(mut buf: &[u8]) -> Option<UserQueryMsg> {
 }
 
 // ---------------------------------------------------------------------
+// Standing (continuous) queries: registration, snapshot, delta push
+// ---------------------------------------------------------------------
+
+/// Which standing-query registry a reference addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StandingKind {
+    /// A continuous public range-count query over an area.
+    Count,
+    /// A standing private range query owned by a user.
+    Range,
+}
+
+impl StandingKind {
+    /// Wire code of the kind.
+    pub fn code(self) -> u8 {
+        match self {
+            StandingKind::Count => 0,
+            StandingKind::Range => 1,
+        }
+    }
+
+    /// Parses a wire code.
+    pub fn from_code(code: u8) -> Option<StandingKind> {
+        match code {
+            0 => Some(StandingKind::Count),
+            1 => Some(StandingKind::Range),
+            _ => None,
+        }
+    }
+}
+
+/// Byte length of an encoded standing-count registration.
+pub const REGISTER_STANDING_COUNT_LEN: usize = 32;
+
+/// Registration of a standing count query: the monitored area and
+/// nothing else. Crosses the server boundary, so — like
+/// [`RangeQueryMsg`] — it must have no field that could carry an exact
+/// location or a true identity.
+// lint: server-bound
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegisterStandingCountMsg {
+    /// The area whose expected population the query monitors.
+    pub area: Rect,
+}
+
+/// Encodes a standing-count registration.
+pub fn encode_register_standing_count(msg: &RegisterStandingCountMsg) -> Bytes {
+    let mut b = BytesMut::with_capacity(REGISTER_STANDING_COUNT_LEN);
+    b.put_f64_le(msg.area.min_x());
+    b.put_f64_le(msg.area.min_y());
+    b.put_f64_le(msg.area.max_x());
+    b.put_f64_le(msg.area.max_y());
+    b.freeze()
+}
+
+/// Decodes a standing-count registration. Strict: rejects short input,
+/// trailing bytes, and geometrically invalid rectangles.
+pub fn decode_register_standing_count(mut buf: &[u8]) -> Option<RegisterStandingCountMsg> {
+    if buf.len() != REGISTER_STANDING_COUNT_LEN {
+        return None;
+    }
+    let area = Rect::new(
+        buf.get_f64_le(),
+        buf.get_f64_le(),
+        buf.get_f64_le(),
+        buf.get_f64_le(),
+    )
+    .ok()?;
+    Some(RegisterStandingCountMsg { area })
+}
+
+/// Byte length of an encoded standing-range registration.
+pub const REGISTER_STANDING_RANGE_LEN: usize = 16;
+
+/// Registration of a standing private range query on the *trusted* hop:
+/// the user asks "keep me updated on objects within `radius` of me" by
+/// id — like [`UserQueryMsg`], the service resolves the user's cloak
+/// itself, so no location crosses the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegisterStandingRangeMsg {
+    /// True user id (trusted hop only).
+    pub user: u64,
+    /// Query radius in world units.
+    pub radius: f64,
+}
+
+/// Encodes a standing-range registration.
+pub fn encode_register_standing_range(msg: &RegisterStandingRangeMsg) -> Bytes {
+    let mut b = BytesMut::with_capacity(REGISTER_STANDING_RANGE_LEN);
+    b.put_u64_le(msg.user);
+    b.put_f64_le(msg.radius);
+    b.freeze()
+}
+
+/// Decodes a standing-range registration. Strict: rejects short input,
+/// trailing bytes, and a negative/non-finite radius.
+pub fn decode_register_standing_range(mut buf: &[u8]) -> Option<RegisterStandingRangeMsg> {
+    if buf.len() != REGISTER_STANDING_RANGE_LEN {
+        return None;
+    }
+    let user = buf.get_u64_le();
+    let radius = buf.get_f64_le();
+    if !radius.is_finite() || radius < 0.0 {
+        return None;
+    }
+    Some(RegisterStandingRangeMsg { user, radius })
+}
+
+/// Byte length of an encoded standing-query reference.
+pub const STANDING_REF_LEN: usize = 1 + 8;
+
+/// A reference to a registered standing query: its registry kind and
+/// id. Payload of [`tag::DEREGISTER_STANDING`] /
+/// [`tag::STANDING_SNAPSHOT`] requests and of the
+/// [`tag::STANDING_REGISTERED`] reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StandingRefMsg {
+    /// Which registry the id lives in.
+    pub kind: StandingKind,
+    /// Query id within that registry.
+    pub id: u64,
+}
+
+/// Encodes a standing-query reference.
+pub fn encode_standing_ref(msg: &StandingRefMsg) -> Bytes {
+    let mut b = BytesMut::with_capacity(STANDING_REF_LEN);
+    b.put_u8(msg.kind.code());
+    b.put_u64_le(msg.id);
+    b.freeze()
+}
+
+/// Decodes a standing-query reference. Strict: rejects short input,
+/// trailing bytes, and unknown kind codes.
+pub fn decode_standing_ref(mut buf: &[u8]) -> Option<StandingRefMsg> {
+    if buf.len() != STANDING_REF_LEN {
+        return None;
+    }
+    let kind = StandingKind::from_code(buf.get_u8())?;
+    Some(StandingRefMsg {
+        kind,
+        id: buf.get_u64_le(),
+    })
+}
+
+/// Byte length of an encoded standing-count state.
+pub const STANDING_COUNT_STATE_LEN: usize = 1 + 8 + 8 + 8 + 8 + 8;
+
+/// The state of a standing count query: aggregate statistics only
+/// (expected count and the `[certain, possible]` interval). Crosses the
+/// server boundary in [`tag::STANDING_STATE`] / [`tag::STANDING_DELTA`]
+/// frames, so the taint rule checks it structurally — no field may
+/// carry a position or identity.
+// lint: server-bound
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StandingCountState {
+    /// Query id in the count registry.
+    pub id: u64,
+    /// Change sequence number (bumped per interval change).
+    pub seq: u64,
+    /// Expected count over the monitored area.
+    pub expected: f64,
+    /// Members certainly inside the area.
+    pub certain: u64,
+    /// Members possibly inside the area.
+    pub possible: u64,
+}
+
+/// The state of a standing private range query: the cached candidate
+/// objects, sorted by id. Object coordinates are public data (the same
+/// rule as [`encode_candidates`]), and the answer flows back to the
+/// owning user over the trusted hop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandingRangeState {
+    /// Query id in the range registry.
+    pub id: u64,
+    /// Change sequence number (bumped per candidate-set change).
+    pub seq: u64,
+    /// Candidate objects, sorted by id.
+    pub candidates: Vec<(u64, Point)>,
+}
+
+/// A standing query's current answer, as carried by
+/// [`tag::STANDING_STATE`] replies and [`tag::STANDING_DELTA`] pushes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StandingState {
+    /// A count query's interval and expectation.
+    Count(StandingCountState),
+    /// A range query's candidate set.
+    Range(StandingRangeState),
+}
+
+impl StandingState {
+    /// The registry kind of this state.
+    pub fn kind(&self) -> StandingKind {
+        match self {
+            StandingState::Count(_) => StandingKind::Count,
+            StandingState::Range(_) => StandingKind::Range,
+        }
+    }
+
+    /// The query id of this state.
+    pub fn id(&self) -> u64 {
+        match self {
+            StandingState::Count(c) => c.id,
+            StandingState::Range(r) => r.id,
+        }
+    }
+
+    /// The change sequence number of this state.
+    pub fn seq(&self) -> u64 {
+        match self {
+            StandingState::Count(c) => c.seq,
+            StandingState::Range(r) => r.seq,
+        }
+    }
+}
+
+/// Encodes a standing-query state.
+pub fn encode_standing_state(state: &StandingState) -> Bytes {
+    match state {
+        StandingState::Count(c) => {
+            let mut b = BytesMut::with_capacity(STANDING_COUNT_STATE_LEN);
+            b.put_u8(StandingKind::Count.code());
+            b.put_u64_le(c.id);
+            b.put_u64_le(c.seq);
+            b.put_f64_le(c.expected);
+            b.put_u64_le(c.certain);
+            b.put_u64_le(c.possible);
+            b.freeze()
+        }
+        StandingState::Range(r) => {
+            // Same truncation rule as `encode_candidates`: the u32
+            // prefix caps the entry count rather than silently wrapping.
+            let n = u32::try_from(r.candidates.len()).unwrap_or(u32::MAX);
+            let mut b = BytesMut::with_capacity(1 + 8 + 8 + 4 + (n as usize) * 24);
+            b.put_u8(StandingKind::Range.code());
+            b.put_u64_le(r.id);
+            b.put_u64_le(r.seq);
+            b.put_u32_le(n);
+            for (id, p) in r.candidates.iter().take(n as usize) {
+                b.put_u64_le(*id);
+                b.put_f64_le(p.x);
+                b.put_f64_le(p.y);
+            }
+            b.freeze()
+        }
+    }
+}
+
+/// Decodes a standing-query state. Strict: the kind byte selects the
+/// layout, every length must account for the remaining buffer exactly,
+/// and a count state with a non-finite expectation or an inverted
+/// interval is rejected.
+pub fn decode_standing_state(mut buf: &[u8]) -> Option<StandingState> {
+    if buf.is_empty() {
+        return None;
+    }
+    match StandingKind::from_code(buf.get_u8())? {
+        StandingKind::Count => {
+            if buf.len() != STANDING_COUNT_STATE_LEN - 1 {
+                return None;
+            }
+            let id = buf.get_u64_le();
+            let seq = buf.get_u64_le();
+            let expected = buf.get_f64_le();
+            let certain = buf.get_u64_le();
+            let possible = buf.get_u64_le();
+            if !expected.is_finite() || certain > possible {
+                return None;
+            }
+            Some(StandingState::Count(StandingCountState {
+                id,
+                seq,
+                expected,
+                certain,
+                possible,
+            }))
+        }
+        StandingKind::Range => {
+            if buf.len() < 8 + 8 + 4 {
+                return None;
+            }
+            let id = buf.get_u64_le();
+            let seq = buf.get_u64_le();
+            let n = buf.get_u32_le() as usize;
+            // u64 arithmetic so a hostile prefix cannot overflow.
+            if buf.len() as u64 != n as u64 * 24 {
+                return None;
+            }
+            let mut candidates = Vec::with_capacity(n);
+            for _ in 0..n {
+                let oid = buf.get_u64_le();
+                let p = Point::new(buf.get_f64_le(), buf.get_f64_le());
+                candidates.push((oid, p));
+            }
+            Some(StandingState::Range(StandingRangeState {
+                id,
+                seq,
+                candidates,
+            }))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // STATS: the observability scrape (server → client)
 // ---------------------------------------------------------------------
 
@@ -341,18 +672,19 @@ use crate::obs::{
 
 /// Version byte leading every encoded [`RegistrySnapshot`]; bumped on
 /// any layout change so a stale scraper fails loudly instead of
-/// misreading counters.
-pub const STATS_SNAPSHOT_VERSION: u8 = 1;
+/// misreading counters. Version 2 added the `standing_update` stage and
+/// the `standing_fanout` value histogram.
+pub const STATS_SNAPSHOT_VERSION: u8 = 2;
 
 /// Byte length of one encoded histogram snapshot: count + sum + min +
 /// max + the bucket array, all 8-byte fields.
 pub const HIST_ENC_LEN: usize = 8 * (4 + HIST_BUCKETS);
 
 /// Byte length of the fixed (lock-free) part of an encoded snapshot:
-/// version, 5 stage histograms, 3 value histograms, the cloak-failure
+/// version, the stage histograms, 4 value histograms, the cloak-failure
 /// counters, the 10 net counters, and the lock-row count.
 pub const STATS_FIXED_LEN: usize =
-    1 + (STAGE_COUNT + 3) * HIST_ENC_LEN + CLOAK_FAILURE_KINDS.len() * 8 + 10 * 8 + 1;
+    1 + (STAGE_COUNT + 4) * HIST_ENC_LEN + CLOAK_FAILURE_KINDS.len() * 8 + 10 * 8 + 1;
 
 fn put_hist(b: &mut BytesMut, h: &HistogramSnapshot) {
     b.put_u64_le(h.count);
@@ -398,6 +730,7 @@ pub fn encode_stats_snapshot(snap: &RegistrySnapshot) -> Bytes {
     put_hist(&mut b, &snap.cloak_area);
     put_hist(&mut b, &snap.achieved_k);
     put_hist(&mut b, &snap.candidate_set_size);
+    put_hist(&mut b, &snap.standing_fanout);
     for v in &snap.cloak_failures {
         b.put_u64_le(*v);
     }
@@ -453,6 +786,7 @@ pub fn decode_stats_snapshot(mut buf: &[u8]) -> Option<RegistrySnapshot> {
     let cloak_area = get_hist(&mut buf)?;
     let achieved_k = get_hist(&mut buf)?;
     let candidate_set_size = get_hist(&mut buf)?;
+    let standing_fanout = get_hist(&mut buf)?;
     let mut cloak_failures = [0u64; CLOAK_FAILURE_KINDS.len()];
     for v in cloak_failures.iter_mut() {
         *v = buf.get_u64_le();
@@ -503,6 +837,7 @@ pub fn decode_stats_snapshot(mut buf: &[u8]) -> Option<RegistrySnapshot> {
         cloak_area,
         achieved_k,
         candidate_set_size,
+        standing_fanout,
         cloak_failures,
         net,
         locks,
@@ -691,6 +1026,136 @@ mod tests {
     }
 
     #[test]
+    fn standing_registration_roundtrips_and_validation() {
+        let count = RegisterStandingCountMsg {
+            area: Rect::new_unchecked(0.1, 0.2, 0.3, 0.4),
+        };
+        let bytes = encode_register_standing_count(&count);
+        assert_eq!(bytes.len(), REGISTER_STANDING_COUNT_LEN);
+        assert_eq!(decode_register_standing_count(&bytes), Some(count));
+        assert_eq!(
+            decode_register_standing_count(&bytes[..bytes.len() - 1]),
+            None
+        );
+        let mut long = bytes.to_vec();
+        long.push(0);
+        assert_eq!(decode_register_standing_count(&long), None);
+        // An inverted rectangle is rejected.
+        let mut bad = bytes.to_vec();
+        bad[16..24].copy_from_slice(&(-5.0f64).to_le_bytes());
+        assert_eq!(decode_register_standing_count(&bad), None);
+
+        let range = RegisterStandingRangeMsg {
+            user: 9,
+            radius: 0.125,
+        };
+        let bytes = encode_register_standing_range(&range);
+        assert_eq!(bytes.len(), REGISTER_STANDING_RANGE_LEN);
+        assert_eq!(decode_register_standing_range(&bytes), Some(range));
+        assert_eq!(
+            decode_register_standing_range(&bytes[..bytes.len() - 1]),
+            None
+        );
+        let mut long = bytes.to_vec();
+        long.push(0);
+        assert_eq!(decode_register_standing_range(&long), None);
+        for bad_radius in [-0.1, f64::NAN, f64::INFINITY] {
+            let bad = RegisterStandingRangeMsg {
+                radius: bad_radius,
+                ..range
+            };
+            assert_eq!(
+                decode_register_standing_range(&encode_register_standing_range(&bad)),
+                None
+            );
+        }
+    }
+
+    #[test]
+    fn standing_ref_roundtrip_and_validation() {
+        for kind in [StandingKind::Count, StandingKind::Range] {
+            let msg = StandingRefMsg { kind, id: 77 };
+            let bytes = encode_standing_ref(&msg);
+            assert_eq!(bytes.len(), STANDING_REF_LEN);
+            assert_eq!(decode_standing_ref(&bytes), Some(msg));
+            assert_eq!(decode_standing_ref(&bytes[..bytes.len() - 1]), None);
+            let mut long = bytes.to_vec();
+            long.push(0);
+            assert_eq!(decode_standing_ref(&long), None);
+        }
+        // An unknown kind byte is rejected.
+        let mut bad = encode_standing_ref(&StandingRefMsg {
+            kind: StandingKind::Count,
+            id: 1,
+        })
+        .to_vec();
+        bad[0] = 9;
+        assert_eq!(decode_standing_ref(&bad), None);
+    }
+
+    #[test]
+    fn standing_count_state_roundtrip_and_validation() {
+        let state = StandingState::Count(StandingCountState {
+            id: 4,
+            seq: 12,
+            expected: 3.25,
+            certain: 2,
+            possible: 5,
+        });
+        let bytes = encode_standing_state(&state);
+        assert_eq!(bytes.len(), STANDING_COUNT_STATE_LEN);
+        assert_eq!(decode_standing_state(&bytes), Some(state.clone()));
+        assert_eq!(decode_standing_state(&bytes[..bytes.len() - 1]), None);
+        let mut long = bytes.to_vec();
+        long.push(0);
+        assert_eq!(decode_standing_state(&long), None);
+        // A non-finite expected count is rejected.
+        let mut bad = bytes.to_vec();
+        bad[17..25].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert_eq!(decode_standing_state(&bad), None);
+        // certain > possible (an inverted interval) is rejected.
+        let mut inverted = bytes.to_vec();
+        inverted[25..33].copy_from_slice(&9u64.to_le_bytes());
+        assert_eq!(decode_standing_state(&inverted), None);
+    }
+
+    #[test]
+    fn standing_range_state_roundtrip_and_validation() {
+        let state = StandingState::Range(StandingRangeState {
+            id: 8,
+            seq: 3,
+            candidates: vec![(1, Point::new(0.1, 0.2)), (5, Point::new(0.9, 0.4))],
+        });
+        let bytes = encode_standing_state(&state);
+        assert_eq!(decode_standing_state(&bytes), Some(state.clone()));
+        // Empty candidate lists round-trip too.
+        let empty = StandingState::Range(StandingRangeState {
+            id: 8,
+            seq: 4,
+            candidates: Vec::new(),
+        });
+        assert_eq!(
+            decode_standing_state(&encode_standing_state(&empty)),
+            Some(empty)
+        );
+        assert_eq!(decode_standing_state(&bytes[..bytes.len() - 1]), None);
+        let mut long = bytes.to_vec();
+        long.push(0);
+        assert_eq!(decode_standing_state(&long), None);
+        // A count prefix promising more candidates than present is
+        // rejected.
+        let mut lying = bytes.to_vec();
+        lying[17..21].copy_from_slice(&100u32.to_le_bytes());
+        assert_eq!(decode_standing_state(&lying), None);
+        // An unknown kind byte is rejected.
+        let mut bad = bytes.to_vec();
+        bad[0] = 7;
+        assert_eq!(decode_standing_state(&bad), None);
+        // The empty payload is rejected.
+        assert_eq!(decode_standing_state(&[]), None);
+    }
+
+    #[test]
     fn tags_are_distinct() {
         let tags = [
             tag::REGISTER,
@@ -698,11 +1163,18 @@ mod tests {
             tag::USER_QUERY,
             tag::PING,
             tag::STATS,
+            tag::REGISTER_STANDING_COUNT,
+            tag::REGISTER_STANDING_RANGE,
+            tag::DEREGISTER_STANDING,
+            tag::STANDING_SNAPSHOT,
             tag::OK,
             tag::CLOAKED_UPDATE,
             tag::CANDIDATES,
             tag::PONG,
             tag::STATS_SNAPSHOT,
+            tag::STANDING_REGISTERED,
+            tag::STANDING_STATE,
+            tag::STANDING_DELTA,
             tag::ERROR,
         ];
         let set: std::collections::HashSet<u8> = tags.iter().copied().collect();
@@ -720,6 +1192,7 @@ mod tests {
         r.cloak_area().record(0.015625);
         r.achieved_k().record(25.0);
         r.candidate_set_size().record(17.0);
+        r.standing_fanout().record(3.0);
         r.record_cloak_failure(1);
         crate::metrics::NetCounters::add(&r.net().requests_served, 3);
         crate::metrics::NetCounters::add(&r.net().bytes_in, 512);

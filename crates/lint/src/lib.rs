@@ -105,6 +105,13 @@ const REQUIRED_SERVER_BOUND: &[(&str, &str)] = &[
     // A STATS scrape leaves the trust boundary too: the snapshot may
     // carry aggregates only, never positions or identities.
     ("crates/core/src/obs.rs", "RegistrySnapshot"),
+    // Standing count queries live on the untrusted server: both the
+    // registration (area only) and the pushed state (aggregates only)
+    // cross the boundary. Standing *range* registrations and states stay
+    // on the trusted hop (they name a user / carry public candidate
+    // positions), so they are deliberately absent here.
+    ("crates/core/src/wire.rs", "RegisterStandingCountMsg"),
+    ("crates/core/src/wire.rs", "StandingCountState"),
 ];
 
 /// Field names that may not appear in a server-bound struct.

@@ -1,0 +1,31 @@
+// Known-bad fixture: standing-query wire structs that smuggle trusted
+// data to the untrusted server tier. A standing COUNT registration may
+// carry an area and its pushed state may carry aggregates — nothing
+// else crosses the boundary. Never compiled — consumed as data by
+// tests/lint_fixtures.rs.
+
+/// A standing count registration that pins the querier to it.
+// lint: server-bound
+#[derive(Debug, Clone, Copy)]
+pub struct RegisterStandingCountMsg {
+    /// The monitored area (the only legal spatial field here).
+    pub area: Rect,
+    /// The true identity of whoever registered — the server must not
+    /// be able to tie a standing query back to a user.
+    pub user: u64,
+    /// The registrant's exact position at registration time.
+    pub position: Point,
+}
+
+/// A pushed count state that "enriches" its aggregates.
+// lint: server-bound
+#[derive(Debug, Clone, Copy)]
+pub struct StandingCountState {
+    /// Monotone push sequence — a legal aggregate.
+    pub seq: u64,
+    /// Certain-count lower bound — a legal aggregate.
+    pub certain: u64,
+    /// The exact centroid of the users being counted: an
+    /// exact-location type leaking by aggregation.
+    pub exact_centroid: Point,
+}

@@ -85,6 +85,44 @@ fn obs_without_marked_registry_snapshot_is_flagged() {
 }
 
 #[test]
+fn standing_wire_structs_cannot_leak_identity_or_position() {
+    // The standing-query boundary: a count registration carries an area
+    // and a pushed count state carries aggregates. Reintroducing a true
+    // identity, an exact position, or an exact-prefixed field into
+    // either server-bound struct must be caught with file:line.
+    let f = lint_as("crates/core/src/wire.rs", &fixture("bad_standing_leak.rs"));
+    let taint: Vec<_> = f.iter().filter(|x| x.rule == "taint").collect();
+    assert!(
+        taint.len() >= 3,
+        "user field, Point field, and exact_* field all caught: {f:?}"
+    );
+    assert!(taint.iter().any(|x| x.message.contains("`user`")));
+    assert!(taint.iter().any(|x| x.message.contains("Point")));
+    assert!(taint.iter().any(|x| x.message.contains("exact_centroid")));
+    assert!(taint.iter().all(|x| x.line > 0));
+}
+
+#[test]
+fn standing_boundary_structs_must_stay_marked() {
+    // The required-marker rule pins the standing count structs in
+    // wire.rs: deleting their `// lint: server-bound` annotations
+    // (silently disabling the field check) is itself a finding. The
+    // standing *range* structs are deliberately unpinned — they carry a
+    // user id / public candidate positions and never leave the trusted
+    // hop.
+    let src = "pub struct RegisterStandingCountMsg { pub area: Rect }\n\
+               pub struct StandingCountState { pub seq: u64 }\n";
+    let f = lint_as("crates/core/src/wire.rs", src);
+    for name in ["RegisterStandingCountMsg", "StandingCountState"] {
+        assert!(
+            f.iter()
+                .any(|x| x.message.contains("must carry") && x.message.contains(name)),
+            "{name}: {f:?}"
+        );
+    }
+}
+
+#[test]
 fn unwrap_indexing_and_panic_in_decode_path_are_caught() {
     // The acceptance scenario: an unwrap() reintroduced into frame.rs.
     let f = lint_as("crates/net/src/frame.rs", &fixture("bad_unwrap_decode.rs"));

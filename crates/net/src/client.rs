@@ -9,7 +9,8 @@
 
 use crate::frame::{write_frame, Frame, FrameReader, Poll, MAX_FRAME_LEN};
 use lbsp_core::wire;
-use lbsp_geom::{Point, SimTime};
+use lbsp_geom::{Point, Rect, SimTime};
+use std::collections::VecDeque;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -31,6 +32,13 @@ pub enum Reply {
     /// The raw observability snapshot bytes of a STATS scrape
     /// (decodable with [`wire::decode_stats_snapshot`]).
     Stats(Vec<u8>),
+    /// A standing query was registered; the payload is the
+    /// [`wire::StandingRefMsg`] bytes naming it (decodable with
+    /// [`wire::decode_standing_ref`]).
+    StandingRegistered(Vec<u8>),
+    /// A standing query's current state, answering a snapshot request
+    /// (decodable with [`wire::decode_standing_state`]).
+    StandingState(Vec<u8>),
     /// The server rejected the request with a message; the connection
     /// is still usable.
     Error(String),
@@ -40,6 +48,10 @@ pub enum Reply {
 pub struct NetClient {
     stream: TcpStream,
     reader: FrameReader,
+    /// Unsolicited [`wire::tag::STANDING_DELTA`] payloads received while
+    /// waiting for replies, in arrival order. Drained with
+    /// [`NetClient::take_standing_deltas`].
+    deltas: VecDeque<Vec<u8>>,
 }
 
 impl NetClient {
@@ -51,6 +63,7 @@ impl NetClient {
         Ok(NetClient {
             stream,
             reader: FrameReader::new(MAX_FRAME_LEN),
+            deltas: VecDeque::new(),
         })
     }
 
@@ -77,10 +90,17 @@ impl NetClient {
     /// trickling a large reply is not a dead server. The call fails
     /// with [`io::ErrorKind::TimedOut`] only after a full quiet
     /// interval in which zero new bytes arrived.
+    ///
+    /// Unsolicited server-push frames ([`wire::tag::STANDING_DELTA`])
+    /// are not replies: they are stashed in arrival order for
+    /// [`NetClient::take_standing_deltas`] and the wait continues.
     pub fn read_reply(&mut self) -> io::Result<Reply> {
         loop {
             let before = self.reader.buffered();
             match self.reader.poll(&mut self.stream)? {
+                Poll::Frame(f) if f.tag == wire::tag::STANDING_DELTA => {
+                    self.deltas.push_back(f.payload);
+                }
                 Poll::Frame(f) => return classify(f),
                 Poll::Pending => {
                     // A read timeout (if the caller set one) surfaces
@@ -165,6 +185,52 @@ impl NetClient {
     pub fn stats(&mut self) -> io::Result<Reply> {
         self.request(wire::tag::STATS, &[])
     }
+
+    /// Registers a standing count query over `area` and subscribes this
+    /// connection to its delta pushes; on success the reply carries
+    /// [`wire::StandingRefMsg`] bytes naming the query.
+    pub fn register_standing_count(&mut self, area: Rect) -> io::Result<Reply> {
+        let msg = wire::RegisterStandingCountMsg { area };
+        self.request(
+            wire::tag::REGISTER_STANDING_COUNT,
+            &wire::encode_register_standing_count(&msg),
+        )
+    }
+
+    /// Registers a standing private range query for `user` and
+    /// subscribes this connection to its delta pushes.
+    pub fn register_standing_range(&mut self, user: u64, radius: f64) -> io::Result<Reply> {
+        let msg = wire::RegisterStandingRangeMsg { user, radius };
+        self.request(
+            wire::tag::REGISTER_STANDING_RANGE,
+            &wire::encode_register_standing_range(&msg),
+        )
+    }
+
+    /// Drops a standing query.
+    pub fn deregister_standing(&mut self, kind: wire::StandingKind, id: u64) -> io::Result<Reply> {
+        let msg = wire::StandingRefMsg { kind, id };
+        self.request(
+            wire::tag::DEREGISTER_STANDING,
+            &wire::encode_standing_ref(&msg),
+        )
+    }
+
+    /// Reads a standing query's current state; on success the reply
+    /// carries bytes for [`wire::decode_standing_state`].
+    pub fn standing_snapshot(&mut self, kind: wire::StandingKind, id: u64) -> io::Result<Reply> {
+        let msg = wire::StandingRefMsg { kind, id };
+        self.request(
+            wire::tag::STANDING_SNAPSHOT,
+            &wire::encode_standing_ref(&msg),
+        )
+    }
+
+    /// Drains the standing-delta payloads received so far, in arrival
+    /// order (each decodable with [`wire::decode_standing_state`]).
+    pub fn take_standing_deltas(&mut self) -> Vec<Vec<u8>> {
+        self.deltas.drain(..).collect()
+    }
 }
 
 /// Maps a reply frame to a [`Reply`].
@@ -182,6 +248,8 @@ fn classify(f: Frame) -> io::Result<Reply> {
         wire::tag::CANDIDATES => Ok(Reply::Candidates(f.payload)),
         wire::tag::PONG => Ok(Reply::Pong(f.payload)),
         wire::tag::STATS_SNAPSHOT => Ok(Reply::Stats(f.payload)),
+        wire::tag::STANDING_REGISTERED => Ok(Reply::StandingRegistered(f.payload)),
+        wire::tag::STANDING_STATE => Ok(Reply::StandingState(f.payload)),
         wire::tag::ERROR => Ok(Reply::Error(
             String::from_utf8_lossy(&f.payload).into_owned(),
         )),

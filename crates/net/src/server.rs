@@ -31,13 +31,38 @@ use lbsp_anonymizer::{CloakRequirement, PrivacyProfile};
 use lbsp_core::metrics::NetCounters;
 use lbsp_core::{wire, LockRank, MetricsRegistry, ShardedEngine, Stage, TrackedMutex};
 use lbsp_geom::SimTime;
+use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// One queued outbound frame: (tag, payload bytes).
+type Outbound = (u8, Vec<u8>);
+
+/// Who hears about which standing query.
+///
+/// A connection that registers a standing query is subscribed to it:
+/// whenever an update changes that query's answer, the new state is
+/// pushed as an unsolicited [`wire::tag::STANDING_DELTA`] frame through
+/// the subscriber's existing writer queue. Pushes to *other*
+/// connections are best-effort (`try_send`, dropped when the peer's
+/// queue is full — a slow subscriber must never stall the updater);
+/// the updating connection's own deltas ride in front of its reply and
+/// use the normal backpressure path.
+#[derive(Default)]
+struct StandingSubs {
+    /// (kind code, query id) → subscribed connection ids.
+    by_query: HashMap<(u8, u64), Vec<u64>>,
+    /// Live connections' writer queues, by connection id.
+    senders: HashMap<u64, mpsc::SyncSender<Outbound>>,
+}
+
+/// The subscription registry handle shared by all server threads.
+type SharedSubs = Arc<TrackedMutex<StandingSubs>>;
 
 /// Tuning knobs of a [`NetServer`].
 #[derive(Debug, Clone, Copy)]
@@ -135,6 +160,11 @@ impl NetServer {
         let obs = Arc::clone(engine.metrics_registry());
         let engine = Arc::new(TrackedMutex::new(LockRank::Engine, engine));
         let shutdown = Arc::new(AtomicBool::new(false));
+        let subs: SharedSubs = Arc::new(TrackedMutex::new(
+            LockRank::NetStandingSubs,
+            StandingSubs::default(),
+        ));
+        let conn_ids = Arc::new(AtomicU64::new(1));
 
         // Bounded hand-off queue: acceptor -> workers.
         let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(cfg.accept_backlog.max(1));
@@ -146,6 +176,8 @@ impl NetServer {
                 let engine = Arc::clone(&engine);
                 let obs = Arc::clone(&obs);
                 let shutdown = Arc::clone(&shutdown);
+                let subs = Arc::clone(&subs);
+                let conn_ids = Arc::clone(&conn_ids);
                 std::thread::spawn(move || loop {
                     // Hold the receiver lock only while dequeuing; poll
                     // so shutdown is noticed even while idle.
@@ -159,7 +191,9 @@ impl NetServer {
                                 NetCounters::add(&obs.net().connections_closed, 1);
                                 continue;
                             }
-                            serve_connection(stream, &engine, &obs, &cfg, &shutdown);
+                            serve_connection(
+                                stream, &engine, &obs, &cfg, &shutdown, &subs, &conn_ids,
+                            );
                         }
                         Err(mpsc::RecvTimeoutError::Timeout) => {
                             if shutdown.load(Ordering::Relaxed) {
@@ -263,16 +297,26 @@ impl Drop for NetServer {
 }
 
 /// Serves one connection to completion. Never panics outward — every
-/// exit path closes the socket and bumps the right counter.
+/// exit path closes the socket, unregisters the connection's
+/// standing-query subscriptions, and bumps the right counter.
 fn serve_connection(
     stream: TcpStream,
     engine: &Arc<TrackedMutex<ShardedEngine>>,
     obs: &Arc<MetricsRegistry>,
     cfg: &NetConfig,
     shutdown: &Arc<AtomicBool>,
+    subs: &SharedSubs,
+    conn_ids: &Arc<AtomicU64>,
 ) {
-    let reason =
-        serve_connection_inner(&stream, engine, obs, cfg, shutdown).unwrap_or(CloseReason::Normal);
+    let conn_id = conn_ids.fetch_add(1, Ordering::Relaxed);
+    let reason = serve_connection_inner(&stream, engine, obs, cfg, shutdown, subs, conn_id)
+        .unwrap_or_else(|_| {
+            // The inner function failed before reaching its own
+            // cleanup: make sure the subscription registry forgets the
+            // connection anyway.
+            unsubscribe_connection(subs, conn_id);
+            CloseReason::Normal
+        });
     let counters = obs.net();
     match reason {
         CloseReason::Normal => {}
@@ -290,6 +334,8 @@ fn serve_connection_inner(
     obs: &Arc<MetricsRegistry>,
     cfg: &NetConfig,
     shutdown: &Arc<AtomicBool>,
+    subs: &SharedSubs,
+    conn_id: u64,
 ) -> io::Result<CloseReason> {
     let counters = obs.net();
     stream.set_nodelay(true).ok();
@@ -301,9 +347,9 @@ fn serve_connection_inner(
     // surfaces as backpressure on the queue instead.
     let wstream = stream.try_clone()?;
     wstream.set_write_timeout(Some(cfg.write_timeout))?;
-    // One queued response = (reply tag, payload bytes).
-    type Outbound = (u8, Vec<u8>);
     let (out_tx, out_rx) = mpsc::sync_channel::<Outbound>(cfg.outbound_bound.max(1));
+    // Expose the writer queue to other connections' delta fan-out.
+    subs.lock().senders.insert(conn_id, out_tx.clone());
     let writer = {
         let obs = Arc::clone(obs);
         let max_frame = cfg.max_frame;
@@ -350,31 +396,36 @@ fn serve_connection_inner(
                 decode_acc = Duration::ZERO;
                 last_frame = Instant::now();
                 NetCounters::add(&counters.bytes_in, frame.wire_len() as u64);
-                let (tag, payload) = handle_request(engine, obs, frame);
+                // A request yields one reply frame, possibly preceded by
+                // standing-delta pushes for this connection's own
+                // subscriptions (deltas caused by other connections
+                // arrive through the writer queue directly).
+                let frames = handle_request(engine, obs, frame, conn_id, subs);
                 NetCounters::add(&counters.requests_served, 1);
-                if tag == wire::tag::ERROR {
+                if frames.last().is_some_and(|(t, _)| *t == wire::tag::ERROR) {
                     NetCounters::add(&counters.errors_returned, 1);
                 }
                 // Bounded enqueue with a deadline: slow consumers are
                 // disconnected, not buffered indefinitely.
                 let deadline = Instant::now() + cfg.backpressure_timeout;
                 let wait_start = Instant::now();
-                let mut item = (tag, payload);
-                loop {
-                    match out_tx.try_send(item) {
-                        Ok(()) => break,
-                        Err(TrySendError::Full(it)) => {
-                            if Instant::now() >= deadline {
+                for mut item in frames {
+                    loop {
+                        match out_tx.try_send(item) {
+                            Ok(()) => break,
+                            Err(TrySendError::Full(it)) => {
+                                if Instant::now() >= deadline {
+                                    reason = CloseReason::Slow;
+                                    break 'conn;
+                                }
+                                item = it;
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            Err(TrySendError::Disconnected(_)) => {
+                                // Writer died on a stalled write.
                                 reason = CloseReason::Slow;
                                 break 'conn;
                             }
-                            item = it;
-                            std::thread::sleep(Duration::from_millis(1));
-                        }
-                        Err(TrySendError::Disconnected(_)) => {
-                            // Writer died on a stalled write.
-                            reason = CloseReason::Slow;
-                            break 'conn;
                         }
                     }
                 }
@@ -412,6 +463,12 @@ fn serve_connection_inner(
         }
     }
 
+    // Drop the connection's subscriptions *before* joining the writer:
+    // the registry holds a clone of `out_tx`, and the writer only
+    // exits once every sender is gone. The standing queries themselves
+    // stay registered in the engine — answers outlive connections,
+    // subscriptions do not.
+    unsubscribe_connection(subs, conn_id);
     // Close the queue; the writer flushes what was already accepted,
     // then exits. A writer that reports a stalled write marks the
     // close as a slow-consumer disconnect.
@@ -424,19 +481,76 @@ fn serve_connection_inner(
     Ok(reason)
 }
 
+/// Removes a closing connection from the subscription registry: its
+/// writer-queue sender and every per-query subscription entry.
+fn unsubscribe_connection(subs: &SharedSubs, conn_id: u64) {
+    let mut subs = subs.lock();
+    subs.senders.remove(&conn_id);
+    subs.by_query.retain(|_, conns| {
+        conns.retain(|&c| c != conn_id);
+        !conns.is_empty()
+    });
+}
+
+/// Subscribes `conn_id` to a standing query key (idempotent).
+fn subscribe(subs: &SharedSubs, conn_id: u64, key: (u8, u64)) {
+    let mut subs = subs.lock();
+    let conns = subs.by_query.entry(key).or_default();
+    if !conns.contains(&conn_id) {
+        conns.push(conn_id);
+    }
+}
+
+/// Routes changed-query states to their subscribers. Frames addressed
+/// to `conn_id` itself are returned (they precede the reply on the
+/// requesting connection, in change order); frames for other
+/// connections are pushed into their writer queues best-effort — a
+/// full queue drops the delta rather than stalling the updater, and
+/// the subscriber resynchronizes from the `seq` field at its next
+/// snapshot.
+fn route_deltas(
+    subs: &SharedSubs,
+    conn_id: u64,
+    deltas: Vec<((u8, u64), Vec<u8>)>,
+) -> Vec<Outbound> {
+    let mut own = Vec::new();
+    if deltas.is_empty() {
+        return own;
+    }
+    let subs = subs.lock();
+    for (key, bytes) in deltas {
+        let Some(conns) = subs.by_query.get(&key) else {
+            continue;
+        };
+        for &cid in conns {
+            if cid == conn_id {
+                own.push((wire::tag::STANDING_DELTA, bytes.clone()));
+            } else if let Some(tx) = subs.senders.get(&cid) {
+                let _ = tx.try_send((wire::tag::STANDING_DELTA, bytes.clone()));
+            }
+        }
+    }
+    own
+}
+
 /// Decodes one request frame and runs it against the engine. Always
-/// yields a response frame — malformed payloads and engine errors come
-/// back as [`wire::tag::ERROR`] with a UTF-8 message, so the client can
-/// tell a rejected request from a dead connection.
+/// yields at least one response frame, the reply last — malformed
+/// payloads and engine errors come back as [`wire::tag::ERROR`] with a
+/// UTF-8 message, so the client can tell a rejected request from a dead
+/// connection. An update whose row changed standing-query answers this
+/// connection subscribed to yields those [`wire::tag::STANDING_DELTA`]
+/// frames ahead of the reply.
 fn handle_request(
     engine: &Arc<TrackedMutex<ShardedEngine>>,
     obs: &Arc<MetricsRegistry>,
     frame: crate::frame::Frame,
-) -> (u8, Vec<u8>) {
+    conn_id: u64,
+    subs: &SharedSubs,
+) -> Vec<Outbound> {
     let counters = obs.net();
-    let err = |msg: String| (wire::tag::ERROR, msg.into_bytes());
+    let err = |msg: String| vec![(wire::tag::ERROR, msg.into_bytes())];
     match frame.tag {
-        wire::tag::PING => (wire::tag::PONG, frame.payload),
+        wire::tag::PING => vec![(wire::tag::PONG, frame.payload)],
         wire::tag::STATS => {
             // A scrape takes no arguments; a payload means the peer is
             // confused, and silently ignoring it would hide that.
@@ -445,10 +559,10 @@ fn handle_request(
                 return err("stats request carries a payload".into());
             }
             let snap = obs.snapshot();
-            (
+            vec![(
                 wire::tag::STATS_SNAPSHOT,
                 wire::encode_stats_snapshot(&snap).to_vec(),
-            )
+            )]
         }
         wire::tag::REGISTER => {
             let Some(msg) = wire::decode_register(&frame.payload) else {
@@ -463,7 +577,7 @@ fn handle_request(
             match PrivacyProfile::uniform(req) {
                 Ok(profile) => {
                     engine.lock().register(msg.user, profile);
-                    (wire::tag::OK, Vec::new())
+                    vec![(wire::tag::OK, Vec::new())]
                 }
                 Err(e) => err(e.to_string()),
             }
@@ -475,15 +589,37 @@ fn handle_request(
             };
             // One frame = one single-row batch, in arrival order — the
             // same call the in-process reference makes, so the cloaked
-            // bytes are identical by construction.
-            let out = engine
-                .lock()
-                .process_updates_wire(&[(msg.user, msg.position, msg.time)]);
-            match out.into_iter().next() {
+            // bytes are identical by construction. The wire state of
+            // every standing query the row changed is captured while
+            // the engine is still locked: a delta is exactly the state
+            // right after this update, before any later request.
+            let (out, deltas) = {
+                let mut eng = engine.lock();
+                let out = eng.process_updates_wire(&[(msg.user, msg.position, msg.time)]);
+                let changed = eng.take_standing_changes();
+                let mut deltas: Vec<((u8, u64), Vec<u8>)> = Vec::with_capacity(changed.len());
+                for (kind, id) in changed {
+                    if let Some(state) = eng.standing_state(kind, id) {
+                        deltas.push((
+                            (kind.code(), id),
+                            wire::encode_standing_state(&state).to_vec(),
+                        ));
+                    }
+                }
+                (out, deltas)
+            };
+            let mut frames = route_deltas(subs, conn_id, deltas);
+            frames.push(match out.into_iter().next() {
                 Some(Ok(bytes)) => (wire::tag::CLOAKED_UPDATE, bytes.to_vec()),
-                Some(Err(e)) => err(e.to_string()),
-                None => err("internal error: engine returned no result row".into()),
-            }
+                Some(Err(e)) => (wire::tag::ERROR, e.to_string().into_bytes()),
+                None => (
+                    wire::tag::ERROR,
+                    "internal error: engine returned no result row"
+                        .to_string()
+                        .into_bytes(),
+                ),
+            });
+            frames
         }
         wire::tag::USER_QUERY => {
             let Some(msg) = wire::decode_user_query(&frame.payload) else {
@@ -492,8 +628,59 @@ fn handle_request(
             };
             let ans = engine.lock().range_query(msg.user, msg.time, msg.radius);
             match ans {
-                Ok(a) => (wire::tag::CANDIDATES, a.response.to_vec()),
+                Ok(a) => vec![(wire::tag::CANDIDATES, a.response.to_vec())],
                 Err(e) => err(e.to_string()),
+            }
+        }
+        wire::tag::REGISTER_STANDING_COUNT => {
+            let Some(msg) = wire::decode_register_standing_count(&frame.payload) else {
+                NetCounters::add(&counters.frames_rejected, 1);
+                return err("malformed standing-count registration".into());
+            };
+            let id = engine.lock().add_standing_count(msg.area);
+            let kind = wire::StandingKind::Count;
+            subscribe(subs, conn_id, (kind.code(), id));
+            vec![(
+                wire::tag::STANDING_REGISTERED,
+                wire::encode_standing_ref(&wire::StandingRefMsg { kind, id }).to_vec(),
+            )]
+        }
+        wire::tag::REGISTER_STANDING_RANGE => {
+            let Some(msg) = wire::decode_register_standing_range(&frame.payload) else {
+                NetCounters::add(&counters.frames_rejected, 1);
+                return err("malformed standing-range registration".into());
+            };
+            let id = engine.lock().add_standing_range(msg.user, msg.radius);
+            let kind = wire::StandingKind::Range;
+            subscribe(subs, conn_id, (kind.code(), id));
+            vec![(
+                wire::tag::STANDING_REGISTERED,
+                wire::encode_standing_ref(&wire::StandingRefMsg { kind, id }).to_vec(),
+            )]
+        }
+        wire::tag::DEREGISTER_STANDING => {
+            let Some(msg) = wire::decode_standing_ref(&frame.payload) else {
+                NetCounters::add(&counters.frames_rejected, 1);
+                return err("malformed standing-query reference".into());
+            };
+            if engine.lock().deregister_standing(msg.kind, msg.id) {
+                subs.lock().by_query.remove(&(msg.kind.code(), msg.id));
+                vec![(wire::tag::OK, Vec::new())]
+            } else {
+                err("unknown standing query".into())
+            }
+        }
+        wire::tag::STANDING_SNAPSHOT => {
+            let Some(msg) = wire::decode_standing_ref(&frame.payload) else {
+                NetCounters::add(&counters.frames_rejected, 1);
+                return err("malformed standing-query reference".into());
+            };
+            match engine.lock().standing_state(msg.kind, msg.id) {
+                Some(state) => vec![(
+                    wire::tag::STANDING_STATE,
+                    wire::encode_standing_state(&state).to_vec(),
+                )],
+                None => err("unknown standing query".into()),
             }
         }
         other => {

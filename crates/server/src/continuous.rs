@@ -11,30 +11,226 @@
 //! The maintained quantity is the expected count (the paper's format 1);
 //! the interval and PDF formats are derived on demand from the
 //! maintained per-query contribution maps.
+//!
+//! Two long-run correctness hazards are handled explicitly:
+//!
+//! * **Float drift** — the expected count is a sum that is edited
+//!   millions of times on a live server. It is kept with Neumaier
+//!   compensated summation and re-summed from the contribution map
+//!   every [`RECONCILE_EVERY`] mutations, so the incremental value
+//!   tracks a full recompute to well under 1e-9 indefinitely. All
+//!   float accumulation happens in a deterministic order (contributions
+//!   are keyed in a `BTreeMap`, registration seeds are sorted), which
+//!   is what lets the sharded engine reproduce the sequential path
+//!   bit-for-bit.
+//! * **Inexact "certain" membership** — a cloak that for any practical
+//!   purpose lies inside the query area can produce an overlap ratio a
+//!   few ulps below 1.0; the certain-count test tolerates
+//!   [`lbsp_geom::EPSILON`].
+//!
+//! Update cost scales with the queries an update actually overlaps, not
+//! with the number registered: a uniform grid over the query areas
+//! ([`AreaIndex`]) routes each update to the handful of standing
+//! queries whose area intersects the old or new cloak.
 
 use crate::{PoissonBinomial, PseudonymId};
-use lbsp_geom::Rect;
-use std::collections::HashMap;
+use lbsp_geom::{Rect, EPSILON};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Identifier for a registered continuous query.
 pub type QueryId = u64;
+
+/// Contributions at or above `1 - EPSILON` count as certain members;
+/// shares [`lbsp_geom::EPSILON`] with the rest of the geometry layer.
+const CERTAIN_THRESHOLD: f64 = 1.0 - EPSILON;
+
+/// Mutations between deterministic re-summations of a query's expected
+/// count. The compensated sum alone keeps the error near one ulp per
+/// mutation; the periodic reconcile bounds it outright.
+const RECONCILE_EVERY: u64 = 4096;
 
 #[derive(Debug)]
 struct StandingQuery {
     area: Rect,
     /// pseudonym -> current inclusion probability (only non-zero ones).
-    contributions: HashMap<PseudonymId, f64>,
-    expected: f64,
+    /// Ordered so re-summation and PDF extraction are deterministic.
+    contributions: BTreeMap<PseudonymId, f64>,
+    /// Neumaier running sum and compensation term of the contributions.
+    sum: f64,
+    comp: f64,
+    /// Members whose contribution passes [`CERTAIN_THRESHOLD`].
+    certain: usize,
+    /// Contribution edits since the last reconcile.
+    mutations: u64,
+    /// Bumped whenever the `[certain, possible]` interval changes;
+    /// drives standing-delta push over the wire.
+    seq: u64,
 }
 
 impl StandingQuery {
+    fn new(area: Rect) -> StandingQuery {
+        StandingQuery {
+            area,
+            contributions: BTreeMap::new(),
+            sum: 0.0,
+            comp: 0.0,
+            certain: 0,
+            mutations: 0,
+            seq: 0,
+        }
+    }
+
+    /// Neumaier's variant of compensated summation: the low-order bits
+    /// lost by `sum + v` are captured in `comp` whichever operand is
+    /// larger.
+    fn add(&mut self, v: f64) {
+        let t = self.sum + v;
+        if self.sum.abs() >= v.abs() {
+            self.comp += (self.sum - t) + v;
+        } else {
+            self.comp += (v - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Re-derives the sum and certain count from the contribution map
+    /// in key order. Deterministic, so both the sequential server and
+    /// the sharded engine reconcile to identical bits.
+    fn reconcile(&mut self) {
+        self.sum = 0.0;
+        self.comp = 0.0;
+        let probs: Vec<f64> = self.contributions.values().copied().collect();
+        for p in probs {
+            self.add(p);
+        }
+        self.certain = self
+            .contributions
+            .values()
+            .filter(|&&p| p >= CERTAIN_THRESHOLD)
+            .count();
+        self.mutations = 0;
+    }
+
     fn set_contribution(&mut self, pseudonym: PseudonymId, p: f64) {
         let old = if p > 0.0 {
             self.contributions.insert(pseudonym, p).unwrap_or(0.0)
         } else {
             self.contributions.remove(&pseudonym).unwrap_or(0.0)
         };
-        self.expected += p - old;
+        self.add(p);
+        self.add(-old);
+        self.certain += usize::from(p >= CERTAIN_THRESHOLD);
+        self.certain -= usize::from(old >= CERTAIN_THRESHOLD);
+        self.mutations += 1;
+        if self.mutations >= RECONCILE_EVERY {
+            self.reconcile();
+        }
+    }
+
+    fn expected(&self) -> f64 {
+        self.sum + self.comp
+    }
+
+    fn interval(&self) -> (usize, usize) {
+        (self.certain, self.contributions.len())
+    }
+}
+
+/// A uniform grid over the bounding box of all registered query areas.
+///
+/// Each cell lists the queries whose area touches it; an update only
+/// examines the queries listed in the cells its old/new cloak covers.
+/// Rebuilt on register/deregister (rare) so the per-update path stays
+/// allocation-light. False positives from coarse cells are harmless:
+/// every candidate is still checked against the actual query area.
+#[derive(Debug, Default)]
+struct AreaIndex {
+    bounds: Option<Rect>,
+    side: usize,
+    cells: Vec<Vec<QueryId>>,
+}
+
+impl AreaIndex {
+    fn rebuild(&mut self, queries: &HashMap<QueryId, StandingQuery>) {
+        self.bounds = None;
+        self.side = 0;
+        self.cells.clear();
+        let mut bounds: Option<Rect> = None;
+        for q in queries.values() {
+            bounds = Some(match bounds {
+                Some(b) => b.union(&q.area),
+                None => q.area,
+            });
+        }
+        let Some(bounds) = bounds else { return };
+        let side = ((queries.len() as f64).sqrt().ceil() as usize).clamp(1, 64);
+        self.bounds = Some(bounds);
+        self.side = side;
+        self.cells = vec![Vec::new(); side * side];
+        let mut ids: Vec<QueryId> = queries.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let Some(q) = queries.get(&id) else { continue };
+            let (xs, ys) = self.span(&q.area);
+            for cy in ys {
+                for cx in xs.clone() {
+                    self.cells[cy * side + cx].push(id);
+                }
+            }
+        }
+    }
+
+    /// Inclusive cell ranges covered by `r`, clamped into the grid.
+    fn span(
+        &self,
+        r: &Rect,
+    ) -> (
+        std::ops::RangeInclusive<usize>,
+        std::ops::RangeInclusive<usize>,
+    ) {
+        let Some(b) = self.bounds else {
+            #[allow(clippy::reversed_empty_ranges)]
+            return (1..=0, 1..=0);
+        };
+        let hi = self.side as isize - 1;
+        let axis = |lo: f64, up: f64, blo: f64, extent: f64| {
+            let scale = if extent > 0.0 {
+                self.side as f64 / extent
+            } else {
+                0.0
+            };
+            let i0 = (((lo - blo) * scale).floor() as isize).clamp(0, hi) as usize;
+            let i1 = (((up - blo) * scale).floor() as isize).clamp(0, hi) as usize;
+            i0..=i1
+        };
+        (
+            axis(r.min_x(), r.max_x(), b.min_x(), b.width()),
+            axis(r.min_y(), r.max_y(), b.min_y(), b.height()),
+        )
+    }
+
+    /// Queries whose cells the old/new regions cover, sorted and
+    /// deduplicated (the sorted order also makes downstream float
+    /// application deterministic).
+    fn candidates(&self, old: Option<&Rect>, new: Option<&Rect>) -> Vec<QueryId> {
+        let Some(b) = self.bounds else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for r in [old, new].into_iter().flatten() {
+            if !r.intersects(&b) {
+                continue;
+            }
+            let (xs, ys) = self.span(r);
+            for cy in ys {
+                for cx in xs.clone() {
+                    out.extend_from_slice(&self.cells[cy * self.side + cx]);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 }
 
@@ -43,8 +239,15 @@ impl StandingQuery {
 pub struct ContinuousRangeCount {
     queries: HashMap<QueryId, StandingQuery>,
     next_id: QueryId,
+    index: AreaIndex,
+    /// Queries whose `[certain, possible]` interval changed since the
+    /// last [`ContinuousRangeCount::take_changed`].
+    changed: BTreeSet<QueryId>,
     /// Updates applied since creation (for experiment reporting).
     updates_processed: u64,
+    /// Cumulative queries examined through the area index — the cost
+    /// proxy the E14 experiment asserts on.
+    examined_total: u64,
 }
 
 impl ContinuousRangeCount {
@@ -55,27 +258,36 @@ impl ContinuousRangeCount {
 
     /// Registers a standing query over `area`, seeded from the current
     /// private records (`initial` provides `(pseudonym, region)` pairs).
+    ///
+    /// Seeds are applied in pseudonym order regardless of the caller's
+    /// iteration order, so the float accumulation — and therefore the
+    /// wire-encoded expected count — is identical whether the seeds
+    /// come from the sequential store or the sharded engine's shards.
     pub fn register<I>(&mut self, area: Rect, initial: I) -> QueryId
     where
         I: IntoIterator<Item = (PseudonymId, Rect)>,
     {
         let id = self.next_id;
         self.next_id += 1;
-        let mut q = StandingQuery {
-            area,
-            contributions: HashMap::new(),
-            expected: 0.0,
-        };
-        for (pseudonym, region) in initial {
-            q.set_contribution(pseudonym, region.overlap_fraction(&q.area));
+        let mut q = StandingQuery::new(area);
+        let mut seeds: Vec<(PseudonymId, Rect)> = initial.into_iter().collect();
+        seeds.sort_unstable_by_key(|&(pseudonym, _)| pseudonym);
+        for (pseudonym, region) in seeds {
+            q.set_contribution(pseudonym, region.overlap_fraction(&area));
         }
         self.queries.insert(id, q);
+        self.index.rebuild(&self.queries);
         id
     }
 
     /// Deregisters a query.
     pub fn deregister(&mut self, id: QueryId) -> bool {
-        self.queries.remove(&id).is_some()
+        let removed = self.queries.remove(&id).is_some();
+        if removed {
+            self.changed.remove(&id);
+            self.index.rebuild(&self.queries);
+        }
+        removed
     }
 
     /// Number of standing queries.
@@ -90,30 +302,51 @@ impl ContinuousRangeCount {
 
     /// Applies one cloak update: the record moved from `old` (None on
     /// first appearance) to `new` (None on departure). Only queries
-    /// whose area intersects either region are touched.
-    pub fn on_update(&mut self, pseudonym: PseudonymId, old: Option<&Rect>, new: Option<&Rect>) {
+    /// whose area intersects either region are touched; the area index
+    /// keeps the scan proportional to overlapping queries, not to the
+    /// number registered. Returns how many queries were adjusted.
+    pub fn on_update(
+        &mut self,
+        pseudonym: PseudonymId,
+        old: Option<&Rect>,
+        new: Option<&Rect>,
+    ) -> usize {
         self.updates_processed += 1;
-        for q in self.queries.values_mut() {
+        let ids = self.index.candidates(old, new);
+        self.examined_total += ids.len() as u64;
+        let mut fanout = 0;
+        for id in ids {
+            let Some(q) = self.queries.get_mut(&id) else {
+                continue;
+            };
             let affected = old.is_some_and(|r| r.intersects(&q.area))
                 || new.is_some_and(|r| r.intersects(&q.area));
             if !affected {
                 continue;
             }
+            fanout += 1;
+            let before = q.interval();
             let p = new.map_or(0.0, |r| r.overlap_fraction(&q.area));
             q.set_contribution(pseudonym, p);
+            if q.interval() != before {
+                q.seq += 1;
+                self.changed.insert(id);
+            }
         }
+        fanout
     }
 
     /// Current expected count of a query.
     pub fn expected(&self, id: QueryId) -> Option<f64> {
-        self.queries.get(&id).map(|q| q.expected)
+        self.queries.get(&id).map(StandingQuery::expected)
     }
 
-    /// Current `[certain, possible]` interval of a query.
+    /// Current `[certain, possible]` interval of a query. A member is
+    /// certain when its inclusion probability reaches `1 - EPSILON`:
+    /// overlap ratios of fully-contained cloaks can land a few ulps
+    /// below 1.0 and must not be demoted to merely possible.
     pub fn interval(&self, id: QueryId) -> Option<(usize, usize)> {
-        let q = self.queries.get(&id)?;
-        let certain = q.contributions.values().filter(|&&p| p >= 1.0).count();
-        Some((certain, q.contributions.len()))
+        self.queries.get(&id).map(StandingQuery::interval)
     }
 
     /// Current exact count PDF of a query (computed on demand).
@@ -128,9 +361,27 @@ impl ContinuousRangeCount {
         self.queries.get(&id).map(|q| q.area)
     }
 
+    /// Change sequence number of a query: bumped each time its
+    /// `[certain, possible]` interval changes.
+    pub fn seq(&self, id: QueryId) -> Option<u64> {
+        self.queries.get(&id).map(|q| q.seq)
+    }
+
+    /// Drains the set of queries whose interval changed since the last
+    /// call, in ascending id order.
+    pub fn take_changed(&mut self) -> Vec<QueryId> {
+        std::mem::take(&mut self.changed).into_iter().collect()
+    }
+
     /// Updates processed so far.
     pub fn updates_processed(&self) -> u64 {
         self.updates_processed
+    }
+
+    /// Cumulative queries examined via the area index across all
+    /// updates (including near-misses filtered by the exact area test).
+    pub fn examined_total(&self) -> u64 {
+        self.examined_total
     }
 }
 
@@ -300,6 +551,77 @@ mod tests {
     }
 
     #[test]
+    fn expected_does_not_drift_over_a_million_updates() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt as _, SeedableRng};
+        // A long randomized stream of moves and departures: the
+        // incrementally-maintained expected count must still agree with
+        // a from-scratch evaluation to 1e-9 at the end. This is the
+        // regression test for the old `expected += p - old` drift.
+        let mut rng = StdRng::seed_from_u64(20060406);
+        let areas = [
+            rect(0.0, 0.0, 0.3, 0.3),
+            rect(0.2, 0.2, 0.7, 0.7),
+            rect(0.6, 0.1, 0.9, 0.4),
+            rect(0.1, 0.6, 0.8, 0.95),
+        ];
+        let mut store = PrivateStore::new();
+        let mut cont = ContinuousRangeCount::new();
+        let ids: Vec<QueryId> = areas
+            .iter()
+            .map(|a| cont.register(*a, std::iter::empty()))
+            .collect();
+        for step in 0..1_000_000u64 {
+            let id = step % 500;
+            if step % 97 == 0 {
+                if let Some(old) = store.remove(id) {
+                    cont.on_update(id, Some(&old), None);
+                }
+                continue;
+            }
+            let x0: f64 = rng.random_range(0.0..0.9);
+            let y0: f64 = rng.random_range(0.0..0.9);
+            let w: f64 = rng.random_range(0.01..0.1);
+            let r = rect(x0, y0, (x0 + w).min(1.0), (y0 + w).min(1.0));
+            let old = store.upsert(PrivateRecord::new(id, r));
+            cont.on_update(id, old.as_ref(), Some(&r));
+        }
+        for (a, q) in areas.iter().zip(&ids) {
+            let full = PublicCountQuery::new(*a).evaluate(&store);
+            let inc = cont.expected(*q).unwrap();
+            assert!(
+                (full.expected - inc).abs() < 1e-9,
+                "drift {:e} after 1M updates",
+                (full.expected - inc).abs()
+            );
+            assert_eq!(cont.interval(*q).unwrap().1, full.possible);
+        }
+    }
+
+    #[test]
+    fn certain_membership_tolerates_inexact_overlap_ratios() {
+        let area = rect(0.0, 0.0, 1.0, 1.0);
+        let mut cont = ContinuousRangeCount::new();
+        let q = cont.register(area, std::iter::empty());
+        // The cloak overhangs the query edge by one ulp, so the overlap
+        // ratio lands a hair below 1.0 even though the region is, for
+        // any practical purpose, fully inside the query area. (A cloak
+        // with bounds exactly inside yields intersection == cloak and
+        // the ratio x/x is exactly 1.0 in IEEE arithmetic — the inexact
+        // case needs this overhang.)
+        let r = rect(0.9, 0.9, 1.0 + f64::EPSILON, 1.0);
+        let frac = r.overlap_fraction(&area);
+        assert!(frac < 1.0, "premise: the ratio is inexact ({frac})");
+        assert!(frac > 1.0 - 1e-12, "premise: but only by ulps ({frac})");
+        cont.on_update(3, None, Some(&r));
+        assert_eq!(
+            cont.interval(q),
+            Some((1, 1)),
+            "ulp-inexact full overlap still counts as certain"
+        );
+    }
+
+    #[test]
     fn departures_remove_contributions() {
         let area = rect(0.0, 0.0, 1.0, 1.0);
         let mut cont = ContinuousRangeCount::new();
@@ -318,9 +640,58 @@ mod tests {
         let q1 = cont.register(rect(0.0, 0.0, 0.1, 0.1), std::iter::empty());
         let q2 = cont.register(rect(0.9, 0.9, 1.0, 1.0), std::iter::empty());
         let r = rect(0.4, 0.4, 0.6, 0.6);
-        cont.on_update(1, None, Some(&r));
+        let fanout = cont.on_update(1, None, Some(&r));
+        assert_eq!(fanout, 0, "no query overlaps the update");
         assert_eq!(cont.expected(q1), Some(0.0));
         assert_eq!(cont.expected(q2), Some(0.0));
+    }
+
+    #[test]
+    fn area_index_routes_updates_to_overlapping_queries_only() {
+        // Many queries packed into the left half of the world; updates
+        // confined to the right half must examine only the handful of
+        // right-half queries, independent of the left-half population.
+        let mut cont = ContinuousRangeCount::new();
+        for i in 0..200u64 {
+            let x = (i % 20) as f64 * 0.02;
+            let y = (i / 20) as f64 * 0.04;
+            cont.register(rect(x, y, x + 0.02, y + 0.04), std::iter::empty());
+        }
+        let right = cont.register(rect(0.8, 0.1, 0.9, 0.3), std::iter::empty());
+        let examined_before = cont.examined_total();
+        let r = rect(0.82, 0.15, 0.86, 0.2);
+        let fanout = cont.on_update(1, None, Some(&r));
+        assert_eq!(fanout, 1, "only the right-half query is adjusted");
+        let examined = cont.examined_total() - examined_before;
+        assert!(
+            examined < 20,
+            "grid examined {examined} of 201 registered queries"
+        );
+        assert!((cont.expected(right).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_changes_bump_seq_and_feed_take_changed() {
+        let mut cont = ContinuousRangeCount::new();
+        let q = cont.register(rect(0.0, 0.0, 0.5, 0.5), std::iter::empty());
+        assert_eq!(cont.seq(q), Some(0));
+        assert!(cont.take_changed().is_empty());
+        // A record appears inside the area: possible count changes.
+        let r = rect(0.1, 0.1, 0.2, 0.2);
+        cont.on_update(9, None, Some(&r));
+        assert_eq!(cont.seq(q), Some(1));
+        assert_eq!(cont.take_changed(), vec![q]);
+        assert!(cont.take_changed().is_empty(), "drained");
+        // The record moves within the area, staying certain: the
+        // interval is unchanged, so no delta is signalled.
+        let r2 = rect(0.2, 0.2, 0.3, 0.3);
+        cont.on_update(9, Some(&r), Some(&r2));
+        assert_eq!(cont.seq(q), Some(1));
+        assert!(cont.take_changed().is_empty());
+        // Departure changes the interval again.
+        cont.on_update(9, Some(&r2), None);
+        assert_eq!(cont.seq(q), Some(2));
+        assert_eq!(cont.take_changed(), vec![q]);
     }
 
     #[test]
@@ -390,6 +761,52 @@ mod tests {
         let fast_before = monitor.fast_updates;
         monitor.on_update(99, None);
         assert_eq!(monitor.fast_updates, fast_before + 1);
+    }
+
+    #[test]
+    fn nn_monitor_survives_threshold_ties_and_holder_churn() {
+        use lbsp_geom::Point;
+        let from = Point::new(0.0, 0.0);
+        // Two mirror-image rects with identical distance bands: a tie
+        // at the threshold.
+        let tie_a = rect(0.3, 0.0, 0.4, 0.1);
+        let tie_b = rect(0.0, 0.3, 0.1, 0.4);
+        let far = rect(0.7, 0.7, 0.8, 0.8);
+        let mut model: HashMap<PseudonymId, Rect> = HashMap::new();
+        let mut monitor = ContinuousNnMonitor::new(from, std::iter::empty());
+        let apply = |m: &mut ContinuousNnMonitor,
+                     model: &mut HashMap<PseudonymId, Rect>,
+                     id: PseudonymId,
+                     r: Option<Rect>| {
+            match r {
+                Some(r) => {
+                    model.insert(id, r);
+                    m.on_update(id, Some(&r));
+                }
+                None => {
+                    model.remove(&id);
+                    m.on_update(id, None);
+                }
+            }
+            let fresh = ContinuousNnMonitor::new(from, model.iter().map(|(&id, &r)| (id, r)));
+            assert_eq!(m.candidates(), fresh.candidates(), "after touching {id}");
+        };
+        apply(&mut monitor, &mut model, 1, Some(tie_a));
+        apply(&mut monitor, &mut model, 2, Some(tie_b));
+        apply(&mut monitor, &mut model, 3, Some(far));
+        // Repeatedly remove whichever tied record holds the threshold,
+        // then re-insert the departed pseudonym.
+        for _ in 0..5 {
+            apply(&mut monitor, &mut model, 1, None);
+            apply(&mut monitor, &mut model, 2, None);
+            apply(&mut monitor, &mut model, 1, Some(tie_a));
+            apply(&mut monitor, &mut model, 2, Some(tie_b));
+        }
+        // Threshold holder moves far away, then comes back.
+        apply(&mut monitor, &mut model, 1, Some(far));
+        apply(&mut monitor, &mut model, 2, Some(far));
+        apply(&mut monitor, &mut model, 1, Some(tie_a));
+        assert_eq!(monitor.candidates(), vec![1]);
     }
 
     #[test]

@@ -18,7 +18,10 @@ use crate::{PublicObject, PublicStore};
 use lbsp_geom::{min_dist_point_rect, Point, Rect};
 
 /// Candidate set for a private range query: every public object that
-/// could be within `radius` of some point of `cloak`.
+/// could be within `radius` of some point of `cloak`, in ascending id
+/// order (the canonical wire order — independent of how the backing
+/// store happens to iterate, so sequential and sharded paths agree
+/// byte-for-byte).
 ///
 /// Guarantee (tested): for any true user position inside `cloak`, every
 /// object within `radius` of that position is in the returned set —
@@ -41,6 +44,7 @@ pub fn private_range_candidates(
             out.push(id);
         }
     });
+    out.sort_unstable();
     out.into_iter()
         .map(|id| *store.get(id).expect("id came from the store's own tree"))
         .collect()
