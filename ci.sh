@@ -38,6 +38,39 @@ grep -q 'stage="cloak"' /tmp/lbsp_stats.txt
 kill "$SERVE_PID" 2>/dev/null || true
 trap - EXIT
 
+echo "== crash-recovery smoke (repro --wal-dir, kill -9 mid-run, restart) =="
+WAL_DIR=$(mktemp -d)
+./target/release/repro --serve 127.0.0.1:7643 --wal-dir "$WAL_DIR" >/tmp/lbsp_wal_boot1.txt &
+SERVE_PID=$!
+trap 'kill -9 "$SERVE_PID" 2>/dev/null || true; rm -rf "$WAL_DIR"' EXIT
+for _ in $(seq 1 50); do
+  if ./target/release/repro --stats 127.0.0.1:7643 >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+grep -q "wal: initialized fresh log" /tmp/lbsp_wal_boot1.txt
+# Drive the closed-loop workload and pull the plug mid-run: SIGKILL,
+# no drain, no flush beyond what the WAL already fsynced.
+./target/release/repro --connect 127.0.0.1:7643 >/dev/null 2>&1 &
+LOAD_PID=$!
+sleep 1
+kill -9 "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+wait "$LOAD_PID" 2>/dev/null || true
+# Restart on the same directory: recovery must report the journaled
+# users and the server must come back alive.
+./target/release/repro --serve 127.0.0.1:7643 --wal-dir "$WAL_DIR" >/tmp/lbsp_wal_boot2.txt &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+  if ./target/release/repro --stats 127.0.0.1:7643 >/tmp/lbsp_wal_stats.txt 2>/dev/null; then break; fi
+  sleep 0.1
+done
+grep -Eq "wal: recovered users=[1-9][0-9]* ops=[1-9][0-9]*" /tmp/lbsp_wal_boot2.txt
+grep -q "lbsp_net_requests_served" /tmp/lbsp_wal_stats.txt
+kill -9 "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+rm -rf "$WAL_DIR"
+trap - EXIT
+
 echo "== benches compile =="
 cargo bench --workspace --offline --no-run
 

@@ -14,6 +14,7 @@
 //! Network mode (see DESIGN.md "Network architecture"):
 //! ```text
 //! repro -- --serve 127.0.0.1:7600              # run the TCP service
+//! repro -- --serve 127.0.0.1:7600 --wal-dir d  # durable: journal + recover
 //! repro -- --connect 127.0.0.1:7600            # drive it with load
 //! repro -- --stats 127.0.0.1:7600              # scrape observability
 //! ```
@@ -56,7 +57,7 @@ fn main() {
             .cloned()
     };
     if let Some(addr) = flag_value("--serve") {
-        serve(&addr, threads);
+        serve(&addr, threads, flag_value("--wal-dir").as_deref());
         return;
     }
     if let Some(addr) = flag_value("--connect") {
@@ -115,11 +116,38 @@ fn main() {
     }
 }
 
-/// `--serve ADDR`: run the framed TCP service until killed.
-fn serve(addr: &str, workers: usize) {
+/// `--serve ADDR`: run the framed TCP service until killed. With
+/// `--wal-dir DIR` every engine mutation is journaled under `DIR`
+/// first, so a killed server restarted on the same directory resumes
+/// with its users, positions, and standing queries intact.
+fn serve(addr: &str, workers: usize, wal_dir: Option<&str>) {
     use lbsp_bench::netload::serve_engine;
+    use lbsp_core::{Durability, EngineConfig};
     use lbsp_net::{NetConfig, NetServer};
-    let server = NetServer::bind(addr, serve_engine(), NetConfig::with_workers(workers))
+    let engine = match wal_dir {
+        None => serve_engine(),
+        Some(dir) => {
+            let mut cfg = EngineConfig::new(world());
+            cfg.refine = true;
+            let opened =
+                lbsp_store::open_engine(std::path::Path::new(dir), cfg, 2, Durability::default())
+                    .unwrap_or_else(|e| panic!("cannot open wal dir {dir}: {e}"));
+            let mut engine = opened.engine;
+            if opened.recovered {
+                println!(
+                    "wal: recovered users={} ops={} from {dir}",
+                    opened.users, opened.ops_replayed
+                );
+            } else {
+                // First boot on this directory: seed the public store
+                // (journaled, so the restart path replays it too).
+                engine.load_public(poi_store(1_000, 17).iter().copied().collect());
+                println!("wal: initialized fresh log in {dir}");
+            }
+            engine
+        }
+    };
+    let server = NetServer::bind(addr, engine, NetConfig::with_workers(workers))
         .unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
     println!(
         "serving privacy-aware LBS on {} ({workers} workers); connect with:\n  \

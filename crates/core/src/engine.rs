@@ -37,6 +37,9 @@
 //!
 //! [hub]: lbsp_anonymizer::LocationAnonymizer::handle_updates_batch
 
+use crate::journal::{
+    self, Durability, DurabilitySink, DurableHook, EngineOp, EngineState, JournalRecord,
+};
 use crate::locks::{LockRank, TrackedMutex, TrackedRwLock};
 use crate::obs::{MetricsRegistry, Stage};
 use crate::standing::{StandingPrivateRanges, StandingQueryId};
@@ -222,7 +225,7 @@ impl ExecutionMode {
 }
 
 /// Configuration of a [`ShardedEngine`].
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, PartialEq)]
 pub struct EngineConfig {
     /// World rectangle all positions live in.
     pub world: Rect,
@@ -324,6 +327,12 @@ pub struct ShardedEngine {
     /// front-end when one wraps this engine). All recording paths are
     /// `&self` and lock-free, so metrics never perturb batch semantics.
     obs: Arc<MetricsRegistry>,
+    /// Optional durability hook: when present, every logical mutation is
+    /// journaled to the sink *before* it is applied (write-ahead), and a
+    /// compacted snapshot is installed every `snapshot_every` mutations.
+    /// Durability failures are fail-stop: continuing past a lost journal
+    /// write would let the engine silently diverge from its log.
+    durable: Option<DurableHook>,
 }
 
 impl ShardedEngine {
@@ -375,7 +384,64 @@ impl ShardedEngine {
             standing_ranges: StandingPrivateRanges::new(),
             public_all: PublicStore::new(),
             obs: Arc::new(MetricsRegistry::new()),
+            durable: None,
         }
+    }
+
+    /// Attaches a durability sink: from now on every logical mutation is
+    /// appended to `sink` before being applied, and a compacted snapshot
+    /// is installed every `policy.snapshot_every` mutations. The caller
+    /// (normally `lbsp-store`) is responsible for writing the leading
+    /// [`JournalRecord::InitEngine`] record on a fresh log and for
+    /// replaying an existing log via [`Self::apply_op`] *before*
+    /// attaching, so recovery ops are not re-journaled.
+    pub fn attach_durability(&mut self, policy: Durability, sink: Box<dyn DurabilitySink>) {
+        self.durable = Some(DurableHook::new(policy, sink));
+    }
+
+    /// Whether a durability sink is attached.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Journals one logical mutation (write-ahead: call before applying).
+    /// The closure defers building the record so the non-durable path
+    /// pays nothing. Failures are fail-stop by design.
+    fn journal_op(&mut self, build: impl FnOnce() -> EngineOp) {
+        if self.durable.is_none() {
+            return;
+        }
+        let rec = JournalRecord::Op(build());
+        let hook = self.durable.as_mut().expect("durability checked above");
+        let start = Instant::now();
+        hook.append(&rec).expect("durability: WAL append failed");
+        self.obs
+            .stage(Stage::WalAppend)
+            .record_duration(start.elapsed());
+        if hook.policy().fsync {
+            let start = Instant::now();
+            hook.sync().expect("durability: WAL fsync failed");
+            self.obs
+                .stage(Stage::WalFsync)
+                .record_duration(start.elapsed());
+        }
+    }
+
+    /// Installs a compacted snapshot when the policy's cadence is due.
+    /// Called *after* each mutation is applied, so the snapshot covers
+    /// the op that triggered it.
+    fn maybe_snapshot(&mut self) {
+        if !self.durable.as_ref().is_some_and(DurableHook::snapshot_due) {
+            return;
+        }
+        let start = Instant::now();
+        let state = journal::encode_engine_state(&self.export_state());
+        let hook = self.durable.as_mut().expect("durability checked above");
+        hook.install_snapshot(&state)
+            .expect("durability: snapshot install failed");
+        self.obs
+            .stage(Stage::Snapshot)
+            .record_duration(start.elapsed());
     }
 
     /// The engine configuration.
@@ -401,7 +467,13 @@ impl ShardedEngine {
 
     /// Registers a user with a privacy profile.
     pub fn register(&mut self, id: UserId, profile: PrivacyProfile) {
+        self.journal_op(|| EngineOp::RegisterUser {
+            id,
+            active: true,
+            profile: profile.clone(),
+        });
         self.profiles.insert(id, profile);
+        self.maybe_snapshot();
     }
 
     /// Number of registered users.
@@ -422,6 +494,9 @@ impl ShardedEngine {
     /// Loads the public-object dataset, partitioned into shards by
     /// object position.
     pub fn load_public(&mut self, objects: Vec<PublicObject>) {
+        self.journal_op(|| EngineOp::LoadPublic {
+            objects: objects.clone(),
+        });
         self.public_all = PublicStore::bulk_load(objects.clone());
         let mut parts: Vec<Vec<PublicObject>> = vec![Vec::new(); self.cfg.shards];
         for o in objects {
@@ -430,6 +505,7 @@ impl ShardedEngine {
         for (shard, part) in self.public.iter().zip(parts) {
             *shard.write() = PublicStore::bulk_load(part);
         }
+        self.maybe_snapshot();
     }
 
     /// Stable pseudonym for a user — the same keyed splitmix64 bijection
@@ -450,6 +526,12 @@ impl ShardedEngine {
         &mut self,
         updates: &[(UserId, Point, SimTime)],
     ) -> Vec<Result<CloakedUpdate, CloakError>> {
+        // Write-ahead: the whole batch is one journal record, preserving
+        // batch boundaries (duplicate-row settlement and the shared
+        // cloak cache are batch-scoped, so replay must re-batch alike).
+        self.journal_op(|| EngineOp::UpdateBatch {
+            rows: updates.to_vec(),
+        });
         // Coordinator pass: resolve profiles, route rows to shards, and
         // turn cross-shard moves into remove+insert pairs. Scanning in
         // input order makes duplicate-user rows settle on the row that
@@ -656,6 +738,7 @@ impl ShardedEngine {
                 .stage(Stage::StandingUpdate)
                 .record_duration(start.elapsed());
         }
+        self.maybe_snapshot();
         results
     }
 
@@ -792,26 +875,35 @@ impl ShardedEngine {
     /// server agree bit-for-bit on the expected count no matter which
     /// order the shards (or the sequential store's hash map) iterate.
     pub fn add_standing_count(&mut self, area: Rect) -> u64 {
+        self.journal_op(|| EngineOp::AddStandingCount { area });
         let mut seeds: Vec<(u64, Rect)> = Vec::new();
         for shard in &self.private {
             let store = shard.read();
             seeds.extend(store.iter().map(|r| (r.pseudonym, r.region)));
         }
-        self.standing_counts.register(area, seeds)
+        let id = self.standing_counts.register(area, seeds);
+        self.maybe_snapshot();
+        id
     }
 
     /// Registers a standing private range query for `user` ("keep me
     /// updated on objects within `radius` of me").
     pub fn add_standing_range(&mut self, user: UserId, radius: f64) -> StandingQueryId {
-        self.standing_ranges.register(user, radius)
+        self.journal_op(|| EngineOp::AddStandingRange { user, radius });
+        let id = self.standing_ranges.register(user, radius);
+        self.maybe_snapshot();
+        id
     }
 
     /// Drops a standing query from the registry `kind` addresses.
     pub fn deregister_standing(&mut self, kind: StandingKind, id: u64) -> bool {
-        match kind {
+        self.journal_op(|| EngineOp::DeregisterStanding { kind, id });
+        let hit = match kind {
             StandingKind::Count => self.standing_counts.deregister(id),
             StandingKind::Range => self.standing_ranges.deregister(id),
-        }
+        };
+        self.maybe_snapshot();
+        hit
     }
 
     /// The current wire-level state of a standing query, or `None` when
@@ -848,6 +940,9 @@ impl ShardedEngine {
     /// count queries first, then range queries, each in ascending id
     /// order — the deterministic fan-out order for delta pushes.
     pub fn take_standing_changes(&mut self) -> Vec<(StandingKind, u64)> {
+        // Draining mutates the registries' `changed` sets, so replay has
+        // to drain at the same points — journal before applying.
+        self.journal_op(|| EngineOp::TakeStandingChanges);
         let mut out: Vec<(StandingKind, u64)> = self
             .standing_counts
             .take_changed()
@@ -860,6 +955,7 @@ impl ShardedEngine {
                 .into_iter()
                 .map(|id| (StandingKind::Range, id)),
         );
+        self.maybe_snapshot();
         out
     }
 
@@ -871,6 +967,97 @@ impl ShardedEngine {
     /// The standing private-range registry (read-only).
     pub fn standing_ranges(&self) -> &StandingPrivateRanges {
         &self.standing_ranges
+    }
+
+    /// Dumps the engine's full logical state in canonical (sorted) form.
+    /// [`Self::from_state`] of this dump rebuilds an engine whose every
+    /// externally visible byte — cloaks, query answers, standing-state
+    /// frames — matches this one exactly: shard placement is a pure
+    /// function of position, outputs never expose internal iteration
+    /// order, and the standing registries dump their accumulators
+    /// bit-for-bit (Neumaier compensation terms included).
+    pub fn export_state(&self) -> EngineState {
+        let mut profiles: Vec<(UserId, PrivacyProfile)> = self
+            .profiles
+            .iter()
+            .map(|(&id, p)| (id, p.clone()))
+            .collect();
+        profiles.sort_unstable_by_key(|&(id, _)| id);
+        let mut positions: Vec<(UserId, Point)> = Vec::new();
+        for shard in &self.anon {
+            positions.extend(shard.read().iter());
+        }
+        positions.sort_unstable_by_key(|&(id, _)| id);
+        let mut records: Vec<(u64, Rect)> = Vec::new();
+        for shard in &self.private {
+            records.extend(shard.read().iter().map(|r| (r.pseudonym, r.region)));
+        }
+        records.sort_unstable_by_key(|&(p, _)| p);
+        let mut public: Vec<PublicObject> = self.public_all.iter().cloned().collect();
+        public.sort_unstable_by_key(|o| o.id);
+        EngineState {
+            config: self.cfg,
+            profiles,
+            positions,
+            records,
+            public,
+            counts: self.standing_counts.export_state(),
+            ranges: self.standing_ranges.export_state(),
+        }
+    }
+
+    /// Rebuilds an engine from an exported state dump (the recovery
+    /// path's snapshot base). The rebuilt engine is *not* durable; the
+    /// recovery driver attaches a sink after any tail replay.
+    pub fn from_state(state: &EngineState, threads: usize) -> ShardedEngine {
+        let mut e = ShardedEngine::new(state.config, threads);
+        for (id, profile) in &state.profiles {
+            e.profiles.insert(*id, profile.clone());
+        }
+        for &(id, p) in &state.positions {
+            let shard = e.shard_of(p);
+            e.anon[shard].write().insert(id, p);
+            e.owner.insert(id, shard);
+        }
+        for &(pseudonym, rect) in &state.records {
+            let shard = e.shard_of(rect.center());
+            e.private[shard]
+                .write()
+                .upsert(PrivateRecord::new(pseudonym, rect));
+            e.record_owner.insert(pseudonym, shard);
+        }
+        e.load_public(state.public.clone());
+        e.standing_counts = ContinuousRangeCount::restore_state(&state.counts);
+        e.standing_ranges = StandingPrivateRanges::restore_state(&state.ranges);
+        e
+    }
+
+    /// Re-applies one journaled mutation during recovery. Must run
+    /// *before* [`Self::attach_durability`] so replayed ops are not
+    /// re-journaled. `RegisterUser`/`UpdateProfile` both resolve to
+    /// [`Self::register`] here — the engine keeps no activity flag (that
+    /// distinction lives in [`crate::PrivacyAwareSystem`]).
+    pub fn apply_op(&mut self, op: &EngineOp) {
+        match op {
+            EngineOp::RegisterUser { id, profile, .. }
+            | EngineOp::UpdateProfile { id, profile } => self.register(*id, profile.clone()),
+            EngineOp::UpdateBatch { rows } => {
+                self.process_updates(rows);
+            }
+            EngineOp::LoadPublic { objects } => self.load_public(objects.clone()),
+            EngineOp::AddStandingCount { area } => {
+                self.add_standing_count(*area);
+            }
+            EngineOp::AddStandingRange { user, radius } => {
+                self.add_standing_range(*user, *radius);
+            }
+            EngineOp::DeregisterStanding { kind, id } => {
+                self.deregister_standing(*kind, *id);
+            }
+            EngineOp::TakeStandingChanges => {
+                self.take_standing_changes();
+            }
+        }
     }
 }
 
@@ -1179,6 +1366,145 @@ mod tests {
         // Deregistration works through the typed kind.
         assert!(e.deregister_standing(StandingKind::Count, qc));
         assert!(e.standing_state(StandingKind::Count, qc).is_none());
+    }
+
+    #[test]
+    fn state_dump_rebuilds_byte_identical_engine() {
+        // Drive a full workload (public data, movement, standing queries,
+        // a partial drain), dump, rebuild, and require every externally
+        // visible byte to match as both engines keep evolving.
+        let objects: Vec<PublicObject> = (0..40)
+            .map(|i| PublicObject::new(i, Point::new(((i as f64) * 0.025).min(0.999), 0.5), 0))
+            .collect();
+        let mut a = engine(4);
+        a.load_public(objects);
+        a.process_updates(&lattice_updates(64));
+        let qc = a.add_standing_count(Rect::new_unchecked(0.2, 0.2, 0.8, 0.8));
+        let qr = a.add_standing_range(7, 0.2);
+        a.process_updates(&lattice_updates(64));
+        a.take_standing_changes();
+
+        let dump = a.export_state();
+        let mut b = ShardedEngine::from_state(&dump, 2);
+        // The dump itself must round-trip losslessly through the rebuild.
+        assert_eq!(b.export_state(), dump);
+        assert_eq!(
+            journal::encode_engine_state(&b.export_state()),
+            journal::encode_engine_state(&dump)
+        );
+
+        // Both engines keep producing identical wire bytes afterwards.
+        let wave: Vec<(UserId, Point, SimTime)> = (0..64u64)
+            .map(|i| {
+                let x = (((i + 3) as f64 * 0.618_033_988_749) % 1.0).min(0.999);
+                let y = (((i + 5) as f64 * 0.414_213_562_373) % 1.0).min(0.999);
+                (i, Point::new(x, y), SimTime::from_secs(9.0))
+            })
+            .collect();
+        let wa = a.process_updates_wire(&wave);
+        let wb = b.process_updates_wire(&wave);
+        for (x, y) in wa.iter().zip(&wb) {
+            assert_eq!(x.as_ref().unwrap().to_vec(), y.as_ref().unwrap().to_vec());
+        }
+        for (kind, id) in [(StandingKind::Count, qc), (StandingKind::Range, qr)] {
+            assert_eq!(
+                wire::encode_standing_state(&a.standing_state(kind, id).unwrap()),
+                wire::encode_standing_state(&b.standing_state(kind, id).unwrap())
+            );
+        }
+        assert_eq!(a.take_standing_changes(), b.take_standing_changes());
+        assert_eq!(
+            a.range_query(7, SimTime::from_secs(9.0), 0.2)
+                .unwrap()
+                .response,
+            b.range_query(7, SimTime::from_secs(9.0), 0.2)
+                .unwrap()
+                .response
+        );
+    }
+
+    /// An in-memory sink capturing the journal stream for assertions.
+    struct VecSink {
+        records: Arc<Mutex<Vec<JournalRecord>>>,
+        syncs: Arc<AtomicU64>,
+        snapshots: Arc<Mutex<Vec<Vec<u8>>>>,
+    }
+
+    impl DurabilitySink for VecSink {
+        fn append(&mut self, rec: &JournalRecord) -> std::io::Result<()> {
+            self.records.lock().unwrap().push(rec.clone());
+            Ok(())
+        }
+        fn sync(&mut self) -> std::io::Result<()> {
+            self.syncs.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+        fn snapshot(&mut self, state: &[u8]) -> std::io::Result<()> {
+            self.snapshots.lock().unwrap().push(state.to_vec());
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn journaled_ops_replay_to_the_same_engine() {
+        let records = Arc::new(Mutex::new(Vec::new()));
+        let syncs = Arc::new(AtomicU64::new(0));
+        let snapshots = Arc::new(Mutex::new(Vec::new()));
+        let mut durable = engine(2);
+        durable.attach_durability(
+            Durability {
+                snapshot_every: 3,
+                fsync: true,
+            },
+            Box::new(VecSink {
+                records: Arc::clone(&records),
+                syncs: Arc::clone(&syncs),
+                snapshots: Arc::clone(&snapshots),
+            }),
+        );
+        durable.process_updates(&lattice_updates(64));
+        let qc = durable.add_standing_count(Rect::new_unchecked(0.2, 0.2, 0.8, 0.8));
+        durable.process_updates(&lattice_updates(48));
+        durable.take_standing_changes();
+
+        // Every mutation hit the log, in order, and was fsynced.
+        let log = records.lock().unwrap().clone();
+        assert_eq!(log.len(), 4);
+        assert!(
+            matches!(log[0], JournalRecord::Op(EngineOp::UpdateBatch { ref rows }) if rows.len() == 64)
+        );
+        assert!(matches!(
+            log[1],
+            JournalRecord::Op(EngineOp::AddStandingCount { .. })
+        ));
+        assert_eq!(syncs.load(Ordering::Relaxed), 4);
+        // Cadence of 3: the 3rd logged mutation triggered one snapshot.
+        assert_eq!(snapshots.lock().unwrap().len(), 1);
+
+        // Replaying the log on a fresh engine reproduces the state.
+        let mut replayed = engine(4);
+        for rec in &log {
+            if let JournalRecord::Op(op) = rec {
+                replayed.apply_op(op);
+            }
+        }
+        assert_eq!(
+            journal::encode_engine_state(&replayed.export_state()),
+            journal::encode_engine_state(&durable.export_state())
+        );
+        // ... and the snapshot taken mid-run decodes to a state that,
+        // replayed forward with the remaining ops, also converges.
+        let snap = snapshots.lock().unwrap()[0].clone();
+        let snap_state = journal::decode_engine_state(&snap).unwrap();
+        let mut from_snap = ShardedEngine::from_state(&snap_state, 1);
+        if let JournalRecord::Op(op) = &log[3] {
+            from_snap.apply_op(op);
+        }
+        assert_eq!(
+            journal::encode_engine_state(&from_snap.export_state()),
+            journal::encode_engine_state(&durable.export_state())
+        );
+        let _ = qc;
     }
 
     #[test]

@@ -31,6 +31,10 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+// Journal payloads are re-read from disk during recovery — exactly as
+// untrusted as network bytes, so the wire rules apply.
+#[deny(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+pub mod journal;
 pub mod locks;
 pub mod metrics;
 // Observability snapshots cross the trust boundary to remote scrapers,
@@ -48,10 +52,13 @@ pub mod wire;
 pub use engine::{
     EngineConfig, ExecutionMode, RangeQueryAnswer, ReplayScheduler, ShardedEngine, WorkerPool,
 };
+pub use journal::{Durability, DurabilitySink, EngineOp, EngineState, JournalRecord};
 pub use locks::{LockRank, TrackedMutex, TrackedRwLock};
 pub use obs::{Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot, Stage};
 pub use sim::{SimulationConfig, SimulationEngine, TickReport};
-pub use standing::{StandingPrivateRanges, StandingQueryId};
+pub use standing::{
+    StandingPrivateRanges, StandingQueryId, StandingRangeEntryState, StandingRangesState,
+};
 pub use system::{NnQueryOutcome, PrivacyAwareSystem, RangeQueryOutcome};
 pub use user::{MobileUser, UserMode};
 

@@ -356,10 +356,16 @@ pub enum Stage {
     /// Standing-query maintenance: applying one batch of cloak deltas
     /// to the continuous-count and standing-range registries.
     StandingUpdate,
+    /// Encoding + appending one record to the write-ahead log.
+    WalAppend,
+    /// Forcing appended WAL records to stable storage.
+    WalFsync,
+    /// Exporting + installing one durability snapshot.
+    Snapshot,
 }
 
 /// Number of [`Stage`] variants.
-pub const STAGE_COUNT: usize = 6;
+pub const STAGE_COUNT: usize = 9;
 
 impl Stage {
     /// Every stage, in wire/exposition order.
@@ -370,6 +376,9 @@ impl Stage {
         Stage::FrameDecode,
         Stage::OutboundWait,
         Stage::StandingUpdate,
+        Stage::WalAppend,
+        Stage::WalFsync,
+        Stage::Snapshot,
     ];
 
     /// Stable snake_case label (used in the text exposition).
@@ -381,6 +390,9 @@ impl Stage {
             Stage::FrameDecode => "frame_decode",
             Stage::OutboundWait => "outbound_wait",
             Stage::StandingUpdate => "standing_update",
+            Stage::WalAppend => "wal_append",
+            Stage::WalFsync => "wal_fsync",
+            Stage::Snapshot => "snapshot",
         }
     }
 }
@@ -403,6 +415,9 @@ pub struct MetricsRegistry {
     stage_frame_decode: Histogram,
     stage_outbound_wait: Histogram,
     stage_standing_update: Histogram,
+    stage_wal_append: Histogram,
+    stage_wal_fsync: Histogram,
+    stage_snapshot: Histogram,
     /// Cloaked-region areas (square world units).
     cloak_area: Histogram,
     /// Achieved anonymity levels.
@@ -430,6 +445,9 @@ impl MetricsRegistry {
             Stage::FrameDecode => &self.stage_frame_decode,
             Stage::OutboundWait => &self.stage_outbound_wait,
             Stage::StandingUpdate => &self.stage_standing_update,
+            Stage::WalAppend => &self.stage_wal_append,
+            Stage::WalFsync => &self.stage_wal_fsync,
+            Stage::Snapshot => &self.stage_snapshot,
         }
     }
 
@@ -482,6 +500,9 @@ impl MetricsRegistry {
                 self.stage_frame_decode.snapshot(),
                 self.stage_outbound_wait.snapshot(),
                 self.stage_standing_update.snapshot(),
+                self.stage_wal_append.snapshot(),
+                self.stage_wal_fsync.snapshot(),
+                self.stage_snapshot.snapshot(),
             ],
             cloak_area: self.cloak_area.snapshot(),
             achieved_k: self.achieved_k.snapshot(),

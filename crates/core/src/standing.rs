@@ -39,6 +39,41 @@ struct Entry {
     seq: u64,
 }
 
+/// Raw state of one standing private range query, as exported for
+/// durability. The cached cloak/candidate set and the change sequence
+/// number are restored verbatim so a recovered registry reuses and
+/// signals exactly like one that never crashed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandingRangeEntryState {
+    /// Query id.
+    pub id: StandingQueryId,
+    /// Owning user.
+    pub user: UserId,
+    /// Query radius (already clamped non-negative).
+    pub radius: f64,
+    /// The cloak the cached candidates were computed for.
+    pub cloak: Option<Rect>,
+    /// Cached candidates, sorted by object id.
+    pub candidates: Vec<PublicObject>,
+    /// Change sequence number.
+    pub seq: u64,
+}
+
+/// Raw state of a [`StandingPrivateRanges`] registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StandingRangesState {
+    /// Entries in ascending id order.
+    pub entries: Vec<StandingRangeEntryState>,
+    /// Next id to assign.
+    pub next_id: StandingQueryId,
+    /// Ids with undelivered candidate-set changes, ascending.
+    pub changed: Vec<StandingQueryId>,
+    /// Refreshes that recomputed candidates.
+    pub recomputes: u64,
+    /// Refreshes served from the cached candidate set.
+    pub reuses: u64,
+}
+
 /// Registry of standing private range queries with cloak-change-driven
 /// refresh.
 #[derive(Debug, Default)]
@@ -180,6 +215,60 @@ impl StandingPrivateRanges {
             self.reuses as f64 / total as f64
         }
     }
+
+    /// Exports the registry's raw state for durability, entries in
+    /// ascending id order (canonical regardless of hash-map order).
+    pub fn export_state(&self) -> StandingRangesState {
+        let mut entries: Vec<StandingRangeEntryState> = self
+            .entries
+            .iter()
+            .map(|(&id, e)| StandingRangeEntryState {
+                id,
+                user: e.user,
+                radius: e.radius,
+                cloak: e.cloak,
+                candidates: e.candidates.clone(),
+                seq: e.seq,
+            })
+            .collect();
+        entries.sort_unstable_by_key(|e| e.id);
+        StandingRangesState {
+            entries,
+            next_id: self.next_id,
+            changed: self.changed.iter().copied().collect(),
+            recomputes: self.recomputes,
+            reuses: self.reuses,
+        }
+    }
+
+    /// Rebuilds a registry from exported state. The per-user index is
+    /// re-derived by inserting entries in ascending id order, which *is*
+    /// registration order: ids are assigned from a monotonic counter, so
+    /// a user's id list always comes out sorted.
+    pub fn restore_state(state: &StandingRangesState) -> StandingPrivateRanges {
+        let mut reg = StandingPrivateRanges {
+            entries: HashMap::with_capacity(state.entries.len()),
+            by_user: HashMap::new(),
+            next_id: state.next_id,
+            changed: state.changed.iter().copied().collect(),
+            recomputes: state.recomputes,
+            reuses: state.reuses,
+        };
+        for es in &state.entries {
+            reg.entries.insert(
+                es.id,
+                Entry {
+                    user: es.user,
+                    radius: es.radius,
+                    cloak: es.cloak,
+                    candidates: es.candidates.clone(),
+                    seq: es.seq,
+                },
+            );
+            reg.by_user.entry(es.user).or_default().push(es.id);
+        }
+        reg
+    }
 }
 
 #[cfg(test)]
@@ -300,6 +389,39 @@ mod tests {
         reg.on_cloak_update(3, &Rect::new_unchecked(0.0, 0.0, 0.1, 0.1), &store);
         assert_eq!(reg.seq(q), Some(2));
         assert_eq!(reg.take_changed(), vec![q]);
+    }
+
+    #[test]
+    fn export_restore_roundtrip_is_exact() {
+        let store = store();
+        let mut reg = StandingPrivateRanges::new();
+        let q1 = reg.register(7, 0.15);
+        let q2 = reg.register(3, 0.25);
+        let q3 = reg.register(7, 0.05);
+        reg.on_cloak_update(7, &Rect::new_unchecked(0.4, 0.4, 0.6, 0.6), &store);
+        reg.on_cloak_update(3, &Rect::new_unchecked(0.1, 0.1, 0.2, 0.2), &store);
+        // Leave q3's change undelivered while q1/q2's were drained.
+        let _ = reg.take_changed();
+        reg.on_cloak_update(7, &Rect::new_unchecked(0.0, 0.5, 0.2, 0.7), &store);
+        let state = reg.export_state();
+        let mut restored = StandingPrivateRanges::restore_state(&state);
+        assert_eq!(restored.export_state(), state, "roundtrip is lossless");
+        // Identical refresh behaviour afterwards: same-cloak reuse for
+        // user 7, recompute for user 3, same change signalling.
+        let c7 = Rect::new_unchecked(0.0, 0.5, 0.2, 0.7);
+        let c3 = Rect::new_unchecked(0.6, 0.6, 0.9, 0.9);
+        for r in [&mut reg, &mut restored] {
+            r.on_cloak_update(7, &c7, &store);
+            r.on_cloak_update(3, &c3, &store);
+        }
+        for q in [q1, q2, q3] {
+            assert_eq!(reg.candidates(q), restored.candidates(q));
+            assert_eq!(reg.seq(q), restored.seq(q));
+            assert_eq!(reg.user_of(q), restored.user_of(q));
+        }
+        assert_eq!(reg.recomputes, restored.recomputes);
+        assert_eq!(reg.reuses, restored.reuses);
+        assert_eq!(reg.take_changed(), restored.take_changed());
     }
 
     #[test]

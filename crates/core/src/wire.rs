@@ -673,8 +673,9 @@ use crate::obs::{
 /// Version byte leading every encoded [`RegistrySnapshot`]; bumped on
 /// any layout change so a stale scraper fails loudly instead of
 /// misreading counters. Version 2 added the `standing_update` stage and
-/// the `standing_fanout` value histogram.
-pub const STATS_SNAPSHOT_VERSION: u8 = 2;
+/// the `standing_fanout` value histogram; version 3 added the
+/// `wal_append` / `wal_fsync` / `snapshot` durability stages.
+pub const STATS_SNAPSHOT_VERSION: u8 = 3;
 
 /// Byte length of one encoded histogram snapshot: count + sum + min +
 /// max + the bucket array, all 8-byte fields.

@@ -83,7 +83,13 @@ pub struct Scope {
 pub fn scope_for(rel: &str) -> Scope {
     Scope {
         panic_free: rel.starts_with("crates/net/src/")
+            // Everything the store crate reads back from disk is as
+            // hostile as network bytes: a flipped bit must surface as a
+            // Corrupt diagnostic, never a panic.
+            || rel.starts_with("crates/store/src/")
             || rel == "crates/core/src/wire.rs"
+            // The journal codecs decode WAL bytes on the recovery path.
+            || rel == "crates/core/src/journal.rs"
             // The observability registry records on hot paths and its
             // snapshots are served to remote scrapers.
             || rel == "crates/core/src/obs.rs",

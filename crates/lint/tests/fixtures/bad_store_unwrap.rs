@@ -1,0 +1,12 @@
+// Known-bad fixture: panics reachable from bytes read off the disk —
+// the WAL recovery path must treat log bytes as hostile input.
+// Never compiled — consumed as data by tests/lint_fixtures.rs.
+
+pub fn read_segment_header(buf: &[u8]) -> (u64, u64) {
+    let seq = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+    let base = u64::from_le_bytes(buf.get(16..24).expect("short header").try_into().unwrap());
+    if seq == u64::MAX {
+        unreachable!("sequence overflow");
+    }
+    (seq, base)
+}

@@ -142,6 +142,46 @@ fn unwrap_indexing_and_panic_in_decode_path_are_caught() {
 }
 
 #[test]
+fn unwrap_in_store_recovery_path_is_caught() {
+    // The store crate parses WAL bytes read back from disk — the same
+    // hostile-input doctrine as the network frame decoder applies, so
+    // its whole src/ tree sits in the panic-freedom scope.
+    let f = lint_as("crates/store/src/wal.rs", &fixture("bad_store_unwrap.rs"));
+    let panics: Vec<_> = f.iter().filter(|x| x.rule == "panic").collect();
+    assert!(
+        panics.iter().any(|x| x.message.contains("`.unwrap()`")),
+        "{f:?}"
+    );
+    assert!(
+        panics.iter().any(|x| x.message.contains("`.expect(`")
+            || x.message.contains("`.expect()`")
+            || x.message.contains(".expect")),
+        "{f:?}"
+    );
+    assert!(
+        panics.iter().any(|x| x.message.contains("indexing")),
+        "{f:?}"
+    );
+    assert!(
+        panics.iter().any(|x| x.message.contains("unreachable!")),
+        "{f:?}"
+    );
+    // The journal codecs decode the same bytes during replay.
+    let f = lint_as(
+        "crates/core/src/journal.rs",
+        &fixture("bad_store_unwrap.rs"),
+    );
+    assert!(f.iter().any(|x| x.rule == "panic"), "{f:?}");
+    // A store *test* file is out of scope (tests construct their own
+    // inputs and may unwrap freely).
+    let f = lint_as(
+        "crates/store/tests/faults.rs",
+        &fixture("bad_store_unwrap.rs"),
+    );
+    assert!(f.iter().all(|x| x.rule != "panic"), "{f:?}");
+}
+
+#[test]
 fn unregistered_and_misnamed_locks_are_caught() {
     let f = lint_as(
         "crates/server/src/cache.rs",

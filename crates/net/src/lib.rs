@@ -34,4 +34,4 @@ pub mod server;
 
 pub use client::{NetClient, Reply};
 pub use frame::{Frame, FrameReader, Poll, FRAME_OVERHEAD, MAX_FRAME_LEN};
-pub use server::{sim_time_since, NetConfig, NetServer};
+pub use server::{sim_time_since, NetConfig, NetServer, RecoveryReport};

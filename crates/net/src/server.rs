@@ -29,11 +29,14 @@
 use crate::frame::{write_frame, FrameReader, Poll, MAX_FRAME_LEN};
 use lbsp_anonymizer::{CloakRequirement, PrivacyProfile};
 use lbsp_core::metrics::NetCounters;
-use lbsp_core::{wire, LockRank, MetricsRegistry, ShardedEngine, Stage, TrackedMutex};
+use lbsp_core::{
+    wire, Durability, EngineConfig, LockRank, MetricsRegistry, ShardedEngine, Stage, TrackedMutex,
+};
 use lbsp_geom::SimTime;
 use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, TrySendError};
 use std::sync::Arc;
@@ -129,6 +132,18 @@ enum CloseReason {
     Slow,
     /// No traffic within the idle timeout.
     Idle,
+}
+
+/// What [`NetServer::bind_durable`] found in the WAL directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// `true` when state was recovered from an existing log, `false`
+    /// for a freshly initialized directory.
+    pub recovered: bool,
+    /// Registered users after recovery (0 for a fresh directory).
+    pub users: usize,
+    /// Journal ops replayed during recovery.
+    pub ops_replayed: u64,
 }
 
 /// The framed TCP front-end of the privacy-aware LBS service.
@@ -239,6 +254,31 @@ impl NetServer {
             engine: Some(engine),
             obs,
         })
+    }
+
+    /// Binds `addr` serving an engine journaled durably under
+    /// `wal_dir`: a fresh directory is initialized with `engine_cfg`
+    /// and starts logging; an existing log is recovered first (the
+    /// persisted configuration wins over `engine_cfg`, preserving the
+    /// pseudonym secret) and logging resumes on a fresh segment. The
+    /// returned [`RecoveryReport`] says which path was taken.
+    pub fn bind_durable<A: ToSocketAddrs>(
+        addr: A,
+        wal_dir: &Path,
+        engine_cfg: EngineConfig,
+        engine_threads: usize,
+        policy: Durability,
+        cfg: NetConfig,
+    ) -> io::Result<(NetServer, RecoveryReport)> {
+        let opened = lbsp_store::open_engine(wal_dir, engine_cfg, engine_threads, policy)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let report = RecoveryReport {
+            recovered: opened.recovered,
+            users: opened.users,
+            ops_replayed: opened.ops_replayed,
+        };
+        let server = NetServer::bind(addr, opened.engine, cfg)?;
+        Ok((server, report))
     }
 
     /// The bound address (useful with port 0).

@@ -234,6 +234,51 @@ impl AreaIndex {
     }
 }
 
+/// Raw state of one standing count query, as exported for durability.
+///
+/// This is a *bit-exact* dump, not a logical summary: `sum`/`comp` are
+/// the Neumaier accumulator pair (whose low-order bits depend on the
+/// full history of contribution edits), `mutations` is the reconcile
+/// countdown, and `seq` the change sequence number. Restoring anything
+/// less would make a recovered registry diverge from one that never
+/// crashed on the very next update. The `certain` count is *not*
+/// exported — it is derivable from the contributions and re-derived on
+/// restore.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandingCountQueryState {
+    /// Query id.
+    pub id: QueryId,
+    /// Monitored area.
+    pub area: Rect,
+    /// `(pseudonym, inclusion probability)` pairs in ascending
+    /// pseudonym order (the map's natural order).
+    pub contributions: Vec<(PseudonymId, f64)>,
+    /// Neumaier running sum (raw bits).
+    pub sum: f64,
+    /// Neumaier compensation term (raw bits).
+    pub comp: f64,
+    /// Contribution edits since the last reconcile.
+    pub mutations: u64,
+    /// Change sequence number.
+    pub seq: u64,
+}
+
+/// Raw state of a [`ContinuousRangeCount`] registry (see
+/// [`StandingCountQueryState`] for why this is a bit-exact dump).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ContinuousCountState {
+    /// Queries in ascending id order.
+    pub queries: Vec<StandingCountQueryState>,
+    /// Next id to assign.
+    pub next_id: QueryId,
+    /// Ids with undelivered interval changes, ascending.
+    pub changed: Vec<QueryId>,
+    /// Updates applied since creation.
+    pub updates_processed: u64,
+    /// Cumulative queries examined through the area index.
+    pub examined_total: u64,
+}
+
 /// A registry of standing count queries, maintained incrementally.
 #[derive(Debug, Default)]
 pub struct ContinuousRangeCount {
@@ -382,6 +427,73 @@ impl ContinuousRangeCount {
     /// updates (including near-misses filtered by the exact area test).
     pub fn examined_total(&self) -> u64 {
         self.examined_total
+    }
+
+    /// Exports the registry's raw state for durability. Canonical: all
+    /// vectors come out sorted, so two registries with equal logical
+    /// state export equal values regardless of hash-map order.
+    pub fn export_state(&self) -> ContinuousCountState {
+        let mut queries: Vec<StandingCountQueryState> = self
+            .queries
+            .iter()
+            .map(|(&id, q)| StandingCountQueryState {
+                id,
+                area: q.area,
+                contributions: q.contributions.iter().map(|(&p, &v)| (p, v)).collect(),
+                sum: q.sum,
+                comp: q.comp,
+                mutations: q.mutations,
+                seq: q.seq,
+            })
+            .collect();
+        queries.sort_unstable_by_key(|q| q.id);
+        ContinuousCountState {
+            queries,
+            next_id: self.next_id,
+            changed: self.changed.iter().copied().collect(),
+            updates_processed: self.updates_processed,
+            examined_total: self.examined_total,
+        }
+    }
+
+    /// Rebuilds a registry from exported state. The `certain` count is
+    /// re-derived from the contributions (it is a pure function of
+    /// them) and the area index is rebuilt; everything else — including
+    /// the raw accumulator bits — is restored verbatim, so the result
+    /// behaves identically to the registry that produced the export.
+    pub fn restore_state(state: &ContinuousCountState) -> ContinuousRangeCount {
+        let mut queries: HashMap<QueryId, StandingQuery> =
+            HashMap::with_capacity(state.queries.len());
+        for qs in &state.queries {
+            let contributions: BTreeMap<PseudonymId, f64> =
+                qs.contributions.iter().copied().collect();
+            let certain = contributions
+                .values()
+                .filter(|&&p| p >= CERTAIN_THRESHOLD)
+                .count();
+            queries.insert(
+                qs.id,
+                StandingQuery {
+                    area: qs.area,
+                    contributions,
+                    sum: qs.sum,
+                    comp: qs.comp,
+                    certain,
+                    mutations: qs.mutations,
+                    seq: qs.seq,
+                },
+            );
+        }
+        let mut index = AreaIndex::default();
+        index.rebuild(&queries);
+        ContinuousRangeCount {
+            queries,
+            next_id: state.next_id,
+            index,
+            changed: state.changed.iter().copied().collect(),
+            updates_processed: state.updates_processed,
+            examined_total: state.examined_total,
+        }
     }
 }
 
@@ -807,6 +919,61 @@ mod tests {
         apply(&mut monitor, &mut model, 2, Some(far));
         apply(&mut monitor, &mut model, 1, Some(tie_a));
         assert_eq!(monitor.candidates(), vec![1]);
+    }
+
+    #[test]
+    fn export_restore_roundtrip_is_exact() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt as _, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut cont = ContinuousRangeCount::new();
+        for a in [
+            rect(0.0, 0.0, 0.4, 0.4),
+            rect(0.3, 0.3, 0.9, 0.9),
+            rect(0.5, 0.0, 1.0, 0.5),
+        ] {
+            cont.register(a, std::iter::empty());
+        }
+        let mut stream = Vec::new();
+        for step in 0..500u64 {
+            let id = step % 40;
+            let x0 = rng.random_range(0.0..0.9);
+            let y0 = rng.random_range(0.0..0.9);
+            stream.push((id, rect(x0, y0, x0 + 0.08, y0 + 0.08)));
+        }
+        let mut prev: HashMap<PseudonymId, Rect> = HashMap::new();
+        for &(id, r) in &stream[..300] {
+            let old = prev.insert(id, r);
+            cont.on_update(id, old.as_ref(), Some(&r));
+        }
+        // Partially drain change notifications so the restored registry
+        // also has to reproduce the undelivered set.
+        let _ = cont.take_changed();
+        for &(id, r) in &stream[300..400] {
+            let old = prev.insert(id, r);
+            cont.on_update(id, old.as_ref(), Some(&r));
+        }
+        let state = cont.export_state();
+        let mut restored = ContinuousRangeCount::restore_state(&state);
+        assert_eq!(restored.export_state(), state, "roundtrip is lossless");
+        // Both registries must now evolve identically, bit for bit.
+        for &(id, r) in &stream[400..] {
+            let old = prev.insert(id, r);
+            cont.on_update(id, old.as_ref(), Some(&r));
+            restored.on_update(id, old.as_ref(), Some(&r));
+        }
+        for q in 0..3u64 {
+            assert_eq!(
+                cont.expected(q).map(f64::to_bits),
+                restored.expected(q).map(f64::to_bits),
+                "expected count bits diverged for query {q}"
+            );
+            assert_eq!(cont.interval(q), restored.interval(q));
+            assert_eq!(cont.seq(q), restored.seq(q));
+        }
+        assert_eq!(cont.take_changed(), restored.take_changed());
+        assert_eq!(cont.updates_processed(), restored.updates_processed());
+        assert_eq!(cont.examined_total(), restored.examined_total());
     }
 
     #[test]

@@ -1,0 +1,36 @@
+//! Shared harness for the store integration tests: unique scratch
+//! directories that clean up after themselves even when a test panics.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A unique per-test scratch directory, removed on drop even when the
+/// test fails partway (panics unwind through the guard).
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `lbsp-store-<tag>-<pid>-<n>` under the system temp dir.
+    pub fn new(tag: &str) -> TempDir {
+        let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("lbsp-store-{tag}-{}-{n}", std::process::id()));
+        fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}

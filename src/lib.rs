@@ -14,6 +14,8 @@
 //! * [`system`] — the end-to-end architecture of the paper's Fig. 1.
 //! * [`net`] — the framed TCP transport deploying the system as a
 //!   real network service (`repro --serve` / `--connect`).
+//! * [`store`] — the durable write-ahead log and crash recovery
+//!   (`repro --serve ... --wal-dir DIR`).
 //!
 //! # Example: the whole pipeline
 //!
@@ -55,6 +57,7 @@ pub use lbsp_index as index;
 pub use lbsp_mobility as mobility;
 pub use lbsp_net as net;
 pub use lbsp_server as server;
+pub use lbsp_store as store;
 
 /// Crate version, for examples that print provenance.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
