@@ -71,6 +71,44 @@ wait "$SERVE_PID" 2>/dev/null || true
 rm -rf "$WAL_DIR"
 trap - EXIT
 
+echo "== cluster smoke (router + 2 nodes, byte-identity, clean drain) =="
+CLUSTER_DIR=$(mktemp -d)
+mkfifo "$CLUSTER_DIR/router_stdin"
+./target/release/repro --serve 127.0.0.1:7645 --wal-dir "$CLUSTER_DIR/n0" >/tmp/lbsp_cluster_n0.txt 2>&1 &
+NODE0_PID=$!
+./target/release/repro --serve 127.0.0.1:7646 --wal-dir "$CLUSTER_DIR/n1" >/tmp/lbsp_cluster_n1.txt 2>&1 &
+NODE1_PID=$!
+trap 'kill -9 "$NODE0_PID" "$NODE1_PID" 2>/dev/null || true; rm -rf "$CLUSTER_DIR"' EXIT
+for _ in $(seq 1 50); do
+  if ./target/release/repro --stats 127.0.0.1:7645 >/dev/null 2>&1 &&
+     ./target/release/repro --stats 127.0.0.1:7646 >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+./target/release/repro --route 127.0.0.1:7647 \
+  --nodes 127.0.0.1:7645,127.0.0.1:7646 \
+  <"$CLUSTER_DIR/router_stdin" >/tmp/lbsp_cluster_router.txt 2>&1 &
+ROUTER_PID=$!
+# Hold the router's stdin open for its lifetime; closing fd 9 is the
+# shutdown signal.
+exec 9>"$CLUSTER_DIR/router_stdin"
+for _ in $(seq 1 50); do
+  if grep -q "routing for 2 node(s)" /tmp/lbsp_cluster_router.txt; then break; fi
+  sleep 0.1
+done
+# Boundary-crossing workload through the router, byte-compared against
+# an in-process sequential engine; exits non-zero on any divergence.
+./target/release/repro --cluster-verify 127.0.0.1:7647 | tee /tmp/lbsp_cluster_verify.txt
+grep -q "byte-identical to the sequential engine" /tmp/lbsp_cluster_verify.txt
+# EOF on stdin must drain the router cleanly — with handoffs performed
+# and zero route failures.
+exec 9>&-
+wait "$ROUTER_PID"
+grep -Eq "router: drained \([1-9][0-9]* requests, [1-9][0-9]* handoffs, 0 route failures\)" /tmp/lbsp_cluster_router.txt
+kill "$NODE0_PID" "$NODE1_PID" 2>/dev/null || true
+wait "$NODE0_PID" "$NODE1_PID" 2>/dev/null || true
+rm -rf "$CLUSTER_DIR"
+trap - EXIT
+
 echo "== benches compile =="
 cargo bench --workspace --offline --no-run
 

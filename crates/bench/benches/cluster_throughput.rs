@@ -1,0 +1,65 @@
+//! `cluster_throughput` — closed-loop request rate through the cluster
+//! router at K = 1, 2, 4 nodes on loopback.
+//!
+//! The router serializes requests for determinism, so this bench
+//! measures the *cost* of the cluster layer (routing hop, shadow and
+//! cloak-ingest broadcasts, handoffs), not a throughput win: the
+//! broadcast fan-out grows with K while correctness stays byte-exact
+//! (asserted by tests/cluster.rs). K=1 isolates the pure proxy
+//! overhead versus `net_throughput`'s direct-to-server numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbsp_bench::clusterload::cluster_run;
+use lbsp_bench::json::{self, Val};
+
+const USERS: u64 = 300;
+const ROUNDS: u32 = 1;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_throughput");
+    group.sample_size(10);
+    for k in [1usize, 2, 4] {
+        let mut round = 0u64;
+        group.bench_function(format!("closed_loop_{USERS}u/nodes_{k}"), |b| {
+            b.iter(|| {
+                round += 1;
+                let report = cluster_run(k, USERS, ROUNDS, round).expect("cluster workload");
+                assert_eq!(report.load.errors, 0);
+                assert_eq!(report.route_failures, 0);
+                report.load.requests
+            })
+        });
+    }
+    group.finish();
+
+    // Machine-readable summary (the same sweep `repro --cluster` runs
+    // to regenerate BENCH_cluster.json).
+    println!("\ncluster_throughput summary: closed-loop client through the router");
+    for k in [1usize, 2, 4] {
+        let report = cluster_run(k, USERS, 2, 7).expect("cluster workload");
+        println!(
+            "cluster_throughput summary: {k} node(s)  {:>9.0} req/s  ({} requests, {} handoffs, {} errors)",
+            report.load.rate(),
+            report.load.requests,
+            report.handoffs,
+            report.load.errors,
+        );
+        json::line(
+            "cluster_throughput",
+            &[
+                ("nodes", Val::U(k as u64)),
+                ("users", Val::U(USERS)),
+                ("rounds", Val::U(2)),
+                ("requests", Val::U(report.load.requests)),
+                ("secs", Val::F(report.load.secs)),
+                ("rate", Val::F(report.load.rate())),
+                ("errors", Val::U(report.load.errors)),
+                ("handoffs", Val::U(report.handoffs)),
+                ("route_failures", Val::U(report.route_failures)),
+            ],
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

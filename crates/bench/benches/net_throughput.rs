@@ -10,6 +10,7 @@
 //! the network hop itself.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use lbsp_bench::json::{self, Val};
 use lbsp_bench::netload::{closed_loop, serve_engine};
 use lbsp_net::{NetConfig, NetServer};
 
@@ -57,6 +58,19 @@ fn bench(c: &mut Criterion) {
             report.requests,
             report.errors,
             snap.bytes_out,
+        );
+        // Machine-readable mirror of the line above.
+        json::line(
+            "net_throughput",
+            &[
+                ("workers", Val::U(workers as u64)),
+                ("requests", Val::U(report.requests)),
+                ("secs", Val::F(report.secs)),
+                ("rate", Val::F(report.rate())),
+                ("errors", Val::U(report.errors)),
+                ("bytes_in", Val::U(snap.bytes_in)),
+                ("bytes_out", Val::U(snap.bytes_out)),
+            ],
         );
         server.shutdown();
     }

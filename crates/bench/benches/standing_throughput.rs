@@ -5,6 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lbsp_anonymizer::{CloakRequirement, PrivacyProfile};
+use lbsp_bench::json::{self, Val};
 use lbsp_bench::{uniform_positions, world};
 use lbsp_core::{EngineConfig, ShardedEngine};
 use lbsp_geom::{Point, Rect, SimTime};
@@ -78,6 +79,57 @@ fn bench(c: &mut Criterion) {
     });
 
     group.finish();
+
+    // Machine-readable summary: one timed pass per scenario, so the
+    // three batch rates land in bench logs as flat JSON lines.
+    for (scenario, mut eng) in [
+        ("no_standing", engine(4)),
+        ("256_far_counts", {
+            let mut eng = engine(4);
+            for p in uniform_positions(256, 31) {
+                let x = p.x * 0.002;
+                let y = p.y * 0.002;
+                eng.add_standing_count(Rect::new_unchecked(x, y, x + 0.001, y + 0.001));
+            }
+            eng
+        }),
+        ("32_hot_counts_32_ranges", {
+            let mut eng = engine(4);
+            for p in uniform_positions(32, 33) {
+                let r = Rect::new_unchecked(
+                    p.x * 0.5,
+                    p.y * 0.5,
+                    (p.x * 0.5 + 0.3).min(1.0),
+                    (p.y * 0.5 + 0.3).min(1.0),
+                );
+                eng.add_standing_count(r);
+            }
+            for u in 0..32u64 {
+                eng.add_standing_range(u, 0.1);
+            }
+            eng
+        }),
+    ] {
+        let reps = 3u64;
+        let start = std::time::Instant::now();
+        for _ in 0..reps {
+            eng.process_updates(&batch);
+        }
+        let secs = start.elapsed().as_secs_f64();
+        json::line(
+            "standing_throughput",
+            &[
+                ("scenario", Val::S(scenario.to_string())),
+                ("users", Val::U(USERS as u64)),
+                ("reps", Val::U(reps)),
+                ("secs", Val::F(secs)),
+                (
+                    "updates_per_sec",
+                    Val::F((USERS as u64 * reps) as f64 / secs),
+                ),
+            ],
+        );
+    }
 }
 
 criterion_group!(benches, bench);

@@ -18,6 +18,19 @@
 //! repro -- --connect 127.0.0.1:7600            # drive it with load
 //! repro -- --stats 127.0.0.1:7600              # scrape observability
 //! ```
+//!
+//! Cluster mode (see DESIGN.md "Cluster architecture & handoff
+//! protocol"):
+//! ```text
+//! repro -- --route 127.0.0.1:7610 --nodes 127.0.0.1:7601,127.0.0.1:7602
+//!                                   # front K running --serve nodes;
+//!                                   # EOF on stdin drains and exits
+//! repro -- --cluster-verify 127.0.0.1:7610
+//!                                   # byte-identity check vs in-process engine
+//! repro -- --cluster                # in-process K=1,2,4 sweep; prints the
+//!                                   # JSON document checked in as
+//!                                   # BENCH_cluster.json
+//! ```
 
 use lbsp_anonymizer::attack::{BoundaryAttack, CenterAttack, OccupancyAttack};
 use lbsp_anonymizer::{
@@ -68,6 +81,19 @@ fn main() {
         stats(&addr);
         return;
     }
+    if let Some(addr) = flag_value("--route") {
+        let nodes = flag_value("--nodes").unwrap_or_default();
+        route(&addr, &nodes);
+        return;
+    }
+    if let Some(addr) = flag_value("--cluster-verify") {
+        cluster_verify(&addr);
+        return;
+    }
+    if args.iter().any(|a| a == "--cluster") {
+        cluster_sweep();
+        return;
+    }
     let run_all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |name: &str| run_all || args.iter().any(|a| a == name);
 
@@ -114,6 +140,195 @@ fn main() {
     if want("e14") {
         e14_standing();
     }
+    if want("e15") {
+        e15_cluster();
+    }
+}
+
+/// `--route ADDR --nodes A,B,...`: front K running `--serve` nodes with
+/// the cluster router. Reads stdin until EOF, then drains gracefully —
+/// scripts hold a pipe open for the router's lifetime and close it to
+/// stop (see ci.sh's cluster smoke stage).
+fn route(addr: &str, nodes_csv: &str) {
+    use lbsp_cluster::{Router, RouterConfig};
+    let nodes: Vec<&str> = nodes_csv.split(',').filter(|s| !s.is_empty()).collect();
+    if nodes.is_empty() {
+        eprintln!("--route needs --nodes A,B,... (comma-separated node addresses)");
+        std::process::exit(2);
+    }
+    let router = Router::bind(addr, &nodes, world(), RouterConfig::default())
+        .unwrap_or_else(|e| panic!("cannot bind router on {addr}: {e}"));
+    println!(
+        "routing for {} node(s) on {}; EOF on stdin drains and exits.",
+        nodes.len(),
+        router.local_addr()
+    );
+    let mut sink = String::new();
+    loop {
+        sink.clear();
+        match std::io::stdin().read_line(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    let report = router.shutdown();
+    println!(
+        "router: drained ({} requests, {} handoffs, {} route failures)",
+        report.requests_served, report.handoffs, report.route_failures
+    );
+}
+
+/// `--cluster-verify ADDR`: drive a deterministic workload through a
+/// running router AND through an identically-configured in-process
+/// engine, and require every reply — cloaked updates and query
+/// candidates — to be byte-identical. Exits non-zero on the first
+/// divergence.
+fn cluster_verify(addr: &str) {
+    use lbsp_bench::netload::serve_engine;
+    use lbsp_net::{NetClient, Reply};
+    use rand::rngs::StdRng;
+    use rand::{RngExt as _, SeedableRng};
+    use std::time::Duration;
+    let users = 120u64;
+    let waves = 2u64;
+    let mut engine = serve_engine();
+    let mut run = || -> Result<u64, String> {
+        let mut client = NetClient::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        client
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .map_err(|e| e.to_string())?;
+        client
+            .set_write_timeout(Some(Duration::from_secs(10)))
+            .map_err(|e| e.to_string())?;
+        let mut compared = 0u64;
+        for i in 0..users {
+            let k = [2u32, 5, 10, 25][(i % 4) as usize];
+            let profile =
+                PrivacyProfile::uniform(CloakRequirement::k_only(k)).map_err(|e| e.to_string())?;
+            engine.register(i, profile);
+            match client
+                .register(i, k, 0.0, f64::INFINITY)
+                .map_err(|e| format!("register {i}: {e}"))?
+            {
+                Reply::Ok => {}
+                other => return Err(format!("register {i}: unexpected reply {other:?}")),
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(20060406);
+        for w in 0..waves {
+            for i in 0..users {
+                let p = Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
+                let t = SimTime::from_secs((w * users + i) as f64 * 0.25);
+                let want = match engine.process_updates_wire(&[(i, p, t)]).into_iter().next() {
+                    Some(Ok(bytes)) => bytes.to_vec(),
+                    other => return Err(format!("reference update {i}: {other:?}")),
+                };
+                match client
+                    .update(i, p, t)
+                    .map_err(|e| format!("update {i}: {e}"))?
+                {
+                    Reply::Cloaked(bytes) if bytes == want => compared += 1,
+                    Reply::Cloaked(_) => {
+                        return Err(format!("update {i} wave {w}: cloaked bytes diverge"))
+                    }
+                    other => return Err(format!("update {i} wave {w}: {other:?}")),
+                }
+                if i % 10 == 0 {
+                    let want = engine
+                        .range_query(i, t, 0.05)
+                        .map_err(|e| e.to_string())?
+                        .response
+                        .to_vec();
+                    match client
+                        .range_query(i, 0.05, t)
+                        .map_err(|e| format!("query {i}: {e}"))?
+                    {
+                        Reply::Candidates(bytes) if bytes == want => compared += 1,
+                        Reply::Candidates(_) => {
+                            return Err(format!("query {i} wave {w}: candidate bytes diverge"))
+                        }
+                        other => return Err(format!("query {i} wave {w}: {other:?}")),
+                    }
+                }
+            }
+        }
+        Ok(compared)
+    };
+    match run() {
+        Ok(n) => println!("cluster-verify: {n} replies byte-identical to the sequential engine"),
+        Err(e) => {
+            eprintln!("cluster-verify FAILED against {addr}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--cluster`: the in-process K = 1, 2, 4 sweep. Prints the complete
+/// JSON document checked in as BENCH_cluster.json (progress goes to
+/// stderr so stdout can be redirected into the file).
+fn cluster_sweep() {
+    use lbsp_bench::clusterload::cluster_run;
+    use lbsp_bench::json::{object, Val};
+    let users = 300u64;
+    let rounds = 2u32;
+    let mut results = Vec::new();
+    for k in [1usize, 2, 4] {
+        eprintln!("cluster sweep: {k} node(s), {users} users, {rounds} rounds…");
+        let r = cluster_run(k, users, rounds, 7)
+            .unwrap_or_else(|e| panic!("cluster run (K={k}) failed: {e}"));
+        results.push(object(&[
+            ("nodes", Val::U(k as u64)),
+            ("requests", Val::U(r.load.requests)),
+            ("secs", Val::F((r.load.secs * 1e3).round() / 1e3)),
+            ("rate", Val::F(r.load.rate().round())),
+            ("errors", Val::U(r.load.errors)),
+            ("handoffs", Val::U(r.handoffs)),
+            ("route_failures", Val::U(r.route_failures)),
+        ]));
+    }
+    println!(
+        "{{\n  \"bench\": \"cluster_throughput\",\n  \"source\": \"repro --cluster\",\n  \
+         \"workload\": \"closed-loop register/update/query through the router\",\n  \
+         \"users\": {users},\n  \"rounds\": {rounds},\n  \"results\": [\n    {}\n  ]\n}}",
+        results.join(",\n    ")
+    );
+}
+
+/// E15: the cluster deployment — closed-loop throughput through the
+/// router at K = 1, 2, 4 nodes, with the byte-identity claim restated.
+fn e15_cluster() {
+    use lbsp_bench::clusterload::cluster_run;
+    println!("## E15 — region-sharded cluster (router + K nodes, loopback)\n");
+    println!(
+        "K NetServer nodes each own a vertical stripe of the world; a router\n\
+         fronts them, migrating boundary-crossing users with USER_HANDOFF\n\
+         frames and replicating the position/cloak planes so every cloak sees\n\
+         the global population. Claim: replies are byte-identical to one\n\
+         sequential engine at every K (asserted by tests/cluster.rs); this\n\
+         table prices the cluster layer — the router serializes requests, so\n\
+         K>1 buys per-node isolation (own WAL, engine, worker pool), not\n\
+         aggregate throughput, and the broadcast fan-out grows with K.\n"
+    );
+    header(&[
+        "nodes",
+        "requests",
+        "req/s",
+        "handoffs",
+        "route failures",
+        "errors",
+    ]);
+    for k in [1usize, 2, 4] {
+        let r = cluster_run(k, 500, 2, 7).expect("cluster workload");
+        row(&[
+            format!("{k}"),
+            format!("{}", r.load.requests),
+            format!("{:.0}", r.load.rate()),
+            format!("{}", r.handoffs),
+            format!("{}", r.route_failures),
+            format!("{}", r.load.errors),
+        ]);
+    }
+    println!();
 }
 
 /// `--serve ADDR`: run the framed TCP service until killed. With

@@ -165,6 +165,117 @@ pub mod netload {
     }
 }
 
+/// Cluster workloads: K `NetServer` nodes plus a routing front door on
+/// loopback, driven by the same closed-loop client as the single-node
+/// experiments (E15, `cluster_throughput`, `repro --cluster`).
+pub mod clusterload {
+    use super::netload::{closed_loop, serve_engine, LoadReport};
+    use super::world;
+    use lbsp_cluster::{Router, RouterConfig};
+    use lbsp_net::{NetConfig, NetServer};
+    use std::io;
+
+    /// Outcome of one closed-loop run through a K-node cluster.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ClusterReport {
+        /// The client-side closed-loop measurements.
+        pub load: LoadReport,
+        /// Boundary-crossing user migrations the router performed.
+        pub handoffs: u64,
+        /// Requests answered with `ROUTE_FAIL` (0 on a healthy run).
+        pub route_failures: u64,
+    }
+
+    /// Spawns `k` nodes and a router on loopback, drives the standard
+    /// closed-loop workload through the router, and tears everything
+    /// down. One node is the K=1 degenerate case (router as plain
+    /// proxy), making the router's own overhead directly measurable.
+    pub fn cluster_run(k: usize, users: u64, rounds: u32, seed: u64) -> io::Result<ClusterReport> {
+        let servers: Vec<NetServer> = (0..k.max(1))
+            .map(|_| NetServer::bind("127.0.0.1:0", serve_engine(), NetConfig::default()))
+            .collect::<io::Result<_>>()?;
+        let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+        let addr_refs: Vec<&str> = addrs.iter().map(|s| s.as_str()).collect();
+        let router = Router::bind("127.0.0.1:0", &addr_refs, world(), RouterConfig::default())?;
+        let load = closed_loop(router.local_addr(), users, rounds, seed)?;
+        let report = router.shutdown();
+        for s in servers {
+            s.shutdown();
+        }
+        Ok(ClusterReport {
+            load,
+            handoffs: report.handoffs,
+            route_failures: report.route_failures,
+        })
+    }
+}
+
+/// Machine-readable bench output: one flat JSON object per line, so
+/// throughput numbers can be scraped from bench logs (or redirected
+/// into `BENCH_*.json` files) without parsing prose. Hand-rolled —
+/// the workspace builds offline with no serializer dependency.
+pub mod json {
+    use std::fmt::Write as _;
+
+    /// A JSON scalar value.
+    #[derive(Debug, Clone)]
+    pub enum Val {
+        /// A string (escaped on output).
+        S(String),
+        /// An unsigned integer.
+        U(u64),
+        /// A float (non-finite values serialize as `null`).
+        F(f64),
+    }
+
+    /// Serializes `fields` as one flat JSON object, in order.
+    pub fn object(fields: &[(&str, Val)]) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":", escape(k));
+            match v {
+                Val::S(s) => {
+                    let _ = write!(out, "\"{}\"", escape(s));
+                }
+                Val::U(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                Val::F(x) if x.is_finite() => {
+                    let _ = write!(out, "{x}");
+                }
+                Val::F(_) => out.push_str("null"),
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Prints one result line: a flat object with `"bench"` first.
+    pub fn line(bench: &str, fields: &[(&str, Val)]) {
+        let mut all = vec![("bench", Val::S(bench.to_string()))];
+        all.extend_from_slice(fields);
+        println!("{}", object(&all));
+    }
+
+    fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out
+    }
+}
+
 /// Evenly spaced sample of user ids for measurement loops.
 pub fn sample_ids(n_users: usize, n_samples: usize) -> Vec<u64> {
     let step = (n_users / n_samples.max(1)).max(1);

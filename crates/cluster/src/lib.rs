@@ -1,0 +1,36 @@
+//! # lbsp-cluster — a region-sharded multi-node anonymizer cluster
+//!
+//! One anonymizer node bounds the system's throughput; the paper's
+//! architecture invites horizontal scale-out at the trusted tier. This
+//! crate provides it: `K` independent [`lbsp_net::NetServer`] nodes
+//! each own a vertical stripe of the world, and a thin [`Router`]
+//! front door speaks the ordinary client wire protocol, forwarding
+//! each request to the owning node over framed TCP.
+//!
+//! The headline guarantee is **byte-identity**: a K-node cluster
+//! answers every request — cloaked updates, query candidates, standing
+//! deltas, error texts — with exactly the bytes one sequential engine
+//! would produce, including for users whose movement crosses partition
+//! boundaries (migrated with explicit `USER_HANDOFF` frames) and for
+//! standing queries whose subscribers and subjects sit on different
+//! nodes. See the [`router`] module docs for the replication scheme
+//! that makes this possible and the failure doctrine for dead nodes.
+//!
+//! Std-only like the rest of the workspace; no async runtime, no new
+//! dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// The router terminates client connections — a hostile-input surface —
+// so the same pedantic lints as lbsp-net are promoted to hard errors.
+#![deny(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+#![cfg_attr(
+    test,
+    allow(clippy::cast_possible_truncation, clippy::indexing_slicing)
+)]
+
+pub mod partition;
+pub mod router;
+
+pub use partition::PartitionMap;
+pub use router::{Router, RouterConfig, RouterReport};

@@ -1,0 +1,945 @@
+//! The cluster's routing front door.
+//!
+//! A [`Router`] speaks the ordinary client wire protocol on its public
+//! socket and owns one [`NetClient`] connection to each cluster node.
+//! Clients never learn the cluster topology: they connect to the router
+//! exactly as they would to a single [`lbsp_net::NetServer`], and the
+//! router forwards each request to the node owning it.
+//!
+//! ## Replication and ownership
+//!
+//! The cloaking algorithm is *global*: every cloak is computed against
+//! the summed population of the whole world, so a partitioned cluster
+//! can only answer byte-identically to one sequential engine if every
+//! node sees the full position plane. The router therefore maintains
+//! two replicated planes and one single-copy plane:
+//!
+//! * **Position plane** — after forwarding an `EXACT_UPDATE` to the
+//!   owning node, the router mirrors the same row to every other node
+//!   as a [`wire::tag::SHADOW_UPDATE`] frame (positions advance even
+//!   when the cloak failed, exactly like the sequential engine).
+//! * **Cloak plane** — when the owner answers with cloaked bytes, the
+//!   router relays those exact bytes to every other node as a
+//!   [`wire::tag::CLOAK_INGEST`] frame, so the private stores and
+//!   standing-count registries stay in lockstep. Non-owners drain the
+//!   resulting changed-set internally; only the owner pushes deltas.
+//! * **User state (single copy)** — a user's privacy profile and
+//!   standing-range registrations live on exactly one node. When a
+//!   movement crosses a partition boundary the router performs an
+//!   explicit handoff *before* forwarding the update:
+//!   [`wire::tag::HANDOFF_PULL`] extracts the state from the old owner
+//!   as a [`wire::tag::USER_HANDOFF`] reply, and
+//!   [`wire::tag::HANDOFF_PUSH`] installs it on the new owner.
+//!
+//! Standing-query registrations and deregistrations are broadcast to
+//! every node in node order, which keeps the per-kind id counters in
+//! lockstep cluster-wide; the client sees node 0's reply. Deltas pushed
+//! by whichever node processed an update are fanned out to subscribed
+//! router connections through the same subscription-table idiom the
+//! single-node server uses.
+//!
+//! ## Ordering
+//!
+//! All client requests serialize through one router-core mutex
+//! ([`LockRank::ClusterRouter`], the outermost rank). Combined with
+//! closed-loop acknowledgements for every internal frame, this gives
+//! the cluster one global request order — the property the
+//! byte-identity guarantee rests on. Router throughput therefore scales
+//! with connection *handling* (framing, socket I/O), not request
+//! execution; the scaling win is that each node runs its own engine,
+//! WAL, and worker pool.
+//!
+//! ## Failure doctrine
+//!
+//! A node that cannot be reached (connect failure, I/O error, timeout)
+//! is marked dead and stays dead for the router's lifetime. Any request
+//! that needs a dead node gets a loud [`wire::tag::ROUTE_FAIL`] reply
+//! naming the node — never a hang, and never a reply that masquerades
+//! as an application-level [`wire::tag::ERROR`] — and the router's
+//! `route_failures` counter is bumped.
+
+use crate::partition::PartitionMap;
+use lbsp_core::metrics::NetCounters;
+use lbsp_core::{wire, LockRank, MetricsRegistry, TrackedMutex};
+use lbsp_geom::Rect;
+use lbsp_net::frame::write_frame;
+use lbsp_net::{Frame, FrameReader, NetClient, NetConfig, Poll, Reply};
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One queued outbound frame: (tag, payload bytes).
+type Outbound = (u8, Vec<u8>);
+
+/// Changed standing-query states drained from node connections during
+/// one routed request: ((kind code, query id), state bytes).
+type DeltaBatch = Vec<((u8, u64), Vec<u8>)>;
+
+/// Tuning knobs of a [`Router`].
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// Client-facing connection handling (same knobs as the single-node
+    /// server: worker pool, timeouts, bounded queues).
+    pub net: NetConfig,
+    /// Read/write timeout on each router→node connection. A node that
+    /// stays quiet past this bound is declared dead.
+    pub node_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            net: NetConfig::default(),
+            node_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// What the cluster did over the router's lifetime, reported by
+/// [`Router::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterReport {
+    /// Boundary-crossing user migrations completed.
+    pub handoffs: u64,
+    /// Requests answered with [`wire::tag::ROUTE_FAIL`].
+    pub route_failures: u64,
+    /// Client requests served.
+    pub requests_served: u64,
+}
+
+/// One cluster node as the router sees it.
+struct Node {
+    addr: String,
+    /// Lazily-established closed-loop connection.
+    client: Option<NetClient>,
+    /// Set on the first connect or I/O failure; never cleared — a dead
+    /// node answers [`wire::tag::ROUTE_FAIL`] for the router's lifetime.
+    dead: bool,
+}
+
+/// The router's serialized core: the partition map, per-node
+/// connections, and the ownership tables.
+struct Core {
+    partition: PartitionMap,
+    nodes: Vec<Node>,
+    node_timeout: Duration,
+    /// Registered user → node currently holding the single-copy state.
+    owner: HashMap<u64, usize>,
+    /// Standing-range query id → subject user (routes snapshots to the
+    /// node owning that user).
+    range_user: HashMap<u64, u64>,
+    /// Completed boundary-crossing migrations.
+    handoffs: u64,
+}
+
+/// Subscription actions the core requests; applied after its lock is
+/// released so the subscription table never nests inside the core.
+enum SubAction {
+    /// Subscribe the requesting connection to a standing-query key.
+    Subscribe((u8, u64)),
+    /// Forget every subscription to a deregistered query.
+    DropQuery((u8, u64)),
+}
+
+impl Core {
+    /// The live closed-loop connection to node `i`, established on
+    /// first use. Errors when the node is (or just became) dead.
+    fn client(&mut self, i: usize) -> io::Result<&mut NetClient> {
+        let timeout = self.node_timeout;
+        let node = self
+            .nodes
+            .get_mut(i)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no node {i}")))?;
+        if node.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                format!("node {i} at {} is down", node.addr),
+            ));
+        }
+        if node.client.is_none() {
+            match NetClient::connect(&node.addr) {
+                Ok(c) => {
+                    c.set_read_timeout(Some(timeout)).ok();
+                    c.set_write_timeout(Some(timeout)).ok();
+                    node.client = Some(c);
+                }
+                Err(e) => {
+                    node.dead = true;
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotConnected,
+                        format!("node {i} at {} is unreachable: {e}", node.addr),
+                    ));
+                }
+            }
+        }
+        node.client.as_mut().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotConnected,
+                format!("node {i} has no connection"),
+            )
+        })
+    }
+
+    /// Marks node `i` dead and drops its connection.
+    fn kill(&mut self, i: usize) {
+        if let Some(node) = self.nodes.get_mut(i) {
+            node.dead = true;
+            node.client = None;
+        }
+    }
+
+    /// One closed-loop request to node `i`. On success the reply is
+    /// returned as a client-facing frame and any standing-delta pushes
+    /// that rode ahead of it are appended to `deltas`; on I/O failure
+    /// the node is marked dead.
+    fn call(
+        &mut self,
+        i: usize,
+        tag: u8,
+        payload: &[u8],
+        deltas: &mut DeltaBatch,
+    ) -> io::Result<Outbound> {
+        let sent = self.client(i)?.request(tag, payload);
+        match sent {
+            Ok(reply) => {
+                if let Some(c) = self.nodes.get_mut(i).and_then(|n| n.client.as_mut()) {
+                    for bytes in c.take_standing_deltas() {
+                        if let Some(key) = delta_key(&bytes) {
+                            deltas.push((key, bytes));
+                        }
+                    }
+                }
+                Ok(reply_frame(reply))
+            }
+            Err(e) => {
+                let addr = self
+                    .nodes
+                    .get(i)
+                    .map(|n| n.addr.clone())
+                    .unwrap_or_default();
+                self.kill(i);
+                Err(io::Error::new(
+                    io::ErrorKind::NotConnected,
+                    format!("node {i} at {addr} failed: {e}"),
+                ))
+            }
+        }
+    }
+
+    /// Like [`Core::call`] but for cluster-internal frames whose only
+    /// acceptable answer is `OK`; anything else is a cluster-consistency
+    /// failure and surfaces loudly.
+    fn expect_ok(
+        &mut self,
+        i: usize,
+        tag: u8,
+        payload: &[u8],
+        deltas: &mut DeltaBatch,
+    ) -> io::Result<()> {
+        let (rtag, body) = self.call(i, tag, payload, deltas)?;
+        if rtag == wire::tag::OK {
+            Ok(())
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "node {i} rejected internal frame 0x{tag:02x}: {}",
+                    String::from_utf8_lossy(&body)
+                ),
+            ))
+        }
+    }
+
+    /// Migrates `user`'s single-copy state from node `from` to node
+    /// `to`: pull, push, then flip the ownership table.
+    fn handoff(
+        &mut self,
+        user: u64,
+        from: usize,
+        to: usize,
+        deltas: &mut DeltaBatch,
+    ) -> io::Result<()> {
+        let pull = self.call(
+            from,
+            wire::tag::HANDOFF_PULL,
+            &wire::encode_handoff_pull(user),
+            deltas,
+        )?;
+        if pull.0 != wire::tag::USER_HANDOFF {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "node {from} failed handoff pull for subject {user}: {}",
+                    String::from_utf8_lossy(&pull.1)
+                ),
+            ));
+        }
+        self.expect_ok(to, wire::tag::HANDOFF_PUSH, &pull.1, deltas)?;
+        self.owner.insert(user, to);
+        self.handoffs += 1;
+        Ok(())
+    }
+
+    /// Routes one client frame. `Err` means a node needed for the
+    /// request is unreachable (or broke cluster consistency); the
+    /// caller turns it into a [`wire::tag::ROUTE_FAIL`] reply.
+    fn route(
+        &mut self,
+        frame: &Frame,
+        deltas: &mut DeltaBatch,
+        subs_out: &mut Vec<SubAction>,
+    ) -> io::Result<Vec<Outbound>> {
+        match frame.tag {
+            wire::tag::EXACT_UPDATE => self.route_update(frame, deltas),
+            wire::tag::REGISTER => self.route_register(frame, deltas),
+            wire::tag::USER_QUERY => self.route_user_query(frame, deltas),
+            wire::tag::REGISTER_STANDING_COUNT
+            | wire::tag::REGISTER_STANDING_RANGE
+            | wire::tag::DEREGISTER_STANDING => self.route_broadcast(frame, deltas, subs_out),
+            wire::tag::STANDING_SNAPSHOT => self.route_snapshot(frame, deltas),
+            // Anything else — unknown tags and tags this router does not
+            // special-case — is forwarded verbatim to node 0, whose
+            // reply (typically an error with the same text a single
+            // server would produce) is relayed unchanged.
+            _ => self
+                .call(0, frame.tag, &frame.payload, deltas)
+                .map(|f| vec![f]),
+        }
+    }
+
+    fn route_register(
+        &mut self,
+        frame: &Frame,
+        deltas: &mut DeltaBatch,
+    ) -> io::Result<Vec<Outbound>> {
+        let Some(msg) = wire::decode_register(&frame.payload) else {
+            // Malformed: let node 0 produce the canonical error text.
+            return self
+                .call(0, frame.tag, &frame.payload, deltas)
+                .map(|f| vec![f]);
+        };
+        // Re-registration refreshes the profile wherever it currently
+        // lives; new users start on node 0 and migrate on first update.
+        let target = self.owner.get(&msg.user).copied().unwrap_or(0);
+        let reply = self.call(target, frame.tag, &frame.payload, deltas)?;
+        if reply.0 == wire::tag::OK {
+            self.owner.insert(msg.user, target);
+        }
+        Ok(vec![reply])
+    }
+
+    fn route_update(
+        &mut self,
+        frame: &Frame,
+        deltas: &mut DeltaBatch,
+    ) -> io::Result<Vec<Outbound>> {
+        let Some(msg) = wire::decode_exact_update(&frame.payload) else {
+            return self
+                .call(0, frame.tag, &frame.payload, deltas)
+                .map(|f| vec![f]);
+        };
+        let target = self.partition.node_of(msg.position);
+        let Some(cur) = self.owner.get(&msg.user).copied() else {
+            // Never registered through this router: the node refuses
+            // with the same unknown-user error the sequential engine
+            // gives, and no node's position plane moves — a reference
+            // no-op must stay a no-op fleet-wide.
+            return self
+                .call(target, frame.tag, &frame.payload, deltas)
+                .map(|f| vec![f]);
+        };
+        if cur != target {
+            self.handoff(msg.user, cur, target, deltas)?;
+        }
+        let reply = self.call(target, wire::tag::EXACT_UPDATE, &frame.payload, deltas)?;
+        // Mirror the row into every non-owner's position plane —
+        // unconditionally, because the sequential engine advances
+        // positions even when the cloak failed.
+        for i in 0..self.nodes.len() {
+            if i != target {
+                self.expect_ok(i, wire::tag::SHADOW_UPDATE, &frame.payload, deltas)?;
+            }
+        }
+        // A successful cloak also replicates into every non-owner's
+        // private store / standing-count registry, as the exact bytes
+        // the owner produced.
+        if reply.0 == wire::tag::CLOAKED_UPDATE {
+            for i in 0..self.nodes.len() {
+                if i != target {
+                    self.expect_ok(i, wire::tag::CLOAK_INGEST, &reply.1, deltas)?;
+                }
+            }
+        }
+        Ok(vec![reply])
+    }
+
+    fn route_user_query(
+        &mut self,
+        frame: &Frame,
+        deltas: &mut DeltaBatch,
+    ) -> io::Result<Vec<Outbound>> {
+        let Some(msg) = wire::decode_user_query(&frame.payload) else {
+            return self
+                .call(0, frame.tag, &frame.payload, deltas)
+                .map(|f| vec![f]);
+        };
+        // Queries need the user's profile, which lives on the owner;
+        // unknown users go to node 0 for the canonical error text.
+        let target = self.owner.get(&msg.user).copied().unwrap_or(0);
+        self.call(target, frame.tag, &frame.payload, deltas)
+            .map(|f| vec![f])
+    }
+
+    /// Standing registrations and deregistrations run on *every* node in
+    /// node order, keeping the per-kind id counters in lockstep
+    /// cluster-wide; the client sees node 0's reply. Malformed payloads
+    /// are broadcast too — every node rejects identically, so the
+    /// registries stay in lockstep either way.
+    fn route_broadcast(
+        &mut self,
+        frame: &Frame,
+        deltas: &mut DeltaBatch,
+        subs_out: &mut Vec<SubAction>,
+    ) -> io::Result<Vec<Outbound>> {
+        let mut first: Option<Outbound> = None;
+        for i in 0..self.nodes.len() {
+            let reply = self.call(i, frame.tag, &frame.payload, deltas)?;
+            if i == 0 {
+                first = Some(reply);
+            }
+        }
+        let reply =
+            first.ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "cluster has no nodes"))?;
+        match frame.tag {
+            wire::tag::REGISTER_STANDING_COUNT | wire::tag::REGISTER_STANDING_RANGE
+                if reply.0 == wire::tag::STANDING_REGISTERED =>
+            {
+                if let Some(r) = wire::decode_standing_ref(&reply.1) {
+                    subs_out.push(SubAction::Subscribe((r.kind.code(), r.id)));
+                    if frame.tag == wire::tag::REGISTER_STANDING_RANGE {
+                        if let Some(msg) = wire::decode_register_standing_range(&frame.payload) {
+                            self.range_user.insert(r.id, msg.user);
+                        }
+                    }
+                }
+            }
+            wire::tag::DEREGISTER_STANDING if reply.0 == wire::tag::OK => {
+                if let Some(r) = wire::decode_standing_ref(&frame.payload) {
+                    subs_out.push(SubAction::DropQuery((r.kind.code(), r.id)));
+                    self.range_user.remove(&r.id);
+                }
+            }
+            _ => {}
+        }
+        Ok(vec![reply])
+    }
+
+    fn route_snapshot(
+        &mut self,
+        frame: &Frame,
+        deltas: &mut DeltaBatch,
+    ) -> io::Result<Vec<Outbound>> {
+        let Some(msg) = wire::decode_standing_ref(&frame.payload) else {
+            return self
+                .call(0, frame.tag, &frame.payload, deltas)
+                .map(|f| vec![f]);
+        };
+        // Count registries are replicated in lockstep, so any node can
+        // answer; node 0 does. Range queries are maintained only on the
+        // node owning their subject user.
+        let target = match msg.kind {
+            wire::StandingKind::Count => 0,
+            wire::StandingKind::Range => self
+                .range_user
+                .get(&msg.id)
+                .and_then(|u| self.owner.get(u))
+                .copied()
+                .unwrap_or(0),
+        };
+        self.call(target, frame.tag, &frame.payload, deltas)
+            .map(|f| vec![f])
+    }
+}
+
+/// Maps a node's [`Reply`] back to the wire frame it arrived as.
+fn reply_frame(reply: Reply) -> Outbound {
+    match reply {
+        Reply::Ok => (wire::tag::OK, Vec::new()),
+        Reply::Cloaked(b) => (wire::tag::CLOAKED_UPDATE, b),
+        Reply::Candidates(b) => (wire::tag::CANDIDATES, b),
+        Reply::Pong(b) => (wire::tag::PONG, b),
+        Reply::Stats(b) => (wire::tag::STATS_SNAPSHOT, b),
+        Reply::StandingRegistered(b) => (wire::tag::STANDING_REGISTERED, b),
+        Reply::StandingState(b) => (wire::tag::STANDING_STATE, b),
+        Reply::Handoff(b) => (wire::tag::USER_HANDOFF, b),
+        Reply::Error(s) => (wire::tag::ERROR, s.into_bytes()),
+    }
+}
+
+/// The subscription key of a standing-delta payload.
+fn delta_key(payload: &[u8]) -> Option<(u8, u64)> {
+    match wire::decode_standing_state(payload)? {
+        wire::StandingState::Count(s) => Some((wire::StandingKind::Count.code(), s.id)),
+        wire::StandingState::Range(s) => Some((wire::StandingKind::Range.code(), s.id)),
+    }
+}
+
+/// `true` for tags that only router→node hops may carry; a client
+/// sending one to the router is refused rather than forwarded, so the
+/// public socket cannot inject into the trusted replication planes.
+fn is_internal(tag: u8) -> bool {
+    matches!(
+        tag,
+        wire::tag::SHADOW_UPDATE
+            | wire::tag::CLOAK_INGEST
+            | wire::tag::HANDOFF_PULL
+            | wire::tag::HANDOFF_PUSH
+    )
+}
+
+/// Who hears about which standing query — same shape and semantics as
+/// the single-node server's subscription table.
+#[derive(Default)]
+struct StandingSubs {
+    by_query: HashMap<(u8, u64), Vec<u64>>,
+    senders: HashMap<u64, mpsc::SyncSender<Outbound>>,
+}
+
+type SharedSubs = Arc<TrackedMutex<StandingSubs>>;
+type SharedCore = Arc<TrackedMutex<Core>>;
+
+/// The cluster's client-facing front door.
+pub struct Router {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    core: SharedCore,
+    obs: Arc<MetricsRegistry>,
+}
+
+impl Router {
+    /// Binds the public socket at `addr` and starts routing requests to
+    /// the nodes at `node_addrs`, which partition `world` into vertical
+    /// stripes in address order. Node connections are established
+    /// lazily, so nodes may come up after the router.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        node_addrs: &[&str],
+        world: Rect,
+        cfg: RouterConfig,
+    ) -> io::Result<Router> {
+        if node_addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a cluster needs at least one node",
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let obs = Arc::new(MetricsRegistry::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let core: SharedCore = Arc::new(TrackedMutex::new(
+            LockRank::ClusterRouter,
+            Core {
+                partition: PartitionMap::new(world, node_addrs.len()),
+                nodes: node_addrs
+                    .iter()
+                    .map(|a| Node {
+                        addr: (*a).to_string(),
+                        client: None,
+                        dead: false,
+                    })
+                    .collect(),
+                node_timeout: cfg.node_timeout,
+                owner: HashMap::new(),
+                range_user: HashMap::new(),
+                handoffs: 0,
+            },
+        ));
+        let subs: SharedSubs = Arc::new(TrackedMutex::new(
+            LockRank::NetStandingSubs,
+            StandingSubs::default(),
+        ));
+        let conn_ids = Arc::new(AtomicU64::new(1));
+
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(cfg.net.accept_backlog.max(1));
+        let conn_rx = Arc::new(TrackedMutex::new(LockRank::NetConnQueue, conn_rx));
+
+        let workers = (0..cfg.net.workers.max(1))
+            .map(|_| {
+                let conn_rx = Arc::clone(&conn_rx);
+                let core = Arc::clone(&core);
+                let obs = Arc::clone(&obs);
+                let shutdown = Arc::clone(&shutdown);
+                let subs = Arc::clone(&subs);
+                let conn_ids = Arc::clone(&conn_ids);
+                let net = cfg.net;
+                std::thread::spawn(move || loop {
+                    let next = conn_rx.lock().recv_timeout(Duration::from_millis(50));
+                    match next {
+                        Ok(stream) => {
+                            if shutdown.load(Ordering::Relaxed) {
+                                let _ = stream.shutdown(Shutdown::Both);
+                                NetCounters::add(&obs.net().connections_closed, 1);
+                                continue;
+                            }
+                            serve_connection(
+                                stream, &core, &obs, &net, &shutdown, &subs, &conn_ids,
+                            );
+                        }
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            if shutdown.load(Ordering::Relaxed) {
+                                break;
+                            }
+                        }
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                    }
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let obs = Arc::clone(&obs);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match stream {
+                        Ok(s) => {
+                            NetCounters::add(&obs.net().connections_accepted, 1);
+                            if let Err(TrySendError::Full(s)) = conn_tx.try_send(s) {
+                                NetCounters::add(&obs.net().connections_refused, 1);
+                                let _ = s.shutdown(Shutdown::Both);
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+            })
+        };
+
+        Ok(Router {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers,
+            core,
+            obs,
+        })
+    }
+
+    /// The bound public address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The router's own observability registry (connection counters,
+    /// `route_failures`; scraped by `STATS` on the public socket).
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.obs
+    }
+
+    /// Boundary-crossing migrations completed so far.
+    pub fn handoffs(&self) -> u64 {
+        self.core.lock().handoffs
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Graceful shutdown: stops accepting, lets live connections drain
+    /// (bounded by the configured grace), joins every thread, closes
+    /// the node connections, and reports what the cluster did.
+    pub fn shutdown(mut self) -> RouterReport {
+        self.stop();
+        let snap = self.obs.net().snapshot();
+        let mut core = self.core.lock();
+        for node in &mut core.nodes {
+            node.client = None;
+        }
+        RouterReport {
+            handoffs: core.handoffs,
+            route_failures: snap.route_failures,
+            requests_served: snap.requests_served,
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() || !self.workers.is_empty() {
+            self.stop();
+        }
+    }
+}
+
+/// Why a client connection ended (drives which counter is bumped).
+enum CloseReason {
+    Normal,
+    BadFrame,
+    Slow,
+    Idle,
+}
+
+/// Serves one client connection to completion; every exit path closes
+/// the socket, forgets the connection's subscriptions, and bumps the
+/// right counter.
+fn serve_connection(
+    stream: TcpStream,
+    core: &SharedCore,
+    obs: &Arc<MetricsRegistry>,
+    cfg: &NetConfig,
+    shutdown: &Arc<AtomicBool>,
+    subs: &SharedSubs,
+    conn_ids: &Arc<AtomicU64>,
+) {
+    let conn_id = conn_ids.fetch_add(1, Ordering::Relaxed);
+    let reason = serve_connection_inner(&stream, core, obs, cfg, shutdown, subs, conn_id)
+        .unwrap_or_else(|_| {
+            unsubscribe_connection(subs, conn_id);
+            CloseReason::Normal
+        });
+    let counters = obs.net();
+    match reason {
+        CloseReason::Normal => {}
+        CloseReason::BadFrame => NetCounters::add(&counters.frames_rejected, 1),
+        CloseReason::Slow => NetCounters::add(&counters.slow_disconnects, 1),
+        CloseReason::Idle => NetCounters::add(&counters.idle_disconnects, 1),
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+    NetCounters::add(&counters.connections_closed, 1);
+}
+
+fn serve_connection_inner(
+    stream: &TcpStream,
+    core: &SharedCore,
+    obs: &Arc<MetricsRegistry>,
+    cfg: &NetConfig,
+    shutdown: &Arc<AtomicBool>,
+    subs: &SharedSubs,
+    conn_id: u64,
+) -> io::Result<CloseReason> {
+    let counters = obs.net();
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(cfg.read_poll))?;
+    let mut rstream = stream.try_clone()?;
+
+    let wstream = stream.try_clone()?;
+    wstream.set_write_timeout(Some(cfg.write_timeout))?;
+    let (out_tx, out_rx) = mpsc::sync_channel::<Outbound>(cfg.outbound_bound.max(1));
+    subs.lock().senders.insert(conn_id, out_tx.clone());
+    let writer = {
+        let obs = Arc::clone(obs);
+        let max_frame = cfg.max_frame;
+        let mut wstream = wstream;
+        std::thread::spawn(move || -> bool {
+            while let Ok((tag, payload)) = out_rx.recv() {
+                let len = payload.len();
+                if write_frame(&mut wstream, tag, &payload, max_frame).is_err() {
+                    return false;
+                }
+                NetCounters::add(
+                    &obs.net().bytes_out,
+                    (len + lbsp_net::FRAME_OVERHEAD) as u64,
+                );
+            }
+            true
+        })
+    };
+
+    let mut reader = FrameReader::new(cfg.max_frame);
+    let mut last_frame = Instant::now();
+    let mut draining_since: Option<Instant> = None;
+    let mut reason = CloseReason::Normal;
+
+    'conn: loop {
+        if shutdown.load(Ordering::Relaxed) && draining_since.is_none() {
+            draining_since = Some(Instant::now());
+        }
+        if let Some(t) = draining_since {
+            if t.elapsed() > cfg.drain_grace {
+                break 'conn;
+            }
+        }
+        match reader.poll(&mut rstream) {
+            Ok(Poll::Frame(frame)) => {
+                last_frame = Instant::now();
+                NetCounters::add(&counters.bytes_in, frame.wire_len() as u64);
+                let frames = handle_frame(core, obs, frame, conn_id, subs);
+                NetCounters::add(&counters.requests_served, 1);
+                if frames.last().is_some_and(|(t, _)| *t == wire::tag::ERROR) {
+                    NetCounters::add(&counters.errors_returned, 1);
+                }
+                let deadline = Instant::now() + cfg.backpressure_timeout;
+                for mut item in frames {
+                    loop {
+                        match out_tx.try_send(item) {
+                            Ok(()) => break,
+                            Err(TrySendError::Full(it)) => {
+                                if Instant::now() >= deadline {
+                                    reason = CloseReason::Slow;
+                                    break 'conn;
+                                }
+                                item = it;
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            Err(TrySendError::Disconnected(_)) => {
+                                reason = CloseReason::Slow;
+                                break 'conn;
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(Poll::Pending) => {
+                if draining_since.is_some() {
+                    break 'conn;
+                }
+                if last_frame.elapsed() > cfg.idle_timeout {
+                    reason = CloseReason::Idle;
+                    break 'conn;
+                }
+            }
+            Ok(Poll::Eof) => break 'conn,
+            Err(e) => {
+                reason = match e.kind() {
+                    io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof => {
+                        CloseReason::BadFrame
+                    }
+                    _ => CloseReason::Normal,
+                };
+                break 'conn;
+            }
+        }
+    }
+
+    unsubscribe_connection(subs, conn_id);
+    drop(out_tx);
+    if let Ok(false) = writer.join().map_err(|_| ()) {
+        if !matches!(reason, CloseReason::Slow) {
+            reason = CloseReason::Slow;
+        }
+    }
+    Ok(reason)
+}
+
+/// Routes one client frame end to end: answers liveness and stats
+/// probes locally, refuses cluster-internal tags, and sends everything
+/// else through the serialized router core. Standing deltas drained
+/// from node connections are fanned out to subscribers; this
+/// connection's own deltas precede the reply.
+fn handle_frame(
+    core: &SharedCore,
+    obs: &Arc<MetricsRegistry>,
+    frame: Frame,
+    conn_id: u64,
+    subs: &SharedSubs,
+) -> Vec<Outbound> {
+    let counters = obs.net();
+    match frame.tag {
+        wire::tag::PING => return vec![(wire::tag::PONG, frame.payload)],
+        wire::tag::STATS => {
+            if !frame.payload.is_empty() {
+                NetCounters::add(&counters.frames_rejected, 1);
+                return vec![(
+                    wire::tag::ERROR,
+                    b"stats request carries a payload".to_vec(),
+                )];
+            }
+            let snap = obs.snapshot();
+            return vec![(
+                wire::tag::STATS_SNAPSHOT,
+                wire::encode_stats_snapshot(&snap).to_vec(),
+            )];
+        }
+        t if is_internal(t) => {
+            NetCounters::add(&counters.frames_rejected, 1);
+            return vec![(
+                wire::tag::ERROR,
+                format!("cluster-internal request tag 0x{t:02x}").into_bytes(),
+            )];
+        }
+        _ => {}
+    }
+    let mut deltas: DeltaBatch = Vec::new();
+    let mut sub_actions: Vec<SubAction> = Vec::new();
+    let result = {
+        let mut core = core.lock();
+        core.route(&frame, &mut deltas, &mut sub_actions)
+    };
+    for action in sub_actions {
+        match action {
+            SubAction::Subscribe(key) => subscribe(subs, conn_id, key),
+            SubAction::DropQuery(key) => {
+                subs.lock().by_query.remove(&key);
+            }
+        }
+    }
+    let mut frames = route_deltas(subs, conn_id, deltas);
+    match result {
+        Ok(mut reply) => frames.append(&mut reply),
+        Err(e) => {
+            NetCounters::add(&counters.route_failures, 1);
+            frames.push((wire::tag::ROUTE_FAIL, e.to_string().into_bytes()));
+        }
+    }
+    frames
+}
+
+fn unsubscribe_connection(subs: &SharedSubs, conn_id: u64) {
+    let mut subs = subs.lock();
+    subs.senders.remove(&conn_id);
+    subs.by_query.retain(|_, conns| {
+        conns.retain(|&c| c != conn_id);
+        !conns.is_empty()
+    });
+}
+
+fn subscribe(subs: &SharedSubs, conn_id: u64, key: (u8, u64)) {
+    let mut subs = subs.lock();
+    let conns = subs.by_query.entry(key).or_default();
+    if !conns.contains(&conn_id) {
+        conns.push(conn_id);
+    }
+}
+
+/// Same fan-out contract as the single-node server: the requesting
+/// connection's deltas are returned (they ride ahead of its reply);
+/// other subscribers get best-effort pushes through their writer
+/// queues.
+fn route_deltas(subs: &SharedSubs, conn_id: u64, deltas: DeltaBatch) -> Vec<Outbound> {
+    let mut own = Vec::new();
+    if deltas.is_empty() {
+        return own;
+    }
+    let subs = subs.lock();
+    for (key, bytes) in deltas {
+        let Some(conns) = subs.by_query.get(&key) else {
+            continue;
+        };
+        for &cid in conns {
+            if cid == conn_id {
+                own.push((wire::tag::STANDING_DELTA, bytes.clone()));
+            } else if let Some(tx) = subs.senders.get(&cid) {
+                let _ = tx.try_send((wire::tag::STANDING_DELTA, bytes.clone()));
+            }
+        }
+    }
+    own
+}

@@ -959,6 +959,123 @@ impl ShardedEngine {
         out
     }
 
+    /// Cluster mirror: applies another node's exact-update rows to the
+    /// position plane only — phase 1 of [`Self::process_updates`] with
+    /// no cloaking, no private-store ingest, no standing maintenance,
+    /// and no replies. The router broadcasts these so every node's
+    /// population (and therefore every cloak's k-count view) matches
+    /// the sequential reference. Unconditional by design: the router
+    /// only shadows updates for registered users, and the profile lives
+    /// on the owning node, not here.
+    pub fn apply_shadow_update(&mut self, rows: &[(UserId, Point, SimTime)]) {
+        self.journal_op(|| EngineOp::ShadowBatch {
+            rows: rows.to_vec(),
+        });
+        for &(id, pos, _time) in rows {
+            let target = self.shard_of(pos);
+            if let Some(prev) = self.owner.insert(id, target) {
+                if prev != target {
+                    self.anon[prev].write().remove(id);
+                }
+            }
+            self.anon[target].write().insert(id, pos);
+        }
+        self.maybe_snapshot();
+    }
+
+    /// Cluster mirror: ingests the owning node's cloaked reply — phase
+    /// 3 of [`Self::process_updates`] for a single record, plus the
+    /// standing-count delta. The count registry's changed set is
+    /// drained and discarded locally: every node's accumulators track
+    /// the full fleet, but only the owning node pushes deltas, so a
+    /// mirrored change must never queue a second push here. Standing
+    /// *range* entries are untouched — they key on true user ids, which
+    /// this pseudonymized record deliberately cannot name.
+    pub fn apply_cloak_ingest(&mut self, update: &CloakedUpdate) {
+        self.journal_op(|| EngineOp::IngestCloak { update: *update });
+        let region = update.region.region;
+        let target = self.shard_of(region.center());
+        let key = update.pseudonym.0;
+        let mut old = None;
+        if let Some(prev) = self.record_owner.insert(key, target) {
+            if prev != target {
+                old = self.private[prev].write().remove(key);
+            }
+        }
+        if let Some(displaced) = self.private[target]
+            .write()
+            .upsert(PrivateRecord::new(key, region))
+        {
+            old = Some(displaced);
+        }
+        // Same guard as the batch path, so the registry's bookkeeping
+        // counters advance in lockstep with the owning node's.
+        if !(self.standing_counts.is_empty() && self.standing_ranges.is_empty()) {
+            let fan = self
+                .standing_counts
+                .on_update(key, old.as_ref(), Some(&region));
+            self.obs.standing_fanout().record(fan as f64);
+            let _ = self.standing_counts.take_changed();
+        }
+        self.maybe_snapshot();
+    }
+
+    /// Cluster handoff, outbound: extracts `user`'s single-copy state —
+    /// privacy profile, current private cloak, standing-range ids — and
+    /// removes the profile so this node stops answering for the user.
+    /// The position and private-record planes are replicated fleet-wide
+    /// and stay put. Returns `None` (after journaling, so replay drains
+    /// the same no-op) when the user is not registered here. Profiles
+    /// with time-of-day entries flatten to their default requirement:
+    /// the handoff frame carries one `(k, a_min, a_max)` triple.
+    pub fn handoff_export(&mut self, user: UserId) -> Option<wire::HandoffMsg> {
+        self.journal_op(|| EngineOp::HandoffOut { subject: user });
+        let profile = self.profiles.remove(&user);
+        let msg = profile.map(|p| {
+            let req = p.default_requirement();
+            let key = self.pseudonym(user).0;
+            let cloak = self
+                .record_owner
+                .get(&key)
+                .and_then(|&shard| self.private.get(shard))
+                .and_then(|s| s.read().get(key));
+            wire::HandoffMsg {
+                subject: user,
+                k: req.k,
+                a_min: req.a_min,
+                a_max: req.a_max,
+                cloak,
+                ranges: self.standing_ranges.queries_of(user),
+            }
+        });
+        self.maybe_snapshot();
+        msg
+    }
+
+    /// Cluster handoff, inbound: installs a migrated user's single-copy
+    /// state. The profile is rebuilt from the carried requirement;
+    /// standing-range entries — already present here via the
+    /// registration broadcast — get their cloak, sequence number, and a
+    /// re-derived candidate set, without ever signalling a delta (the
+    /// installed state is `seq`-for-`seq` what the old owner last
+    /// pushed, not a change).
+    pub fn handoff_install(&mut self, msg: &wire::HandoffMsg) {
+        self.journal_op(|| EngineOp::HandoffIn { msg: msg.clone() });
+        let req = CloakRequirement {
+            k: msg.k,
+            a_min: msg.a_min,
+            a_max: msg.a_max,
+        };
+        if let Ok(profile) = PrivacyProfile::uniform(req) {
+            self.profiles.insert(msg.subject, profile);
+        }
+        for &(id, seq) in &msg.ranges {
+            self.standing_ranges
+                .install(id, msg.cloak, seq, &self.public_all);
+        }
+        self.maybe_snapshot();
+    }
+
     /// The standing count registry (read-only).
     pub fn standing_counts(&self) -> &ContinuousRangeCount {
         &self.standing_counts
@@ -1057,6 +1174,12 @@ impl ShardedEngine {
             EngineOp::TakeStandingChanges => {
                 self.take_standing_changes();
             }
+            EngineOp::ShadowBatch { rows } => self.apply_shadow_update(rows),
+            EngineOp::IngestCloak { update } => self.apply_cloak_ingest(update),
+            EngineOp::HandoffOut { subject } => {
+                self.handoff_export(*subject);
+            }
+            EngineOp::HandoffIn { msg } => self.handoff_install(msg),
         }
     }
 }

@@ -32,7 +32,7 @@ use crate::standing::{StandingRangeEntryState, StandingRangesState};
 use crate::wire::{self, StandingKind};
 use crate::UserId;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use lbsp_anonymizer::{CloakRequirement, PrivacyProfile, ProfileEntry};
+use lbsp_anonymizer::{CloakRequirement, CloakedUpdate, PrivacyProfile, ProfileEntry};
 use lbsp_geom::{Point, Rect, SimTime, TimeInterval, TimeOfDay, MINUTES_PER_DAY};
 use lbsp_server::{ContinuousCountState, PublicObject, StandingCountQueryState};
 
@@ -182,6 +182,34 @@ pub enum EngineOp {
         /// The new profile.
         profile: PrivacyProfile,
     },
+    /// Cluster mirror: another node's exact-update rows, replayed into
+    /// this node's position plane only (no cloaking, no replies, no
+    /// standing-query evaluation). The rows travel anonymizer-tier to
+    /// anonymizer-tier — a trusted hop, like [`EngineOp::UpdateBatch`].
+    ShadowBatch {
+        /// `(user, exact position, time)` rows, in owner-batch order.
+        rows: Vec<(UserId, Point, SimTime)>,
+    },
+    /// Cluster mirror: the owning node's cloaked reply for one user,
+    /// relayed so every node's private store and standing-count registry
+    /// see the full fleet. Carries only the pseudonymized cloaked record
+    /// — never an exact point or true id.
+    IngestCloak {
+        /// The cloaked update, byte-identical to the owner's reply.
+        update: CloakedUpdate,
+    },
+    /// Cluster handoff: a user's single-copy state (profile + standing
+    /// range registrations) was extracted for migration to another node.
+    HandoffOut {
+        /// The migrating user.
+        subject: UserId,
+    },
+    /// Cluster handoff: a migrated user's single-copy state was
+    /// installed on this node.
+    HandoffIn {
+        /// The handoff payload, exactly as it crossed the wire.
+        msg: wire::HandoffMsg,
+    },
 }
 
 /// One record in the write-ahead log.
@@ -207,6 +235,10 @@ const TAG_ADD_STANDING_RANGE: u8 = 0x05;
 const TAG_DEREGISTER_STANDING: u8 = 0x06;
 const TAG_TAKE_STANDING_CHANGES: u8 = 0x07;
 const TAG_UPDATE_PROFILE: u8 = 0x08;
+const TAG_SHADOW_BATCH: u8 = 0x09;
+const TAG_INGEST_CLOAK: u8 = 0x0A;
+const TAG_HANDOFF_OUT: u8 = 0x0B;
+const TAG_HANDOFF_IN: u8 = 0x0C;
 const TAG_INIT_ENGINE: u8 = 0xE0;
 const TAG_INIT_SYSTEM: u8 = 0xE1;
 
@@ -498,6 +530,32 @@ pub fn encode_record(rec: &JournalRecord) -> Bytes {
                 b.put_u64_le(*id);
                 put_profile(&mut b, profile);
             }
+            EngineOp::ShadowBatch { rows } => {
+                b.put_u8(TAG_SHADOW_BATCH);
+                // Row layout is identical to `UpdateBatch`; only the tag
+                // (and therefore the replay semantics) differs.
+                let n = u32::try_from(rows.len()).unwrap_or(u32::MAX);
+                b.put_u32_le(n);
+                for &(user, position, time) in rows.iter().take(n as usize) {
+                    b.extend_from_slice(&wire::encode_exact_update(&wire::ExactUpdateMsg {
+                        user,
+                        position,
+                        time,
+                    }));
+                }
+            }
+            EngineOp::IngestCloak { update } => {
+                b.put_u8(TAG_INGEST_CLOAK);
+                b.extend_from_slice(&wire::encode_cloaked_update(update));
+            }
+            EngineOp::HandoffOut { subject } => {
+                b.put_u8(TAG_HANDOFF_OUT);
+                b.put_u64_le(*subject);
+            }
+            EngineOp::HandoffIn { msg } => {
+                b.put_u8(TAG_HANDOFF_IN);
+                b.extend_from_slice(&wire::encode_handoff(msg));
+            }
         },
     }
     b.freeze()
@@ -585,6 +643,36 @@ pub fn decode_record(buf: &[u8]) -> Option<JournalRecord> {
                 id,
                 profile: get_profile(&mut r)?,
             })
+        }
+        TAG_SHADOW_BATCH => {
+            let n = r.len_u32(wire::EXACT_UPDATE_LEN as u64)?;
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                if r.remaining() < wire::EXACT_UPDATE_LEN {
+                    return None;
+                }
+                let (row, rest) = r.buf.split_at(wire::EXACT_UPDATE_LEN);
+                let msg = wire::decode_exact_update(row)?;
+                r.buf = rest;
+                rows.push((msg.user, msg.position, msg.time));
+            }
+            JournalRecord::Op(EngineOp::ShadowBatch { rows })
+        }
+        TAG_INGEST_CLOAK => {
+            if r.remaining() != wire::CLOAKED_UPDATE_LEN {
+                return None;
+            }
+            let update = wire::decode_cloaked_update(r.buf)?;
+            r.buf = &[];
+            JournalRecord::Op(EngineOp::IngestCloak { update })
+        }
+        TAG_HANDOFF_OUT => JournalRecord::Op(EngineOp::HandoffOut { subject: r.u64()? }),
+        TAG_HANDOFF_IN => {
+            // The handoff codec is strict and exact-length; hand it the
+            // whole remaining buffer and let it reject any slack.
+            let msg = wire::decode_handoff(r.buf)?;
+            r.buf = &[];
+            JournalRecord::Op(EngineOp::HandoffIn { msg })
         }
         _ => return None,
     };
@@ -815,6 +903,7 @@ mod tests {
     #![allow(clippy::indexing_slicing, clippy::cast_possible_truncation)]
 
     use super::*;
+    use lbsp_anonymizer::{CloakedRegion, Pseudonym};
 
     fn world() -> Rect {
         Rect::new_unchecked(0.0, 0.0, 1.0, 1.0)
@@ -871,6 +960,35 @@ mod tests {
             JournalRecord::Op(EngineOp::UpdateProfile {
                 id: 7,
                 profile: PrivacyProfile::uniform(CloakRequirement::k_only(50)).unwrap(),
+            }),
+            JournalRecord::Op(EngineOp::ShadowBatch {
+                rows: vec![
+                    (3, Point::new(0.125, 0.875), SimTime::from_secs(3.0)),
+                    (5, Point::new(0.625, 0.375), SimTime::from_secs(4.0)),
+                ],
+            }),
+            JournalRecord::Op(EngineOp::IngestCloak {
+                update: CloakedUpdate {
+                    pseudonym: Pseudonym(0xBEEF),
+                    region: CloakedRegion {
+                        region: Rect::new_unchecked(0.25, 0.25, 0.5, 0.5),
+                        achieved_k: 7,
+                        k_satisfied: true,
+                        area_satisfied: false,
+                    },
+                    time: SimTime::from_secs(5.0),
+                },
+            }),
+            JournalRecord::Op(EngineOp::HandoffOut { subject: 7 }),
+            JournalRecord::Op(EngineOp::HandoffIn {
+                msg: wire::HandoffMsg {
+                    subject: 7,
+                    k: 25,
+                    a_min: 0.001,
+                    a_max: f64::INFINITY,
+                    cloak: Some(Rect::new_unchecked(0.25, 0.5, 0.375, 0.625)),
+                    ranges: vec![(3, 7), (9, 0)],
+                },
             }),
         ]
     }

@@ -37,13 +37,18 @@ use std::fmt;
 use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Number of declared lock ranks.
-pub const LOCK_RANK_COUNT: usize = 10;
+pub const LOCK_RANK_COUNT: usize = 11;
 
 /// The ordered lock registry. Declaration order *is* acquisition order:
 /// a thread holding a lock of some rank may only acquire locks of equal
 /// or later rank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LockRank {
+    /// `lbsp-cluster`: the router core serializing client requests
+    /// across the node fleet. Outermost by construction — while held,
+    /// the router performs whole request/broadcast round-trips, each of
+    /// which may take any of the ranks below on the node side.
+    ClusterRouter,
     /// `lbsp-net`: the acceptor → worker connection hand-off queue.
     NetConnQueue,
     /// `lbsp-net`: the engine mutex serializing requests into the
@@ -76,6 +81,7 @@ pub enum LockRank {
 impl LockRank {
     /// Every rank, in registry (acquisition) order.
     pub const ALL: [LockRank; LOCK_RANK_COUNT] = [
+        LockRank::ClusterRouter,
         LockRank::NetConnQueue,
         LockRank::Engine,
         LockRank::NetStandingSubs,
@@ -96,6 +102,7 @@ impl LockRank {
     /// The rank's registry name.
     pub fn name(self) -> &'static str {
         match self {
+            LockRank::ClusterRouter => "ClusterRouter",
             LockRank::NetConnQueue => "NetConnQueue",
             LockRank::Engine => "Engine",
             LockRank::NetStandingSubs => "NetStandingSubs",

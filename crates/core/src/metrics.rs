@@ -195,6 +195,10 @@ pub struct NetCounters {
     pub bytes_in: AtomicU64,
     /// Total payload bytes written to the wire (including headers).
     pub bytes_out: AtomicU64,
+    /// Requests a cluster router could not forward because the owning
+    /// node was dead or unreachable (each one becomes a `ROUTE_FAIL`
+    /// reply to the client).
+    pub route_failures: AtomicU64,
 }
 
 impl NetCounters {
@@ -227,6 +231,7 @@ impl NetCounters {
             idle_disconnects: Self::get(&self.idle_disconnects),
             bytes_in: Self::get(&self.bytes_in),
             bytes_out: Self::get(&self.bytes_out),
+            route_failures: Self::get(&self.route_failures),
         }
     }
 }
@@ -245,6 +250,7 @@ pub struct NetCountersSnapshot {
     pub idle_disconnects: u64,
     pub bytes_in: u64,
     pub bytes_out: u64,
+    pub route_failures: u64,
 }
 
 #[cfg(test)]

@@ -629,6 +629,7 @@ impl RegistrySnapshot {
             ("idle_disconnects", n.idle_disconnects),
             ("bytes_in", n.bytes_in),
             ("bytes_out", n.bytes_out),
+            ("route_failures", n.route_failures),
         ] {
             let _ = writeln!(out, "lbsp_net_{name} {v}");
         }

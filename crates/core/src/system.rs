@@ -161,7 +161,11 @@ impl<A: CloakingAlgorithm> PrivacyAwareSystem<A> {
             }
             EngineOp::LoadPublic { .. }
             | EngineOp::DeregisterStanding { .. }
-            | EngineOp::TakeStandingChanges => {}
+            | EngineOp::TakeStandingChanges
+            | EngineOp::ShadowBatch { .. }
+            | EngineOp::IngestCloak { .. }
+            | EngineOp::HandoffOut { .. }
+            | EngineOp::HandoffIn { .. } => {}
         }
     }
 

@@ -47,6 +47,23 @@ pub mod tag {
     /// Client → server: read a standing query's current state
     /// (payload: [`super::StandingRefMsg`]).
     pub const STANDING_SNAPSHOT: u8 = 0x09;
+    /// Cluster router → node (`0x2_` = intra-cluster requests): mirror
+    /// another node's exact update into this node's position plane
+    /// (payload: [`super::ExactUpdateMsg`]). Cluster-internal trusted
+    /// hop — both ends are anonymizer processes.
+    pub const SHADOW_UPDATE: u8 = 0x20;
+    /// Cluster router → node: mirror the owning node's cloaked reply
+    /// into this node's private store and standing-count registry
+    /// (payload: the [`super::encode_cloaked_update`] bytes). Carries a
+    /// cloak only — never an exact point.
+    pub const CLOAK_INGEST: u8 = 0x21;
+    /// Cluster router → node: extract a user's live state for migration
+    /// (payload: [`super::encode_handoff_pull`]); the node answers with
+    /// a [`USER_HANDOFF`] frame.
+    pub const HANDOFF_PULL: u8 = 0x22;
+    /// Cluster router → node: install a migrated user's state
+    /// (payload: the [`super::HandoffMsg`] bytes).
+    pub const HANDOFF_PUSH: u8 = 0x23;
     /// Server → client: request acknowledged, empty payload.
     pub const OK: u8 = 0x80;
     /// Server → client: a cloaked update (payload: the
@@ -72,8 +89,16 @@ pub mod tag {
     /// through the per-connection writer queue ahead of the reply to
     /// the update that caused it.
     pub const STANDING_DELTA: u8 = 0x87;
+    /// Node → cluster router: a user's migrated state, in reply to
+    /// [`HANDOFF_PULL`] (payload: the [`super::HandoffMsg`] bytes).
+    pub const USER_HANDOFF: u8 = 0x90;
     /// Server → client: the request failed; payload is UTF-8 error text.
     pub const ERROR: u8 = 0xEE;
+    /// Cluster router → client: the owning node is dead or unreachable;
+    /// payload is UTF-8 text naming the node. Deliberately distinct from
+    /// [`ERROR`] so a routing failure surfaces as a *kinded* transport
+    /// error, never masquerading as an application-level refusal.
+    pub const ROUTE_FAIL: u8 = 0xEF;
 }
 
 /// Byte length of an encoded user→anonymizer update.
@@ -661,6 +686,139 @@ pub fn decode_standing_state(mut buf: &[u8]) -> Option<StandingState> {
 }
 
 // ---------------------------------------------------------------------
+// Cluster handoff: migrating a user between partition nodes
+// ---------------------------------------------------------------------
+
+/// Byte length of an encoded [`tag::HANDOFF_PULL`] payload.
+pub const HANDOFF_PULL_LEN: usize = 8;
+
+/// Encodes a handoff-pull request: the id of the user whose live state
+/// the router wants extracted.
+pub fn encode_handoff_pull(subject: u64) -> Bytes {
+    let mut b = BytesMut::with_capacity(HANDOFF_PULL_LEN);
+    b.put_u64_le(subject);
+    b.freeze()
+}
+
+/// Decodes a handoff-pull request. Strict: exactly one u64.
+pub fn decode_handoff_pull(mut buf: &[u8]) -> Option<u64> {
+    if buf.len() != HANDOFF_PULL_LEN {
+        return None;
+    }
+    Some(buf.get_u64_le())
+}
+
+/// A user's migratable live state, carried by [`tag::USER_HANDOFF`] /
+/// [`tag::HANDOFF_PUSH`] frames when movement crosses a partition
+/// boundary: the uniform privacy requirement, the last *cloaked* region
+/// (never an exact point — the taint rule checks this structurally),
+/// and the `(id, seq)` pairs of the standing range queries the subject
+/// owns. Candidate sets are re-derived from the cloak and the public
+/// store on install, so they never cross the wire.
+// lint: server-bound
+#[derive(Debug, Clone, PartialEq)]
+pub struct HandoffMsg {
+    /// Id of the migrating subject (cluster-internal trusted hop).
+    pub subject: u64,
+    /// Required anonymity level.
+    pub k: u32,
+    /// Minimum acceptable cloak area.
+    pub a_min: f64,
+    /// Maximum acceptable cloak area (`f64::INFINITY` = unbounded).
+    pub a_max: f64,
+    /// The subject's current cloaked region, if one was ever produced.
+    pub cloak: Option<Rect>,
+    /// `(query id, change seq)` of each owned standing range query,
+    /// ascending by id.
+    pub ranges: Vec<(u64, u64)>,
+}
+
+/// Encodes a handoff message.
+pub fn encode_handoff(msg: &HandoffMsg) -> Bytes {
+    // Same truncation rule as `encode_candidates`: the u32 prefix caps
+    // the entry count rather than silently wrapping.
+    let n = u32::try_from(msg.ranges.len()).unwrap_or(u32::MAX);
+    let mut b = BytesMut::with_capacity(8 + 4 + 8 + 8 + 1 + 32 + 4 + (n as usize) * 16);
+    b.put_u64_le(msg.subject);
+    b.put_u32_le(msg.k);
+    b.put_f64_le(msg.a_min);
+    b.put_f64_le(msg.a_max);
+    match &msg.cloak {
+        None => b.put_u8(0),
+        Some(r) => {
+            b.put_u8(1);
+            b.put_f64_le(r.min_x());
+            b.put_f64_le(r.min_y());
+            b.put_f64_le(r.max_x());
+            b.put_f64_le(r.max_y());
+        }
+    }
+    b.put_u32_le(n);
+    for (id, seq) in msg.ranges.iter().take(n as usize) {
+        b.put_u64_le(*id);
+        b.put_u64_le(*seq);
+    }
+    b.freeze()
+}
+
+/// Decodes a handoff message. Strict: rejects short input, trailing
+/// bytes, an invalid requirement (same rules as [`decode_register`]),
+/// an invalid cloak rectangle, an unknown cloak-presence byte, and a
+/// range count that does not account for the remaining buffer exactly.
+pub fn decode_handoff(mut buf: &[u8]) -> Option<HandoffMsg> {
+    if buf.len() < 8 + 4 + 8 + 8 + 1 {
+        return None;
+    }
+    let subject = buf.get_u64_le();
+    let k = buf.get_u32_le();
+    let a_min = buf.get_f64_le();
+    let a_max = buf.get_f64_le();
+    if !a_min.is_finite() || a_min < 0.0 || a_max.is_nan() || a_max < a_min {
+        return None;
+    }
+    let cloak = match buf.get_u8() {
+        0 => None,
+        1 => {
+            if buf.len() < 32 {
+                return None;
+            }
+            Some(
+                Rect::new(
+                    buf.get_f64_le(),
+                    buf.get_f64_le(),
+                    buf.get_f64_le(),
+                    buf.get_f64_le(),
+                )
+                .ok()?,
+            )
+        }
+        _ => return None,
+    };
+    if buf.len() < 4 {
+        return None;
+    }
+    let n = buf.get_u32_le() as usize;
+    // u64 arithmetic so a hostile prefix cannot overflow the check.
+    if buf.len() as u64 != n as u64 * 16 {
+        return None;
+    }
+    let mut ranges = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = buf.get_u64_le();
+        let seq = buf.get_u64_le();
+        ranges.push((id, seq));
+    }
+    Some(HandoffMsg {
+        subject,
+        k,
+        a_min,
+        a_max,
+        cloak,
+        ranges,
+    })
+}
+
+// ---------------------------------------------------------------------
 // STATS: the observability scrape (server → client)
 // ---------------------------------------------------------------------
 
@@ -674,8 +832,9 @@ use crate::obs::{
 /// any layout change so a stale scraper fails loudly instead of
 /// misreading counters. Version 2 added the `standing_update` stage and
 /// the `standing_fanout` value histogram; version 3 added the
-/// `wal_append` / `wal_fsync` / `snapshot` durability stages.
-pub const STATS_SNAPSHOT_VERSION: u8 = 3;
+/// `wal_append` / `wal_fsync` / `snapshot` durability stages; version 4
+/// added the `route_failures` transport counter (cluster routing).
+pub const STATS_SNAPSHOT_VERSION: u8 = 4;
 
 /// Byte length of one encoded histogram snapshot: count + sum + min +
 /// max + the bucket array, all 8-byte fields.
@@ -683,9 +842,9 @@ pub const HIST_ENC_LEN: usize = 8 * (4 + HIST_BUCKETS);
 
 /// Byte length of the fixed (lock-free) part of an encoded snapshot:
 /// version, the stage histograms, 4 value histograms, the cloak-failure
-/// counters, the 10 net counters, and the lock-row count.
+/// counters, the 11 net counters, and the lock-row count.
 pub const STATS_FIXED_LEN: usize =
-    1 + (STAGE_COUNT + 4) * HIST_ENC_LEN + CLOAK_FAILURE_KINDS.len() * 8 + 10 * 8 + 1;
+    1 + (STAGE_COUNT + 4) * HIST_ENC_LEN + CLOAK_FAILURE_KINDS.len() * 8 + 11 * 8 + 1;
 
 fn put_hist(b: &mut BytesMut, h: &HistogramSnapshot) {
     b.put_u64_le(h.count);
@@ -747,6 +906,7 @@ pub fn encode_stats_snapshot(snap: &RegistrySnapshot) -> Bytes {
         n.idle_disconnects,
         n.bytes_in,
         n.bytes_out,
+        n.route_failures,
     ] {
         b.put_u64_le(v);
     }
@@ -803,6 +963,7 @@ pub fn decode_stats_snapshot(mut buf: &[u8]) -> Option<RegistrySnapshot> {
         idle_disconnects: buf.get_u64_le(),
         bytes_in: buf.get_u64_le(),
         bytes_out: buf.get_u64_le(),
+        route_failures: buf.get_u64_le(),
     };
     let rows = usize::from(buf.get_u8());
     let mut locks = Vec::with_capacity(rows);
@@ -1157,6 +1318,65 @@ mod tests {
     }
 
     #[test]
+    fn handoff_roundtrip_and_validation() {
+        let msg = HandoffMsg {
+            subject: 42,
+            k: 25,
+            a_min: 0.001,
+            a_max: f64::INFINITY,
+            cloak: Some(Rect::new_unchecked(0.25, 0.5, 0.375, 0.625)),
+            ranges: vec![(3, 7), (9, 0)],
+        };
+        let bytes = encode_handoff(&msg);
+        assert_eq!(decode_handoff(&bytes), Some(msg.clone()));
+        // A cloakless, rangeless subject round-trips too.
+        let bare = HandoffMsg {
+            cloak: None,
+            ranges: Vec::new(),
+            ..msg.clone()
+        };
+        assert_eq!(decode_handoff(&encode_handoff(&bare)), Some(bare));
+        // Truncation and trailing garbage rejected.
+        assert_eq!(decode_handoff(&bytes[..bytes.len() - 1]), None);
+        assert_eq!(decode_handoff(&[]), None);
+        let mut long = bytes.to_vec();
+        long.push(0);
+        assert_eq!(decode_handoff(&long), None);
+        // An unknown cloak-presence byte is rejected (offset 28).
+        let mut bad = bytes.to_vec();
+        bad[28] = 7;
+        assert_eq!(decode_handoff(&bad), None);
+        // An inverted cloak rectangle is rejected (max_x at offset 45).
+        let mut inverted = bytes.to_vec();
+        inverted[45..53].copy_from_slice(&(-5.0f64).to_le_bytes());
+        assert_eq!(decode_handoff(&inverted), None);
+        // A range count promising more entries than present is rejected.
+        let mut lying = bytes.to_vec();
+        lying[61..65].copy_from_slice(&100u32.to_le_bytes());
+        assert_eq!(decode_handoff(&lying), None);
+        // An invalid requirement is rejected.
+        for (a_min, a_max) in [(f64::NAN, 1.0), (-0.5, 1.0), (2.0, 1.0), (0.0, f64::NAN)] {
+            let bad = HandoffMsg {
+                a_min,
+                a_max,
+                ..msg.clone()
+            };
+            assert_eq!(decode_handoff(&encode_handoff(&bad)), None);
+        }
+    }
+
+    #[test]
+    fn handoff_pull_roundtrip_and_validation() {
+        let bytes = encode_handoff_pull(99);
+        assert_eq!(bytes.len(), HANDOFF_PULL_LEN);
+        assert_eq!(decode_handoff_pull(&bytes), Some(99));
+        assert_eq!(decode_handoff_pull(&bytes[..7]), None);
+        let mut long = bytes.to_vec();
+        long.push(0);
+        assert_eq!(decode_handoff_pull(&long), None);
+    }
+
+    #[test]
     fn tags_are_distinct() {
         let tags = [
             tag::REGISTER,
@@ -1168,6 +1388,10 @@ mod tests {
             tag::REGISTER_STANDING_RANGE,
             tag::DEREGISTER_STANDING,
             tag::STANDING_SNAPSHOT,
+            tag::SHADOW_UPDATE,
+            tag::CLOAK_INGEST,
+            tag::HANDOFF_PULL,
+            tag::HANDOFF_PUSH,
             tag::OK,
             tag::CLOAKED_UPDATE,
             tag::CANDIDATES,
@@ -1176,7 +1400,9 @@ mod tests {
             tag::STANDING_REGISTERED,
             tag::STANDING_STATE,
             tag::STANDING_DELTA,
+            tag::USER_HANDOFF,
             tag::ERROR,
+            tag::ROUTE_FAIL,
         ];
         let set: std::collections::HashSet<u8> = tags.iter().copied().collect();
         assert_eq!(set.len(), tags.len());

@@ -92,7 +92,12 @@ pub fn scope_for(rel: &str) -> Scope {
             || rel == "crates/core/src/journal.rs"
             // The observability registry records on hot paths and its
             // snapshots are served to remote scrapers.
-            || rel == "crates/core/src/obs.rs",
+            || rel == "crates/core/src/obs.rs"
+            // The cluster router terminates client connections and
+            // relays frames between nodes: every byte it touches is as
+            // hostile as the network, and a panic takes down the whole
+            // front door, not one request.
+            || rel.starts_with("crates/cluster/src/"),
         private_api: rel.starts_with("crates/server/src/private_"),
         // The registry module itself implements the tracked wrappers on
         // top of raw std locks.
@@ -118,6 +123,11 @@ const REQUIRED_SERVER_BOUND: &[(&str, &str)] = &[
     // positions), so they are deliberately absent here.
     ("crates/core/src/wire.rs", "RegisterStandingCountMsg"),
     ("crates/core/src/wire.rs", "StandingCountState"),
+    // Cluster handoff frames hop node→node inside the anonymizer tier,
+    // but they transit the same network as server traffic, so they are
+    // held to the boundary discipline: a cloaked rectangle may travel,
+    // an exact `Point` may not.
+    ("crates/core/src/wire.rs", "HandoffMsg"),
 ];
 
 /// Field names that may not appear in a server-bound struct.

@@ -1,0 +1,25 @@
+// Known-bad fixture: a cluster handoff message that grows beyond the
+// single-copy user state it is allowed to carry. A handoff moves a
+// privacy requirement, the current cloak, and standing-range
+// registrations between anonymizer nodes — it must never carry the
+// subject's exact position, raw trajectory, or any field that would
+// let a compromised hop re-identify the user's track. Never compiled —
+// consumed as data by tests/lint_fixtures.rs.
+
+/// A migrating user's state, "enriched" with everything the cloak
+/// exists to hide.
+// lint: server-bound
+#[derive(Debug, Clone, PartialEq)]
+pub struct HandoffMsg {
+    /// Id of the migrating subject (legal on this trusted hop).
+    pub subject: u64,
+    /// Required anonymity level (legal).
+    pub k: u32,
+    /// The subject's exact position at migration time — the one value
+    /// a handoff must never materialize on the wire.
+    pub position: Point,
+    /// The subject's recent exact trail, "for warm-starting the cloak".
+    pub exact_trail: Vec<Point>,
+    /// A second identity field under the banned canonical name.
+    pub user: u64,
+}

@@ -39,6 +39,10 @@ pub enum Reply {
     /// A standing query's current state, answering a snapshot request
     /// (decodable with [`wire::decode_standing_state`]).
     StandingState(Vec<u8>),
+    /// A migrating user's single-copy state, answering a cluster
+    /// handoff pull (decodable with [`wire::decode_handoff`]). Only a
+    /// cluster router ever sees this reply.
+    Handoff(Vec<u8>),
     /// The server rejected the request with a message; the connection
     /// is still usable.
     Error(String),
@@ -250,12 +254,33 @@ fn classify(f: Frame) -> io::Result<Reply> {
         wire::tag::STATS_SNAPSHOT => Ok(Reply::Stats(f.payload)),
         wire::tag::STANDING_REGISTERED => Ok(Reply::StandingRegistered(f.payload)),
         wire::tag::STANDING_STATE => Ok(Reply::StandingState(f.payload)),
+        wire::tag::USER_HANDOFF => Ok(Reply::Handoff(f.payload)),
         wire::tag::ERROR => Ok(Reply::Error(
             String::from_utf8_lossy(&f.payload).into_owned(),
+        )),
+        // A routing failure is a *transport* fact — the cluster node
+        // that owns the request is dead or unreachable — not an
+        // application rejection, so it must never fold into
+        // `Reply::Error`. It surfaces as a kinded I/O error the caller
+        // can match with [`is_route_failure`].
+        wire::tag::ROUTE_FAIL => Err(io::Error::new(
+            io::ErrorKind::NotConnected,
+            format!(
+                "cluster node unreachable: {}",
+                String::from_utf8_lossy(&f.payload)
+            ),
         )),
         other => Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("protocol violation: unrecognized reply tag 0x{other:02x}"),
         )),
     }
+}
+
+/// `true` when an error is a cluster routing failure — the
+/// [`wire::tag::ROUTE_FAIL`] reply a router sends when the node owning
+/// the request is dead or unreachable.
+pub fn is_route_failure(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::NotConnected
+        && e.to_string().starts_with("cluster node unreachable:")
 }

@@ -32,6 +32,6 @@ pub mod client;
 pub mod frame;
 pub mod server;
 
-pub use client::{NetClient, Reply};
+pub use client::{is_route_failure, NetClient, Reply};
 pub use frame::{Frame, FrameReader, Poll, FRAME_OVERHEAD, MAX_FRAME_LEN};
 pub use server::{sim_time_since, NetConfig, NetServer, RecoveryReport};

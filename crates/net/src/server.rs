@@ -723,6 +723,47 @@ fn handle_request(
                 None => err("unknown standing query".into()),
             }
         }
+        // Cluster-internal frames (trusted anonymizer-tier hops from a
+        // router peer). None of them answers for a user, so none routes
+        // standing deltas: shadow updates never touch the registries,
+        // and a cloak ingest drains its changed set internally — only
+        // the owning node pushes.
+        wire::tag::SHADOW_UPDATE => {
+            let Some(msg) = wire::decode_exact_update(&frame.payload) else {
+                NetCounters::add(&counters.frames_rejected, 1);
+                return err("malformed shadow-update payload".into());
+            };
+            engine
+                .lock()
+                .apply_shadow_update(&[(msg.user, msg.position, msg.time)]);
+            vec![(wire::tag::OK, Vec::new())]
+        }
+        wire::tag::CLOAK_INGEST => {
+            let Some(update) = wire::decode_cloaked_update(&frame.payload) else {
+                NetCounters::add(&counters.frames_rejected, 1);
+                return err("malformed cloak-ingest payload".into());
+            };
+            engine.lock().apply_cloak_ingest(&update);
+            vec![(wire::tag::OK, Vec::new())]
+        }
+        wire::tag::HANDOFF_PULL => {
+            let Some(subject) = wire::decode_handoff_pull(&frame.payload) else {
+                NetCounters::add(&counters.frames_rejected, 1);
+                return err("malformed handoff-pull payload".into());
+            };
+            match engine.lock().handoff_export(subject) {
+                Some(msg) => vec![(wire::tag::USER_HANDOFF, wire::encode_handoff(&msg).to_vec())],
+                None => err("handoff pull for a user not registered here".into()),
+            }
+        }
+        wire::tag::HANDOFF_PUSH => {
+            let Some(msg) = wire::decode_handoff(&frame.payload) else {
+                NetCounters::add(&counters.frames_rejected, 1);
+                return err("malformed handoff payload".into());
+            };
+            engine.lock().handoff_install(&msg);
+            vec![(wire::tag::OK, Vec::new())]
+        }
         other => {
             NetCounters::add(&counters.frames_rejected, 1);
             err(format!("unknown request tag 0x{other:02x}"))

@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 
 pub use lbsp_anonymizer as anonymizer;
+pub use lbsp_cluster as cluster;
 pub use lbsp_core as system;
 pub use lbsp_geom as geom;
 pub use lbsp_index as index;

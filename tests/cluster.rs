@@ -1,0 +1,372 @@
+//! The cluster's headline guarantee: a K-node region-sharded cluster
+//! behind a [`Router`] answers the full workload — registrations,
+//! cloaked updates, standing-query registrations, deltas, snapshots —
+//! **byte-identically** to one sequential `PrivacyAwareSystem`, for
+//! K ∈ {1, 2, 4}, with a workload in which well over 10% of users
+//! cross partition boundaries (forcing `USER_HANDOFF` migrations) and
+//! standing-query deltas originate on whichever node owns the moving
+//! user. A dead node must surface as a loud kinded `ROUTE_FAIL`, never
+//! a hang or a masqueraded application error.
+
+use lbsp_anonymizer::{CloakRequirement, GridCloak, PrivacyProfile};
+use lbsp_cluster::{PartitionMap, Router, RouterConfig};
+use lbsp_core::engine::{EngineConfig, ShardedEngine};
+use lbsp_core::wire::{self, StandingKind};
+use lbsp_core::{MobileUser, PrivacyAwareSystem};
+use lbsp_geom::{Point, Rect, SimTime};
+use lbsp_net::{is_route_failure, NetClient, NetConfig, NetServer, Reply};
+use lbsp_server::PublicObject;
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+use std::collections::HashMap;
+use std::net::TcpListener;
+
+const USERS: u64 = 200;
+const WAVES: u64 = 3;
+const SEED: u64 = 20060406;
+/// Must equal [`EngineConfig::new`]'s secret so pseudonyms agree.
+const SECRET: u64 = 0x1BAD_B002_CAFE_F00D;
+
+fn world() -> Rect {
+    Rect::new_unchecked(0.0, 0.0, 1.0, 1.0)
+}
+
+fn requirement_for(i: u64) -> CloakRequirement {
+    CloakRequirement {
+        k: [2u32, 5, 10, 25][(i % 4) as usize],
+        a_min: if i.is_multiple_of(5) { 0.01 } else { 0.0 },
+        a_max: f64::INFINITY,
+    }
+}
+
+fn wave(w: u64) -> Vec<(u64, Point, SimTime)> {
+    let mut rng = StdRng::seed_from_u64(SEED ^ (w.wrapping_mul(0x9E37)));
+    (0..USERS)
+        .map(|i| {
+            let p = Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
+            (i, p, SimTime::from_secs((w * USERS + i) as f64 * 0.25))
+        })
+        .collect()
+}
+
+fn public_objects() -> Vec<PublicObject> {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 1);
+    (0..150)
+        .map(|id| {
+            PublicObject::new(
+                id,
+                Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)),
+                0,
+            )
+        })
+        .collect()
+}
+
+const COUNT_AREAS: [(f64, f64, f64, f64); 2] = [(0.2, 0.2, 0.7, 0.7), (0.05, 0.55, 0.45, 0.95)];
+const RANGE_OWNERS: [(u64, f64); 2] = [(7, 0.1), (13, 0.2)];
+
+fn fresh_engine() -> ShardedEngine {
+    let mut cfg = EngineConfig::new(world());
+    cfg.refine = true;
+    let mut engine = ShardedEngine::new(cfg, 2);
+    engine.load_public(public_objects());
+    engine
+}
+
+/// Sequential reference: cloaked bytes for every row, plus the final
+/// wire state of every standing query.
+struct Reference {
+    updates: Vec<Vec<u8>>,
+    standing: Vec<((StandingKind, u64), Vec<u8>)>,
+}
+
+fn reference_run() -> Reference {
+    let algo = GridCloak::new(world(), 16).with_refinement(true);
+    let mut sys = PrivacyAwareSystem::new(algo, SECRET, public_objects());
+    for i in 0..USERS {
+        let profile = PrivacyProfile::uniform(requirement_for(i)).unwrap();
+        sys.register_user(MobileUser::active(i, profile));
+    }
+    let mut updates = Vec::new();
+    for &(id, pos, time) in &wave(0) {
+        let u = sys.process_update(id, pos, time).unwrap().unwrap();
+        updates.push(wire::encode_cloaked_update(&u).to_vec());
+    }
+    let mut keys: Vec<(StandingKind, u64)> = Vec::new();
+    for &(x0, y0, x1, y1) in &COUNT_AREAS {
+        let id = sys.add_standing_count(Rect::new_unchecked(x0, y0, x1, y1));
+        keys.push((StandingKind::Count, id));
+    }
+    for &(user, radius) in &RANGE_OWNERS {
+        let id = sys.add_standing_private_range(user, radius);
+        keys.push((StandingKind::Range, id));
+    }
+    for w in 1..WAVES {
+        for &(id, pos, time) in &wave(w) {
+            let u = sys.process_update(id, pos, time).unwrap().unwrap();
+            updates.push(wire::encode_cloaked_update(&u).to_vec());
+        }
+    }
+    let standing = keys
+        .into_iter()
+        .map(|(kind, id)| {
+            let state = sys.standing_state(kind, id).unwrap();
+            ((kind, id), wire::encode_standing_state(&state).to_vec())
+        })
+        .collect();
+    Reference { updates, standing }
+}
+
+/// K nodes on loopback plus a router fronting them.
+fn spawn_cluster(k: usize) -> (Vec<NetServer>, Router) {
+    let servers: Vec<NetServer> = (0..k)
+        .map(|_| NetServer::bind("127.0.0.1:0", fresh_engine(), NetConfig::default()).unwrap())
+        .collect();
+    let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    let addr_refs: Vec<&str> = addrs.iter().map(|s| s.as_str()).collect();
+    let router = Router::bind("127.0.0.1:0", &addr_refs, world(), RouterConfig::default()).unwrap();
+    (servers, router)
+}
+
+/// How many users' wave-to-wave movement crosses a K-way partition
+/// boundary (each crossing forces a handoff).
+fn boundary_crossers(k: usize) -> u64 {
+    let pm = PartitionMap::new(world(), k);
+    (0..USERS as usize)
+        .filter(|&i| {
+            let nodes: Vec<usize> = (0..WAVES).map(|w| pm.node_of(wave(w)[i].1)).collect();
+            nodes.windows(2).any(|w| w[0] != w[1])
+        })
+        .count() as u64
+}
+
+#[test]
+fn cluster_is_byte_identical_to_the_sequential_system() {
+    let reference = reference_run();
+
+    for k in [1usize, 2, 4] {
+        // The workload itself guarantees boundary pressure: at K=2 and
+        // K=4 far more than 10% of users change stripes between waves.
+        if k > 1 {
+            let crossers = boundary_crossers(k);
+            assert!(
+                crossers * 10 >= USERS,
+                "workload must move >=10% of users across boundaries (K={k}: {crossers})"
+            );
+        }
+
+        let (servers, router) = spawn_cluster(k);
+        let mut client = NetClient::connect(router.local_addr()).unwrap();
+
+        for i in 0..USERS {
+            let r = requirement_for(i);
+            assert_eq!(
+                client.register(i, r.k, r.a_min, r.a_max).unwrap(),
+                Reply::Ok,
+                "register {i} (K={k})"
+            );
+        }
+        let mut expect_updates = reference.updates.iter();
+        for &(id, pos, time) in &wave(0) {
+            match client.update(id, pos, time).unwrap() {
+                Reply::Cloaked(bytes) => {
+                    assert_eq!(
+                        Some(&bytes),
+                        expect_updates.next(),
+                        "update user {id} (K={k})"
+                    )
+                }
+                other => panic!("update user {id} (K={k}): unexpected reply {other:?}"),
+            }
+        }
+
+        // Standing registrations broadcast through the router come back
+        // with the same ids the sequential registries produced.
+        let mut keys: Vec<(StandingKind, u64)> = Vec::new();
+        for &(x0, y0, x1, y1) in &COUNT_AREAS {
+            let area = Rect::new_unchecked(x0, y0, x1, y1);
+            match client.register_standing_count(area).unwrap() {
+                Reply::StandingRegistered(bytes) => {
+                    let r = wire::decode_standing_ref(&bytes).unwrap();
+                    assert_eq!(r.kind, StandingKind::Count);
+                    keys.push((r.kind, r.id));
+                }
+                other => panic!("standing-count registration (K={k}): {other:?}"),
+            }
+        }
+        for &(user, radius) in &RANGE_OWNERS {
+            match client.register_standing_range(user, radius).unwrap() {
+                Reply::StandingRegistered(bytes) => {
+                    let r = wire::decode_standing_ref(&bytes).unwrap();
+                    assert_eq!(r.kind, StandingKind::Range);
+                    keys.push((r.kind, r.id));
+                }
+                other => panic!("standing-range registration (K={k}): {other:?}"),
+            }
+        }
+        assert_eq!(
+            keys,
+            reference
+                .standing
+                .iter()
+                .map(|(key, _)| *key)
+                .collect::<Vec<_>>(),
+            "query ids agree with the sequential registries (K={k})"
+        );
+
+        for w in 1..WAVES {
+            for &(id, pos, time) in &wave(w) {
+                match client.update(id, pos, time).unwrap() {
+                    Reply::Cloaked(bytes) => {
+                        assert_eq!(
+                            Some(&bytes),
+                            expect_updates.next(),
+                            "update user {id} wave {w} (K={k})"
+                        )
+                    }
+                    other => panic!("update user {id} wave {w} (K={k}): {other:?}"),
+                }
+            }
+        }
+
+        // Deltas fanned out by the router: every one decodes, and the
+        // last per query matches the sequential final state under the
+        // same per-kind comparison the single-node test uses.
+        let deltas = client.take_standing_deltas();
+        assert!(!deltas.is_empty(), "movement pushed deltas (K={k})");
+        let mut last: HashMap<(StandingKind, u64), Vec<u8>> = HashMap::new();
+        for bytes in &deltas {
+            let state = wire::decode_standing_state(bytes).expect("delta decodes");
+            let kind = match state {
+                wire::StandingState::Count(_) => StandingKind::Count,
+                wire::StandingState::Range(_) => StandingKind::Range,
+            };
+            last.insert((kind, state.id()), bytes.clone());
+        }
+        for (key, expect) in &reference.standing {
+            let Some(bytes) = last.get(key) else { continue };
+            let got = wire::decode_standing_state(bytes).unwrap();
+            let want = wire::decode_standing_state(expect).unwrap();
+            match (got, want) {
+                (wire::StandingState::Count(g), wire::StandingState::Count(w)) => {
+                    assert_eq!(
+                        (g.seq, g.certain, g.possible),
+                        (w.seq, w.certain, w.possible),
+                        "last count delta for {key:?} (K={k})"
+                    );
+                }
+                (wire::StandingState::Range(_), wire::StandingState::Range(_)) => {
+                    assert_eq!(bytes, expect, "last range delta for {key:?} (K={k})");
+                }
+                _ => panic!("delta kind mismatch for {key:?} (K={k})"),
+            }
+        }
+
+        // Snapshots routed to whichever node answers authoritatively
+        // (node 0 for counts, the subject's owner for ranges) are
+        // byte-identical to the sequential path — including the `seq`
+        // counters, which survive handoffs intact.
+        for (key, expect) in &reference.standing {
+            match client.standing_snapshot(key.0, key.1).unwrap() {
+                Reply::StandingState(bytes) => {
+                    assert_eq!(&bytes, expect, "snapshot {key:?} (K={k})")
+                }
+                other => panic!("snapshot {key:?} (K={k}): unexpected reply {other:?}"),
+            }
+        }
+
+        // Boundary crossings really happened and really migrated users.
+        if k > 1 {
+            assert!(
+                router.handoffs() >= boundary_crossers(k),
+                "handoffs (K={k}): {} < {}",
+                router.handoffs(),
+                boundary_crossers(k)
+            );
+        } else {
+            assert_eq!(router.handoffs(), 0, "K=1 is a plain proxy");
+        }
+
+        drop(client);
+        let report = router.shutdown();
+        assert_eq!(report.route_failures, 0, "healthy cluster (K={k})");
+        assert_eq!(report.handoffs == 0, k == 1);
+
+        // Lockstep proof: *every* node's count registries hold the
+        // sequential final state — the replicated planes never drifted.
+        // (Range registries live only on the subject's owner; the
+        // snapshot check above already pinned those.)
+        for (n, server) in servers.into_iter().enumerate() {
+            let engine = server.shutdown();
+            for (key, expect) in &reference.standing {
+                if key.0 != StandingKind::Count {
+                    continue;
+                }
+                let state = engine.standing_state(key.0, key.1).unwrap();
+                assert_eq!(
+                    &wire::encode_standing_state(&state).to_vec(),
+                    expect,
+                    "node {n} count registry (K={k})"
+                );
+            }
+        }
+    }
+}
+
+/// A dead node never hangs a request and never masquerades as an
+/// application error: the client gets a kinded `ROUTE_FAIL`, the
+/// router's failure counter moves, and the connection stays usable.
+#[test]
+fn dead_node_is_a_loud_kinded_error() {
+    let good = NetServer::bind("127.0.0.1:0", fresh_engine(), NetConfig::default()).unwrap();
+    let good_addr = good.local_addr().to_string();
+    // A port that was just listening and no longer is: connecting to it
+    // fails fast with a refusal.
+    let dead_addr = {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let router = Router::bind(
+        "127.0.0.1:0",
+        &[good_addr.as_str(), dead_addr.as_str()],
+        world(),
+        RouterConfig::default(),
+    )
+    .unwrap();
+    let mut client = NetClient::connect(router.local_addr()).unwrap();
+
+    // Registration touches only node 0 — it works.
+    assert_eq!(
+        client.register(1, 2, 0.0, f64::INFINITY).unwrap(),
+        Reply::Ok
+    );
+    // An update must mirror into node 1's position plane; node 1 is
+    // dead, so the whole request fails loudly and kindedly.
+    let err = match client.update(1, Point::new(0.1, 0.1), SimTime::from_secs(1.0)) {
+        Err(e) => e,
+        Ok(r) => panic!("update through a dead cluster must not succeed: {r:?}"),
+    };
+    assert!(is_route_failure(&err), "kinded route failure, got {err}");
+    assert!(
+        err.to_string().contains("node 1"),
+        "error names the dead node: {err}"
+    );
+    assert!(
+        router.metrics_registry().net().snapshot().route_failures >= 1,
+        "router counted the failure"
+    );
+    // Deadness is cached: the next attempt fails just as fast.
+    let err = match client.update(1, Point::new(0.9, 0.9), SimTime::from_secs(2.0)) {
+        Err(e) => e,
+        Ok(r) => panic!("dead node must stay dead: {r:?}"),
+    };
+    assert!(is_route_failure(&err));
+    // The client connection itself is fine — the router still answers.
+    match client.ping(b"alive").unwrap() {
+        Reply::Pong(p) => assert_eq!(p, b"alive"),
+        other => panic!("ping after route failure: {other:?}"),
+    }
+    let report = router.shutdown();
+    assert!(report.route_failures >= 2);
+    drop(good.shutdown());
+}
