@@ -9,8 +9,15 @@ cargo build --release --offline --workspace
 echo "== tests =="
 cargo test -q --workspace --offline
 
-echo "== lbsp-lint (privacy-taint / panic-freedom / lock-discipline) =="
-cargo run -q -p lbsp-lint --offline
+echo "== lbsp-lint (per-file rules + taint-flow / lock-order / wire conformance) =="
+# One run drives every pass (each file is lexed once, shared across
+# passes); --json archives the findings artifact for CI diffing and the
+# non-zero exit on any finding is the gate itself.
+mkdir -p target
+if ! cargo run -q -p lbsp-lint --offline -- --json >target/lint-findings.json; then
+  cat target/lint-findings.json
+  exit 1
+fi
 
 echo "== concurrency + loopback under debug_assertions (lock-order checker armed) =="
 cargo test -q --offline --test concurrency

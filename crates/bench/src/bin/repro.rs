@@ -94,6 +94,14 @@ fn main() {
         cluster_sweep();
         return;
     }
+    if args.iter().any(|a| a == "--net-sweep") {
+        net_sweep();
+        return;
+    }
+    if args.iter().any(|a| a == "--standing-sweep") {
+        standing_sweep();
+        return;
+    }
     let run_all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |name: &str| run_all || args.iter().any(|a| a == name);
 
@@ -290,6 +298,122 @@ fn cluster_sweep() {
         "{{\n  \"bench\": \"cluster_throughput\",\n  \"source\": \"repro --cluster\",\n  \
          \"workload\": \"closed-loop register/update/query through the router\",\n  \
          \"users\": {users},\n  \"rounds\": {rounds},\n  \"results\": [\n    {}\n  ]\n}}",
+        results.join(",\n    ")
+    );
+}
+
+/// `--net-sweep`: the E13 loopback workload as a machine-readable
+/// document (`BENCH_net.json` is generated from this), so the framed
+/// TCP deployment has a checked-in baseline next to the cluster one.
+fn net_sweep() {
+    use lbsp_bench::json::{object, Val};
+    use lbsp_bench::netload::{closed_loop, serve_engine};
+    use lbsp_net::{NetConfig, NetServer};
+    let users = 500u64;
+    let rounds = 2u32;
+    let mut results = Vec::new();
+    for workers in [1usize, 2, 4] {
+        eprintln!("net sweep: {workers} worker(s), {users} users, {rounds} rounds…");
+        let server = NetServer::bind(
+            "127.0.0.1:0",
+            serve_engine(),
+            NetConfig::with_workers(workers),
+        )
+        .expect("bind loopback");
+        let report = closed_loop(server.local_addr(), users, rounds, 7).expect("loopback workload");
+        let snap = server.counters().snapshot();
+        server.shutdown();
+        results.push(object(&[
+            ("workers", Val::U(workers as u64)),
+            ("requests", Val::U(report.requests)),
+            ("secs", Val::F((report.secs * 1e3).round() / 1e3)),
+            ("rate", Val::F(report.rate().round())),
+            ("errors", Val::U(report.errors)),
+            ("bytes_in", Val::U(snap.bytes_in)),
+            ("bytes_out", Val::U(snap.bytes_out)),
+        ]));
+    }
+    println!(
+        "{{\n  \"bench\": \"net_throughput\",\n  \"source\": \"repro --net-sweep\",\n  \
+         \"workload\": \"closed-loop register/update/query over loopback TCP\",\n  \
+         \"users\": {users},\n  \"rounds\": {rounds},\n  \"results\": [\n    {}\n  ]\n}}",
+        results.join(",\n    ")
+    );
+}
+
+/// `--standing-sweep`: standing-count maintenance cost as a
+/// machine-readable document (`BENCH_standing.json` is generated from
+/// this). Three registry shapes against the same 20k-update stream
+/// price the area index: an empty registry, a large registry that
+/// never overlaps the update region, and a registry with a hot subset
+/// that overlaps every update.
+fn standing_sweep() {
+    use lbsp_bench::json::{object, Val};
+    use lbsp_server::ContinuousRangeCount;
+    use std::collections::HashMap;
+    let n_updates = 20_000usize;
+    let users = 2_000u64;
+    let reps = 3usize;
+    let query_rect = |p: Point, hot: bool| {
+        // Updates stream through the right half; "hot" queries sit
+        // there, the rest monitor the left half.
+        let x = if hot { 0.55 + p.x * 0.4 } else { p.x * 0.45 };
+        let y = p.y * 0.9;
+        Rect::new_unchecked(x, y, (x + 0.05).min(1.0), (y + 0.05).min(1.0))
+    };
+    let mut results = Vec::new();
+    for (name, q_total, q_hot) in [
+        ("no_standing", 0usize, 0usize),
+        ("256_far_counts", 256, 0),
+        ("256_counts_32_hot", 256, 32),
+    ] {
+        eprintln!("standing sweep: {name} ({q_total} registered, {q_hot} hot), best of {reps}…");
+        let mut best_rate = 0f64;
+        let mut examined = 0f64;
+        let mut adjusted_per = 0f64;
+        for _ in 0..reps {
+            let mut reg = ContinuousRangeCount::new();
+            for (j, p) in uniform_positions(q_total, 31).into_iter().enumerate() {
+                let hot = j >= q_total - q_hot;
+                reg.register(query_rect(p, hot), std::iter::empty());
+            }
+            let positions = uniform_positions(n_updates, 7);
+            let mut cloaks: HashMap<u64, Rect> = HashMap::new();
+            let mut adjusted = 0u64;
+            let start = Instant::now();
+            for (i, p) in positions.iter().enumerate() {
+                let user = i as u64 % users;
+                let x = 0.55 + p.x * 0.4;
+                let y = p.y * 0.9;
+                let new = Rect::new_unchecked(x, y, (x + 0.03).min(1.0), (y + 0.03).min(1.0));
+                let old = cloaks.insert(user, new);
+                adjusted += reg.on_update(user, old.as_ref(), Some(&new)) as u64;
+            }
+            let elapsed = start.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+            best_rate = best_rate.max(n_updates as f64 / elapsed);
+            examined = reg.examined_total() as f64 / reg.updates_processed().max(1) as f64;
+            adjusted_per = adjusted as f64 / n_updates as f64;
+        }
+        results.push(object(&[
+            ("scenario", Val::S(name.to_string())),
+            ("registered", Val::U(q_total as u64)),
+            ("hot", Val::U(q_hot as u64)),
+            (
+                "examined_per_update",
+                Val::F((examined * 100.0).round() / 100.0),
+            ),
+            (
+                "adjusted_per_update",
+                Val::F((adjusted_per * 100.0).round() / 100.0),
+            ),
+            ("updates_per_sec", Val::F(best_rate.round())),
+        ]));
+    }
+    println!(
+        "{{\n  \"bench\": \"standing_maintenance\",\n  \"source\": \"repro --standing-sweep\",\n  \
+         \"workload\": \"{n_updates} cloak updates through ContinuousRangeCount, best of {reps}\",\n  \
+         \"updates\": {n_updates},\n  \"users\": {users},\n  \"reps\": {reps},\n  \
+         \"results\": [\n    {}\n  ]\n}}",
         results.join(",\n    ")
     );
 }

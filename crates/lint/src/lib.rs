@@ -8,7 +8,7 @@
 //! every CI run, using a self-contained Rust tokenizer so the workspace
 //! keeps building offline with zero new dependencies.
 //!
-//! Rule families:
+//! Per-file rule families (token-local, one lex per file):
 //!
 //! * **taint** — structs marked as crossing the anonymizer→server
 //!   boundary (`server-bound` annotation) may not carry exact-location
@@ -29,10 +29,30 @@
 //! * **unsafe** — every crate root must carry `#![forbid(unsafe_code)]`,
 //!   and the `unsafe` keyword may not appear anywhere.
 //!
+//! Semantic passes (workspace-wide, over a shared symbol table
+//! ([`symbols`]) and resolved call graph ([`callgraph`]); the same
+//! token streams, lexed once):
+//!
+//! * **taint-flow** ([`taint_flow`]) — interprocedural dataflow from
+//!   exact-position sources to server-bound sinks, with cloak
+//!   constructors as sanitizers; leaks through helper functions are
+//!   findings carrying the full source→sink `file:line` hop chain.
+//! * **lock-order** ([`lock_graph`]) — the static lock-acquisition
+//!   graph (which ranks can be held when each function acquires
+//!   another), proved acyclic against the declared rank order; any
+//!   descending edge or rank cycle is a finding with a witness chain.
+//! * **wire** ([`wire_conformance`]) — the `mod tag` registry and
+//!   codecs: unique tag values, strict encode/decode pairing, dispatch
+//!   coverage in the server and cluster router, server-bound structs
+//!   pinned in [`REQUIRED_SERVER_BOUND`], and agreement with the
+//!   DESIGN.md wire-tag table.
+//!
 //! Annotations are line comments directly above the offending item (doc
 //! comments and attribute lines in between are allowed), starting with
 //! `lint:` after the comment marker. `allow(...)` escapes must carry a
-//! justification after `--`.
+//! justification after `--`. Output is deterministic: findings sort by
+//! (file, line, rule), and the binary's `--json` mode emits them as
+//! line-delimited JSON for CI archiving.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +62,16 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+mod callgraph;
+mod lock_graph;
+mod symbols;
+mod taint_flow;
+mod wire_conformance;
+
+pub use lock_graph::LockEdge;
+
+use symbols::{SourceFile, SymbolTable};
+
 /// One rule violation, formatted `file:line: [rule] message`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -49,7 +79,8 @@ pub struct Finding {
     pub file: String,
     /// 1-based line of the offending token.
     pub line: usize,
-    /// Rule family: `taint`, `panic`, `lock`, `unsafe`, or `annotation`.
+    /// Rule family: `taint`, `panic`, `lock`, `unsafe`, `annotation`
+    /// (per-file), or `taint-flow`, `lock-order`, `wire` (semantic).
     pub rule: &'static str,
     /// Human-readable description of the violation.
     pub message: String,
@@ -63,6 +94,34 @@ impl fmt::Display for Finding {
             self.file, self.line, self.rule, self.message
         )
     }
+}
+
+impl Finding {
+    /// Machine-readable form: one flat JSON object. The `--json` CLI
+    /// mode emits one per line (mirroring `bench::json`) so CI can
+    /// archive and diff findings without parsing prose.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&self.file),
+            self.line,
+            json_escape(self.rule),
+            json_escape(&self.message)
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Which rule families apply to a file (derived from its path).
@@ -108,7 +167,7 @@ pub fn scope_for(rel: &str) -> Scope {
 
 /// Boundary structs that must carry the `server-bound` marker, so the
 /// field check cannot be silently disabled by removing the annotation.
-const REQUIRED_SERVER_BOUND: &[(&str, &str)] = &[
+pub(crate) const REQUIRED_SERVER_BOUND: &[(&str, &str)] = &[
     ("crates/core/src/wire.rs", "RangeQueryMsg"),
     ("crates/anonymizer/src/anonymizer.rs", "CloakedUpdate"),
     ("crates/anonymizer/src/anonymizer.rs", "CloakedQuery"),
@@ -152,7 +211,7 @@ const BANNED_LOCATION_TYPES: &[&str] = &["Point", "UserLocation"];
 // ---------------------------------------------------------------------
 
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum TokKind {
+pub(crate) enum TokKind {
     Ident,
     Punct(char),
     Str,
@@ -162,37 +221,37 @@ enum TokKind {
 }
 
 #[derive(Debug, Clone)]
-struct Tok {
-    kind: TokKind,
-    text: String,
-    line: usize,
+pub(crate) struct Tok {
+    pub(crate) kind: TokKind,
+    pub(crate) text: String,
+    pub(crate) line: usize,
 }
 
 impl Tok {
-    fn is_ident(&self, s: &str) -> bool {
+    pub(crate) fn is_ident(&self, s: &str) -> bool {
         self.kind == TokKind::Ident && self.text == s
     }
-    fn is_punct(&self, c: char) -> bool {
+    pub(crate) fn is_punct(&self, c: char) -> bool {
         self.kind == TokKind::Punct(c)
     }
 }
 
 /// A `//` comment, by line, with the text after the slashes.
 #[derive(Debug, Clone)]
-struct Comment {
-    line: usize,
-    text: String,
+pub(crate) struct Comment {
+    pub(crate) line: usize,
+    pub(crate) text: String,
 }
 
-struct Lexed {
-    toks: Vec<Tok>,
-    comments: Vec<Comment>,
+pub(crate) struct Lexed {
+    pub(crate) toks: Vec<Tok>,
+    pub(crate) comments: Vec<Comment>,
 }
 
 /// Tokenizes Rust source: identifiers, loose numbers, string/char
 /// literals, lifetimes, single-char punctuation. Line and block comments
 /// go to a side list (block comments nest, per Rust).
-fn lex(src: &str) -> Lexed {
+pub(crate) fn lex(src: &str) -> Lexed {
     let bytes: Vec<char> = src.chars().collect();
     let mut toks = Vec::new();
     let mut comments = Vec::new();
@@ -397,7 +456,7 @@ const KEYWORDS: &[&str] = &[
     "where", "while",
 ];
 
-fn is_keyword(s: &str) -> bool {
+pub(crate) fn is_keyword(s: &str) -> bool {
     KEYWORDS.contains(&s)
 }
 
@@ -407,7 +466,7 @@ fn is_keyword(s: &str) -> bool {
 
 /// Removes items behind `#[cfg(test)]` / `#[test]` attributes (and the
 /// attributes themselves), so the rules judge shipped code only.
-fn strip_test_items(toks: &[Tok]) -> Vec<Tok> {
+pub(crate) fn strip_test_items(toks: &[Tok]) -> Vec<Tok> {
     let mut out = Vec::with_capacity(toks.len());
     let mut i = 0;
     while i < toks.len() {
@@ -477,7 +536,7 @@ fn strip_test_items(toks: &[Tok]) -> Vec<Tok> {
 // ---------------------------------------------------------------------
 
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Annotation {
+pub(crate) enum Annotation {
     Allow(String),
     Lock(String),
     ServerBound,
@@ -485,7 +544,7 @@ enum Annotation {
 
 /// Parses one comment for a `lint:` directive. `Err` carries a finding
 /// message for a malformed directive.
-fn parse_annotation(text: &str) -> Option<Result<Annotation, String>> {
+pub(crate) fn parse_annotation(text: &str) -> Option<Result<Annotation, String>> {
     let t = text.trim_start();
     let rest = t.strip_prefix("lint:")?.trim_start();
     if rest.starts_with("server-bound") {
@@ -524,7 +583,7 @@ fn parse_annotation(text: &str) -> Option<Result<Annotation, String>> {
 
 /// Collects the annotations in the comment block ending directly above
 /// `line` (consecutive comment lines; doc comments pass through).
-fn annotations_above(comments: &[Comment], line: usize) -> Vec<Annotation> {
+pub(crate) fn annotations_above(comments: &[Comment], line: usize) -> Vec<Annotation> {
     let by_line: std::collections::HashMap<usize, &Comment> =
         comments.iter().map(|c| (c.line, c)).collect();
     let mut out = Vec::new();
@@ -546,7 +605,7 @@ fn annotations_above(comments: &[Comment], line: usize) -> Vec<Annotation> {
 /// The anchor line of the item whose keyword token sits at `idx`: walks
 /// backward over `pub`, visibility arguments, and attribute groups so
 /// annotations above `#[derive(...)]` still attach to the item.
-fn item_anchor_line(toks: &[Tok], idx: usize) -> usize {
+pub(crate) fn item_anchor_line(toks: &[Tok], idx: usize) -> usize {
     let mut line = toks[idx].line;
     let mut i = idx;
     while i > 0 {
@@ -602,12 +661,21 @@ fn item_anchor_line(toks: &[Tok], idx: usize) -> usize {
 // Rules
 // ---------------------------------------------------------------------
 
-/// Lints one file's source under `scope`. `registry` is the list of
-/// declared lock-rank names; `rel` labels findings.
+/// Lints one file's source under `scope` with the per-file rule set
+/// only (the semantic passes need the whole workspace — see
+/// [`analyze_sources`]). `registry` is the list of declared lock-rank
+/// names; `rel` labels findings.
 pub fn lint_file(rel: &str, src: &str, scope: Scope, registry: &[String]) -> Vec<Finding> {
-    let lexed = lex(src);
-    let toks = strip_test_items(&lexed.toks);
-    let comments = &lexed.comments;
+    lint_source_file(&SourceFile::parse(rel, src), scope, registry)
+}
+
+/// The per-file rules, on an already-lexed file (each file is lexed
+/// exactly once per run; the token stream is shared with the semantic
+/// passes).
+fn lint_source_file(file: &SourceFile, scope: Scope, registry: &[String]) -> Vec<Finding> {
+    let rel = file.rel.as_str();
+    let toks = &file.toks;
+    let comments = &file.comments;
     let mut findings = Vec::new();
     let push = |findings: &mut Vec<Finding>, line: usize, rule: &'static str, message: String| {
         findings.push(Finding {
@@ -626,7 +694,7 @@ pub fn lint_file(rel: &str, src: &str, scope: Scope, registry: &[String]) -> Vec
     }
 
     // unsafe: banned everywhere; crate roots must forbid it.
-    for t in &toks {
+    for t in toks {
         if t.is_ident("unsafe") {
             push(
                 &mut findings,
@@ -636,7 +704,7 @@ pub fn lint_file(rel: &str, src: &str, scope: Scope, registry: &[String]) -> Vec
             );
         }
     }
-    if scope.crate_root && !has_forbid_unsafe(&toks) {
+    if scope.crate_root && !has_forbid_unsafe(toks) {
         push(
             &mut findings,
             1,
@@ -646,14 +714,14 @@ pub fn lint_file(rel: &str, src: &str, scope: Scope, registry: &[String]) -> Vec
     }
 
     if scope.panic_free {
-        lint_panic_free(rel, &toks, comments, &mut findings);
+        lint_panic_free(rel, toks, comments, &mut findings);
     }
     if scope.lock_discipline {
-        lint_lock_discipline(rel, &toks, comments, registry, &mut findings);
+        lint_lock_discipline(rel, toks, comments, registry, &mut findings);
     }
-    lint_server_bound_structs(rel, &toks, comments, &mut findings);
+    lint_server_bound_structs(rel, toks, comments, &mut findings);
     if scope.private_api {
-        lint_private_api(rel, &toks, comments, &mut findings);
+        lint_private_api(rel, toks, comments, &mut findings);
     }
     findings
 }
@@ -671,7 +739,7 @@ fn has_forbid_unsafe(toks: &[Tok]) -> bool {
     })
 }
 
-fn allowed(comments: &[Comment], line: usize, what: &str) -> bool {
+pub(crate) fn allowed(comments: &[Comment], line: usize, what: &str) -> bool {
     annotations_above(comments, line)
         .iter()
         .any(|a| matches!(a, Annotation::Allow(k) if k == what))
@@ -1038,10 +1106,62 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lints the whole workspace rooted at `root`: `src/` plus every
-/// `crates/*/src/` tree (vendored stubs, benches, examples, and
-/// integration-test directories are out of scope).
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+///// The result of a whole-workspace (or whole-source-set) run: the
+/// findings plus the structures the semantic passes proved, so tests
+/// and tools can assert the proofs are not vacuous.
+pub struct Analysis {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Every held→acquired lock-rank edge the static pass derived from
+    /// guard liveness and the call graph. The workspace is deadlock-free
+    /// by rank order iff every edge is non-descending (checked; any
+    /// descending edge or rank cycle is also a finding).
+    pub lock_edges: Vec<LockEdge>,
+    /// The wire-tag registry parsed from `crates/core/src/wire.rs`:
+    /// `(name, value)` in declaration order.
+    pub wire_tags: Vec<(String, u8)>,
+}
+
+/// Runs the per-file rules *and* the three workspace-wide semantic
+/// passes (taint dataflow, lock-order graph, wire conformance) over an
+/// in-memory source set. Each entry is `(workspace-relative path,
+/// source)`; each file is lexed once and the token stream is shared by
+/// every pass. `design` is the DESIGN.md text for the wire-tag table
+/// cross-check (skipped when `None`).
+pub fn analyze_sources(
+    sources: &[(String, String)],
+    registry: &[String],
+    design: Option<&str>,
+) -> Analysis {
+    let files: Vec<SourceFile> = sources
+        .iter()
+        .map(|(rel, src)| SourceFile::parse(rel, src))
+        .collect();
+    let mut findings = Vec::new();
+    for file in &files {
+        findings.extend(lint_source_file(file, scope_for(&file.rel), registry));
+    }
+    let syms = SymbolTable::extract(&files);
+    findings.extend(taint_flow::check(&files, &syms));
+    let (lock_findings, lock_edges) = lock_graph::check(&files, &syms, registry);
+    findings.extend(lock_findings);
+    let (wire_findings, wire_tags) = wire_conformance::check(&files, &syms, design);
+    findings.extend(wire_findings);
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings.dedup();
+    Analysis {
+        findings,
+        lock_edges,
+        wire_tags,
+    }
+}
+
+/// Collects the workspace sources rooted at `root` (`src/` plus every
+/// `crates/*/src/` tree — vendored stubs, benches, examples, and
+/// integration-test directories are out of scope) and runs the full
+/// analysis, including the DESIGN.md wire-tag cross-check when the file
+/// is present.
+pub fn analyze_workspace(root: &Path) -> io::Result<Analysis> {
     let locks_path = root.join("crates/core/src/locks.rs");
     let registry = match fs::read_to_string(&locks_path) {
         Ok(src) => parse_registry(&src),
@@ -1079,18 +1199,24 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
         }
     }
 
-    let mut findings = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
     for path in files {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        let src = fs::read_to_string(&path)?;
-        findings.extend(lint_file(&rel, &src, scope_for(&rel), &registry));
+        sources.push((rel, fs::read_to_string(&path)?));
     }
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(findings)
+    let design = fs::read_to_string(root.join("DESIGN.md")).ok();
+    Ok(analyze_sources(&sources, &registry, design.as_deref()))
+}
+
+/// Lints the whole workspace rooted at `root`; the findings half of
+/// [`analyze_workspace`], kept as the stable entry point for the CI
+/// gate.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    Ok(analyze_workspace(root)?.findings)
 }
 
 #[cfg(test)]

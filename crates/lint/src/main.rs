@@ -1,4 +1,8 @@
-//! CLI entry point: `cargo run -p lbsp-lint [workspace-root]`.
+//! CLI entry point: `cargo run -p lbsp-lint [workspace-root] [--json]`.
+//!
+//! `--json` emits one finding per line as a flat JSON object (plus a
+//! trailing summary object), so CI can archive and diff the findings
+//! artifact; the human format is the default.
 //!
 //! Exit codes: 0 = clean, 1 = findings, 2 = I/O or configuration error.
 
@@ -8,21 +12,37 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")));
-    match lbsp_lint::lint_workspace(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!("lbsp-lint: 0 findings");
-            ExitCode::SUCCESS
+    let mut json = false;
+    let mut root = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json = true;
+        } else if root.is_none() {
+            root = Some(PathBuf::from(arg));
+        } else {
+            eprintln!("lbsp-lint: usage: lbsp-lint [workspace-root] [--json]");
+            return ExitCode::from(2);
         }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")));
+    match lbsp_lint::lint_workspace(&root) {
         Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
+            if json {
+                for f in &findings {
+                    println!("{}", f.to_json());
+                }
+                println!("{{\"findings\":{}}}", findings.len());
+            } else {
+                for f in &findings {
+                    println!("{f}");
+                }
+                println!("lbsp-lint: {} finding(s)", findings.len());
             }
-            println!("lbsp-lint: {} finding(s)", findings.len());
-            ExitCode::FAILURE
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("lbsp-lint: error: {e}");

@@ -1,0 +1,340 @@
+//! The symbol-table layer under the semantic passes: each workspace
+//! file is lexed exactly once into a [`SourceFile`] (test items already
+//! stripped), and a [`SymbolTable`] of function and struct symbols is
+//! extracted from the shared token streams. The table is deliberately
+//! name-based — no type inference, no trait resolution — and calls
+//! resolve through [`crate::callgraph::Resolver`] with impl-owner and
+//! same-file preference before falling back to every function of that
+//! name, which keeps the downstream passes conservative (they may
+//! over-approximate flows, never miss a resolved one).
+
+use crate::{annotations_above, is_keyword, item_anchor_line, Annotation, Comment, Tok, TokKind};
+use std::collections::HashSet;
+
+/// One file, lexed once; every pass shares this token stream.
+pub(crate) struct SourceFile {
+    /// Workspace-relative path, forward slashes.
+    pub(crate) rel: String,
+    /// Token stream with `#[cfg(test)]` / `#[test]` items removed.
+    pub(crate) toks: Vec<Tok>,
+    /// Line comments (annotations live here).
+    pub(crate) comments: Vec<Comment>,
+}
+
+impl SourceFile {
+    pub(crate) fn parse(rel: &str, src: &str) -> SourceFile {
+        let lexed = crate::lex(src);
+        SourceFile {
+            rel: rel.to_string(),
+            toks: crate::strip_test_items(&lexed.toks),
+            comments: lexed.comments,
+        }
+    }
+}
+
+/// One function parameter: the binding name and the identifier tokens
+/// of its type (`&mut HashMap<UserId, Point>` → `["HashMap", "UserId",
+/// "Point"]`).
+pub(crate) struct Param {
+    pub(crate) name: String,
+    pub(crate) types: Vec<String>,
+}
+
+/// A `fn` item (free function, method, or trait default) anywhere in
+/// the workspace.
+pub(crate) struct FnSym {
+    /// Index into the file list the table was extracted from.
+    pub(crate) file: usize,
+    pub(crate) name: String,
+    /// The `impl` type the function belongs to, when inside an impl
+    /// block (`impl Foo` and `impl Trait for Foo` both give `Foo`).
+    pub(crate) owner: Option<String>,
+    pub(crate) line: usize,
+    /// Token index of the `fn` keyword (for annotation anchoring).
+    pub(crate) kw: usize,
+    pub(crate) params: Vec<Param>,
+    /// Identifier tokens of the return type (empty for `()`).
+    pub(crate) ret_types: Vec<String>,
+    /// Token range of the body, exclusive of the braces; `None` for
+    /// bodyless trait declarations.
+    pub(crate) body: Option<(usize, usize)>,
+}
+
+/// A `struct` item, with its `// lint: server-bound` marker state.
+pub(crate) struct StructSym {
+    pub(crate) file: usize,
+    pub(crate) name: String,
+    pub(crate) line: usize,
+    pub(crate) server_bound: bool,
+}
+
+/// Function and struct symbols for a whole source set.
+pub(crate) struct SymbolTable {
+    pub(crate) fns: Vec<FnSym>,
+    pub(crate) structs: Vec<StructSym>,
+    /// Names of structs marked `// lint: server-bound` anywhere.
+    pub(crate) server_bound: HashSet<String>,
+}
+
+impl SymbolTable {
+    pub(crate) fn extract(files: &[SourceFile]) -> SymbolTable {
+        let mut fns = Vec::new();
+        let mut structs = Vec::new();
+        for (fi, file) in files.iter().enumerate() {
+            extract_fns(fi, file, &mut fns);
+            extract_structs(fi, file, &mut structs);
+        }
+        let server_bound = structs
+            .iter()
+            .filter(|s| s.server_bound)
+            .map(|s| s.name.clone())
+            .collect();
+        SymbolTable {
+            fns,
+            structs,
+            server_bound,
+        }
+    }
+}
+
+fn extract_structs(fi: usize, file: &SourceFile, out: &mut Vec<StructSym>) {
+    let toks = &file.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("struct") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+            continue;
+        };
+        let anchor = item_anchor_line(toks, i);
+        let server_bound = annotations_above(&file.comments, anchor)
+            .iter()
+            .any(|a| matches!(a, Annotation::ServerBound));
+        out.push(StructSym {
+            file: fi,
+            name: name.text.clone(),
+            line: name.line,
+            server_bound,
+        });
+    }
+}
+
+/// `(body_range, type_name)` for every `impl` block, so functions can
+/// be attributed to the type they are defined on.
+fn impl_ranges(toks: &[Tok]) -> Vec<((usize, usize), String)> {
+    let n = toks.len();
+    let mut out = Vec::new();
+    for i in 0..n {
+        if !toks[i].is_ident("impl") {
+            continue;
+        }
+        // Skip generics, then take the last type ident before the `{`
+        // (handles `impl Foo`, `impl<T> Foo<T>`, `impl Trait for Foo`).
+        let mut j = i + 1;
+        let mut owner = None;
+        let mut angle = 0i64;
+        while j < n && !toks[j].is_punct('{') && !toks[j].is_ident("where") {
+            if toks[j].is_punct('<') {
+                angle += 1;
+            } else if toks[j].is_punct('>') && !toks[j - 1].is_punct('-') {
+                angle -= 1;
+            } else if angle == 0 && toks[j].kind == TokKind::Ident && !is_keyword(&toks[j].text) {
+                owner = Some(toks[j].text.clone());
+            }
+            j += 1;
+        }
+        while j < n && !toks[j].is_punct('{') {
+            j += 1;
+        }
+        let Some(owner) = owner else { continue };
+        let open = j;
+        let mut depth = 1i64;
+        j += 1;
+        while j < n && depth > 0 {
+            if toks[j].is_punct('{') {
+                depth += 1;
+            } else if toks[j].is_punct('}') {
+                depth -= 1;
+            }
+            j += 1;
+        }
+        out.push(((open, j), owner));
+    }
+    out
+}
+
+fn extract_fns(fi: usize, file: &SourceFile, out: &mut Vec<FnSym>) {
+    let toks = &file.toks;
+    let n = toks.len();
+    let impls = impl_ranges(toks);
+    for i in 0..n {
+        if !toks[i].is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = toks
+            .get(i + 1)
+            .filter(|t| t.kind == TokKind::Ident && !is_keyword(&t.text))
+        else {
+            continue;
+        };
+        let mut j = i + 2;
+        // Generic parameter list. `>` preceded by `-` is an arrow inside
+        // an `Fn(..) -> ..` bound, not a closer.
+        if toks.get(j).is_some_and(|t| t.is_punct('<')) {
+            let mut angle = 1i64;
+            j += 1;
+            while j < n && angle > 0 {
+                if toks[j].is_punct('<') {
+                    angle += 1;
+                } else if toks[j].is_punct('>') && !toks[j - 1].is_punct('-') {
+                    angle -= 1;
+                }
+                j += 1;
+            }
+        }
+        while j < n && !toks[j].is_punct('(') {
+            j += 1;
+        }
+        if j >= n {
+            continue;
+        }
+        // Parameter list: split at top-level commas (parens, brackets,
+        // and angle depth all tracked so generic arguments stay whole).
+        let open = j;
+        let mut depth = 0i64;
+        let mut angle = 0i64;
+        let mut close = open;
+        while close < n {
+            let t = &toks[close];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') && !toks[close - 1].is_punct('-') && angle > 0 {
+                angle -= 1;
+            }
+            close += 1;
+        }
+        let mut params = Vec::new();
+        let mut seg_start = open + 1;
+        let mut k = open + 1;
+        depth = 1;
+        angle = 0;
+        while k <= close && k < n {
+            let t = &toks[k];
+            let at_end = k == close;
+            let at_comma = depth == 1 && angle == 0 && t.is_punct(',');
+            if at_end || at_comma {
+                if let Some(p) = parse_param(&toks[seg_start..k]) {
+                    params.push(p);
+                }
+                seg_start = k + 1;
+            } else if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') && !toks[k - 1].is_punct('-') && angle > 0 {
+                angle -= 1;
+            }
+            k += 1;
+        }
+        // Return type: identifier tokens up to the body, `;`, or the
+        // `where` clause.
+        let mut ret_types = Vec::new();
+        j = close + 1;
+        if toks.get(j).is_some_and(|t| t.is_punct('-'))
+            && toks.get(j + 1).is_some_and(|t| t.is_punct('>'))
+        {
+            j += 2;
+            while j < n
+                && !toks[j].is_punct('{')
+                && !toks[j].is_punct(';')
+                && !toks[j].is_ident("where")
+            {
+                if toks[j].kind == TokKind::Ident && !is_keyword(&toks[j].text) {
+                    ret_types.push(toks[j].text.clone());
+                }
+                j += 1;
+            }
+        }
+        while j < n && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+            j += 1;
+        }
+        let body = if j < n && toks[j].is_punct('{') {
+            let mut d = 1i64;
+            let mut b = j + 1;
+            while b < n && d > 0 {
+                if toks[b].is_punct('{') {
+                    d += 1;
+                } else if toks[b].is_punct('}') {
+                    d -= 1;
+                }
+                b += 1;
+            }
+            Some((j + 1, b.saturating_sub(1)))
+        } else {
+            None
+        };
+        // Innermost enclosing impl block wins (nested impls are rare
+        // but `impl` inside a fn body does occur in tests).
+        let owner = impls
+            .iter()
+            .filter(|((s, e), _)| *s < i && i < *e)
+            .min_by_key(|((s, e), _)| e - s)
+            .map(|(_, o)| o.clone());
+        out.push(FnSym {
+            file: fi,
+            name: name_tok.text.clone(),
+            owner,
+            line: name_tok.line,
+            kw: i,
+            params,
+            ret_types,
+            body,
+        });
+    }
+}
+
+/// Parses one parameter segment: `[mut] name: Type` (receiver `self`
+/// forms yield `None`). Type identifiers are every non-keyword ident
+/// after the `:`.
+fn parse_param(seg: &[Tok]) -> Option<Param> {
+    let mut i = 0;
+    while i < seg.len()
+        && (seg[i].is_punct('&')
+            || seg[i].kind == TokKind::Lifetime
+            || seg[i].is_ident("mut")
+            || seg[i].is_punct('('))
+    {
+        // A leading `(` is a tuple pattern (`(a, b): (f64, f64)`); the
+        // first ident inside still names a binding we can use.
+        i += 1;
+    }
+    let name_tok = seg.get(i)?;
+    if name_tok.kind != TokKind::Ident || name_tok.text == "self" {
+        return None;
+    }
+    let name = name_tok.text.clone();
+    // First `:` that is not part of a `::` path separator.
+    let colon = (0..seg.len()).find(|&p| {
+        seg[p].is_punct(':')
+            && !(p > 0 && seg[p - 1].is_punct(':'))
+            && !seg.get(p + 1).is_some_and(|n| n.is_punct(':'))
+    });
+    let types = match colon {
+        Some(c) => seg[c + 1..]
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident && !is_keyword(&t.text))
+            .map(|t| t.text.clone())
+            .collect(),
+        None => Vec::new(),
+    };
+    Some(Param { name, types })
+}

@@ -1,0 +1,29 @@
+//! Bad fixture: a tag registry with a duplicated value and an encoder
+//! with no decoder. The conformance pass must pin both, plus the
+//! dispatch hole exercised by the mini server in the test.
+
+pub mod tag {
+    pub const REGISTER: u8 = 0x01;
+    pub const EXACT_UPDATE: u8 = 0x02;
+    pub const USER_QUERY: u8 = 0x02;
+}
+
+pub fn encode_register(out: &mut Vec<u8>, id: u64) {
+    out.push(tag::REGISTER);
+    out.extend_from_slice(&id.to_le_bytes());
+}
+
+pub fn decode_register(buf: &[u8]) -> Option<u64> {
+    let (t, rest) = buf.split_first()?;
+    if *t != tag::REGISTER || rest.len() != 8 {
+        return None;
+    }
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(rest);
+    Some(u64::from_le_bytes(raw))
+}
+
+pub fn encode_exact_update(out: &mut Vec<u8>, id: u64) {
+    out.push(tag::EXACT_UPDATE);
+    out.extend_from_slice(&id.to_le_bytes());
+}
