@@ -116,6 +116,19 @@ wait "$NODE0_PID" "$NODE1_PID" 2>/dev/null || true
 rm -rf "$CLUSTER_DIR"
 trap - EXIT
 
+echo "== high-connection smoke (1k+ concurrent loopback connections) =="
+# Each connection costs the server one fd (plus one on the client side
+# inside the same process); skip rather than fail on boxes with a tiny
+# nofile limit.
+CONN_SMOKE_TARGET=1024
+NOFILE=$(ulimit -n)
+if [ "$NOFILE" != "unlimited" ] && [ "$NOFILE" -lt $((CONN_SMOKE_TARGET * 2 + 64)) ]; then
+  echo "skipping: ulimit -n is $NOFILE, need $((CONN_SMOKE_TARGET * 2 + 64)) for $CONN_SMOKE_TARGET connections"
+else
+  ./target/release/repro --conn-smoke "$CONN_SMOKE_TARGET" | tee /tmp/lbsp_conn_smoke.txt
+  grep -q "conn-smoke: $CONN_SMOKE_TARGET connections, .* 0 errors, drained cleanly" /tmp/lbsp_conn_smoke.txt
+fi
+
 echo "== benches compile =="
 cargo bench --workspace --offline --no-run
 

@@ -31,6 +31,16 @@
 //!                                   # JSON document checked in as
 //!                                   # BENCH_cluster.json
 //! ```
+//!
+//! Network benchmarks (see EXPERIMENTS.md E13/E16):
+//! ```text
+//! repro -- --net-sweep              # shard-count and connection-count
+//!                                   # axes; prints the JSON document
+//!                                   # checked in as BENCH_net.json
+//! repro -- --conn-smoke 1024        # N concurrent loopback connections,
+//!                                   # zero-error + clean-drain gate
+//!                                   # (used by ci.sh)
+//! ```
 
 use lbsp_anonymizer::attack::{BoundaryAttack, CenterAttack, OccupancyAttack};
 use lbsp_anonymizer::{
@@ -55,11 +65,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // `--threads N` selects the worker count for the sharded-engine
     // experiment (E12) and, when given alone, runs just that experiment.
-    let threads_flag = args.iter().position(|a| a == "--threads");
-    let threads = threads_flag
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(4);
+    let threads_flag = args
+        .windows(2)
+        .find(|w| w[0] == "--threads")
+        .and_then(|w| w[1].parse::<usize>().ok());
+    let threads = threads_flag.unwrap_or(4);
     // `--serve ADDR` / `--connect ADDR` switch repro into network mode:
     // one process runs the framed TCP service, another drives it with
     // the standard closed-loop workload.
@@ -96,6 +106,13 @@ fn main() {
     }
     if args.iter().any(|a| a == "--net-sweep") {
         net_sweep();
+        return;
+    }
+    if args.iter().any(|a| a == "--conn-smoke") {
+        let conns = flag_value("--conn-smoke")
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(1024);
+        conn_smoke(conns);
         return;
     }
     if args.iter().any(|a| a == "--standing-sweep") {
@@ -275,15 +292,47 @@ fn cluster_verify(addr: &str) {
 /// JSON document checked in as BENCH_cluster.json (progress goes to
 /// stderr so stdout can be redirected into the file).
 fn cluster_sweep() {
-    use lbsp_bench::clusterload::cluster_run;
+    use lbsp_bench::clusterload::cluster_run_concurrent;
     use lbsp_bench::json::{object, Val};
     let users = 300u64;
-    let rounds = 2u32;
+    let rounds = 32u32;
+    let conns = 32usize;
+    // Trials are interleaved across K (all of trial 0, then all of
+    // trial 1, …) and each K reports its best trial: a timed phase is
+    // around half a second, short enough that one co-tenant stall or
+    // scheduler episode skews a whole trial, and interleaving keeps one
+    // bad episode from landing entirely on one cluster size. The K
+    // order flips every cycle so no cluster size always runs first (or
+    // last) in a cycle. The best trial is the machine's actual
+    // capacity.
+    let trials = 6u32;
+    let ks = [1usize, 2, 4];
+    let mut best: Vec<Option<lbsp_bench::clusterload::ClusterReport>> = vec![None; ks.len()];
+    for trial in 0..trials {
+        let mut order: Vec<usize> = (0..ks.len()).collect();
+        if trial % 2 == 1 {
+            order.reverse();
+        }
+        for slot in order {
+            let k = ks[slot];
+            eprintln!(
+                "cluster sweep: trial {}/{trials}, {k} node(s), {conns} conns, {users} users, \
+                 {rounds} rounds…",
+                trial + 1
+            );
+            let r = cluster_run_concurrent(k, conns, users, rounds, 7)
+                .unwrap_or_else(|e| panic!("cluster run (K={k}) failed: {e}"));
+            if best[slot]
+                .as_ref()
+                .is_none_or(|b| r.load.rate() > b.load.rate())
+            {
+                best[slot] = Some(r);
+            }
+        }
+    }
     let mut results = Vec::new();
-    for k in [1usize, 2, 4] {
-        eprintln!("cluster sweep: {k} node(s), {users} users, {rounds} rounds…");
-        let r = cluster_run(k, users, rounds, 7)
-            .unwrap_or_else(|e| panic!("cluster run (K={k}) failed: {e}"));
+    for (slot, &k) in ks.iter().enumerate() {
+        let r = best[slot].expect("at least one trial");
         results.push(object(&[
             ("nodes", Val::U(k as u64)),
             ("requests", Val::U(r.load.requests)),
@@ -296,8 +345,9 @@ fn cluster_sweep() {
     }
     println!(
         "{{\n  \"bench\": \"cluster_throughput\",\n  \"source\": \"repro --cluster\",\n  \
-         \"workload\": \"closed-loop register/update/query through the router\",\n  \
-         \"users\": {users},\n  \"rounds\": {rounds},\n  \"results\": [\n    {}\n  ]\n}}",
+         \"workload\": \"steady-state private range-query serving over concurrent connections \
+         (untimed register-and-place warm-up; best of {trials} trials)\",\n  \
+         \"users\": {users},\n  \"rounds\": {rounds},\n  \"conns\": {conns},\n  \"results\": [\n    {}\n  ]\n}}",
         results.join(",\n    ")
     );
 }
@@ -307,13 +357,13 @@ fn cluster_sweep() {
 /// TCP deployment has a checked-in baseline next to the cluster one.
 fn net_sweep() {
     use lbsp_bench::json::{object, Val};
-    use lbsp_bench::netload::{closed_loop, serve_engine};
+    use lbsp_bench::netload::{closed_loop, concurrent_load, serve_engine};
     use lbsp_net::{NetConfig, NetServer};
     let users = 500u64;
     let rounds = 2u32;
     let mut results = Vec::new();
     for workers in [1usize, 2, 4] {
-        eprintln!("net sweep: {workers} worker(s), {users} users, {rounds} rounds…");
+        eprintln!("net sweep: {workers} shard(s), {users} users, {rounds} rounds…");
         let server = NetServer::bind(
             "127.0.0.1:0",
             serve_engine(),
@@ -333,12 +383,115 @@ fn net_sweep() {
             ("bytes_out", Val::U(snap.bytes_out)),
         ]));
     }
+    // Connection-count axis: fixed total work and a fixed shard count,
+    // spread over ever more sockets. Thread-per-connection servers fall
+    // off a cliff here; the sharded poller must hold its rate with zero
+    // errors and zero protective disconnects at ≥ 1k connections.
+    let conn_users = 1024u64;
+    let conn_rounds = 2u32;
+    let mut conn_results = Vec::new();
+    for conns in [1usize, 8, 64, 256, 1024] {
+        eprintln!("net sweep: {conns} connection(s), {conn_users} users, {conn_rounds} rounds…");
+        let cfg = NetConfig {
+            accept_backlog: conns.max(64),
+            ..NetConfig::default()
+        };
+        let server = NetServer::bind("127.0.0.1:0", serve_engine(), cfg).expect("bind loopback");
+        let report = concurrent_load(server.local_addr(), conns, conn_users, conn_rounds, 7)
+            .expect("concurrent loopback workload");
+        let snap = server.counters().snapshot();
+        server.shutdown();
+        conn_results.push(object(&[
+            ("conns", Val::U(conns as u64)),
+            ("requests", Val::U(report.requests)),
+            ("secs", Val::F((report.secs * 1e3).round() / 1e3)),
+            ("rate", Val::F(report.rate().round())),
+            ("errors", Val::U(report.errors)),
+            ("refused", Val::U(snap.connections_refused)),
+            ("slow_disconnects", Val::U(snap.slow_disconnects)),
+            ("idle_disconnects", Val::U(snap.idle_disconnects)),
+        ]));
+    }
     println!(
         "{{\n  \"bench\": \"net_throughput\",\n  \"source\": \"repro --net-sweep\",\n  \
          \"workload\": \"closed-loop register/update/query over loopback TCP\",\n  \
-         \"users\": {users},\n  \"rounds\": {rounds},\n  \"results\": [\n    {}\n  ]\n}}",
-        results.join(",\n    ")
+         \"users\": {users},\n  \"rounds\": {rounds},\n  \"results\": [\n    {}\n  ],\n  \
+         \"conn_workload\": \"concurrent local-movement closed loop, 4 shards\",\n  \
+         \"conn_users\": {conn_users},\n  \"conn_rounds\": {conn_rounds},\n  \
+         \"conn_results\": [\n    {}\n  ]\n}}",
+        results.join(",\n    "),
+        conn_results.join(",\n    ")
     );
+}
+
+/// `--conn-smoke N`: holds N simultaneous connections against one
+/// sharded-poller server and proves they all stay served — every
+/// connection answers a ping when opened and again once all N are up,
+/// then the server drains cleanly. Exits nonzero (and says why) if any
+/// request errs or any connection is refused or protectively
+/// disconnected; the final line is stable for CI to grep.
+fn conn_smoke(conns: usize) {
+    use lbsp_net::{NetClient, NetConfig, NetServer, Reply};
+    use std::time::Duration;
+    let cfg = NetConfig {
+        accept_backlog: conns.max(64),
+        ..NetConfig::default()
+    };
+    let server = NetServer::bind("127.0.0.1:0", lbsp_bench::netload::serve_engine(), cfg)
+        .expect("bind loopback");
+    let addr = server.local_addr();
+    eprintln!("conn smoke: opening {conns} connections against {addr}…");
+    let mut clients = Vec::with_capacity(conns);
+    let mut requests = 0u64;
+    let mut errors = 0u64;
+    for i in 0..conns {
+        let mut c = NetClient::connect(addr)
+            .unwrap_or_else(|e| panic!("connection {i} refused after {} open: {e}", clients.len()));
+        c.set_read_timeout(Some(Duration::from_secs(30))).ok();
+        c.set_write_timeout(Some(Duration::from_secs(30))).ok();
+        match c.ping(format!("open-{i}").as_bytes()) {
+            Ok(Reply::Pong(_)) => requests += 1,
+            other => {
+                errors += 1;
+                eprintln!("connection {i} first ping failed: {other:?}");
+            }
+        }
+        clients.push(c);
+    }
+    // Every socket again, now that all N are resident on the shards.
+    for (i, c) in clients.iter_mut().enumerate() {
+        match c.ping(format!("held-{i}").as_bytes()) {
+            Ok(Reply::Pong(_)) => requests += 1,
+            other => {
+                errors += 1;
+                eprintln!("connection {i} held ping failed: {other:?}");
+            }
+        }
+    }
+    let snap = server.counters().snapshot();
+    drop(clients);
+    server.shutdown();
+    let ok = errors == 0
+        && snap.errors_returned == 0
+        && snap.frames_rejected == 0
+        && snap.connections_refused == 0
+        && snap.slow_disconnects == 0
+        && snap.idle_disconnects == 0
+        && snap.connections_accepted >= conns as u64;
+    if !ok {
+        eprintln!(
+            "conn smoke FAILED: errors {errors}, server errors {}, rejected {}, refused {}, \
+             slow {}, idle {}, accepted {}",
+            snap.errors_returned,
+            snap.frames_rejected,
+            snap.connections_refused,
+            snap.slow_disconnects,
+            snap.idle_disconnects,
+            snap.connections_accepted,
+        );
+        std::process::exit(1);
+    }
+    println!("conn-smoke: {conns} connections, {requests} requests, 0 errors, drained cleanly");
 }
 
 /// `--standing-sweep`: standing-count maintenance cost as a
@@ -429,9 +582,11 @@ fn e15_cluster() {
          frames and replicating the position/cloak planes so every cloak sees\n\
          the global population. Claim: replies are byte-identical to one\n\
          sequential engine at every K (asserted by tests/cluster.rs); this\n\
-         table prices the cluster layer — the router serializes requests, so\n\
-         K>1 buys per-node isolation (own WAL, engine, worker pool), not\n\
-         aggregate throughput, and the broadcast fan-out grows with K.\n"
+         table prices the cluster layer for ONE closed-loop client — a\n\
+         single client can never overlap two requests, so what it sees is\n\
+         the O(K) shadow/cloak-ingest fan-out every update pays. The\n\
+         concurrent steady-state sweep (repro --cluster, BENCH_cluster.json)\n\
+         is where K nodes buy throughput back.\n"
     );
     header(&[
         "nodes",

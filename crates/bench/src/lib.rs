@@ -163,6 +163,87 @@ pub mod netload {
             errors,
         })
     }
+
+    /// Concurrent closed-loop load: `conns` connections driven from
+    /// `conns` threads, each owning a strided slice of the `users` id
+    /// space. Each connection registers its users, then drives `rounds`
+    /// passes of *local-movement* updates (small jitter around a fixed
+    /// home point — the paper's mobility shape, and the case partitioned
+    /// deployments care about) with a range query every 4th user.
+    ///
+    /// This is the connection-count axis of the network benchmark: the
+    /// sharded poller serves all `conns` sockets from a fixed shard
+    /// count, so the measured rate exposes per-connection overhead
+    /// directly. Against a cluster router it is also what makes K > 1
+    /// pay: requests owned by distinct nodes proceed concurrently.
+    pub fn concurrent_load(
+        addr: std::net::SocketAddr,
+        conns: usize,
+        users: u64,
+        rounds: u32,
+        seed: u64,
+    ) -> io::Result<LoadReport> {
+        let conns = conns.max(1);
+        let start = Instant::now();
+        let handles: Vec<std::thread::JoinHandle<io::Result<(u64, u64)>>> = (0..conns)
+            .map(|c| {
+                std::thread::spawn(move || -> io::Result<(u64, u64)> {
+                    let mut client = NetClient::connect(addr)?;
+                    client.set_read_timeout(Some(Duration::from_secs(30)))?;
+                    client.set_write_timeout(Some(Duration::from_secs(30)))?;
+                    let mut rng = StdRng::seed_from_u64(
+                        seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let mine: Vec<u64> = (0..users).filter(|u| *u as usize % conns == c).collect();
+                    let homes: Vec<Point> = mine
+                        .iter()
+                        .map(|_| Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+                        .collect();
+                    let mut requests = 0u64;
+                    let mut errors = 0u64;
+                    let mut tally = |reply: &Reply| {
+                        requests += 1;
+                        if matches!(reply, Reply::Error(_)) {
+                            errors += 1;
+                        }
+                    };
+                    for (j, &u) in mine.iter().enumerate() {
+                        let k = [2u32, 5, 10, 25][j % 4];
+                        tally(&client.register(u, k, 0.0, f64::INFINITY)?);
+                    }
+                    for round in 0..rounds {
+                        for (j, &u) in mine.iter().enumerate() {
+                            let home = homes[j];
+                            let p = Point::new(
+                                (home.x + rng.random_range(-0.02f64..0.02)).clamp(0.0, 1.0),
+                                (home.y + rng.random_range(-0.02f64..0.02)).clamp(0.0, 1.0),
+                            );
+                            let t = SimTime::from_secs(f64::from(round) * 60.0 + j as f64 * 1e-3);
+                            tally(&client.update(u, p, t)?);
+                            if j % 4 == 0 {
+                                tally(&client.range_query(u, 0.05, t)?);
+                            }
+                        }
+                    }
+                    Ok((requests, errors))
+                })
+            })
+            .collect();
+        let mut requests = 0u64;
+        let mut errors = 0u64;
+        for h in handles {
+            let (r, e) = h
+                .join()
+                .map_err(|_| io::Error::other("load thread panicked"))??;
+            requests += r;
+            errors += e;
+        }
+        Ok(LoadReport {
+            requests,
+            secs: start.elapsed().as_secs_f64(),
+            errors,
+        })
+    }
 }
 
 /// Cluster workloads: K `NetServer` nodes plus a routing front door on
@@ -206,6 +287,141 @@ pub mod clusterload {
             load,
             handoffs: report.handoffs,
             route_failures: report.route_failures,
+        })
+    }
+
+    /// Like [`cluster_run`] but measures the *steady-state serving
+    /// rate* over `conns` concurrent connections, the workload where
+    /// concurrent forwarding shows: with one closed-loop client the
+    /// router can never overlap two requests no matter how it forwards.
+    ///
+    /// The run has two phases. An untimed warm-up registers every user
+    /// and places it at its home point — absorbing the one-time
+    /// owner migrations (users start on node 0 and hand off to their
+    /// home region on first update). The timed phase then measures
+    /// query serving: `rounds` passes issuing one private range query
+    /// per user. Queries are the operation the paper's server exists to
+    /// answer, and the one whose cost the cluster holds flat as K grows
+    /// — each routes to the single owning node, because updates mirror
+    /// to every node (an O(K) fan-out priced into the update path, and
+    /// measured by `cluster_throughput`'s update-heavy closed loop).
+    pub fn cluster_run_concurrent(
+        k: usize,
+        conns: usize,
+        users: u64,
+        rounds: u32,
+        seed: u64,
+    ) -> io::Result<ClusterReport> {
+        let servers: Vec<NetServer> = (0..k.max(1))
+            .map(|_| NetServer::bind("127.0.0.1:0", serve_engine(), NetConfig::default()))
+            .collect::<io::Result<_>>()?;
+        let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+        let addr_refs: Vec<&str> = addrs.iter().map(|s| s.as_str()).collect();
+        // The router front door is a thread-per-connection worker pool;
+        // give it one worker per driven connection so the client side
+        // is never queued behind itself.
+        let mut net = NetConfig::default();
+        net.workers = conns.max(net.workers);
+        net.accept_backlog = conns.max(net.accept_backlog);
+        let cfg = RouterConfig {
+            net,
+            ..RouterConfig::default()
+        };
+        let router = Router::bind("127.0.0.1:0", &addr_refs, world(), cfg)?;
+        let load = steady_load(router.local_addr(), conns, users, rounds, seed)?;
+        let report = router.shutdown();
+        for s in servers {
+            s.shutdown();
+        }
+        Ok(ClusterReport {
+            load,
+            handoffs: report.handoffs,
+            route_failures: report.route_failures,
+        })
+    }
+
+    /// The two-phase concurrent driver behind [`cluster_run_concurrent`]:
+    /// untimed register-and-place warm-up, then a barrier-synchronized
+    /// timed phase of query serving. Only timed-phase requests count
+    /// toward the reported rate; error replies from either phase count
+    /// as errors.
+    fn steady_load(
+        addr: std::net::SocketAddr,
+        conns: usize,
+        users: u64,
+        rounds: u32,
+        seed: u64,
+    ) -> io::Result<LoadReport> {
+        use lbsp_geom::{Point, SimTime};
+        use lbsp_net::{NetClient, Reply};
+        use rand::rngs::StdRng;
+        use rand::{RngExt as _, SeedableRng};
+        use std::sync::{Arc, Barrier};
+        use std::time::{Duration, Instant};
+
+        let conns = conns.max(1);
+        let barrier = Arc::new(Barrier::new(conns + 1));
+        let handles: Vec<std::thread::JoinHandle<io::Result<(u64, u64)>>> = (0..conns)
+            .map(|c| {
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || -> io::Result<(u64, u64)> {
+                    let mut client = NetClient::connect(addr)?;
+                    client.set_read_timeout(Some(Duration::from_secs(30)))?;
+                    client.set_write_timeout(Some(Duration::from_secs(30)))?;
+                    let mut rng = StdRng::seed_from_u64(
+                        seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let mine: Vec<u64> = (0..users).filter(|u| *u as usize % conns == c).collect();
+                    let homes: Vec<Point> = mine
+                        .iter()
+                        .map(|_| Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+                        .collect();
+                    let mut errors = 0u64;
+                    for (j, &u) in mine.iter().enumerate() {
+                        let k = [2u32, 5, 10, 25][j % 4];
+                        if matches!(client.register(u, k, 0.0, f64::INFINITY)?, Reply::Error(_)) {
+                            errors += 1;
+                        }
+                        let t = SimTime::from_secs(j as f64 * 1e-3);
+                        if matches!(client.update(u, homes[j], t)?, Reply::Error(_)) {
+                            errors += 1;
+                        }
+                    }
+                    barrier.wait();
+                    let mut requests = 0u64;
+                    let mut tally = |reply: &Reply| {
+                        requests += 1;
+                        if matches!(reply, Reply::Error(_)) {
+                            errors += 1;
+                        }
+                    };
+                    for round in 0..rounds {
+                        for (j, &u) in mine.iter().enumerate() {
+                            let t = SimTime::from_secs(
+                                60.0 + f64::from(round) * 60.0 + j as f64 * 1e-3,
+                            );
+                            tally(&client.range_query(u, 0.05, t)?);
+                        }
+                    }
+                    Ok((requests, errors))
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        let mut requests = 0u64;
+        let mut errors = 0u64;
+        for h in handles {
+            let (r, e) = h
+                .join()
+                .map_err(|_| io::Error::other("load thread panicked"))??;
+            requests += r;
+            errors += e;
+        }
+        Ok(LoadReport {
+            requests,
+            secs: start.elapsed().as_secs_f64(),
+            errors,
         })
     }
 }

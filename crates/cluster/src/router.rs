@@ -1,7 +1,7 @@
 //! The cluster's routing front door.
 //!
 //! A [`Router`] speaks the ordinary client wire protocol on its public
-//! socket and owns one [`NetClient`] connection to each cluster node.
+//! socket and owns one pipelined connection to each cluster node.
 //! Clients never learn the cluster topology: they connect to the router
 //! exactly as they would to a single [`lbsp_net::NetServer`], and the
 //! router forwards each request to the node owning it.
@@ -32,22 +32,39 @@
 //!   [`wire::tag::HANDOFF_PUSH`] installs it on the new owner.
 //!
 //! Standing-query registrations and deregistrations are broadcast to
-//! every node in node order, which keeps the per-kind id counters in
-//! lockstep cluster-wide; the client sees node 0's reply. Deltas pushed
-//! by whichever node processed an update are fanned out to subscribed
+//! every node, which keeps the per-kind id counters in lockstep
+//! cluster-wide; the client sees node 0's reply. Deltas pushed by
+//! whichever node processed an update are fanned out to subscribed
 //! router connections through the same subscription-table idiom the
 //! single-node server uses.
 //!
-//! ## Ordering
+//! ## Concurrency
 //!
-//! All client requests serialize through one router-core mutex
-//! ([`LockRank::ClusterRouter`], the outermost rank). Combined with
-//! closed-loop acknowledgements for every internal frame, this gives
-//! the cluster one global request order — the property the
-//! byte-identity guarantee rests on. Router throughput therefore scales
-//! with connection *handling* (framing, socket I/O), not request
-//! execution; the scaling win is that each node runs its own engine,
-//! WAL, and worker pool.
+//! Each node connection is a [`NodeChannel`]: a pipelined send half
+//! (serialized by a [`LockRank::ClusterNode`] mutex) plus a dedicated
+//! reader thread that matches reply frames to an in-order ticket queue.
+//! A routed request *begins* every hop it needs — the `EXACT_UPDATE` to
+//! the owner and the `SHADOW_UPDATE` mirrors to every other node — and
+//! only then *waits* for the replies, so one update costs roughly two
+//! node round-trips regardless of cluster size, and updates owned by
+//! distinct nodes make progress concurrently.
+//!
+//! What replaces the old global request mutex is a single
+//! [`LockRank::ClusterRouter`] read/write gate. Per-user requests
+//! (updates, queries, registrations of a user) hold it *shared*;
+//! operations whose correctness depends on every node observing them at
+//! the same point in the request stream — standing-query broadcasts,
+//! which must keep the per-kind id counters in lockstep, and ownership
+//! handoffs — hold it *exclusive*, quiescing in-flight updates first.
+//! The ownership tables themselves live under a short
+//! [`LockRank::ClusterCore`] mutex that is never held across node I/O.
+//!
+//! Single-connection ordering is unchanged: a closed-loop client still
+//! observes byte-identical replies to the sequential engine, because
+//! its own requests never overlap. Requests racing on *different*
+//! connections for the *same* user keep the single-node doctrine — one
+//! device is one connection, and cross-device races settle on whichever
+//! hop reaches the owner first.
 //!
 //! ## Failure doctrine
 //!
@@ -60,10 +77,10 @@
 
 use crate::partition::PartitionMap;
 use lbsp_core::metrics::NetCounters;
-use lbsp_core::{wire, LockRank, MetricsRegistry, TrackedMutex};
+use lbsp_core::{wire, LockRank, MetricsRegistry, TrackedMutex, TrackedRwLock};
 use lbsp_geom::Rect;
 use lbsp_net::frame::write_frame;
-use lbsp_net::{Frame, FrameReader, NetClient, NetConfig, Poll, Reply};
+use lbsp_net::{classify_reply, Frame, FrameReader, NetConfig, Poll, Reply, MAX_FRAME_LEN};
 use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -112,22 +129,257 @@ pub struct RouterReport {
     pub requests_served: u64,
 }
 
-/// One cluster node as the router sees it.
-struct Node {
-    addr: String,
-    /// Lazily-established closed-loop connection.
-    client: Option<NetClient>,
-    /// Set on the first connect or I/O failure; never cleared — a dead
-    /// node answers [`wire::tag::ROUTE_FAIL`] for the router's lifetime.
-    dead: bool,
+/// What one reader thread hands back for one ticket: the reply frame
+/// plus any standing-delta payloads that rode ahead of it.
+type TicketResult = io::Result<(Frame, Vec<Vec<u8>>)>;
+
+/// One outstanding request on a node channel, waiting for its reply.
+struct Ticket {
+    tx: mpsc::SyncSender<TicketResult>,
 }
 
-/// The router's serialized core: the partition map, per-node
-/// connections, and the ownership tables.
-struct Core {
-    partition: PartitionMap,
-    nodes: Vec<Node>,
+/// The mutable send half of a node channel, serialized so pipelined
+/// frames (and their tickets) leave in one well-defined order.
+struct SendHalf {
+    /// Write half of the node socket, connected lazily.
+    stream: Option<TcpStream>,
+    /// Hands tickets to the reader thread in send order.
+    tickets: Option<mpsc::Sender<Ticket>>,
+    /// The reader thread, joined on router shutdown.
+    reader: Option<JoinHandle<()>>,
+}
+
+/// A pipelined connection to one cluster node: requests are written
+/// under a short send lock (ticket first, then frame, so the reader
+/// always finds the ticket queued before the reply can arrive) and
+/// replies are matched to tickets in order by a dedicated reader
+/// thread. Multiple requests may be in flight at once; per-node frame
+/// order is exactly ticket order.
+struct NodeChannel {
+    index: usize,
+    addr: String,
     node_timeout: Duration,
+    /// Set on the first connect or I/O failure; never cleared — a dead
+    /// node answers [`wire::tag::ROUTE_FAIL`] for the router's lifetime.
+    dead: Arc<AtomicBool>,
+    send: TrackedMutex<SendHalf>,
+}
+
+/// A begun call on a [`NodeChannel`]; [`PendingCall::wait`] blocks for
+/// the reply. Dropping it without waiting is safe — the reader consumes
+/// the reply and discards it, keeping the pipeline aligned.
+struct PendingCall<'a> {
+    channel: &'a NodeChannel,
+    rx: mpsc::Receiver<TicketResult>,
+}
+
+impl NodeChannel {
+    fn new(index: usize, addr: String, node_timeout: Duration) -> NodeChannel {
+        NodeChannel {
+            index,
+            addr,
+            node_timeout,
+            dead: Arc::new(AtomicBool::new(false)),
+            send: TrackedMutex::new(
+                LockRank::ClusterNode,
+                SendHalf {
+                    stream: None,
+                    tickets: None,
+                    reader: None,
+                },
+            ),
+        }
+    }
+
+    fn down_error(&self) -> io::Error {
+        io::Error::new(
+            io::ErrorKind::NotConnected,
+            format!("node {} at {} is down", self.index, self.addr),
+        )
+    }
+
+    fn failed_error(&self, e: &io::Error) -> io::Error {
+        io::Error::new(
+            io::ErrorKind::NotConnected,
+            format!("node {} at {} failed: {e}", self.index, self.addr),
+        )
+    }
+
+    /// Marks the node dead and shuts the socket down, which makes the
+    /// reader thread exit promptly and fail every outstanding ticket.
+    fn kill(&self) {
+        self.dead.store(true, Ordering::Relaxed);
+        let mut send = self.send.lock();
+        if let Some(s) = send.stream.take() {
+            // Qualified call: `s.shutdown(..)` would collide with
+            // `Router::shutdown` in the lint's same-file call
+            // resolution and manufacture a phantom lock edge.
+            let _ = TcpStream::shutdown(&s, Shutdown::Both);
+        }
+        send.tickets = None;
+    }
+
+    /// Shutdown path: kill the channel and join its reader.
+    fn close(&self) {
+        self.kill();
+        let reader = self.send.lock().reader.take();
+        if let Some(h) = reader {
+            let _ = h.join();
+        }
+    }
+
+    /// Sends one request frame and returns a handle to its future
+    /// reply. Errors when the node is dead, unreachable, or the write
+    /// fails — each with the message shape the failure doctrine
+    /// promises.
+    fn begin(&self, tag: u8, payload: &[u8]) -> io::Result<PendingCall<'_>> {
+        if self.dead.load(Ordering::Relaxed) {
+            return Err(self.down_error());
+        }
+        let mut send = self.send.lock();
+        // A racing call may have killed the channel while we waited for
+        // the send lock.
+        if self.dead.load(Ordering::Relaxed) {
+            return Err(self.down_error());
+        }
+        if send.stream.is_none() {
+            match self.connect() {
+                Ok((wstream, rstream)) => {
+                    let (ticket_tx, ticket_rx) = mpsc::channel::<Ticket>();
+                    send.reader = Some(spawn_node_reader(
+                        rstream,
+                        ticket_rx,
+                        Arc::clone(&self.dead),
+                    ));
+                    send.stream = Some(wstream);
+                    send.tickets = Some(ticket_tx);
+                }
+                Err(e) => {
+                    self.dead.store(true, Ordering::Relaxed);
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotConnected,
+                        format!("node {} at {} is unreachable: {e}", self.index, self.addr),
+                    ));
+                }
+            }
+        }
+        let (tx, rx) = mpsc::sync_channel::<TicketResult>(1);
+        // Ticket before frame: the reply cannot arrive before the
+        // request bytes leave, so the reader always finds the ticket
+        // already queued when it pops the reply.
+        if let Some(tickets) = &send.tickets {
+            let _ = tickets.send(Ticket { tx });
+        }
+        let written = match send.stream.as_mut() {
+            Some(s) => write_frame(s, tag, payload, MAX_FRAME_LEN),
+            None => Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "channel has no stream",
+            )),
+        };
+        drop(send);
+        if let Err(e) = written {
+            self.kill();
+            return Err(self.failed_error(&e));
+        }
+        Ok(PendingCall { channel: self, rx })
+    }
+
+    /// Establishes the node connection: write half + cloned read half
+    /// for the reader thread.
+    fn connect(&self) -> io::Result<(TcpStream, TcpStream)> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_write_timeout(Some(self.node_timeout)).ok();
+        let rstream = stream.try_clone()?;
+        rstream.set_read_timeout(Some(self.node_timeout)).ok();
+        Ok((stream, rstream))
+    }
+}
+
+/// The per-channel reply demultiplexer: stashes standing-delta pushes,
+/// matches every other frame to the next ticket in send order, and on
+/// any connection failure marks the node dead and fails the remaining
+/// tickets so no caller ever hangs past its own timeout.
+fn spawn_node_reader(
+    mut stream: TcpStream,
+    tickets: mpsc::Receiver<Ticket>,
+    dead: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut reader = FrameReader::new(MAX_FRAME_LEN);
+        let mut pushed: Vec<Vec<u8>> = Vec::new();
+        loop {
+            if dead.load(Ordering::Relaxed) {
+                break;
+            }
+            match reader.poll(&mut stream) {
+                Ok(Poll::Frame(f)) if f.tag == wire::tag::STANDING_DELTA => {
+                    pushed.push(f.payload);
+                }
+                Ok(Poll::Frame(f)) => match tickets.try_recv() {
+                    Ok(t) => {
+                        let _ = t.tx.send(Ok((f, std::mem::take(&mut pushed))));
+                    }
+                    // A reply with no request outstanding: the stream
+                    // desynchronized; kill the channel.
+                    Err(_) => break,
+                },
+                // Read-timeout tick — liveness deadlines belong to the
+                // waiting callers, not the reader.
+                Ok(Poll::Pending) => {}
+                Ok(Poll::Eof) | Err(_) => break,
+            }
+        }
+        dead.store(true, Ordering::Relaxed);
+        while let Ok(t) = tickets.try_recv() {
+            let _ = t.tx.send(Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "node connection lost",
+            )));
+        }
+    })
+}
+
+impl PendingCall<'_> {
+    /// Blocks for the reply; delta pushes that rode ahead of it are
+    /// appended to `deltas`. A timeout, transport failure, or
+    /// protocol-violating reply kills the node.
+    fn wait(self, deltas: &mut DeltaBatch) -> io::Result<Outbound> {
+        match self.rx.recv_timeout(self.channel.node_timeout) {
+            Ok(Ok((frame, pushed))) => {
+                for bytes in pushed {
+                    if let Some(key) = delta_key(&bytes) {
+                        deltas.push((key, bytes));
+                    }
+                }
+                match classify_reply(frame) {
+                    Ok(reply) => Ok(reply_frame(reply)),
+                    Err(e) => {
+                        self.channel.kill();
+                        Err(self.channel.failed_error(&e))
+                    }
+                }
+            }
+            Ok(Err(e)) => {
+                self.channel.kill();
+                Err(self.channel.failed_error(&e))
+            }
+            Err(_) => {
+                self.channel.kill();
+                Err(self.channel.failed_error(&io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "timed out waiting for reply",
+                )))
+            }
+        }
+    }
+}
+
+/// The ownership bookkeeping, held only for table lookups — never
+/// across node I/O.
+#[derive(Default)]
+struct Tables {
     /// Registered user → node currently holding the single-copy state.
     owner: HashMap<u64, usize>,
     /// Standing-range query id → subject user (routes snapshots to the
@@ -137,8 +389,8 @@ struct Core {
     handoffs: u64,
 }
 
-/// Subscription actions the core requests; applied after its lock is
-/// released so the subscription table never nests inside the core.
+/// Subscription actions the core requests; applied after routing so the
+/// subscription table never nests inside the routing path.
 enum SubAction {
     /// Subscribe the requesting connection to a standing-query key.
     Subscribe((u8, u64)),
@@ -146,96 +398,41 @@ enum SubAction {
     DropQuery((u8, u64)),
 }
 
+/// The router's routing core: the partition map, one pipelined channel
+/// per node, the request gate, and the ownership tables.
+struct Core {
+    partition: PartitionMap,
+    channels: Vec<NodeChannel>,
+    /// The request gate. Shared by per-user routes; exclusive quiesces
+    /// the cluster for operations every node must observe at the same
+    /// point in the request stream (standing broadcasts, handoffs).
+    gate: TrackedRwLock<()>,
+    tables: TrackedMutex<Tables>,
+}
+
 impl Core {
-    /// The live closed-loop connection to node `i`, established on
-    /// first use. Errors when the node is (or just became) dead.
-    fn client(&mut self, i: usize) -> io::Result<&mut NetClient> {
-        let timeout = self.node_timeout;
-        let node = self
-            .nodes
-            .get_mut(i)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no node {i}")))?;
-        if node.dead {
-            return Err(io::Error::new(
-                io::ErrorKind::NotConnected,
-                format!("node {i} at {} is down", node.addr),
-            ));
-        }
-        if node.client.is_none() {
-            match NetClient::connect(&node.addr) {
-                Ok(c) => {
-                    c.set_read_timeout(Some(timeout)).ok();
-                    c.set_write_timeout(Some(timeout)).ok();
-                    node.client = Some(c);
-                }
-                Err(e) => {
-                    node.dead = true;
-                    return Err(io::Error::new(
-                        io::ErrorKind::NotConnected,
-                        format!("node {i} at {} is unreachable: {e}", node.addr),
-                    ));
-                }
-            }
-        }
-        node.client.as_mut().ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::NotConnected,
-                format!("node {i} has no connection"),
-            )
-        })
+    fn channel(&self, i: usize) -> io::Result<&NodeChannel> {
+        self.channels
+            .get(i)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no node {i}")))
     }
 
-    /// Marks node `i` dead and drops its connection.
-    fn kill(&mut self, i: usize) {
-        if let Some(node) = self.nodes.get_mut(i) {
-            node.dead = true;
-            node.client = None;
-        }
-    }
-
-    /// One closed-loop request to node `i`. On success the reply is
-    /// returned as a client-facing frame and any standing-delta pushes
-    /// that rode ahead of it are appended to `deltas`; on I/O failure
-    /// the node is marked dead.
+    /// One closed-loop request to node `i` (begin + wait).
     fn call(
-        &mut self,
+        &self,
         i: usize,
         tag: u8,
         payload: &[u8],
         deltas: &mut DeltaBatch,
     ) -> io::Result<Outbound> {
-        let sent = self.client(i)?.request(tag, payload);
-        match sent {
-            Ok(reply) => {
-                if let Some(c) = self.nodes.get_mut(i).and_then(|n| n.client.as_mut()) {
-                    for bytes in c.take_standing_deltas() {
-                        if let Some(key) = delta_key(&bytes) {
-                            deltas.push((key, bytes));
-                        }
-                    }
-                }
-                Ok(reply_frame(reply))
-            }
-            Err(e) => {
-                let addr = self
-                    .nodes
-                    .get(i)
-                    .map(|n| n.addr.clone())
-                    .unwrap_or_default();
-                self.kill(i);
-                Err(io::Error::new(
-                    io::ErrorKind::NotConnected,
-                    format!("node {i} at {addr} failed: {e}"),
-                ))
-            }
-        }
+        self.channel(i)?.begin(tag, payload)?.wait(deltas)
     }
 
     /// Like [`Core::call`] but for cluster-internal frames whose only
     /// acceptable answer is `OK`; anything else is a cluster-consistency
     /// failure and surfaces loudly.
     fn expect_ok(
-        &mut self,
+        &self,
         i: usize,
         tag: u8,
         payload: &[u8],
@@ -255,10 +452,48 @@ impl Core {
         }
     }
 
+    /// Waits a batch of concurrently-begun internal calls, requiring
+    /// `OK` from each. Every call is consumed even after a failure (the
+    /// pipeline stays aligned); the first failure in node order wins.
+    fn wait_all_ok(
+        &self,
+        tag: u8,
+        calls: Vec<(usize, PendingCall<'_>)>,
+        deltas: &mut DeltaBatch,
+    ) -> io::Result<()> {
+        let mut first_err: Option<io::Error> = None;
+        for (i, call) in calls {
+            match call.wait(deltas) {
+                Ok((rtag, _)) if rtag == wire::tag::OK => {}
+                Ok((_, body)) => {
+                    if first_err.is_none() {
+                        first_err = Some(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "node {i} rejected internal frame 0x{tag:02x}: {}",
+                                String::from_utf8_lossy(&body)
+                            ),
+                        ));
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     /// Migrates `user`'s single-copy state from node `from` to node
-    /// `to`: pull, push, then flip the ownership table.
+    /// `to`: pull, push, then flip the ownership table. Caller holds
+    /// the exclusive gate.
     fn handoff(
-        &mut self,
+        &self,
         user: u64,
         from: usize,
         to: usize,
@@ -280,8 +515,9 @@ impl Core {
             ));
         }
         self.expect_ok(to, wire::tag::HANDOFF_PUSH, &pull.1, deltas)?;
-        self.owner.insert(user, to);
-        self.handoffs += 1;
+        let mut tables = self.tables.lock();
+        tables.owner.insert(user, to);
+        tables.handoffs += 1;
         Ok(())
     }
 
@@ -289,7 +525,7 @@ impl Core {
     /// request is unreachable (or broke cluster consistency); the
     /// caller turns it into a [`wire::tag::ROUTE_FAIL`] reply.
     fn route(
-        &mut self,
+        &self,
         frame: &Frame,
         deltas: &mut DeltaBatch,
         subs_out: &mut Vec<SubAction>,
@@ -306,45 +542,49 @@ impl Core {
             // special-case — is forwarded verbatim to node 0, whose
             // reply (typically an error with the same text a single
             // server would produce) is relayed unchanged.
-            _ => self
-                .call(0, frame.tag, &frame.payload, deltas)
-                .map(|f| vec![f]),
+            _ => {
+                let _gate = self.gate.read();
+                self.call(0, frame.tag, &frame.payload, deltas)
+                    .map(|f| vec![f])
+            }
         }
     }
 
-    fn route_register(
-        &mut self,
-        frame: &Frame,
-        deltas: &mut DeltaBatch,
-    ) -> io::Result<Vec<Outbound>> {
+    fn route_register(&self, frame: &Frame, deltas: &mut DeltaBatch) -> io::Result<Vec<Outbound>> {
         let Some(msg) = wire::decode_register(&frame.payload) else {
             // Malformed: let node 0 produce the canonical error text.
+            let _gate = self.gate.read();
             return self
                 .call(0, frame.tag, &frame.payload, deltas)
                 .map(|f| vec![f]);
         };
+        let _gate = self.gate.read();
         // Re-registration refreshes the profile wherever it currently
         // lives; new users start on node 0 and migrate on first update.
-        let target = self.owner.get(&msg.user).copied().unwrap_or(0);
+        let target = self
+            .tables
+            .lock()
+            .owner
+            .get(&msg.user)
+            .copied()
+            .unwrap_or(0);
         let reply = self.call(target, frame.tag, &frame.payload, deltas)?;
         if reply.0 == wire::tag::OK {
-            self.owner.insert(msg.user, target);
+            self.tables.lock().owner.insert(msg.user, target);
         }
         Ok(vec![reply])
     }
 
-    fn route_update(
-        &mut self,
-        frame: &Frame,
-        deltas: &mut DeltaBatch,
-    ) -> io::Result<Vec<Outbound>> {
+    fn route_update(&self, frame: &Frame, deltas: &mut DeltaBatch) -> io::Result<Vec<Outbound>> {
         let Some(msg) = wire::decode_exact_update(&frame.payload) else {
+            let _gate = self.gate.read();
             return self
                 .call(0, frame.tag, &frame.payload, deltas)
                 .map(|f| vec![f]);
         };
         let target = self.partition.node_of(msg.position);
-        let Some(cur) = self.owner.get(&msg.user).copied() else {
+        let gate = self.gate.read();
+        let Some(cur) = self.tables.lock().owner.get(&msg.user).copied() else {
             // Never registered through this router: the node refuses
             // with the same unknown-user error the sequential engine
             // gives, and no node's position plane moves — a reference
@@ -353,65 +593,164 @@ impl Core {
                 .call(target, frame.tag, &frame.payload, deltas)
                 .map(|f| vec![f]);
         };
+        if cur == target {
+            return self.fan_out_update(target, frame, deltas);
+        }
+        // Boundary crossing: trade the shared gate for the exclusive
+        // one, which quiesces in-flight updates so the handoff is the
+        // only thing the cluster observes.
+        drop(gate);
+        let _gate = self.gate.write();
+        // Re-check under the exclusive gate — another crossing of the
+        // same user may have won it first.
+        let cur = self
+            .tables
+            .lock()
+            .owner
+            .get(&msg.user)
+            .copied()
+            .unwrap_or(cur);
         if cur != target {
             self.handoff(msg.user, cur, target, deltas)?;
         }
-        let reply = self.call(target, wire::tag::EXACT_UPDATE, &frame.payload, deltas)?;
-        // Mirror the row into every non-owner's position plane —
-        // unconditionally, because the sequential engine advances
-        // positions even when the cloak failed.
-        for i in 0..self.nodes.len() {
-            if i != target {
-                self.expect_ok(i, wire::tag::SHADOW_UPDATE, &frame.payload, deltas)?;
+        self.fan_out_update(target, frame, deltas)
+    }
+
+    /// The update fan-out: begin the `EXACT_UPDATE` on the owner and
+    /// the `SHADOW_UPDATE` mirror on every other node, then wait all;
+    /// if the owner cloaked, begin the `CLOAK_INGEST` relay on every
+    /// other node and wait all. Two round-trip phases regardless of
+    /// cluster size.
+    fn fan_out_update(
+        &self,
+        target: usize,
+        frame: &Frame,
+        deltas: &mut DeltaBatch,
+    ) -> io::Result<Vec<Outbound>> {
+        let main = self
+            .channel(target)?
+            .begin(wire::tag::EXACT_UPDATE, &frame.payload)?;
+        let mut shadows = Vec::new();
+        let mut begin_err: Option<io::Error> = None;
+        for (i, ch) in self.channels.iter().enumerate() {
+            if i == target {
+                continue;
+            }
+            match ch.begin(wire::tag::SHADOW_UPDATE, &frame.payload) {
+                Ok(call) => shadows.push((i, call)),
+                Err(e) => {
+                    if begin_err.is_none() {
+                        begin_err = Some(e);
+                    }
+                }
             }
         }
+        // Owner first: its deltas ride ahead of its reply and must land
+        // ahead of the mirrors' (empty) batches, exactly as the old
+        // sequential order appended them.
+        let reply = main.wait(deltas);
+        let mirrored = self.wait_all_ok(wire::tag::SHADOW_UPDATE, shadows, deltas);
+        let reply = reply?;
+        if let Some(e) = begin_err {
+            return Err(e);
+        }
+        mirrored?;
         // A successful cloak also replicates into every non-owner's
         // private store / standing-count registry, as the exact bytes
         // the owner produced.
         if reply.0 == wire::tag::CLOAKED_UPDATE {
-            for i in 0..self.nodes.len() {
-                if i != target {
-                    self.expect_ok(i, wire::tag::CLOAK_INGEST, &reply.1, deltas)?;
+            let mut ingests = Vec::new();
+            let mut begin_err: Option<io::Error> = None;
+            for (i, ch) in self.channels.iter().enumerate() {
+                if i == target {
+                    continue;
+                }
+                match ch.begin(wire::tag::CLOAK_INGEST, &reply.1) {
+                    Ok(call) => ingests.push((i, call)),
+                    Err(e) => {
+                        if begin_err.is_none() {
+                            begin_err = Some(e);
+                        }
+                    }
                 }
             }
+            let ingested = self.wait_all_ok(wire::tag::CLOAK_INGEST, ingests, deltas);
+            if let Some(e) = begin_err {
+                return Err(e);
+            }
+            ingested?;
         }
         Ok(vec![reply])
     }
 
     fn route_user_query(
-        &mut self,
+        &self,
         frame: &Frame,
         deltas: &mut DeltaBatch,
     ) -> io::Result<Vec<Outbound>> {
         let Some(msg) = wire::decode_user_query(&frame.payload) else {
+            let _gate = self.gate.read();
             return self
                 .call(0, frame.tag, &frame.payload, deltas)
                 .map(|f| vec![f]);
         };
+        let _gate = self.gate.read();
         // Queries need the user's profile, which lives on the owner;
         // unknown users go to node 0 for the canonical error text.
-        let target = self.owner.get(&msg.user).copied().unwrap_or(0);
+        let target = self
+            .tables
+            .lock()
+            .owner
+            .get(&msg.user)
+            .copied()
+            .unwrap_or(0);
         self.call(target, frame.tag, &frame.payload, deltas)
             .map(|f| vec![f])
     }
 
-    /// Standing registrations and deregistrations run on *every* node in
-    /// node order, keeping the per-kind id counters in lockstep
-    /// cluster-wide; the client sees node 0's reply. Malformed payloads
-    /// are broadcast too — every node rejects identically, so the
-    /// registries stay in lockstep either way.
+    /// Standing registrations and deregistrations run on *every* node
+    /// under the exclusive gate, keeping the per-kind id counters in
+    /// lockstep cluster-wide; the client sees node 0's reply. The
+    /// broadcast is pipelined — begun on every node, then waited — so
+    /// it costs one round trip, not K. Malformed payloads are broadcast
+    /// too: every node rejects identically, so the registries stay in
+    /// lockstep either way.
     fn route_broadcast(
-        &mut self,
+        &self,
         frame: &Frame,
         deltas: &mut DeltaBatch,
         subs_out: &mut Vec<SubAction>,
     ) -> io::Result<Vec<Outbound>> {
-        let mut first: Option<Outbound> = None;
-        for i in 0..self.nodes.len() {
-            let reply = self.call(i, frame.tag, &frame.payload, deltas)?;
-            if i == 0 {
-                first = Some(reply);
+        let _gate = self.gate.write();
+        let mut calls = Vec::new();
+        let mut first_err: Option<io::Error> = None;
+        for (i, ch) in self.channels.iter().enumerate() {
+            match ch.begin(frame.tag, &frame.payload) {
+                Ok(call) => calls.push((i, call)),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
             }
+        }
+        let mut first: Option<Outbound> = None;
+        for (i, call) in calls {
+            match call.wait(deltas) {
+                Ok(reply) => {
+                    if i == 0 {
+                        first = Some(reply);
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
         }
         let reply =
             first.ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "cluster has no nodes"))?;
@@ -423,7 +762,7 @@ impl Core {
                     subs_out.push(SubAction::Subscribe((r.kind.code(), r.id)));
                     if frame.tag == wire::tag::REGISTER_STANDING_RANGE {
                         if let Some(msg) = wire::decode_register_standing_range(&frame.payload) {
-                            self.range_user.insert(r.id, msg.user);
+                            self.tables.lock().range_user.insert(r.id, msg.user);
                         }
                     }
                 }
@@ -431,7 +770,7 @@ impl Core {
             wire::tag::DEREGISTER_STANDING if reply.0 == wire::tag::OK => {
                 if let Some(r) = wire::decode_standing_ref(&frame.payload) {
                     subs_out.push(SubAction::DropQuery((r.kind.code(), r.id)));
-                    self.range_user.remove(&r.id);
+                    self.tables.lock().range_user.remove(&r.id);
                 }
             }
             _ => {}
@@ -439,27 +778,28 @@ impl Core {
         Ok(vec![reply])
     }
 
-    fn route_snapshot(
-        &mut self,
-        frame: &Frame,
-        deltas: &mut DeltaBatch,
-    ) -> io::Result<Vec<Outbound>> {
+    fn route_snapshot(&self, frame: &Frame, deltas: &mut DeltaBatch) -> io::Result<Vec<Outbound>> {
         let Some(msg) = wire::decode_standing_ref(&frame.payload) else {
+            let _gate = self.gate.read();
             return self
                 .call(0, frame.tag, &frame.payload, deltas)
                 .map(|f| vec![f]);
         };
+        let _gate = self.gate.read();
         // Count registries are replicated in lockstep, so any node can
         // answer; node 0 does. Range queries are maintained only on the
         // node owning their subject user.
         let target = match msg.kind {
             wire::StandingKind::Count => 0,
-            wire::StandingKind::Range => self
-                .range_user
-                .get(&msg.id)
-                .and_then(|u| self.owner.get(u))
-                .copied()
-                .unwrap_or(0),
+            wire::StandingKind::Range => {
+                let tables = self.tables.lock();
+                tables
+                    .range_user
+                    .get(&msg.id)
+                    .and_then(|u| tables.owner.get(u))
+                    .copied()
+                    .unwrap_or(0)
+            }
         };
         self.call(target, frame.tag, &frame.payload, deltas)
             .map(|f| vec![f])
@@ -511,7 +851,7 @@ struct StandingSubs {
 }
 
 type SharedSubs = Arc<TrackedMutex<StandingSubs>>;
-type SharedCore = Arc<TrackedMutex<Core>>;
+type SharedCore = Arc<Core>;
 
 /// The cluster's client-facing front door.
 pub struct Router {
@@ -544,24 +884,16 @@ impl Router {
         let addr = listener.local_addr()?;
         let obs = Arc::new(MetricsRegistry::new());
         let shutdown = Arc::new(AtomicBool::new(false));
-        let core: SharedCore = Arc::new(TrackedMutex::new(
-            LockRank::ClusterRouter,
-            Core {
-                partition: PartitionMap::new(world, node_addrs.len()),
-                nodes: node_addrs
-                    .iter()
-                    .map(|a| Node {
-                        addr: (*a).to_string(),
-                        client: None,
-                        dead: false,
-                    })
-                    .collect(),
-                node_timeout: cfg.node_timeout,
-                owner: HashMap::new(),
-                range_user: HashMap::new(),
-                handoffs: 0,
-            },
-        ));
+        let core: SharedCore = Arc::new(Core {
+            partition: PartitionMap::new(world, node_addrs.len()),
+            channels: node_addrs
+                .iter()
+                .enumerate()
+                .map(|(i, a)| NodeChannel::new(i, (*a).to_string(), cfg.node_timeout))
+                .collect(),
+            gate: TrackedRwLock::new(LockRank::ClusterRouter, ()),
+            tables: TrackedMutex::new(LockRank::ClusterCore, Tables::default()),
+        });
         let subs: SharedSubs = Arc::new(TrackedMutex::new(
             LockRank::NetStandingSubs,
             StandingSubs::default(),
@@ -649,7 +981,7 @@ impl Router {
 
     /// Boundary-crossing migrations completed so far.
     pub fn handoffs(&self) -> u64 {
-        self.core.lock().handoffs
+        self.core.tables.lock().handoffs
     }
 
     fn stop(&mut self) {
@@ -661,6 +993,9 @@ impl Router {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        for ch in &self.core.channels {
+            ch.close();
+        }
     }
 
     /// Graceful shutdown: stops accepting, lets live connections drain
@@ -669,12 +1004,8 @@ impl Router {
     pub fn shutdown(mut self) -> RouterReport {
         self.stop();
         let snap = self.obs.net().snapshot();
-        let mut core = self.core.lock();
-        for node in &mut core.nodes {
-            node.client = None;
-        }
         RouterReport {
-            handoffs: core.handoffs,
+            handoffs: self.core.tables.lock().handoffs,
             route_failures: snap.route_failures,
             requests_served: snap.requests_served,
         }
@@ -841,9 +1172,11 @@ fn serve_connection_inner(
 
 /// Routes one client frame end to end: answers liveness and stats
 /// probes locally, refuses cluster-internal tags, and sends everything
-/// else through the serialized router core. Standing deltas drained
-/// from node connections are fanned out to subscribers; this
-/// connection's own deltas precede the reply.
+/// else through the routing core (concurrently with other connections'
+/// requests — only the gate serializes, and only against lockstep
+/// operations). Standing deltas drained from node connections are
+/// fanned out to subscribers; this connection's own deltas precede the
+/// reply.
 fn handle_frame(
     core: &SharedCore,
     obs: &Arc<MetricsRegistry>,
@@ -879,10 +1212,7 @@ fn handle_frame(
     }
     let mut deltas: DeltaBatch = Vec::new();
     let mut sub_actions: Vec<SubAction> = Vec::new();
-    let result = {
-        let mut core = core.lock();
-        core.route(&frame, &mut deltas, &mut sub_actions)
-    };
+    let result = core.route(&frame, &mut deltas, &mut sub_actions);
     for action in sub_actions {
         match action {
             SubAction::Subscribe(key) => subscribe(subs, conn_id, key),

@@ -37,18 +37,26 @@ use std::fmt;
 use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Number of declared lock ranks.
-pub const LOCK_RANK_COUNT: usize = 11;
+pub const LOCK_RANK_COUNT: usize = 13;
 
 /// The ordered lock registry. Declaration order *is* acquisition order:
 /// a thread holding a lock of some rank may only acquire locks of equal
 /// or later rank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LockRank {
-    /// `lbsp-cluster`: the router core serializing client requests
-    /// across the node fleet. Outermost by construction — while held,
-    /// the router performs whole request/broadcast round-trips, each of
-    /// which may take any of the ranks below on the node side.
+    /// `lbsp-cluster`: the router's reader/writer gate. Outermost by
+    /// construction — requests hold it shared for their whole node
+    /// round-trip; standing broadcasts hold it exclusive so every node
+    /// seeds the new registration from the same quiesced state.
     ClusterRouter,
+    /// `lbsp-cluster`: the router's routing tables (user → owning node,
+    /// standing-range → subject user, handoff count). Held only for map
+    /// lookups/updates, never across node I/O.
+    ClusterCore,
+    /// `lbsp-cluster`: one per node connection — the send half of the
+    /// pipelined node channel (equal-rank array, acquired in ascending
+    /// node-index order when a fan-out touches several nodes).
+    ClusterNode,
     /// `lbsp-net`: the acceptor → worker connection hand-off queue.
     NetConnQueue,
     /// `lbsp-net`: the engine mutex serializing requests into the
@@ -82,6 +90,8 @@ impl LockRank {
     /// Every rank, in registry (acquisition) order.
     pub const ALL: [LockRank; LOCK_RANK_COUNT] = [
         LockRank::ClusterRouter,
+        LockRank::ClusterCore,
+        LockRank::ClusterNode,
         LockRank::NetConnQueue,
         LockRank::Engine,
         LockRank::NetStandingSubs,
@@ -103,6 +113,8 @@ impl LockRank {
     pub fn name(self) -> &'static str {
         match self {
             LockRank::ClusterRouter => "ClusterRouter",
+            LockRank::ClusterCore => "ClusterCore",
+            LockRank::ClusterNode => "ClusterNode",
             LockRank::NetConnQueue => "NetConnQueue",
             LockRank::Engine => "Engine",
             LockRank::NetStandingSubs => "NetStandingSubs",

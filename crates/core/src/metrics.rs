@@ -199,6 +199,10 @@ pub struct NetCounters {
     /// node was dead or unreachable (each one becomes a `ROUTE_FAIL`
     /// reply to the client).
     pub route_failures: AtomicU64,
+    /// Update batches the network layer entered into the engine (one
+    /// per `process_updates` crossing; the batch-size histogram in the
+    /// registry records how many frames each crossing amortized).
+    pub engine_batches: AtomicU64,
 }
 
 impl NetCounters {
@@ -232,6 +236,7 @@ impl NetCounters {
             bytes_in: Self::get(&self.bytes_in),
             bytes_out: Self::get(&self.bytes_out),
             route_failures: Self::get(&self.route_failures),
+            engine_batches: Self::get(&self.engine_batches),
         }
     }
 }
@@ -251,6 +256,7 @@ pub struct NetCountersSnapshot {
     pub bytes_in: u64,
     pub bytes_out: u64,
     pub route_failures: u64,
+    pub engine_batches: u64,
 }
 
 #[cfg(test)]

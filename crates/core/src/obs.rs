@@ -426,6 +426,9 @@ pub struct MetricsRegistry {
     candidate_set_size: Histogram,
     /// Standing queries touched per cloak update (count + range).
     standing_fanout: Histogram,
+    /// Update frames amortized per engine crossing by the network
+    /// layer's per-shard request batching.
+    net_batch_size: Histogram,
     cloak_failures: [AtomicU64; CLOAK_FAILURE_KINDS.len()],
     net: NetCounters,
 }
@@ -472,6 +475,13 @@ impl MetricsRegistry {
         &self.standing_fanout
     }
 
+    /// Batch-size histogram: update frames amortized per engine
+    /// crossing by the network layer (pairs with the `engine_batches`
+    /// transport counter).
+    pub fn net_batch_size(&self) -> &Histogram {
+        &self.net_batch_size
+    }
+
     /// The shared transport counters.
     pub fn net(&self) -> &NetCounters {
         &self.net
@@ -508,6 +518,7 @@ impl MetricsRegistry {
             achieved_k: self.achieved_k.snapshot(),
             candidate_set_size: self.candidate_set_size.snapshot(),
             standing_fanout: self.standing_fanout.snapshot(),
+            net_batch_size: self.net_batch_size.snapshot(),
             cloak_failures: failures,
             net: self.net.snapshot(),
             locks: crate::locks::lock_hold_stats()
@@ -554,6 +565,9 @@ pub struct RegistrySnapshot {
     pub candidate_set_size: HistogramSnapshot,
     /// Standing queries touched per cloak update.
     pub standing_fanout: HistogramSnapshot,
+    /// Update frames amortized per engine crossing by the network
+    /// layer's request batching.
+    pub net_batch_size: HistogramSnapshot,
     /// Cloak failures by kind, in [`CLOAK_FAILURE_KINDS`] order.
     pub cloak_failures: [u64; CLOAK_FAILURE_KINDS.len()],
     /// Transport counters.
@@ -570,6 +584,7 @@ impl Default for RegistrySnapshot {
             achieved_k: HistogramSnapshot::default(),
             candidate_set_size: HistogramSnapshot::default(),
             standing_fanout: HistogramSnapshot::default(),
+            net_batch_size: HistogramSnapshot::default(),
             cloak_failures: [0; CLOAK_FAILURE_KINDS.len()],
             net: NetCountersSnapshot::default(),
             locks: Vec::new(),
@@ -614,6 +629,7 @@ impl RegistrySnapshot {
             &self.candidate_set_size,
         );
         hist(&mut out, "lbsp_standing_fanout", "", &self.standing_fanout);
+        hist(&mut out, "lbsp_net_batch_size", "", &self.net_batch_size);
         for (kind, n) in CLOAK_FAILURE_KINDS.iter().zip(self.cloak_failures.iter()) {
             let _ = writeln!(out, "lbsp_cloak_failures{{kind=\"{kind}\"}} {n}");
         }
@@ -630,6 +646,7 @@ impl RegistrySnapshot {
             ("bytes_in", n.bytes_in),
             ("bytes_out", n.bytes_out),
             ("route_failures", n.route_failures),
+            ("engine_batches", n.engine_batches),
         ] {
             let _ = writeln!(out, "lbsp_net_{name} {v}");
         }

@@ -833,18 +833,20 @@ use crate::obs::{
 /// misreading counters. Version 2 added the `standing_update` stage and
 /// the `standing_fanout` value histogram; version 3 added the
 /// `wal_append` / `wal_fsync` / `snapshot` durability stages; version 4
-/// added the `route_failures` transport counter (cluster routing).
-pub const STATS_SNAPSHOT_VERSION: u8 = 4;
+/// added the `route_failures` transport counter (cluster routing);
+/// version 5 added the `net_batch_size` value histogram and the
+/// `engine_batches` transport counter (per-shard request batching).
+pub const STATS_SNAPSHOT_VERSION: u8 = 5;
 
 /// Byte length of one encoded histogram snapshot: count + sum + min +
 /// max + the bucket array, all 8-byte fields.
 pub const HIST_ENC_LEN: usize = 8 * (4 + HIST_BUCKETS);
 
 /// Byte length of the fixed (lock-free) part of an encoded snapshot:
-/// version, the stage histograms, 4 value histograms, the cloak-failure
-/// counters, the 11 net counters, and the lock-row count.
+/// version, the stage histograms, 5 value histograms, the cloak-failure
+/// counters, the 12 net counters, and the lock-row count.
 pub const STATS_FIXED_LEN: usize =
-    1 + (STAGE_COUNT + 4) * HIST_ENC_LEN + CLOAK_FAILURE_KINDS.len() * 8 + 11 * 8 + 1;
+    1 + (STAGE_COUNT + 5) * HIST_ENC_LEN + CLOAK_FAILURE_KINDS.len() * 8 + 12 * 8 + 1;
 
 fn put_hist(b: &mut BytesMut, h: &HistogramSnapshot) {
     b.put_u64_le(h.count);
@@ -891,6 +893,7 @@ pub fn encode_stats_snapshot(snap: &RegistrySnapshot) -> Bytes {
     put_hist(&mut b, &snap.achieved_k);
     put_hist(&mut b, &snap.candidate_set_size);
     put_hist(&mut b, &snap.standing_fanout);
+    put_hist(&mut b, &snap.net_batch_size);
     for v in &snap.cloak_failures {
         b.put_u64_le(*v);
     }
@@ -907,6 +910,7 @@ pub fn encode_stats_snapshot(snap: &RegistrySnapshot) -> Bytes {
         n.bytes_in,
         n.bytes_out,
         n.route_failures,
+        n.engine_batches,
     ] {
         b.put_u64_le(v);
     }
@@ -948,6 +952,7 @@ pub fn decode_stats_snapshot(mut buf: &[u8]) -> Option<RegistrySnapshot> {
     let achieved_k = get_hist(&mut buf)?;
     let candidate_set_size = get_hist(&mut buf)?;
     let standing_fanout = get_hist(&mut buf)?;
+    let net_batch_size = get_hist(&mut buf)?;
     let mut cloak_failures = [0u64; CLOAK_FAILURE_KINDS.len()];
     for v in cloak_failures.iter_mut() {
         *v = buf.get_u64_le();
@@ -964,6 +969,7 @@ pub fn decode_stats_snapshot(mut buf: &[u8]) -> Option<RegistrySnapshot> {
         bytes_in: buf.get_u64_le(),
         bytes_out: buf.get_u64_le(),
         route_failures: buf.get_u64_le(),
+        engine_batches: buf.get_u64_le(),
     };
     let rows = usize::from(buf.get_u8());
     let mut locks = Vec::with_capacity(rows);
@@ -1000,6 +1006,7 @@ pub fn decode_stats_snapshot(mut buf: &[u8]) -> Option<RegistrySnapshot> {
         achieved_k,
         candidate_set_size,
         standing_fanout,
+        net_batch_size,
         cloak_failures,
         net,
         locks,

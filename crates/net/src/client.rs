@@ -105,7 +105,7 @@ impl NetClient {
                 Poll::Frame(f) if f.tag == wire::tag::STANDING_DELTA => {
                     self.deltas.push_back(f.payload);
                 }
-                Poll::Frame(f) => return classify(f),
+                Poll::Frame(f) => return classify_reply(f),
                 Poll::Pending => {
                     // A read timeout (if the caller set one) surfaces
                     // as Pending. Give up only if the interval was
@@ -239,13 +239,17 @@ impl NetClient {
 
 /// Maps a reply frame to a [`Reply`].
 ///
+/// Public so consumers that manage their own sockets (the cluster
+/// router's pipelined node channels) classify frames with the same
+/// doctrine as [`NetClient::read_reply`].
+///
 /// A `tag::ERROR` frame is an *application* rejection — the server
 /// understood the request and said no; the connection stays usable and
 /// it becomes [`Reply::Error`]. An unrecognized tag is a *protocol*
 /// violation — the peer is not speaking this protocol (or the stream
 /// desynchronized) — and must not masquerade as a server rejection, so
 /// it surfaces as an [`io::ErrorKind::InvalidData`] error instead.
-fn classify(f: Frame) -> io::Result<Reply> {
+pub fn classify_reply(f: Frame) -> io::Result<Reply> {
     match f.tag {
         wire::tag::OK => Ok(Reply::Ok),
         wire::tag::CLOAKED_UPDATE => Ok(Reply::Cloaked(f.payload)),

@@ -30,8 +30,9 @@
 
 pub mod client;
 pub mod frame;
+mod poller;
 pub mod server;
 
-pub use client::{is_route_failure, NetClient, Reply};
+pub use client::{classify_reply, is_route_failure, NetClient, Reply};
 pub use frame::{Frame, FrameReader, Poll, FRAME_OVERHEAD, MAX_FRAME_LEN};
 pub use server::{sim_time_since, NetConfig, NetServer, RecoveryReport};

@@ -1,39 +1,45 @@
-//! The network server: acceptor → bounded worker pool → `ShardedEngine`.
+//! The network server: acceptor → poller shards → `ShardedEngine`.
 //!
 //! Threading model (std-only, no async runtime):
 //!
-//! * **Acceptor** — one thread accepts TCP connections and hands each to
-//!   a bounded queue. When every worker is busy the queue buffers up to
-//!   `accept_backlog` connections; beyond that, new connections are
-//!   closed immediately (counted, never silently dropped into an
-//!   unbounded buffer).
-//! * **Workers** — `workers` threads each serve one connection at a
-//!   time: decode frames, bridge requests into the shared
-//!   [`ShardedEngine`], enqueue responses. The engine is the same
+//! * **Acceptor** — one thread accepts TCP connections and places each
+//!   on a shard's bounded hand-off queue, round-robin. When the chosen
+//!   shard's queue is full the other shards are tried once around;
+//!   only when *every* queue is full is the connection refused
+//!   (counted, never silently dropped into an unbounded buffer).
+//! * **Poller shards** — `workers` threads each own a *set* of
+//!   nonblocking connections and run the readiness loop in
+//!   [`crate::poller`]: sweep for readable bytes, batch the ready
+//!   frames into the shared [`ShardedEngine`] (contiguous
+//!   `EXACT_UPDATE` runs become one `process_updates` crossing), and
+//!   write replies as the sockets accept them. The engine is the same
 //!   deterministic sharded engine the in-process pipeline uses, behind
-//!   one mutex — requests from one connection are therefore processed
-//!   in arrival order, which is what makes the network path
-//!   byte-identical to the in-process path for a closed-loop client.
-//! * **Per-connection writer** — each connection gets a writer thread
-//!   fed by a *bounded* queue. A consumer that stops reading makes the
-//!   writer stall on the socket (bounded by `write_timeout`) and the
-//!   queue fill (bounded by `backpressure_timeout`); either way the
-//!   connection is disconnected instead of buffering without limit.
+//!   one mutex — requests from one connection are processed in arrival
+//!   order, which is what makes the network path byte-identical to the
+//!   in-process path for a closed-loop client. Idle connections cost a
+//!   nonblocking read per shard sweep, not a blocked thread plus a
+//!   25 ms wakeup each.
+//! * **Outbound queues** — each connection's replies queue on its
+//!   shard, bounded by `outbound_bound`. A consumer that stops reading
+//!   stalls its socket write (bounded by `write_timeout`) and then its
+//!   queue (bounded by `backpressure_timeout`); either way the
+//!   connection is disconnected instead of buffering without limit,
+//!   and a connection at its bound is not even read (read-gating).
 //!
 //! Shutdown is graceful: the acceptor stops, each live connection
 //! finishes the requests already buffered on its socket (bounded by
-//! `drain_grace`), writers flush their queues, and
-//! [`NetServer::shutdown`] returns the engine so callers can inspect
-//! the final state the network workload produced.
+//! `drain_grace`), outbound queues flush, and [`NetServer::shutdown`]
+//! returns the engine so callers can inspect the final state the
+//! network workload produced.
 
-use crate::frame::{write_frame, FrameReader, Poll, MAX_FRAME_LEN};
+use crate::frame::{Frame, MAX_FRAME_LEN};
 use lbsp_anonymizer::{CloakRequirement, PrivacyProfile};
 use lbsp_core::metrics::NetCounters;
 use lbsp_core::{
-    wire, Durability, EngineConfig, LockRank, MetricsRegistry, ShardedEngine, Stage, TrackedMutex,
+    wire, Durability, EngineConfig, LockRank, MetricsRegistry, ShardedEngine, TrackedMutex,
 };
 use lbsp_geom::SimTime;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
@@ -44,40 +50,45 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// One queued outbound frame: (tag, payload bytes).
-type Outbound = (u8, Vec<u8>);
+pub(crate) type Outbound = (u8, Vec<u8>);
 
 /// Who hears about which standing query.
 ///
 /// A connection that registers a standing query is subscribed to it:
 /// whenever an update changes that query's answer, the new state is
-/// pushed as an unsolicited [`wire::tag::STANDING_DELTA`] frame through
-/// the subscriber's existing writer queue. Pushes to *other*
-/// connections are best-effort (`try_send`, dropped when the peer's
-/// queue is full — a slow subscriber must never stall the updater);
-/// the updating connection's own deltas ride in front of its reply and
-/// use the normal backpressure path.
+/// pushed as an unsolicited [`wire::tag::STANDING_DELTA`] frame. For a
+/// connection on *another* shard (or elsewhere on the same shard) the
+/// push is best-effort through its bounded delta channel (`try_send`,
+/// dropped when full — a slow subscriber must never stall the
+/// updater); the updating connection's own deltas ride in front of its
+/// reply on its ordinary outbound queue and get the normal
+/// backpressure treatment.
 #[derive(Default)]
-struct StandingSubs {
+pub(crate) struct StandingSubs {
     /// (kind code, query id) → subscribed connection ids.
-    by_query: HashMap<(u8, u64), Vec<u64>>,
-    /// Live connections' writer queues, by connection id.
-    senders: HashMap<u64, mpsc::SyncSender<Outbound>>,
+    pub(crate) by_query: HashMap<(u8, u64), Vec<u64>>,
+    /// Live connections' delta-push channels, by connection id.
+    pub(crate) senders: HashMap<u64, mpsc::SyncSender<Outbound>>,
 }
 
 /// The subscription registry handle shared by all server threads.
-type SharedSubs = Arc<TrackedMutex<StandingSubs>>;
+pub(crate) type SharedSubs = Arc<TrackedMutex<StandingSubs>>;
 
 /// Tuning knobs of a [`NetServer`].
 #[derive(Debug, Clone, Copy)]
 pub struct NetConfig {
-    /// Worker threads serving connections (at least 1).
+    /// Poller shards serving connections (at least 1). Each shard is
+    /// one thread owning a set of nonblocking connections; a
+    /// connection is pinned to its shard for life.
     pub workers: usize,
-    /// Accepted connections that may wait for a free worker before the
-    /// acceptor starts refusing new ones.
+    /// Accepted connections that may wait *per shard* for adoption
+    /// before the acceptor starts refusing new ones (it tries every
+    /// shard once around before giving up).
     pub accept_backlog: usize,
-    /// Socket read timeout slice; between slices the server polls its
-    /// shutdown flag and the idle clock. Small values mean fast
-    /// shutdown, large values mean fewer wakeups.
+    /// Upper bound on a shard's sleep between readiness sweeps when
+    /// every connection is quiet. Bounds idle-timeout detection and
+    /// shutdown latency; an idle *shard* pays one wakeup per interval,
+    /// regardless of how many connections it holds.
     pub read_poll: Duration,
     /// Disconnect a connection with no complete frame for this long.
     pub idle_timeout: Duration,
@@ -113,7 +124,7 @@ impl Default for NetConfig {
 }
 
 impl NetConfig {
-    /// A config with `workers` worker threads and defaults elsewhere.
+    /// A config with `workers` poller shards and defaults elsewhere.
     pub fn with_workers(workers: usize) -> NetConfig {
         NetConfig {
             workers,
@@ -123,7 +134,7 @@ impl NetConfig {
 }
 
 /// Why a connection ended (drives which counter is bumped).
-enum CloseReason {
+pub(crate) enum CloseReason {
     /// Peer closed cleanly, or the handler is shutting down.
     Normal,
     /// Protocol violation (oversized/zero/truncated frame).
@@ -151,7 +162,7 @@ pub struct NetServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    shards: Vec<JoinHandle<()>>,
     engine: Option<Arc<TrackedMutex<ShardedEngine>>>,
     /// The engine's own metrics registry, shared (not copied) so the
     /// network counters, per-stage timings, and cloaking histograms all
@@ -181,42 +192,22 @@ impl NetServer {
         ));
         let conn_ids = Arc::new(AtomicU64::new(1));
 
-        // Bounded hand-off queue: acceptor -> workers.
-        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(cfg.accept_backlog.max(1));
-        let conn_rx = Arc::new(TrackedMutex::new(LockRank::NetConnQueue, conn_rx));
-
-        let workers = (0..cfg.workers.max(1))
+        // One bounded hand-off queue per shard: acceptor -> shard. The
+        // channel is single-producer single-consumer, so no lock sits
+        // on the accept path.
+        let shard_count = cfg.workers.max(1);
+        let mut shard_txs = Vec::with_capacity(shard_count);
+        let shards = (0..shard_count)
             .map(|_| {
-                let conn_rx = Arc::clone(&conn_rx);
+                let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(cfg.accept_backlog.max(1));
+                shard_txs.push(conn_tx);
                 let engine = Arc::clone(&engine);
                 let obs = Arc::clone(&obs);
                 let shutdown = Arc::clone(&shutdown);
                 let subs = Arc::clone(&subs);
                 let conn_ids = Arc::clone(&conn_ids);
-                std::thread::spawn(move || loop {
-                    // Hold the receiver lock only while dequeuing; poll
-                    // so shutdown is noticed even while idle.
-                    let next = conn_rx.lock().recv_timeout(Duration::from_millis(50));
-                    match next {
-                        Ok(stream) => {
-                            if shutdown.load(Ordering::Relaxed) {
-                                // A connection that never got a worker
-                                // before shutdown: close, don't serve.
-                                let _ = stream.shutdown(Shutdown::Both);
-                                NetCounters::add(&obs.net().connections_closed, 1);
-                                continue;
-                            }
-                            serve_connection(
-                                stream, &engine, &obs, &cfg, &shutdown, &subs, &conn_ids,
-                            );
-                        }
-                        Err(mpsc::RecvTimeoutError::Timeout) => {
-                            if shutdown.load(Ordering::Relaxed) {
-                                break;
-                            }
-                        }
-                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
-                    }
+                std::thread::spawn(move || {
+                    crate::poller::run_shard(engine, obs, cfg, shutdown, subs, conn_ids, conn_rx);
                 })
             })
             .collect();
@@ -225,24 +216,39 @@ impl NetServer {
             let obs = Arc::clone(&obs);
             let shutdown = Arc::clone(&shutdown);
             std::thread::spawn(move || {
+                let mut next = 0usize;
                 for stream in listener.incoming() {
                     if shutdown.load(Ordering::Relaxed) {
                         break;
                     }
-                    match stream {
-                        Ok(s) => {
-                            NetCounters::add(&obs.net().connections_accepted, 1);
-                            if let Err(TrySendError::Full(s)) = conn_tx.try_send(s) {
-                                // Backlog full: refuse, never buffer
-                                // without bound.
-                                NetCounters::add(&obs.net().connections_refused, 1);
-                                let _ = s.shutdown(Shutdown::Both);
+                    let Ok(s) = stream else { continue };
+                    NetCounters::add(&obs.net().connections_accepted, 1);
+                    // Round-robin placement; a full shard queue falls
+                    // through to the next shard once around. Only when
+                    // every queue is full is the connection refused —
+                    // never buffered without bound.
+                    let mut pending = Some(s);
+                    for k in 0..shard_txs.len() {
+                        let idx = next.wrapping_add(k) % shard_txs.len().max(1);
+                        let (Some(tx), Some(s)) = (shard_txs.get(idx), pending.take()) else {
+                            break;
+                        };
+                        match tx.try_send(s) {
+                            Ok(()) => {
+                                next = idx.wrapping_add(1);
+                                break;
+                            }
+                            Err(TrySendError::Full(s)) | Err(TrySendError::Disconnected(s)) => {
+                                pending = Some(s);
                             }
                         }
-                        Err(_) => continue,
+                    }
+                    if let Some(s) = pending {
+                        NetCounters::add(&obs.net().connections_refused, 1);
+                        let _ = s.shutdown(Shutdown::Both);
                     }
                 }
-                // Dropping conn_tx lets idle workers drain and exit.
+                // Dropping the shard senders lets draining shards exit.
             })
         };
 
@@ -250,7 +256,7 @@ impl NetServer {
             addr,
             shutdown,
             acceptor: Some(acceptor),
-            workers,
+            shards,
             engine: Some(engine),
             obs,
         })
@@ -306,21 +312,23 @@ impl NetServer {
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
-        for h in self.workers.drain(..) {
+        // The acceptor dropped the shard hand-off senders on exit, so
+        // each shard finishes its drain and sees a closed queue.
+        for h in self.shards.drain(..) {
             let _ = h.join();
         }
     }
 
     /// Graceful shutdown: connections finish the requests already on
-    /// their sockets (bounded by `drain_grace`), writers flush, and the
-    /// engine — with every state change the network workload made — is
-    /// returned to the caller.
+    /// their sockets (bounded by `drain_grace`), outbound queues flush,
+    /// and the engine — with every state change the network workload
+    /// made — is returned to the caller.
     pub fn shutdown(mut self) -> ShardedEngine {
         self.stop();
         self.engine
             .take()
             .and_then(|arc| Arc::try_unwrap(arc).ok())
-            // lint: allow(panic) -- invariant: stop() joined every worker
+            // lint: allow(panic) -- invariant: stop() joined every shard
             // thread, so the engine Arc is present and uniquely owned here;
             // a miss is a server bug, not hostile input.
             .expect("engine uniquely owned after stop()")
@@ -330,200 +338,15 @@ impl NetServer {
 
 impl Drop for NetServer {
     fn drop(&mut self) {
-        if self.acceptor.is_some() || !self.workers.is_empty() {
+        if self.acceptor.is_some() || !self.shards.is_empty() {
             self.stop();
         }
     }
 }
 
-/// Serves one connection to completion. Never panics outward — every
-/// exit path closes the socket, unregisters the connection's
-/// standing-query subscriptions, and bumps the right counter.
-fn serve_connection(
-    stream: TcpStream,
-    engine: &Arc<TrackedMutex<ShardedEngine>>,
-    obs: &Arc<MetricsRegistry>,
-    cfg: &NetConfig,
-    shutdown: &Arc<AtomicBool>,
-    subs: &SharedSubs,
-    conn_ids: &Arc<AtomicU64>,
-) {
-    let conn_id = conn_ids.fetch_add(1, Ordering::Relaxed);
-    let reason = serve_connection_inner(&stream, engine, obs, cfg, shutdown, subs, conn_id)
-        .unwrap_or_else(|_| {
-            // The inner function failed before reaching its own
-            // cleanup: make sure the subscription registry forgets the
-            // connection anyway.
-            unsubscribe_connection(subs, conn_id);
-            CloseReason::Normal
-        });
-    let counters = obs.net();
-    match reason {
-        CloseReason::Normal => {}
-        CloseReason::BadFrame => NetCounters::add(&counters.frames_rejected, 1),
-        CloseReason::Slow => NetCounters::add(&counters.slow_disconnects, 1),
-        CloseReason::Idle => NetCounters::add(&counters.idle_disconnects, 1),
-    }
-    let _ = stream.shutdown(Shutdown::Both);
-    NetCounters::add(&counters.connections_closed, 1);
-}
-
-fn serve_connection_inner(
-    stream: &TcpStream,
-    engine: &Arc<TrackedMutex<ShardedEngine>>,
-    obs: &Arc<MetricsRegistry>,
-    cfg: &NetConfig,
-    shutdown: &Arc<AtomicBool>,
-    subs: &SharedSubs,
-    conn_id: u64,
-) -> io::Result<CloseReason> {
-    let counters = obs.net();
-    stream.set_nodelay(true).ok();
-    stream.set_read_timeout(Some(cfg.read_poll))?;
-    let mut rstream = stream.try_clone()?;
-
-    // Writer half: bounded queue drained by a dedicated thread, so a
-    // stalled socket never blocks request processing directly — it
-    // surfaces as backpressure on the queue instead.
-    let wstream = stream.try_clone()?;
-    wstream.set_write_timeout(Some(cfg.write_timeout))?;
-    let (out_tx, out_rx) = mpsc::sync_channel::<Outbound>(cfg.outbound_bound.max(1));
-    // Expose the writer queue to other connections' delta fan-out.
-    subs.lock().senders.insert(conn_id, out_tx.clone());
-    let writer = {
-        let obs = Arc::clone(obs);
-        let max_frame = cfg.max_frame;
-        let mut wstream = wstream;
-        std::thread::spawn(move || -> bool {
-            // Returns false when the consumer stalled a write.
-            while let Ok((tag, payload)) = out_rx.recv() {
-                let len = payload.len();
-                if write_frame(&mut wstream, tag, &payload, max_frame).is_err() {
-                    return false;
-                }
-                NetCounters::add(
-                    &obs.net().bytes_out,
-                    (len + crate::frame::FRAME_OVERHEAD) as u64,
-                );
-            }
-            true
-        })
-    };
-
-    let mut reader = FrameReader::new(cfg.max_frame);
-    let mut last_frame = Instant::now();
-    let mut draining_since: Option<Instant> = None;
-    let mut reason = CloseReason::Normal;
-    // Time attributed to decoding the frame currently in flight. Idle
-    // polls (nothing buffered) are excluded so the frame-decode stage
-    // measures decode work, not how long the connection sat quiet.
-    let mut decode_acc = Duration::ZERO;
-
-    'conn: loop {
-        if shutdown.load(Ordering::Relaxed) && draining_since.is_none() {
-            draining_since = Some(Instant::now());
-        }
-        if let Some(t) = draining_since {
-            if t.elapsed() > cfg.drain_grace {
-                break 'conn;
-            }
-        }
-        let poll_start = Instant::now();
-        match reader.poll(&mut rstream) {
-            Ok(Poll::Frame(frame)) => {
-                obs.stage(Stage::FrameDecode)
-                    .record_duration(decode_acc + poll_start.elapsed());
-                decode_acc = Duration::ZERO;
-                last_frame = Instant::now();
-                NetCounters::add(&counters.bytes_in, frame.wire_len() as u64);
-                // A request yields one reply frame, possibly preceded by
-                // standing-delta pushes for this connection's own
-                // subscriptions (deltas caused by other connections
-                // arrive through the writer queue directly).
-                let frames = handle_request(engine, obs, frame, conn_id, subs);
-                NetCounters::add(&counters.requests_served, 1);
-                if frames.last().is_some_and(|(t, _)| *t == wire::tag::ERROR) {
-                    NetCounters::add(&counters.errors_returned, 1);
-                }
-                // Bounded enqueue with a deadline: slow consumers are
-                // disconnected, not buffered indefinitely.
-                let deadline = Instant::now() + cfg.backpressure_timeout;
-                let wait_start = Instant::now();
-                for mut item in frames {
-                    loop {
-                        match out_tx.try_send(item) {
-                            Ok(()) => break,
-                            Err(TrySendError::Full(it)) => {
-                                if Instant::now() >= deadline {
-                                    reason = CloseReason::Slow;
-                                    break 'conn;
-                                }
-                                item = it;
-                                std::thread::sleep(Duration::from_millis(1));
-                            }
-                            Err(TrySendError::Disconnected(_)) => {
-                                // Writer died on a stalled write.
-                                reason = CloseReason::Slow;
-                                break 'conn;
-                            }
-                        }
-                    }
-                }
-                obs.stage(Stage::OutboundWait)
-                    .record_duration(wait_start.elapsed());
-            }
-            Ok(Poll::Pending) => {
-                if reader.buffered() > 0 {
-                    // Mid-frame stall: the peer is trickling a frame,
-                    // so the elapsed slice is decode latency.
-                    decode_acc = decode_acc.saturating_add(poll_start.elapsed());
-                } else {
-                    decode_acc = Duration::ZERO;
-                }
-                // No buffered data left: if shutting down, the drain is
-                // complete; otherwise check the idle clock.
-                if draining_since.is_some() {
-                    break 'conn;
-                }
-                if last_frame.elapsed() > cfg.idle_timeout {
-                    reason = CloseReason::Idle;
-                    break 'conn;
-                }
-            }
-            Ok(Poll::Eof) => break 'conn,
-            Err(e) => {
-                reason = match e.kind() {
-                    io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof => {
-                        CloseReason::BadFrame
-                    }
-                    _ => CloseReason::Normal,
-                };
-                break 'conn;
-            }
-        }
-    }
-
-    // Drop the connection's subscriptions *before* joining the writer:
-    // the registry holds a clone of `out_tx`, and the writer only
-    // exits once every sender is gone. The standing queries themselves
-    // stay registered in the engine — answers outlive connections,
-    // subscriptions do not.
-    unsubscribe_connection(subs, conn_id);
-    // Close the queue; the writer flushes what was already accepted,
-    // then exits. A writer that reports a stalled write marks the
-    // close as a slow-consumer disconnect.
-    drop(out_tx);
-    if let Ok(false) = writer.join().map_err(|_| ()) {
-        if !matches!(reason, CloseReason::Slow) {
-            reason = CloseReason::Slow;
-        }
-    }
-    Ok(reason)
-}
-
 /// Removes a closing connection from the subscription registry: its
-/// writer-queue sender and every per-query subscription entry.
-fn unsubscribe_connection(subs: &SharedSubs, conn_id: u64) {
+/// delta-push sender and every per-query subscription entry.
+pub(crate) fn unsubscribe_connection(subs: &SharedSubs, conn_id: u64) {
     let mut subs = subs.lock();
     subs.senders.remove(&conn_id);
     subs.by_query.retain(|_, conns| {
@@ -541,36 +364,124 @@ fn subscribe(subs: &SharedSubs, conn_id: u64, key: (u8, u64)) {
     }
 }
 
-/// Routes changed-query states to their subscribers. Frames addressed
-/// to `conn_id` itself are returned (they precede the reply on the
-/// requesting connection, in change order); frames for other
-/// connections are pushed into their writer queues best-effort — a
-/// full queue drops the delta rather than stalling the updater, and
-/// the subscriber resynchronizes from the `seq` field at its next
-/// snapshot.
-fn route_deltas(
+/// Runs one batch of `EXACT_UPDATE` frames — a contiguous ready run
+/// from one poller sweep, each tagged with the connection it arrived
+/// on — through a *single* engine crossing, and routes the results.
+///
+/// Rows are fed to `process_updates_wire` in arrival order, so for a
+/// closed-loop client (at most one update in flight per connection)
+/// the cloaked bytes are identical to processing each frame alone —
+/// a batch of one *is* the old per-frame call. A client that pipelines
+/// several updates for the same user into one sweep gets the engine's
+/// documented batch semantics: every row settles against the user's
+/// final position in the batch, exactly as the in-process pipeline's
+/// batched reference does.
+///
+/// Standing-query changes are captured once, after the whole batch,
+/// while the engine is still locked. Deltas for connections *in* the
+/// batch are returned ahead of the replies (they precede the reply on
+/// the wire, per the standing-delta contract); deltas for other
+/// connections go best-effort through their push channels, dropped
+/// when full — the `seq` field lets those subscribers resynchronize.
+///
+/// Returns `(conn_id, frame)` pairs in emit order; the caller enqueues
+/// each on the connection that owns it. Counters: one
+/// `requests_served` per frame, one `engine_batches` per crossing,
+/// `frames_rejected`/`errors_returned` per malformed or rejected row.
+pub(crate) fn handle_update_batch(
+    engine: &Arc<TrackedMutex<ShardedEngine>>,
+    obs: &Arc<MetricsRegistry>,
     subs: &SharedSubs,
-    conn_id: u64,
-    deltas: Vec<((u8, u64), Vec<u8>)>,
-) -> Vec<Outbound> {
-    let mut own = Vec::new();
-    if deltas.is_empty() {
-        return own;
-    }
-    let subs = subs.lock();
-    for (key, bytes) in deltas {
-        let Some(conns) = subs.by_query.get(&key) else {
-            continue;
-        };
-        for &cid in conns {
-            if cid == conn_id {
-                own.push((wire::tag::STANDING_DELTA, bytes.clone()));
-            } else if let Some(tx) = subs.senders.get(&cid) {
-                let _ = tx.try_send((wire::tag::STANDING_DELTA, bytes.clone()));
+    batch: Vec<(u64, Frame)>,
+) -> Vec<(u64, Outbound)> {
+    let counters = obs.net();
+    NetCounters::add(&counters.requests_served, batch.len() as u64);
+    // Decode every frame first; malformed payloads keep their reply
+    // slot (an ERROR in arrival order) without joining the engine rows.
+    let mut rows: Vec<(u64, lbsp_geom::Point, SimTime)> = Vec::with_capacity(batch.len());
+    let mut slots: Vec<(u64, bool)> = Vec::with_capacity(batch.len());
+    for (cid, frame) in &batch {
+        match wire::decode_exact_update(&frame.payload) {
+            Some(msg) => {
+                rows.push((msg.user, msg.position, msg.time));
+                slots.push((*cid, true));
+            }
+            None => {
+                NetCounters::add(&counters.frames_rejected, 1);
+                slots.push((*cid, false));
             }
         }
     }
-    own
+    // One lock, one journal append, one standing-query capture for the
+    // whole run. The wire state of every standing query the batch
+    // changed is read while the engine is still locked: a delta is
+    // exactly the state right after this batch, before any later
+    // request.
+    let (out, deltas) = if rows.is_empty() {
+        (Vec::new(), Vec::new())
+    } else {
+        let mut eng = engine.lock();
+        let out = eng.process_updates_wire(&rows);
+        let changed = eng.take_standing_changes();
+        let mut deltas: Vec<((u8, u64), Vec<u8>)> = Vec::with_capacity(changed.len());
+        for (kind, id) in changed {
+            if let Some(state) = eng.standing_state(kind, id) {
+                deltas.push((
+                    (kind.code(), id),
+                    wire::encode_standing_state(&state).to_vec(),
+                ));
+            }
+        }
+        NetCounters::add(&counters.engine_batches, 1);
+        obs.net_batch_size().record(rows.len() as f64);
+        (out, deltas)
+    };
+    let mut emitted: Vec<(u64, Outbound)> = Vec::with_capacity(slots.len() + deltas.len());
+    if !deltas.is_empty() {
+        let batch_conns: HashSet<u64> = slots.iter().map(|&(cid, _)| cid).collect();
+        let subs = subs.lock();
+        for (key, bytes) in deltas {
+            let Some(conns) = subs.by_query.get(&key) else {
+                continue;
+            };
+            for &cid in conns {
+                if batch_conns.contains(&cid) {
+                    emitted.push((cid, (wire::tag::STANDING_DELTA, bytes.clone())));
+                } else if let Some(tx) = subs.senders.get(&cid) {
+                    let _ = tx.try_send((wire::tag::STANDING_DELTA, bytes.clone()));
+                }
+            }
+        }
+    }
+    let mut results = out.into_iter();
+    let mut errors = 0u64;
+    for (cid, decoded) in slots {
+        let reply: Outbound = if decoded {
+            match results.next() {
+                Some(Ok(bytes)) => (wire::tag::CLOAKED_UPDATE, bytes.to_vec()),
+                Some(Err(e)) => (wire::tag::ERROR, e.to_string().into_bytes()),
+                None => (
+                    wire::tag::ERROR,
+                    "internal error: engine returned no result row"
+                        .to_string()
+                        .into_bytes(),
+                ),
+            }
+        } else {
+            (
+                wire::tag::ERROR,
+                "malformed update payload".to_string().into_bytes(),
+            )
+        };
+        if reply.0 == wire::tag::ERROR {
+            errors = errors.saturating_add(1);
+        }
+        emitted.push((cid, reply));
+    }
+    if errors > 0 {
+        NetCounters::add(&counters.errors_returned, errors);
+    }
+    emitted
 }
 
 /// Decodes one request frame and runs it against the engine. Always
@@ -580,10 +491,10 @@ fn route_deltas(
 /// connection. An update whose row changed standing-query answers this
 /// connection subscribed to yields those [`wire::tag::STANDING_DELTA`]
 /// frames ahead of the reply.
-fn handle_request(
+pub(crate) fn handle_request(
     engine: &Arc<TrackedMutex<ShardedEngine>>,
     obs: &Arc<MetricsRegistry>,
-    frame: crate::frame::Frame,
+    frame: Frame,
     conn_id: u64,
     subs: &SharedSubs,
 ) -> Vec<Outbound> {
@@ -623,43 +534,18 @@ fn handle_request(
             }
         }
         wire::tag::EXACT_UPDATE => {
-            let Some(msg) = wire::decode_exact_update(&frame.payload) else {
-                NetCounters::add(&counters.frames_rejected, 1);
-                return err("malformed update payload".into());
-            };
-            // One frame = one single-row batch, in arrival order — the
-            // same call the in-process reference makes, so the cloaked
-            // bytes are identical by construction. The wire state of
-            // every standing query the row changed is captured while
-            // the engine is still locked: a delta is exactly the state
-            // right after this update, before any later request.
-            let (out, deltas) = {
-                let mut eng = engine.lock();
-                let out = eng.process_updates_wire(&[(msg.user, msg.position, msg.time)]);
-                let changed = eng.take_standing_changes();
-                let mut deltas: Vec<((u8, u64), Vec<u8>)> = Vec::with_capacity(changed.len());
-                for (kind, id) in changed {
-                    if let Some(state) = eng.standing_state(kind, id) {
-                        deltas.push((
-                            (kind.code(), id),
-                            wire::encode_standing_state(&state).to_vec(),
-                        ));
-                    }
-                }
-                (out, deltas)
-            };
-            let mut frames = route_deltas(subs, conn_id, deltas);
-            frames.push(match out.into_iter().next() {
-                Some(Ok(bytes)) => (wire::tag::CLOAKED_UPDATE, bytes.to_vec()),
-                Some(Err(e)) => (wire::tag::ERROR, e.to_string().into_bytes()),
-                None => (
-                    wire::tag::ERROR,
-                    "internal error: engine returned no result row"
-                        .to_string()
-                        .into_bytes(),
-                ),
-            });
-            frames
+            // One frame = a batch of one, in arrival order — the same
+            // call the in-process reference makes, so the cloaked bytes
+            // are identical by construction. The poller short-circuits
+            // contiguous update runs straight into
+            // [`handle_update_batch`]; this arm serves the general
+            // dispatch path with the identical single-row batch.
+            // Counters (requests_served, errors, rejects) are all
+            // accounted inside the batch handler for this tag.
+            handle_update_batch(engine, obs, subs, vec![(conn_id, frame)])
+                .into_iter()
+                .map(|(_, out)| out)
+                .collect()
         }
         wire::tag::USER_QUERY => {
             let Some(msg) = wire::decode_user_query(&frame.payload) else {
