@@ -78,7 +78,66 @@ wait "$SERVE_PID" 2>/dev/null || true
 rm -rf "$WAL_DIR"
 trap - EXIT
 
+echo "== cluster chaos drill (in-process sever/crash/rejoin, byte-identity) =="
+./target/release/repro --cluster-chaos | tee /tmp/lbsp_cluster_chaos.txt
+grep -q "byte-identical across sever/crash/rejoin, 0 fatal route failures" /tmp/lbsp_cluster_chaos.txt
+# Archive the proxy's fault-event log as a CI artifact alongside the
+# lint findings.
+sed -n '/chaos proxy event log:/,$p' /tmp/lbsp_cluster_chaos.txt >target/cluster-chaos-events.txt
+
+echo "== cluster self-healing smoke (kill -9 a node mid-load, WAL restart, rejoin) =="
+HEAL_DIR=$(mktemp -d)
+mkfifo "$HEAL_DIR/router_stdin"
+./target/release/repro --serve 127.0.0.1:7655 --wal-dir "$HEAL_DIR/n0" >/tmp/lbsp_heal_n0.txt 2>&1 &
+NODE0_PID=$!
+./target/release/repro --serve 127.0.0.1:7656 --wal-dir "$HEAL_DIR/n1" >/tmp/lbsp_heal_n1.txt 2>&1 &
+NODE1_PID=$!
+trap 'kill -9 "$NODE0_PID" "$NODE1_PID" 2>/dev/null || true; rm -rf "$HEAL_DIR"' EXIT
+for _ in $(seq 1 50); do
+  if ./target/release/repro --stats 127.0.0.1:7655 >/dev/null 2>&1 &&
+     ./target/release/repro --stats 127.0.0.1:7656 >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+./target/release/repro --route 127.0.0.1:7657 \
+  --nodes 127.0.0.1:7655,127.0.0.1:7656 \
+  <"$HEAL_DIR/router_stdin" >/tmp/lbsp_heal_router.txt 2>&1 &
+ROUTER_PID=$!
+exec 9>"$HEAL_DIR/router_stdin"
+for _ in $(seq 1 50); do
+  if grep -q "routing for 2 node(s)" /tmp/lbsp_heal_router.txt; then break; fi
+  sleep 0.1
+done
+# Closed-loop load through the router; the client retries RETRYABLE
+# route failures, so a healing outage must not surface to it at all.
+# (Children forked past this point must not inherit fd 9 — a held
+# write end of the FIFO would mask the router's stdin EOF forever.)
+./target/release/repro --connect 127.0.0.1:7657 >/tmp/lbsp_heal_load.txt 2>&1 9>&- &
+LOAD_PID=$!
+sleep 1
+# Pull the plug on node 1 mid-load: SIGKILL, no drain, no flush beyond
+# what its WAL already fsynced. The router supervisor keeps dialing.
+kill -9 "$NODE1_PID" 2>/dev/null || true
+wait "$NODE1_PID" 2>/dev/null || true
+sleep 0.5
+# Restart on the same WAL dir: the node recovers its journaled state
+# and the supervisor resyncs it (catch-up replay or bulk resync).
+./target/release/repro --serve 127.0.0.1:7656 --wal-dir "$HEAL_DIR/n1" >/tmp/lbsp_heal_n1b.txt 2>&1 9>&- &
+NODE1_PID=$!
+wait "$LOAD_PID"
+grep -q "(0 error replies)" /tmp/lbsp_heal_load.txt
+exec 9>&-
+wait "$ROUTER_PID"
+grep -q "wal: recovered" /tmp/lbsp_heal_n1b.txt
+grep -q "router: node 1 rejoined" /tmp/lbsp_heal_router.txt
+grep -Eq "router: drained \([1-9][0-9]* requests, [0-9]+ handoffs, 0 route failures\)" /tmp/lbsp_heal_router.txt
+kill "$NODE0_PID" "$NODE1_PID" 2>/dev/null || true
+wait "$NODE0_PID" "$NODE1_PID" 2>/dev/null || true
+rm -rf "$HEAL_DIR"
+trap - EXIT
+
 echo "== cluster smoke (router + 2 nodes, byte-identity, clean drain) =="
+# Runs after the chaos stages on purpose: --cluster-verify passing here
+# is the post-chaos byte-identity gate the self-healing smoke defers to.
 CLUSTER_DIR=$(mktemp -d)
 mkfifo "$CLUSTER_DIR/router_stdin"
 ./target/release/repro --serve 127.0.0.1:7645 --wal-dir "$CLUSTER_DIR/n0" >/tmp/lbsp_cluster_n0.txt 2>&1 &

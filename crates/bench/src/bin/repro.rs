@@ -27,6 +27,9 @@
 //!                                   # EOF on stdin drains and exits
 //! repro -- --cluster-verify 127.0.0.1:7610
 //!                                   # byte-identity check vs in-process engine
+//! repro -- --cluster-chaos          # in-process sever/restart/rejoin drill
+//!                                   # behind a chaos proxy: byte-identity
+//!                                   # through the fault, 0 fatal failures
 //! repro -- --cluster                # in-process K=1,2,4 sweep; prints the
 //!                                   # JSON document checked in as
 //!                                   # BENCH_cluster.json
@@ -98,6 +101,10 @@ fn main() {
     }
     if let Some(addr) = flag_value("--cluster-verify") {
         cluster_verify(&addr);
+        return;
+    }
+    if args.iter().any(|a| a == "--cluster-chaos") {
+        cluster_chaos();
         return;
     }
     if args.iter().any(|a| a == "--cluster") {
@@ -283,6 +290,256 @@ fn cluster_verify(addr: &str) {
         Ok(n) => println!("cluster-verify: {n} replies byte-identical to the sequential engine"),
         Err(e) => {
             eprintln!("cluster-verify FAILED against {addr}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--cluster-chaos`: the deterministic fault-injection drill. Builds a
+/// two-node cluster entirely in-process — node 1 durable (WAL) and
+/// reached through a [`lbsp_net::ChaosProxy`] — then walks the full
+/// self-healing story while comparing every reply byte-for-byte against
+/// a sequential reference engine:
+///
+/// 1. healthy waves (including the initial owner migrations),
+/// 2. sever the proxy and crash node 1 — a raw request for its stripe
+///    must fail RETRYABLE (and redact the node's address),
+/// 3. keep serving node 0's stripe while the outage lasts (mirror
+///    frames accumulate in node 1's catch-up buffer),
+/// 4. restart node 1 from the same WAL directory on a fresh port,
+///    retarget and heal the proxy, and retry the stranded request until
+///    the supervisor completes the rejoin,
+/// 5. a final full wave over both stripes.
+///
+/// Exits non-zero on the first divergence, on any *fatal* route
+/// failure, or if the recovery counters show the rejoin never happened.
+/// The proxy's timestamped event log is printed for the archive.
+fn cluster_chaos() {
+    use lbsp_bench::netload::{retry_route, serve_engine};
+    use lbsp_cluster::{PartitionMap, Router, RouterConfig};
+    use lbsp_core::{Durability, EngineConfig};
+    use lbsp_net::{
+        is_retryable_route_failure, ChaosProxy, NetClient, NetConfig, NetServer, Reply,
+    };
+    use std::time::Duration;
+
+    let users = 40u64;
+    let wal_dir = std::env::temp_dir().join(format!("lbsp-cluster-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    // Node 1's durable engine: same flagship configuration as
+    // `serve_engine`, journaled so the crash loses nothing.
+    let open_node1 = |dir: &std::path::Path| {
+        let mut cfg = EngineConfig::new(world());
+        cfg.refine = true;
+        let opened = lbsp_store::open_engine(dir, cfg, 2, Durability::default())
+            .unwrap_or_else(|e| panic!("cannot open wal dir {}: {e}", dir.display()));
+        let mut engine = opened.engine;
+        if !opened.recovered {
+            engine.load_public(poi_store(1_000, 17).iter().copied().collect());
+        }
+        (engine, opened.recovered, opened.ops_replayed)
+    };
+    let (engine1, recovered, _) = open_node1(&wal_dir);
+    assert!(!recovered, "chaos drill must start from a fresh wal dir");
+    let node1 =
+        NetServer::bind("127.0.0.1:0", engine1, NetConfig::default()).expect("bind chaos node 1");
+    let node1_addr = node1.local_addr().to_string();
+    let proxy = ChaosProxy::bind(node1.local_addr()).expect("bind chaos proxy");
+
+    // Deterministic per-user geometry: even users live in node 0's
+    // stripe, odd users in node 1's — so stripe ownership is explicit
+    // and the drill can keep the healthy stripe busy during the outage.
+    let parts = PartitionMap::new(world(), 2);
+    let pos = |i: u64, wave: u64| {
+        let x = if i.is_multiple_of(2) {
+            0.10 + i as f64 * 0.008
+        } else {
+            0.55 + i as f64 * 0.008
+        };
+        Point::new(x + wave as f64 * 1e-3, 0.20 + i as f64 * 0.01)
+    };
+    let stamp = |i: u64, wave: u64| SimTime::from_secs(wave as f64 * 60.0 + i as f64 * 1e-3);
+    assert!(parts.node_of(pos(0, 0)) == 0 && parts.node_of(pos(1, 0)) == 1);
+
+    let run = |node1: NetServer| -> Result<u64, String> {
+        let mut reference = serve_engine();
+        let node0 = NetServer::bind("127.0.0.1:0", serve_engine(), NetConfig::default())
+            .map_err(|e| format!("bind chaos node 0: {e}"))?;
+        let nodes = [node0.local_addr().to_string(), proxy.addr().to_string()];
+        let node_refs: Vec<&str> = nodes.iter().map(|s| s.as_str()).collect();
+        // Fast, patient reconnect schedule: the drill is single-threaded,
+        // so the supervisor must keep trying across the whole scripted
+        // outage window rather than declaring the node down.
+        let cfg = RouterConfig {
+            node_timeout: Duration::from_millis(500),
+            reconnect_base: Duration::from_millis(5),
+            reconnect_cap: Duration::from_millis(25),
+            reconnect_attempts: 2_000,
+            ..RouterConfig::default()
+        };
+        let router = Router::bind("127.0.0.1:0", &node_refs, world(), cfg)
+            .map_err(|e| format!("bind chaos router: {e}"))?;
+        let mut client =
+            NetClient::connect(router.local_addr()).map_err(|e| format!("connect: {e}"))?;
+        client
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .map_err(|e| e.to_string())?;
+        client
+            .set_write_timeout(Some(Duration::from_secs(10)))
+            .map_err(|e| e.to_string())?;
+        let mut compared = 0u64;
+
+        for i in 0..users {
+            let k = [2u32, 5, 10, 25][(i % 4) as usize];
+            let profile =
+                PrivacyProfile::uniform(CloakRequirement::k_only(k)).map_err(|e| e.to_string())?;
+            reference.register(i, profile);
+            match retry_route(|| client.register(i, k, 0.0, f64::INFINITY))
+                .map_err(|e| format!("register {i}: {e}"))?
+            {
+                Reply::Ok => {}
+                other => return Err(format!("register {i}: unexpected reply {other:?}")),
+            }
+        }
+        // One scripted update (plus a query every 5th user) for each user
+        // in `ids`, every reply compared against the sequential engine.
+        let wave = |wave_no: u64,
+                    ids: &[u64],
+                    client: &mut NetClient,
+                    reference: &mut lbsp_core::engine::ShardedEngine,
+                    compared: &mut u64|
+         -> Result<(), String> {
+            for &i in ids {
+                let (p, t) = (pos(i, wave_no), stamp(i, wave_no));
+                let want = match reference
+                    .process_updates_wire(&[(i, p, t)])
+                    .into_iter()
+                    .next()
+                {
+                    Some(Ok(bytes)) => bytes.to_vec(),
+                    other => return Err(format!("reference update {i}: {other:?}")),
+                };
+                match retry_route(|| client.update(i, p, t))
+                    .map_err(|e| format!("update {i} wave {wave_no}: {e}"))?
+                {
+                    Reply::Cloaked(bytes) if bytes == want => *compared += 1,
+                    Reply::Cloaked(_) => {
+                        return Err(format!("update {i} wave {wave_no}: cloaked bytes diverge"))
+                    }
+                    other => return Err(format!("update {i} wave {wave_no}: {other:?}")),
+                }
+                if i % 5 == 0 {
+                    let want = reference
+                        .range_query(i, t, 0.05)
+                        .map_err(|e| e.to_string())?
+                        .response
+                        .to_vec();
+                    match retry_route(|| client.range_query(i, 0.05, t))
+                        .map_err(|e| format!("query {i} wave {wave_no}: {e}"))?
+                    {
+                        Reply::Candidates(bytes) if bytes == want => *compared += 1,
+                        Reply::Candidates(_) => {
+                            return Err(format!("query {i} wave {wave_no}: candidates diverge"))
+                        }
+                        other => return Err(format!("query {i} wave {wave_no}: {other:?}")),
+                    }
+                }
+            }
+            Ok(())
+        };
+
+        let all: Vec<u64> = (0..users).collect();
+        let evens: Vec<u64> = (0..users).step_by(2).collect();
+        // Healthy baseline: wave 0 migrates every odd user to node 1,
+        // wave 1 is steady state.
+        wave(0, &all, &mut client, &mut reference, &mut compared)?;
+        wave(1, &all, &mut client, &mut reference, &mut compared)?;
+
+        // Crash node 1 behind a severed proxy, then prove the outage is
+        // loud, kinded, and address-free on its stripe...
+        eprintln!("cluster-chaos: severing proxy and crashing node 1");
+        proxy.sever();
+        node1.shutdown();
+        std::thread::sleep(Duration::from_millis(50));
+        match client.update(1, pos(1, 2), stamp(1, 2)) {
+            Err(e) if is_retryable_route_failure(&e) => {
+                if e.to_string().contains(&node1_addr) {
+                    return Err(format!("route failure leaks the node address: {e}"));
+                }
+            }
+            other => return Err(format!("severed stripe answered {other:?}")),
+        }
+        // ...while the healthy stripe keeps serving byte-identically
+        // (its mirror frames accumulate in node 1's catch-up buffer).
+        wave(2, &evens, &mut client, &mut reference, &mut compared)?;
+
+        // Restart from the same WAL directory on a fresh port, heal the
+        // proxy, and retry the stranded request until the rejoin lands.
+        let (engine1, recovered, replayed) = open_node1(&wal_dir);
+        if !recovered {
+            return Err("node 1 restart found no WAL state to recover".into());
+        }
+        eprintln!("cluster-chaos: node 1 recovered from WAL ({replayed} ops); rejoining");
+        let node1 = NetServer::bind("127.0.0.1:0", engine1, NetConfig::default())
+            .map_err(|e| format!("rebind chaos node 1: {e}"))?;
+        proxy.set_upstream(node1.local_addr());
+        proxy.restore();
+        let (p, t) = (pos(1, 2), stamp(1, 2));
+        let want = match reference
+            .process_updates_wire(&[(1, p, t)])
+            .into_iter()
+            .next()
+        {
+            Some(Ok(bytes)) => bytes.to_vec(),
+            other => return Err(format!("reference probe update: {other:?}")),
+        };
+        match retry_route(|| client.update(1, p, t))
+            .map_err(|e| format!("post-rejoin probe: {e}"))?
+        {
+            Reply::Cloaked(bytes) if bytes == want => compared += 1,
+            other => return Err(format!("post-rejoin probe diverged: {other:?}")),
+        }
+        // Full steady-state wave over both stripes after the rejoin.
+        wave(3, &all, &mut client, &mut reference, &mut compared)?;
+
+        let snap = router.metrics_registry().net().snapshot();
+        let report = router.shutdown();
+        node0.shutdown();
+        node1.shutdown();
+        if report.route_failures != 0 {
+            return Err(format!(
+                "{} fatal route failures in a transient single-fault run",
+                report.route_failures
+            ));
+        }
+        if snap.retryable_failures == 0 || snap.reconnect_attempts == 0 || snap.node_rejoins == 0 {
+            return Err(format!(
+                "recovery counters never moved: retryable {}, attempts {}, rejoins {}",
+                snap.retryable_failures, snap.reconnect_attempts, snap.node_rejoins
+            ));
+        }
+        eprintln!(
+            "cluster-chaos: counters — retryable {}, reconnect attempts {}, rejoins {}, \
+             handoffs {}",
+            snap.retryable_failures, snap.reconnect_attempts, snap.node_rejoins, report.handoffs
+        );
+        Ok(compared)
+    };
+
+    let outcome = run(node1);
+    println!("chaos proxy event log:");
+    for line in proxy.events() {
+        println!("  {line}");
+    }
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    match outcome {
+        Ok(n) => println!(
+            "cluster-chaos: {n} replies byte-identical across sever/crash/rejoin, \
+             0 fatal route failures"
+        ),
+        Err(e) => {
+            eprintln!("cluster-chaos FAILED: {e}");
             std::process::exit(1);
         }
     }

@@ -83,12 +83,42 @@ pub mod netload {
     use super::{poi_store, world};
     use lbsp_core::engine::{EngineConfig, ShardedEngine};
     use lbsp_geom::{Point, SimTime};
-    use lbsp_net::{NetClient, Reply};
+    use lbsp_net::{is_retryable_route_failure, NetClient, Reply};
     use rand::rngs::StdRng;
     use rand::{RngExt as _, SeedableRng};
     use std::io;
     use std::net::ToSocketAddrs;
     use std::time::{Duration, Instant};
+
+    /// How many times [`retry_route`] re-issues a request that came back
+    /// RETRYABLE before giving up, and how long it pauses between tries.
+    /// 200 × 25 ms bounds the client's patience at five seconds — enough
+    /// to ride out a node restart (WAL replay included) under the
+    /// router's default reconnect schedule, and comfortably inside the
+    /// ten-second socket timeouts, so a genuinely dead stripe still
+    /// fails the run loudly instead of hanging it.
+    pub const RETRY_BUDGET: u32 = 200;
+    /// Pause between RETRYABLE retries (see [`RETRY_BUDGET`]).
+    pub const RETRY_PAUSE: Duration = Duration::from_millis(25);
+
+    /// Re-issues `op` while it fails with a RETRYABLE route failure —
+    /// the router's "owning node is mid-reconnect, nothing was applied"
+    /// answer — up to [`RETRY_BUDGET`] times. Every other outcome
+    /// (success, application error, DOWN route failure, transport fault)
+    /// passes through untouched: only the one error kind that
+    /// *guarantees* the request was not applied is safe to replay.
+    pub fn retry_route(mut op: impl FnMut() -> io::Result<Reply>) -> io::Result<Reply> {
+        let mut attempts = 0u32;
+        loop {
+            match op() {
+                Err(e) if is_retryable_route_failure(&e) && attempts < RETRY_BUDGET => {
+                    attempts += 1;
+                    std::thread::sleep(RETRY_PAUSE);
+                }
+                other => return other,
+            }
+        }
+    }
 
     /// The engine every network experiment serves: flagship
     /// grid+multilevel configuration with 1,000 public POIs loaded.
@@ -145,15 +175,15 @@ pub mod netload {
         let start = Instant::now();
         for i in 0..users {
             let k = [2u32, 5, 10, 25][(i % 4) as usize];
-            tally(&client.register(i, k, 0.0, f64::INFINITY)?);
+            tally(&retry_route(|| client.register(i, k, 0.0, f64::INFINITY))?);
         }
         for round in 0..rounds {
             for i in 0..users {
                 let p = Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
                 let t = SimTime::from_secs(f64::from(round) * 60.0 + i as f64 * 1e-3);
-                tally(&client.update(i, p, t)?);
+                tally(&retry_route(|| client.update(i, p, t))?);
                 if i % 10 == 0 {
-                    tally(&client.range_query(i, 0.05, t)?);
+                    tally(&retry_route(|| client.range_query(i, 0.05, t))?);
                 }
             }
         }

@@ -66,14 +66,35 @@
 //! device is one connection, and cross-device races settle on whichever
 //! hop reaches the owner first.
 //!
-//! ## Failure doctrine
+//! ## Recovery doctrine
 //!
 //! A node that cannot be reached (connect failure, I/O error, timeout)
-//! is marked dead and stays dead for the router's lifetime. Any request
-//! that needs a dead node gets a loud [`wire::tag::ROUTE_FAIL`] reply
-//! naming the node — never a hang, and never a reply that masquerades
-//! as an application-level [`wire::tag::ERROR`] — and the router's
-//! `route_failures` counter is bumped.
+//! is *demoted*, not executed: its channel enters `Reconnecting` and a
+//! per-node supervisor thread retries the connection under capped
+//! exponential backoff with deterministic jitter. While a node is away:
+//!
+//! * Requests the node *owns* answer a kinded
+//!   [`wire::tag::ROUTE_FAIL`] marked [`wire::ROUTE_FAIL_RETRYABLE`] —
+//!   the client should simply retry. These bump `retryable_failures`,
+//!   **not** `route_failures`.
+//! * Replicated-plane traffic the node merely *mirrors* (shadow
+//!   updates, cloak ingests, standing broadcasts, parked handoffs) is
+//!   absorbed into a bounded per-node catch-up buffer and replayed in
+//!   arrival order on rejoin, so a transient outage is invisible to
+//!   clients of other nodes.
+//! * If the buffer overflows its byte bound, reconstructible plane
+//!   frames are dropped and the rejoin instead performs a bulk
+//!   [`wire::tag::RESYNC_PULL`] / [`wire::tag::RESYNC_PUSH`] transfer
+//!   from a healthy donor under the exclusive gate. Broadcast-class
+//!   and handoff frames are retained across the overflow — they are
+//!   not reconstructible from plane state — and replayed after the
+//!   bulk image lands.
+//!
+//! Only when every reconnect attempt is exhausted does the node turn
+//! `Down` — terminal, as before — and requests needing it answer
+//! `ROUTE_FAIL` kind [`wire::ROUTE_FAIL_DOWN`], bumping
+//! `route_failures`. Failure text names nodes by *index only*: socket
+//! addresses are cluster topology and never cross the public socket.
 
 use crate::partition::PartitionMap;
 use lbsp_core::metrics::NetCounters;
@@ -81,10 +102,10 @@ use lbsp_core::{wire, LockRank, MetricsRegistry, TrackedMutex, TrackedRwLock};
 use lbsp_geom::Rect;
 use lbsp_net::frame::write_frame;
 use lbsp_net::{classify_reply, Frame, FrameReader, NetConfig, Poll, Reply, MAX_FRAME_LEN};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{self, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -97,6 +118,16 @@ type Outbound = (u8, Vec<u8>);
 /// one routed request: ((kind code, query id), state bytes).
 type DeltaBatch = Vec<((u8, u64), Vec<u8>)>;
 
+/// Node lifecycle states (the `state` atomic of a [`NodeChannel`]).
+/// `Up → Reconnecting` on any transport fault, `Reconnecting → Up` when
+/// the supervisor completes a rejoin, `Reconnecting → Down` when it
+/// gives up. `Down` is terminal.
+const NODE_UP: u8 = 0;
+/// See [`NODE_UP`].
+const NODE_RECONNECTING: u8 = 1;
+/// See [`NODE_UP`].
+const NODE_DOWN: u8 = 2;
+
 /// Tuning knobs of a [`Router`].
 #[derive(Debug, Clone, Copy)]
 pub struct RouterConfig {
@@ -104,8 +135,18 @@ pub struct RouterConfig {
     /// server: worker pool, timeouts, bounded queues).
     pub net: NetConfig,
     /// Read/write timeout on each router→node connection. A node that
-    /// stays quiet past this bound is declared dead.
+    /// stays quiet past this bound is demoted to `Reconnecting`.
     pub node_timeout: Duration,
+    /// First reconnect backoff delay; doubles per attempt.
+    pub reconnect_base: Duration,
+    /// Ceiling on the reconnect backoff delay.
+    pub reconnect_cap: Duration,
+    /// Reconnect attempts before a node is declared down for good.
+    pub reconnect_attempts: u32,
+    /// Byte bound on the per-node catch-up buffer of mirror frames
+    /// missed while a node reconnects. Overflowing it switches the
+    /// rejoin from ordered replay to a bulk donor resync.
+    pub catchup_buffer_bytes: usize,
 }
 
 impl Default for RouterConfig {
@@ -113,6 +154,10 @@ impl Default for RouterConfig {
         RouterConfig {
             net: NetConfig::default(),
             node_timeout: Duration::from_secs(2),
+            reconnect_base: Duration::from_millis(50),
+            reconnect_cap: Duration::from_secs(1),
+            reconnect_attempts: 20,
+            catchup_buffer_bytes: 4 * 1024 * 1024,
         }
     }
 }
@@ -123,7 +168,8 @@ impl Default for RouterConfig {
 pub struct RouterReport {
     /// Boundary-crossing user migrations completed.
     pub handoffs: u64,
-    /// Requests answered with [`wire::tag::ROUTE_FAIL`].
+    /// Requests answered with a *fatal* [`wire::tag::ROUTE_FAIL`]
+    /// (kind `DOWN`); retryable failures are counted separately.
     pub route_failures: u64,
     /// Client requests served.
     pub requests_served: u64,
@@ -145,8 +191,22 @@ struct SendHalf {
     stream: Option<TcpStream>,
     /// Hands tickets to the reader thread in send order.
     tickets: Option<mpsc::Sender<Ticket>>,
-    /// The reader thread, joined on router shutdown.
+    /// The reader thread, joined on reconnect install and shutdown.
     reader: Option<JoinHandle<()>>,
+}
+
+/// What a node missed while it was away: mirror frames queued for
+/// ordered replay on rejoin, under [`LockRank::ClusterRecovery`].
+struct Recovery {
+    /// Frames to replay in arrival order.
+    buffer: VecDeque<Outbound>,
+    /// Approximate bytes queued (payload + per-frame overhead).
+    buffered_bytes: usize,
+    /// The buffer overflowed: plane frames were dropped and the rejoin
+    /// must bulk-resync from a donor before replaying what remains.
+    overflowed: bool,
+    /// When the current outage began (drives the downtime histogram).
+    down_since: Option<Instant>,
 }
 
 /// A pipelined connection to one cluster node: requests are written
@@ -159,10 +219,14 @@ struct NodeChannel {
     index: usize,
     addr: String,
     node_timeout: Duration,
-    /// Set on the first connect or I/O failure; never cleared — a dead
-    /// node answers [`wire::tag::ROUTE_FAIL`] for the router's lifetime.
-    dead: Arc<AtomicBool>,
+    /// [`NODE_UP`] / [`NODE_RECONNECTING`] / [`NODE_DOWN`]. Transport
+    /// faults demote `Up → Reconnecting`; only the supervisor moves a
+    /// node out of `Reconnecting`.
+    state: Arc<AtomicU8>,
     send: TrackedMutex<SendHalf>,
+    recovery: TrackedMutex<Recovery>,
+    /// Byte bound on `recovery.buffer` (from [`RouterConfig`]).
+    catchup_buffer_bytes: usize,
 }
 
 /// A begun call on a [`NodeChannel`]; [`PendingCall::wait`] blocks for
@@ -173,13 +237,55 @@ struct PendingCall<'a> {
     rx: mpsc::Receiver<TicketResult>,
 }
 
+/// `true` for buffered frame tags that must survive a catch-up buffer
+/// overflow: unlike plane traffic they cannot be reconstructed from a
+/// donor's state image (id counters and single-copy user state would
+/// desynchronize).
+fn retained_on_overflow(tag: u8) -> bool {
+    matches!(
+        tag,
+        wire::tag::REGISTER_STANDING_COUNT
+            | wire::tag::REGISTER_STANDING_RANGE
+            | wire::tag::DEREGISTER_STANDING
+            | wire::tag::HANDOFF_PUSH
+    )
+}
+
+/// Rough accounting cost of one buffered frame.
+fn frame_cost(payload: &[u8]) -> usize {
+    payload.len() + 8
+}
+
+/// Installs a fresh connection on a locked send half: joins the old
+/// reader (it has already exited — its socket was cut), then wires the
+/// write stream, ticket queue, and a new reader thread.
+fn install_streams(
+    send: &mut SendHalf,
+    state: &Arc<AtomicU8>,
+    wstream: TcpStream,
+    rstream: TcpStream,
+) {
+    if let Some(old) = send.reader.take() {
+        let _ = old.join();
+    }
+    let (ticket_tx, ticket_rx) = mpsc::channel::<Ticket>();
+    send.reader = Some(spawn_node_reader(rstream, ticket_rx, Arc::clone(state)));
+    send.stream = Some(wstream);
+    send.tickets = Some(ticket_tx);
+}
+
 impl NodeChannel {
-    fn new(index: usize, addr: String, node_timeout: Duration) -> NodeChannel {
+    fn new(
+        index: usize,
+        addr: String,
+        node_timeout: Duration,
+        catchup_buffer_bytes: usize,
+    ) -> NodeChannel {
         NodeChannel {
             index,
             addr,
             node_timeout,
-            dead: Arc::new(AtomicBool::new(false)),
+            state: Arc::new(AtomicU8::new(NODE_UP)),
             send: TrackedMutex::new(
                 LockRank::ClusterNode,
                 SendHalf {
@@ -188,27 +294,51 @@ impl NodeChannel {
                     reader: None,
                 },
             ),
+            recovery: TrackedMutex::new(
+                LockRank::ClusterRecovery,
+                Recovery {
+                    buffer: VecDeque::new(),
+                    buffered_bytes: 0,
+                    overflowed: false,
+                    down_since: None,
+                },
+            ),
+            catchup_buffer_bytes,
         }
     }
 
+    /// Terminal failure: the node exhausted its reconnect budget.
+    /// Client-facing — names the node by index only, never by address.
     fn down_error(&self) -> io::Error {
         io::Error::new(
             io::ErrorKind::NotConnected,
-            format!("node {} at {} is down", self.index, self.addr),
+            format!("node {} is down", self.index),
         )
     }
 
+    /// Transient failure: the supervisor is reconnecting; the client
+    /// should retry. Marked by `WouldBlock`, which nothing else on this
+    /// path produces, so [`handle_frame`] can pick the `ROUTE_FAIL`
+    /// kind from the error alone. Client-facing — index only.
+    fn retryable_error(&self, what: &str) -> io::Error {
+        io::Error::new(
+            io::ErrorKind::WouldBlock,
+            format!("node {} {what}; retry shortly", self.index),
+        )
+    }
+
+    /// Consistency failure: the node answered, but with something the
+    /// protocol forbids. Not retryable. Client-facing — index only.
     fn failed_error(&self, e: &io::Error) -> io::Error {
         io::Error::new(
-            io::ErrorKind::NotConnected,
-            format!("node {} at {} failed: {e}", self.index, self.addr),
+            io::ErrorKind::InvalidData,
+            format!("node {} failed: {e}", self.index),
         )
     }
 
-    /// Marks the node dead and shuts the socket down, which makes the
+    /// Cuts the socket and drops the ticket queue, which makes the
     /// reader thread exit promptly and fail every outstanding ticket.
-    fn kill(&self) {
-        self.dead.store(true, Ordering::Relaxed);
+    fn cut(&self) {
         let mut send = self.send.lock();
         if let Some(s) = send.stream.take() {
             // Qualified call: `s.shutdown(..)` would collide with
@@ -219,9 +349,37 @@ impl NodeChannel {
         send.tickets = None;
     }
 
-    /// Shutdown path: kill the channel and join its reader.
+    /// Transport fault: demote `Up → Reconnecting`, stamp the outage
+    /// start, and cut the socket. The supervisor takes it from here. A
+    /// node already reconnecting (or down) just gets the cut.
+    fn demote(&self) {
+        if self
+            .state
+            .compare_exchange(
+                NODE_UP,
+                NODE_RECONNECTING,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+        {
+            let mut rec = self.recovery.lock();
+            if rec.down_since.is_none() {
+                rec.down_since = Some(Instant::now());
+            }
+        }
+        self.cut();
+    }
+
+    /// Terminal: the node is down for the router's lifetime.
+    fn poison(&self) {
+        self.state.store(NODE_DOWN, Ordering::SeqCst);
+        self.cut();
+    }
+
+    /// Shutdown path: poison the channel and join its reader.
     fn close(&self) {
-        self.kill();
+        self.poison();
         let reader = self.send.lock().reader.take();
         if let Some(h) = reader {
             let _ = h.join();
@@ -229,46 +387,65 @@ impl NodeChannel {
     }
 
     /// Sends one request frame and returns a handle to its future
-    /// reply. Errors when the node is dead, unreachable, or the write
-    /// fails — each with the message shape the failure doctrine
-    /// promises.
+    /// reply, fast-failing with the kinded error the recovery doctrine
+    /// promises when the node is reconnecting or down.
     fn begin(&self, tag: u8, payload: &[u8]) -> io::Result<PendingCall<'_>> {
-        if self.dead.load(Ordering::Relaxed) {
-            return Err(self.down_error());
+        match self.state.load(Ordering::SeqCst) {
+            NODE_UP => self.begin_on_wire(tag, payload),
+            NODE_RECONNECTING => Err(self.retryable_error("is reconnecting")),
+            _ => Err(self.down_error()),
         }
+    }
+
+    /// [`NodeChannel::begin`] without the state gate: the supervisor
+    /// replays buffered frames (and pushes resync images) while the
+    /// node is still officially `Reconnecting`.
+    fn begin_internal(&self, tag: u8, payload: &[u8]) -> io::Result<PendingCall<'_>> {
+        self.begin_on_wire(tag, payload)
+    }
+
+    /// The shared send path. Every failure here is a transport fault:
+    /// demote and surface the kinded retryable error. The demotion
+    /// lives in this wrapper — outside any guard scope — so the locked
+    /// half below never reaches for the recovery lock (rank
+    /// `ClusterRecovery`) while the send lock (rank `ClusterNode`) is
+    /// live.
+    fn begin_on_wire(&self, tag: u8, payload: &[u8]) -> io::Result<PendingCall<'_>> {
+        match self.begin_locked(tag, payload) {
+            Ok(call) => Ok(call),
+            Err(e) => {
+                self.demote();
+                Err(e)
+            }
+        }
+    }
+
+    /// Lazy connect, ticket, frame — all under the send lock; errors
+    /// are returned pre-kinded but the caller performs the demotion.
+    fn begin_locked(&self, tag: u8, payload: &[u8]) -> io::Result<PendingCall<'_>> {
         let mut send = self.send.lock();
-        // A racing call may have killed the channel while we waited for
-        // the send lock.
-        if self.dead.load(Ordering::Relaxed) {
-            return Err(self.down_error());
-        }
         if send.stream.is_none() {
             match self.connect() {
                 Ok((wstream, rstream)) => {
-                    let (ticket_tx, ticket_rx) = mpsc::channel::<Ticket>();
-                    send.reader = Some(spawn_node_reader(
-                        rstream,
-                        ticket_rx,
-                        Arc::clone(&self.dead),
-                    ));
-                    send.stream = Some(wstream);
-                    send.tickets = Some(ticket_tx);
+                    install_streams(&mut send, &self.state, wstream, rstream);
                 }
                 Err(e) => {
-                    self.dead.store(true, Ordering::Relaxed);
-                    return Err(io::Error::new(
-                        io::ErrorKind::NotConnected,
-                        format!("node {} at {} is unreachable: {e}", self.index, self.addr),
-                    ));
+                    return Err(self.retryable_error(&format!("is unreachable ({e})")));
                 }
             }
         }
         let (tx, rx) = mpsc::sync_channel::<TicketResult>(1);
+        let Some(tickets) = send.tickets.as_ref() else {
+            return Err(self.retryable_error("has no live connection"));
+        };
         // Ticket before frame: the reply cannot arrive before the
         // request bytes leave, so the reader always finds the ticket
-        // already queued when it pops the reply.
-        if let Some(tickets) = &send.tickets {
-            let _ = tickets.send(Ticket { tx });
+        // already queued when it pops the reply. The send result
+        // matters: a closed ticket queue means the reader thread is
+        // gone, and an orphaned ticket would burn the caller's full
+        // node timeout discovering that.
+        if tickets.send(Ticket { tx }).is_err() {
+            return Err(self.retryable_error("lost its reader"));
         }
         let written = match send.stream.as_mut() {
             Some(s) => write_frame(s, tag, payload, MAX_FRAME_LEN),
@@ -277,10 +454,8 @@ impl NodeChannel {
                 "channel has no stream",
             )),
         };
-        drop(send);
         if let Err(e) = written {
-            self.kill();
-            return Err(self.failed_error(&e));
+            return Err(self.retryable_error(&format!("write failed ({e})")));
         }
         Ok(PendingCall { channel: self, rx })
     }
@@ -295,22 +470,54 @@ impl NodeChannel {
         rstream.set_read_timeout(Some(self.node_timeout)).ok();
         Ok((stream, rstream))
     }
+
+    /// Queues a mirror frame the reconnecting node will replay on
+    /// rejoin. Returns `false` — nothing queued — if the node is no
+    /// longer `Reconnecting` (the state is re-checked under the
+    /// recovery lock, the same lock the supervisor holds when it flips
+    /// the node back up, so a buffered frame is never stranded).
+    ///
+    /// Overflow policy: plane frames (shadow updates, cloak ingests)
+    /// are dropped once the byte bound is hit — a bulk donor resync
+    /// reconstructs them wholesale — while broadcast-class and handoff
+    /// frames are retained regardless, because no state image can
+    /// replace them. The first overflow also purges already-queued
+    /// plane frames: the bulk image supersedes them.
+    fn buffer_frame(&self, tag: u8, payload: &[u8]) -> bool {
+        let mut rec = self.recovery.lock();
+        if self.state.load(Ordering::SeqCst) != NODE_RECONNECTING {
+            return false;
+        }
+        let cost = frame_cost(payload);
+        let over = rec.overflowed || rec.buffered_bytes + cost > self.catchup_buffer_bytes;
+        if over && !retained_on_overflow(tag) {
+            if !rec.overflowed {
+                rec.overflowed = true;
+                rec.buffer.retain(|(t, _)| retained_on_overflow(*t));
+                rec.buffered_bytes = rec.buffer.iter().map(|(_, p)| frame_cost(p)).sum();
+            }
+            return true;
+        }
+        rec.buffered_bytes += cost;
+        rec.buffer.push_back((tag, payload.to_vec()));
+        true
+    }
 }
 
 /// The per-channel reply demultiplexer: stashes standing-delta pushes,
 /// matches every other frame to the next ticket in send order, and on
-/// any connection failure marks the node dead and fails the remaining
-/// tickets so no caller ever hangs past its own timeout.
+/// any connection failure demotes the node to `Reconnecting` and fails
+/// the remaining tickets so no caller ever hangs past its own timeout.
 fn spawn_node_reader(
     mut stream: TcpStream,
     tickets: mpsc::Receiver<Ticket>,
-    dead: Arc<AtomicBool>,
+    state: Arc<AtomicU8>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
         let mut reader = FrameReader::new(MAX_FRAME_LEN);
         let mut pushed: Vec<Vec<u8>> = Vec::new();
         loop {
-            if dead.load(Ordering::Relaxed) {
+            if state.load(Ordering::SeqCst) == NODE_DOWN {
                 break;
             }
             match reader.poll(&mut stream) {
@@ -322,7 +529,7 @@ fn spawn_node_reader(
                         let _ = t.tx.send(Ok((f, std::mem::take(&mut pushed))));
                     }
                     // A reply with no request outstanding: the stream
-                    // desynchronized; kill the channel.
+                    // desynchronized; drop the connection.
                     Err(_) => break,
                 },
                 // Read-timeout tick — liveness deadlines belong to the
@@ -331,7 +538,14 @@ fn spawn_node_reader(
                 Ok(Poll::Eof) | Err(_) => break,
             }
         }
-        dead.store(true, Ordering::Relaxed);
+        // Demote rather than kill: the supervisor decides whether this
+        // outage is survivable.
+        let _ = state.compare_exchange(
+            NODE_UP,
+            NODE_RECONNECTING,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
         while let Ok(t) = tickets.try_recv() {
             let _ = t.tx.send(Err(io::Error::new(
                 io::ErrorKind::ConnectionAborted,
@@ -343,8 +557,9 @@ fn spawn_node_reader(
 
 impl PendingCall<'_> {
     /// Blocks for the reply; delta pushes that rode ahead of it are
-    /// appended to `deltas`. A timeout, transport failure, or
-    /// protocol-violating reply kills the node.
+    /// appended to `deltas`. A timeout or transport failure demotes the
+    /// node (retryable); a protocol-violating reply poisons it (fatal —
+    /// reconnecting cannot fix a node that answers garbage).
     fn wait(self, deltas: &mut DeltaBatch) -> io::Result<Outbound> {
         match self.rx.recv_timeout(self.channel.node_timeout) {
             Ok(Ok((frame, pushed))) => {
@@ -356,21 +571,20 @@ impl PendingCall<'_> {
                 match classify_reply(frame) {
                     Ok(reply) => Ok(reply_frame(reply)),
                     Err(e) => {
-                        self.channel.kill();
+                        self.channel.poison();
                         Err(self.channel.failed_error(&e))
                     }
                 }
             }
             Ok(Err(e)) => {
-                self.channel.kill();
-                Err(self.channel.failed_error(&e))
+                self.channel.demote();
+                Err(self
+                    .channel
+                    .retryable_error(&format!("dropped the connection ({e})")))
             }
             Err(_) => {
-                self.channel.kill();
-                Err(self.channel.failed_error(&io::Error::new(
-                    io::ErrorKind::TimedOut,
-                    "timed out waiting for reply",
-                )))
+                self.channel.demote();
+                Err(self.channel.retryable_error("timed out"))
             }
         }
     }
@@ -405,7 +619,8 @@ struct Core {
     channels: Vec<NodeChannel>,
     /// The request gate. Shared by per-user routes; exclusive quiesces
     /// the cluster for operations every node must observe at the same
-    /// point in the request stream (standing broadcasts, handoffs).
+    /// point in the request stream (standing broadcasts, handoffs,
+    /// bulk rejoin resyncs).
     gate: TrackedRwLock<()>,
     tables: TrackedMutex<Tables>,
 }
@@ -452,46 +667,100 @@ impl Core {
         }
     }
 
-    /// Waits a batch of concurrently-begun internal calls, requiring
-    /// `OK` from each. Every call is consumed even after a failure (the
-    /// pipeline stays aligned); the first failure in node order wins.
-    fn wait_all_ok(
-        &self,
-        tag: u8,
-        calls: Vec<(usize, PendingCall<'_>)>,
-        deltas: &mut DeltaBatch,
-    ) -> io::Result<()> {
-        let mut first_err: Option<io::Error> = None;
-        for (i, call) in calls {
-            match call.wait(deltas) {
-                Ok((rtag, _)) if rtag == wire::tag::OK => {}
-                Ok((_, body)) => {
-                    if first_err.is_none() {
-                        first_err = Some(io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            format!(
-                                "node {i} rejected internal frame 0x{tag:02x}: {}",
-                                String::from_utf8_lossy(&body)
-                            ),
-                        ));
+    /// Absorbs a mirror frame a node cannot take right now: buffered
+    /// while it reconnects, dropped if it is down for good, delivered
+    /// inline if it raced back up between checks. The spin is bounded —
+    /// each retry chases a single state transition.
+    fn absorb_mirror(&self, i: usize, tag: u8, payload: &[u8]) {
+        let Ok(ch) = self.channel(i) else { return };
+        let mut scratch: DeltaBatch = Vec::new();
+        for _ in 0..8 {
+            match ch.state.load(Ordering::SeqCst) {
+                NODE_RECONNECTING => {
+                    if ch.buffer_frame(tag, payload) {
+                        return;
                     }
                 }
-                Err(e) => {
-                    if first_err.is_none() {
-                        first_err = Some(e);
+                NODE_UP => {
+                    let Ok(call) = ch.begin(tag, payload) else {
+                        continue;
+                    };
+                    if call.wait(&mut scratch).is_ok() {
+                        return;
                     }
                 }
+                _ => return,
             }
         }
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(()),
+    }
+
+    /// Begins a mirror-plane frame on node `i`. Only an `Up` node
+    /// yields a pending call; a reconnecting node absorbs the frame
+    /// into its catch-up buffer (to replay on rejoin) and a down node
+    /// skips it — either way the client request proceeds.
+    fn begin_mirror(&self, i: usize, tag: u8, payload: &[u8]) -> Option<PendingCall<'_>> {
+        let Ok(ch) = self.channel(i) else { return None };
+        if ch.state.load(Ordering::SeqCst) == NODE_UP {
+            match ch.begin(tag, payload) {
+                Ok(call) => return Some(call),
+                // Fatal (down) — skip. Retryable falls through to the
+                // absorb path, which buffers it.
+                Err(e) if e.kind() != io::ErrorKind::WouldBlock => return None,
+                Err(_) => {}
+            }
+        }
+        self.absorb_mirror(i, tag, payload);
+        None
+    }
+
+    /// Waits a begun mirror call. A transport failure parks the frame
+    /// in the node's catch-up buffer and reports success — both planes
+    /// key their rows, so a frame that *did* land before the cut
+    /// re-applies as a no-op on replay. Only an explicit rejection
+    /// (`expect_ok` and the node answered something else) fails the
+    /// request: that is a consistency break, not an outage.
+    fn wait_mirror(
+        &self,
+        i: usize,
+        tag: u8,
+        payload: &[u8],
+        call: PendingCall<'_>,
+        expect_ok: bool,
+        deltas: &mut DeltaBatch,
+    ) -> io::Result<()> {
+        match call.wait(deltas) {
+            Ok((rtag, body)) => {
+                if expect_ok && rtag != wire::tag::OK {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "node {i} rejected internal frame 0x{tag:02x}: {}",
+                            String::from_utf8_lossy(&body)
+                        ),
+                    ));
+                }
+                Ok(())
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                self.absorb_mirror(i, tag, payload);
+                Ok(())
+            }
+            Err(e) => Err(e),
         }
     }
 
     /// Migrates `user`'s single-copy state from node `from` to node
     /// `to`: pull, push, then flip the ownership table. Caller holds
     /// the exclusive gate.
+    ///
+    /// A migration never *starts* toward a node that cannot take it —
+    /// the pull is destructive (the old owner forgets the user), so
+    /// extracting state with nowhere to put it would strand the user if
+    /// the target never comes back. But once the pull has happened, a
+    /// push lost to a transport cut is parked in `to`'s catch-up buffer
+    /// (handoff frames survive overflow) and the table flips anyway:
+    /// rejoin replay installs the state before any retried update can
+    /// reach the node.
     fn handoff(
         &self,
         user: u64,
@@ -499,6 +768,11 @@ impl Core {
         to: usize,
         deltas: &mut DeltaBatch,
     ) -> io::Result<()> {
+        match self.channel(to)?.state.load(Ordering::SeqCst) {
+            NODE_UP => {}
+            NODE_RECONNECTING => return Err(self.channel(to)?.retryable_error("is reconnecting")),
+            _ => return Err(self.channel(to)?.down_error()),
+        }
         let pull = self.call(
             from,
             wire::tag::HANDOFF_PULL,
@@ -514,7 +788,13 @@ impl Core {
                 ),
             ));
         }
-        self.expect_ok(to, wire::tag::HANDOFF_PUSH, &pull.1, deltas)?;
+        match self.expect_ok(to, wire::tag::HANDOFF_PUSH, &pull.1, deltas) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                self.absorb_mirror(to, wire::tag::HANDOFF_PUSH, &pull.1);
+            }
+            Err(e) => return Err(e),
+        }
         let mut tables = self.tables.lock();
         tables.owner.insert(user, to);
         tables.handoffs += 1;
@@ -522,8 +802,9 @@ impl Core {
     }
 
     /// Routes one client frame. `Err` means a node needed for the
-    /// request is unreachable (or broke cluster consistency); the
-    /// caller turns it into a [`wire::tag::ROUTE_FAIL`] reply.
+    /// request is unavailable (or broke cluster consistency); the
+    /// caller turns it into a kinded [`wire::tag::ROUTE_FAIL`] reply —
+    /// `RETRYABLE` for `WouldBlock` errors, `DOWN` for the rest.
     fn route(
         &self,
         frame: &Frame,
@@ -620,7 +901,8 @@ impl Core {
     /// the `SHADOW_UPDATE` mirror on every other node, then wait all;
     /// if the owner cloaked, begin the `CLOAK_INGEST` relay on every
     /// other node and wait all. Two round-trip phases regardless of
-    /// cluster size.
+    /// cluster size. Unavailable mirrors never fail the request — their
+    /// frames are absorbed into catch-up buffers for rejoin replay.
     fn fan_out_update(
         &self,
         target: usize,
@@ -631,54 +913,63 @@ impl Core {
             .channel(target)?
             .begin(wire::tag::EXACT_UPDATE, &frame.payload)?;
         let mut shadows = Vec::new();
-        let mut begin_err: Option<io::Error> = None;
-        for (i, ch) in self.channels.iter().enumerate() {
+        for i in 0..self.channels.len() {
             if i == target {
                 continue;
             }
-            match ch.begin(wire::tag::SHADOW_UPDATE, &frame.payload) {
-                Ok(call) => shadows.push((i, call)),
-                Err(e) => {
-                    if begin_err.is_none() {
-                        begin_err = Some(e);
-                    }
-                }
+            if let Some(call) = self.begin_mirror(i, wire::tag::SHADOW_UPDATE, &frame.payload) {
+                shadows.push((i, call));
             }
         }
         // Owner first: its deltas ride ahead of its reply and must land
         // ahead of the mirrors' (empty) batches, exactly as the old
         // sequential order appended them.
         let reply = main.wait(deltas);
-        let mirrored = self.wait_all_ok(wire::tag::SHADOW_UPDATE, shadows, deltas);
+        let mut mirror_err: Option<io::Error> = None;
+        for (i, call) in shadows {
+            if let Err(e) = self.wait_mirror(
+                i,
+                wire::tag::SHADOW_UPDATE,
+                &frame.payload,
+                call,
+                true,
+                deltas,
+            ) {
+                if mirror_err.is_none() {
+                    mirror_err = Some(e);
+                }
+            }
+        }
         let reply = reply?;
-        if let Some(e) = begin_err {
+        if let Some(e) = mirror_err {
             return Err(e);
         }
-        mirrored?;
         // A successful cloak also replicates into every non-owner's
         // private store / standing-count registry, as the exact bytes
         // the owner produced.
         if reply.0 == wire::tag::CLOAKED_UPDATE {
             let mut ingests = Vec::new();
-            let mut begin_err: Option<io::Error> = None;
-            for (i, ch) in self.channels.iter().enumerate() {
+            for i in 0..self.channels.len() {
                 if i == target {
                     continue;
                 }
-                match ch.begin(wire::tag::CLOAK_INGEST, &reply.1) {
-                    Ok(call) => ingests.push((i, call)),
-                    Err(e) => {
-                        if begin_err.is_none() {
-                            begin_err = Some(e);
-                        }
+                if let Some(call) = self.begin_mirror(i, wire::tag::CLOAK_INGEST, &reply.1) {
+                    ingests.push((i, call));
+                }
+            }
+            let mut ingest_err: Option<io::Error> = None;
+            for (i, call) in ingests {
+                if let Err(e) =
+                    self.wait_mirror(i, wire::tag::CLOAK_INGEST, &reply.1, call, true, deltas)
+                {
+                    if ingest_err.is_none() {
+                        ingest_err = Some(e);
                     }
                 }
             }
-            let ingested = self.wait_all_ok(wire::tag::CLOAK_INGEST, ingests, deltas);
-            if let Some(e) = begin_err {
+            if let Some(e) = ingest_err {
                 return Err(e);
             }
-            ingested?;
         }
         Ok(vec![reply])
     }
@@ -710,11 +1001,16 @@ impl Core {
 
     /// Standing registrations and deregistrations run on *every* node
     /// under the exclusive gate, keeping the per-kind id counters in
-    /// lockstep cluster-wide; the client sees node 0's reply. The
-    /// broadcast is pipelined — begun on every node, then waited — so
-    /// it costs one round trip, not K. Malformed payloads are broadcast
-    /// too: every node rejects identically, so the registries stay in
-    /// lockstep either way.
+    /// lockstep cluster-wide; the client sees node 0's reply. Node 0 is
+    /// settled *first* — if it is away the broadcast fails `RETRYABLE`
+    /// before any other node observes the frame, so a clean client
+    /// retry keeps the counters in lockstep. (The narrow window where
+    /// node 0 applied the frame but its ack was lost is documented in
+    /// DESIGN.md.) Unavailable mirrors absorb the frame into their
+    /// catch-up buffers; broadcast-class frames survive buffer
+    /// overflow. Malformed payloads are broadcast too: every node
+    /// rejects identically, so the registries stay in lockstep either
+    /// way.
     fn route_broadcast(
         &self,
         frame: &Frame,
@@ -722,38 +1018,24 @@ impl Core {
         subs_out: &mut Vec<SubAction>,
     ) -> io::Result<Vec<Outbound>> {
         let _gate = self.gate.write();
-        let mut calls = Vec::new();
-        let mut first_err: Option<io::Error> = None;
-        for (i, ch) in self.channels.iter().enumerate() {
-            match ch.begin(frame.tag, &frame.payload) {
-                Ok(call) => calls.push((i, call)),
-                Err(e) => {
-                    if first_err.is_none() {
-                        first_err = Some(e);
-                    }
-                }
+        let reply = self.call(0, frame.tag, &frame.payload, deltas)?;
+        let mut mirrors = Vec::new();
+        for i in 1..self.channels.len() {
+            if let Some(call) = self.begin_mirror(i, frame.tag, &frame.payload) {
+                mirrors.push((i, call));
             }
         }
-        let mut first: Option<Outbound> = None;
-        for (i, call) in calls {
-            match call.wait(deltas) {
-                Ok(reply) => {
-                    if i == 0 {
-                        first = Some(reply);
-                    }
-                }
-                Err(e) => {
-                    if first_err.is_none() {
-                        first_err = Some(e);
-                    }
+        let mut first_err: Option<io::Error> = None;
+        for (i, call) in mirrors {
+            if let Err(e) = self.wait_mirror(i, frame.tag, &frame.payload, call, false, deltas) {
+                if first_err.is_none() {
+                    first_err = Some(e);
                 }
             }
         }
         if let Some(e) = first_err {
             return Err(e);
         }
-        let reply =
-            first.ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "cluster has no nodes"))?;
         match frame.tag {
             wire::tag::REGISTER_STANDING_COUNT | wire::tag::REGISTER_STANDING_RANGE
                 if reply.0 == wire::tag::STANDING_REGISTERED =>
@@ -817,6 +1099,7 @@ fn reply_frame(reply: Reply) -> Outbound {
         Reply::StandingRegistered(b) => (wire::tag::STANDING_REGISTERED, b),
         Reply::StandingState(b) => (wire::tag::STANDING_STATE, b),
         Reply::Handoff(b) => (wire::tag::USER_HANDOFF, b),
+        Reply::ResyncState(b) => (wire::tag::RESYNC_STATE, b),
         Reply::Error(s) => (wire::tag::ERROR, s.into_bytes()),
     }
 }
@@ -839,6 +1122,8 @@ fn is_internal(tag: u8) -> bool {
             | wire::tag::CLOAK_INGEST
             | wire::tag::HANDOFF_PULL
             | wire::tag::HANDOFF_PUSH
+            | wire::tag::RESYNC_PULL
+            | wire::tag::RESYNC_PUSH
     )
 }
 
@@ -859,6 +1144,7 @@ pub struct Router {
     shutdown: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    supervisors: Vec<JoinHandle<()>>,
     core: SharedCore,
     obs: Arc<MetricsRegistry>,
 }
@@ -867,7 +1153,9 @@ impl Router {
     /// Binds the public socket at `addr` and starts routing requests to
     /// the nodes at `node_addrs`, which partition `world` into vertical
     /// stripes in address order. Node connections are established
-    /// lazily, so nodes may come up after the router.
+    /// lazily, so nodes may come up after the router. One reconnect
+    /// supervisor per node heals transient outages per the recovery
+    /// doctrine in the module docs.
     pub fn bind<A: ToSocketAddrs>(
         addr: A,
         node_addrs: &[&str],
@@ -889,7 +1177,14 @@ impl Router {
             channels: node_addrs
                 .iter()
                 .enumerate()
-                .map(|(i, a)| NodeChannel::new(i, (*a).to_string(), cfg.node_timeout))
+                .map(|(i, a)| {
+                    NodeChannel::new(
+                        i,
+                        (*a).to_string(),
+                        cfg.node_timeout,
+                        cfg.catchup_buffer_bytes,
+                    )
+                })
                 .collect(),
             gate: TrackedRwLock::new(LockRank::ClusterRouter, ()),
             tables: TrackedMutex::new(LockRank::ClusterCore, Tables::default()),
@@ -936,6 +1231,18 @@ impl Router {
             })
             .collect();
 
+        let supervisors = (0..core.channels.len())
+            .map(|i| {
+                spawn_supervisor(
+                    Arc::clone(&core),
+                    i,
+                    Arc::clone(&obs),
+                    cfg,
+                    Arc::clone(&shutdown),
+                )
+            })
+            .collect();
+
         let acceptor = {
             let obs = Arc::clone(&obs);
             let shutdown = Arc::clone(&shutdown);
@@ -963,6 +1270,7 @@ impl Router {
             shutdown,
             acceptor: Some(acceptor),
             workers,
+            supervisors,
             core,
             obs,
         })
@@ -974,7 +1282,9 @@ impl Router {
     }
 
     /// The router's own observability registry (connection counters,
-    /// `route_failures`; scraped by `STATS` on the public socket).
+    /// `route_failures`, reconnect/rejoin/resync counters, the
+    /// node-downtime histogram; scraped by `STATS` on the public
+    /// socket).
     pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
         &self.obs
     }
@@ -996,11 +1306,15 @@ impl Router {
         for ch in &self.core.channels {
             ch.close();
         }
+        for h in self.supervisors.drain(..) {
+            let _ = h.join();
+        }
     }
 
     /// Graceful shutdown: stops accepting, lets live connections drain
-    /// (bounded by the configured grace), joins every thread, closes
-    /// the node connections, and reports what the cluster did.
+    /// (bounded by the configured grace), joins every thread —
+    /// supervisors included — closes the node connections, and reports
+    /// what the cluster did.
     pub fn shutdown(mut self) -> RouterReport {
         self.stop();
         let snap = self.obs.net().snapshot();
@@ -1017,6 +1331,263 @@ impl Drop for Router {
         if self.acceptor.is_some() || !self.workers.is_empty() {
             self.stop();
         }
+    }
+}
+
+/// One node's reconnect supervisor: dozes while the node is up, runs
+/// the backoff/rejoin protocol when it observes `Reconnecting`, and
+/// exits when the node turns terminally down (or the router stops).
+fn spawn_supervisor(
+    core: SharedCore,
+    index: usize,
+    obs: Arc<MetricsRegistry>,
+    cfg: RouterConfig,
+    shutdown: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        while !shutdown.load(Ordering::Relaxed) {
+            let Some(ch) = core.channels.get(index) else {
+                return;
+            };
+            match ch.state.load(Ordering::SeqCst) {
+                NODE_RECONNECTING => supervise_outage(&core, index, &obs, &cfg, &shutdown),
+                NODE_DOWN => return,
+                _ => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    })
+}
+
+/// Handles one outage end to end: reconnect under capped backoff, then
+/// resync the node's planes and flip it back up — or declare it down
+/// when the attempt budget runs out. Progress is narrated on stderr so
+/// operators (and the CI chaos stage) can grep the recovery timeline.
+fn supervise_outage(
+    core: &SharedCore,
+    index: usize,
+    obs: &Arc<MetricsRegistry>,
+    cfg: &RouterConfig,
+    shutdown: &Arc<AtomicBool>,
+) {
+    let Ok(ch) = core.channel(index) else { return };
+    {
+        let mut rec = ch.recovery.lock();
+        if rec.down_since.is_none() {
+            rec.down_since = Some(Instant::now());
+        }
+    }
+    eprintln!("router: node {index} connection lost; reconnecting");
+    let mut attempt: u32 = 0;
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        attempt += 1;
+        if attempt > cfg.reconnect_attempts.max(1) {
+            ch.poison();
+            let ms = finish_outage(ch, obs);
+            eprintln!(
+                "router: node {index} declared down after {} reconnect attempts ({ms} ms)",
+                attempt - 1
+            );
+            return;
+        }
+        NetCounters::add(&obs.net().reconnect_attempts, 1);
+        match ch.connect() {
+            Ok((wstream, rstream)) => {
+                {
+                    let mut send = ch.send.lock();
+                    install_streams(&mut send, &ch.state, wstream, rstream);
+                }
+                match resync_node(core, index, obs) {
+                    Ok(summary) => {
+                        let ms = finish_outage(ch, obs);
+                        NetCounters::add(&obs.net().node_rejoins, 1);
+                        eprintln!("router: node {index} rejoined ({summary}, downtime {ms} ms)");
+                        return;
+                    }
+                    // Transient: the node slipped away again mid-resync
+                    // (the wait demoted it back); keep trying.
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        eprintln!("router: node {index} resync attempt {attempt} failed: {e}");
+                        sleep_backoff(cfg, index, attempt, shutdown);
+                    }
+                    // Consistency failure: the node (or its donor)
+                    // answered garbage. Reconnecting cannot fix that.
+                    Err(e) => {
+                        ch.poison();
+                        let ms = finish_outage(ch, obs);
+                        eprintln!(
+                            "router: node {index} declared down — resync rejected: {e} ({ms} ms)"
+                        );
+                        return;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("router: node {index} reconnect attempt {attempt} failed: {e}");
+                sleep_backoff(cfg, index, attempt, shutdown);
+            }
+        }
+    }
+}
+
+/// Ends the outage clock: records the downtime histogram sample and
+/// returns the outage length in milliseconds.
+fn finish_outage(ch: &NodeChannel, obs: &MetricsRegistry) -> u64 {
+    let ms = {
+        let mut rec = ch.recovery.lock();
+        rec.down_since
+            .take()
+            .map(|t| u64::try_from(t.elapsed().as_millis()).unwrap_or(u64::MAX))
+            .unwrap_or(0)
+    };
+    obs.node_downtime().record(ms as f64);
+    ms
+}
+
+/// Brings a freshly reconnected node's planes back in sync and flips it
+/// `Up`. The normal path replays the catch-up buffer in arrival order;
+/// an overflowed buffer triggers a bulk donor resync under the
+/// exclusive gate first, then replays the retained (non-reconstructible)
+/// frames. Returns a human-readable summary for the rejoin log line.
+fn resync_node(core: &SharedCore, index: usize, obs: &Arc<MetricsRegistry>) -> io::Result<String> {
+    let ch = core.channel(index)?;
+    // Liveness first: a freshly-accepted socket proves nothing (a dying
+    // peer — or a chaos proxy — can accept and then drop). Requiring a
+    // PING round trip before any replay keeps a node that cannot answer
+    // in `Reconnecting` instead of flapping through phantom rejoins,
+    // and keeps the `node_rejoins` counter honest.
+    let mut scratch: DeltaBatch = Vec::new();
+    let pong = ch
+        .begin_internal(wire::tag::PING, b"rejoin")?
+        .wait(&mut scratch)?;
+    if pong.0 != wire::tag::PONG {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("node {index} failed the rejoin liveness check"),
+        ));
+    }
+    let overflowed = ch.recovery.lock().overflowed;
+    if overflowed {
+        // Quiesce routing: the donor's image and the replayed tail must
+        // land as one atomic step in the cluster's request stream.
+        let _gate = core.gate.write();
+        let bulk = bulk_resync(core, ch)?;
+        NetCounters::add(
+            &obs.net().resync_bytes,
+            u64::try_from(bulk).unwrap_or(u64::MAX),
+        );
+        let replayed = replay_buffer(ch)?;
+        Ok(format!(
+            "bulk resync {bulk} bytes + {replayed} retained frames"
+        ))
+    } else {
+        let replayed = replay_buffer(ch)?;
+        Ok(format!("replayed {replayed} buffered frames"))
+    }
+}
+
+/// The bulk half of an overflowed rejoin: pull a full plane image from
+/// the first healthy donor and push it into the rejoining node. Caller
+/// holds the exclusive gate.
+fn bulk_resync(core: &Core, ch: &NodeChannel) -> io::Result<usize> {
+    let donor = core
+        .channels
+        .iter()
+        .position(|c| c.index != ch.index && c.state.load(Ordering::SeqCst) == NODE_UP)
+        .ok_or_else(|| {
+            // Retryable: a candidate donor may itself be mid-rejoin.
+            io::Error::new(
+                io::ErrorKind::WouldBlock,
+                "no healthy donor for bulk resync",
+            )
+        })?;
+    let mut scratch: DeltaBatch = Vec::new();
+    let (rtag, body) = core.call(donor, wire::tag::RESYNC_PULL, &[], &mut scratch)?;
+    if rtag != wire::tag::RESYNC_STATE {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "node {donor} failed resync pull: {}",
+                String::from_utf8_lossy(&body)
+            ),
+        ));
+    }
+    let reply = ch
+        .begin_internal(wire::tag::RESYNC_PUSH, &body)?
+        .wait(&mut scratch)?;
+    if reply.0 != wire::tag::OK {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "node {} rejected resync image: {}",
+                ch.index,
+                String::from_utf8_lossy(&reply.1)
+            ),
+        ));
+    }
+    Ok(body.len())
+}
+
+/// Replays the catch-up buffer head-first until it drains, then flips
+/// the node `Up` *under the recovery lock* — the same lock appenders
+/// hold — so no frame can slip in behind the flip and strand. Mirror
+/// traffic arriving mid-replay simply queues behind the head and is
+/// replayed in turn.
+fn replay_buffer(ch: &NodeChannel) -> io::Result<usize> {
+    let mut replayed = 0usize;
+    loop {
+        let next = {
+            let mut rec = ch.recovery.lock();
+            let head = rec.buffer.front().cloned();
+            if head.is_none() {
+                rec.overflowed = false;
+                ch.state.store(NODE_UP, Ordering::SeqCst);
+            }
+            head
+        };
+        let Some((tag, payload)) = next else {
+            return Ok(replayed);
+        };
+        let mut scratch: DeltaBatch = Vec::new();
+        // Any well-formed reply is acceptance: replayed broadcasts
+        // answer `STANDING_REGISTERED`, plane and handoff frames `OK`,
+        // and a lockstep rejection would be the same error every peer
+        // produced. Transport failures propagate (retryable) and the
+        // supervisor starts the outage over.
+        let _ = ch.begin_internal(tag, &payload)?.wait(&mut scratch)?;
+        let mut rec = ch.recovery.lock();
+        rec.buffer.pop_front();
+        rec.buffered_bytes = rec.buffered_bytes.saturating_sub(frame_cost(&payload));
+        replayed += 1;
+    }
+}
+
+/// Sleeps one backoff step — capped exponential with deterministic
+/// xorshift jitter (no RNG, no clock seed: reruns take identical
+/// schedules) — waking early on shutdown.
+fn sleep_backoff(cfg: &RouterConfig, node: usize, attempt: u32, shutdown: &Arc<AtomicBool>) {
+    let base = u64::try_from(cfg.reconnect_base.as_millis())
+        .unwrap_or(u64::MAX)
+        .max(1);
+    let cap = u64::try_from(cfg.reconnect_cap.as_millis())
+        .unwrap_or(u64::MAX)
+        .max(base);
+    let shift = attempt.saturating_sub(1).min(16);
+    let delay = base.saturating_mul(1u64 << shift).min(cap);
+    let mut x = u64::try_from(node)
+        .unwrap_or(0)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(u64::from(attempt))
+        | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    let delay = delay.saturating_add(x % (delay / 4 + 1));
+    let deadline = Instant::now() + Duration::from_millis(delay);
+    while Instant::now() < deadline && !shutdown.load(Ordering::Relaxed) {
+        std::thread::sleep(Duration::from_millis(delay.min(5)));
     }
 }
 
@@ -1176,7 +1747,10 @@ fn serve_connection_inner(
 /// requests — only the gate serializes, and only against lockstep
 /// operations). Standing deltas drained from node connections are
 /// fanned out to subscribers; this connection's own deltas precede the
-/// reply.
+/// reply. Routing errors become kinded [`wire::tag::ROUTE_FAIL`]
+/// replies: `WouldBlock` means a node is mid-reconnect (`RETRYABLE`,
+/// bumping `retryable_failures`); anything else is fatal (`DOWN`,
+/// bumping `route_failures`).
 fn handle_frame(
     core: &SharedCore,
     obs: &Arc<MetricsRegistry>,
@@ -1225,8 +1799,17 @@ fn handle_frame(
     match result {
         Ok(mut reply) => frames.append(&mut reply),
         Err(e) => {
-            NetCounters::add(&counters.route_failures, 1);
-            frames.push((wire::tag::ROUTE_FAIL, e.to_string().into_bytes()));
+            let kind = if e.kind() == io::ErrorKind::WouldBlock {
+                NetCounters::add(&counters.retryable_failures, 1);
+                wire::ROUTE_FAIL_RETRYABLE
+            } else {
+                NetCounters::add(&counters.route_failures, 1);
+                wire::ROUTE_FAIL_DOWN
+            };
+            frames.push((
+                wire::tag::ROUTE_FAIL,
+                wire::encode_route_fail(kind, &e.to_string()).to_vec(),
+            ));
         }
     }
     frames

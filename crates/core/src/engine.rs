@@ -1085,6 +1085,53 @@ impl ShardedEngine {
         self.maybe_snapshot();
     }
 
+    /// Cluster rejoin, donor side: dumps the two replicated planes —
+    /// every tracked position and every private cloak record — in
+    /// canonical (sorted) form for a [`wire::ResyncState`] transfer.
+    /// Read-only: exporting is not a journaled mutation. Single-copy
+    /// user state (profiles, standing ownership) deliberately stays
+    /// out: it lives on exactly one node and never went stale.
+    pub fn resync_export(&self) -> wire::ResyncState {
+        let mut rows: Vec<(UserId, Point, SimTime)> = Vec::new();
+        for shard in &self.anon {
+            rows.extend(shard.read().iter().map(|(id, p)| (id, p, SimTime::ZERO)));
+        }
+        rows.sort_unstable_by_key(|&(id, _, _)| id);
+        let mut cloaks: Vec<CloakedUpdate> = Vec::new();
+        for shard in &self.private {
+            cloaks.extend(shard.read().iter().map(|r| CloakedUpdate {
+                pseudonym: Pseudonym(r.pseudonym),
+                region: CloakedRegion {
+                    region: r.region,
+                    // The ingest path keys on pseudonym + region only;
+                    // the quality fields are not stored, so synthetic
+                    // values here are invisible downstream.
+                    achieved_k: 0,
+                    k_satisfied: true,
+                    area_satisfied: true,
+                },
+                time: SimTime::ZERO,
+            }));
+        }
+        cloaks.sort_unstable_by_key(|c| c.pseudonym.0);
+        wire::ResyncState { rows, cloaks }
+    }
+
+    /// Cluster rejoin, receiver side: installs a donor's replicated
+    /// planes through the ordinary shadow/ingest paths, so every row is
+    /// journaled as an [`EngineOp::ShadowBatch`] / [`EngineOp::IngestCloak`]
+    /// and the installed state survives a second crash. Idempotent for
+    /// rows this node already holds: position overwrites and
+    /// same-region cloak re-ingests net to zero change.
+    pub fn resync_install(&mut self, state: &wire::ResyncState) {
+        if !state.rows.is_empty() {
+            self.apply_shadow_update(&state.rows);
+        }
+        for c in &state.cloaks {
+            self.apply_cloak_ingest(c);
+        }
+    }
+
     /// The standing count registry (read-only).
     pub fn standing_counts(&self) -> &ContinuousRangeCount {
         &self.standing_counts

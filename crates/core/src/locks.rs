@@ -37,7 +37,7 @@ use std::fmt;
 use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Number of declared lock ranks.
-pub const LOCK_RANK_COUNT: usize = 13;
+pub const LOCK_RANK_COUNT: usize = 14;
 
 /// The ordered lock registry. Declaration order *is* acquisition order:
 /// a thread holding a lock of some rank may only acquire locks of equal
@@ -53,6 +53,11 @@ pub enum LockRank {
     /// standing-range → subject user, handoff count). Held only for map
     /// lookups/updates, never across node I/O.
     ClusterCore,
+    /// `lbsp-cluster`: one per node — the reconnect supervisor's
+    /// catch-up buffer of frames missed while the node was away. Ranked
+    /// before `ClusterNode` so buffering a frame may happen while (or
+    /// before) the node's send half is held.
+    ClusterRecovery,
     /// `lbsp-cluster`: one per node connection — the send half of the
     /// pipelined node channel (equal-rank array, acquired in ascending
     /// node-index order when a fan-out touches several nodes).
@@ -91,6 +96,7 @@ impl LockRank {
     pub const ALL: [LockRank; LOCK_RANK_COUNT] = [
         LockRank::ClusterRouter,
         LockRank::ClusterCore,
+        LockRank::ClusterRecovery,
         LockRank::ClusterNode,
         LockRank::NetConnQueue,
         LockRank::Engine,
@@ -114,6 +120,7 @@ impl LockRank {
         match self {
             LockRank::ClusterRouter => "ClusterRouter",
             LockRank::ClusterCore => "ClusterCore",
+            LockRank::ClusterRecovery => "ClusterRecovery",
             LockRank::ClusterNode => "ClusterNode",
             LockRank::NetConnQueue => "NetConnQueue",
             LockRank::Engine => "Engine",

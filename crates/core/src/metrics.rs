@@ -203,6 +203,18 @@ pub struct NetCounters {
     /// per `process_updates` crossing; the batch-size histogram in the
     /// registry records how many frames each crossing amortized).
     pub engine_batches: AtomicU64,
+    /// Requests refused with a RETRYABLE `ROUTE_FAIL` because the
+    /// owning node was mid-reconnect (the client is expected to retry;
+    /// these do *not* count as `route_failures`).
+    pub retryable_failures: AtomicU64,
+    /// Connection attempts made by the per-node reconnect supervisors
+    /// (successful or not).
+    pub reconnect_attempts: AtomicU64,
+    /// Nodes that completed the rejoin protocol (reconnect + catch-up
+    /// replay or bulk resync) and returned to service.
+    pub node_rejoins: AtomicU64,
+    /// Payload bytes transferred by bulk `NODE_RESYNC` plane copies.
+    pub resync_bytes: AtomicU64,
 }
 
 impl NetCounters {
@@ -237,6 +249,10 @@ impl NetCounters {
             bytes_out: Self::get(&self.bytes_out),
             route_failures: Self::get(&self.route_failures),
             engine_batches: Self::get(&self.engine_batches),
+            retryable_failures: Self::get(&self.retryable_failures),
+            reconnect_attempts: Self::get(&self.reconnect_attempts),
+            node_rejoins: Self::get(&self.node_rejoins),
+            resync_bytes: Self::get(&self.resync_bytes),
         }
     }
 }
@@ -257,6 +273,10 @@ pub struct NetCountersSnapshot {
     pub bytes_out: u64,
     pub route_failures: u64,
     pub engine_batches: u64,
+    pub retryable_failures: u64,
+    pub reconnect_attempts: u64,
+    pub node_rejoins: u64,
+    pub resync_bytes: u64,
 }
 
 #[cfg(test)]

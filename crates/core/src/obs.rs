@@ -429,6 +429,9 @@ pub struct MetricsRegistry {
     /// Update frames amortized per engine crossing by the network
     /// layer's per-shard request batching.
     net_batch_size: Histogram,
+    /// Milliseconds a cluster node spent out of service per outage
+    /// (connection lost to rejoin complete or declared down).
+    node_downtime: Histogram,
     cloak_failures: [AtomicU64; CLOAK_FAILURE_KINDS.len()],
     net: NetCounters,
 }
@@ -482,6 +485,13 @@ impl MetricsRegistry {
         &self.net_batch_size
     }
 
+    /// Node-downtime histogram: milliseconds a cluster node spent out
+    /// of service per outage (pairs with the `reconnect_attempts` and
+    /// `node_rejoins` transport counters).
+    pub fn node_downtime(&self) -> &Histogram {
+        &self.node_downtime
+    }
+
     /// The shared transport counters.
     pub fn net(&self) -> &NetCounters {
         &self.net
@@ -519,6 +529,7 @@ impl MetricsRegistry {
             candidate_set_size: self.candidate_set_size.snapshot(),
             standing_fanout: self.standing_fanout.snapshot(),
             net_batch_size: self.net_batch_size.snapshot(),
+            node_downtime: self.node_downtime.snapshot(),
             cloak_failures: failures,
             net: self.net.snapshot(),
             locks: crate::locks::lock_hold_stats()
@@ -568,6 +579,8 @@ pub struct RegistrySnapshot {
     /// Update frames amortized per engine crossing by the network
     /// layer's request batching.
     pub net_batch_size: HistogramSnapshot,
+    /// Milliseconds a cluster node spent out of service per outage.
+    pub node_downtime: HistogramSnapshot,
     /// Cloak failures by kind, in [`CLOAK_FAILURE_KINDS`] order.
     pub cloak_failures: [u64; CLOAK_FAILURE_KINDS.len()],
     /// Transport counters.
@@ -585,6 +598,7 @@ impl Default for RegistrySnapshot {
             candidate_set_size: HistogramSnapshot::default(),
             standing_fanout: HistogramSnapshot::default(),
             net_batch_size: HistogramSnapshot::default(),
+            node_downtime: HistogramSnapshot::default(),
             cloak_failures: [0; CLOAK_FAILURE_KINDS.len()],
             net: NetCountersSnapshot::default(),
             locks: Vec::new(),
@@ -630,6 +644,7 @@ impl RegistrySnapshot {
         );
         hist(&mut out, "lbsp_standing_fanout", "", &self.standing_fanout);
         hist(&mut out, "lbsp_net_batch_size", "", &self.net_batch_size);
+        hist(&mut out, "lbsp_node_downtime_ms", "", &self.node_downtime);
         for (kind, n) in CLOAK_FAILURE_KINDS.iter().zip(self.cloak_failures.iter()) {
             let _ = writeln!(out, "lbsp_cloak_failures{{kind=\"{kind}\"}} {n}");
         }
@@ -647,6 +662,10 @@ impl RegistrySnapshot {
             ("bytes_out", n.bytes_out),
             ("route_failures", n.route_failures),
             ("engine_batches", n.engine_batches),
+            ("retryable_failures", n.retryable_failures),
+            ("reconnect_attempts", n.reconnect_attempts),
+            ("node_rejoins", n.node_rejoins),
+            ("resync_bytes", n.resync_bytes),
         ] {
             let _ = writeln!(out, "lbsp_net_{name} {v}");
         }

@@ -64,6 +64,16 @@ pub mod tag {
     /// Cluster router → node: install a migrated user's state
     /// (payload: the [`super::HandoffMsg`] bytes).
     pub const HANDOFF_PUSH: u8 = 0x23;
+    /// Cluster router → node: export the node's replicated planes for a
+    /// rejoining peer (empty payload); the node answers with a
+    /// [`RESYNC_STATE`] frame. Part of the bulk `NODE_RESYNC` transfer
+    /// used when a rejoining node's catch-up buffer overflowed.
+    pub const RESYNC_PULL: u8 = 0x24;
+    /// Cluster router → node: install a donor node's replicated planes
+    /// on a rejoining node (payload: the [`super::ResyncState`] bytes).
+    /// Applied through the ordinary shadow/ingest journal ops, so the
+    /// installed state is WAL-durable on the rejoined node.
+    pub const RESYNC_PUSH: u8 = 0x25;
     /// Server → client: request acknowledged, empty payload.
     pub const OK: u8 = 0x80;
     /// Server → client: a cloaked update (payload: the
@@ -92,12 +102,19 @@ pub mod tag {
     /// Node → cluster router: a user's migrated state, in reply to
     /// [`HANDOFF_PULL`] (payload: the [`super::HandoffMsg`] bytes).
     pub const USER_HANDOFF: u8 = 0x90;
+    /// Node → cluster router: the node's replicated planes, in reply to
+    /// [`RESYNC_PULL`] (payload: the [`super::ResyncState`] bytes).
+    pub const RESYNC_STATE: u8 = 0x91;
     /// Server → client: the request failed; payload is UTF-8 error text.
     pub const ERROR: u8 = 0xEE;
-    /// Cluster router → client: the owning node is dead or unreachable;
-    /// payload is UTF-8 text naming the node. Deliberately distinct from
-    /// [`ERROR`] so a routing failure surfaces as a *kinded* transport
-    /// error, never masquerading as an application-level refusal.
+    /// Cluster router → client: the owning node could not serve the
+    /// request; payload is [`super::encode_route_fail`] bytes — a kind
+    /// byte ([`super::ROUTE_FAIL_RETRYABLE`] while the node is
+    /// reconnecting, [`super::ROUTE_FAIL_DOWN`] once retries are
+    /// exhausted) followed by UTF-8 text naming the node *by index*
+    /// (never by address). Deliberately distinct from [`ERROR`] so a
+    /// routing failure surfaces as a *kinded* transport error, never
+    /// masquerading as an application-level refusal.
     pub const ROUTE_FAIL: u8 = 0xEF;
 }
 
@@ -819,6 +836,109 @@ pub fn decode_handoff(mut buf: &[u8]) -> Option<HandoffMsg> {
 }
 
 // ---------------------------------------------------------------------
+// Cluster recovery: kinded routing failures and bulk plane resync
+// ---------------------------------------------------------------------
+
+/// [`tag::ROUTE_FAIL`] kind byte: the owning node is mid-reconnect; the
+/// request was not applied and the client should retry shortly.
+pub const ROUTE_FAIL_RETRYABLE: u8 = 0;
+/// [`tag::ROUTE_FAIL`] kind byte: the node exhausted its reconnect
+/// budget (or the failure is non-transient) and its stripe is dark.
+pub const ROUTE_FAIL_DOWN: u8 = 1;
+
+/// Encodes a kinded routing failure: one kind byte followed by UTF-8
+/// text describing the failure (node index + failure kind — never a
+/// socket address; internal topology stays behind the router).
+pub fn encode_route_fail(kind: u8, message: &str) -> Bytes {
+    let mut b = BytesMut::with_capacity(1 + message.len());
+    b.put_u8(kind);
+    b.put_slice(message.as_bytes());
+    b.freeze()
+}
+
+/// Decodes a kinded routing failure. Strict: rejects the empty payload,
+/// unknown kind bytes, and non-UTF-8 text.
+pub fn decode_route_fail(buf: &[u8]) -> Option<(u8, String)> {
+    let (&kind, text) = buf.split_first()?;
+    if kind != ROUTE_FAIL_RETRYABLE && kind != ROUTE_FAIL_DOWN {
+        return None;
+    }
+    Some((kind, String::from_utf8(text.to_vec()).ok()?))
+}
+
+/// A donor node's replicated planes, carried by [`tag::RESYNC_STATE`] /
+/// [`tag::RESYNC_PUSH`] frames when a rejoining node's catch-up buffer
+/// overflowed: every tracked position (the shadow plane) and every
+/// private cloak record (the ingest plane). Cluster-internal trusted
+/// hop — both ends are anonymizer processes, same doctrine as
+/// [`ExactUpdateMsg`] on [`tag::SHADOW_UPDATE`] — so position rows are
+/// legal here and the struct is deliberately *not* server-bound.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResyncState {
+    /// Position-plane rows `(user id, position, time)`, ascending by id.
+    pub rows: Vec<(u64, Point, SimTime)>,
+    /// Ingest-plane records, ascending by pseudonym.
+    pub cloaks: Vec<CloakedUpdate>,
+}
+
+/// Encodes a resync state transfer.
+pub fn encode_resync_state(state: &ResyncState) -> Bytes {
+    // Same truncation rule as `encode_candidates`: the u32 prefixes cap
+    // the entry counts rather than silently wrapping.
+    let nr = u32::try_from(state.rows.len()).unwrap_or(u32::MAX);
+    let nc = u32::try_from(state.cloaks.len()).unwrap_or(u32::MAX);
+    let mut b =
+        BytesMut::with_capacity(4 + (nr as usize) * 32 + 4 + (nc as usize) * CLOAKED_UPDATE_LEN);
+    b.put_u32_le(nr);
+    for (id, p, t) in state.rows.iter().take(nr as usize) {
+        b.put_u64_le(*id);
+        b.put_f64_le(p.x);
+        b.put_f64_le(p.y);
+        b.put_f64_le(t.as_secs());
+    }
+    b.put_u32_le(nc);
+    for c in state.cloaks.iter().take(nc as usize) {
+        b.put_slice(&encode_cloaked_update(c));
+    }
+    b.freeze()
+}
+
+/// Decodes a resync state transfer. Strict: both length prefixes must
+/// account for the remaining buffer exactly, and every embedded cloak
+/// record passes [`decode_cloaked_update`]'s validation.
+pub fn decode_resync_state(mut buf: &[u8]) -> Option<ResyncState> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let nr = buf.get_u32_le() as usize;
+    // u64 arithmetic so a hostile prefix cannot overflow the check.
+    if (buf.len() as u64) < nr as u64 * 32 + 4 {
+        return None;
+    }
+    let mut rows = Vec::with_capacity(nr);
+    for _ in 0..nr {
+        let id = buf.get_u64_le();
+        let p = Point::new(buf.get_f64_le(), buf.get_f64_le());
+        let t = SimTime::from_secs(buf.get_f64_le());
+        rows.push((id, p, t));
+    }
+    if buf.len() < 4 {
+        return None;
+    }
+    let nc = buf.get_u32_le() as usize;
+    if buf.len() as u64 != nc as u64 * CLOAKED_UPDATE_LEN as u64 {
+        return None;
+    }
+    let mut cloaks = Vec::with_capacity(nc);
+    for _ in 0..nc {
+        let rec = buf.get(..CLOAKED_UPDATE_LEN)?;
+        cloaks.push(decode_cloaked_update(rec)?);
+        buf.advance(CLOAKED_UPDATE_LEN);
+    }
+    Some(ResyncState { rows, cloaks })
+}
+
+// ---------------------------------------------------------------------
 // STATS: the observability scrape (server → client)
 // ---------------------------------------------------------------------
 
@@ -835,18 +955,21 @@ use crate::obs::{
 /// `wal_append` / `wal_fsync` / `snapshot` durability stages; version 4
 /// added the `route_failures` transport counter (cluster routing);
 /// version 5 added the `net_batch_size` value histogram and the
-/// `engine_batches` transport counter (per-shard request batching).
-pub const STATS_SNAPSHOT_VERSION: u8 = 5;
+/// `engine_batches` transport counter (per-shard request batching);
+/// version 6 added the `node_downtime` value histogram and the
+/// `retryable_failures` / `reconnect_attempts` / `node_rejoins` /
+/// `resync_bytes` transport counters (cluster self-healing).
+pub const STATS_SNAPSHOT_VERSION: u8 = 6;
 
 /// Byte length of one encoded histogram snapshot: count + sum + min +
 /// max + the bucket array, all 8-byte fields.
 pub const HIST_ENC_LEN: usize = 8 * (4 + HIST_BUCKETS);
 
 /// Byte length of the fixed (lock-free) part of an encoded snapshot:
-/// version, the stage histograms, 5 value histograms, the cloak-failure
-/// counters, the 12 net counters, and the lock-row count.
+/// version, the stage histograms, 6 value histograms, the cloak-failure
+/// counters, the 16 net counters, and the lock-row count.
 pub const STATS_FIXED_LEN: usize =
-    1 + (STAGE_COUNT + 5) * HIST_ENC_LEN + CLOAK_FAILURE_KINDS.len() * 8 + 12 * 8 + 1;
+    1 + (STAGE_COUNT + 6) * HIST_ENC_LEN + CLOAK_FAILURE_KINDS.len() * 8 + 16 * 8 + 1;
 
 fn put_hist(b: &mut BytesMut, h: &HistogramSnapshot) {
     b.put_u64_le(h.count);
@@ -894,6 +1017,7 @@ pub fn encode_stats_snapshot(snap: &RegistrySnapshot) -> Bytes {
     put_hist(&mut b, &snap.candidate_set_size);
     put_hist(&mut b, &snap.standing_fanout);
     put_hist(&mut b, &snap.net_batch_size);
+    put_hist(&mut b, &snap.node_downtime);
     for v in &snap.cloak_failures {
         b.put_u64_le(*v);
     }
@@ -911,6 +1035,10 @@ pub fn encode_stats_snapshot(snap: &RegistrySnapshot) -> Bytes {
         n.bytes_out,
         n.route_failures,
         n.engine_batches,
+        n.retryable_failures,
+        n.reconnect_attempts,
+        n.node_rejoins,
+        n.resync_bytes,
     ] {
         b.put_u64_le(v);
     }
@@ -953,6 +1081,7 @@ pub fn decode_stats_snapshot(mut buf: &[u8]) -> Option<RegistrySnapshot> {
     let candidate_set_size = get_hist(&mut buf)?;
     let standing_fanout = get_hist(&mut buf)?;
     let net_batch_size = get_hist(&mut buf)?;
+    let node_downtime = get_hist(&mut buf)?;
     let mut cloak_failures = [0u64; CLOAK_FAILURE_KINDS.len()];
     for v in cloak_failures.iter_mut() {
         *v = buf.get_u64_le();
@@ -970,6 +1099,10 @@ pub fn decode_stats_snapshot(mut buf: &[u8]) -> Option<RegistrySnapshot> {
         bytes_out: buf.get_u64_le(),
         route_failures: buf.get_u64_le(),
         engine_batches: buf.get_u64_le(),
+        retryable_failures: buf.get_u64_le(),
+        reconnect_attempts: buf.get_u64_le(),
+        node_rejoins: buf.get_u64_le(),
+        resync_bytes: buf.get_u64_le(),
     };
     let rows = usize::from(buf.get_u8());
     let mut locks = Vec::with_capacity(rows);
@@ -1007,6 +1140,7 @@ pub fn decode_stats_snapshot(mut buf: &[u8]) -> Option<RegistrySnapshot> {
         candidate_set_size,
         standing_fanout,
         net_batch_size,
+        node_downtime,
         cloak_failures,
         net,
         locks,
@@ -1384,6 +1518,62 @@ mod tests {
     }
 
     #[test]
+    fn route_fail_roundtrip_and_validation() {
+        for kind in [ROUTE_FAIL_RETRYABLE, ROUTE_FAIL_DOWN] {
+            let bytes = encode_route_fail(kind, "node 1 is reconnecting");
+            assert_eq!(
+                decode_route_fail(&bytes),
+                Some((kind, "node 1 is reconnecting".to_string()))
+            );
+        }
+        // The empty message is legal; the empty payload is not.
+        let bytes = encode_route_fail(ROUTE_FAIL_DOWN, "");
+        assert_eq!(
+            decode_route_fail(&bytes),
+            Some((ROUTE_FAIL_DOWN, String::new()))
+        );
+        assert_eq!(decode_route_fail(&[]), None);
+        // Unknown kind bytes and non-UTF-8 text are rejected.
+        assert_eq!(decode_route_fail(&[7, b'x']), None);
+        assert_eq!(decode_route_fail(&[ROUTE_FAIL_DOWN, 0xFF, 0xFE]), None);
+    }
+
+    #[test]
+    fn resync_state_roundtrip_and_validation() {
+        let state = ResyncState {
+            rows: vec![
+                (1, Point::new(0.1, 0.2), SimTime::from_secs(3.0)),
+                (9, Point::new(0.7, 0.8), SimTime::ZERO),
+            ],
+            cloaks: vec![sample_cloaked()],
+        };
+        let bytes = encode_resync_state(&state);
+        assert_eq!(decode_resync_state(&bytes), Some(state.clone()));
+        // The empty transfer round-trips too.
+        let empty = ResyncState::default();
+        assert_eq!(
+            decode_resync_state(&encode_resync_state(&empty)),
+            Some(empty)
+        );
+        // Truncation and trailing garbage rejected.
+        assert_eq!(decode_resync_state(&bytes[..bytes.len() - 1]), None);
+        assert_eq!(decode_resync_state(&[]), None);
+        let mut long = bytes.to_vec();
+        long.push(0);
+        assert_eq!(decode_resync_state(&long), None);
+        // A row count promising more entries than present is rejected.
+        let mut lying = bytes.to_vec();
+        lying[0..4].copy_from_slice(&100u32.to_le_bytes());
+        assert_eq!(decode_resync_state(&lying), None);
+        // An invalid embedded cloak rectangle is rejected: max_x of the
+        // cloak record (offset 4 + 2*32 + 4 + 8 + 16).
+        let off = 4 + 64 + 4 + 8 + 16;
+        let mut bad = bytes.to_vec();
+        bad[off..off + 8].copy_from_slice(&(-5.0f64).to_le_bytes());
+        assert_eq!(decode_resync_state(&bad), None);
+    }
+
+    #[test]
     fn tags_are_distinct() {
         let tags = [
             tag::REGISTER,
@@ -1399,6 +1589,8 @@ mod tests {
             tag::CLOAK_INGEST,
             tag::HANDOFF_PULL,
             tag::HANDOFF_PUSH,
+            tag::RESYNC_PULL,
+            tag::RESYNC_PUSH,
             tag::OK,
             tag::CLOAKED_UPDATE,
             tag::CANDIDATES,
@@ -1408,6 +1600,7 @@ mod tests {
             tag::STANDING_STATE,
             tag::STANDING_DELTA,
             tag::USER_HANDOFF,
+            tag::RESYNC_STATE,
             tag::ERROR,
             tag::ROUTE_FAIL,
         ];

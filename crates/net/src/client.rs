@@ -43,6 +43,10 @@ pub enum Reply {
     /// handoff pull (decodable with [`wire::decode_handoff`]). Only a
     /// cluster router ever sees this reply.
     Handoff(Vec<u8>),
+    /// A donor node's replicated planes, answering a cluster resync
+    /// pull (decodable with [`wire::decode_resync_state`]). Only a
+    /// cluster router ever sees this reply.
+    ResyncState(Vec<u8>),
     /// The server rejected the request with a message; the connection
     /// is still usable.
     Error(String),
@@ -259,21 +263,31 @@ pub fn classify_reply(f: Frame) -> io::Result<Reply> {
         wire::tag::STANDING_REGISTERED => Ok(Reply::StandingRegistered(f.payload)),
         wire::tag::STANDING_STATE => Ok(Reply::StandingState(f.payload)),
         wire::tag::USER_HANDOFF => Ok(Reply::Handoff(f.payload)),
+        wire::tag::RESYNC_STATE => Ok(Reply::ResyncState(f.payload)),
         wire::tag::ERROR => Ok(Reply::Error(
             String::from_utf8_lossy(&f.payload).into_owned(),
         )),
         // A routing failure is a *transport* fact — the cluster node
-        // that owns the request is dead or unreachable — not an
-        // application rejection, so it must never fold into
-        // `Reply::Error`. It surfaces as a kinded I/O error the caller
-        // can match with [`is_route_failure`].
-        wire::tag::ROUTE_FAIL => Err(io::Error::new(
-            io::ErrorKind::NotConnected,
-            format!(
-                "cluster node unreachable: {}",
-                String::from_utf8_lossy(&f.payload)
-            ),
-        )),
+        // that owns the request could not serve it — not an application
+        // rejection, so it must never fold into `Reply::Error`. It
+        // surfaces as a kinded I/O error the caller can match with
+        // [`is_route_failure`] / [`is_retryable_route_failure`]: a
+        // RETRYABLE kind byte means the node is mid-reconnect and the
+        // request is worth retrying; DOWN means its stripe is dark. A
+        // malformed payload (pre-kind router, hostile bytes) is treated
+        // as DOWN with the whole payload as the message.
+        wire::tag::ROUTE_FAIL => {
+            let (kind, msg) = wire::decode_route_fail(&f.payload).unwrap_or((
+                wire::ROUTE_FAIL_DOWN,
+                String::from_utf8_lossy(&f.payload).into_owned(),
+            ));
+            let text = if kind == wire::ROUTE_FAIL_RETRYABLE {
+                format!("cluster node retrying: {msg}")
+            } else {
+                format!("cluster node unreachable: {msg}")
+            };
+            Err(io::Error::new(io::ErrorKind::NotConnected, text))
+        }
         other => Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("protocol violation: unrecognized reply tag 0x{other:02x}"),
@@ -283,8 +297,16 @@ pub fn classify_reply(f: Frame) -> io::Result<Reply> {
 
 /// `true` when an error is a cluster routing failure — the
 /// [`wire::tag::ROUTE_FAIL`] reply a router sends when the node owning
-/// the request is dead or unreachable.
+/// the request could not serve it (either kind).
 pub fn is_route_failure(e: &io::Error) -> bool {
     e.kind() == io::ErrorKind::NotConnected
-        && e.to_string().starts_with("cluster node unreachable:")
+        && (e.to_string().starts_with("cluster node unreachable:")
+            || e.to_string().starts_with("cluster node retrying:"))
+}
+
+/// `true` when an error is a RETRYABLE cluster routing failure — the
+/// owning node is mid-reconnect and the request was not applied, so the
+/// caller should back off briefly and retry the same request.
+pub fn is_retryable_route_failure(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::NotConnected && e.to_string().starts_with("cluster node retrying:")
 }

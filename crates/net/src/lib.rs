@@ -28,11 +28,13 @@
     allow(clippy::cast_possible_truncation, clippy::indexing_slicing)
 )]
 
+pub mod chaos;
 pub mod client;
 pub mod frame;
 mod poller;
 pub mod server;
 
-pub use client::{classify_reply, is_route_failure, NetClient, Reply};
+pub use chaos::ChaosProxy;
+pub use client::{classify_reply, is_retryable_route_failure, is_route_failure, NetClient, Reply};
 pub use frame::{Frame, FrameReader, Poll, FRAME_OVERHEAD, MAX_FRAME_LEN};
 pub use server::{sim_time_since, NetConfig, NetServer, RecoveryReport};

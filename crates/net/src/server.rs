@@ -650,6 +650,31 @@ pub(crate) fn handle_request(
             engine.lock().handoff_install(&msg);
             vec![(wire::tag::OK, Vec::new())]
         }
+        wire::tag::RESYNC_PULL => {
+            // Bulk rejoin donation: the router asks a healthy node for a
+            // full image of its replicated planes (positions + cloaks).
+            // Read-only and unjournaled — the donor's state is the
+            // source of truth, not an event.
+            if !frame.payload.is_empty() {
+                NetCounters::add(&counters.frames_rejected, 1);
+                return err("malformed resync-pull payload".into());
+            }
+            let state = engine.lock().resync_export();
+            vec![(
+                wire::tag::RESYNC_STATE,
+                wire::encode_resync_state(&state).to_vec(),
+            )]
+        }
+        wire::tag::RESYNC_PUSH => {
+            let Some(state) = wire::decode_resync_state(&frame.payload) else {
+                NetCounters::add(&counters.frames_rejected, 1);
+                return err("malformed resync-state payload".into());
+            };
+            // Journals through the existing shadow/ingest ops, so the
+            // installed image survives a second crash of the rejoiner.
+            engine.lock().resync_install(&state);
+            vec![(wire::tag::OK, Vec::new())]
+        }
         other => {
             NetCounters::add(&counters.frames_rejected, 1);
             err(format!("unknown request tag 0x{other:02x}"))

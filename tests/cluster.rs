@@ -5,8 +5,10 @@
 //! K ∈ {1, 2, 4}, with a workload in which well over 10% of users
 //! cross partition boundaries (forcing `USER_HANDOFF` migrations) and
 //! standing-query deltas originate on whichever node owns the moving
-//! user. A dead node must surface as a loud kinded `ROUTE_FAIL`, never
-//! a hang or a masqueraded application error.
+//! user. An unreachable node must surface as a loud kinded
+//! `ROUTE_FAIL` — `RETRYABLE` while its supervisor reconnects, `DOWN`
+//! once the attempt budget is spent — never a hang or a masqueraded
+//! application error, and never an error text leaking node addresses.
 
 use lbsp_anonymizer::{CloakRequirement, GridCloak, PrivacyProfile};
 use lbsp_cluster::{PartitionMap, Router, RouterConfig};
@@ -14,12 +16,15 @@ use lbsp_core::engine::{EngineConfig, ShardedEngine};
 use lbsp_core::wire::{self, StandingKind};
 use lbsp_core::{MobileUser, PrivacyAwareSystem};
 use lbsp_geom::{Point, Rect, SimTime};
-use lbsp_net::{is_route_failure, NetClient, NetConfig, NetServer, Reply};
+use lbsp_net::{
+    is_retryable_route_failure, is_route_failure, NetClient, NetConfig, NetServer, Reply,
+};
 use lbsp_server::PublicObject;
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
 use std::collections::HashMap;
 use std::net::TcpListener;
+use std::time::Duration;
 
 const USERS: u64 = 200;
 const WAVES: u64 = 3;
@@ -313,9 +318,13 @@ fn cluster_is_byte_identical_to_the_sequential_system() {
     }
 }
 
-/// A dead node never hangs a request and never masquerades as an
-/// application error: the client gets a kinded `ROUTE_FAIL`, the
-/// router's failure counter moves, and the connection stays usable.
+/// A node that never answers walks the whole recovery ladder in plain
+/// sight: requests it owns fail `RETRYABLE` while the supervisor
+/// retries, then fail `DOWN` once the attempt budget is spent — never a
+/// hang, never a masqueraded application error. Requests owned by the
+/// *healthy* node keep succeeding throughout (the dead mirror is
+/// absorbed), and no failure text ever leaks a node's socket address
+/// through the public socket.
 #[test]
 fn dead_node_is_a_loud_kinded_error() {
     let good = NetServer::bind("127.0.0.1:0", fresh_engine(), NetConfig::default()).unwrap();
@@ -330,7 +339,12 @@ fn dead_node_is_a_loud_kinded_error() {
         "127.0.0.1:0",
         &[good_addr.as_str(), dead_addr.as_str()],
         world(),
-        RouterConfig::default(),
+        RouterConfig {
+            reconnect_base: Duration::from_millis(5),
+            reconnect_cap: Duration::from_millis(10),
+            reconnect_attempts: 2,
+            ..RouterConfig::default()
+        },
     )
     .unwrap();
     let mut client = NetClient::connect(router.local_addr()).unwrap();
@@ -340,33 +354,67 @@ fn dead_node_is_a_loud_kinded_error() {
         client.register(1, 2, 0.0, f64::INFINITY).unwrap(),
         Reply::Ok
     );
-    // An update must mirror into node 1's position plane; node 1 is
-    // dead, so the whole request fails loudly and kindedly.
-    let err = match client.update(1, Point::new(0.1, 0.1), SimTime::from_secs(1.0)) {
+    assert_eq!(
+        client.register(2, 2, 0.0, f64::INFINITY).unwrap(),
+        Reply::Ok
+    );
+    // (0.9, 0.9) lies in node 1's stripe: the request *needs* the dead
+    // node. The first failure is the demotion itself — RETRYABLE, the
+    // supervisor is about to try.
+    let err = match client.update(1, Point::new(0.9, 0.9), SimTime::from_secs(1.0)) {
         Err(e) => e,
-        Ok(r) => panic!("update through a dead cluster must not succeed: {r:?}"),
+        Ok(r) => panic!("update owned by a dead node must not succeed: {r:?}"),
     };
     assert!(is_route_failure(&err), "kinded route failure, got {err}");
     assert!(
         err.to_string().contains("node 1"),
-        "error names the dead node: {err}"
+        "error names the dead node by index: {err}"
     );
     assert!(
-        router.metrics_registry().net().snapshot().route_failures >= 1,
-        "router counted the failure"
+        !err.to_string().contains(&dead_addr),
+        "node addresses are topology and never cross the public socket: {err}"
     );
-    // Deadness is cached: the next attempt fails just as fast.
-    let err = match client.update(1, Point::new(0.9, 0.9), SimTime::from_secs(2.0)) {
-        Err(e) => e,
-        Ok(r) => panic!("dead node must stay dead: {r:?}"),
+    // The supervisor burns its two attempts against a refused port and
+    // declares the node down; from then on the failure kind is DOWN.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let down_err = loop {
+        match client.update(1, Point::new(0.9, 0.9), SimTime::from_secs(2.0)) {
+            Err(e) if !is_retryable_route_failure(&e) => break e,
+            Err(_) => {}
+            Ok(r) => panic!("dead node must not answer: {r:?}"),
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "node 1 must be declared down within the attempt budget"
+        );
+        std::thread::sleep(Duration::from_millis(10));
     };
-    assert!(is_route_failure(&err));
+    assert!(is_route_failure(&down_err), "still kinded: {down_err}");
+    assert!(
+        down_err.to_string().contains("node 1") && !down_err.to_string().contains(&dead_addr),
+        "DOWN text names the index, not the address: {down_err}"
+    );
+    let snap = router.metrics_registry().net().snapshot();
+    assert!(snap.route_failures >= 1, "the DOWN failure was counted");
+    assert!(
+        snap.retryable_failures >= 1,
+        "the reconnect-window failure was counted as retryable"
+    );
+    assert!(snap.reconnect_attempts >= 2, "the supervisor really tried");
+    // A request owned by the *healthy* node sails through: its mirror
+    // to the dead node is skipped, not failed. (User 2 never migrated —
+    // user 1's single copy was mid-handoff toward the node that died,
+    // which is lost with it, exactly as the recovery doctrine says.)
+    match client.update(2, Point::new(0.1, 0.1), SimTime::from_secs(3.0)) {
+        Ok(Reply::Cloaked(_)) => {}
+        other => panic!("update owned by the live node must succeed: {other:?}"),
+    }
     // The client connection itself is fine — the router still answers.
     match client.ping(b"alive").unwrap() {
         Reply::Pong(p) => assert_eq!(p, b"alive"),
         other => panic!("ping after route failure: {other:?}"),
     }
     let report = router.shutdown();
-    assert!(report.route_failures >= 2);
+    assert!(report.route_failures >= 1);
     drop(good.shutdown());
 }

@@ -1,0 +1,438 @@
+//! Fault-injection suite for the self-healing cluster, driven through
+//! the in-process TCP chaos proxy ([`lbsp_net::ChaosProxy`]). Each test
+//! puts node 1 of a two-node cluster behind the proxy and injects one
+//! fault class the recovery doctrine (DESIGN.md) promises to survive:
+//!
+//! * **sever mid-request** — the owner's stripe fails `RETRYABLE`
+//!   *fast* (no node-timeout burn), heals on restore, and every reply
+//!   before/after the fault is byte-identical to a sequential engine;
+//! * **sever mid-broadcast** — a dead *mirror* never fails a client
+//!   request: plane frames and broadcasts are absorbed into the
+//!   catch-up buffer and replayed in order on rejoin, keeping the
+//!   standing registries in lockstep;
+//! * **slow node** — a node answering slower than `node_timeout` is
+//!   demoted and held in `Reconnecting` (RETRYABLE, never a hang)
+//!   until it speeds back up;
+//! * **catch-up overflow** — a tiny buffer forces the rejoin through
+//!   the bulk `NODE_RESYNC` path (`resync_bytes` moves) and replies
+//!   stay byte-identical after it;
+//! * **kill → restart from WAL → rejoin** — the headline guarantee:
+//!   a durable node hard-stopped under load and restarted from its
+//!   journal on a fresh port rejoins, and the wire output matches the
+//!   run that never crashed.
+
+use lbsp_anonymizer::{CloakRequirement, PrivacyProfile};
+use lbsp_cluster::{Router, RouterConfig};
+use lbsp_core::engine::{EngineConfig, ShardedEngine};
+use lbsp_core::wire::{self, StandingKind};
+use lbsp_core::Durability;
+use lbsp_geom::{Point, Rect, SimTime};
+use lbsp_net::{is_retryable_route_failure, ChaosProxy, NetClient, NetConfig, NetServer, Reply};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+const USERS: u64 = 24;
+
+fn world() -> Rect {
+    Rect::new_unchecked(0.0, 0.0, 1.0, 1.0)
+}
+
+fn fresh_engine() -> ShardedEngine {
+    let mut cfg = EngineConfig::new(world());
+    cfg.refine = true;
+    ShardedEngine::new(cfg, 2)
+}
+
+fn profile(i: u64) -> PrivacyProfile {
+    let k = [2u32, 5, 10, 25][(i % 4) as usize];
+    PrivacyProfile::uniform(CloakRequirement::k_only(k)).expect("valid profile")
+}
+
+/// Deterministic geometry with explicit stripe ownership: even users
+/// live in node 0's stripe, odd users in node 1's, and per-wave drift
+/// never crosses the boundary (handoffs happen exactly once, on the
+/// first update).
+fn pos(i: u64, wave: u64) -> Point {
+    let x = if i.is_multiple_of(2) {
+        0.10 + i as f64 * 0.012
+    } else {
+        0.55 + i as f64 * 0.012
+    };
+    Point::new(x + wave as f64 * 1e-3, 0.20 + i as f64 * 0.02)
+}
+
+fn stamp(i: u64, wave: u64) -> SimTime {
+    SimTime::from_secs(wave as f64 * 60.0 + i as f64 * 1e-3)
+}
+
+/// A reconnect schedule fast enough for test-scale outages but with a
+/// budget that outlasts every scripted fault window.
+fn fast_recovery() -> RouterConfig {
+    RouterConfig {
+        node_timeout: Duration::from_millis(400),
+        reconnect_base: Duration::from_millis(2),
+        reconnect_cap: Duration::from_millis(10),
+        reconnect_attempts: 5_000,
+        ..RouterConfig::default()
+    }
+}
+
+/// Two nodes — node 1 reached through a chaos proxy — and a router.
+fn spawn(cfg: RouterConfig) -> (NetServer, NetServer, ChaosProxy, Router) {
+    let node0 = NetServer::bind("127.0.0.1:0", fresh_engine(), NetConfig::default()).unwrap();
+    let node1 = NetServer::bind("127.0.0.1:0", fresh_engine(), NetConfig::default()).unwrap();
+    let proxy = ChaosProxy::bind(node1.local_addr()).unwrap();
+    let nodes = [node0.local_addr().to_string(), proxy.addr().to_string()];
+    let refs: Vec<&str> = nodes.iter().map(|s| s.as_str()).collect();
+    let router = Router::bind("127.0.0.1:0", &refs, world(), cfg).unwrap();
+    (node0, node1, proxy, router)
+}
+
+fn connect(router: &Router) -> NetClient {
+    let client = NetClient::connect(router.local_addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    client
+        .set_write_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    client
+}
+
+fn register_all(client: &mut NetClient, reference: &mut ShardedEngine) {
+    for i in 0..USERS {
+        reference.register(i, profile(i));
+        let k = [2u32, 5, 10, 25][(i % 4) as usize];
+        assert_eq!(
+            client.register(i, k, 0.0, f64::INFINITY).unwrap(),
+            Reply::Ok,
+            "register {i}"
+        );
+    }
+}
+
+/// One update compared byte-for-byte against the reference engine,
+/// retrying RETRYABLE failures until `deadline`.
+fn update_identical(
+    client: &mut NetClient,
+    reference: &mut ShardedEngine,
+    i: u64,
+    wave: u64,
+    deadline: Instant,
+) {
+    let (p, t) = (pos(i, wave), stamp(i, wave));
+    let want = reference
+        .process_updates_wire(&[(i, p, t)])
+        .into_iter()
+        .next()
+        .expect("one frame")
+        .expect("registered user cloaks")
+        .to_vec();
+    loop {
+        match client.update(i, p, t) {
+            Ok(Reply::Cloaked(bytes)) => {
+                assert_eq!(bytes, want, "update {i} wave {wave} diverges");
+                return;
+            }
+            Err(e) if is_retryable_route_failure(&e) && Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            other => panic!("update {i} wave {wave}: {other:?}"),
+        }
+    }
+}
+
+fn run_wave(client: &mut NetClient, reference: &mut ShardedEngine, ids: &[u64], wave: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    for &i in ids {
+        update_identical(client, reference, i, wave, deadline);
+    }
+}
+
+fn all_users() -> Vec<u64> {
+    (0..USERS).collect()
+}
+
+fn even_users() -> Vec<u64> {
+    (0..USERS).step_by(2).collect()
+}
+
+#[test]
+fn sever_mid_request_fails_retryable_fast_and_heals_byte_identical() {
+    let (node0, node1, proxy, router) = spawn(fast_recovery());
+    let mut reference = fresh_engine();
+    let mut client = connect(&router);
+    register_all(&mut client, &mut reference);
+    run_wave(&mut client, &mut reference, &all_users(), 0);
+
+    proxy.sever();
+    std::thread::sleep(Duration::from_millis(30));
+    // The owner's stripe fails RETRYABLE, and it fails *fast*: the
+    // demotion check in `begin` must answer from the state machine, not
+    // burn the full node timeout against a channel whose reader is gone
+    // (the dead-channel race this PR fixes).
+    let started = Instant::now();
+    match client.update(1, pos(1, 1), stamp(1, 1)) {
+        Err(e) => {
+            assert!(is_retryable_route_failure(&e), "kind is RETRYABLE: {e}");
+            assert!(
+                !e.to_string().contains(&node1.local_addr().to_string()),
+                "no address leak: {e}"
+            );
+        }
+        Ok(r) => panic!("severed stripe answered {r:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_millis(350),
+        "severed stripe must fail fast, took {:?}",
+        started.elapsed()
+    );
+
+    // Nothing died — the proxy just cut the wire. Restore it and the
+    // supervisor heals the node; the stranded request then succeeds and
+    // stays on the sequential byte stream.
+    proxy.restore();
+    run_wave(&mut client, &mut reference, &all_users(), 1);
+
+    let snap = router.metrics_registry().net().snapshot();
+    assert!(snap.retryable_failures >= 1, "retryable counted");
+    assert!(snap.node_rejoins >= 1, "rejoin counted");
+    let report = router.shutdown();
+    assert_eq!(report.route_failures, 0, "no fatal failures");
+    drop((node0.shutdown(), node1.shutdown()));
+}
+
+#[test]
+fn sever_mid_broadcast_never_fails_the_client_and_replays_in_order() {
+    let (node0, node1, proxy, router) = spawn(fast_recovery());
+    let mut reference = fresh_engine();
+    let mut client = connect(&router);
+    register_all(&mut client, &mut reference);
+    run_wave(&mut client, &mut reference, &all_users(), 0);
+
+    proxy.sever();
+    std::thread::sleep(Duration::from_millis(30));
+    // Node 1 is now only a *mirror* for this traffic: every update in
+    // node 0's stripe must succeed byte-identically (the mirror frames
+    // are absorbed into the catch-up buffer, not failed)…
+    run_wave(&mut client, &mut reference, &even_users(), 1);
+    // …and a standing-query broadcast mid-outage succeeds too, with the
+    // id the sequential registry assigns (node 0 settles first; the
+    // buffered copy replays into node 1 on rejoin, keeping lockstep).
+    let area = Rect::new_unchecked(0.05, 0.05, 0.45, 0.95);
+    let want_id = reference.add_standing_count(area);
+    let got = match client.register_standing_count(area).unwrap() {
+        Reply::StandingRegistered(bytes) => wire::decode_standing_ref(&bytes).unwrap(),
+        other => panic!("standing registration during outage: {other:?}"),
+    };
+    assert_eq!((got.kind, got.id), (StandingKind::Count, want_id));
+
+    proxy.restore();
+    // Odd stripe comes back (buffer replayed first, in order), and the
+    // whole population keeps the sequential byte stream.
+    run_wave(&mut client, &mut reference, &all_users(), 2);
+    let want = reference
+        .standing_state(StandingKind::Count, want_id)
+        .unwrap();
+    match client
+        .standing_snapshot(StandingKind::Count, want_id)
+        .unwrap()
+    {
+        Reply::StandingState(bytes) => {
+            assert_eq!(
+                bytes,
+                wire::encode_standing_state(&want).to_vec(),
+                "standing snapshot after rejoin"
+            );
+        }
+        other => panic!("standing snapshot: {other:?}"),
+    }
+
+    let report = router.shutdown();
+    assert_eq!(
+        report.route_failures, 0,
+        "a dead mirror never fails a client request"
+    );
+    drop(node0.shutdown());
+    // Lockstep proof at the node level: the replayed registry on the
+    // rejoined mirror carries the same observable counters (`expected`
+    // is summation-order-sensitive f64, so integers pin the claim).
+    let engine1 = node1.shutdown();
+    let state = engine1
+        .standing_state(StandingKind::Count, want_id)
+        .unwrap();
+    match (state, want) {
+        (wire::StandingState::Count(g), wire::StandingState::Count(w)) => {
+            assert_eq!(
+                (g.seq, g.certain, g.possible),
+                (w.seq, w.certain, w.possible),
+                "rejoined mirror registry in lockstep"
+            );
+        }
+        _ => panic!("count query answered with a non-count state"),
+    }
+}
+
+#[test]
+fn slow_node_is_demoted_retryable_and_heals_when_it_speeds_up() {
+    let mut cfg = fast_recovery();
+    cfg.node_timeout = Duration::from_millis(150);
+    let (node0, node1, proxy, router) = spawn(cfg);
+    let mut reference = fresh_engine();
+    let mut client = connect(&router);
+    register_all(&mut client, &mut reference);
+    run_wave(&mut client, &mut reference, &all_users(), 0);
+
+    // Every forwarded chunk now takes far longer than the node timeout:
+    // the next request on node 1's stripe must time out into a
+    // RETRYABLE demotion — bounded by `node_timeout`, never a hang —
+    // and the liveness ping keeps the node in `Reconnecting` for as
+    // long as it stays slow.
+    proxy.set_delay(Duration::from_millis(600));
+    let started = Instant::now();
+    match client.update(1, pos(1, 1), stamp(1, 1)) {
+        Err(e) => assert!(is_retryable_route_failure(&e), "kind is RETRYABLE: {e}"),
+        Ok(r) => panic!("slow node answered in time: {r:?}"),
+    }
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "slowness is bounded by node_timeout, took {elapsed:?}"
+    );
+
+    proxy.set_delay(Duration::ZERO);
+    run_wave(&mut client, &mut reference, &all_users(), 1);
+    let snap = router.metrics_registry().net().snapshot();
+    assert!(snap.retryable_failures >= 1);
+    assert!(snap.node_rejoins >= 1, "recovered once the delay cleared");
+    let report = router.shutdown();
+    assert_eq!(report.route_failures, 0);
+    drop((node0.shutdown(), node1.shutdown()));
+}
+
+#[test]
+fn catchup_overflow_rejoins_through_bulk_resync() {
+    let mut cfg = fast_recovery();
+    // Small enough that a handful of mirror frames overflows it.
+    cfg.catchup_buffer_bytes = 256;
+    let (node0, node1, proxy, router) = spawn(cfg);
+    let mut reference = fresh_engine();
+    let mut client = connect(&router);
+    register_all(&mut client, &mut reference);
+    run_wave(&mut client, &mut reference, &all_users(), 0);
+
+    proxy.sever();
+    std::thread::sleep(Duration::from_millis(30));
+    // Two full waves of node-0-stripe traffic: far more plane bytes
+    // than the buffer holds, so the rejoin must go through the bulk
+    // donor-resync path instead of ordered replay.
+    run_wave(&mut client, &mut reference, &even_users(), 1);
+    run_wave(&mut client, &mut reference, &even_users(), 2);
+
+    proxy.restore();
+    // The stranded stripe heals — its first reply proves the bulk image
+    // (positions and cloaks are exact-bit codecs) reconstructed the
+    // planes, because the cloak for an odd user depends on the *whole*
+    // population's positions.
+    run_wave(&mut client, &mut reference, &all_users(), 3);
+
+    let snap = router.metrics_registry().net().snapshot();
+    assert!(
+        snap.resync_bytes > 0,
+        "overflowed rejoin must pay a bulk resync, counters: {snap:?}"
+    );
+    assert!(snap.node_rejoins >= 1);
+    let report = router.shutdown();
+    assert_eq!(report.route_failures, 0);
+    drop((node0.shutdown(), node1.shutdown()));
+}
+
+// ---------------------------------------------------------------------
+// Kill → restart from WAL → rejoin (the acceptance guarantee).
+// ---------------------------------------------------------------------
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    fn new() -> TempDir {
+        let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("lbsp-cluster-chaos-{}-{n}", std::process::id()));
+        fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+#[test]
+fn killed_node_restarts_from_wal_rejoins_and_stays_byte_identical() {
+    let dir = TempDir::new();
+    let open_node1 = || {
+        let mut cfg = EngineConfig::new(world());
+        cfg.refine = true;
+        lbsp_store::open_engine(dir.path(), cfg, 2, Durability::default())
+            .expect("open durable node 1")
+    };
+
+    let node0 = NetServer::bind("127.0.0.1:0", fresh_engine(), NetConfig::default()).unwrap();
+    let opened = open_node1();
+    assert!(!opened.recovered);
+    let node1 = NetServer::bind("127.0.0.1:0", opened.engine, NetConfig::default()).unwrap();
+    let proxy = ChaosProxy::bind(node1.local_addr()).unwrap();
+    let nodes = [node0.local_addr().to_string(), proxy.addr().to_string()];
+    let refs: Vec<&str> = nodes.iter().map(|s| s.as_str()).collect();
+    let router = Router::bind("127.0.0.1:0", &refs, world(), fast_recovery()).unwrap();
+    let mut reference = fresh_engine();
+    let mut client = connect(&router);
+    register_all(&mut client, &mut reference);
+    run_wave(&mut client, &mut reference, &all_users(), 0);
+    run_wave(&mut client, &mut reference, &all_users(), 1);
+
+    // Hard-stop the durable node mid-life and cut its wire.
+    proxy.sever();
+    drop(node1.shutdown());
+    std::thread::sleep(Duration::from_millis(30));
+    match client.update(1, pos(1, 2), stamp(1, 2)) {
+        Err(e) => assert!(is_retryable_route_failure(&e), "outage is RETRYABLE: {e}"),
+        Ok(r) => panic!("killed node answered {r:?}"),
+    }
+    // The healthy stripe never notices (mirrors buffered).
+    run_wave(&mut client, &mut reference, &even_users(), 2);
+
+    // Restart from the journal on a fresh port; retarget and heal the
+    // proxy; the supervisor replays the buffered frames and the cluster
+    // output rejoins the uncrashed byte stream — odd stripe included.
+    let opened = open_node1();
+    assert!(opened.recovered, "restart recovered WAL state");
+    let node1 = NetServer::bind("127.0.0.1:0", opened.engine, NetConfig::default()).unwrap();
+    proxy.set_upstream(node1.local_addr());
+    proxy.restore();
+    let odd: Vec<u64> = (1..USERS).step_by(2).collect();
+    run_wave(&mut client, &mut reference, &odd, 2);
+    run_wave(&mut client, &mut reference, &all_users(), 3);
+
+    let snap = router.metrics_registry().net().snapshot();
+    assert!(snap.node_rejoins >= 1, "the rejoin happened");
+    assert!(snap.reconnect_attempts >= 1);
+    let report = router.shutdown();
+    assert_eq!(
+        report.route_failures, 0,
+        "a transient single fault leaves no fatal route failures"
+    );
+    drop((node0.shutdown(), node1.shutdown()));
+}

@@ -9,10 +9,12 @@
 //! the calls the real `Router` issues over the wire (handoff export /
 //! install, per-row update on the owner, shadow + cloak-ingest
 //! broadcasts, standing-query broadcasts). Driving engines directly is
-//! what lets it freeze one node at a precise journal boundary — the
-//! network `Router` treats a dead node as permanently dead by design
-//! (see `tests/cluster.rs`), so restart-and-rejoin is exercised here,
-//! at the storage layer that actually implements it.
+//! what lets it freeze one node at a precise journal boundary — a
+//! precision the network stack can't offer. The wire-level half of the
+//! story — the real `Router` demoting a faulted node, retrying with
+//! backoff, and resyncing it on rejoin — is exercised end-to-end by
+//! `tests/cluster_chaos.rs`; this test pins the storage layer that
+//! rejoin ultimately stands on.
 
 use privacy_lbs::anonymizer::{CloakRequirement, PrivacyProfile};
 use privacy_lbs::cluster::PartitionMap;
