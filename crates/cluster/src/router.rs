@@ -31,9 +31,14 @@
 //!   as a [`wire::tag::USER_HANDOFF`] reply, and
 //!   [`wire::tag::HANDOFF_PUSH`] installs it on the new owner.
 //!
-//! Standing-query registrations and deregistrations are broadcast to
-//! every node, which keeps the per-kind id counters in lockstep
-//! cluster-wide; the client sees node 0's reply. Deltas pushed by
+//! Standing-query registrations go to node 0, the sole id allocator;
+//! the granted id is then fanned to every other node in a
+//! [`wire::tag::STANDING_INSTALL`] frame, which installs the query
+//! *under that id* rather than allocating one. Deregistrations name an
+//! id and broadcast directly. Mirror frames are therefore idempotent
+//! by key — a replay after an ack-lost outage is a no-op — instead of
+//! depending on every node allocating in lockstep; the client sees
+//! node 0's reply. Deltas pushed by
 //! whichever node processed an update are fanned out to subscribed
 //! router connections through the same subscription-table idiom the
 //! single-node server uses.
@@ -54,7 +59,7 @@
 //! (updates, queries, registrations of a user) hold it *shared*;
 //! operations whose correctness depends on every node observing them at
 //! the same point in the request stream — standing-query broadcasts,
-//! which must keep the per-kind id counters in lockstep, and ownership
+//! which every registry must observe in the same order, and ownership
 //! handoffs — hold it *exclusive*, quiescing in-flight updates first.
 //! The ownership tables themselves live under a short
 //! [`LockRank::ClusterCore`] mutex that is never held across node I/O.
@@ -78,10 +83,15 @@
 //!   the client should simply retry. These bump `retryable_failures`,
 //!   **not** `route_failures`.
 //! * Replicated-plane traffic the node merely *mirrors* (shadow
-//!   updates, cloak ingests, standing broadcasts, parked handoffs) is
-//!   absorbed into a bounded per-node catch-up buffer and replayed in
-//!   arrival order on rejoin, so a transient outage is invisible to
-//!   clients of other nodes.
+//!   updates, cloak ingests, standing installs and deregisters,
+//!   parked handoffs) is absorbed into a bounded per-node catch-up
+//!   buffer and replayed in arrival order on rejoin, so a transient
+//!   outage is invisible to clients of other nodes. Every such frame
+//!   is idempotent by key, so replaying one that already landed
+//!   before the cut is a no-op. A preserved-class frame is dropped
+//!   only when its node turns terminally `Down`; the drop bumps the
+//!   `mirror_drops` counter and logs, because it marks real
+//!   divergence.
 //! * If the buffer overflows its byte bound, reconstructible plane
 //!   frames are dropped and the rejoin instead performs a bulk
 //!   [`wire::tag::RESYNC_PULL`] / [`wire::tag::RESYNC_PUSH`] transfer
@@ -244,10 +254,7 @@ struct PendingCall<'a> {
 fn retained_on_overflow(tag: u8) -> bool {
     matches!(
         tag,
-        wire::tag::REGISTER_STANDING_COUNT
-            | wire::tag::REGISTER_STANDING_RANGE
-            | wire::tag::DEREGISTER_STANDING
-            | wire::tag::HANDOFF_PUSH
+        wire::tag::STANDING_INSTALL | wire::tag::DEREGISTER_STANDING | wire::tag::HANDOFF_PUSH
     )
 }
 
@@ -623,6 +630,9 @@ struct Core {
     /// bulk rejoin resyncs).
     gate: TrackedRwLock<()>,
     tables: TrackedMutex<Tables>,
+    /// Counter sink for transport accounting on paths that do not
+    /// otherwise carry the registry (mirror-frame drops).
+    obs: Arc<MetricsRegistry>,
 }
 
 impl Core {
@@ -668,36 +678,58 @@ impl Core {
     }
 
     /// Absorbs a mirror frame a node cannot take right now: buffered
-    /// while it reconnects, dropped if it is down for good, delivered
-    /// inline if it raced back up between checks. The spin is bounded —
-    /// each retry chases a single state transition.
-    fn absorb_mirror(&self, i: usize, tag: u8, payload: &[u8]) {
-        let Ok(ch) = self.channel(i) else { return };
+    /// while it reconnects, delivered inline if it raced back up
+    /// between checks, dropped only when the node is terminally `Down`.
+    /// Returns `false` on a drop; doctrine-preserved frames
+    /// (broadcast-class installs/deregisters, handoff pushes) addi-
+    /// tionally bump `mirror_drops` and log, because losing one means
+    /// state diverged and stays diverged.
+    ///
+    /// The loop is unbounded on purpose — a flapping node must not
+    /// shake a preserved frame loose — but it cannot spin hot: every
+    /// arm consumes a state transition. A failed `begin`/`wait`
+    /// demotes the node, a failed `buffer_frame` means the state
+    /// changed under the recovery lock, and `Down` is terminal.
+    fn absorb_mirror(&self, i: usize, tag: u8, payload: &[u8]) -> bool {
+        let Ok(ch) = self.channel(i) else {
+            return false;
+        };
         let mut scratch: DeltaBatch = Vec::new();
-        for _ in 0..8 {
+        loop {
             match ch.state.load(Ordering::SeqCst) {
                 NODE_RECONNECTING => {
                     if ch.buffer_frame(tag, payload) {
-                        return;
+                        return true;
                     }
                 }
                 NODE_UP => {
-                    let Ok(call) = ch.begin(tag, payload) else {
-                        continue;
-                    };
-                    if call.wait(&mut scratch).is_ok() {
-                        return;
+                    if let Ok(call) = ch.begin(tag, payload) {
+                        if call.wait(&mut scratch).is_ok() {
+                            return true;
+                        }
                     }
                 }
-                _ => return,
+                _ => {
+                    if retained_on_overflow(tag) {
+                        NetCounters::add(&self.obs.net().mirror_drops, 1);
+                        eprintln!(
+                            "router: node {i} went down holding an undeliverable \
+                             preserved frame 0x{tag:02x}; state diverged"
+                        );
+                    }
+                    return false;
+                }
             }
         }
     }
 
     /// Begins a mirror-plane frame on node `i`. Only an `Up` node
     /// yields a pending call; a reconnecting node absorbs the frame
-    /// into its catch-up buffer (to replay on rejoin) and a down node
-    /// skips it — either way the client request proceeds.
+    /// into its catch-up buffer (to replay on rejoin) and a terminally
+    /// down node drops it (counted by [`Core::absorb_mirror`] when the
+    /// frame class is preserved) — either way the client request
+    /// proceeds, because a `Down` node is lost as a whole, not one
+    /// frame at a time.
     fn begin_mirror(&self, i: usize, tag: u8, payload: &[u8]) -> Option<PendingCall<'_>> {
         let Ok(ch) = self.channel(i) else { return None };
         if ch.state.load(Ordering::SeqCst) == NODE_UP {
@@ -714,9 +746,11 @@ impl Core {
     }
 
     /// Waits a begun mirror call. A transport failure parks the frame
-    /// in the node's catch-up buffer and reports success — both planes
-    /// key their rows, so a frame that *did* land before the cut
-    /// re-applies as a no-op on replay. Only an explicit rejection
+    /// in the node's catch-up buffer and reports success — every frame
+    /// class crossing this path is idempotent by key (plane rows key on
+    /// pseudonym/user, standing installs carry the node-0-granted id,
+    /// deregisters name an id), so a frame that *did* land before the
+    /// cut re-applies as a no-op on replay. Only an explicit rejection
     /// (`expect_ok` and the node answered something else) fails the
     /// request: that is a consistency break, not an outage.
     fn wait_mirror(
@@ -760,7 +794,11 @@ impl Core {
     /// push lost to a transport cut is parked in `to`'s catch-up buffer
     /// (handoff frames survive overflow) and the table flips anyway:
     /// rejoin replay installs the state before any retried update can
-    /// reach the node.
+    /// reach the node. If `to` instead dies *terminally* after the
+    /// pull, the table does not flip: the state is pushed back into
+    /// `from` — still up, it just answered the pull — and the request
+    /// fails with the fatal kind, leaving ownership where the bytes
+    /// are.
     fn handoff(
         &self,
         user: u64,
@@ -791,7 +829,16 @@ impl Core {
         match self.expect_ok(to, wire::tag::HANDOFF_PUSH, &pull.1, deltas) {
             Ok(()) => {}
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                self.absorb_mirror(to, wire::tag::HANDOFF_PUSH, &pull.1);
+                if !self.absorb_mirror(to, wire::tag::HANDOFF_PUSH, &pull.1) {
+                    // `to` is terminally down and the pull already
+                    // happened: reinstall on the old owner and abort
+                    // the migration instead of flipping ownership
+                    // toward a grave. If `from` also cannot take the
+                    // state back, the drop was already counted and the
+                    // user's state is genuinely lost with the node.
+                    self.absorb_mirror(from, wire::tag::HANDOFF_PUSH, &pull.1);
+                    return Err(self.channel(to)?.down_error());
+                }
             }
             Err(e) => return Err(e),
         }
@@ -999,18 +1046,47 @@ impl Core {
             .map(|f| vec![f])
     }
 
+    /// Fans one frame out to every mirror node (1..n), waiting each
+    /// begun call. Returns the first consistency error, if any.
+    fn fan_out_mirrors(
+        &self,
+        tag: u8,
+        payload: &[u8],
+        expect_ok: bool,
+        deltas: &mut DeltaBatch,
+    ) -> io::Result<()> {
+        let mut mirrors = Vec::new();
+        for i in 1..self.channels.len() {
+            if let Some(call) = self.begin_mirror(i, tag, payload) {
+                mirrors.push((i, call));
+            }
+        }
+        let mut first_err: Option<io::Error> = None;
+        for (i, call) in mirrors {
+            if let Err(e) = self.wait_mirror(i, tag, payload, call, expect_ok, deltas) {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     /// Standing registrations and deregistrations run on *every* node
-    /// under the exclusive gate, keeping the per-kind id counters in
-    /// lockstep cluster-wide; the client sees node 0's reply. Node 0 is
-    /// settled *first* — if it is away the broadcast fails `RETRYABLE`
-    /// before any other node observes the frame, so a clean client
-    /// retry keeps the counters in lockstep. (The narrow window where
-    /// node 0 applied the frame but its ack was lost is documented in
-    /// DESIGN.md.) Unavailable mirrors absorb the frame into their
-    /// catch-up buffers; broadcast-class frames survive buffer
-    /// overflow. Malformed payloads are broadcast too: every node
-    /// rejects identically, so the registries stay in lockstep either
-    /// way.
+    /// under the exclusive gate; the client sees node 0's reply, and
+    /// node 0's *begin* gates the mirrors — if it is away the
+    /// broadcast fails `RETRYABLE` before any other node observes the
+    /// frame. Node 0 is the sole id allocator: a registration settles
+    /// node 0's round trip, then fans the granted id to the mirrors as
+    /// an idempotent [`wire::tag::STANDING_INSTALL`]; a deregistration
+    /// (keyed by id already) pipelines node 0 and the mirrors in one
+    /// round trip. Unavailable mirrors absorb their frame into the
+    /// catch-up buffer; broadcast-class frames survive buffer
+    /// overflow. (The narrow window where node 0 applied a
+    /// registration but its ack was lost is documented in DESIGN.md.)
     fn route_broadcast(
         &self,
         frame: &Frame,
@@ -1018,44 +1094,79 @@ impl Core {
         subs_out: &mut Vec<SubAction>,
     ) -> io::Result<Vec<Outbound>> {
         let _gate = self.gate.write();
-        let reply = self.call(0, frame.tag, &frame.payload, deltas)?;
-        let mut mirrors = Vec::new();
-        for i in 1..self.channels.len() {
-            if let Some(call) = self.begin_mirror(i, frame.tag, &frame.payload) {
-                mirrors.push((i, call));
-            }
-        }
-        let mut first_err: Option<io::Error> = None;
-        for (i, call) in mirrors {
-            if let Err(e) = self.wait_mirror(i, frame.tag, &frame.payload, call, false, deltas) {
-                if first_err.is_none() {
-                    first_err = Some(e);
-                }
-            }
-        }
-        if let Some(e) = first_err {
-            return Err(e);
-        }
-        match frame.tag {
-            wire::tag::REGISTER_STANDING_COUNT | wire::tag::REGISTER_STANDING_RANGE
-                if reply.0 == wire::tag::STANDING_REGISTERED =>
-            {
-                if let Some(r) = wire::decode_standing_ref(&reply.1) {
-                    subs_out.push(SubAction::Subscribe((r.kind.code(), r.id)));
-                    if frame.tag == wire::tag::REGISTER_STANDING_RANGE {
-                        if let Some(msg) = wire::decode_register_standing_range(&frame.payload) {
-                            self.tables.lock().range_user.insert(r.id, msg.user);
-                        }
-                    }
-                }
-            }
-            wire::tag::DEREGISTER_STANDING if reply.0 == wire::tag::OK => {
+        if frame.tag == wire::tag::DEREGISTER_STANDING {
+            // Deregistration names an id, so mirrors need nothing from
+            // node 0's reply and the fan-out pipelines: begin node 0,
+            // begin every mirror, then wait. The gate property only
+            // needs node 0's *begin* to fast-fail (demoted/down state)
+            // before any mirror observes the frame — not its full
+            // round trip — so the exclusive-gate hold is one round
+            // trip, not two, even at worst-case node timeout.
+            let call0 = self.channel(0)?.begin(frame.tag, &frame.payload)?;
+            let mirror_res = self.fan_out_mirrors(frame.tag, &frame.payload, false, deltas);
+            // Node 0's outcome decides the client reply; mirrors that
+            // already deregistered (a replayed/raced frame) answer an
+            // error that expect_ok=false tolerates.
+            let reply = call0.wait(deltas)?;
+            mirror_res?;
+            if reply.0 == wire::tag::OK {
                 if let Some(r) = wire::decode_standing_ref(&frame.payload) {
                     subs_out.push(SubAction::DropQuery((r.kind.code(), r.id)));
                     self.tables.lock().range_user.remove(&r.id);
                 }
             }
-            _ => {}
+            return Ok(vec![reply]);
+        }
+        // Registration cannot pipeline the same way: mirrors install
+        // the id node 0 grants, and that id only exists once node 0 has
+        // answered. The serialized round trip is the price of a keyed,
+        // idempotent mirror frame (STANDING_INSTALL) — an ack-lost
+        // replay re-installs the same id as a no-op instead of
+        // double-allocating and desynchronizing the registries.
+        let reply = self.call(0, frame.tag, &frame.payload, deltas)?;
+        if reply.0 != wire::tag::STANDING_REGISTERED {
+            // Node 0 refused (malformed frame, engine error): nothing
+            // was allocated, so the mirrors must not observe it either.
+            return Ok(vec![reply]);
+        }
+        let r = wire::decode_standing_ref(&reply.1).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "node 0 answered a standing registration with a malformed reference",
+            )
+        })?;
+        let install = match frame.tag {
+            wire::tag::REGISTER_STANDING_COUNT => {
+                wire::decode_register_standing_count(&frame.payload).map(|m| {
+                    wire::StandingInstallMsg::Count {
+                        id: r.id,
+                        area: m.area,
+                    }
+                })
+            }
+            _ => wire::decode_register_standing_range(&frame.payload).map(|m| {
+                wire::StandingInstallMsg::Range {
+                    id: r.id,
+                    user: m.user,
+                    radius: m.radius,
+                }
+            }),
+        }
+        .ok_or_else(|| {
+            // Node 0 granted an id for a payload this router cannot
+            // parse — a version skew, not an outage.
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "standing registration granted by node 0 but undecodable at the router",
+            )
+        })?;
+        let payload = wire::encode_standing_install(&install);
+        self.fan_out_mirrors(wire::tag::STANDING_INSTALL, &payload, true, deltas)?;
+        subs_out.push(SubAction::Subscribe((r.kind.code(), r.id)));
+        if frame.tag == wire::tag::REGISTER_STANDING_RANGE {
+            if let wire::StandingInstallMsg::Range { user, .. } = install {
+                self.tables.lock().range_user.insert(r.id, user);
+            }
         }
         Ok(vec![reply])
     }
@@ -1124,6 +1235,7 @@ fn is_internal(tag: u8) -> bool {
             | wire::tag::HANDOFF_PUSH
             | wire::tag::RESYNC_PULL
             | wire::tag::RESYNC_PUSH
+            | wire::tag::STANDING_INSTALL
     )
 }
 
@@ -1188,6 +1300,7 @@ impl Router {
                 .collect(),
             gate: TrackedRwLock::new(LockRank::ClusterRouter, ()),
             tables: TrackedMutex::new(LockRank::ClusterCore, Tables::default()),
+            obs: Arc::clone(&obs),
         });
         let subs: SharedSubs = Arc::new(TrackedMutex::new(
             LockRank::NetStandingSubs,
@@ -1551,11 +1664,12 @@ fn replay_buffer(ch: &NodeChannel) -> io::Result<usize> {
             return Ok(replayed);
         };
         let mut scratch: DeltaBatch = Vec::new();
-        // Any well-formed reply is acceptance: replayed broadcasts
-        // answer `STANDING_REGISTERED`, plane and handoff frames `OK`,
-        // and a lockstep rejection would be the same error every peer
-        // produced. Transport failures propagate (retryable) and the
-        // supervisor starts the outage over.
+        // Any well-formed reply is acceptance: replayed installs,
+        // plane and handoff frames answer `OK`, and a replayed
+        // deregister whose first delivery landed answers an unknown-id
+        // error — the no-op outcome idempotence promises. Transport
+        // failures propagate (retryable) and the supervisor starts the
+        // outage over.
         let _ = ch.begin_internal(tag, &payload)?.wait(&mut scratch)?;
         let mut rec = ch.recovery.lock();
         rec.buffer.pop_front();

@@ -904,6 +904,46 @@ impl ShardedEngine {
         id
     }
 
+    /// Installs a standing count query under the id node 0 granted
+    /// (cluster mirror path; local clients go through
+    /// [`Self::add_standing_count`], which allocates). Seeds from the
+    /// shards exactly like the allocating path. Idempotent: returns
+    /// `false` and changes nothing if `id` is already registered, so an
+    /// ack-lost mirror frame can be replayed safely.
+    pub fn install_standing_count(&mut self, id: u64, area: Rect) -> bool {
+        if self.standing_counts.contains(id) {
+            return false;
+        }
+        self.journal_op(|| EngineOp::InstallStandingCount { id, area });
+        let mut seeds: Vec<(u64, Rect)> = Vec::new();
+        for shard in &self.private {
+            // lint: lock(PrivateShard)
+            let store = shard.read();
+            seeds.extend(store.iter().map(|r| (r.pseudonym, r.region)));
+        }
+        let installed = self.standing_counts.register_at(id, area, seeds);
+        self.maybe_snapshot();
+        installed
+    }
+
+    /// Installs a standing private range query under the id node 0
+    /// granted. Same mirror-path idempotence contract as
+    /// [`Self::install_standing_count`].
+    pub fn install_standing_range(
+        &mut self,
+        id: StandingQueryId,
+        user: UserId,
+        radius: f64,
+    ) -> bool {
+        if self.standing_ranges.contains(id) {
+            return false;
+        }
+        self.journal_op(|| EngineOp::InstallStandingRange { id, user, radius });
+        let installed = self.standing_ranges.register_at(id, user, radius);
+        self.maybe_snapshot();
+        installed
+    }
+
     /// Drops a standing query from the registry `kind` addresses.
     pub fn deregister_standing(&mut self, kind: StandingKind, id: u64) -> bool {
         self.journal_op(|| EngineOp::DeregisterStanding { kind, id });
@@ -1223,6 +1263,12 @@ impl ShardedEngine {
             }
             EngineOp::AddStandingRange { user, radius } => {
                 self.add_standing_range(*user, *radius);
+            }
+            EngineOp::InstallStandingCount { id, area } => {
+                self.install_standing_count(*id, *area);
+            }
+            EngineOp::InstallStandingRange { id, user, radius } => {
+                self.install_standing_range(*id, *user, *radius);
             }
             EngineOp::DeregisterStanding { kind, id } => {
                 self.deregister_standing(*kind, *id);

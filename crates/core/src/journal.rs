@@ -165,6 +165,27 @@ pub enum EngineOp {
         /// Query radius in world units.
         radius: f64,
     },
+    /// Cluster mirror: a standing count query installed under the id
+    /// node 0 granted (mirrors never allocate ids). Idempotent — if
+    /// the id is already present the registry leaves it untouched — so
+    /// an ack-lost replay of the mirror frame is a no-op.
+    InstallStandingCount {
+        /// The node-0-granted query id.
+        id: u64,
+        /// The monitored area.
+        area: Rect,
+    },
+    /// Cluster mirror: a standing private range query installed under
+    /// the id node 0 granted. Same idempotence contract as
+    /// [`EngineOp::InstallStandingCount`].
+    InstallStandingRange {
+        /// The node-0-granted query id.
+        id: u64,
+        /// Owning user.
+        user: UserId,
+        /// Query radius in world units.
+        radius: f64,
+    },
     /// A standing query was deregistered.
     DeregisterStanding {
         /// Which registry the id lives in.
@@ -239,6 +260,7 @@ const TAG_SHADOW_BATCH: u8 = 0x09;
 const TAG_INGEST_CLOAK: u8 = 0x0A;
 const TAG_HANDOFF_OUT: u8 = 0x0B;
 const TAG_HANDOFF_IN: u8 = 0x0C;
+const TAG_INSTALL_STANDING: u8 = 0x0D;
 const TAG_INIT_ENGINE: u8 = 0xE0;
 const TAG_INIT_SYSTEM: u8 = 0xE1;
 
@@ -515,6 +537,25 @@ pub fn encode_record(rec: &JournalRecord) -> Bytes {
                     },
                 ));
             }
+            EngineOp::InstallStandingCount { id, area } => {
+                b.put_u8(TAG_INSTALL_STANDING);
+                b.extend_from_slice(&wire::encode_standing_install(
+                    &wire::StandingInstallMsg::Count {
+                        id: *id,
+                        area: *area,
+                    },
+                ));
+            }
+            EngineOp::InstallStandingRange { id, user, radius } => {
+                b.put_u8(TAG_INSTALL_STANDING);
+                b.extend_from_slice(&wire::encode_standing_install(
+                    &wire::StandingInstallMsg::Range {
+                        id: *id,
+                        user: *user,
+                        radius: *radius,
+                    },
+                ));
+            }
             EngineOp::DeregisterStanding { kind, id } => {
                 b.put_u8(TAG_DEREGISTER_STANDING);
                 b.extend_from_slice(&wire::encode_standing_ref(&wire::StandingRefMsg {
@@ -623,6 +664,20 @@ pub fn decode_record(buf: &[u8]) -> Option<JournalRecord> {
             JournalRecord::Op(EngineOp::AddStandingRange {
                 user: msg.user,
                 radius: msg.radius,
+            })
+        }
+        TAG_INSTALL_STANDING => {
+            // The install codec is strict about its own length (per
+            // kind), so only the full-record check lives there.
+            let msg = wire::decode_standing_install(r.buf)?;
+            r.buf = &[];
+            JournalRecord::Op(match msg {
+                wire::StandingInstallMsg::Count { id, area } => {
+                    EngineOp::InstallStandingCount { id, area }
+                }
+                wire::StandingInstallMsg::Range { id, user, radius } => {
+                    EngineOp::InstallStandingRange { id, user, radius }
+                }
             })
         }
         TAG_DEREGISTER_STANDING => {
@@ -951,6 +1006,15 @@ mod tests {
             JournalRecord::Op(EngineOp::AddStandingRange {
                 user: 7,
                 radius: 0.125,
+            }),
+            JournalRecord::Op(EngineOp::InstallStandingCount {
+                id: 11,
+                area: Rect::new_unchecked(0.1, 0.1, 0.9, 0.9),
+            }),
+            JournalRecord::Op(EngineOp::InstallStandingRange {
+                id: 12,
+                user: 9,
+                radius: 0.25,
             }),
             JournalRecord::Op(EngineOp::DeregisterStanding {
                 kind: StandingKind::Count,

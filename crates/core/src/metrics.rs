@@ -215,6 +215,12 @@ pub struct NetCounters {
     pub node_rejoins: AtomicU64,
     /// Payload bytes transferred by bulk `NODE_RESYNC` plane copies.
     pub resync_bytes: AtomicU64,
+    /// Doctrine-preserved mirror frames (broadcast-class installs,
+    /// handoff pushes) dropped because their node went terminally Down
+    /// before the frame could be delivered or buffered. Should stay 0
+    /// in a healthy cluster; any increment means replicated or
+    /// single-copy state diverged and is worth an operator's look.
+    pub mirror_drops: AtomicU64,
 }
 
 impl NetCounters {
@@ -253,6 +259,7 @@ impl NetCounters {
             reconnect_attempts: Self::get(&self.reconnect_attempts),
             node_rejoins: Self::get(&self.node_rejoins),
             resync_bytes: Self::get(&self.resync_bytes),
+            mirror_drops: Self::get(&self.mirror_drops),
         }
     }
 }
@@ -277,6 +284,7 @@ pub struct NetCountersSnapshot {
     pub reconnect_attempts: u64,
     pub node_rejoins: u64,
     pub resync_bytes: u64,
+    pub mirror_drops: u64,
 }
 
 #[cfg(test)]

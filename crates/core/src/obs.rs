@@ -666,6 +666,7 @@ impl RegistrySnapshot {
             ("reconnect_attempts", n.reconnect_attempts),
             ("node_rejoins", n.node_rejoins),
             ("resync_bytes", n.resync_bytes),
+            ("mirror_drops", n.mirror_drops),
         ] {
             let _ = writeln!(out, "lbsp_net_{name} {v}");
         }

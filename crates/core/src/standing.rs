@@ -100,7 +100,20 @@ impl StandingPrivateRanges {
     /// Registers a standing query for `user` with the given radius.
     pub fn register(&mut self, user: UserId, radius: f64) -> StandingQueryId {
         let id = self.next_id;
-        self.next_id += 1;
+        assert!(self.register_at(id, user, radius));
+        id
+    }
+
+    /// Installs a standing query under a caller-chosen id (cluster
+    /// mirrors install the id node 0 granted instead of allocating).
+    /// Idempotent: returns `false` and leaves the registry untouched if
+    /// `id` is already present. `next_id` advances past `id` so a later
+    /// local allocation can never collide with an installed one.
+    pub fn register_at(&mut self, id: StandingQueryId, user: UserId, radius: f64) -> bool {
+        if self.entries.contains_key(&id) {
+            return false;
+        }
+        self.next_id = self.next_id.max(id + 1);
         self.entries.insert(
             id,
             Entry {
@@ -111,8 +124,13 @@ impl StandingPrivateRanges {
                 seq: 0,
             },
         );
-        self.by_user.entry(user).or_default().push(id);
-        id
+        // Sorted insert keeps the per-user list in ascending id order
+        // even for out-of-order installs, matching how restore_state
+        // re-derives the index.
+        let ids = self.by_user.entry(user).or_default();
+        let at = ids.partition_point(|&q| q < id);
+        ids.insert(at, id);
+        true
     }
 
     /// Deregisters a standing query.
@@ -138,6 +156,11 @@ impl StandingPrivateRanges {
     /// `true` when no queries are registered.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// `true` when a query with this id is registered.
+    pub fn contains(&self, id: StandingQueryId) -> bool {
+        self.entries.contains_key(&id)
     }
 
     /// Called by the system when `user`'s cloak changes to `new_cloak`:
@@ -284,9 +307,10 @@ impl StandingPrivateRanges {
     }
 
     /// Rebuilds a registry from exported state. The per-user index is
-    /// re-derived by inserting entries in ascending id order, which *is*
-    /// registration order: ids are assigned from a monotonic counter, so
-    /// a user's id list always comes out sorted.
+    /// re-derived by inserting entries in ascending id order, which
+    /// matches the live index: local allocation is monotonic and
+    /// [`StandingPrivateRanges::register_at`] does a sorted insert, so a
+    /// user's id list is always ascending.
     pub fn restore_state(state: &StandingRangesState) -> StandingPrivateRanges {
         let mut reg = StandingPrivateRanges {
             entries: HashMap::with_capacity(state.entries.len()),
@@ -356,6 +380,21 @@ mod tests {
         assert_eq!(reg.recomputes, 2);
         let n2 = reg.candidates(q).unwrap().len();
         assert_ne!(n1, n2);
+    }
+
+    #[test]
+    fn register_at_is_idempotent_and_guides_next_id() {
+        let mut reg = StandingPrivateRanges::new();
+        assert!(reg.register_at(5, 7, 0.1));
+        // A replay of the same install is a no-op.
+        assert!(!reg.register_at(5, 7, 0.1));
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.user_of(5), Some(7));
+        // Local allocation continues past the installed id.
+        assert_eq!(reg.register(9, 0.2), 6);
+        // Out-of-order installs never collide with allocation either.
+        assert!(reg.register_at(3, 7, 0.1));
+        assert_eq!(reg.register(9, 0.2), 7);
     }
 
     #[test]

@@ -128,8 +128,9 @@ impl<A: CloakingAlgorithm> PrivacyAwareSystem<A> {
 
     /// Re-applies one journaled mutation during recovery (before any
     /// sink is attached, so nothing is re-journaled). Ops only the
-    /// sharded engine produces (`LoadPublic`, standing deregistration /
-    /// drains) are ignored: a system journal never contains them.
+    /// sharded engine produces (`LoadPublic`, standing installs /
+    /// deregistration / drains) are ignored: a system journal never
+    /// contains them.
     pub fn apply_op(&mut self, op: &EngineOp) {
         match op {
             EngineOp::RegisterUser {
@@ -160,6 +161,8 @@ impl<A: CloakingAlgorithm> PrivacyAwareSystem<A> {
                 self.add_standing_private_range(*user, *radius);
             }
             EngineOp::LoadPublic { .. }
+            | EngineOp::InstallStandingCount { .. }
+            | EngineOp::InstallStandingRange { .. }
             | EngineOp::DeregisterStanding { .. }
             | EngineOp::TakeStandingChanges
             | EngineOp::ShadowBatch { .. }

@@ -74,6 +74,13 @@ pub mod tag {
     /// Applied through the ordinary shadow/ingest journal ops, so the
     /// installed state is WAL-durable on the rejoined node.
     pub const RESYNC_PUSH: u8 = 0x25;
+    /// Cluster router → node: install a standing query under the id
+    /// node 0 assigned (payload: [`super::StandingInstallMsg`]). Mirror
+    /// nodes never allocate standing-query ids themselves — node 0
+    /// answers the client's registration and the router fans the
+    /// granted id out in this frame, so replaying it after an ack-lost
+    /// outage is a keyed no-op instead of a second allocation.
+    pub const STANDING_INSTALL: u8 = 0x26;
     /// Server → client: request acknowledged, empty payload.
     pub const OK: u8 = 0x80;
     /// Server → client: a cloaked update (payload: the
@@ -542,6 +549,99 @@ pub fn decode_standing_ref(mut buf: &[u8]) -> Option<StandingRefMsg> {
     })
 }
 
+/// Byte length of an encoded standing-count install.
+pub const STANDING_INSTALL_COUNT_LEN: usize = 1 + 8 + REGISTER_STANDING_COUNT_LEN;
+/// Byte length of an encoded standing-range install.
+pub const STANDING_INSTALL_RANGE_LEN: usize = 1 + 8 + REGISTER_STANDING_RANGE_LEN;
+
+/// A standing-query registration as fanned out to mirror nodes in a
+/// [`tag::STANDING_INSTALL`] frame: the registration parameters plus
+/// the id node 0 granted, so the mirror installs *that* id instead of
+/// allocating one. Keyed by id, the install is idempotent — a replay
+/// after an ack-lost outage is a no-op — which is what lets the router
+/// park these frames in a catch-up buffer without knowing whether the
+/// first delivery landed. Cluster-internal trusted hop (the range
+/// variant carries a true user id), same doctrine as
+/// [`RegisterStandingRangeMsg`] on the client hop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StandingInstallMsg {
+    /// Install a standing count query under `id`.
+    Count {
+        /// The node-0-granted query id.
+        id: u64,
+        /// The monitored area.
+        area: Rect,
+    },
+    /// Install a standing private range query under `id`.
+    Range {
+        /// The node-0-granted query id.
+        id: u64,
+        /// Owning user (true id; trusted hop only).
+        user: u64,
+        /// Query radius in world units.
+        radius: f64,
+    },
+}
+
+/// Encodes a standing-query install: the registry kind code, the
+/// granted id, then the same parameter bytes the client registration
+/// carried.
+pub fn encode_standing_install(msg: &StandingInstallMsg) -> Bytes {
+    match msg {
+        StandingInstallMsg::Count { id, area } => {
+            let mut b = BytesMut::with_capacity(STANDING_INSTALL_COUNT_LEN);
+            b.put_u8(StandingKind::Count.code());
+            b.put_u64_le(*id);
+            b.extend_from_slice(&encode_register_standing_count(&RegisterStandingCountMsg {
+                area: *area,
+            }));
+            b.freeze()
+        }
+        StandingInstallMsg::Range { id, user, radius } => {
+            let mut b = BytesMut::with_capacity(STANDING_INSTALL_RANGE_LEN);
+            b.put_u8(StandingKind::Range.code());
+            b.put_u64_le(*id);
+            b.extend_from_slice(&encode_register_standing_range(&RegisterStandingRangeMsg {
+                user: *user,
+                radius: *radius,
+            }));
+            b.freeze()
+        }
+    }
+}
+
+/// Decodes a standing-query install. Strict: the kind code picks the
+/// exact expected length, and the parameter bytes go through the same
+/// strict registration codecs the client hop uses.
+pub fn decode_standing_install(mut buf: &[u8]) -> Option<StandingInstallMsg> {
+    let (&code, _) = buf.split_first()?;
+    let kind = StandingKind::from_code(code)?;
+    match kind {
+        StandingKind::Count => {
+            if buf.len() != STANDING_INSTALL_COUNT_LEN {
+                return None;
+            }
+            buf.advance(1);
+            let id = buf.get_u64_le();
+            let msg = decode_register_standing_count(buf)?;
+            Some(StandingInstallMsg::Count { id, area: msg.area })
+        }
+        StandingKind::Range => {
+            if buf.len() != STANDING_INSTALL_RANGE_LEN {
+                return None;
+            }
+            buf.advance(1);
+            let id = buf.get_u64_le();
+            let msg = decode_register_standing_range(buf)?;
+            Some(StandingInstallMsg::Range {
+                id,
+                user: msg.user,
+                radius: msg.radius,
+            })
+        }
+    }
+}
+
 /// Byte length of an encoded standing-count state.
 pub const STANDING_COUNT_STATE_LEN: usize = 1 + 8 + 8 + 8 + 8 + 8;
 
@@ -839,8 +939,15 @@ pub fn decode_handoff(mut buf: &[u8]) -> Option<HandoffMsg> {
 // Cluster recovery: kinded routing failures and bulk plane resync
 // ---------------------------------------------------------------------
 
-/// [`tag::ROUTE_FAIL`] kind byte: the owning node is mid-reconnect; the
-/// request was not applied and the client should retry shortly.
+/// [`tag::ROUTE_FAIL`] kind byte: the owning node is mid-reconnect and
+/// the client should retry shortly. The outcome of the failed request
+/// is *unknown*, not "not applied": when the fault was a lost reply
+/// (rather than a refused send) the node may have applied the request
+/// before the cut. Retrying is unconditionally safe for idempotent
+/// requests — updates, queries, snapshots — while a retried standing
+/// registration can, in that narrow reply-lost window, leave an orphan
+/// allocation on node 0 (client-invisible; see the recovery-doctrine
+/// caveats in DESIGN.md).
 pub const ROUTE_FAIL_RETRYABLE: u8 = 0;
 /// [`tag::ROUTE_FAIL`] kind byte: the node exhausted its reconnect
 /// budget (or the failure is non-transient) and its stripe is dark.
@@ -958,8 +1065,10 @@ use crate::obs::{
 /// `engine_batches` transport counter (per-shard request batching);
 /// version 6 added the `node_downtime` value histogram and the
 /// `retryable_failures` / `reconnect_attempts` / `node_rejoins` /
-/// `resync_bytes` transport counters (cluster self-healing).
-pub const STATS_SNAPSHOT_VERSION: u8 = 6;
+/// `resync_bytes` transport counters (cluster self-healing); version 7
+/// added the `mirror_drops` transport counter (doctrine-preserved
+/// mirror frames lost to terminally down nodes).
+pub const STATS_SNAPSHOT_VERSION: u8 = 7;
 
 /// Byte length of one encoded histogram snapshot: count + sum + min +
 /// max + the bucket array, all 8-byte fields.
@@ -967,9 +1076,9 @@ pub const HIST_ENC_LEN: usize = 8 * (4 + HIST_BUCKETS);
 
 /// Byte length of the fixed (lock-free) part of an encoded snapshot:
 /// version, the stage histograms, 6 value histograms, the cloak-failure
-/// counters, the 16 net counters, and the lock-row count.
+/// counters, the 17 net counters, and the lock-row count.
 pub const STATS_FIXED_LEN: usize =
-    1 + (STAGE_COUNT + 6) * HIST_ENC_LEN + CLOAK_FAILURE_KINDS.len() * 8 + 16 * 8 + 1;
+    1 + (STAGE_COUNT + 6) * HIST_ENC_LEN + CLOAK_FAILURE_KINDS.len() * 8 + 17 * 8 + 1;
 
 fn put_hist(b: &mut BytesMut, h: &HistogramSnapshot) {
     b.put_u64_le(h.count);
@@ -1039,6 +1148,7 @@ pub fn encode_stats_snapshot(snap: &RegistrySnapshot) -> Bytes {
         n.reconnect_attempts,
         n.node_rejoins,
         n.resync_bytes,
+        n.mirror_drops,
     ] {
         b.put_u64_le(v);
     }
@@ -1103,6 +1213,7 @@ pub fn decode_stats_snapshot(mut buf: &[u8]) -> Option<RegistrySnapshot> {
         reconnect_attempts: buf.get_u64_le(),
         node_rejoins: buf.get_u64_le(),
         resync_bytes: buf.get_u64_le(),
+        mirror_drops: buf.get_u64_le(),
     };
     let rows = usize::from(buf.get_u8());
     let mut locks = Vec::with_capacity(rows);
@@ -1394,6 +1505,40 @@ mod tests {
         .to_vec();
         bad[0] = 9;
         assert_eq!(decode_standing_ref(&bad), None);
+    }
+
+    #[test]
+    fn standing_install_roundtrip_and_validation() {
+        let count = StandingInstallMsg::Count {
+            id: 41,
+            area: Rect::new_unchecked(-3.0, 1.5, 9.0, 4.0),
+        };
+        let bytes = encode_standing_install(&count);
+        assert_eq!(bytes.len(), STANDING_INSTALL_COUNT_LEN);
+        assert_eq!(decode_standing_install(&bytes), Some(count));
+        assert_eq!(decode_standing_install(&bytes[..bytes.len() - 1]), None);
+        let mut long = bytes.to_vec();
+        long.push(0);
+        assert_eq!(decode_standing_install(&long), None);
+
+        let range = StandingInstallMsg::Range {
+            id: 42,
+            user: 7,
+            radius: 2.25,
+        };
+        let bytes = encode_standing_install(&range);
+        assert_eq!(bytes.len(), STANDING_INSTALL_RANGE_LEN);
+        assert_eq!(decode_standing_install(&bytes), Some(range));
+        assert_eq!(decode_standing_install(&bytes[..bytes.len() - 1]), None);
+
+        // An unknown kind code is rejected, as is a kind/length mismatch
+        // (count-length body claiming the range kind).
+        let mut bad = encode_standing_install(&count).to_vec();
+        bad[0] = 9;
+        assert_eq!(decode_standing_install(&bad), None);
+        bad[0] = StandingKind::Range.code();
+        assert_eq!(decode_standing_install(&bad), None);
+        assert_eq!(decode_standing_install(&[]), None);
     }
 
     #[test]

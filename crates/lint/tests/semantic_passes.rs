@@ -202,9 +202,12 @@ fn workspace_proofs_are_not_vacuous() {
     );
 
     // The conformance pass parsed the full registry.
-    assert_eq!(a.wire_tags.len(), 27, "{:?}", a.wire_tags);
+    assert_eq!(a.wire_tags.len(), 28, "{:?}", a.wire_tags);
     assert!(a.wire_tags.contains(&("HANDOFF_PUSH".to_string(), 0x23)));
     assert!(a.wire_tags.contains(&("RESYNC_PUSH".to_string(), 0x25)));
+    assert!(a
+        .wire_tags
+        .contains(&("STANDING_INSTALL".to_string(), 0x26)));
     assert!(a.wire_tags.contains(&("ROUTE_FAIL".to_string(), 0xEF)));
 }
 

@@ -273,7 +273,9 @@ pub fn classify_reply(f: Frame) -> io::Result<Reply> {
         // surfaces as a kinded I/O error the caller can match with
         // [`is_route_failure`] / [`is_retryable_route_failure`]: a
         // RETRYABLE kind byte means the node is mid-reconnect and the
-        // request is worth retrying; DOWN means its stripe is dark. A
+        // request is worth retrying (its outcome is unknown — see
+        // `is_retryable_route_failure` for the idempotency caveat);
+        // DOWN means its stripe is dark. A
         // malformed payload (pre-kind router, hostile bytes) is treated
         // as DOWN with the whole payload as the message.
         wire::tag::ROUTE_FAIL => {
@@ -305,8 +307,14 @@ pub fn is_route_failure(e: &io::Error) -> bool {
 }
 
 /// `true` when an error is a RETRYABLE cluster routing failure — the
-/// owning node is mid-reconnect and the request was not applied, so the
-/// caller should back off briefly and retry the same request.
+/// owning node is mid-reconnect and the caller should back off briefly
+/// and retry. The outcome of the failed attempt is *unknown*, not
+/// "not applied": the node may have served the request and lost only
+/// the reply. Retrying is therefore unconditionally safe for
+/// idempotent requests — updates, queries, snapshots, deregisters —
+/// while a retried standing registration can, in that narrow
+/// reply-lost window, leave a client-invisible orphan allocation on
+/// node 0 (see the recovery-doctrine caveats in DESIGN.md).
 pub fn is_retryable_route_failure(e: &io::Error) -> bool {
     e.kind() == io::ErrorKind::NotConnected && e.to_string().starts_with("cluster node retrying:")
 }

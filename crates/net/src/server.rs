@@ -610,10 +610,11 @@ pub(crate) fn handle_request(
             }
         }
         // Cluster-internal frames (trusted anonymizer-tier hops from a
-        // router peer). None of them answers for a user, so none routes
-        // standing deltas: shadow updates never touch the registries,
-        // and a cloak ingest drains its changed set internally — only
-        // the owning node pushes.
+        // router peer). Shadow updates never touch the registries and a
+        // cloak ingest drains its changed set internally, so neither
+        // routes standing deltas. STANDING_INSTALL is the exception: a
+        // mirror node owns some users and pushes deltas for the queries
+        // it installs, so that arm subscribes like a registration does.
         wire::tag::SHADOW_UPDATE => {
             let Some(msg) = wire::decode_exact_update(&frame.payload) else {
                 NetCounters::add(&counters.frames_rejected, 1);
@@ -648,6 +649,28 @@ pub(crate) fn handle_request(
                 return err("malformed handoff payload".into());
             };
             engine.lock().handoff_install(&msg);
+            vec![(wire::tag::OK, Vec::new())]
+        }
+        wire::tag::STANDING_INSTALL => {
+            let Some(msg) = wire::decode_standing_install(&frame.payload) else {
+                NetCounters::add(&counters.frames_rejected, 1);
+                return err("malformed standing-install payload".into());
+            };
+            // Install the id node 0 granted; a duplicate id means this
+            // is an ack-lost replay and the install is a no-op. Either
+            // way the connection is (re)subscribed — subscribe is
+            // idempotent — so delta push survives the replayed path.
+            let (kind, id) = match msg {
+                wire::StandingInstallMsg::Count { id, area } => {
+                    engine.lock().install_standing_count(id, area);
+                    (wire::StandingKind::Count, id)
+                }
+                wire::StandingInstallMsg::Range { id, user, radius } => {
+                    engine.lock().install_standing_range(id, user, radius);
+                    (wire::StandingKind::Range, id)
+                }
+            };
+            subscribe(subs, conn_id, (kind.code(), id));
             vec![(wire::tag::OK, Vec::new())]
         }
         wire::tag::RESYNC_PULL => {

@@ -313,7 +313,25 @@ impl ContinuousRangeCount {
         I: IntoIterator<Item = (PseudonymId, Rect)>,
     {
         let id = self.next_id;
-        self.next_id += 1;
+        assert!(self.register_at(id, area, initial));
+        id
+    }
+
+    /// Installs a standing query under a caller-chosen id (cluster
+    /// mirrors install the id node 0 granted instead of allocating).
+    /// Idempotent: returns `false` and leaves the registry untouched if
+    /// `id` is already present. `next_id` advances past `id` so a later
+    /// local allocation can never collide with an installed one. Seed
+    /// ordering follows the same pseudonym-sort contract as
+    /// [`ContinuousRangeCount::register`].
+    pub fn register_at<I>(&mut self, id: QueryId, area: Rect, initial: I) -> bool
+    where
+        I: IntoIterator<Item = (PseudonymId, Rect)>,
+    {
+        if self.queries.contains_key(&id) {
+            return false;
+        }
+        self.next_id = self.next_id.max(id + 1);
         let mut q = StandingQuery::new(area);
         let mut seeds: Vec<(PseudonymId, Rect)> = initial.into_iter().collect();
         seeds.sort_unstable_by_key(|&(pseudonym, _)| pseudonym);
@@ -322,7 +340,7 @@ impl ContinuousRangeCount {
         }
         self.queries.insert(id, q);
         self.index.rebuild(&self.queries);
-        id
+        true
     }
 
     /// Deregisters a query.
@@ -379,6 +397,11 @@ impl ContinuousRangeCount {
             }
         }
         fanout
+    }
+
+    /// `true` when a query with this id is registered.
+    pub fn contains(&self, id: QueryId) -> bool {
+        self.queries.contains_key(&id)
     }
 
     /// Current expected count of a query.
@@ -629,6 +652,26 @@ mod tests {
         let expected = cont.expected(q).unwrap();
         assert!((expected - (1.0 + 0.01 / 0.16)).abs() < 1e-9);
         assert_eq!(cont.interval(q), Some((1, 2)));
+    }
+
+    #[test]
+    fn register_at_is_idempotent_and_guides_next_id() {
+        let mut cont = ContinuousRangeCount::new();
+        assert!(cont.register_at(5, rect(0.0, 0.0, 0.5, 0.5), std::iter::empty()));
+        // A replay of the same install is a no-op.
+        assert!(!cont.register_at(5, rect(0.0, 0.0, 0.5, 0.5), std::iter::empty()));
+        assert_eq!(cont.len(), 1);
+        // Local allocation continues past the installed id.
+        assert_eq!(
+            cont.register(rect(0.5, 0.5, 1.0, 1.0), std::iter::empty()),
+            6
+        );
+        // Out-of-order installs never collide with allocation either.
+        assert!(cont.register_at(3, rect(0.0, 0.0, 0.1, 0.1), std::iter::empty()));
+        assert_eq!(
+            cont.register(rect(0.5, 0.5, 1.0, 1.0), std::iter::empty()),
+            7
+        );
     }
 
     #[test]

@@ -219,8 +219,9 @@ fn sever_mid_broadcast_never_fails_the_client_and_replays_in_order() {
     // are absorbed into the catch-up buffer, not failed)…
     run_wave(&mut client, &mut reference, &even_users(), 1);
     // …and a standing-query broadcast mid-outage succeeds too, with the
-    // id the sequential registry assigns (node 0 settles first; the
-    // buffered copy replays into node 1 on rejoin, keeping lockstep).
+    // id the sequential registry assigns (node 0 — the sole allocator —
+    // grants it; the STANDING_INSTALL mirror frame carrying that id is
+    // buffered and replays into node 1 on rejoin).
     let area = Rect::new_unchecked(0.05, 0.05, 0.45, 0.95);
     let want_id = reference.add_standing_count(area);
     let got = match client.register_standing_count(area).unwrap() {
@@ -272,6 +273,96 @@ fn sever_mid_broadcast_never_fails_the_client_and_replays_in_order() {
             );
         }
         _ => panic!("count query answered with a non-count state"),
+    }
+}
+
+#[test]
+fn ack_lost_standing_install_replays_as_a_noop() {
+    // The nastiest broadcast fault: node 1 *applies* the mirror install
+    // but the ack never reaches the router (the proxy cuts the reply at
+    // byte zero). The router must park the frame and replay it on
+    // rejoin, and the replay must be a no-op — the install carries the
+    // node-0-granted id, so re-installing a present id changes nothing.
+    // Allocation-in-lockstep mirroring would double-register here and
+    // skew every later id on node 1.
+    let (node0, node1, proxy, router) = spawn(fast_recovery());
+    let mut reference = fresh_engine();
+    let mut client = connect(&router);
+    register_all(&mut client, &mut reference);
+    run_wave(&mut client, &mut reference, &all_users(), 0);
+
+    let register_identical = |client: &mut NetClient, reference: &mut ShardedEngine, area| {
+        let want_id = reference.add_standing_count(area);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match client.register_standing_count(area) {
+                Ok(Reply::StandingRegistered(bytes)) => {
+                    let got = wire::decode_standing_ref(&bytes).unwrap();
+                    assert_eq!((got.kind, got.id), (StandingKind::Count, want_id));
+                    return want_id;
+                }
+                Err(e) if is_retryable_route_failure(&e) && Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                other => panic!("standing registration: {other:?}"),
+            }
+        }
+    };
+
+    // Query A lands everywhere cleanly.
+    let id_a = register_identical(
+        &mut client,
+        &mut reference,
+        Rect::new_unchecked(0.05, 0.05, 0.45, 0.95),
+    );
+    // All traffic is quiesced (closed-loop client), so the next
+    // upstream→client bytes are exactly the ack of the next mirror
+    // frame: query B's install reaches node 1, its ack does not.
+    proxy.sever_after_downstream_bytes(0);
+    let id_b = register_identical(
+        &mut client,
+        &mut reference,
+        Rect::new_unchecked(0.50, 0.05, 0.95, 0.95),
+    );
+    // Query C registers while node 1 is away: its install is buffered
+    // behind the parked replay of B's.
+    let id_c = register_identical(
+        &mut client,
+        &mut reference,
+        Rect::new_unchecked(0.25, 0.25, 0.75, 0.75),
+    );
+
+    proxy.restore();
+    // Rejoin replays B's install (a no-op — node 1 already holds id B)
+    // then C's, and the cluster stays on the sequential byte stream.
+    run_wave(&mut client, &mut reference, &all_users(), 1);
+
+    let snap = router.metrics_registry().net().snapshot();
+    assert!(snap.node_rejoins >= 1, "rejoin counted");
+    assert_eq!(snap.mirror_drops, 0, "no preserved frame was dropped");
+    let report = router.shutdown();
+    assert_eq!(report.route_failures, 0, "no fatal failures");
+    drop(node0.shutdown());
+
+    // Node-level proof on the rejoined mirror: exactly the three
+    // queries, under exactly the reference's ids — no phantom duplicate
+    // from the replayed install, no skewed counter. (`expected` is
+    // summation-order-sensitive f64; integers pin the claim.)
+    let engine1 = node1.shutdown();
+    assert_eq!(engine1.standing_counts().len(), 3, "no phantom queries");
+    for id in [id_a, id_b, id_c] {
+        let want = reference.standing_state(StandingKind::Count, id).unwrap();
+        let got = engine1.standing_state(StandingKind::Count, id).unwrap();
+        match (got, want) {
+            (wire::StandingState::Count(g), wire::StandingState::Count(w)) => {
+                assert_eq!(
+                    (g.id, g.seq, g.certain, g.possible),
+                    (w.id, w.seq, w.certain, w.possible),
+                    "query {id} on the rejoined mirror"
+                );
+            }
+            _ => panic!("count query answered with a non-count state"),
+        }
     }
 }
 
